@@ -1,0 +1,69 @@
+// Figures 10 and 11: 3D lattice Boltzmann on the shared bus.
+// Figure 10: efficiency vs subregion side for block decompositions
+// (2x2x2), (3x2x2), (4x2x2), (3x3x2) — "rather poor".
+// Figure 11: speedup vs total problem size — finer decompositions do not
+// help because the network is the bottleneck.  Writes fig10_11.csv.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/subsonic.hpp"
+
+int main() {
+  using namespace subsonic;
+
+  struct Decomp {
+    int jx, jy, jz;
+  };
+  const std::vector<Decomp> decomps{
+      {2, 2, 2}, {3, 2, 2}, {4, 2, 2}, {3, 3, 2}};
+  const std::vector<int> sides{10, 15, 20, 25, 30, 35, 40};
+
+  CsvWriter csv("fig10_11.csv");
+  csv.header({"P", "side", "total_nodes", "efficiency", "speedup"});
+
+  std::printf("Figure 10: 3D LB efficiency vs subregion size\n");
+  std::printf("%-10s %-6s %-12s %-11s %s\n", "decomp", "side", "nodes/proc",
+              "efficiency", "speedup");
+  for (const Decomp& dc : decomps) {
+    const int p = dc.jx * dc.jy * dc.jz;
+    for (int side : sides) {
+      const Decomposition3D d(
+          Extents3{side * dc.jx, side * dc.jy, side * dc.jz}, dc.jx, dc.jy,
+          dc.jz);
+      const WorkloadSpec w = make_workload3d(d, Method::kLatticeBoltzmann);
+      ClusterSim sim(ClusterParams{}, ClusterSim::uniform_cluster(p));
+      const SimResult r = sim.run(w, 15, HostModel::k715, false);
+      std::printf("(%dx%dx%d)%-2s %-6d %-12lld %-11.3f %.2f\n", dc.jx,
+                  dc.jy, dc.jz, "", side,
+                  static_cast<long long>(side) * side * side, r.efficiency,
+                  r.speedup);
+      csv.row({double(p), double(side),
+               double(d.global().count()), r.efficiency, r.speedup});
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Figure 11: speedup vs total problem size (the plateau)\n");
+  std::printf("%-14s %-10s %s\n", "total_nodes", "decomp", "speedup");
+  for (int total_side : {20, 30, 40, 50, 60, 70, 80}) {
+    for (const Decomp& dc : decomps) {
+      const int p = dc.jx * dc.jy * dc.jz;
+      if (total_side % dc.jx || total_side % dc.jy || total_side % dc.jz)
+        continue;
+      const Decomposition3D d(
+          Extents3{total_side, total_side, total_side}, dc.jx, dc.jy, dc.jz);
+      const WorkloadSpec w = make_workload3d(d, Method::kLatticeBoltzmann);
+      ClusterSim sim(ClusterParams{}, ClusterSim::uniform_cluster(p));
+      const SimResult r = sim.run(w, 15, HostModel::k715, false);
+      std::printf("%-14lld (%dx%dx%d)    %.2f\n",
+                  static_cast<long long>(total_side) * total_side *
+                      total_side,
+                  dc.jx, dc.jy, dc.jz, r.speedup);
+    }
+  }
+  std::printf("\npaper: speedup does not improve with finer 3D "
+              "decompositions — the network\nis the bottleneck.  wrote "
+              "fig10_11.csv\n");
+  return 0;
+}

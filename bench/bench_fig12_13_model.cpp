@@ -1,0 +1,47 @@
+// Figures 12 and 13: the paper's theoretical efficiency model itself.
+// Figure 12 plots eq. 20 (f vs sqrt(N), U_calc/V_com = 2/3) for
+// (P, m) = (4,2), (9,3), (16,4), (20,4); Figure 13 plots f vs P for 2D at
+// N = 125^2 (m=2) and 3D at N = 25^3 (m=2, the 5/6 factor of eq. 21).
+// Writes fig12.csv and fig13.csv.
+#include <cstdio>
+
+#include "src/core/subsonic.hpp"
+
+int main() {
+  using namespace subsonic;
+
+  {
+    CsvWriter csv("fig12.csv");
+    csv.header({"sqrtN", "f_P4_m2", "f_P9_m3", "f_P16_m4", "f_P20_m4"});
+    std::printf("Figure 12: model efficiency vs sqrt(N), U_calc/V_com = "
+                "2/3\n");
+    std::printf("%-7s %-9s %-9s %-10s %s\n", "sqrt_N", "P=4,m=2", "P=9,m=3",
+                "P=16,m=4", "P=20,m=4");
+    for (int root = 25; root <= 300; root += 25) {
+      const double n = double(root) * root;
+      const double f4 = efficiency_shared_bus_2d(n, 2, 4);
+      const double f9 = efficiency_shared_bus_2d(n, 3, 9);
+      const double f16 = efficiency_shared_bus_2d(n, 4, 16);
+      const double f20 = efficiency_shared_bus_2d(n, 4, 20);
+      std::printf("%-7d %-9.3f %-9.3f %-10.3f %.3f\n", root, f4, f9, f16,
+                  f20);
+      csv.row({double(root), f4, f9, f16, f20});
+    }
+  }
+
+  {
+    CsvWriter csv("fig13.csv");
+    csv.header({"P", "f_2d_125sq", "f_3d_25cb"});
+    std::printf("\nFigure 13: model efficiency vs P (2D: N=125^2, m=2; "
+                "3D: N=25^3, m=2, factor 5/6)\n");
+    std::printf("%-4s %-12s %s\n", "P", "f_2D(eq.20)", "f_3D(eq.21)");
+    for (int p = 2; p <= 24; p += 2) {
+      const double f2 = efficiency_shared_bus_2d(125.0 * 125, 2, p);
+      const double f3 = efficiency_shared_bus_3d(25.0 * 25 * 25, 2, p);
+      std::printf("%-4d %-12.3f %.3f\n", p, f2, f3);
+      csv.row({double(p), f2, f3});
+    }
+  }
+  std::printf("\nwrote fig12.csv, fig13.csv\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Section 5.1 quantitative claims: "typically one migration every 45
+// minutes for a distributed computation that uses 20 workstations from a
+// pool of 25", "each migration lasts about 30 seconds", "the cost of
+// migration is insignificant".  Runs the cluster under several background
+// activity levels and reports migration rate, duration, and the total
+// overhead fraction, plus the do-nothing baseline (no migration allowed).
+#include <cstdio>
+
+#include "src/core/subsonic.hpp"
+
+int main() {
+  using namespace subsonic;
+
+  const Decomposition2D d(Extents2{800, 500}, 5, 4);
+  const WorkloadSpec w = make_workload2d(d, Method::kLatticeBoltzmann);
+  const long steps = 25000;
+
+  std::printf("Migration economics on the paper's cluster (20 procs / 25 "
+              "hosts, 800x500 LB)\n\n");
+  std::printf("%-10s %-10s %-12s %-12s %-12s %-10s %s\n", "busy_frac",
+              "migrate", "elapsed_h", "efficiency", "migrations",
+              "mean_dur_s", "overhead%");
+  for (double busy : {0.0, 0.03, 0.08, 0.15}) {
+    for (bool migrate : {false, true}) {
+      ClusterSim sim(ClusterParams{}, ClusterSim::paper_cluster());
+      Rng rng(42);
+      if (busy > 0)
+        sim.add_random_background(rng, 12 * 3600.0, busy, 30 * 60.0);
+      const SimResult r =
+          sim.run(w, steps, HostModel::k715, migrate);
+      double total_pause = 0;
+      for (const MigrationRecord& m : r.migrations)
+        total_pause += m.completed_at - m.requested_at;
+      std::printf("%-10.2f %-10s %-12.2f %-12.3f %-12zu %-10.1f %.2f\n",
+                  busy, migrate ? "yes" : "no", r.elapsed_s / 3600.0,
+                  r.efficiency, r.migrations.size(),
+                  r.migrations.empty()
+                      ? 0.0
+                      : total_pause / double(r.migrations.size()),
+                  100.0 * total_pause / r.elapsed_s);
+    }
+  }
+  // Section 1.1's design argument: the alternative to migration is
+  // dynamic workload allocation (Cap & Strumpen), which continuously
+  // resizes subregions to match CPU availability.  An *idealized* dynamic
+  // balancer — zero rebalancing cost, perfectly fractional subregions —
+  // bounds what that approach could achieve: time per step equals total
+  // work over total available speed.  Migration should get close to the
+  // bound while staying simple.
+  std::printf("\nMigration vs the idealized dynamic-balance bound "
+              "(busy_frac = 0.08):\n");
+  {
+    ClusterSim sim(ClusterParams{}, ClusterSim::paper_cluster());
+    Rng rng(42);
+    sim.add_random_background(rng, 12 * 3600.0, 0.08, 30 * 60.0);
+    const SimResult r = sim.run(w, steps);
+    // Ideal bound: 20 of 25 hosts always healthy (the balancer can always
+    // shift work toward the idle ones and harvest busy-share leftovers).
+    const double total_speed_ideal =
+        (16 * 1.0 + 4 * 0.86) * 39132.0;  // 16x715 + 4x720 fully available
+    const double ideal_s_per_step =
+        double(w.total_compute_nodes()) / total_speed_ideal;
+    std::printf("  migration (measured)     %.3f s/step, efficiency %.3f\n",
+                r.seconds_per_step, r.efficiency);
+    std::printf("  dynamic balance (bound)  %.3f s/step  (zero-cost "
+                "rebalancing, fractional work)\n",
+                ideal_s_per_step);
+    std::printf("  migration reaches %.0f%% of the idealized dynamic "
+                "optimum with a far simpler system\n",
+                100.0 * ideal_s_per_step / r.seconds_per_step);
+  }
+
+  std::printf("\npaper: ~30 s per migration, about one every 45 minutes, "
+              "cost insignificant;\nwithout migration a single busy host "
+              "drags the whole computation.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// The small tables of sections 7-8 and appendix A:
+//   * the m-factor table for the decompositions used in the measurements;
+//   * the worst-case un-synchronization bounds (eqs. 22-23);
+//   * the workstation speed table (relative speeds of the host models).
+#include <cstdio>
+
+#include "src/core/subsonic.hpp"
+
+int main() {
+  using namespace subsonic;
+
+  std::printf("Section 8 m-factor table (N_c = m N^(1/2)):\n");
+  std::printf("%-10s %s\n", "decomp", "m");
+  struct Row {
+    const char* name;
+    Decomposition2D d;
+  };
+  const Row rows[] = {
+      {"(Px1)", Decomposition2D(Extents2{800, 100}, 8, 1)},
+      {"(2x2)", Decomposition2D(Extents2{200, 200}, 2, 2)},
+      {"(3x3)", Decomposition2D(Extents2{300, 300}, 3, 3)},
+      {"(4x4)", Decomposition2D(Extents2{400, 400}, 4, 4)},
+      {"(5x4)", Decomposition2D(Extents2{500, 400}, 5, 4)},
+  };
+  for (const Row& r : rows)
+    std::printf("%-10s %d   (mean comm edges %.2f, max %d)\n", r.name,
+                r.d.paper_m(), r.d.mean_comm_edges(), r.d.max_comm_edges());
+  std::printf("paper table:  2 2 3 4 4\n\n");
+
+  std::printf("Appendix A un-synchronization bounds:\n");
+  std::printf("%-10s %-18s %s\n", "decomp", "full: max(J,K)-1",
+              "star: (J-1)+(K-1)");
+  for (const Row& r : rows)
+    std::printf("(%dx%d)%-5s %-18d %d\n", r.d.jx(), r.d.jy(), "",
+                r.d.max_unsync(StencilShape::kFull),
+                r.d.max_unsync(StencilShape::kStar));
+
+  std::printf("\nSection 7 workstation speed table (relative to 39132 "
+              "nodes/s):\n");
+  std::printf("%-8s %-8s %-8s %s\n", "", "715/50", "710", "720");
+  const HostModel models[] = {HostModel::k715, HostModel::k710,
+                              HostModel::k720};
+  struct MRow {
+    const char* name;
+    Method method;
+    int dims;
+  };
+  const MRow mrows[] = {{"LB 2D", Method::kLatticeBoltzmann, 2},
+                        {"LB 3D", Method::kLatticeBoltzmann, 3},
+                        {"FD 2D", Method::kFiniteDifference, 2},
+                        {"FD 3D", Method::kFiniteDifference, 3}};
+  for (const MRow& mr : mrows) {
+    std::printf("%-8s", mr.name);
+    for (HostModel h : models)
+      std::printf(" %-8.2f", host_speed_factor(h, mr.method, mr.dims));
+    std::printf("\n");
+  }
+  std::printf("(paper: LB2D 1.00/.84/.86, LB3D .51/.40/.42, FD2D "
+              "1.24/1.08/1.17, FD3D 1.00/.85/.94)\n");
+  return 0;
+}

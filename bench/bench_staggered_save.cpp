@@ -1,0 +1,48 @@
+// Section 5.2: when every process saves a couple of megabytes of state
+// at once, the network and the file server saturate; the paper instead
+// staggers the saves — "a saving operation that would take 30 seconds and
+// monopolize the shared resources, now takes 60-90 seconds but leaves
+// free time slots for other programs."  This bench models both policies
+// with the cluster's shared-medium parameters and reports total time and
+// the largest uninterrupted busy stretch other users experience.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/subsonic.hpp"
+
+int main() {
+  using namespace subsonic;
+
+  const ClusterParams params;
+  const Decomposition2D d(Extents2{800, 500}, 5, 4);
+  const int nprocs = d.rank_count();
+  const double bytes_per_proc =
+      double(d.box(0).count()) *
+      params.state_bytes_per_node(Method::kLatticeBoltzmann, 2);
+  const double save_s = bytes_per_proc / params.dump_bytes_per_s;
+
+  std::printf("State saving on the shared file server (20 procs, %.1f MB "
+              "each, %.1f MB/s)\n\n",
+              bytes_per_proc / 1e6, params.dump_bytes_per_s / 1e6);
+
+  // Policy 1: everyone at once — the medium serializes the writes into
+  // one long monopolized burst.
+  const double burst = nprocs * save_s;
+  std::printf("%-28s total %6.1f s, longest monopolized stretch %6.1f s\n",
+              "all-at-once", burst, burst);
+
+  // Policy 2: staggered with gaps — each process waits for the previous
+  // one and adds a courtesy gap that other traffic can use.
+  for (double gap_fraction : {0.5, 1.0, 2.0}) {
+    const double gap = save_s * gap_fraction;
+    const double total = nprocs * save_s + (nprocs - 1) * gap;
+    std::printf("%-20s gap %2.0f%%  total %6.1f s, longest monopolized "
+                "stretch %6.1f s\n",
+                "staggered,", 100 * gap_fraction, total, save_s);
+  }
+  std::printf("\npaper: 30 s monopolized -> 60-90 s polite.  The x2-x3 "
+              "slowdown buys free slots\nfor other users of the network "
+              "and file system.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Discrete-event core for the cluster simulator: a time-ordered queue of
+// callbacks.  Ties are broken by insertion order, which makes every
+// simulation fully deterministic.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+class EventQueue {
+ public:
+  using Action = std::function<void(double now)>;
+
+  void schedule(double t, Action action) {
+    SUBSONIC_REQUIRE_MSG(t + 1e-12 >= now_, "event scheduled in the past");
+    heap_.push(Entry{t, seq_++, std::move(action)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  double now() const { return now_; }
+
+  /// Pops and runs the next event.  Returns false when the queue is empty.
+  bool run_one() {
+    if (heap_.empty()) return false;
+    // Entry's Action is move-only through the const ref: copy the handle.
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.t;
+    e.action(now_);
+    return true;
+  }
+
+  /// Runs until the queue drains.  `max_events` guards against bugs that
+  /// would otherwise loop forever.
+  void run_all(long max_events = 500'000'000) {
+    long n = 0;
+    while (run_one()) {
+      SUBSONIC_CHECK(++n < max_events);
+    }
+  }
+
+ private:
+  struct Entry {
+    double t;
+    long seq;
+    Action action;
+    bool operator>(const Entry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  double now_ = 0.0;
+  long seq_ = 0;
+};
+
+}  // namespace subsonic

@@ -1,0 +1,53 @@
+// UNIX-style exponentially damped load averages (the paper's monitoring
+// program reads `uptime`: 1-, 5- and 15-minute averages; section 4.1 uses
+// the 15-minute average to select hosts, section 5.1 the 5-minute average
+// to trigger migration).
+//
+// Between updates the instantaneous load is piecewise constant, so the
+// exponential smoothing can be advanced exactly:
+//   avg(t + dt) = load + (avg(t) - load) * exp(-dt / tau)
+#pragma once
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+class LoadAverage {
+ public:
+  /// Starts at zero load at time 0.
+  LoadAverage() = default;
+
+  /// Declares the instantaneous load from `now` onward.  `now` must not
+  /// move backwards.
+  void set_load(double now, double load) {
+    advance(now);
+    load_ = load;
+  }
+
+  double current_load() const { return load_; }
+
+  double one_minute(double now) { advance(now); return avg1_; }
+  double five_minutes(double now) { advance(now); return avg5_; }
+  double fifteen_minutes(double now) { advance(now); return avg15_; }
+
+ private:
+  void advance(double now) {
+    SUBSONIC_REQUIRE(now + 1e-12 >= t_);
+    const double dt = now - t_;
+    if (dt <= 0) return;
+    avg1_ = load_ + (avg1_ - load_) * std::exp(-dt / 60.0);
+    avg5_ = load_ + (avg5_ - load_) * std::exp(-dt / 300.0);
+    avg15_ = load_ + (avg15_ - load_) * std::exp(-dt / 900.0);
+    t_ = now;
+  }
+
+  double t_ = 0.0;
+  double load_ = 0.0;
+  double avg1_ = 0.0;
+  double avg5_ = 0.0;
+  double avg15_ = 0.0;
+};
+
+}  // namespace subsonic

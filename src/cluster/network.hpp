@@ -1,0 +1,79 @@
+// Network models (paper sections 7-8).  The shared-bus Ethernet serializes
+// every message in the cluster on one medium, which is why the paper's
+// communication time grows linearly with the number of processors
+// (eq. 19) and why 3D simulations saturate it.  The switched model is the
+// ablation for the "Ethernet switches, FDDI and ATM" future the paper
+// anticipates in its conclusion: only each sender's own link serializes.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "src/cluster/params.hpp"
+
+namespace subsonic {
+
+struct Delivery {
+  double at = 0.0;           ///< absolute delivery time
+  double queue_delay = 0.0;  ///< waited for the medium this long
+  bool failed = false;       ///< exceeded the TCP timeout (retransmitted)
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(const ClusterParams& params, int host_count)
+      : params_(params), link_free_(host_count, 0.0) {}
+
+  /// Registers a message of `bytes` sent at `now` from `src_host`, and
+  /// returns when it is delivered.
+  Delivery send(double now, int src_host, double bytes);
+
+  double busy_seconds() const { return busy_s_; }
+  long messages() const { return messages_; }
+  int failures() const { return failures_; }
+
+ private:
+  ClusterParams params_;
+  double bus_free_ = 0.0;
+  std::vector<double> link_free_;
+  std::deque<double> in_flight_;  // delivery times of queued bus messages
+  double busy_s_ = 0.0;
+  long messages_ = 0;
+  int failures_ = 0;
+};
+
+inline Delivery NetworkModel::send(double now, int src_host, double bytes) {
+  double& medium = params_.switched_network
+                       ? link_free_[static_cast<size_t>(src_host)]
+                       : bus_free_;
+  const double start = std::max(now, medium);
+  double duration =
+      params_.message_overhead_s + bytes / params_.bus_bandwidth_bytes_per_s;
+  if (!params_.switched_network) {
+    // Shared Ethernet: the more frames already queued, the more bandwidth
+    // collisions and backoff waste (a switch has no shared collision
+    // domain, so the penalty does not apply there).
+    while (!in_flight_.empty() && in_flight_.front() <= now)
+      in_flight_.pop_front();
+    duration *= 1.0 + params_.collision_factor *
+                          static_cast<double>(in_flight_.size());
+  }
+  medium = start + duration;
+  if (!params_.switched_network) in_flight_.push_back(medium);
+  busy_s_ += duration;
+  ++messages_;
+
+  Delivery d;
+  d.queue_delay = start - now;
+  d.at = medium;
+  if (d.queue_delay > params_.tcp_timeout_s) {
+    // The paper: "the TCP/IP protocol fails to deliver messages after
+    // excessive retransmissions" under heavy 3D traffic.
+    d.failed = true;
+    d.at += params_.retransmit_penalty_s;
+    ++failures_;
+  }
+  return d;
+}
+
+}  // namespace subsonic

@@ -1,0 +1,114 @@
+// Models of the paper's hardware (section 7): twenty-five HP9000/700
+// workstations — sixteen 715/50s, six 720s, three 710s — on a shared-bus
+// 10 Mbps Ethernet.  The speed table is the paper's own measurement,
+// normalized so that 1.0 = 39132 fluid-node updates per second (the
+// 715/50 running 2D lattice Boltzmann).
+#pragma once
+
+#include "src/solver/params.hpp"
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+enum class HostModel { k715, k720, k710 };
+
+constexpr const char* to_string(HostModel m) {
+  switch (m) {
+    case HostModel::k715: return "715/50";
+    case HostModel::k720: return "720";
+    case HostModel::k710: return "710";
+  }
+  return "?";
+}
+
+/// Relative computational speed from the paper's table in section 7
+/// (fluid nodes integrated per second, relative to 39132).
+constexpr double host_speed_factor(HostModel host, Method method, int dims) {
+  const bool lb = method == Method::kLatticeBoltzmann;
+  switch (host) {
+    case HostModel::k715:
+      return lb ? (dims == 2 ? 1.00 : 0.51) : (dims == 2 ? 1.24 : 1.00);
+    case HostModel::k710:
+      return lb ? (dims == 2 ? 0.84 : 0.40) : (dims == 2 ? 1.08 : 0.85);
+    case HostModel::k720:
+      return lb ? (dims == 2 ? 0.86 : 0.42) : (dims == 2 ? 1.17 : 0.94);
+  }
+  return 1.0;
+}
+
+/// Tunable constants of the cluster model.  Defaults are calibrated to the
+/// paper's setup: 10 Mbps shared Ethernet, ~1 ms per-message software
+/// overhead, 39132 node-updates/s base speed, ~30 s migrations.
+struct ClusterParams {
+  /// Fluid-node updates per second at speed factor 1.0.
+  double base_node_rate = 39132.0;
+
+  /// Shared-bus Ethernet: payload bandwidth and fixed per-message cost
+  /// (protocol + interrupt overhead, significant for small messages —
+  /// section 8 notes exactly this effect below N = 100^2).
+  double bus_bandwidth_bytes_per_s = 1.25e6;  // 10 Mbps
+  double message_overhead_s = 1.0e-3;
+
+  /// CSMA/CD contention: each message already queued on the bus degrades
+  /// the effective service time of a new message by this fraction
+  /// (collisions and exponential backoff waste bandwidth precisely when
+  /// the medium is busiest).  0 models an ideal FIFO bus.
+  double collision_factor = 0.05;
+
+  /// Queueing delay beyond which a TCP delivery is considered failed and
+  /// retransmitted (the paper reports TCP failures under 3D traffic).
+  double tcp_timeout_s = 2.0;
+  double retransmit_penalty_s = 1.0;
+
+  /// Model a switched network instead of the shared bus: messages of
+  /// different sender hosts no longer serialize against each other (the
+  /// "Ethernet switches / FDDI / ATM" future the paper anticipates).
+  bool switched_network = false;
+
+  /// Appendix C ablation: impose a strict rank order on bus access (each
+  /// process may send only after its predecessor finished sending) instead
+  /// of the first-come-first-served access the paper recommends.  Strict
+  /// ordering pipelines cleanly when nothing is delayed, but amplifies any
+  /// single host's delay into a global one.
+  bool strict_comm_order = false;
+
+  /// Mean of an exponential random delay added to every send — the small
+  /// scheduling delays "inevitable in time-sharing UNIX systems" that
+  /// appendix C says strict ordering amplifies into global delays.
+  /// 0 disables jitter (fully deterministic simulations).
+  double os_jitter_mean_s = 0.0;
+
+  /// CPU share left to the nice'd parallel process while a full-time
+  /// foreground job runs on the same host.
+  double busy_share = 0.25;
+
+  /// Monitoring program (section 5.1): poll period, the five-minute load
+  /// threshold that triggers migration, and the fifteen-minute load below
+  /// which an idle-user host may be selected.
+  double monitor_poll_s = 60.0;
+  double load_migrate_threshold = 1.5;
+  double load_select_threshold = 0.6;
+
+  /// Migration cost: dump-file write rate and fixed restart overhead
+  /// (process start + channel reopen).  Paper: ~30 s per migration.
+  double dump_bytes_per_s = 1.0e6;
+  double restart_overhead_s = 10.0;
+
+  /// Bytes of saved state per fluid node (the dump file).
+  double state_bytes_per_node(Method method, int dims) const {
+    // rho + velocity components, plus populations for LB.
+    const int vars = (method == Method::kLatticeBoltzmann)
+                         ? (dims == 2 ? 3 + 9 : 4 + 15)
+                         : (dims == 2 ? 3 : 4);
+    return 8.0 * vars;
+  }
+
+  void validate() const {
+    SUBSONIC_REQUIRE(base_node_rate > 0);
+    SUBSONIC_REQUIRE(bus_bandwidth_bytes_per_s > 0);
+    SUBSONIC_REQUIRE(message_overhead_s >= 0);
+    SUBSONIC_REQUIRE(busy_share > 0 && busy_share <= 1.0);
+  }
+};
+
+}  // namespace subsonic

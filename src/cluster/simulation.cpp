@@ -1,0 +1,446 @@
+#include "src/cluster/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "src/cluster/event_queue.hpp"
+#include "src/cluster/loadavg.hpp"
+#include "src/util/check.hpp"
+#include "src/util/log.hpp"
+
+namespace subsonic {
+
+namespace {
+
+/// One step is modelled as alternating compute slices and exchanges,
+/// mirroring the real schedules (FD: calc V | msg | calc rho | msg |
+/// filter; LB: relax+shift | msg | moments+filter).  The slice fractions
+/// split the per-step compute time across the phases; only their sum (1.0)
+/// affects T_calc, the split only affects interleaving detail.
+struct PhaseSpec {
+  enum class Kind { kCompute, kExchange } kind;
+  double fraction = 0;  // kCompute
+  int exchange = 0;     // kExchange: index into doubles_per_exchange
+};
+
+std::vector<PhaseSpec> phase_pattern(const WorkloadSpec& w) {
+  using K = PhaseSpec::Kind;
+  if (w.method == Method::kFiniteDifference) {
+    return {{K::kCompute, 0.55, 0}, {K::kExchange, 0, 0},
+            {K::kCompute, 0.30, 0}, {K::kExchange, 0, 1},
+            {K::kCompute, 0.15, 0}};
+  }
+  return {{K::kCompute, 0.85, 0}, {K::kExchange, 0, 0},
+          {K::kCompute, 0.15, 0}};
+}
+
+/// Per-message framing bytes (TCP/IP + our header).
+constexpr double kMessageHeaderBytes = 64.0;
+
+int model_rank(HostModel m) {
+  switch (m) {
+    case HostModel::k715: return 0;
+    case HostModel::k720: return 1;  // slightly faster than the 710 in 2D
+    case HostModel::k710: return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+ClusterSim::ClusterSim(const ClusterParams& params,
+                       std::vector<HostModel> hosts)
+    : params_(params), hosts_(std::move(hosts)) {
+  params_.validate();
+  SUBSONIC_REQUIRE(!hosts_.empty());
+  background_.resize(hosts_.size());
+}
+
+std::vector<HostModel> ClusterSim::paper_cluster() {
+  std::vector<HostModel> hosts;
+  for (int i = 0; i < 16; ++i) hosts.push_back(HostModel::k715);
+  for (int i = 0; i < 6; ++i) hosts.push_back(HostModel::k720);
+  for (int i = 0; i < 3; ++i) hosts.push_back(HostModel::k710);
+  return hosts;
+}
+
+std::vector<HostModel> ClusterSim::uniform_cluster(int n) {
+  return std::vector<HostModel>(static_cast<size_t>(n), HostModel::k715);
+}
+
+void ClusterSim::add_background(int host, double start_s, double end_s) {
+  SUBSONIC_REQUIRE(host >= 0 && host < host_count());
+  SUBSONIC_REQUIRE(end_s > start_s && start_s >= 0);
+  background_[host].emplace_back(start_s, end_s);
+  std::sort(background_[host].begin(), background_[host].end());
+}
+
+void ClusterSim::add_random_background(Rng& rng, double horizon_s,
+                                       double busy_fraction,
+                                       double mean_busy_s) {
+  SUBSONIC_REQUIRE(busy_fraction >= 0 && busy_fraction < 1.0);
+  for (int h = 0; h < host_count(); ++h) {
+    const double mean_idle_s =
+        busy_fraction > 0 ? mean_busy_s * (1.0 - busy_fraction) / busy_fraction
+                          : horizon_s;
+    double t = -std::log(1.0 - rng.uniform()) * mean_idle_s;
+    while (t < horizon_s) {
+      const double busy = -std::log(1.0 - rng.uniform()) * mean_busy_s;
+      add_background(h, t, std::min(horizon_s, t + busy));
+      t += busy - std::log(1.0 - rng.uniform()) * mean_idle_s;
+    }
+  }
+}
+
+SimResult ClusterSim::run(const WorkloadSpec& workload, long steps,
+                          HostModel reference, bool enable_migration) {
+  const int nprocs = workload.process_count();
+  SUBSONIC_REQUIRE(nprocs > 0 && steps > 0);
+  SUBSONIC_REQUIRE_MSG(nprocs <= host_count(),
+                       "more processes than workstations");
+
+  const std::vector<PhaseSpec> pattern = phase_pattern(workload);
+  const int dims = workload.dims;
+  const Method method = workload.method;
+
+  EventQueue events;
+  NetworkModel network(params_, host_count());
+  Rng jitter_rng(0x5C0FD05ull);
+  auto jitter = [&]() {
+    return params_.os_jitter_mean_s > 0
+               ? -std::log(1.0 - jitter_rng.uniform()) *
+                     params_.os_jitter_mean_s
+               : 0.0;
+  };
+
+  // ------------------------------------------------------------- hosts --
+  struct HostState {
+    HostModel model{};
+    LoadAverage lavg;
+    int proc = -1;
+    const std::vector<std::pair<double, double>>* busy = nullptr;
+    bool background_active(double t) const {
+      for (const auto& [a, b] : *busy)
+        if (t >= a && t < b) return true;
+      return false;
+    }
+  };
+  std::vector<HostState> hosts(hosts_.size());
+  for (size_t h = 0; h < hosts_.size(); ++h) {
+    hosts[h].model = hosts_[h];
+    hosts[h].busy = &background_[h];
+  }
+
+  auto refresh_load = [&](int h, double now) {
+    hosts[h].lavg.set_load(now, (hosts[h].background_active(now) ? 1.0 : 0.0) +
+                                    (hosts[h].proc >= 0 ? 1.0 : 0.0));
+  };
+  // Load-average bookkeeping at every background boundary.
+  for (size_t h = 0; h < hosts_.size(); ++h)
+    for (const auto& [a, b] : background_[h]) {
+      events.schedule(a, [&, h](double now) { refresh_load(int(h), now); });
+      events.schedule(b, [&, h](double now) { refresh_load(int(h), now); });
+    }
+
+  // --------------------------------------------- job submission policy --
+  // Idle-user hosts first (no foreground job now and 15-min load below the
+  // threshold), fastest models first — section 4.1.
+  std::vector<int> order(hosts_.size());
+  for (size_t h = 0; h < hosts_.size(); ++h) order[h] = int(h);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const bool busy_a = hosts[a].background_active(0.0);
+    const bool busy_b = hosts[b].background_active(0.0);
+    if (busy_a != busy_b) return !busy_a;
+    return model_rank(hosts_[a]) < model_rank(hosts_[b]);
+  });
+
+  // ---------------------------------------------------------- processes --
+  struct Proc {
+    int id = -1;
+    int host = -1;
+    long step = 0;
+    int phase = 0;
+    bool waiting = false;
+    bool wait_token = false;  // strict ordering: predecessor not done yet
+    bool halted = false;
+    bool finished = false;
+    double compute_s = 0;
+    double finished_at = 0;
+    std::set<std::tuple<long, int, int>> mailbox;  // (step, exch, from)
+  };
+  std::vector<Proc> procs(nprocs);
+  for (int p = 0; p < nprocs; ++p) {
+    procs[p].id = p;
+    procs[p].host = order[p];
+    hosts[order[p]].proc = p;
+    refresh_load(order[p], 0.0);
+  }
+
+  SimResult result;
+  result.steps = steps;
+  int done_count = 0;
+
+  // Migration machinery.
+  bool sync_active = false;
+  long sync_step = 0;
+  int halted_count = 0;
+  std::vector<std::pair<int, int>> migrants;  // (proc, to_host)
+  double sync_requested_at = 0;
+  int sync_skew = 0;
+
+  auto node_rate = [&](int host) {
+    return params_.base_node_rate *
+           host_speed_factor(hosts[host].model, method, dims);
+  };
+  auto cpu_share = [&](int host, double now) {
+    return hosts[host].background_active(now) ? params_.busy_share : 1.0;
+  };
+
+  // Forward declaration dance via std::function (the FSM is recursive).
+  std::function<void(Proc&, double)> start_phase;
+  std::function<void(Proc&, double)> end_of_step;
+
+  auto try_advance_exchange = [&](Proc& p, double now) {
+    // Have all expected messages for (step, exchange) arrived?
+    const int xidx = pattern[p.phase].exchange;
+    const auto& msgs = workload.procs[p.id].messages;
+    for (const ProcMessage& m : msgs)
+      if (!p.mailbox.count({p.step, xidx, m.peer})) return;
+    for (const ProcMessage& m : msgs) p.mailbox.erase({p.step, xidx, m.peer});
+    p.waiting = false;
+    ++p.phase;
+    start_phase(p, now);
+  };
+
+  // Tokens for the strict-order ablation use exchange index + kTokenBase
+  // so they never collide with data messages in the mailbox.
+  constexpr int kTokenBase = 1000;
+
+  auto on_message = [&](int to, long step, int xidx, int from, double now) {
+    Proc& p = procs[to];
+    p.mailbox.insert({step, xidx, from});
+    if (!p.waiting || pattern[p.phase].kind != PhaseSpec::Kind::kExchange)
+      return;
+    const int cur = pattern[p.phase].exchange;
+    if (p.wait_token) {
+      if (step == p.step && xidx == kTokenBase + cur && from == p.id - 1) {
+        p.waiting = false;
+        p.wait_token = false;
+        start_phase(p, now);  // re-enter: the token is in the mailbox now
+      }
+      return;
+    }
+    if (p.step == step && cur == xidx) try_advance_exchange(p, now);
+  };
+
+  std::function<void(double)> perform_migration = [&](double now) {
+    // All processes are paused at sync_step.  The migrating processes dump
+    // their state one after the other (section 5.2's orderly saving), the
+    // monitor restarts them on the free hosts, channels reopen, everyone
+    // resumes.
+    double pause = params_.restart_overhead_s;
+    for (const auto& [p, to] : migrants) {
+      pause += workload.procs[p].compute_nodes *
+               params_.state_bytes_per_node(method, dims) /
+               params_.dump_bytes_per_s;
+    }
+    const double resume_at = now + pause;
+    for (const auto& [p, to] : migrants) {
+      const int from = procs[p].host;
+      hosts[from].proc = -1;
+      refresh_load(from, now);
+      procs[p].host = to;
+      hosts[to].proc = p;
+      refresh_load(to, now);
+      MigrationRecord rec;
+      rec.requested_at = sync_requested_at;
+      rec.completed_at = resume_at;
+      rec.proc = p;
+      rec.from_host = from;
+      rec.to_host = to;
+      rec.sync_step = sync_step;
+      rec.observed_skew = sync_skew;
+      result.migrations.push_back(rec);
+      SUBSONIC_LOG(kInfo) << "migrated proc " << p << " host " << from
+                          << " -> " << to << " at t=" << resume_at;
+    }
+    migrants.clear();
+    events.schedule(resume_at, [&](double t) {
+      sync_active = false;
+      for (Proc& q : procs)
+        if (q.halted) {
+          q.halted = false;
+          q.phase = 0;
+          start_phase(q, t);
+        }
+    });
+  };
+
+  end_of_step = [&](Proc& p, double now) {
+    ++p.step;
+    // Track the worst un-synchronization among unfinished processes.
+    long lo = p.step, hi = p.step;
+    for (const Proc& q : procs)
+      if (!q.finished) {
+        lo = std::min(lo, q.step);
+        hi = std::max(hi, q.step);
+      }
+    result.max_observed_skew =
+        std::max(result.max_observed_skew, int(hi - lo));
+
+    if (p.step == steps) {
+      p.finished = true;
+      p.finished_at = now;
+      ++done_count;
+      return;
+    }
+    if (sync_active && p.step == sync_step) {
+      p.halted = true;
+      if (++halted_count == nprocs - done_count) {
+        halted_count = 0;
+        perform_migration(now);
+      }
+      return;
+    }
+    p.phase = 0;
+    start_phase(p, now);
+  };
+
+  start_phase = [&](Proc& p, double now) {
+    if (p.phase == int(pattern.size())) {
+      end_of_step(p, now);
+      return;
+    }
+    const PhaseSpec& ph = pattern[p.phase];
+    if (ph.kind == PhaseSpec::Kind::kCompute) {
+      const double duration = ph.fraction *
+                              double(workload.procs[p.id].compute_nodes) /
+                              (node_rate(p.host) * cpu_share(p.host, now));
+      events.schedule(now + duration, [&, duration](double t) {
+        p.compute_s += duration;
+        ++p.phase;
+        start_phase(p, t);
+      });
+      return;
+    }
+    // Exchange: post all sends, then wait for the matching receives.
+    const int xidx = ph.exchange;
+    if (params_.strict_comm_order && p.id > 0) {
+      // Appendix C: wait for the predecessor's "done sending" token.
+      const auto token_key =
+          std::make_tuple(p.step, kTokenBase + xidx, p.id - 1);
+      if (!p.mailbox.count(token_key)) {
+        p.waiting = true;
+        p.wait_token = true;
+        return;
+      }
+      p.mailbox.erase(token_key);
+    }
+    const int per_node_doubles = workload.doubles_per_exchange[xidx];
+    for (const ProcMessage& m : workload.procs[p.id].messages) {
+      const double bytes =
+          double(m.nodes) * 8.0 * per_node_doubles + kMessageHeaderBytes;
+      const Delivery d = network.send(now + jitter(), p.host, bytes);
+      const int to = m.peer;
+      const long step_tag = p.step;
+      const int from = p.id;
+      events.schedule(d.at, [&, to, step_tag, xidx, from](double t) {
+        on_message(to, step_tag, xidx, from, t);
+      });
+    }
+    if (params_.strict_comm_order && p.id + 1 < nprocs) {
+      // Pass the baton: a minimal frame over the same medium.
+      const Delivery d = network.send(now + jitter(), p.host,
+                                      kMessageHeaderBytes);
+      const int to = p.id + 1;
+      const long step_tag = p.step;
+      const int from = p.id;
+      events.schedule(d.at, [&, to, step_tag, xidx, from](double t) {
+        on_message(to, step_tag, kTokenBase + xidx, from, t);
+      });
+    }
+    p.waiting = true;
+    try_advance_exchange(p, now);
+  };
+
+  // -------------------------------------------------------- monitoring --
+  std::function<void(double)> monitor_poll = [&](double now) {
+    if (done_count == nprocs) return;
+    if (!sync_active) {
+      std::vector<int> free_hosts;
+      for (int h : order)
+        if (hosts[h].proc < 0 && !hosts[h].background_active(now) &&
+            hosts[h].lavg.fifteen_minutes(now) <
+                params_.load_select_threshold)
+          free_hosts.push_back(h);
+      size_t next_free = 0;
+      for (Proc& p : procs) {
+        if (p.finished) continue;
+        if (hosts[p.host].lavg.five_minutes(now) >
+                params_.load_migrate_threshold &&
+            next_free < free_hosts.size())
+          migrants.emplace_back(p.id, free_hosts[next_free++]);
+      }
+      if (!migrants.empty()) {
+        long max_step = 0, min_step = steps;
+        for (const Proc& p : procs)
+          if (!p.finished) {
+            max_step = std::max(max_step, p.step);
+            min_step = std::min(min_step, p.step);
+          }
+        if (max_step + 1 < steps) {
+          sync_active = true;
+          sync_step = max_step + 1;  // appendix B: smallest reachable step
+          sync_requested_at = now;
+          sync_skew = int(max_step - min_step);
+          halted_count = 0;
+        } else {
+          migrants.clear();  // too close to the end to bother
+        }
+      }
+    }
+    events.schedule(now + params_.monitor_poll_s,
+                    [&](double t) { monitor_poll(t); });
+  };
+
+  // ------------------------------------------------------------ run it --
+  for (Proc& p : procs) start_phase(p, 0.0);
+  if (enable_migration)
+    events.schedule(params_.monitor_poll_s,
+                    [&](double t) { monitor_poll(t); });
+  events.run_all();
+  SUBSONIC_CHECK(done_count == nprocs);
+
+  // ------------------------------------------------------------ report --
+  result.elapsed_s = 0;
+  for (const Proc& p : procs)
+    result.elapsed_s = std::max(result.elapsed_s, p.finished_at);
+  result.seconds_per_step = result.elapsed_s / double(steps);
+  result.serial_seconds_per_step =
+      double(workload.total_compute_nodes()) /
+      (params_.base_node_rate * host_speed_factor(reference, method, dims));
+  result.speedup = result.serial_seconds_per_step / result.seconds_per_step;
+  result.efficiency = result.speedup / double(nprocs);
+  result.messages = network.messages();
+  result.bus_busy_s = network.busy_seconds();
+  result.bus_utilization =
+      result.elapsed_s > 0 ? network.busy_seconds() / result.elapsed_s : 0;
+  result.tcp_failures = network.failures();
+  result.proc_stats.resize(nprocs);
+  result.host_of_proc.resize(nprocs);
+  for (int p = 0; p < nprocs; ++p) {
+    result.proc_stats[p].compute_s = procs[p].compute_s;
+    result.proc_stats[p].finished_at = procs[p].finished_at;
+    result.proc_stats[p].utilization =
+        procs[p].finished_at > 0 ? procs[p].compute_s / procs[p].finished_at
+                                 : 0;
+    result.host_of_proc[p] = procs[p].host;
+  }
+  return result;
+}
+
+}  // namespace subsonic

@@ -1,0 +1,90 @@
+// Discrete-event simulation of the paper's distributed system on its
+// cluster of 25 non-dedicated workstations: per-process compute/exchange
+// cycles over a shared-bus Ethernet, UNIX load averages, the monitoring
+// program, and the migration protocol with its global synchronization
+// (sections 4, 5, 7 and appendices A-B).
+//
+// This module is the substitution for the physical cluster: the paper's
+// efficiency figures depend only on compute rate, message cost, and bus
+// contention, all of which are modelled here with constants calibrated
+// from the paper's own measurements (see ClusterParams).
+#pragma once
+
+#include <vector>
+
+#include "src/cluster/network.hpp"
+#include "src/cluster/params.hpp"
+#include "src/cluster/workload.hpp"
+#include "src/util/rng.hpp"
+
+namespace subsonic {
+
+struct MigrationRecord {
+  double requested_at = 0;   ///< when the monitor signalled USR2
+  double completed_at = 0;   ///< when computation resumed (CONT)
+  int proc = -1;
+  int from_host = -1;
+  int to_host = -1;
+  long sync_step = 0;        ///< the agreed T_max + 1 (appendix B)
+  int observed_skew = 0;     ///< step spread when the signal arrived
+};
+
+struct ProcStats {
+  double compute_s = 0;   ///< time spent integrating
+  double finished_at = 0; ///< when the last step completed
+  double utilization = 0; ///< compute_s / finished_at (the paper's g)
+};
+
+struct SimResult {
+  long steps = 0;
+  double elapsed_s = 0;               ///< T_p * steps (slowest process)
+  double seconds_per_step = 0;        ///< T_p
+  double serial_seconds_per_step = 0; ///< T_1 on the reference host
+  double speedup = 0;                 ///< S = T_1 / T_p
+  double efficiency = 0;              ///< f = S / P
+  long messages = 0;
+  double bus_busy_s = 0;
+  double bus_utilization = 0;         ///< busy fraction of the medium
+  int tcp_failures = 0;
+  int max_observed_skew = 0;          ///< un-synchronization (appendix A)
+  std::vector<MigrationRecord> migrations;
+  std::vector<ProcStats> proc_stats;
+  std::vector<int> host_of_proc;
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(const ClusterParams& params, std::vector<HostModel> hosts);
+
+  /// The paper's cluster: 16 x 715/50, 6 x 720, 3 x 710.
+  static std::vector<HostModel> paper_cluster();
+  /// A homogeneous cluster of n 715/50s (used for the efficiency sweeps,
+  /// which the paper normalizes to the 715 model).
+  static std::vector<HostModel> uniform_cluster(int n);
+
+  /// Marks `host` busy with a full-time foreground job in [start, end).
+  void add_background(int host, double start_s, double end_s);
+
+  /// Generates on/off foreground activity on every host: each host is
+  /// busy roughly `busy_fraction` of `horizon` in bursts of mean length
+  /// `mean_busy_s` (exponential gaps/bursts from `rng`).
+  void add_random_background(Rng& rng, double horizon_s,
+                             double busy_fraction, double mean_busy_s);
+
+  /// Runs `steps` integration steps of `workload`.  Processes are placed
+  /// by the job-submit policy (idle hosts first, fastest models first).
+  /// When `enable_migration` is set, the monitoring program polls load
+  /// averages and migrates processes off busy hosts.
+  SimResult run(const WorkloadSpec& workload, long steps,
+                HostModel reference = HostModel::k715,
+                bool enable_migration = true);
+
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+
+ private:
+  ClusterParams params_;
+  std::vector<HostModel> hosts_;
+  std::vector<std::vector<std::pair<double, double>>> background_;
+};
+
+}  // namespace subsonic

@@ -1,0 +1,112 @@
+#include "src/cluster/workload.hpp"
+
+#include <algorithm>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+namespace {
+
+std::vector<int> doubles_per_exchange_for(Method method, int dims) {
+  if (method == Method::kLatticeBoltzmann)
+    return {dims == 2 ? 3 : 5};  // one message with everything
+  // FD: velocities first, density second.
+  return {dims, 1};
+}
+
+/// Boundary fluid nodes shared between two adjacent boxes (one surface
+/// layer, star-stencil accounting as in the paper's N_c = m N^(1-1/d)).
+std::int64_t shared_face2d(const Box2& a, const Box2& b) {
+  // Adjacent along x: the overlap of the y ranges; along y: x ranges.
+  if (a.x1 == b.x0 || b.x1 == a.x0) {
+    const int lo = std::max(a.y0, b.y0);
+    const int hi = std::min(a.y1, b.y1);
+    return std::max(0, hi - lo);
+  }
+  if (a.y1 == b.y0 || b.y1 == a.y0) {
+    const int lo = std::max(a.x0, b.x0);
+    const int hi = std::min(a.x1, b.x1);
+    return std::max(0, hi - lo);
+  }
+  return 0;
+}
+
+std::int64_t shared_face3d(const Box3& a, const Box3& b) {
+  auto overlap = [](int a0, int a1, int b0, int b1) {
+    return std::int64_t(std::max(0, std::min(a1, b1) - std::max(a0, b0)));
+  };
+  if (a.x1 == b.x0 || b.x1 == a.x0)
+    return overlap(a.y0, a.y1, b.y0, b.y1) * overlap(a.z0, a.z1, b.z0, b.z1);
+  if (a.y1 == b.y0 || b.y1 == a.y0)
+    return overlap(a.x0, a.x1, b.x0, b.x1) * overlap(a.z0, a.z1, b.z0, b.z1);
+  if (a.z1 == b.z0 || b.z1 == a.z0)
+    return overlap(a.x0, a.x1, b.x0, b.x1) * overlap(a.y0, a.y1, b.y0, b.y1);
+  return 0;
+}
+
+}  // namespace
+
+WorkloadSpec make_workload2d(const Decomposition2D& d, Method method) {
+  WorkloadSpec w;
+  w.method = method;
+  w.dims = 2;
+  w.doubles_per_exchange = doubles_per_exchange_for(method, 2);
+  w.procs.resize(d.rank_count());
+  for (int r = 0; r < d.rank_count(); ++r) {
+    const Box2 box = d.box(r);
+    w.procs[r].compute_nodes = box.count();
+    for (const NeighborLink& n : d.neighbors(r, StencilShape::kStar))
+      w.procs[r].messages.push_back(
+          ProcMessage{n.rank, shared_face2d(box, d.box(n.rank))});
+  }
+  return w;
+}
+
+WorkloadSpec make_workload3d(const Decomposition3D& d, Method method) {
+  WorkloadSpec w;
+  w.method = method;
+  w.dims = 3;
+  w.doubles_per_exchange = doubles_per_exchange_for(method, 3);
+  w.procs.resize(d.rank_count());
+  for (int r = 0; r < d.rank_count(); ++r) {
+    const Box3 box = d.box(r);
+    w.procs[r].compute_nodes = box.count();
+    for (const NeighborLink& n : d.neighbors(r, StencilShape::kStar))
+      w.procs[r].messages.push_back(
+          ProcMessage{n.rank, shared_face3d(box, d.box(n.rank))});
+  }
+  return w;
+}
+
+WorkloadSpec make_workload2d(const Decomposition2D& d, const Mask2D& mask,
+                             Method method) {
+  SUBSONIC_REQUIRE(mask.extents() == d.global());
+  const std::vector<int> active = active_ranks(d, mask);
+  std::vector<int> proc_of_rank(d.rank_count(), -1);
+  for (size_t i = 0; i < active.size(); ++i) proc_of_rank[active[i]] = int(i);
+
+  WorkloadSpec w;
+  w.method = method;
+  w.dims = 2;
+  w.doubles_per_exchange = doubles_per_exchange_for(method, 2);
+  w.procs.resize(active.size());
+  for (size_t i = 0; i < active.size(); ++i) {
+    const int r = active[i];
+    const Box2 box = d.box(r);
+    // Only non-wall nodes are integrated.
+    std::int64_t nodes = 0;
+    for (int y = box.y0; y < box.y1; ++y)
+      for (int x = box.x0; x < box.x1; ++x)
+        if (mask(x, y) != NodeType::kWall) ++nodes;
+    w.procs[i].compute_nodes = nodes;
+    for (const NeighborLink& n : d.neighbors(r, StencilShape::kStar)) {
+      if (proc_of_rank[n.rank] < 0) continue;  // neighbour is all solid
+      w.procs[i].messages.push_back(ProcMessage{
+          proc_of_rank[n.rank], shared_face2d(box, d.box(n.rank))});
+    }
+  }
+  return w;
+}
+
+}  // namespace subsonic

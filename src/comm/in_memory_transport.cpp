@@ -1,0 +1,50 @@
+#include "src/comm/in_memory_transport.hpp"
+
+#include <algorithm>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+InMemoryTransport::InMemoryTransport(int ranks) : ranks_(ranks) {
+  SUBSONIC_REQUIRE(ranks > 0);
+  channels_.reserve(static_cast<size_t>(ranks) * ranks);
+  for (int i = 0; i < ranks * ranks; ++i)
+    channels_.push_back(std::make_unique<Channel>());
+}
+
+InMemoryTransport::Channel& InMemoryTransport::channel(int src, int dst) {
+  SUBSONIC_REQUIRE(src >= 0 && src < ranks_ && dst >= 0 && dst < ranks_);
+  return *channels_[static_cast<size_t>(dst) * ranks_ + src];
+}
+
+void InMemoryTransport::send(int src, int dst, MessageTag tag,
+                             std::vector<double> payload) {
+  Channel& ch = channel(src, dst);
+  {
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    ch.queue.push_back(Entry{tag, std::move(payload)});
+  }
+  ch.ready.notify_all();
+}
+
+std::vector<double> InMemoryTransport::recv(int dst, int src,
+                                            MessageTag tag) {
+  Channel& ch = channel(src, dst);
+  std::unique_lock<std::mutex> lock(ch.mutex);
+  for (;;) {
+    const auto it =
+        std::find_if(ch.queue.begin(), ch.queue.end(),
+                     [tag](const Entry& e) { return e.tag == tag; });
+    if (it != ch.queue.end()) {
+      std::vector<double> payload = std::move(it->payload);
+      ch.queue.erase(it);
+      delivered_.fetch_add(1);
+      doubles_delivered_.fetch_add(static_cast<long long>(payload.size()));
+      return payload;
+    }
+    ch.ready.wait(lock);
+  }
+}
+
+}  // namespace subsonic

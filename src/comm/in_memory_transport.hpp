@@ -1,0 +1,51 @@
+// Thread-to-thread transport: one FIFO mailbox per (src, dst) pair,
+// guarded by a mutex + condition variable.  Models the guaranteed-delivery
+// FIFO behaviour of the paper's TCP/IP channels without the kernel.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/comm/transport.hpp"
+
+namespace subsonic {
+
+class InMemoryTransport final : public Transport {
+ public:
+  /// `ranks` is the number of communicating processes; rank ids must be
+  /// in [0, ranks).
+  explicit InMemoryTransport(int ranks);
+
+  void send(int src, int dst, MessageTag tag,
+            std::vector<double> payload) override;
+  std::vector<double> recv(int dst, int src, MessageTag tag) override;
+
+  long messages_delivered() const override { return delivered_.load(); }
+  long long doubles_delivered() const override {
+    return doubles_delivered_.load();
+  }
+
+ private:
+  struct Entry {
+    MessageTag tag;
+    std::vector<double> payload;
+  };
+  struct Channel {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<Entry> queue;
+  };
+
+  Channel& channel(int src, int dst);
+
+  int ranks_;
+  std::vector<std::unique_ptr<Channel>> channels_;  // dst-major
+  std::atomic<long> delivered_{0};
+  std::atomic<long long> doubles_delivered_{0};
+};
+
+}  // namespace subsonic

@@ -1,0 +1,191 @@
+#include "src/comm/tcp_endpoint.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/file.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void read_all(int fd, void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n == 0) throw std::runtime_error("peer closed TCP channel");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+struct WireHeader {
+  std::uint64_t tag;
+  std::uint64_t count;
+  std::int32_t src;
+  std::int32_t dst;
+};
+
+}  // namespace
+
+TcpEndpoint::TcpEndpoint(int rank, int ranks, std::string registry_path)
+    : rank_(rank), ranks_(ranks), registry_path_(std::move(registry_path)) {
+  SUBSONIC_REQUIRE(rank >= 0 && rank < ranks);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0)
+    throw_errno("bind");
+  if (::listen(listen_fd_, ranks) < 0) throw_errno("listen");
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0)
+    throw_errno("getsockname");
+  port_ = ntohs(addr.sin_port);
+
+  // Publish "rank port" — append mode under an exclusive lock, exactly
+  // the paper's shared-file protocol, because other processes register
+  // concurrently.
+  const int fd =
+      ::open(registry_path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) throw_errno("registry open");
+  if (::flock(fd, LOCK_EX) != 0) {
+    ::close(fd);
+    throw std::runtime_error("registry lock failed");
+  }
+  char line[64];
+  const int n = std::snprintf(line, sizeof line, "%d %d\n", rank_, port_);
+  write_all(fd, line, static_cast<size_t>(n));
+  ::flock(fd, LOCK_UN);
+  ::close(fd);
+}
+
+TcpEndpoint::~TcpEndpoint() {
+  for (auto& [peer, fd] : in_fds_) ::close(fd);
+  for (auto& [peer, fd] : out_fds_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+int TcpEndpoint::lookup_port(int rank) const {
+  // Peers may not have registered yet; poll the shared file.
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    std::ifstream in(registry_path_);
+    int r = 0, port = 0;
+    while (in >> r >> port)
+      if (r == rank) return port;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  throw std::runtime_error("peer never appeared in the port registry");
+}
+
+int TcpEndpoint::connect_to(int rank) {
+  const int port = lookup_port(rank);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    throw_errno("connect");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+void TcpEndpoint::send(int dst, MessageTag tag,
+                       std::vector<double> payload) {
+  SUBSONIC_REQUIRE(dst >= 0 && dst < ranks_);
+  auto it = out_fds_.find(dst);
+  if (it == out_fds_.end()) {
+    const int fd = connect_to(dst);
+    const std::int32_t hello = rank_;
+    write_all(fd, &hello, sizeof hello);
+    it = out_fds_.emplace(dst, fd).first;
+  }
+  WireHeader h{tag, payload.size(), rank_, dst};
+  write_all(it->second, &h, sizeof h);
+  if (!payload.empty())
+    write_all(it->second, payload.data(), payload.size() * sizeof(double));
+}
+
+std::vector<double> TcpEndpoint::recv(int src, MessageTag tag) {
+  SUBSONIC_REQUIRE(src >= 0 && src < ranks_);
+  for (;;) {
+    // 1. Parked from an earlier read?
+    auto pit = parked_.find(src);
+    if (pit != parked_.end()) {
+      for (auto it = pit->second.begin(); it != pit->second.end(); ++it)
+        if (it->first == tag) {
+          std::vector<double> payload = std::move(it->second);
+          pit->second.erase(it);
+          return payload;
+        }
+    }
+    // 2. Need the connection from src.
+    auto cit = in_fds_.find(src);
+    if (cit == in_fds_.end()) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("accept");
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      std::int32_t hello = -1;
+      read_all(fd, &hello, sizeof hello);
+      SUBSONIC_CHECK(hello >= 0 && hello < ranks_);
+      in_fds_.emplace(hello, fd);
+      continue;
+    }
+    // 3. Read the next frame from src; park mismatched tags.
+    WireHeader h{};
+    read_all(cit->second, &h, sizeof h);
+    SUBSONIC_CHECK(h.src == src && h.dst == rank_);
+    std::vector<double> payload(h.count);
+    if (h.count > 0)
+      read_all(cit->second, payload.data(), h.count * sizeof(double));
+    if (h.tag == tag) return payload;
+    parked_[src].emplace_back(h.tag, std::move(payload));
+  }
+}
+
+}  // namespace subsonic

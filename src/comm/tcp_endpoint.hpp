@@ -1,0 +1,56 @@
+// One process's end of the paper's TCP/IP fabric (section 4.2).  Unlike
+// TcpTransport — which hosts every rank inside one process for the
+// threaded runtime — a TcpEndpoint owns exactly one rank: it binds its own
+// listening socket, appends "rank port" to the shared registry file under
+// a lock, resolves peers by polling the same file, and opens channels with
+// the hello handshake.  This is the transport the fork()-based process
+// runtime uses, where each subregion really is a separate UNIX process.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/comm/transport.hpp"
+
+namespace subsonic {
+
+class TcpEndpoint {
+ public:
+  /// Binds a listener for `rank` and publishes its port in
+  /// `registry_path` (append mode + lock, so concurrent processes can
+  /// register simultaneously).
+  TcpEndpoint(int rank, int ranks, std::string registry_path);
+  ~TcpEndpoint();
+
+  TcpEndpoint(const TcpEndpoint&) = delete;
+  TcpEndpoint& operator=(const TcpEndpoint&) = delete;
+
+  int rank() const { return rank_; }
+
+  /// Sends to `dst`, connecting on first use (blocks until the peer has
+  /// published its port).
+  void send(int dst, MessageTag tag, std::vector<double> payload);
+
+  /// Blocks until the message (src -> this rank, tag) arrives; frames
+  /// with other tags are parked.
+  std::vector<double> recv(int src, MessageTag tag);
+
+ private:
+  int lookup_port(int rank) const;
+  int connect_to(int rank);
+
+  int rank_;
+  int ranks_;
+  std::string registry_path_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::map<int, int> in_fds_;
+  std::map<int, int> out_fds_;
+  std::map<int, std::deque<std::pair<MessageTag, std::vector<double>>>>
+      parked_;
+};
+
+}  // namespace subsonic

@@ -1,0 +1,248 @@
+#include "src/comm/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+void write_all(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void read_all(int fd, void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n == 0) throw std::runtime_error("peer closed TCP channel");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+struct WireHeader {
+  std::uint64_t tag;
+  std::uint64_t count;  // payload doubles
+  std::int32_t src;
+  std::int32_t dst;
+};
+
+}  // namespace
+
+struct TcpTransport::RankState {
+  int listen_fd = -1;
+  int port = 0;
+  // Connections this rank reads from, by peer rank (only the owning
+  // worker thread touches these).
+  std::map<int, int> in_fds;
+  // Connections this rank writes to, by peer rank.
+  std::map<int, int> out_fds;
+  // Messages read ahead of the tag the receiver was waiting for.
+  std::map<int, std::deque<std::pair<MessageTag, std::vector<double>>>>
+      parked;
+};
+
+TcpTransport::TcpTransport(int ranks, std::string registry_path)
+    : ranks_(ranks), registry_path_(std::move(registry_path)) {
+  SUBSONIC_REQUIRE(ranks > 0);
+  {
+    std::ifstream probe(registry_path_);
+    SUBSONIC_REQUIRE_MSG(!probe.good(),
+                         "port registry file already exists (stale run?)");
+  }
+  states_.reserve(ranks);
+  std::ostringstream registry;
+  for (int r = 0; r < ranks; ++r) {
+    auto st = std::make_unique<RankState>();
+    st->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (st->listen_fd < 0) throw_errno("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    if (::bind(st->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) < 0)
+      throw_errno("bind");
+    if (::listen(st->listen_fd, ranks) < 0) throw_errno("listen");
+    socklen_t len = sizeof addr;
+    if (::getsockname(st->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                      &len) < 0)
+      throw_errno("getsockname");
+    st->port = ntohs(addr.sin_port);
+    registry << r << ' ' << st->port << '\n';
+    states_.push_back(std::move(st));
+  }
+  // Publish every port, as the paper's processes do before connecting.
+  std::ofstream out(registry_path_);
+  SUBSONIC_REQUIRE_MSG(out.good(), "cannot write port registry");
+  out << registry.str();
+}
+
+TcpTransport::~TcpTransport() {
+  for (auto& st : states_) {
+    if (!st) continue;
+    for (auto& [peer, fd] : st->in_fds) ::close(fd);
+    for (auto& [peer, fd] : st->out_fds) ::close(fd);
+    if (st->listen_fd >= 0) ::close(st->listen_fd);
+  }
+  ::unlink(registry_path_.c_str());
+}
+
+int TcpTransport::listen_port(int rank) const {
+  SUBSONIC_REQUIRE(rank >= 0 && rank < ranks_);
+  return states_[rank]->port;
+}
+
+int TcpTransport::lookup_port(int rank) {
+  // The registry is written completely in the constructor, so a plain read
+  // suffices; retry briefly to be robust to slow filesystems.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::ifstream in(registry_path_);
+    int r = 0, port = 0;
+    while (in >> r >> port)
+      if (r == rank) return port;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  throw std::runtime_error("rank not found in port registry");
+}
+
+int TcpTransport::connect_to(int rank) {
+  const int port = lookup_port(rank);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    throw_errno("connect");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+void TcpTransport::send(int src, int dst, MessageTag tag,
+                        std::vector<double> payload) {
+  SUBSONIC_REQUIRE(src >= 0 && src < ranks_ && dst >= 0 && dst < ranks_);
+  RankState& st = *states_[src];
+  auto it = st.out_fds.find(dst);
+  if (it == st.out_fds.end()) {
+    const int fd = connect_to(dst);
+    // Handshake: announce who is calling so the listener can demux.
+    const std::int32_t hello = src;
+    write_all(fd, &hello, sizeof hello);
+    it = st.out_fds.emplace(dst, fd).first;
+  }
+  WireHeader h{tag, payload.size(), src, dst};
+  write_all(it->second, &h, sizeof h);
+  if (!payload.empty())
+    write_all(it->second, payload.data(), payload.size() * sizeof(double));
+}
+
+std::vector<double> TcpTransport::recv(int dst, int src, MessageTag tag) {
+  SUBSONIC_REQUIRE(src >= 0 && src < ranks_ && dst >= 0 && dst < ranks_);
+  RankState& st = *states_[dst];
+
+  auto take_parked = [&]() -> std::vector<double>* {
+    auto pit = st.parked.find(src);
+    if (pit == st.parked.end()) return nullptr;
+    for (auto& entry : pit->second)
+      if (entry.first == tag) return &entry.second;
+    return nullptr;
+  };
+
+  for (;;) {
+    // 1. Already read and parked?
+    if (std::vector<double>* hit = take_parked()) {
+      std::vector<double> payload = std::move(*hit);
+      auto& dq = st.parked[src];
+      for (auto it = dq.begin(); it != dq.end(); ++it)
+        if (it->first == tag) {
+          dq.erase(it);
+          break;
+        }
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++delivered_;
+      doubles_delivered_ += static_cast<long long>(payload.size());
+      return payload;
+    }
+
+    // 2. Need the connection from src: accept until it shows up (other
+    // peers' connections are stored as they arrive).
+    auto cit = st.in_fds.find(src);
+    if (cit == st.in_fds.end()) {
+      const int fd = ::accept(st.listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("accept");
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      std::int32_t hello = -1;
+      read_all(fd, &hello, sizeof hello);
+      SUBSONIC_CHECK(hello >= 0 && hello < ranks_);
+      st.in_fds.emplace(hello, fd);
+      continue;
+    }
+
+    // 3. Read the next frame from src; park it if the tag differs.
+    WireHeader h{};
+    read_all(cit->second, &h, sizeof h);
+    SUBSONIC_CHECK(h.src == src && h.dst == dst);
+    std::vector<double> payload(h.count);
+    if (h.count > 0)
+      read_all(cit->second, payload.data(), h.count * sizeof(double));
+    if (h.tag == tag) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++delivered_;
+      doubles_delivered_ += static_cast<long long>(payload.size());
+      return payload;
+    }
+    st.parked[src].emplace_back(h.tag, std::move(payload));
+  }
+}
+
+long TcpTransport::messages_delivered() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return delivered_;
+}
+
+long long TcpTransport::doubles_delivered() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return doubles_delivered_;
+}
+
+}  // namespace subsonic

@@ -1,0 +1,50 @@
+// Message transport between parallel subprocesses (paper section 4.2).
+// The paper uses TCP/IP sockets: reliable, ordered, first-in-first-out
+// channels in each direction between each pair of processes.  We provide
+// two implementations with the same contract:
+//   * InMemoryTransport — lock-and-condition queues between threads;
+//   * TcpTransport      — real localhost sockets with the paper's
+//                         port-registry handshake (see tcp_transport.hpp).
+// Each message carries a tag encoding (step, phase, direction) so that a
+// receiver can demultiplex the several messages a neighbour pair may have
+// in flight (the paper's processes can be several steps apart — appendix A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace subsonic {
+
+/// Message identity within a channel.  Channels are FIFO, but a receiver
+/// may wait for a specific tag while later-tagged messages queue behind.
+using MessageTag = std::uint64_t;
+
+/// Composes a tag from the integration step, the schedule phase index and
+/// the direction index of the link the message travels along.
+constexpr MessageTag make_tag(long step, int phase, int dir) {
+  return (static_cast<MessageTag>(step) << 16) |
+         (static_cast<MessageTag>(phase & 0x3FF) << 6) |
+         static_cast<MessageTag>(dir & 0x3F);
+}
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Enqueues `payload` from `src` to `dst`.  Never blocks indefinitely on
+  /// the in-memory implementation; the TCP implementation may block until
+  /// the kernel accepts the bytes (as the paper's sockets did).
+  virtual void send(int src, int dst, MessageTag tag,
+                    std::vector<double> payload) = 0;
+
+  /// Blocks until the message (src -> dst, tag) is available and returns
+  /// its payload.  Messages with other tags stay queued.
+  virtual std::vector<double> recv(int dst, int src, MessageTag tag) = 0;
+
+  /// Number of messages delivered so far (diagnostics).
+  virtual long messages_delivered() const = 0;
+  /// Total payload doubles delivered so far (diagnostics).
+  virtual long long doubles_delivered() const = 0;
+};
+
+}  // namespace subsonic

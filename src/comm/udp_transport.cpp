@@ -1,0 +1,356 @@
+#include "src/comm/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+enum : std::uint32_t { kData = 1, kAck = 2 };
+
+struct FragHeader {
+  std::uint32_t kind = 0;
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+  MessageTag tag = 0;
+  std::uint32_t frag_index = 0;
+  std::uint32_t frag_count = 0;
+  std::uint64_t total_doubles = 0;
+};
+
+using FragKey = std::tuple<int, MessageTag, std::uint32_t>;  // dst/src,tag,i
+using MsgKey = std::pair<int, MessageTag>;                   // peer, tag
+
+}  // namespace
+
+struct UdpTransport::RankState {
+  int fd = -1;
+  int port = 0;
+  // Guards unacked and peer_addr (shared between the owning worker and
+  // the background retransmission service).
+  std::mutex mutex;
+  std::map<int, sockaddr_in> peer_addr;
+  // Sender side: frames awaiting acknowledgement, with last send time.
+  struct Unacked {
+    std::vector<char> frame;
+    int dst = 0;
+    double last_sent = 0;
+  };
+  std::map<FragKey, Unacked> unacked;
+  // Receiver side: partial reassemblies and completed payloads.
+  struct Partial {
+    std::vector<double> data;
+    std::vector<bool> have;
+    std::uint32_t remaining = 0;
+  };
+  std::map<MsgKey, Partial> partial;
+  std::map<MsgKey, std::vector<double>> completed;
+  // Tags fully delivered to the caller; duplicates of these are re-acked
+  // and dropped.
+  std::map<MsgKey, bool> consumed;
+};
+
+UdpTransport::UdpTransport(int ranks, std::string registry_path,
+                           UdpOptions options)
+    : ranks_(ranks),
+      registry_path_(std::move(registry_path)),
+      options_(options) {
+  SUBSONIC_REQUIRE(ranks > 0);
+  SUBSONIC_REQUIRE(options_.fragment_doubles > 0 &&
+                   options_.fragment_doubles <= 8000);
+  {
+    std::ifstream probe(registry_path_);
+    SUBSONIC_REQUIRE_MSG(!probe.good(),
+                         "port registry file already exists (stale run?)");
+  }
+  states_.reserve(ranks);
+  std::ostringstream registry;
+  for (int r = 0; r < ranks; ++r) {
+    auto st = std::make_unique<RankState>();
+    st->fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (st->fd < 0) throw_errno("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(st->fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+      throw_errno("bind");
+    socklen_t len = sizeof addr;
+    if (::getsockname(st->fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+      throw_errno("getsockname");
+    st->port = ntohs(addr.sin_port);
+    registry << r << ' ' << st->port << '\n';
+    states_.push_back(std::move(st));
+  }
+  std::ofstream out(registry_path_);
+  SUBSONIC_REQUIRE_MSG(out.good(), "cannot write port registry");
+  out << registry.str();
+  out.close();
+
+  // Generous socket buffers: a whole boundary exchange can burst dozens
+  // of 32 KiB datagrams at a receiver before it drains them.
+  for (auto& st : states_) {
+    int size = 4 << 20;
+    ::setsockopt(st->fd, SOL_SOCKET, SO_RCVBUF, &size, sizeof size);
+    ::setsockopt(st->fd, SOL_SOCKET, SO_SNDBUF, &size, sizeof size);
+  }
+
+  // The sender-side half of guaranteed delivery: a service thread that
+  // retransmits anything unacknowledged past the timeout, so delivery
+  // completes even when the sending worker is busy elsewhere.
+  service_ = std::thread([this] { service_loop(); });
+}
+
+void UdpTransport::service_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        options_.retransmit_timeout_s / 2));
+    for (int r = 0; r < ranks_; ++r) retransmit_stale(r);
+  }
+}
+
+UdpTransport::~UdpTransport() {
+  stop_.store(true);
+  if (service_.joinable()) service_.join();
+  for (auto& st : states_)
+    if (st && st->fd >= 0) ::close(st->fd);
+  ::unlink(registry_path_.c_str());
+}
+
+void UdpTransport::transmit_fragment(int rank,
+                                     const std::vector<char>& frame,
+                                     int dst_rank, bool first_time) {
+  RankState& st = *states_[rank];
+  std::unique_lock<std::mutex> addr_lock(st.mutex);
+  auto it = st.peer_addr.find(dst_rank);
+  if (it == st.peer_addr.end()) {
+    // Resolve through the shared registry (the paper's handshake file).
+    std::ifstream in(registry_path_);
+    int r = 0, port = 0;
+    sockaddr_in addr{};
+    bool found = false;
+    while (in >> r >> port)
+      if (r == dst_rank) {
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        found = true;
+      }
+    SUBSONIC_REQUIRE_MSG(found, "peer not in UDP port registry");
+    it = st.peer_addr.emplace(dst_rank, addr).first;
+  }
+  const sockaddr_in dest = it->second;
+  addr_lock.unlock();
+
+  if (first_time && options_.drop_every_n > 0) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (++drop_counter_ % options_.drop_every_n == 0) {
+      ++drops_;
+      return;  // simulate a lost datagram; retransmission recovers it
+    }
+  }
+  const ssize_t n =
+      ::sendto(states_[rank]->fd, frame.data(), frame.size(), 0,
+               reinterpret_cast<const sockaddr*>(&dest),
+               sizeof(sockaddr_in));
+  if (n < 0) throw_errno("sendto");
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++datagrams_sent_;
+}
+
+void UdpTransport::send(int src, int dst, MessageTag tag,
+                        std::vector<double> payload) {
+  SUBSONIC_REQUIRE(src >= 0 && src < ranks_ && dst >= 0 && dst < ranks_);
+  RankState& st = *states_[src];
+  const std::uint32_t frag_doubles =
+      static_cast<std::uint32_t>(options_.fragment_doubles);
+  const std::uint32_t count = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>((payload.size() + frag_doubles - 1) /
+                                    frag_doubles));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const size_t begin = size_t(i) * frag_doubles;
+    const size_t end = std::min(payload.size(), begin + frag_doubles);
+    FragHeader h{kData,
+                 src,
+                 dst,
+                 tag,
+                 i,
+                 count,
+                 static_cast<std::uint64_t>(payload.size())};
+    std::vector<char> frame(sizeof h + (end - begin) * sizeof(double));
+    std::memcpy(frame.data(), &h, sizeof h);
+    if (end > begin)
+      std::memcpy(frame.data() + sizeof h, payload.data() + begin,
+                  (end - begin) * sizeof(double));
+    {
+      std::lock_guard<std::mutex> lock(st.mutex);
+      st.unacked[{dst, tag, i}] =
+          RankState::Unacked{frame, dst, now_seconds()};
+    }
+    transmit_fragment(src, frame, dst, /*first_time=*/true);
+  }
+  // Opportunistically drain any pending ACKs for earlier sends.
+  pump(src, 0.0);
+}
+
+void UdpTransport::retransmit_stale(int rank) {
+  RankState& st = *states_[rank];
+  const double now = now_seconds();
+  // Snapshot the stale frames under the lock, transmit outside it.
+  std::vector<std::pair<std::vector<char>, int>> stale;
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    for (auto& [key, u] : st.unacked) {
+      if (now - u.last_sent >= options_.retransmit_timeout_s) {
+        u.last_sent = now;
+        stale.emplace_back(u.frame, u.dst);
+      }
+    }
+  }
+  for (const auto& [frame, dst] : stale)
+    transmit_fragment(rank, frame, dst, /*first_time=*/false);
+  if (!stale.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    retransmissions_ += static_cast<long>(stale.size());
+  }
+}
+
+void UdpTransport::pump(int rank, double wait_s) {
+  RankState& st = *states_[rank];
+  for (;;) {
+    pollfd pfd{st.fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(wait_s * 1000));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (pr == 0) return;  // nothing pending
+
+    std::vector<char> buffer(sizeof(FragHeader) +
+                             size_t(options_.fragment_doubles) *
+                                 sizeof(double));
+    const ssize_t n = ::recvfrom(st.fd, buffer.data(), buffer.size(), 0,
+                                 nullptr, nullptr);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recvfrom");
+    }
+    SUBSONIC_CHECK(static_cast<size_t>(n) >= sizeof(FragHeader));
+    FragHeader h{};
+    std::memcpy(&h, buffer.data(), sizeof h);
+
+    if (h.kind == kAck) {
+      // We are the original sender; the peer confirms one fragment.
+      std::lock_guard<std::mutex> lock(st.mutex);
+      st.unacked.erase({h.src, h.tag, h.frag_index});
+      wait_s = 0;  // keep draining without blocking again
+      continue;
+    }
+
+    SUBSONIC_CHECK(h.kind == kData && h.dst == rank);
+    // Always acknowledge, even duplicates (the ACK may have been lost).
+    FragHeader ack{kAck, h.dst, h.src, h.tag, h.frag_index, 0, 0};
+    std::vector<char> ack_frame(sizeof ack);
+    std::memcpy(ack_frame.data(), &ack, sizeof ack);
+    transmit_fragment(rank, ack_frame, h.src, /*first_time=*/false);
+
+    const MsgKey key{h.src, h.tag};
+    if (st.consumed.count(key) || st.completed.count(key)) {
+      wait_s = 0;
+      continue;  // duplicate of an already-assembled message
+    }
+    auto pit = st.partial.find(key);
+    if (pit == st.partial.end()) {
+      RankState::Partial p;
+      p.data.resize(h.total_doubles);
+      p.have.assign(h.frag_count, false);
+      p.remaining = h.frag_count;
+      pit = st.partial.emplace(key, std::move(p)).first;
+    }
+    RankState::Partial& p = pit->second;
+    if (!p.have[h.frag_index]) {
+      p.have[h.frag_index] = true;
+      --p.remaining;
+      const size_t begin =
+          size_t(h.frag_index) * options_.fragment_doubles;
+      const size_t doubles =
+          (static_cast<size_t>(n) - sizeof(FragHeader)) / sizeof(double);
+      SUBSONIC_CHECK(begin + doubles <= p.data.size() ||
+                     (p.data.empty() && doubles == 0));
+      if (doubles > 0)
+        std::memcpy(p.data.data() + begin, buffer.data() + sizeof h,
+                    doubles * sizeof(double));
+      if (p.remaining == 0) {
+        st.completed.emplace(key, std::move(p.data));
+        st.partial.erase(pit);
+      }
+    }
+    wait_s = 0;
+  }
+}
+
+std::vector<double> UdpTransport::recv(int dst, int src, MessageTag tag) {
+  SUBSONIC_REQUIRE(src >= 0 && src < ranks_ && dst >= 0 && dst < ranks_);
+  RankState& st = *states_[dst];
+  const MsgKey key{src, tag};
+  for (;;) {
+    const auto it = st.completed.find(key);
+    if (it != st.completed.end()) {
+      std::vector<double> payload = std::move(it->second);
+      st.completed.erase(it);
+      st.consumed[key] = true;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++delivered_;
+      doubles_delivered_ += static_cast<long long>(payload.size());
+      return payload;
+    }
+    pump(dst, options_.retransmit_timeout_s / 2);
+    retransmit_stale(dst);
+  }
+}
+
+long UdpTransport::messages_delivered() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return delivered_;
+}
+long long UdpTransport::doubles_delivered() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return doubles_delivered_;
+}
+long UdpTransport::datagrams_sent() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return datagrams_sent_;
+}
+long UdpTransport::retransmissions() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return retransmissions_;
+}
+long UdpTransport::datagrams_dropped() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return drops_;
+}
+
+}  // namespace subsonic

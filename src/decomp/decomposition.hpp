@@ -1,0 +1,127 @@
+// Static uniform domain decomposition (paper section 3).  The global grid
+// is split into (J x K) rectangular subregions in 2D, (J x K x L) in 3D.
+// Ranks are assigned row-major (x fastest).  Each subregion knows its box
+// in global coordinates and its neighbours under a given stencil shape.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/decomp/stencil.hpp"
+#include "src/geometry/mask.hpp"
+#include "src/grid/extents.hpp"
+
+namespace subsonic {
+
+/// A neighbour link: the neighbouring rank plus the offset direction
+/// (dx, dy, dz in {-1,0,1}) from this subregion toward the neighbour.
+struct NeighborLink {
+  int rank = -1;
+  int dx = 0;
+  int dy = 0;
+  int dz = 0;
+
+  friend constexpr bool operator==(const NeighborLink&,
+                                   const NeighborLink&) = default;
+};
+
+/// 2D decomposition of a global grid into jx * jy subregions.  Subregion
+/// sizes differ by at most one node per axis when the grid does not divide
+/// evenly.
+class Decomposition2D {
+ public:
+  Decomposition2D(Extents2 global, int jx, int jy);
+
+  Extents2 global() const { return global_; }
+  int jx() const { return jx_; }
+  int jy() const { return jy_; }
+  int rank_count() const { return jx_ * jy_; }
+
+  /// Grid-cell box of subregion (i, j), in global coordinates.
+  Box2 box(int i, int j) const;
+  Box2 box(int rank) const { return box(coord_x(rank), coord_y(rank)); }
+
+  int rank_of(int i, int j) const { return j * jx_ + i; }
+  int coord_x(int rank) const { return rank % jx_; }
+  int coord_y(int rank) const { return rank / jx_; }
+
+  /// Which subregion owns global node (x, y).
+  int owner_of(int x, int y) const;
+
+  /// Neighbours of `rank` under `shape`, in deterministic order
+  /// (dy outer, dx inner, skipping self and off-grid offsets).
+  std::vector<NeighborLink> neighbors(int rank, StencilShape shape) const;
+
+  /// Number of boundary nodes of `rank` that must be sent to neighbours
+  /// under `shape` and ghost width `g` (the paper's N_c).  Counts each node
+  /// once per receiving neighbour, matching the bytes actually sent.
+  std::int64_t comm_node_count(int rank, StencilShape shape, int g) const;
+
+  /// The paper's geometry factor m (section 8 table): N_c ~= m * N^(1/2).
+  /// Reproduces {Px1: 2, 2x2: 2, 3x3: 3, 4x4: 4, 5x4: 4}.
+  int paper_m() const;
+
+  /// Largest number of communicating edges any subregion has (star shape).
+  int max_comm_edges() const;
+  /// Mean communicating edges per subregion (star shape).
+  double mean_comm_edges() const;
+
+  /// Worst-case difference in integration step between any two processes
+  /// when one process stops (Appendix A, eqs. 22-23).
+  int max_unsync(StencilShape shape) const;
+
+ private:
+  Extents2 global_;
+  int jx_ = 1;
+  int jy_ = 1;
+};
+
+/// 3D decomposition into jx * jy * jz subregions.
+class Decomposition3D {
+ public:
+  Decomposition3D(Extents3 global, int jx, int jy, int jz);
+
+  Extents3 global() const { return global_; }
+  int jx() const { return jx_; }
+  int jy() const { return jy_; }
+  int jz() const { return jz_; }
+  int rank_count() const { return jx_ * jy_ * jz_; }
+
+  Box3 box(int i, int j, int k) const;
+  Box3 box(int rank) const {
+    return box(coord_x(rank), coord_y(rank), coord_z(rank));
+  }
+
+  int rank_of(int i, int j, int k) const { return (k * jy_ + j) * jx_ + i; }
+  int coord_x(int rank) const { return rank % jx_; }
+  int coord_y(int rank) const { return (rank / jx_) % jy_; }
+  int coord_z(int rank) const { return rank / (jx_ * jy_); }
+
+  int owner_of(int x, int y, int z) const;
+
+  std::vector<NeighborLink> neighbors(int rank, StencilShape shape) const;
+
+  std::int64_t comm_node_count(int rank, StencilShape shape, int g) const;
+
+  /// m such that N_c ~= m * N^(2/3); the paper uses m = 2 for (Px1x1).
+  int paper_m() const;
+
+  int max_unsync(StencilShape shape) const;
+
+ private:
+  Extents3 global_;
+  int jx_ = 1;
+  int jy_ = 1;
+  int jz_ = 1;
+};
+
+/// Splits `n` nodes over `parts` parts as evenly as possible; part `i`
+/// gets [start(i), start(i+1)).  Larger parts come first.
+int even_split_start(int n, int parts, int i);
+
+/// Ranks whose subregions contain at least one non-wall node.  Entirely
+/// solid subregions need no process (paper Figure 2: 15 of 24 active).
+std::vector<int> active_ranks(const Decomposition2D& d, const Mask2D& mask);
+std::vector<int> active_ranks(const Decomposition3D& d, const Mask3D& mask);
+
+}  // namespace subsonic

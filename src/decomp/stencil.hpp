@@ -1,0 +1,29 @@
+// Local-interaction stencil shapes (paper Figure 4).  The star stencil
+// couples a node to its axis-aligned neighbours only; the full stencil also
+// couples diagonals.  The shape decides which subregion neighbours must
+// exchange ghost data, and it changes the worst-case un-synchronization
+// bound (Appendix A).
+#pragma once
+
+namespace subsonic {
+
+enum class StencilShape {
+  kStar,  ///< axis neighbours only (4 in 2D, 6 in 3D)
+  kFull,  ///< axis + diagonal neighbours (8 in 2D, 26 in 3D)
+};
+
+constexpr const char* to_string(StencilShape s) {
+  return s == StencilShape::kStar ? "star" : "full";
+}
+
+/// Number of neighbour offsets for the shape in `dims` dimensions,
+/// reach one.
+constexpr int neighbor_count(StencilShape s, int dims) {
+  if (s == StencilShape::kStar) return 2 * dims;
+  // full stencil: all of {-1,0,1}^d except the origin
+  int n = 1;
+  for (int i = 0; i < dims; ++i) n *= 3;
+  return n - 1;
+}
+
+}  // namespace subsonic

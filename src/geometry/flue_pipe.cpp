@@ -1,0 +1,128 @@
+#include "src/geometry/flue_pipe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+namespace {
+
+/// Wall thickness used for the enclosing walls, scaled with the grid.
+int border_thickness(Extents2 e) {
+  return std::max(2, std::min(e.nx, e.ny) / 100);
+}
+
+void enclose(Mask2D& mask) {
+  const Extents2 e = mask.extents();
+  const int t = border_thickness(e);
+  mask.fill_box({0, 0, e.nx, t}, NodeType::kWall);                // bottom
+  mask.fill_box({0, e.ny - t, e.nx, e.ny}, NodeType::kWall);      // top
+  mask.fill_box({0, 0, t, e.ny}, NodeType::kWall);                // left
+  mask.fill_box({e.nx - t, 0, e.nx, e.ny}, NodeType::kWall);      // right
+}
+
+}  // namespace
+
+Geometry2D build_flue_pipe(Extents2 extents, FluePipeVariant variant,
+                           int ghost, double inlet_speed) {
+  SUBSONIC_REQUIRE(extents.nx >= 60 && extents.ny >= 40);
+  SUBSONIC_REQUIRE(inlet_speed > 0.0);
+
+  Geometry2D g;
+  g.mask = Mask2D(extents, ghost);
+  g.inlet_speed = inlet_speed;
+  Mask2D& mask = g.mask;
+  enclose(mask);
+
+  const int W = extents.nx;
+  const int H = extents.ny;
+  const int t = border_thickness(extents);
+
+  // The jet enters horizontally at mid-height-ish, as in both figures.
+  const int jet_c = static_cast<int>(0.55 * H);
+  const int jet_w = std::max(2, H / 25);
+  g.jet_y0 = jet_c - jet_w / 2;
+  g.jet_y1 = g.jet_y0 + jet_w;
+
+  // Resonant pipe along the bottom: a duct bounded below by the enclosing
+  // bottom wall and above by an interior wall, closed at its far (right)
+  // end.  Its mouth opens upward just left of the labium.
+  const int pipe_top = static_cast<int>(0.42 * H);
+  const int pipe_wall = std::max(2, H / 60);
+  const int mouth_x0 = static_cast<int>(0.22 * W);
+  const int pipe_x1 = static_cast<int>(0.88 * W);
+  mask.fill_box({mouth_x0, pipe_top, pipe_x1, pipe_top + pipe_wall},
+                NodeType::kWall);
+  mask.fill_box({pipe_x1 - pipe_wall, t, pipe_x1, pipe_top + pipe_wall},
+                NodeType::kWall);
+  // Left cheek of the pipe below the mouth keeps the cavity closed on the
+  // inlet side.
+  mask.fill_box({mouth_x0 - pipe_wall, t, mouth_x0, pipe_top / 2},
+                NodeType::kWall);
+
+  // Sharp edge (labium): a wedge pointing left toward the jet, its tip at
+  // jet height, widening to the right.
+  const int edge_x0 = static_cast<int>(0.25 * W);
+  const int edge_len = std::max(4, W / 18);
+  for (int i = 0; i < edge_len; ++i) {
+    const int half = 1 + (i * std::max(1, H / 40)) / edge_len;
+    mask.fill_box({edge_x0 + i, jet_c - half, edge_x0 + i + 1, jet_c + half},
+                  NodeType::kWall);
+  }
+
+  if (variant == FluePipeVariant::kBasic) {
+    // Inlet opening in the left wall at jet height.
+    mask.fill_box({0, g.jet_y0, t, g.jet_y1}, NodeType::kInlet);
+    // Outlet opening in the right wall, upper part (Figure 1).
+    const int out_y0 = static_cast<int>(0.60 * H);
+    const int out_y1 = static_cast<int>(0.90 * H);
+    mask.fill_box({W - t, out_y0, W, out_y1}, NodeType::kOutlet);
+  } else {
+    // Figure 2: a long entry channel guides the jet to the labium, and the
+    // outlet sits in the top wall because the flow deflects upward.
+    const int chan_x1 = static_cast<int>(0.22 * W);
+    const int chan_wall = std::max(2, H / 50);
+    mask.fill_box({0, g.jet_y1, chan_x1, g.jet_y1 + chan_wall},
+                  NodeType::kWall);
+    mask.fill_box({0, g.jet_y0 - chan_wall, chan_x1, g.jet_y0},
+                  NodeType::kWall);
+    mask.fill_box({0, g.jet_y0, t, g.jet_y1}, NodeType::kInlet);
+
+    const int out_x0 = static_cast<int>(0.55 * W);
+    const int out_x1 = static_cast<int>(0.85 * W);
+    mask.fill_box({out_x0, H - t, out_x1, H}, NodeType::kOutlet);
+
+    // Solid blocks that make whole subregions inactive, as in Figure 2
+    // where 9 of the 24 subregions are entirely gray: the mass around the
+    // entry channel, and the dead space behind the pipe's closed end.
+    mask.fill_box({0, g.jet_y1 + chan_wall, chan_x1, H}, NodeType::kWall);
+    mask.fill_box({0, 0, chan_x1, g.jet_y0 - chan_wall}, NodeType::kWall);
+    mask.fill_box({pipe_x1, 0, W, pipe_top + pipe_wall}, NodeType::kWall);
+  }
+
+  return g;
+}
+
+Mask2D build_channel2d(Extents2 extents, int ghost) {
+  SUBSONIC_REQUIRE(extents.ny >= 3);
+  Mask2D mask(extents, ghost);
+  mask.fill_box({0, 0, extents.nx, 1}, NodeType::kWall);
+  mask.fill_box({0, extents.ny - 1, extents.nx, extents.ny}, NodeType::kWall);
+  return mask;
+}
+
+Mask3D build_channel3d(Extents3 extents, int ghost) {
+  SUBSONIC_REQUIRE(extents.ny >= 3 && extents.nz >= 3);
+  Mask3D mask(extents, ghost);
+  mask.fill_box({0, 0, 0, extents.nx, 1, extents.nz}, NodeType::kWall);
+  mask.fill_box({0, extents.ny - 1, 0, extents.nx, extents.ny, extents.nz},
+                NodeType::kWall);
+  mask.fill_box({0, 0, 0, extents.nx, extents.ny, 1}, NodeType::kWall);
+  mask.fill_box({0, 0, extents.nz - 1, extents.nx, extents.ny, extents.nz},
+                NodeType::kWall);
+  return mask;
+}
+
+}  // namespace subsonic

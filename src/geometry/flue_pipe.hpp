@@ -1,0 +1,42 @@
+// Flue-pipe geometries (paper Figures 1 and 2).  A jet of air enters from
+// an opening in the left wall, impinges a sharp edge (the labium), and a
+// resonant pipe sits under the mouth.  The kChannel variant adds the long
+// entry channel and the top-side outlet of Figure 2, which also produces
+// entirely-solid subregions that the decomposition can drop.
+#pragma once
+
+#include "src/geometry/mask.hpp"
+#include "src/grid/extents.hpp"
+
+namespace subsonic {
+
+enum class FluePipeVariant {
+  kBasic,    ///< Figure 1: open mouth, outlet on the right wall
+  kChannel,  ///< Figure 2: entry channel, outlet on the top wall
+};
+
+/// A 2D simulated region: node types plus the inlet jet description.
+struct Geometry2D {
+  Mask2D mask;
+  /// Inlet nodes blow in +x with this speed (units of lattice dx/dt).
+  double inlet_speed = 0.0;
+  /// Vertical extent of the jet opening, for diagnostics.
+  int jet_y0 = 0;
+  int jet_y1 = 0;
+};
+
+/// Builds a flue-pipe geometry scaled to `extents` (the paper used 800x500
+/// for Figure 1 and 1107x700 for Figure 2).  `ghost` must match the ghost
+/// width of the fields the mask will be used with.
+Geometry2D build_flue_pipe(Extents2 extents, FluePipeVariant variant,
+                           int ghost, double inlet_speed = 0.08);
+
+/// A straight channel with solid walls at y=0 and y=ny-1 and fluid
+/// everywhere else; flow is driven by a body force (Poiseuille validation).
+Mask2D build_channel2d(Extents2 extents, int ghost);
+
+/// 3D duct: solid walls on the y and z boundary planes, fluid inside
+/// (Hagen-Poiseuille flow through a rectangular channel).
+Mask3D build_channel3d(Extents3 extents, int ghost);
+
+}  // namespace subsonic

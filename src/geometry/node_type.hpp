@@ -1,0 +1,30 @@
+// Node classification for the simulated region.  Matches the paper's
+// figures: fluid interior, solid walls (gray), and the enclosing walls that
+// demarcate inlet and outlet openings (dark gray).
+#pragma once
+
+#include <cstdint>
+
+namespace subsonic {
+
+enum class NodeType : std::uint8_t {
+  kFluid = 0,   ///< ordinary fluid node, updated by the solver
+  kWall = 1,    ///< solid wall: no-slip (FD) / bounce-back (LB)
+  kInlet = 2,   ///< prescribed-velocity opening (the jet)
+  kOutlet = 3,  ///< open boundary: fixed density, zero-gradient velocity
+};
+
+constexpr bool is_solid(NodeType t) { return t == NodeType::kWall; }
+constexpr bool is_fluid(NodeType t) { return t == NodeType::kFluid; }
+
+constexpr const char* to_string(NodeType t) {
+  switch (t) {
+    case NodeType::kFluid: return "fluid";
+    case NodeType::kWall: return "wall";
+    case NodeType::kInlet: return "inlet";
+    case NodeType::kOutlet: return "outlet";
+  }
+  return "?";
+}
+
+}  // namespace subsonic

@@ -1,0 +1,151 @@
+#include "src/io/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+namespace {
+
+constexpr std::uint64_t kMagic2D = 0x53554244554d5032ull;  // "SUBDUMP2"
+constexpr std::uint64_t kMagic3D = 0x53554244554d5033ull;  // "SUBDUMP3"
+
+struct Header {
+  std::uint64_t magic = 0;
+  std::int64_t step = 0;
+  std::int32_t box[6] = {0, 0, 0, 0, 0, 0};  // x0 y0 z0 x1 y1 z1
+  std::int32_t ghost = 0;
+  std::int32_t method = 0;
+  std::int32_t q = 0;
+  std::int32_t reserved = 0;
+  double params[5] = {0, 0, 0, 0, 0};  // dt nu cs rho0 filter_eps
+};
+
+void fill_params(Header& h, const FluidParams& p) {
+  h.params[0] = p.dt;
+  h.params[1] = p.nu;
+  h.params[2] = p.cs;
+  h.params[3] = p.rho0;
+  h.params[4] = p.filter_eps;
+}
+
+void check_params(const Header& h, const FluidParams& p) {
+  SUBSONIC_REQUIRE_MSG(h.params[0] == p.dt && h.params[1] == p.nu &&
+                           h.params[2] == p.cs && h.params[3] == p.rho0 &&
+                           h.params[4] == p.filter_eps,
+                       "checkpoint was taken with different parameters");
+}
+
+template <typename Field>
+void write_field(std::ofstream& out, const Field& f) {
+  const auto raw = f.raw();
+  out.write(reinterpret_cast<const char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size() * sizeof(double)));
+}
+
+template <typename Field>
+void read_field(std::ifstream& in, Field& f) {
+  const auto raw = f.raw();
+  in.read(reinterpret_cast<char*>(raw.data()),
+          static_cast<std::streamsize>(raw.size() * sizeof(double)));
+  SUBSONIC_REQUIRE_MSG(in.good(), "checkpoint file truncated");
+}
+
+}  // namespace
+
+void save_domain(const Domain2D& d, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  SUBSONIC_REQUIRE_MSG(out.good(), "cannot open checkpoint for writing");
+  Header h;
+  h.magic = kMagic2D;
+  h.step = d.step();
+  h.box[0] = d.box().x0;
+  h.box[1] = d.box().y0;
+  h.box[3] = d.box().x1;
+  h.box[4] = d.box().y1;
+  h.ghost = d.ghost();
+  h.method = static_cast<std::int32_t>(d.method());
+  h.q = d.q();
+  fill_params(h, d.params());
+  out.write(reinterpret_cast<const char*>(&h), sizeof h);
+  write_field(out, d.rho());
+  write_field(out, d.vx());
+  write_field(out, d.vy());
+  for (int i = 0; i < d.q(); ++i) write_field(out, d.f(i));
+  SUBSONIC_CHECK(out.good());
+}
+
+void restore_domain(Domain2D& d, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SUBSONIC_REQUIRE_MSG(in.good(), "cannot open checkpoint for reading");
+  Header h;
+  in.read(reinterpret_cast<char*>(&h), sizeof h);
+  SUBSONIC_REQUIRE_MSG(in.good() && h.magic == kMagic2D,
+                       "not a 2D subsonic checkpoint");
+  SUBSONIC_REQUIRE_MSG(h.box[0] == d.box().x0 && h.box[1] == d.box().y0 &&
+                           h.box[3] == d.box().x1 && h.box[4] == d.box().y1,
+                       "checkpoint belongs to a different subregion");
+  SUBSONIC_REQUIRE(h.ghost == d.ghost());
+  SUBSONIC_REQUIRE(h.method == static_cast<std::int32_t>(d.method()));
+  SUBSONIC_REQUIRE(h.q == d.q());
+  check_params(h, d.params());
+  read_field(in, d.rho());
+  read_field(in, d.vx());
+  read_field(in, d.vy());
+  for (int i = 0; i < d.q(); ++i) read_field(in, d.f(i));
+  d.set_step(h.step);
+}
+
+void save_domain(const Domain3D& d, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  SUBSONIC_REQUIRE_MSG(out.good(), "cannot open checkpoint for writing");
+  Header h;
+  h.magic = kMagic3D;
+  h.step = d.step();
+  h.box[0] = d.box().x0;
+  h.box[1] = d.box().y0;
+  h.box[2] = d.box().z0;
+  h.box[3] = d.box().x1;
+  h.box[4] = d.box().y1;
+  h.box[5] = d.box().z1;
+  h.ghost = d.ghost();
+  h.method = static_cast<std::int32_t>(d.method());
+  h.q = d.q();
+  fill_params(h, d.params());
+  out.write(reinterpret_cast<const char*>(&h), sizeof h);
+  write_field(out, d.rho());
+  write_field(out, d.vx());
+  write_field(out, d.vy());
+  write_field(out, d.vz());
+  for (int i = 0; i < d.q(); ++i) write_field(out, d.f(i));
+  SUBSONIC_CHECK(out.good());
+}
+
+void restore_domain(Domain3D& d, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SUBSONIC_REQUIRE_MSG(in.good(), "cannot open checkpoint for reading");
+  Header h;
+  in.read(reinterpret_cast<char*>(&h), sizeof h);
+  SUBSONIC_REQUIRE_MSG(in.good() && h.magic == kMagic3D,
+                       "not a 3D subsonic checkpoint");
+  SUBSONIC_REQUIRE_MSG(
+      h.box[0] == d.box().x0 && h.box[1] == d.box().y0 &&
+          h.box[2] == d.box().z0 && h.box[3] == d.box().x1 &&
+          h.box[4] == d.box().y1 && h.box[5] == d.box().z1,
+      "checkpoint belongs to a different subregion");
+  SUBSONIC_REQUIRE(h.ghost == d.ghost());
+  SUBSONIC_REQUIRE(h.method == static_cast<std::int32_t>(d.method()));
+  SUBSONIC_REQUIRE(h.q == d.q());
+  check_params(h, d.params());
+  read_field(in, d.rho());
+  read_field(in, d.vx());
+  read_field(in, d.vy());
+  read_field(in, d.vz());
+  for (int i = 0; i < d.q(); ++i) read_field(in, d.f(i));
+  d.set_step(h.step);
+}
+
+}  // namespace subsonic

@@ -1,0 +1,30 @@
+// Binary dump files (paper section 4.1): "these files contain all the
+// information that is needed by a workstation to participate in a
+// distributed computation."  The same files implement the periodic state
+// saves the monitoring program falls back to, and the save/restore halves
+// of a migration — which the paper notes is "equivalent to stopping the
+// computation, saving the entire state on disk, and then restarting."
+//
+// A checkpoint stores the fields and the step counter of one subregion;
+// geometry and parameters are static configuration and are revalidated
+// (not rebuilt) at restore time via a fingerprint in the header.
+#pragma once
+
+#include <string>
+
+#include "src/solver/domain2d.hpp"
+#include "src/solver/domain3d.hpp"
+
+namespace subsonic {
+
+/// Writes the full state (rho, V, populations, step) of a subregion.
+void save_domain(const Domain2D& d, const std::string& path);
+void save_domain(const Domain3D& d, const std::string& path);
+
+/// Restores state saved by save_domain into a domain constructed with the
+/// same geometry, method, ghost width and parameters.  Throws on any
+/// mismatch (wrong file, wrong subregion, wrong build).
+void restore_domain(Domain2D& d, const std::string& path);
+void restore_domain(Domain3D& d, const std::string& path);
+
+}  // namespace subsonic

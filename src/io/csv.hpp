@@ -1,0 +1,43 @@
+// Tiny CSV writer for benchmark series (one file per reproduced figure).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path) : out_(path) {
+    SUBSONIC_REQUIRE_MSG(out_.good(), "cannot open CSV output file");
+  }
+
+  void header(std::initializer_list<std::string> columns) {
+    bool first = true;
+    for (const std::string& c : columns) {
+      if (!first) out_ << ',';
+      out_ << c;
+      first = false;
+    }
+    out_ << '\n';
+  }
+
+  void row(std::initializer_list<double> values) {
+    bool first = true;
+    for (double v : values) {
+      if (!first) out_ << ',';
+      out_ << v;
+      first = false;
+    }
+    out_ << '\n';
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace subsonic

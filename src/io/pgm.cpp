@@ -1,0 +1,43 @@
+#include "src/io/pgm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+void write_pgm(const PaddedField2D<double>& field, const std::string& path,
+               double lo, double hi) {
+  SUBSONIC_REQUIRE(hi > lo);
+  std::ofstream out(path, std::ios::binary);
+  SUBSONIC_REQUIRE_MSG(out.good(), "cannot open PGM output file");
+
+  const int nx = field.nx();
+  const int ny = field.ny();
+  out << "P5\n" << nx << ' ' << ny << "\n255\n";
+  std::vector<unsigned char> row(nx);
+  for (int y = ny - 1; y >= 0; --y) {  // bottom row of grid last in file
+    for (int x = 0; x < nx; ++x) {
+      const double t = (field(x, y) - lo) / (hi - lo);
+      row[x] = static_cast<unsigned char>(
+          std::clamp(t, 0.0, 1.0) * 255.0 + 0.5);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()), nx);
+  }
+  SUBSONIC_CHECK(out.good());
+}
+
+void write_pgm_symmetric(const PaddedField2D<double>& field,
+                         const std::string& path) {
+  double peak = 0;
+  for (int y = 0; y < field.ny(); ++y)
+    for (int x = 0; x < field.nx(); ++x)
+      peak = std::max(peak, std::abs(field(x, y)));
+  if (peak == 0) peak = 1;
+  write_pgm(field, path, -peak, peak);
+}
+
+}  // namespace subsonic

@@ -1,0 +1,23 @@
+// Image output for flow visualization.  The paper's Figures 1-2 plot
+// equi-vorticity contours; we emit portable graymaps (PGM), which need no
+// external libraries and open everywhere.
+#pragma once
+
+#include <string>
+
+#include "src/grid/padded_field.hpp"
+
+namespace subsonic {
+
+/// Writes the interior of `field` as an 8-bit PGM, linearly mapping
+/// [lo, hi] to [0, 255] (values outside are clamped).  Row 0 of the grid
+/// is the bottom row of the image.
+void write_pgm(const PaddedField2D<double>& field, const std::string& path,
+               double lo, double hi);
+
+/// Auto-scaled variant: symmetric around zero with the field's max |v| —
+/// the natural scale for vorticity plots.
+void write_pgm_symmetric(const PaddedField2D<double>& field,
+                         const std::string& path);
+
+}  // namespace subsonic

@@ -1,0 +1,83 @@
+// The paper's theoretical model of parallel efficiency (section 8,
+// equations 12-21) for local-interaction problems:
+//
+//   f = g = (1 + T_com / T_calc)^-1                         (eq. 12)
+//   T_calc = N / U_calc                                     (eq. 13)
+//   T_com  = N_c / U_com,  N_c = m N^(1-1/d)                (eqs. 14-16)
+//
+// giving, for a dedicated link,
+//   f = (1 + N^(-1/d') m U_calc / U_com)^-1                 (eqs. 17-18)
+// with d' = 2 in 2D (N^(-1/2)) and d' = 3 in 3D (N^(-1/3)), and for the
+// shared-bus Ethernet whose communication time grows with the number of
+// processors,
+//   f = (1 + N^(-1/2) (P-1) m U_calc / V_com)^-1            (eq. 20)
+//   f = (1 + 5/6 N^(-1/3) (P-1) m U_calc / V_com)^-1        (eq. 21)
+// where V_com is the two-processor communication speed and the 5/6 factor
+// converts the paper's 2D calibration (U_calc/V_com = 2/3) to 3D: compute
+// is half as fast and each node ships 5/3 as much data.
+#pragma once
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+/// Generic efficiency from compute and communication times (eq. 12).
+inline double efficiency_from_times(double t_calc, double t_com) {
+  SUBSONIC_REQUIRE(t_calc > 0 && t_com >= 0);
+  return 1.0 / (1.0 + t_com / t_calc);
+}
+
+/// Communicating surface nodes N_c = m N^(1-1/d) (eqs. 15-16).
+inline double comm_nodes(double n, int dims, double m) {
+  SUBSONIC_REQUIRE(n > 0 && (dims == 2 || dims == 3) && m > 0);
+  return m * std::pow(n, dims == 2 ? 0.5 : 2.0 / 3.0);
+}
+
+/// Dedicated-network efficiency (eqs. 17-18): the network serves each
+/// processor pair independently at speed u_com (nodes/second).
+inline double efficiency_dedicated(double n, int dims, double m,
+                                   double ucalc_over_ucom) {
+  SUBSONIC_REQUIRE(ucalc_over_ucom > 0);
+  const double exponent = dims == 2 ? -0.5 : -1.0 / 3.0;
+  return 1.0 / (1.0 + std::pow(n, exponent) * m * ucalc_over_ucom);
+}
+
+/// Shared-bus efficiency in 2D (eq. 20): all P processors contend for one
+/// medium, so T_com grows with (P - 1).  The paper calibrates
+/// ucalc_over_vcom = 2/3 for its cluster.
+inline double efficiency_shared_bus_2d(double n, double m, int p,
+                                       double ucalc_over_vcom = 2.0 / 3.0) {
+  SUBSONIC_REQUIRE(p >= 1);
+  return 1.0 /
+         (1.0 + std::pow(n, -0.5) * (p - 1) * m * ucalc_over_vcom);
+}
+
+/// Shared-bus efficiency in 3D (eq. 21) with the paper's 5/6 conversion
+/// factor (3D computes at half speed and ships 5/3 the data per node,
+/// so (5/3) / 2 = 5/6 relative to the 2D calibration).
+inline double efficiency_shared_bus_3d(double n, double m, int p,
+                                       double ucalc_over_vcom = 2.0 / 3.0) {
+  SUBSONIC_REQUIRE(p >= 1);
+  return 1.0 / (1.0 + (5.0 / 6.0) * std::pow(n, -1.0 / 3.0) * (p - 1) * m *
+                          ucalc_over_vcom);
+}
+
+/// Speedup implied by an efficiency at P processors (definition, eq. 7).
+inline double speedup_from_efficiency(double f, int p) {
+  SUBSONIC_REQUIRE(p >= 1 && f >= 0 && f <= 1);
+  return f * p;
+}
+
+/// Smallest subregion size N that achieves efficiency target `f` on the
+/// 2D shared bus (inverts eq. 20) — useful for sizing runs.
+inline double min_nodes_for_efficiency_2d(double f, double m, int p,
+                                          double ucalc_over_vcom = 2.0 / 3.0) {
+  SUBSONIC_REQUIRE(f > 0 && f < 1);
+  const double k = (p - 1) * m * ucalc_over_vcom;
+  const double root_n = k * f / (1.0 - f);
+  return root_n * root_n;
+}
+
+}  // namespace subsonic

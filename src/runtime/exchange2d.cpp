@@ -1,0 +1,96 @@
+#include "src/runtime/exchange2d.hpp"
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+std::vector<LinkPlan2D> make_link_plans2d(const Decomposition2D& d, int rank,
+                                          int ghost, bool periodic_x,
+                                          bool periodic_y,
+                                          const std::vector<bool>& active) {
+  SUBSONIC_REQUIRE(ghost >= 1);
+  const Box2 mine = d.box(rank);
+  const int ci = d.coord_x(rank);
+  const int cj = d.coord_y(rank);
+  const Extents2 ge = d.global();
+
+  std::vector<LinkPlan2D> plans;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      int ni = ci + dx;
+      int nj = cj + dy;
+      // Shift of the neighbour's box into this rank's frame when the link
+      // wraps around a periodic axis.
+      int shift_x = 0, shift_y = 0;
+      if (ni < 0) {
+        if (!periodic_x) continue;
+        ni += d.jx();
+        shift_x = -ge.nx;
+      } else if (ni >= d.jx()) {
+        if (!periodic_x) continue;
+        ni -= d.jx();
+        shift_x = ge.nx;
+      }
+      if (nj < 0) {
+        if (!periodic_y) continue;
+        nj += d.jy();
+        shift_y = -ge.ny;
+      } else if (nj >= d.jy()) {
+        if (!periodic_y) continue;
+        nj -= d.jy();
+        shift_y = ge.ny;
+      }
+      const int peer = d.rank_of(ni, nj);
+      if (!active.empty() && !active[peer]) continue;
+
+      Box2 peer_box = d.box(peer);
+      peer_box = Box2{peer_box.x0 + shift_x, peer_box.y0 + shift_y,
+                      peer_box.x1 + shift_x, peer_box.y1 + shift_y};
+
+      // What we send: our interior that lies inside the peer's padding.
+      const Box2 send_g = mine.intersect(peer_box.grown(ghost));
+      // What we receive: our padding covered by the peer's interior.
+      const Box2 recv_g = mine.grown(ghost).intersect(peer_box);
+      if (send_g.empty() || recv_g.empty()) continue;
+      SUBSONIC_CHECK(send_g.count() == recv_g.count());
+
+      LinkPlan2D plan;
+      plan.peer = peer;
+      plan.dir = (dy + 1) * 3 + (dx + 1);
+      plan.peer_dir = (-dy + 1) * 3 + (-dx + 1);
+      plan.send_box = Box2{send_g.x0 - mine.x0, send_g.y0 - mine.y0,
+                           send_g.x1 - mine.x0, send_g.y1 - mine.y0};
+      plan.recv_box = Box2{recv_g.x0 - mine.x0, recv_g.y0 - mine.y0,
+                           recv_g.x1 - mine.x0, recv_g.y1 - mine.y0};
+      plans.push_back(plan);
+    }
+  }
+  return plans;
+}
+
+std::vector<double> pack2d(const Domain2D& dom,
+                           const std::vector<FieldId>& fields, Box2 box) {
+  std::vector<double> payload;
+  payload.reserve(static_cast<size_t>(box.count()) * fields.size());
+  for (FieldId id : fields) {
+    const PaddedField2D<double>& u = dom.field(id);
+    for (int y = box.y0; y < box.y1; ++y)
+      for (int x = box.x0; x < box.x1; ++x) payload.push_back(u(x, y));
+  }
+  return payload;
+}
+
+void unpack2d(Domain2D& dom, const std::vector<FieldId>& fields, Box2 box,
+              const std::vector<double>& payload) {
+  SUBSONIC_REQUIRE(payload.size() ==
+                   static_cast<size_t>(box.count()) * fields.size());
+  size_t k = 0;
+  for (FieldId id : fields) {
+    PaddedField2D<double>& u = dom.field(id);
+    for (int y = box.y0; y < box.y1; ++y)
+      for (int x = box.x0; x < box.x1; ++x) u(x, y) = payload[k++];
+  }
+}
+
+}  // namespace subsonic

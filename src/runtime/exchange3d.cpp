@@ -1,0 +1,110 @@
+#include "src/runtime/exchange3d.hpp"
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+std::vector<LinkPlan3D> make_link_plans3d(const Decomposition3D& d, int rank,
+                                          int ghost, bool periodic_x,
+                                          bool periodic_y, bool periodic_z,
+                                          const std::vector<bool>& active) {
+  SUBSONIC_REQUIRE(ghost >= 1);
+  const Box3 mine = d.box(rank);
+  const int ci = d.coord_x(rank);
+  const int cj = d.coord_y(rank);
+  const int ck = d.coord_z(rank);
+  const Extents3 ge = d.global();
+
+  std::vector<LinkPlan3D> plans;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        int ni = ci + dx, nj = cj + dy, nk = ck + dz;
+        int sx = 0, sy = 0, sz = 0;
+        if (ni < 0) {
+          if (!periodic_x) continue;
+          ni += d.jx();
+          sx = -ge.nx;
+        } else if (ni >= d.jx()) {
+          if (!periodic_x) continue;
+          ni -= d.jx();
+          sx = ge.nx;
+        }
+        if (nj < 0) {
+          if (!periodic_y) continue;
+          nj += d.jy();
+          sy = -ge.ny;
+        } else if (nj >= d.jy()) {
+          if (!periodic_y) continue;
+          nj -= d.jy();
+          sy = ge.ny;
+        }
+        if (nk < 0) {
+          if (!periodic_z) continue;
+          nk += d.jz();
+          sz = -ge.nz;
+        } else if (nk >= d.jz()) {
+          if (!periodic_z) continue;
+          nk -= d.jz();
+          sz = ge.nz;
+        }
+        const int peer = d.rank_of(ni, nj, nk);
+        if (!active.empty() && !active[peer]) continue;
+
+        Box3 peer_box = d.box(peer);
+        peer_box = Box3{peer_box.x0 + sx, peer_box.y0 + sy, peer_box.z0 + sz,
+                        peer_box.x1 + sx, peer_box.y1 + sy,
+                        peer_box.z1 + sz};
+
+        const Box3 send_g = mine.intersect(peer_box.grown(ghost));
+        const Box3 recv_g = mine.grown(ghost).intersect(peer_box);
+        if (send_g.empty() || recv_g.empty()) continue;
+        SUBSONIC_CHECK(send_g.count() == recv_g.count());
+
+        LinkPlan3D plan;
+        plan.peer = peer;
+        plan.dir = (dz + 1) * 9 + (dy + 1) * 3 + (dx + 1);
+        plan.peer_dir = (-dz + 1) * 9 + (-dy + 1) * 3 + (-dx + 1);
+        plan.send_box =
+            Box3{send_g.x0 - mine.x0, send_g.y0 - mine.y0,
+                 send_g.z0 - mine.z0, send_g.x1 - mine.x0,
+                 send_g.y1 - mine.y0, send_g.z1 - mine.z0};
+        plan.recv_box =
+            Box3{recv_g.x0 - mine.x0, recv_g.y0 - mine.y0,
+                 recv_g.z0 - mine.z0, recv_g.x1 - mine.x0,
+                 recv_g.y1 - mine.y0, recv_g.z1 - mine.z0};
+        plans.push_back(plan);
+      }
+    }
+  }
+  return plans;
+}
+
+std::vector<double> pack3d(const Domain3D& dom,
+                           const std::vector<FieldId>& fields, Box3 box) {
+  std::vector<double> payload;
+  payload.reserve(static_cast<size_t>(box.count()) * fields.size());
+  for (FieldId id : fields) {
+    const PaddedField3D<double>& u = dom.field(id);
+    for (int z = box.z0; z < box.z1; ++z)
+      for (int y = box.y0; y < box.y1; ++y)
+        for (int x = box.x0; x < box.x1; ++x) payload.push_back(u(x, y, z));
+  }
+  return payload;
+}
+
+void unpack3d(Domain3D& dom, const std::vector<FieldId>& fields, Box3 box,
+              const std::vector<double>& payload) {
+  SUBSONIC_REQUIRE(payload.size() ==
+                   static_cast<size_t>(box.count()) * fields.size());
+  size_t k = 0;
+  for (FieldId id : fields) {
+    PaddedField3D<double>& u = dom.field(id);
+    for (int z = box.z0; z < box.z1; ++z)
+      for (int y = box.y0; y < box.y1; ++y)
+        for (int x = box.x0; x < box.x1; ++x) u(x, y, z) = payload[k++];
+  }
+}
+
+}  // namespace subsonic

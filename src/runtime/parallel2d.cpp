@@ -1,0 +1,259 @@
+#include "src/runtime/parallel2d.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "src/comm/in_memory_transport.hpp"
+#include "src/io/checkpoint.hpp"
+#include "src/solver/lbm2d.hpp"
+#include "src/util/check.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace subsonic {
+
+namespace {
+/// Phase index reserved for the full-state synchronization that seeds the
+/// ghost regions before the first step and after reinitialize().
+constexpr int kSyncPhase = 1023;
+}  // namespace
+
+ParallelDriver2D::ParallelDriver2D(const Mask2D& mask,
+                                   const FluidParams& params, Method method,
+                                   int jx, int jy,
+                                   std::shared_ptr<Transport> transport)
+    : decomp_(mask.extents(), jx, jy),
+      params_(params),
+      method_(method),
+      ghost_(required_ghost(method, params.filter_eps > 0.0)),
+      schedule_(make_schedule2d(method)),
+      transport_(std::move(transport)) {
+  const auto active = active_ranks(decomp_, mask);
+  active_.assign(decomp_.rank_count(), false);
+  for (int r : active) active_[r] = true;
+
+  if (!transport_)
+    transport_ = std::make_shared<InMemoryTransport>(decomp_.rank_count());
+
+  worker_of_rank_.assign(decomp_.rank_count(), -1);
+  workers_.reserve(active.size());
+  for (int r = 0; r < decomp_.rank_count(); ++r) {
+    const Box2 b = decomp_.box(r);
+    SUBSONIC_REQUIRE_MSG(
+        b.width() >= ghost_ && b.height() >= ghost_,
+        "subregion thinner than the ghost width: its depth-g padding "
+        "would need data from non-adjacent subregions");
+  }
+  for (int r : active) {
+    Worker w;
+    w.rank = r;
+    w.domain = std::make_unique<Domain2D>(mask, decomp_.box(r), params_,
+                                          method_, ghost_);
+    w.links = make_link_plans2d(decomp_, r, ghost_, params_.periodic_x,
+                                params_.periodic_y, active_);
+    worker_of_rank_[r] = static_cast<int>(workers_.size());
+    workers_.push_back(std::move(w));
+  }
+
+  reinitialize();
+}
+
+Domain2D& ParallelDriver2D::subdomain(int rank) {
+  SUBSONIC_REQUIRE(rank >= 0 && rank < decomp_.rank_count());
+  SUBSONIC_REQUIRE_MSG(worker_of_rank_[rank] >= 0, "rank is inactive");
+  return *workers_[worker_of_rank_[rank]].domain;
+}
+
+const Domain2D& ParallelDriver2D::subdomain(int rank) const {
+  return const_cast<ParallelDriver2D*>(this)->subdomain(rank);
+}
+
+void ParallelDriver2D::exchange(Worker& w, const std::vector<FieldId>& fields,
+                                long step, int phase_index) {
+  // Send everything first, then block on the receives: the paper's
+  // processes compute, post their boundary, and wait for their
+  // neighbours' boundaries.
+  for (const LinkPlan2D& link : w.links)
+    transport_->send(w.rank, link.peer,
+                     make_tag(step, phase_index, link.dir),
+                     pack2d(*w.domain, fields, link.send_box));
+  for (const LinkPlan2D& link : w.links) {
+    const auto payload = transport_->recv(
+        w.rank, link.peer, make_tag(step, phase_index, link.peer_dir));
+    unpack2d(*w.domain, fields, link.recv_box, payload);
+  }
+}
+
+void ParallelDriver2D::worker_loop(Worker& w, int steps) {
+  for (int s = 0; s < steps; ++s) {
+    for (size_t i = 0; i < schedule_.size(); ++i) {
+      const Phase& phase = schedule_[i];
+      Stopwatch sw;
+      if (phase.kind == Phase::Kind::kCompute) {
+        run_compute2d(*w.domain, phase.compute);
+        w.stats.compute_s += sw.seconds();
+      } else {
+        exchange(w, phase.fields, w.domain->step(), static_cast<int>(i));
+        w.stats.comm_s += sw.seconds();
+      }
+    }
+    w.domain->set_step(w.domain->step() + 1);
+  }
+}
+
+const WorkerStats& ParallelDriver2D::stats(int rank) const {
+  SUBSONIC_REQUIRE(rank >= 0 && rank < decomp_.rank_count());
+  SUBSONIC_REQUIRE_MSG(worker_of_rank_[rank] >= 0, "rank is inactive");
+  return workers_[worker_of_rank_[rank]].stats;
+}
+
+void ParallelDriver2D::run(int n) {
+  if (workers_.size() == 1) {  // no threads needed
+    worker_loop(workers_[0], n);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers_.size());
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (Worker& w : workers_) {
+    threads.emplace_back([this, &w, n, &first_error, &error_mutex] {
+      try {
+        worker_loop(w, n);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+int ParallelDriver2D::run_until_sync(int max_steps,
+                                     const std::atomic<bool>& request,
+                                     SyncFile& sync_file) {
+  SUBSONIC_REQUIRE(max_steps >= 1);
+  const long start = workers_.empty() ? 0 : workers_[0].domain->step();
+  // Detection happens at step boundaries, so by the time the last worker
+  // announces, early announcers may have drifted ahead by the stencil
+  // bound; widening the agreed step by that bound keeps it reachable
+  // without overshoot (appendix A).
+  const long margin = decomp_.max_unsync(StencilShape::kFull);
+
+  auto loop = [&](Worker& w) {
+    bool announced = false;
+    long stop = start + max_steps;
+    while (w.domain->step() < stop) {
+      if (request.load(std::memory_order_relaxed)) {
+        if (!announced) {
+          sync_file.announce(w.rank, w.domain->step());
+          announced = true;
+        }
+        const long agreed =
+            sync_file.sync_step(static_cast<int>(workers_.size()));
+        if (agreed >= 0) stop = std::min(stop, agreed + margin);
+        if (w.domain->step() >= stop) break;
+      }
+      for (size_t i = 0; i < schedule_.size(); ++i) {
+        const Phase& phase = schedule_[i];
+        if (phase.kind == Phase::Kind::kCompute)
+          run_compute2d(*w.domain, phase.compute);
+        else
+          exchange(w, phase.fields, w.domain->step(), static_cast<int>(i));
+      }
+      w.domain->set_step(w.domain->step() + 1);
+    }
+  };
+
+  if (workers_.size() == 1) {
+    loop(workers_[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers_.size());
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    for (Worker& w : workers_) {
+      threads.emplace_back([&] {
+        try {
+          loop(w);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Everyone agreed on the same stop step; assert it.
+  const long finished = workers_.empty() ? start : workers_[0].domain->step();
+  for (const Worker& w : workers_)
+    SUBSONIC_CHECK(w.domain->step() == finished);
+  return static_cast<int>(finished - start);
+}
+
+void ParallelDriver2D::reinitialize() {
+  static std::atomic<long> sync_epoch{0};
+  const long epoch = sync_epoch.fetch_add(1);
+
+  std::vector<FieldId> all_fields{FieldId::kRho, FieldId::kVx, FieldId::kVy};
+  if (method_ == Method::kLatticeBoltzmann)
+    for (int i = 0; i < lbm2d::kQ; ++i) all_fields.push_back(population(i));
+
+  auto sync_one = [&](Worker& w) {
+    if (method_ == Method::kLatticeBoltzmann)
+      lbm2d::set_equilibrium_both(*w.domain);
+    exchange(w, all_fields, epoch, kSyncPhase);
+  };
+
+  if (workers_.size() == 1) {
+    sync_one(workers_[0]);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers_.size());
+  for (Worker& w : workers_) threads.emplace_back([&] { sync_one(w); });
+  for (std::thread& t : threads) t.join();
+}
+
+void ParallelDriver2D::save_checkpoint(const std::string& dir) const {
+  // One after the other in rank order, as the paper's processes stagger
+  // their saves to avoid monopolizing the file server.
+  for (const Worker& w : workers_)
+    save_domain(*w.domain, dir + "/rank_" + std::to_string(w.rank) +
+                               ".dump");
+}
+
+void ParallelDriver2D::restore_checkpoint(const std::string& dir) {
+  for (Worker& w : workers_)
+    restore_domain(*w.domain, dir + "/rank_" + std::to_string(w.rank) +
+                                  ".dump");
+}
+
+PaddedField2D<double> ParallelDriver2D::gather(FieldId id) const {
+  const Extents2 ge = decomp_.global();
+  PaddedField2D<double> out(ge, 0);
+
+  // Quiescent default for inactive (all-solid) subregions, matching what
+  // the serial boundary pass holds at wall nodes.
+  double default_value = 0.0;
+  if (id == FieldId::kRho) default_value = params_.rho0;
+  if (is_population(id))
+    default_value =
+        lbm2d::equilibrium(population_index(id), params_.rho0, 0.0, 0.0);
+  out.fill(default_value);
+
+  for (const Worker& w : workers_) {
+    const Box2 b = decomp_.box(w.rank);
+    const PaddedField2D<double>& u = w.domain->field(id);
+    for (int y = 0; y < b.height(); ++y)
+      for (int x = 0; x < b.width(); ++x)
+        out(b.x0 + x, b.y0 + y) = u(x, y);
+  }
+  return out;
+}
+
+}  // namespace subsonic

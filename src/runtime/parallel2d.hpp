@@ -1,0 +1,114 @@
+// Threaded parallel driver: one worker per active subregion, executing the
+// same per-step schedule as the serial driver, with the exchange phases
+// realized as transport messages (paper section 4).  Synchronization is
+// indirect, exactly as in the paper: a worker blocks only when it has not
+// yet received the boundary data its next compute phase needs, so
+// neighbours drift apart by at most the stencil distance (appendix A).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <memory>
+#include <vector>
+
+#include <atomic>
+
+#include "src/comm/transport.hpp"
+#include "src/decomp/decomposition.hpp"
+#include "src/runtime/exchange2d.hpp"
+#include "src/runtime/sync_file.hpp"
+#include "src/solver/schedule.hpp"
+
+namespace subsonic {
+
+/// Per-worker timing, the measured version of the paper's processor
+/// utilization g = T_calc / (T_calc + T_com) (section 8, eq. 8).  On a
+/// machine with fewer cores than workers the "communication" time also
+/// absorbs scheduler wait, so g is a lower bound there.
+struct WorkerStats {
+  double compute_s = 0;  ///< time inside compute phases
+  double comm_s = 0;     ///< time inside exchange phases (incl. waiting)
+  double utilization() const {
+    const double total = compute_s + comm_s;
+    return total > 0 ? compute_s / total : 1.0;
+  }
+};
+
+class ParallelDriver2D {
+ public:
+  /// Decomposes `mask` into jx x jy subregions and builds one Domain per
+  /// active subregion.  If `transport` is null an InMemoryTransport is
+  /// created internally.
+  ParallelDriver2D(const Mask2D& mask, const FluidParams& params,
+                   Method method, int jx, int jy,
+                   std::shared_ptr<Transport> transport = nullptr);
+
+  /// Runs `n` integration steps on every subregion, one thread each.
+  void run(int n);
+
+  /// Runs up to `max_steps` steps, stopping early — with every subregion
+  /// at the *same* step — once `request` becomes true (appendix B: each
+  /// worker announces its current step in the shared sync file; the agreed
+  /// stop is max + 1, widened by the un-synchronization bound because our
+  /// workers notice the request at step boundaries rather than in a signal
+  /// handler).  Returns the number of steps executed.  After it returns,
+  /// migration is save_checkpoint + restore_checkpoint on a new driver.
+  int run_until_sync(int max_steps, const std::atomic<bool>& request,
+                     SyncFile& sync_file);
+
+  const Decomposition2D& decomposition() const { return decomp_; }
+  int active_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Accumulated timing of the worker owning `rank` (must be active).
+  const WorkerStats& stats(int rank) const;
+
+  /// The subdomain of decomposition rank `rank` (must be active).
+  Domain2D& subdomain(int rank);
+  const Domain2D& subdomain(int rank) const;
+  bool is_active(int rank) const { return active_[rank]; }
+
+  /// Assembles the global interior of a field from the subdomains.
+  /// Inactive (all-solid) subregions contribute the quiescent state.
+  PaddedField2D<double> gather(FieldId id) const;
+
+  /// Call after editing subdomain fields: re-seeds LB equilibria and
+  /// refreshes every ghost region (all fields).
+  void reinitialize();
+
+  /// Writes one dump file per active subregion into `dir`
+  /// ("rank_<r>.dump"), in rank order — the paper's orderly one-after-
+  /// the-other state saving (section 5.2).
+  void save_checkpoint(const std::string& dir) const;
+
+  /// Restores a checkpoint written by save_checkpoint for the same
+  /// geometry, decomposition, method and parameters.  Resuming from here
+  /// reproduces the uninterrupted run bit for bit — the paper's point
+  /// that migration equals stop + save + restart.
+  void restore_checkpoint(const std::string& dir);
+
+  Transport& transport() { return *transport_; }
+
+ private:
+  struct Worker {
+    int rank = -1;
+    std::unique_ptr<Domain2D> domain;
+    std::vector<LinkPlan2D> links;
+    WorkerStats stats;
+  };
+
+  void exchange(Worker& w, const std::vector<FieldId>& fields, long step,
+                int phase_index);
+  void worker_loop(Worker& w, int steps);
+
+  Decomposition2D decomp_;
+  FluidParams params_;
+  Method method_;
+  int ghost_;
+  std::vector<Phase> schedule_;
+  std::vector<bool> active_;
+  std::vector<int> worker_of_rank_;
+  std::vector<Worker> workers_;
+  std::shared_ptr<Transport> transport_;
+};
+
+}  // namespace subsonic

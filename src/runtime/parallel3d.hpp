@@ -1,0 +1,73 @@
+// Threaded 3D parallel driver; see parallel2d.hpp.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/comm/transport.hpp"
+#include "src/decomp/decomposition.hpp"
+#include "src/runtime/exchange3d.hpp"
+#include "src/runtime/parallel2d.hpp"  // WorkerStats
+#include "src/runtime/sync_file.hpp"
+#include "src/solver/schedule.hpp"
+
+namespace subsonic {
+
+class ParallelDriver3D {
+ public:
+  ParallelDriver3D(const Mask3D& mask, const FluidParams& params,
+                   Method method, int jx, int jy, int jz,
+                   std::shared_ptr<Transport> transport = nullptr);
+
+  void run(int n);
+
+  /// See ParallelDriver2D::run_until_sync (appendix B).
+  int run_until_sync(int max_steps, const std::atomic<bool>& request,
+                     SyncFile& sync_file);
+
+  const Decomposition3D& decomposition() const { return decomp_; }
+  int active_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Accumulated timing of the worker owning `rank` (must be active).
+  const WorkerStats& stats(int rank) const;
+
+  Domain3D& subdomain(int rank);
+  const Domain3D& subdomain(int rank) const;
+  bool is_active(int rank) const { return active_[rank]; }
+
+  PaddedField3D<double> gather(FieldId id) const;
+
+  void reinitialize();
+
+  /// Per-subregion dump files; see ParallelDriver2D::save_checkpoint.
+  void save_checkpoint(const std::string& dir) const;
+  void restore_checkpoint(const std::string& dir);
+
+  Transport& transport() { return *transport_; }
+
+ private:
+  struct Worker {
+    int rank = -1;
+    std::unique_ptr<Domain3D> domain;
+    std::vector<LinkPlan3D> links;
+    WorkerStats stats;
+  };
+
+  void exchange(Worker& w, const std::vector<FieldId>& fields, long step,
+                int phase_index);
+  void worker_loop(Worker& w, int steps);
+
+  Decomposition3D decomp_;
+  FluidParams params_;
+  Method method_;
+  int ghost_;
+  std::vector<Phase> schedule_;
+  std::vector<bool> active_;
+  std::vector<int> worker_of_rank_;
+  std::vector<Worker> workers_;
+  std::shared_ptr<Transport> transport_;
+};
+
+}  // namespace subsonic

@@ -1,0 +1,140 @@
+#include "src/runtime/process2d.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "src/comm/tcp_endpoint.hpp"
+#include "src/io/checkpoint.hpp"
+#include "src/runtime/exchange2d.hpp"
+#include "src/solver/schedule.hpp"
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+namespace {
+
+/// The body of one parallel subprocess: build the local domain (or
+/// restore its dump), loop compute/exchange for `steps`, dump, exit.
+/// Never returns normally — the child must not unwind into the parent's
+/// runtime state.
+[[noreturn]] void child_main(const Mask2D& mask, const FluidParams& params,
+                             Method method, const Decomposition2D& decomp,
+                             const std::vector<bool>& active, int rank,
+                             int steps, const std::string& workdir,
+                             const std::string& registry) {
+  try {
+    const int ghost = required_ghost(method, params.filter_eps > 0.0);
+    Domain2D domain(mask, decomp.box(rank), params, method, ghost);
+    const std::string dump_path =
+        workdir + "/rank_" + std::to_string(rank) + ".dump";
+    {
+      std::ifstream probe(dump_path, std::ios::binary);
+      if (probe.good()) restore_domain(domain, dump_path);
+    }
+
+    TcpEndpoint endpoint(rank, decomp.rank_count(), registry);
+    const auto links =
+        make_link_plans2d(decomp, rank, ghost, params.periodic_x,
+                          params.periodic_y, active);
+    const auto schedule = make_schedule2d(method);
+
+    auto exchange = [&](const std::vector<FieldId>& fields, long step,
+                        int phase) {
+      for (const LinkPlan2D& link : links)
+        endpoint.send(link.peer, make_tag(step, phase, link.dir),
+                      pack2d(domain, fields, link.send_box));
+      for (const LinkPlan2D& link : links)
+        unpack2d(domain, fields, link.recv_box,
+                 endpoint.recv(link.peer,
+                               make_tag(step, phase, link.peer_dir)));
+    };
+
+    // Initial full sync seeds the ghost regions (same as the threaded
+    // runtime's reinitialize step).
+    std::vector<FieldId> all_fields{FieldId::kRho, FieldId::kVx,
+                                    FieldId::kVy};
+    for (int i = 0; i < domain.q(); ++i) all_fields.push_back(population(i));
+    exchange(all_fields, domain.step(), 1023);
+
+    for (int s = 0; s < steps; ++s) {
+      for (size_t i = 0; i < schedule.size(); ++i) {
+        const Phase& phase = schedule[i];
+        if (phase.kind == Phase::Kind::kCompute)
+          run_compute2d(domain, phase.compute);
+        else
+          exchange(phase.fields, domain.step(), static_cast<int>(i));
+      }
+      domain.set_step(domain.step() + 1);
+    }
+
+    save_domain(domain, dump_path);
+    ::_exit(0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "subprocess rank %d failed: %s\n", rank, e.what());
+    ::_exit(1);
+  } catch (...) {
+    ::_exit(2);
+  }
+}
+
+}  // namespace
+
+ProcessRunResult run_multiprocess2d(const Mask2D& mask,
+                                    const FluidParams& params, Method method,
+                                    int jx, int jy, int steps,
+                                    const std::string& workdir) {
+  params.validate();
+  SUBSONIC_REQUIRE(steps >= 1);
+  const Decomposition2D decomp(mask.extents(), jx, jy);
+  const auto active_list = active_ranks(decomp, mask);
+  std::vector<bool> active(decomp.rank_count(), false);
+  for (int r : active_list) active[r] = true;
+
+  // Fresh registry per run: ports are ephemeral and stale entries would
+  // point at dead listeners.
+  const std::string registry = workdir + "/ports";
+  std::remove(registry.c_str());
+
+  std::fflush(nullptr);  // do not duplicate buffered output into children
+  std::vector<pid_t> children;
+  children.reserve(active_list.size());
+  for (int rank : active_list) {
+    const pid_t pid = ::fork();
+    SUBSONIC_REQUIRE_MSG(pid >= 0, "fork failed");
+    if (pid == 0)
+      child_main(mask, params, method, decomp, active, rank, steps, workdir,
+                 registry);  // never returns
+    children.push_back(pid);
+  }
+
+  bool failed = false;
+  for (pid_t pid : children) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0)
+      failed = true;
+  }
+  std::remove(registry.c_str());
+  if (failed)
+    throw std::runtime_error("a parallel subprocess exited abnormally");
+
+  // Read the common step counter back from any dump.
+  ProcessRunResult result;
+  result.processes = static_cast<int>(active_list.size());
+  if (!active_list.empty()) {
+    const int ghost = required_ghost(method, params.filter_eps > 0.0);
+    Domain2D probe(mask, decomp.box(active_list[0]), params, method, ghost);
+    restore_domain(probe, workdir + "/rank_" +
+                              std::to_string(active_list[0]) + ".dump");
+    result.final_step = probe.step();
+  }
+  return result;
+}
+
+}  // namespace subsonic

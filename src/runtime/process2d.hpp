@@ -1,0 +1,33 @@
+// The fork()-based process runtime: each active subregion runs in a real
+// UNIX process, exactly as in the paper — "the job-submit program ...
+// begins a parallel subprocess on each workstation" — with TCP/IP sockets
+// between the processes and the shared port-registry handshake.  On exit,
+// every process leaves its state as a dump file in the working directory,
+// where it can be inspected or resumed (the dump files double as the
+// result-gathering mechanism for the parent).
+#pragma once
+
+#include <string>
+
+#include "src/geometry/mask.hpp"
+#include "src/solver/params.hpp"
+
+namespace subsonic {
+
+struct ProcessRunResult {
+  int processes = 0;       ///< child processes forked (active subregions)
+  long final_step = 0;     ///< step counter all subregions reached
+};
+
+/// Forks one child per active subregion of the (jx x jy) decomposition of
+/// `mask`, runs `steps` integration steps with boundary exchange over real
+/// TCP sockets, and writes "rank_<r>.dump" per subregion into `workdir`
+/// (which must exist).  If matching dump files are already present they
+/// are restored first, so repeated calls continue the run.  Throws if any
+/// child fails.
+ProcessRunResult run_multiprocess2d(const Mask2D& mask,
+                                    const FluidParams& params, Method method,
+                                    int jx, int jy, int steps,
+                                    const std::string& workdir);
+
+}  // namespace subsonic

@@ -1,0 +1,64 @@
+#include "src/runtime/serial2d.hpp"
+
+#include "src/solver/lbm2d.hpp"
+
+namespace subsonic {
+
+SerialDriver2D::SerialDriver2D(const Mask2D& mask, const FluidParams& params,
+                               Method method)
+    : schedule_(make_schedule2d(method)),
+      domain_(mask, full_box(mask.extents()), params, method,
+              required_ghost(method, params.filter_eps > 0.0)) {
+  full_sync();
+}
+
+void SerialDriver2D::fill_periodic(PaddedField2D<double>& u) {
+  const FluidParams& p = domain_.params();
+  const int g = domain_.ghost();
+  const int nx = domain_.nx();
+  const int ny = domain_.ny();
+  if (p.periodic_x) {
+    // Wrap columns first, interior rows only; the y wrap below completes
+    // the corners by copying whole rows including the x padding.
+    for (int y = 0; y < ny; ++y)
+      for (int k = 1; k <= g; ++k) {
+        u(-k, y) = u(nx - k, y);
+        u(nx - 1 + k, y) = u(k - 1, y);
+      }
+  }
+  if (p.periodic_y) {
+    for (int k = 1; k <= g; ++k)
+      for (int x = -g; x < nx + g; ++x) {
+        u(x, -k) = u(x, ny - k);
+        u(x, ny - 1 + k) = u(x, k - 1);
+      }
+  }
+}
+
+void SerialDriver2D::full_sync() {
+  fill_periodic(domain_.rho());
+  fill_periodic(domain_.vx());
+  fill_periodic(domain_.vy());
+  for (int i = 0; i < domain_.q(); ++i) fill_periodic(domain_.f(i));
+}
+
+void SerialDriver2D::reinitialize() {
+  if (domain_.method() == Method::kLatticeBoltzmann)
+    lbm2d::set_equilibrium_both(domain_);
+  full_sync();
+}
+
+void SerialDriver2D::run(int n) {
+  for (int s = 0; s < n; ++s) {
+    for (const Phase& phase : schedule_) {
+      if (phase.kind == Phase::Kind::kCompute) {
+        run_compute2d(domain_, phase.compute);
+      } else {
+        for (FieldId id : phase.fields) fill_periodic(domain_.field(id));
+      }
+    }
+    domain_.set_step(domain_.step() + 1);
+  }
+}
+
+}  // namespace subsonic

@@ -1,0 +1,39 @@
+// Serial reference driver: runs the full grid as a single subregion.  The
+// paper's design point is that the serial and parallel programs share all
+// numerical code and differ only in what the "communicate" phases do —
+// here they reduce to periodic wrap-around copies (or nothing at all).
+#pragma once
+
+#include "src/geometry/mask.hpp"
+#include "src/solver/domain2d.hpp"
+#include "src/solver/schedule.hpp"
+
+namespace subsonic {
+
+class SerialDriver2D {
+ public:
+  SerialDriver2D(const Mask2D& mask, const FluidParams& params,
+                 Method method);
+
+  /// Advances `n` integration steps.
+  void run(int n);
+
+  Domain2D& domain() { return domain_; }
+  const Domain2D& domain() const { return domain_; }
+
+  /// Call after editing the macroscopic fields directly (custom initial
+  /// conditions): refreshes ghost wraps and, for LB, re-seeds the
+  /// populations at the new equilibrium.
+  void reinitialize();
+
+ private:
+  /// Periodic wrap of one field's ghost layers (no-op without periodicity).
+  void fill_periodic(PaddedField2D<double>& u);
+  /// Wrap every field the schedule ever exchanges plus the macro fields.
+  void full_sync();
+
+  std::vector<Phase> schedule_;
+  Domain2D domain_;
+};
+
+}  // namespace subsonic

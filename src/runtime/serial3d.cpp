@@ -1,0 +1,77 @@
+#include "src/runtime/serial3d.hpp"
+
+#include "src/solver/lbm3d.hpp"
+
+namespace subsonic {
+
+SerialDriver3D::SerialDriver3D(const Mask3D& mask, const FluidParams& params,
+                               Method method)
+    : schedule_(make_schedule3d(method)),
+      domain_(mask, full_box(mask.extents()), params, method,
+              required_ghost(method, params.filter_eps > 0.0)) {
+  full_sync();
+}
+
+void SerialDriver3D::fill_periodic(PaddedField3D<double>& u) {
+  const FluidParams& p = domain_.params();
+  const int g = domain_.ghost();
+  const int nx = domain_.nx();
+  const int ny = domain_.ny();
+  const int nz = domain_.nz();
+  // Wrap axis by axis; each later axis copies whole slabs including the
+  // padding already filled by the earlier axes, which completes edges and
+  // corners.
+  if (p.periodic_x) {
+    for (int z = 0; z < nz; ++z)
+      for (int y = 0; y < ny; ++y)
+        for (int k = 1; k <= g; ++k) {
+          u(-k, y, z) = u(nx - k, y, z);
+          u(nx - 1 + k, y, z) = u(k - 1, y, z);
+        }
+  }
+  if (p.periodic_y) {
+    for (int z = 0; z < nz; ++z)
+      for (int k = 1; k <= g; ++k)
+        for (int x = -g; x < nx + g; ++x) {
+          u(x, -k, z) = u(x, ny - k, z);
+          u(x, ny - 1 + k, z) = u(x, k - 1, z);
+        }
+  }
+  if (p.periodic_z) {
+    for (int k = 1; k <= g; ++k)
+      for (int y = -g; y < ny + g; ++y)
+        for (int x = -g; x < nx + g; ++x) {
+          u(x, y, -k) = u(x, y, nz - k);
+          u(x, y, nz - 1 + k) = u(x, y, k - 1);
+        }
+  }
+}
+
+void SerialDriver3D::full_sync() {
+  fill_periodic(domain_.rho());
+  fill_periodic(domain_.vx());
+  fill_periodic(domain_.vy());
+  fill_periodic(domain_.vz());
+  for (int i = 0; i < domain_.q(); ++i) fill_periodic(domain_.f(i));
+}
+
+void SerialDriver3D::reinitialize() {
+  if (domain_.method() == Method::kLatticeBoltzmann)
+    lbm3d::set_equilibrium_both(domain_);
+  full_sync();
+}
+
+void SerialDriver3D::run(int n) {
+  for (int s = 0; s < n; ++s) {
+    for (const Phase& phase : schedule_) {
+      if (phase.kind == Phase::Kind::kCompute) {
+        run_compute3d(domain_, phase.compute);
+      } else {
+        for (FieldId id : phase.fields) fill_periodic(domain_.field(id));
+      }
+    }
+    domain_.set_step(domain_.step() + 1);
+  }
+}
+
+}  // namespace subsonic

@@ -1,0 +1,30 @@
+// Serial reference driver for 3D runs; see serial2d.hpp.
+#pragma once
+
+#include "src/geometry/mask.hpp"
+#include "src/solver/domain3d.hpp"
+#include "src/solver/schedule.hpp"
+
+namespace subsonic {
+
+class SerialDriver3D {
+ public:
+  SerialDriver3D(const Mask3D& mask, const FluidParams& params,
+                 Method method);
+
+  void run(int n);
+
+  Domain3D& domain() { return domain_; }
+  const Domain3D& domain() const { return domain_; }
+
+  void reinitialize();
+
+ private:
+  void fill_periodic(PaddedField3D<double>& u);
+  void full_sync();
+
+  std::vector<Phase> schedule_;
+  Domain3D domain_;
+};
+
+}  // namespace subsonic

@@ -1,0 +1,70 @@
+#include "src/runtime/sync_file.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+SyncFile::SyncFile(std::string path) : path_(std::move(path)) {
+  SUBSONIC_REQUIRE(!path_.empty());
+}
+
+void SyncFile::announce(int rank, long step) const {
+  // Open in append mode and take an exclusive flock for the write — the
+  // paper's "file locking semaphores, and append mode".
+  const int fd = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0)
+    throw std::runtime_error(std::string("sync file open: ") +
+                             std::strerror(errno));
+  if (::flock(fd, LOCK_EX) != 0) {
+    ::close(fd);
+    throw std::runtime_error("sync file lock failed");
+  }
+  char line[64];
+  const int len = std::snprintf(line, sizeof line, "%d %ld\n", rank, step);
+  SUBSONIC_CHECK(len > 0 && len < int(sizeof line));
+  ssize_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, line + written, size_t(len - written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::flock(fd, LOCK_UN);
+      ::close(fd);
+      throw std::runtime_error("sync file write failed");
+    }
+    written += n;
+  }
+  ::flock(fd, LOCK_UN);
+  ::close(fd);
+}
+
+std::vector<std::pair<int, long>> SyncFile::read_all() const {
+  std::vector<std::pair<int, long>> out;
+  std::ifstream in(path_);
+  int rank = 0;
+  long step = 0;
+  while (in >> rank >> step) out.emplace_back(rank, step);
+  return out;
+}
+
+long SyncFile::sync_step(int expected) const {
+  const auto records = read_all();
+  if (static_cast<int>(records.size()) < expected) return -1;
+  long max_step = 0;
+  for (const auto& [rank, step] : records) max_step = std::max(max_step, step);
+  return max_step + 1;
+}
+
+void SyncFile::clear() const { ::unlink(path_.c_str()); }
+
+}  // namespace subsonic

@@ -1,0 +1,39 @@
+// The synchronization algorithm of Appendix B, implemented literally:
+// on a migration request every process appends its current integration
+// step to a shared file (using file locking and append mode), then reads
+// the file to find the largest step T_max among all processes, and agrees
+// to pause at synchronization step T_max + 1 — the smallest step every
+// process can still reach (no process can be past it, appendix A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace subsonic {
+
+class SyncFile {
+ public:
+  /// Opens (creating if needed) the shared synchronization file.
+  explicit SyncFile(std::string path);
+
+  /// Appends "rank step" under an exclusive lock (O_APPEND semantics:
+  /// concurrent writers never interleave within a record).
+  void announce(int rank, long step) const;
+
+  /// Reads every announced (rank, step) record.
+  std::vector<std::pair<int, long>> read_all() const;
+
+  /// The agreed synchronization step once `expected` processes have
+  /// announced: max step + 1.  Returns -1 while announcements are missing.
+  long sync_step(int expected) const;
+
+  /// Removes the file (done by the monitor after a completed migration).
+  void clear() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace subsonic

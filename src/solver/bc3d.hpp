@@ -1,0 +1,10 @@
+// 3D boundary-value pass; same conventions as apply_bc2d.
+#pragma once
+
+#include "src/solver/domain3d.hpp"
+
+namespace subsonic {
+
+void apply_bc3d(Domain3D& d);
+
+}  // namespace subsonic

@@ -1,0 +1,116 @@
+#include "src/solver/domain2d.hpp"
+
+#include "src/solver/lbm2d.hpp"
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+namespace {
+
+/// Wraps coordinate c into [0, n) when periodic; otherwise returns c
+/// unchanged (callers then read the mask's padded wall default).
+int wrap(int c, int n, bool periodic) {
+  if (!periodic) return c;
+  int r = c % n;
+  if (r < 0) r += n;
+  return r;
+}
+
+}  // namespace
+
+Domain2D::Domain2D(const Mask2D& global_mask, Box2 box,
+                   const FluidParams& params, Method method, int ghost)
+    : box_(box),
+      ghost_(ghost),
+      method_(method),
+      params_(params),
+      type_(Extents2{box.width(), box.height()}, ghost),
+      filter_mask_(Extents2{box.width(), box.height()}, ghost),
+      rho_(Extents2{box.width(), box.height()}, ghost),
+      vx_(Extents2{box.width(), box.height()}, ghost),
+      vy_(Extents2{box.width(), box.height()}, ghost),
+      scratch_(Extents2{box.width(), box.height()}, ghost),
+      scratch2_(Extents2{box.width(), box.height()}, ghost) {
+  params_.validate();
+  SUBSONIC_REQUIRE(!box.empty());
+  SUBSONIC_REQUIRE(full_box(global_mask.extents()).intersect(box) == box);
+  SUBSONIC_REQUIRE_MSG(global_mask.ghost() >= ghost,
+                       "global mask needs at least the domain ghost width");
+
+  const Extents2 ge = global_mask.extents();
+  // Copy the local window of node types, wrapping periodic axes.  Where a
+  // non-periodic window extends past the global padding this is never
+  // reached because mask.ghost() >= ghost.
+  for (int y = -ghost; y < ny() + ghost; ++y) {
+    for (int x = -ghost; x < nx() + ghost; ++x) {
+      const int gx = wrap(box.x0 + x, ge.nx, params_.periodic_x);
+      const int gy = wrap(box.y0 + y, ge.ny, params_.periodic_y);
+      type_(x, y) = static_cast<std::uint8_t>(global_mask(gx, gy));
+    }
+  }
+
+  // Precompute where the fourth-order filter may act (geometry is static,
+  // so this never changes): a direction is usable at a fluid node when
+  // none of its four off-centre stencil points is a wall.
+  if (ghost >= 3) {
+    auto ok = [this](int x, int y) {
+      return node(x, y) != NodeType::kWall;
+    };
+    for (int y = -1; y < ny() + 1; ++y)
+      for (int x = -1; x < nx() + 1; ++x) {
+        std::uint8_t bits = 0;
+        if (node(x, y) == NodeType::kFluid) {
+          if (ok(x - 2, y) && ok(x - 1, y) && ok(x + 1, y) && ok(x + 2, y))
+            bits |= 1;
+          if (ok(x, y - 2) && ok(x, y - 1) && ok(x, y + 1) && ok(x, y + 2))
+            bits |= 2;
+        }
+        filter_mask_(x, y) = bits;
+      }
+  }
+
+  // Quiescent initial state on every node including padding: density rho0,
+  // velocity zero; inlet nodes blow at the prescribed jet velocity.
+  rho_.fill(params_.rho0);
+  for (int y = -ghost; y < ny() + ghost; ++y)
+    for (int x = -ghost; x < nx() + ghost; ++x)
+      if (node(x, y) == NodeType::kInlet) {
+        vx_(x, y) = params_.inlet_vx;
+        vy_(x, y) = params_.inlet_vy;
+      }
+
+  if (method == Method::kLatticeBoltzmann) {
+    f_.reserve(lbm2d::kQ);
+    f_next_.reserve(lbm2d::kQ);
+    for (int i = 0; i < lbm2d::kQ; ++i) {
+      f_.emplace_back(Extents2{box.width(), box.height()}, ghost);
+      f_next_.emplace_back(Extents2{box.width(), box.height()}, ghost);
+    }
+    // Both buffers start at the equilibrium of the initial macro state so
+    // that never-written padding (outside the global domain) always holds
+    // a quiescent reservoir in whichever buffer is current.
+    lbm2d::set_equilibrium_both(*this);
+  }
+}
+
+PaddedField2D<double>& Domain2D::field(FieldId id) {
+  switch (id) {
+    case FieldId::kRho: return rho_;
+    case FieldId::kVx: return vx_;
+    case FieldId::kVy: return vy_;
+    case FieldId::kVz: break;
+    default: {
+      const int i = population_index(id);
+      SUBSONIC_REQUIRE(i >= 0 && i < q());
+      return f_[i];
+    }
+  }
+  SUBSONIC_REQUIRE_MSG(false, "no such field in a 2D domain");
+  return rho_;  // unreachable
+}
+
+const PaddedField2D<double>& Domain2D::field(FieldId id) const {
+  return const_cast<Domain2D*>(this)->field(id);
+}
+
+}  // namespace subsonic

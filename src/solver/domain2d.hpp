@@ -1,0 +1,84 @@
+// The per-process state of one subregion (paper sections 3-4): ghost-padded
+// fields, a local window of the node-type mask, and the subregion's box in
+// global coordinates.  A serial run is simply a Domain whose box covers the
+// whole grid — the paper's point that padding makes the parallel program a
+// straightforward extension of the serial one.
+#pragma once
+
+#include <vector>
+
+#include "src/geometry/mask.hpp"
+#include "src/grid/extents.hpp"
+#include "src/grid/padded_field.hpp"
+#include "src/solver/field_id.hpp"
+#include "src/solver/params.hpp"
+
+namespace subsonic {
+
+class Domain2D {
+ public:
+  /// Builds the local state for `box` of the global geometry.  The mask's
+  /// ghost width must be at least `ghost` so the local window (including
+  /// padding) can be copied out of it; periodic axes wrap the window.
+  Domain2D(const Mask2D& global_mask, Box2 box, const FluidParams& params,
+           Method method, int ghost);
+
+  Box2 box() const { return box_; }
+  int nx() const { return box_.width(); }
+  int ny() const { return box_.height(); }
+  int ghost() const { return ghost_; }
+  Method method() const { return method_; }
+  const FluidParams& params() const { return params_; }
+  int q() const { return static_cast<int>(f_.size()); }  // 0 for FD
+
+  /// Node type at *local* coordinates (interior [0,nx) x [0,ny)).
+  NodeType node(int x, int y) const {
+    return static_cast<NodeType>(type_(x, y));
+  }
+
+  /// Precomputed filter applicability bits for node (x, y): bit 0 — the
+  /// five-point x stencil contains no wall; bit 1 — same for y.  Valid on
+  /// the interior plus a one-node ring (the filter's region).
+  std::uint8_t filter_dirs(int x, int y) const { return filter_mask_(x, y); }
+
+  PaddedField2D<double>& rho() { return rho_; }
+  const PaddedField2D<double>& rho() const { return rho_; }
+  PaddedField2D<double>& vx() { return vx_; }
+  const PaddedField2D<double>& vx() const { return vx_; }
+  PaddedField2D<double>& vy() { return vy_; }
+  const PaddedField2D<double>& vy() const { return vy_; }
+
+  PaddedField2D<double>& f(int i) { return f_[i]; }
+  const PaddedField2D<double>& f(int i) const { return f_[i]; }
+
+  /// Streaming target buffer (LB); swapped with f after each stream.
+  PaddedField2D<double>& f_next(int i) { return f_next_[i]; }
+  void swap_populations() { f_.swap(f_next_); }
+
+  PaddedField2D<double>& field(FieldId id);
+  const PaddedField2D<double>& field(FieldId id) const;
+
+  /// Scratch snapshots used by the filter and the FD update.
+  PaddedField2D<double>& scratch() { return scratch_; }
+  PaddedField2D<double>& scratch2() { return scratch2_; }
+
+  /// Integration step counter, advanced by the driver.
+  long step() const { return step_; }
+  void set_step(long s) { step_ = s; }
+
+ private:
+  Box2 box_;
+  int ghost_ = 0;
+  Method method_;
+  FluidParams params_;
+  PaddedField2D<std::uint8_t> type_;
+  PaddedField2D<std::uint8_t> filter_mask_;
+  PaddedField2D<double> rho_, vx_, vy_;
+  std::vector<PaddedField2D<double>> f_;
+  std::vector<PaddedField2D<double>> f_next_;
+  PaddedField2D<double> scratch_;
+  PaddedField2D<double> scratch2_;
+  long step_ = 0;
+};
+
+}  // namespace subsonic

@@ -1,0 +1,114 @@
+#include "src/solver/domain3d.hpp"
+
+#include "src/solver/lbm3d.hpp"
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+namespace {
+int wrap(int c, int n, bool periodic) {
+  if (!periodic) return c;
+  int r = c % n;
+  if (r < 0) r += n;
+  return r;
+}
+}  // namespace
+
+Domain3D::Domain3D(const Mask3D& global_mask, Box3 box,
+                   const FluidParams& params, Method method, int ghost)
+    : box_(box),
+      ghost_(ghost),
+      method_(method),
+      params_(params),
+      type_(Extents3{box.width(), box.height(), box.depth()}, ghost),
+      filter_mask_(Extents3{box.width(), box.height(), box.depth()}, ghost),
+      rho_(Extents3{box.width(), box.height(), box.depth()}, ghost),
+      vx_(Extents3{box.width(), box.height(), box.depth()}, ghost),
+      vy_(Extents3{box.width(), box.height(), box.depth()}, ghost),
+      vz_(Extents3{box.width(), box.height(), box.depth()}, ghost),
+      scratch_(Extents3{box.width(), box.height(), box.depth()}, ghost),
+      scratch2_(Extents3{box.width(), box.height(), box.depth()}, ghost),
+      scratch3_(Extents3{box.width(), box.height(), box.depth()}, ghost) {
+  params_.validate();
+  SUBSONIC_REQUIRE(!box.empty());
+  SUBSONIC_REQUIRE(full_box(global_mask.extents()).intersect(box) == box);
+  SUBSONIC_REQUIRE_MSG(global_mask.ghost() >= ghost,
+                       "global mask needs at least the domain ghost width");
+
+  const Extents3 ge = global_mask.extents();
+  for (int z = -ghost; z < nz() + ghost; ++z)
+    for (int y = -ghost; y < ny() + ghost; ++y)
+      for (int x = -ghost; x < nx() + ghost; ++x) {
+        const int gx = wrap(box.x0 + x, ge.nx, params_.periodic_x);
+        const int gy = wrap(box.y0 + y, ge.ny, params_.periodic_y);
+        const int gz = wrap(box.z0 + z, ge.nz, params_.periodic_z);
+        type_(x, y, z) =
+            static_cast<std::uint8_t>(global_mask(gx, gy, gz));
+      }
+
+  // Precompute the static filter-direction bits (see Domain2D).
+  if (ghost >= 3) {
+    auto ok = [this](int x, int y, int z) {
+      return node(x, y, z) != NodeType::kWall;
+    };
+    for (int z = -1; z < nz() + 1; ++z)
+      for (int y = -1; y < ny() + 1; ++y)
+        for (int x = -1; x < nx() + 1; ++x) {
+          std::uint8_t bits = 0;
+          if (node(x, y, z) == NodeType::kFluid) {
+            if (ok(x - 2, y, z) && ok(x - 1, y, z) && ok(x + 1, y, z) &&
+                ok(x + 2, y, z))
+              bits |= 1;
+            if (ok(x, y - 2, z) && ok(x, y - 1, z) && ok(x, y + 1, z) &&
+                ok(x, y + 2, z))
+              bits |= 2;
+            if (ok(x, y, z - 2) && ok(x, y, z - 1) && ok(x, y, z + 1) &&
+                ok(x, y, z + 2))
+              bits |= 4;
+          }
+          filter_mask_(x, y, z) = bits;
+        }
+  }
+
+  rho_.fill(params_.rho0);
+  for (int z = -ghost; z < nz() + ghost; ++z)
+    for (int y = -ghost; y < ny() + ghost; ++y)
+      for (int x = -ghost; x < nx() + ghost; ++x)
+        if (node(x, y, z) == NodeType::kInlet) {
+          vx_(x, y, z) = params_.inlet_vx;
+          vy_(x, y, z) = params_.inlet_vy;
+          vz_(x, y, z) = params_.inlet_vz;
+        }
+
+  if (method == Method::kLatticeBoltzmann) {
+    f_.reserve(lbm3d::kQ);
+    f_next_.reserve(lbm3d::kQ);
+    for (int i = 0; i < lbm3d::kQ; ++i) {
+      f_.emplace_back(Extents3{box.width(), box.height(), box.depth()},
+                      ghost);
+      f_next_.emplace_back(
+          Extents3{box.width(), box.height(), box.depth()}, ghost);
+    }
+    lbm3d::set_equilibrium_both(*this);
+  }
+}
+
+PaddedField3D<double>& Domain3D::field(FieldId id) {
+  switch (id) {
+    case FieldId::kRho: return rho_;
+    case FieldId::kVx: return vx_;
+    case FieldId::kVy: return vy_;
+    case FieldId::kVz: return vz_;
+    default: {
+      const int i = population_index(id);
+      SUBSONIC_REQUIRE(i >= 0 && i < q());
+      return f_[i];
+    }
+  }
+}
+
+const PaddedField3D<double>& Domain3D::field(FieldId id) const {
+  return const_cast<Domain3D*>(this)->field(id);
+}
+
+}  // namespace subsonic

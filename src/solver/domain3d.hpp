@@ -1,0 +1,78 @@
+// Per-process state of one 3D subregion; the 3D counterpart of Domain2D.
+// The paper's 3D runs (section 7, figures 9-11) use grids from 10^3 to
+// 44^3 per subregion and (J x K x L) decompositions.
+#pragma once
+
+#include <vector>
+
+#include "src/geometry/mask.hpp"
+#include "src/grid/extents.hpp"
+#include "src/grid/padded_field.hpp"
+#include "src/solver/field_id.hpp"
+#include "src/solver/params.hpp"
+
+namespace subsonic {
+
+class Domain3D {
+ public:
+  Domain3D(const Mask3D& global_mask, Box3 box, const FluidParams& params,
+           Method method, int ghost);
+
+  Box3 box() const { return box_; }
+  int nx() const { return box_.width(); }
+  int ny() const { return box_.height(); }
+  int nz() const { return box_.depth(); }
+  int ghost() const { return ghost_; }
+  Method method() const { return method_; }
+  const FluidParams& params() const { return params_; }
+  int q() const { return static_cast<int>(f_.size()); }
+
+  NodeType node(int x, int y, int z) const {
+    return static_cast<NodeType>(type_(x, y, z));
+  }
+
+  /// Precomputed filter applicability bits (x: 1, y: 2, z: 4); valid on
+  /// the interior plus a one-node ring.  See Domain2D::filter_dirs.
+  std::uint8_t filter_dirs(int x, int y, int z) const {
+    return filter_mask_(x, y, z);
+  }
+
+  PaddedField3D<double>& rho() { return rho_; }
+  const PaddedField3D<double>& rho() const { return rho_; }
+  PaddedField3D<double>& vx() { return vx_; }
+  const PaddedField3D<double>& vx() const { return vx_; }
+  PaddedField3D<double>& vy() { return vy_; }
+  const PaddedField3D<double>& vy() const { return vy_; }
+  PaddedField3D<double>& vz() { return vz_; }
+  const PaddedField3D<double>& vz() const { return vz_; }
+
+  PaddedField3D<double>& f(int i) { return f_[i]; }
+  const PaddedField3D<double>& f(int i) const { return f_[i]; }
+  PaddedField3D<double>& f_next(int i) { return f_next_[i]; }
+  void swap_populations() { f_.swap(f_next_); }
+
+  PaddedField3D<double>& field(FieldId id);
+  const PaddedField3D<double>& field(FieldId id) const;
+
+  PaddedField3D<double>& scratch() { return scratch_; }
+  PaddedField3D<double>& scratch2() { return scratch2_; }
+  PaddedField3D<double>& scratch3() { return scratch3_; }
+
+  long step() const { return step_; }
+  void set_step(long s) { step_ = s; }
+
+ private:
+  Box3 box_;
+  int ghost_ = 0;
+  Method method_;
+  FluidParams params_;
+  PaddedField3D<std::uint8_t> type_;
+  PaddedField3D<std::uint8_t> filter_mask_;
+  PaddedField3D<double> rho_, vx_, vy_, vz_;
+  std::vector<PaddedField3D<double>> f_;
+  std::vector<PaddedField3D<double>> f_next_;
+  PaddedField3D<double> scratch_, scratch2_, scratch3_;
+  long step_ = 0;
+};
+
+}  // namespace subsonic

@@ -1,0 +1,83 @@
+#include "src/solver/fd2d.hpp"
+
+namespace subsonic::fd2d {
+
+namespace {
+
+bool computed(NodeType t) {
+  // Walls and inlets hold prescribed values; fluid and outlet nodes evolve
+  // by the interior update (the outlet's density is pinned afterwards by
+  // the boundary pass).
+  return t == NodeType::kFluid || t == NodeType::kOutlet;
+}
+
+}  // namespace
+
+void advance_velocity(Domain2D& d) {
+  const FluidParams& p = d.params();
+  const double inv2dx = 1.0 / (2.0 * p.dx);
+  const double invdx2 = 1.0 / (p.dx * p.dx);
+  const double cs2 = p.cs * p.cs;
+
+  // Snapshot the old velocities: the update of vx needs the old vy and
+  // vice versa, and in-place writes would corrupt neighbouring stencils.
+  PaddedField2D<double>& ox = d.scratch();
+  PaddedField2D<double>& oy = d.scratch2();
+  ox = d.vx();
+  oy = d.vy();
+
+  for (int y = 0; y < d.ny(); ++y) {
+    for (int x = 0; x < d.nx(); ++x) {
+      if (!computed(d.node(x, y))) continue;
+      const double ux = ox(x, y);
+      const double uy = oy(x, y);
+
+      const double dux_dx = (ox(x + 1, y) - ox(x - 1, y)) * inv2dx;
+      const double dux_dy = (ox(x, y + 1) - ox(x, y - 1)) * inv2dx;
+      const double duy_dx = (oy(x + 1, y) - oy(x - 1, y)) * inv2dx;
+      const double duy_dy = (oy(x, y + 1) - oy(x, y - 1)) * inv2dx;
+
+      const double rho = d.rho()(x, y);
+      const double drho_dx = (d.rho()(x + 1, y) - d.rho()(x - 1, y)) * inv2dx;
+      const double drho_dy = (d.rho()(x, y + 1) - d.rho()(x, y - 1)) * inv2dx;
+
+      const double lap_ux = (ox(x + 1, y) + ox(x - 1, y) + ox(x, y + 1) +
+                             ox(x, y - 1) - 4.0 * ux) *
+                            invdx2;
+      const double lap_uy = (oy(x + 1, y) + oy(x - 1, y) + oy(x, y + 1) +
+                             oy(x, y - 1) - 4.0 * uy) *
+                            invdx2;
+
+      d.vx()(x, y) = ux + p.dt * (-ux * dux_dx - uy * dux_dy -
+                                  cs2 / rho * drho_dx + p.nu * lap_ux +
+                                  p.force_x);
+      d.vy()(x, y) = uy + p.dt * (-ux * duy_dx - uy * duy_dy -
+                                  cs2 / rho * drho_dy + p.nu * lap_uy +
+                                  p.force_y);
+    }
+  }
+}
+
+void advance_density(Domain2D& d) {
+  const FluidParams& p = d.params();
+  const double inv2dx = 1.0 / (2.0 * p.dx);
+
+  PaddedField2D<double>& orho = d.scratch();
+  orho = d.rho();
+
+  for (int y = 0; y < d.ny(); ++y) {
+    for (int x = 0; x < d.nx(); ++x) {
+      if (!computed(d.node(x, y))) continue;
+      // Continuity with the new velocities (conservation form).
+      const double dmx_dx = (orho(x + 1, y) * d.vx()(x + 1, y) -
+                             orho(x - 1, y) * d.vx()(x - 1, y)) *
+                            inv2dx;
+      const double dmy_dy = (orho(x, y + 1) * d.vy()(x, y + 1) -
+                             orho(x, y - 1) * d.vy()(x, y - 1)) *
+                            inv2dx;
+      d.rho()(x, y) = orho(x, y) - p.dt * (dmx_dx + dmy_dy);
+    }
+  }
+}
+
+}  // namespace subsonic::fd2d

@@ -1,0 +1,22 @@
+// Explicit finite differences for the compressible isothermal Navier-Stokes
+// equations (paper eqs. 1-3, section 6): centered differences in space,
+// forward Euler in time.  For stability the density equation is updated
+// with the *new* velocities (velocities first, then density as a separate
+// step), exactly as in the paper:
+//   calculate Vx, Vy (inner) -> communicate V -> calculate rho (inner)
+//   -> communicate rho -> filter rho, Vx, Vy (inner)
+#pragma once
+
+#include "src/solver/domain2d.hpp"
+
+namespace subsonic::fd2d {
+
+/// Forward-Euler update of vx, vy on the interior from the momentum
+/// equations (advection + pressure gradient + viscous term + body force).
+void advance_velocity(Domain2D& d);
+
+/// Forward-Euler update of rho on the interior from the continuity
+/// equation, using the just-computed velocities.
+void advance_density(Domain2D& d);
+
+}  // namespace subsonic::fd2d

@@ -1,0 +1,103 @@
+#include "src/solver/fd3d.hpp"
+
+namespace subsonic::fd3d {
+
+namespace {
+bool computed(NodeType t) {
+  return t == NodeType::kFluid || t == NodeType::kOutlet;
+}
+}  // namespace
+
+void advance_velocity(Domain3D& d) {
+  const FluidParams& p = d.params();
+  const double inv2dx = 1.0 / (2.0 * p.dx);
+  const double invdx2 = 1.0 / (p.dx * p.dx);
+  const double cs2 = p.cs * p.cs;
+
+  PaddedField3D<double>& ox = d.scratch();
+  PaddedField3D<double>& oy = d.scratch2();
+  PaddedField3D<double>& oz = d.scratch3();
+  ox = d.vx();
+  oy = d.vy();
+  oz = d.vz();
+
+  for (int z = 0; z < d.nz(); ++z) {
+    for (int y = 0; y < d.ny(); ++y) {
+      for (int x = 0; x < d.nx(); ++x) {
+        if (!computed(d.node(x, y, z))) continue;
+        const double ux = ox(x, y, z);
+        const double uy = oy(x, y, z);
+        const double uz = oz(x, y, z);
+        const double rho = d.rho()(x, y, z);
+
+        auto grad = [&](const PaddedField3D<double>& u, double& gx,
+                        double& gy, double& gz) {
+          gx = (u(x + 1, y, z) - u(x - 1, y, z)) * inv2dx;
+          gy = (u(x, y + 1, z) - u(x, y - 1, z)) * inv2dx;
+          gz = (u(x, y, z + 1) - u(x, y, z - 1)) * inv2dx;
+        };
+        auto laplacian = [&](const PaddedField3D<double>& u) {
+          return (u(x + 1, y, z) + u(x - 1, y, z) + u(x, y + 1, z) +
+                  u(x, y - 1, z) + u(x, y, z + 1) + u(x, y, z - 1) -
+                  6.0 * u(x, y, z)) *
+                 invdx2;
+        };
+
+        double dux_dx, dux_dy, dux_dz;
+        double duy_dx, duy_dy, duy_dz;
+        double duz_dx, duz_dy, duz_dz;
+        grad(ox, dux_dx, dux_dy, dux_dz);
+        grad(oy, duy_dx, duy_dy, duy_dz);
+        grad(oz, duz_dx, duz_dy, duz_dz);
+
+        const double drho_dx =
+            (d.rho()(x + 1, y, z) - d.rho()(x - 1, y, z)) * inv2dx;
+        const double drho_dy =
+            (d.rho()(x, y + 1, z) - d.rho()(x, y - 1, z)) * inv2dx;
+        const double drho_dz =
+            (d.rho()(x, y, z + 1) - d.rho()(x, y, z - 1)) * inv2dx;
+
+        d.vx()(x, y, z) =
+            ux + p.dt * (-ux * dux_dx - uy * dux_dy - uz * dux_dz -
+                         cs2 / rho * drho_dx + p.nu * laplacian(ox) +
+                         p.force_x);
+        d.vy()(x, y, z) =
+            uy + p.dt * (-ux * duy_dx - uy * duy_dy - uz * duy_dz -
+                         cs2 / rho * drho_dy + p.nu * laplacian(oy) +
+                         p.force_y);
+        d.vz()(x, y, z) =
+            uz + p.dt * (-ux * duz_dx - uy * duz_dy - uz * duz_dz -
+                         cs2 / rho * drho_dz + p.nu * laplacian(oz) +
+                         p.force_z);
+      }
+    }
+  }
+}
+
+void advance_density(Domain3D& d) {
+  const FluidParams& p = d.params();
+  const double inv2dx = 1.0 / (2.0 * p.dx);
+
+  PaddedField3D<double>& orho = d.scratch();
+  orho = d.rho();
+
+  for (int z = 0; z < d.nz(); ++z) {
+    for (int y = 0; y < d.ny(); ++y) {
+      for (int x = 0; x < d.nx(); ++x) {
+        if (!computed(d.node(x, y, z))) continue;
+        const double dmx = (orho(x + 1, y, z) * d.vx()(x + 1, y, z) -
+                            orho(x - 1, y, z) * d.vx()(x - 1, y, z)) *
+                           inv2dx;
+        const double dmy = (orho(x, y + 1, z) * d.vy()(x, y + 1, z) -
+                            orho(x, y - 1, z) * d.vy()(x, y - 1, z)) *
+                           inv2dx;
+        const double dmz = (orho(x, y, z + 1) * d.vz()(x, y, z + 1) -
+                            orho(x, y, z - 1) * d.vz()(x, y, z - 1)) *
+                           inv2dx;
+        d.rho()(x, y, z) = orho(x, y, z) - p.dt * (dmx + dmy + dmz);
+      }
+    }
+  }
+}
+
+}  // namespace subsonic::fd3d

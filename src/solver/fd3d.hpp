@@ -1,0 +1,13 @@
+// Explicit finite differences in 3D — the V_z extension the paper mentions
+// under equations 1-3.  Same schedule shape as 2D: velocities first,
+// density second with the new velocities, two messages per step.
+#pragma once
+
+#include "src/solver/domain3d.hpp"
+
+namespace subsonic::fd3d {
+
+void advance_velocity(Domain3D& d);
+void advance_density(Domain3D& d);
+
+}  // namespace subsonic::fd3d

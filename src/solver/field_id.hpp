@@ -1,0 +1,38 @@
+// Identifies a field stored in a Domain, so that communication schedules
+// can name what each message carries (paper section 6: FD exchanges V then
+// rho in two messages; LB exchanges the populations F_i in one).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+enum class FieldId : std::uint8_t {
+  kRho = 0,
+  kVx = 1,
+  kVy = 2,
+  kVz = 3,
+  kF0 = 4,  // populations follow contiguously: kF0 + i
+};
+
+constexpr FieldId population(int i) {
+  return static_cast<FieldId>(static_cast<int>(FieldId::kF0) + i);
+}
+
+constexpr bool is_population(FieldId id) { return id >= FieldId::kF0; }
+
+constexpr int population_index(FieldId id) {
+  return static_cast<int>(id) - static_cast<int>(FieldId::kF0);
+}
+
+inline std::vector<FieldId> population_fields(int q) {
+  std::vector<FieldId> out;
+  out.reserve(q);
+  for (int i = 0; i < q; ++i) out.push_back(population(i));
+  return out;
+}
+
+}  // namespace subsonic

@@ -1,0 +1,80 @@
+#include "src/solver/filter.hpp"
+
+#include <array>
+
+namespace subsonic {
+
+namespace {
+
+void filter_field2d(Domain2D& d, PaddedField2D<double>& u) {
+  const double k = d.params().filter_eps / 16.0;
+  PaddedField2D<double>& s = d.scratch();
+  s = u;
+
+  // The direction masks are precomputed from the static geometry
+  // (Domain2D::filter_dirs), so the hot loop does pure arithmetic.
+  for (int y = -1; y < d.ny() + 1; ++y) {
+    for (int x = -1; x < d.nx() + 1; ++x) {
+      const std::uint8_t dirs = d.filter_dirs(x, y);
+      if (dirs == 0) continue;
+      double corr = 0.0;
+      if (dirs & 1) {
+        corr += s(x - 2, y) - 4.0 * s(x - 1, y) + 6.0 * s(x, y) -
+                4.0 * s(x + 1, y) + s(x + 2, y);
+      }
+      if (dirs & 2) {
+        corr += s(x, y - 2) - 4.0 * s(x, y - 1) + 6.0 * s(x, y) -
+                4.0 * s(x, y + 1) + s(x, y + 2);
+      }
+      u(x, y) -= k * corr;
+    }
+  }
+}
+
+void filter_field3d(Domain3D& d, PaddedField3D<double>& u) {
+  const double k = d.params().filter_eps / 16.0;
+  PaddedField3D<double>& s = d.scratch();
+  s = u;
+
+  for (int z = -1; z < d.nz() + 1; ++z) {
+    for (int y = -1; y < d.ny() + 1; ++y) {
+      for (int x = -1; x < d.nx() + 1; ++x) {
+        const std::uint8_t dirs = d.filter_dirs(x, y, z);
+        if (dirs == 0) continue;
+        double corr = 0.0;
+        if (dirs & 1) {
+          corr += s(x - 2, y, z) - 4.0 * s(x - 1, y, z) + 6.0 * s(x, y, z) -
+                  4.0 * s(x + 1, y, z) + s(x + 2, y, z);
+        }
+        if (dirs & 2) {
+          corr += s(x, y - 2, z) - 4.0 * s(x, y - 1, z) + 6.0 * s(x, y, z) -
+                  4.0 * s(x, y + 1, z) + s(x, y + 2, z);
+        }
+        if (dirs & 4) {
+          corr += s(x, y, z - 2) - 4.0 * s(x, y, z - 1) + 6.0 * s(x, y, z) -
+                  4.0 * s(x, y, z + 1) + s(x, y, z + 2);
+        }
+        u(x, y, z) -= k * corr;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void filter2d(Domain2D& d) {
+  if (d.params().filter_eps == 0.0) return;
+  filter_field2d(d, d.rho());
+  filter_field2d(d, d.vx());
+  filter_field2d(d, d.vy());
+}
+
+void filter3d(Domain3D& d) {
+  if (d.params().filter_eps == 0.0) return;
+  filter_field3d(d, d.rho());
+  filter_field3d(d, d.vx());
+  filter_field3d(d, d.vy());
+  filter_field3d(d, d.vz());
+}
+
+}  // namespace subsonic

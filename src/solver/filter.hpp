@@ -1,0 +1,27 @@
+// Fourth-order numerical-viscosity filter (paper section 6, after
+// Peyret & Taylor).  Dissipates spatial frequencies whose wavelength is
+// comparable to the mesh size; without it, fast subsonic flow develops
+// slow-growing grid-scale instabilities.  Shared by both FD and LB.
+//
+// Applied dimension-by-dimension:
+//   u <- u - (eps/16) (u[-2] - 4 u[-1] + 6 u[0] - 4 u[+1] + u[+2])
+// at fluid nodes whose whole 5-point stencil carries meaningful values
+// (i.e. contains no wall node); near walls the direction is skipped, which
+// keeps the operation purely local.
+#pragma once
+
+#include "src/solver/domain2d.hpp"
+#include "src/solver/domain3d.hpp"
+
+namespace subsonic {
+
+/// Filters rho, vx, vy over the interior plus a one-node ghost ring (the
+/// ring keeps the first ghost layer bit-identical with the neighbour's
+/// filtered interior, so no extra message is needed).  No-op when
+/// params().filter_eps == 0.
+void filter2d(Domain2D& d);
+
+/// 3D counterpart: filters rho, vx, vy, vz, dimension-split over x, y, z.
+void filter3d(Domain3D& d);
+
+}  // namespace subsonic

@@ -1,0 +1,131 @@
+#include "src/solver/lbm2d.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace subsonic::lbm2d {
+
+void set_equilibrium(Domain2D& d) {
+  const int g = d.ghost();
+  for (int y = -g; y < d.ny() + g; ++y)
+    for (int x = -g; x < d.nx() + g; ++x) {
+      const double rho = d.rho()(x, y);
+      const double ux = d.vx()(x, y);
+      const double uy = d.vy()(x, y);
+      for (int i = 0; i < kQ; ++i)
+        d.f(i)(x, y) = equilibrium(i, rho, ux, uy);
+    }
+}
+
+void set_equilibrium_both(Domain2D& d) {
+  set_equilibrium(d);
+  d.swap_populations();
+  set_equilibrium(d);
+  d.swap_populations();
+}
+
+void collide_stream(Domain2D& d) {
+  const FluidParams& p = d.params();
+  const double omega = 1.0 / p.lb_tau();
+  const double gx = p.force_x * p.dt;
+  const double gy = p.force_y * p.dt;
+  const bool forced = (gx != 0.0 || gy != 0.0);
+
+  // Relax the interior plus one ghost ring: the ring relaxation replays,
+  // bit for bit, what the owning neighbour computes for those nodes, so
+  // the stream below can pull across the subregion boundary.
+  for (int y = -1; y < d.ny() + 1; ++y) {
+    for (int x = -1; x < d.nx() + 1; ++x) {
+      switch (d.node(x, y)) {
+        case NodeType::kWall: {
+          // Full-way bounce-back: arrived populations leave reversed.
+          for (int i = 1; i < kQ; ++i) {
+            const int o = kOpposite[i];
+            if (o > i) std::swap(d.f(i)(x, y), d.f(o)(x, y));
+          }
+          break;
+        }
+        case NodeType::kInlet: {
+          // The jet is a prescribed-velocity reservoir.
+          for (int i = 0; i < kQ; ++i)
+            d.f(i)(x, y) = equilibrium(i, p.rho0, p.inlet_vx, p.inlet_vy);
+          break;
+        }
+        case NodeType::kFluid:
+        case NodeType::kOutlet: {
+          const double rho = d.rho()(x, y);
+          const double ux = d.vx()(x, y);
+          const double uy = d.vy()(x, y);
+          // Unrolled second-order equilibria: eq_i = w_i rho
+          // (base + cu + cu^2/2) with cu = 3 c_i.u and
+          // base = 1 - 1.5 u^2.  Same expansion as equilibrium(),
+          // with the shared subexpressions hoisted.
+          const double base = 1.0 - 1.5 * (ux * ux + uy * uy);
+          const double ax = 3.0 * ux;
+          const double ay = 3.0 * uy;
+          const double rw_s = rho * (1.0 / 9.0);
+          const double rw_d = rho * (1.0 / 36.0);
+          double eq[kQ];
+          eq[0] = rho * (4.0 / 9.0) * base;
+          eq[1] = rw_s * (base + ax + 0.5 * ax * ax);
+          eq[3] = rw_s * (base - ax + 0.5 * ax * ax);
+          eq[2] = rw_s * (base + ay + 0.5 * ay * ay);
+          eq[4] = rw_s * (base - ay + 0.5 * ay * ay);
+          const double app = ax + ay;   // c = ( 1,  1)
+          const double apm = ax - ay;   // c = ( 1, -1)
+          eq[5] = rw_d * (base + app + 0.5 * app * app);
+          eq[7] = rw_d * (base - app + 0.5 * app * app);
+          eq[8] = rw_d * (base + apm + 0.5 * apm * apm);
+          eq[6] = rw_d * (base - apm + 0.5 * apm * apm);
+          for (int i = 0; i < kQ; ++i) {
+            double& fi = d.f(i)(x, y);
+            fi += omega * (eq[i] - fi);
+          }
+          if (forced) {
+            // First-order body-force term: w_i rho (c_i . g) / c_s^2.
+            for (int i = 1; i < kQ; ++i)
+              d.f(i)(x, y) +=
+                  kW[i] * rho * 3.0 * (kCx[i] * gx + kCy[i] * gy);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Stream (pull) into the back buffer; interior only.  Ghost values of
+  // the new buffer are refreshed by the exchange that follows.  Each
+  // destination row is a contiguous shifted copy of a source row, so the
+  // whole shift is nx doubles of memcpy per row per population.
+  for (int i = 0; i < kQ; ++i) {
+    const int cx = kCx[i];
+    const int cy = kCy[i];
+    const PaddedField2D<double>& src = d.f(i);
+    PaddedField2D<double>& dst = d.f_next(i);
+    const size_t row_bytes = static_cast<size_t>(d.nx()) * sizeof(double);
+    for (int y = 0; y < d.ny(); ++y)
+      std::memcpy(&dst(0, y), &src(-cx, y - cy), row_bytes);
+  }
+  d.swap_populations();
+}
+
+void moments(Domain2D& d) {
+  const int g = d.ghost();
+  for (int y = -g; y < d.ny() + g; ++y) {
+    for (int x = -g; x < d.nx() + g; ++x) {
+      if (d.node(x, y) == NodeType::kWall) continue;
+      double rho = 0.0, mx = 0.0, my = 0.0;
+      for (int i = 0; i < kQ; ++i) {
+        const double fi = d.f(i)(x, y);
+        rho += fi;
+        mx += kCx[i] * fi;
+        my += kCy[i] * fi;
+      }
+      d.rho()(x, y) = rho;
+      d.vx()(x, y) = mx / rho;
+      d.vy()(x, y) = my / rho;
+    }
+  }
+}
+
+}  // namespace subsonic::lbm2d

@@ -1,0 +1,50 @@
+// Lattice Boltzmann method on the D2Q9 lattice (paper section 6 and
+// Skordos, Phys. Rev. E 48(6), 1993).  BGK relaxation toward the second-
+// order equilibrium, full-way bounce-back at wall nodes, and a body-force
+// term for driven channel flows.
+//
+// Per-step schedule (paper section 6):
+//   relax F_i (inner) -> shift F_i (inner) -> communicate F_i (boundary)
+//   -> compute rho, V from F_i (inner) -> filter rho, V (inner)
+#pragma once
+
+#include "src/solver/domain2d.hpp"
+
+namespace subsonic::lbm2d {
+
+inline constexpr int kQ = 9;
+
+/// Lattice velocities: rest, +x, +y, -x, -y, then the four diagonals.
+inline constexpr int kCx[kQ] = {0, 1, 0, -1, 0, 1, -1, -1, 1};
+inline constexpr int kCy[kQ] = {0, 0, 1, 0, -1, 1, 1, -1, -1};
+inline constexpr int kOpposite[kQ] = {0, 3, 4, 1, 2, 7, 8, 5, 6};
+inline constexpr double kW[kQ] = {4.0 / 9,  1.0 / 9,  1.0 / 9,
+                                  1.0 / 9,  1.0 / 9,  1.0 / 36,
+                                  1.0 / 36, 1.0 / 36, 1.0 / 36};
+
+/// Second-order BGK equilibrium for population i (c_s^2 = 1/3).
+inline double equilibrium(int i, double rho, double ux, double uy) {
+  const double cu = 3.0 * (kCx[i] * ux + kCy[i] * uy);
+  const double u2 = 1.5 * (ux * ux + uy * uy);
+  return kW[i] * rho * (1.0 + cu + 0.5 * cu * cu - u2);
+}
+
+/// Sets every population (current buffer) to the equilibrium of the
+/// current macroscopic fields, on all padded nodes.
+void set_equilibrium(Domain2D& d);
+
+/// Same, but on both population buffers — required after (re)initializing
+/// the macroscopic fields so the never-written exterior padding of either
+/// buffer holds the reservoir state.
+void set_equilibrium_both(Domain2D& d);
+
+/// Relax on the interior plus a one-node ghost ring (so the subsequent
+/// stream can pull across subregion boundaries), bounce-back at walls,
+/// then stream the interior into the back buffer and swap.
+void collide_stream(Domain2D& d);
+
+/// Recomputes rho, vx, vy from the populations on all padded nodes
+/// (ghost populations were just communicated); walls keep their statics.
+void moments(Domain2D& d);
+
+}  // namespace subsonic::lbm2d

@@ -1,0 +1,142 @@
+#include "src/solver/lbm3d.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace subsonic::lbm3d {
+
+void set_equilibrium(Domain3D& d) {
+  const int g = d.ghost();
+  for (int z = -g; z < d.nz() + g; ++z)
+    for (int y = -g; y < d.ny() + g; ++y)
+      for (int x = -g; x < d.nx() + g; ++x) {
+        const double rho = d.rho()(x, y, z);
+        const double ux = d.vx()(x, y, z);
+        const double uy = d.vy()(x, y, z);
+        const double uz = d.vz()(x, y, z);
+        for (int i = 0; i < kQ; ++i)
+          d.f(i)(x, y, z) = equilibrium(i, rho, ux, uy, uz);
+      }
+}
+
+void set_equilibrium_both(Domain3D& d) {
+  set_equilibrium(d);
+  d.swap_populations();
+  set_equilibrium(d);
+  d.swap_populations();
+}
+
+void collide_stream(Domain3D& d) {
+  const FluidParams& p = d.params();
+  const double omega = 1.0 / p.lb_tau();
+  const double gx = p.force_x * p.dt;
+  const double gy = p.force_y * p.dt;
+  const double gz = p.force_z * p.dt;
+  const bool forced = (gx != 0.0 || gy != 0.0 || gz != 0.0);
+
+  for (int z = -1; z < d.nz() + 1; ++z) {
+    for (int y = -1; y < d.ny() + 1; ++y) {
+      for (int x = -1; x < d.nx() + 1; ++x) {
+        switch (d.node(x, y, z)) {
+          case NodeType::kWall: {
+            for (int i = 1; i < kQ; ++i) {
+              const int o = kOpposite[i];
+              if (o > i) std::swap(d.f(i)(x, y, z), d.f(o)(x, y, z));
+            }
+            break;
+          }
+          case NodeType::kInlet: {
+            for (int i = 0; i < kQ; ++i)
+              d.f(i)(x, y, z) = equilibrium(i, p.rho0, p.inlet_vx,
+                                            p.inlet_vy, p.inlet_vz);
+            break;
+          }
+          case NodeType::kFluid:
+          case NodeType::kOutlet: {
+            const double rho = d.rho()(x, y, z);
+            const double ux = d.vx()(x, y, z);
+            const double uy = d.vy()(x, y, z);
+            const double uz = d.vz()(x, y, z);
+            // Unrolled equilibria (same expansion as equilibrium() with
+            // shared subexpressions hoisted); see lbm2d.cpp.
+            const double base =
+                1.0 - 1.5 * (ux * ux + uy * uy + uz * uz);
+            const double ax = 3.0 * ux;
+            const double ay = 3.0 * uy;
+            const double az = 3.0 * uz;
+            const double rw_s = rho * (1.0 / 9.0);
+            const double rw_d = rho * (1.0 / 72.0);
+            double eq[kQ];
+            eq[0] = rho * (2.0 / 9.0) * base;
+            eq[1] = rw_s * (base + ax + 0.5 * ax * ax);
+            eq[2] = rw_s * (base - ax + 0.5 * ax * ax);
+            eq[3] = rw_s * (base + ay + 0.5 * ay * ay);
+            eq[4] = rw_s * (base - ay + 0.5 * ay * ay);
+            eq[5] = rw_s * (base + az + 0.5 * az * az);
+            eq[6] = rw_s * (base - az + 0.5 * az * az);
+            const double s1 = ax + ay + az;   // c = ( 1,  1,  1)
+            const double s2 = ax + ay - az;   // c = ( 1,  1, -1)
+            const double s3 = ax - ay + az;   // c = ( 1, -1,  1)
+            const double s4 = -ax + ay + az;  // c = (-1,  1,  1)
+            eq[7] = rw_d * (base + s1 + 0.5 * s1 * s1);
+            eq[8] = rw_d * (base - s1 + 0.5 * s1 * s1);
+            eq[9] = rw_d * (base + s2 + 0.5 * s2 * s2);
+            eq[10] = rw_d * (base - s2 + 0.5 * s2 * s2);
+            eq[11] = rw_d * (base + s3 + 0.5 * s3 * s3);
+            eq[12] = rw_d * (base - s3 + 0.5 * s3 * s3);
+            eq[13] = rw_d * (base + s4 + 0.5 * s4 * s4);
+            eq[14] = rw_d * (base - s4 + 0.5 * s4 * s4);
+            for (int i = 0; i < kQ; ++i) {
+              double& fi = d.f(i)(x, y, z);
+              fi += omega * (eq[i] - fi);
+            }
+            if (forced) {
+              for (int i = 1; i < kQ; ++i)
+                d.f(i)(x, y, z) +=
+                    kW[i] * rho * 3.0 *
+                    (kCx[i] * gx + kCy[i] * gy + kCz[i] * gz);
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Row-contiguous shifted copies, as in the 2D stream.
+  for (int i = 0; i < kQ; ++i) {
+    const int cx = kCx[i];
+    const int cy = kCy[i];
+    const int cz = kCz[i];
+    const PaddedField3D<double>& src = d.f(i);
+    PaddedField3D<double>& dst = d.f_next(i);
+    const size_t row_bytes = static_cast<size_t>(d.nx()) * sizeof(double);
+    for (int z = 0; z < d.nz(); ++z)
+      for (int y = 0; y < d.ny(); ++y)
+        std::memcpy(&dst(0, y, z), &src(-cx, y - cy, z - cz), row_bytes);
+  }
+  d.swap_populations();
+}
+
+void moments(Domain3D& d) {
+  const int g = d.ghost();
+  for (int z = -g; z < d.nz() + g; ++z)
+    for (int y = -g; y < d.ny() + g; ++y)
+      for (int x = -g; x < d.nx() + g; ++x) {
+        if (d.node(x, y, z) == NodeType::kWall) continue;
+        double rho = 0.0, mx = 0.0, my = 0.0, mz = 0.0;
+        for (int i = 0; i < kQ; ++i) {
+          const double fi = d.f(i)(x, y, z);
+          rho += fi;
+          mx += kCx[i] * fi;
+          my += kCy[i] * fi;
+          mz += kCz[i] * fi;
+        }
+        d.rho()(x, y, z) = rho;
+        d.vx()(x, y, z) = mx / rho;
+        d.vy()(x, y, z) = my / rho;
+        d.vz()(x, y, z) = mz / rho;
+      }
+}
+
+}  // namespace subsonic::lbm3d

@@ -1,0 +1,83 @@
+// Physical and numerical parameters shared by both solvers (paper section
+// 6).  The lattice Boltzmann method works in lattice units (dx = dt = 1,
+// c_s^2 = 1/3); the finite-difference method uses the same defaults so the
+// two can be compared on identical grids, but accepts arbitrary dx, dt.
+#pragma once
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+/// The numerical method under test (the paper measures both).
+enum class Method {
+  kFiniteDifference,
+  kLatticeBoltzmann,
+};
+
+constexpr const char* to_string(Method m) {
+  return m == Method::kFiniteDifference ? "FD" : "LB";
+}
+
+struct FluidParams {
+  /// Node spacing and integration time step.  Subsonic flow requires
+  /// dx ~ c_s dt (paper eq. 4); the defaults satisfy the acoustic CFL.
+  double dx = 1.0;
+  double dt = 0.3;
+
+  /// Speed of sound.  1/sqrt(3) is the lattice value; FD uses it too so
+  /// that both methods integrate the same equations.
+  double cs = 0.57735026918962576451;  // 1/sqrt(3)
+
+  /// Kinematic viscosity.
+  double nu = 0.05;
+
+  /// Reference (outlet / initial) density.
+  double rho0 = 1.0;
+
+  /// Body force per unit mass (drives Poiseuille flow).
+  double force_x = 0.0;
+  double force_y = 0.0;
+  double force_z = 0.0;
+
+  /// Velocity imposed at inlet nodes (the jet of section 2).
+  double inlet_vx = 0.0;
+  double inlet_vy = 0.0;
+  double inlet_vz = 0.0;
+
+  /// Strength of the fourth-order numerical-viscosity filter in (0, 1];
+  /// 0 disables it.  The filter dissipates wavelengths comparable to the
+  /// mesh size and is required for high-Reynolds subsonic runs (section 6).
+  double filter_eps = 0.0;
+
+  /// Periodic wrap along each axis (used by the Poiseuille validation).
+  bool periodic_x = false;
+  bool periodic_y = false;
+  bool periodic_z = false;
+
+  /// BGK relaxation time for the lattice Boltzmann method in lattice
+  /// units: nu = c_s^2 (tau - 1/2) dt with dx = dt = 1 => tau = 3 nu + 1/2.
+  double lb_tau() const { return 3.0 * nu + 0.5; }
+
+  /// Acoustic Courant number c_s dt / dx; explicit stability needs <~ 1.
+  double acoustic_cfl() const { return cs * dt / dx; }
+
+  void validate() const {
+    SUBSONIC_REQUIRE(dx > 0 && dt > 0);
+    SUBSONIC_REQUIRE(cs > 0);
+    SUBSONIC_REQUIRE(nu >= 0);
+    SUBSONIC_REQUIRE(rho0 > 0);
+    SUBSONIC_REQUIRE(filter_eps >= 0 && filter_eps <= 1.0);
+  }
+};
+
+/// Ghost layers a method needs.  The basic stencils reach one neighbour;
+/// the fourth-order filter reaches two, and filtering the first ghost ring
+/// locally (so that no third message per step is needed — the paper's FD
+/// sends exactly two) costs one more layer.
+constexpr int required_ghost(Method /*method*/, bool filter_enabled) {
+  return filter_enabled ? 3 : 1;
+}
+
+}  // namespace subsonic

@@ -1,0 +1,58 @@
+// Analytic solutions used by the validation experiments (paper section 7:
+// both methods were tested on Hagen-Poiseuille flow through a channel and
+// converge quadratically in spatial resolution).
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "src/solver/params.hpp"
+
+namespace subsonic {
+
+/// Steady plane Poiseuille velocity driven by body force G along x between
+/// no-slip walls at y = wall_lo and y = wall_hi:
+///   u(y) = G / (2 nu) * (y - wall_lo) * (wall_hi - y)
+inline double poiseuille_velocity(double y, double wall_lo, double wall_hi,
+                                  double force, double nu) {
+  return force / (2.0 * nu) * (y - wall_lo) * (wall_hi - y);
+}
+
+/// Peak (centreline) velocity of the same profile.
+inline double poiseuille_peak(double wall_lo, double wall_hi, double force,
+                              double nu) {
+  const double h = 0.5 * (wall_hi - wall_lo);
+  return force / (2.0 * nu) * h * h;
+}
+
+/// Effective wall positions (in node index units) for a channel whose wall
+/// *nodes* are at y = 0 and y = ny-1.  Finite differences impose V = 0 at
+/// the wall nodes themselves; full-way bounce-back places the wall half a
+/// link beyond the last fluid node.
+struct ChannelWalls {
+  double lo;
+  double hi;
+};
+
+inline ChannelWalls channel_walls(Method m, int ny) {
+  if (m == Method::kFiniteDifference) return {0.0, double(ny - 1)};
+  return {0.5, double(ny) - 1.5};
+}
+
+/// Body force that produces the requested peak velocity in the channel.
+inline double poiseuille_force_for_peak(double peak, const ChannelWalls& w,
+                                        double nu) {
+  const double h = 0.5 * (w.hi - w.lo);
+  return 2.0 * nu * peak / (h * h);
+}
+
+/// Decaying shear wave vx(y, t) = U sin(2 pi k y / ny) exp(-nu kappa^2 t),
+/// kappa = 2 pi k / ny, on a doubly periodic grid: an exact Navier-Stokes
+/// solution with zero advection, used for temporal-accuracy validation.
+inline double shear_wave_velocity(double y, double t, int ny, int k,
+                                  double amplitude, double nu) {
+  const double kappa = 2.0 * std::numbers::pi * k / ny;
+  return amplitude * std::sin(kappa * y) * std::exp(-nu * kappa * kappa * t);
+}
+
+}  // namespace subsonic

@@ -1,0 +1,93 @@
+#include "src/solver/schedule.hpp"
+
+#include "src/solver/bc2d.hpp"
+#include "src/solver/bc3d.hpp"
+#include "src/solver/fd2d.hpp"
+#include "src/solver/fd3d.hpp"
+#include "src/solver/filter.hpp"
+#include "src/solver/lbm2d.hpp"
+#include "src/solver/lbm3d.hpp"
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+std::vector<Phase> make_schedule2d(Method method) {
+  std::vector<Phase> s;
+  if (method == Method::kFiniteDifference) {
+    s.push_back(Phase::make_compute(ComputeKind::kFdVelocity));
+    s.push_back(Phase::make_exchange({FieldId::kVx, FieldId::kVy}));
+    s.push_back(Phase::make_compute(ComputeKind::kFdDensity));
+    s.push_back(Phase::make_exchange({FieldId::kRho}));
+    s.push_back(Phase::make_compute(ComputeKind::kFilterAndBc));
+  } else {
+    s.push_back(Phase::make_compute(ComputeKind::kLbCollideStream));
+    s.push_back(Phase::make_exchange(population_fields(lbm2d::kQ)));
+    s.push_back(Phase::make_compute(ComputeKind::kLbMoments));
+    s.push_back(Phase::make_compute(ComputeKind::kFilterAndBc));
+  }
+  return s;
+}
+
+std::vector<Phase> make_schedule3d(Method method) {
+  std::vector<Phase> s;
+  if (method == Method::kFiniteDifference) {
+    s.push_back(Phase::make_compute(ComputeKind::kFdVelocity));
+    s.push_back(Phase::make_exchange(
+        {FieldId::kVx, FieldId::kVy, FieldId::kVz}));
+    s.push_back(Phase::make_compute(ComputeKind::kFdDensity));
+    s.push_back(Phase::make_exchange({FieldId::kRho}));
+    s.push_back(Phase::make_compute(ComputeKind::kFilterAndBc));
+  } else {
+    s.push_back(Phase::make_compute(ComputeKind::kLbCollideStream));
+    s.push_back(Phase::make_exchange(population_fields(lbm3d::kQ)));
+    s.push_back(Phase::make_compute(ComputeKind::kLbMoments));
+    s.push_back(Phase::make_compute(ComputeKind::kFilterAndBc));
+  }
+  return s;
+}
+
+void run_compute2d(Domain2D& d, ComputeKind kind) {
+  switch (kind) {
+    case ComputeKind::kFdVelocity:
+      fd2d::advance_velocity(d);
+      return;
+    case ComputeKind::kFdDensity:
+      fd2d::advance_density(d);
+      return;
+    case ComputeKind::kLbCollideStream:
+      lbm2d::collide_stream(d);
+      return;
+    case ComputeKind::kLbMoments:
+      lbm2d::moments(d);
+      return;
+    case ComputeKind::kFilterAndBc:
+      filter2d(d);
+      apply_bc2d(d);
+      return;
+  }
+  SUBSONIC_CHECK(false);
+}
+
+void run_compute3d(Domain3D& d, ComputeKind kind) {
+  switch (kind) {
+    case ComputeKind::kFdVelocity:
+      fd3d::advance_velocity(d);
+      return;
+    case ComputeKind::kFdDensity:
+      fd3d::advance_density(d);
+      return;
+    case ComputeKind::kLbCollideStream:
+      lbm3d::collide_stream(d);
+      return;
+    case ComputeKind::kLbMoments:
+      lbm3d::moments(d);
+      return;
+    case ComputeKind::kFilterAndBc:
+      filter3d(d);
+      apply_bc3d(d);
+      return;
+  }
+  SUBSONIC_CHECK(false);
+}
+
+}  // namespace subsonic

@@ -1,0 +1,70 @@
+// The per-step schedule of a numerical method: an alternating sequence of
+// local compute phases and boundary exchanges (paper sections 3-4 and 6).
+// The runtime executes the same schedule serially (periodic wrap only) or
+// in parallel (messages to neighbour subregions):
+//
+//   FD: calc V | send/recv V | calc rho | send/recv rho | filter+BC
+//   LB: relax+shift F        | send/recv F              | moments+filter+BC
+//
+// FD therefore sends two messages per neighbour per step, LB one — the
+// difference the paper's efficiency measurements pick up (section 7).
+#pragma once
+
+#include <vector>
+
+#include "src/solver/domain2d.hpp"
+#include "src/solver/domain3d.hpp"
+#include "src/solver/field_id.hpp"
+
+namespace subsonic {
+
+enum class ComputeKind {
+  kFdVelocity,
+  kFdDensity,
+  kLbCollideStream,
+  kLbMoments,
+  kFilterAndBc,
+};
+
+struct Phase {
+  enum class Kind { kCompute, kExchange };
+  Kind kind;
+  ComputeKind compute{};        // when kind == kCompute
+  std::vector<FieldId> fields;  // when kind == kExchange
+
+  static Phase make_compute(ComputeKind c) {
+    return Phase{Kind::kCompute, c, {}};
+  }
+  static Phase make_exchange(std::vector<FieldId> f) {
+    return Phase{Kind::kExchange, {}, std::move(f)};
+  }
+};
+
+/// The 2D schedule for `method`.  Identical for serial and parallel runs;
+/// only the meaning of the exchange phases differs.
+std::vector<Phase> make_schedule2d(Method method);
+
+/// The 3D schedule (same structure; FD also exchanges vz, LB the 15
+/// D3Q15 populations).
+std::vector<Phase> make_schedule3d(Method method);
+
+/// Executes one compute phase on a subregion.
+void run_compute2d(Domain2D& d, ComputeKind kind);
+void run_compute3d(Domain3D& d, ComputeKind kind);
+
+/// Messages per neighbour per integration step (paper section 6: FD 2,
+/// LB 1).
+constexpr int messages_per_step(Method m) {
+  return m == Method::kFiniteDifference ? 2 : 1;
+}
+
+/// Double-precision variables communicated per boundary fluid node
+/// (paper section 6: 3 for both methods in 2D; 4 for FD and 5 for LB in
+/// 3D — the LB count being the populations that cross a subregion face of
+/// the D3Q15 lattice).
+constexpr int comm_doubles_per_node(Method m, int dims) {
+  if (dims == 2) return 3;
+  return m == Method::kFiniteDifference ? 4 : 5;
+}
+
+}  // namespace subsonic

@@ -1,0 +1,52 @@
+// Runtime contract checks. Kept active in all build types: the cost is
+// negligible next to the stencil loops, and silent out-of-contract use is
+// the dominant failure mode in grid index arithmetic.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace subsonic {
+
+/// Thrown when a SUBSONIC_CHECK / SUBSONIC_REQUIRE contract is violated.
+class contract_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw contract_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace subsonic
+
+/// Precondition check (argument validation at API boundaries).
+#define SUBSONIC_REQUIRE(expr)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::subsonic::detail::contract_fail("precondition", #expr, __FILE__,    \
+                                        __LINE__, {});                      \
+  } while (0)
+
+#define SUBSONIC_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::subsonic::detail::contract_fail("precondition", #expr, __FILE__,    \
+                                        __LINE__, (msg));                   \
+  } while (0)
+
+/// Internal invariant check.
+#define SUBSONIC_CHECK(expr)                                                \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::subsonic::detail::contract_fail("invariant", #expr, __FILE__,       \
+                                        __LINE__, {});                      \
+  } while (0)

@@ -1,0 +1,45 @@
+// Minimal leveled logger.  The distributed runtime and the cluster
+// simulator log protocol events (migrations, synchronizations, channel
+// lifecycle); tests silence it by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace subsonic {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: SUBSONIC_LOG(kInfo) << "migrated " << pid;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::log_emit(level_, os_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace subsonic
+
+#define SUBSONIC_LOG(level) \
+  ::subsonic::LogLine(::subsonic::LogLevel::level)

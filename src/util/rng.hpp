@@ -1,0 +1,72 @@
+// Deterministic, splittable pseudo-random generator used everywhere a
+// reproducible stream is needed (initial perturbations, background-load
+// traces in the cluster simulator, property-test sweeps).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace subsonic {
+
+/// xoshiro256** seeded through SplitMix64.  Deterministic across platforms,
+/// unlike std::default_random_engine / std::uniform_real_distribution.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).  n must be positive.
+  std::uint64_t below(std::uint64_t n) {
+    // Modulo reduction; bias is < n / 2^64, irrelevant for simulation
+    // workloads (and avoids the non-standard 128-bit multiply).
+    return (*this)() % n;
+  }
+
+  /// Derive an independent child stream (for per-subregion/per-host RNGs).
+  Rng split() { return Rng((*this)() ^ 0xd1b54a32d192ed03ull); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace subsonic

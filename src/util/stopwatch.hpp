@@ -1,0 +1,25 @@
+// Wall-clock stopwatch used for calibration micro-measurements (the paper
+// used gettimeofday; steady_clock is the modern equivalent).
+#pragma once
+
+#include <chrono>
+
+namespace subsonic {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace subsonic

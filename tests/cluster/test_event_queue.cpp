@@ -1,0 +1,65 @@
+#include "src/cluster/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace subsonic {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> seen;
+  q.schedule(3.0, [&](double) { seen.push_back(3); });
+  q.schedule(1.0, [&](double) { seen.push_back(1); });
+  q.schedule(2.0, [&](double) { seen.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> seen;
+  q.schedule(1.0, [&](double) { seen.push_back(10); });
+  q.schedule(1.0, [&](double) { seen.push_back(20); });
+  q.schedule(1.0, [&](double) { seen.push_back(30); });
+  q.run_all();
+  EXPECT_EQ(seen, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  double seen_at = -1;
+  q.schedule(5.5, [&](double now) { seen_at = now; });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(seen_at, 5.5);
+  EXPECT_DOUBLE_EQ(q.now(), 5.5);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void(double)> tick = [&](double now) {
+    if (++count < 5) q.schedule(now + 1.0, tick);
+  };
+  q.schedule(0.0, tick);
+  q.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, RejectsPastEvents) {
+  EventQueue q;
+  q.schedule(10.0, [&](double now) {
+    EXPECT_THROW(q.schedule(now - 5.0, [](double) {}), contract_error);
+  });
+  q.run_all();
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.run_one());
+}
+
+}  // namespace
+}  // namespace subsonic

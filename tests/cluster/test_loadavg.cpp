@@ -1,0 +1,77 @@
+#include "src/cluster/loadavg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace subsonic {
+namespace {
+
+TEST(LoadAverage, StartsAtZero) {
+  LoadAverage l;
+  EXPECT_DOUBLE_EQ(l.five_minutes(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(l.fifteen_minutes(100.0), 0.0);
+}
+
+TEST(LoadAverage, ConvergesToConstantLoad) {
+  LoadAverage l;
+  l.set_load(0.0, 2.0);
+  // After many time constants the average equals the load.
+  EXPECT_NEAR(l.one_minute(3600.0), 2.0, 1e-9);
+  EXPECT_NEAR(l.five_minutes(3600.0), 2.0, 1e-4);
+  EXPECT_NEAR(l.fifteen_minutes(7200.0), 2.0, 1e-3);
+}
+
+TEST(LoadAverage, ExactExponentialApproach) {
+  LoadAverage l;
+  l.set_load(0.0, 1.0);
+  // avg5(t) = 1 - exp(-t/300)
+  EXPECT_NEAR(l.five_minutes(300.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(l.fifteen_minutes(900.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(LoadAverage, FasterAverageReactsFirst) {
+  LoadAverage l;
+  l.set_load(0.0, 1.0);
+  const double t = 120.0;
+  LoadAverage l2 = l;
+  EXPECT_GT(l.one_minute(t), l2.five_minutes(t));
+}
+
+TEST(LoadAverage, DecaysWhenLoadDrops) {
+  LoadAverage l;
+  l.set_load(0.0, 2.0);
+  l.set_load(600.0, 0.0);
+  const double at_drop = 2.0 * (1.0 - std::exp(-2.0));
+  EXPECT_NEAR(l.five_minutes(900.0), at_drop * std::exp(-1.0), 1e-12);
+}
+
+TEST(LoadAverage, PiecewiseUpdatesAreOrderIndependentOfReads) {
+  // Reading in between must not change the final value.
+  LoadAverage a, b;
+  a.set_load(0.0, 1.5);
+  b.set_load(0.0, 1.5);
+  a.five_minutes(100.0);
+  a.five_minutes(200.0);
+  EXPECT_DOUBLE_EQ(a.five_minutes(300.0), b.five_minutes(300.0));
+}
+
+TEST(LoadAverage, RejectsTimeTravel) {
+  LoadAverage l;
+  l.set_load(100.0, 1.0);
+  EXPECT_THROW(l.set_load(50.0, 0.0), contract_error);
+}
+
+TEST(LoadAverage, MigrationThresholdScenario) {
+  // The paper's trigger: a second full-time process appears; the 5-minute
+  // average must cross 1.5 in a few minutes, not instantly.
+  LoadAverage l;
+  l.set_load(0.0, 1.0);      // the parallel process
+  l.five_minutes(3600.0);    // settled at 1.0
+  l.set_load(3600.0, 2.0);   // foreground job arrives
+  EXPECT_LT(l.five_minutes(3600.0 + 60.0), 1.5);   // not yet
+  EXPECT_GT(l.five_minutes(3600.0 + 300.0), 1.5);  // after ~5 minutes
+}
+
+}  // namespace
+}  // namespace subsonic

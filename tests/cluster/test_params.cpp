@@ -1,0 +1,88 @@
+#include "src/cluster/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/simulation.hpp"
+
+namespace subsonic {
+namespace {
+
+TEST(HostSpeedTable, MatchesThePaper) {
+  // Section 7's table, relative to 39132 nodes/s (LB 2D on the 715/50).
+  EXPECT_DOUBLE_EQ(
+      host_speed_factor(HostModel::k715, Method::kLatticeBoltzmann, 2), 1.0);
+  EXPECT_DOUBLE_EQ(
+      host_speed_factor(HostModel::k710, Method::kLatticeBoltzmann, 2),
+      0.84);
+  EXPECT_DOUBLE_EQ(
+      host_speed_factor(HostModel::k720, Method::kLatticeBoltzmann, 2),
+      0.86);
+  EXPECT_DOUBLE_EQ(
+      host_speed_factor(HostModel::k715, Method::kLatticeBoltzmann, 3),
+      0.51);
+  EXPECT_DOUBLE_EQ(
+      host_speed_factor(HostModel::k715, Method::kFiniteDifference, 2),
+      1.24);
+  EXPECT_DOUBLE_EQ(
+      host_speed_factor(HostModel::k715, Method::kFiniteDifference, 3), 1.0);
+  EXPECT_DOUBLE_EQ(
+      host_speed_factor(HostModel::k710, Method::kFiniteDifference, 3),
+      0.85);
+  EXPECT_DOUBLE_EQ(
+      host_speed_factor(HostModel::k720, Method::kFiniteDifference, 2),
+      1.17);
+}
+
+TEST(PaperCluster, HasTheCompositionOfSection7) {
+  const auto hosts = ClusterSim::paper_cluster();
+  ASSERT_EQ(hosts.size(), 25u);
+  int n715 = 0, n720 = 0, n710 = 0;
+  for (HostModel h : hosts) {
+    if (h == HostModel::k715) ++n715;
+    if (h == HostModel::k720) ++n720;
+    if (h == HostModel::k710) ++n710;
+  }
+  EXPECT_EQ(n715, 16);
+  EXPECT_EQ(n720, 6);
+  EXPECT_EQ(n710, 3);
+}
+
+TEST(ClusterParams, StateBytesPerNodeCoverAllFields) {
+  ClusterParams p;
+  // 2D LB: rho + 2 velocities + 9 populations = 12 doubles.
+  EXPECT_DOUBLE_EQ(p.state_bytes_per_node(Method::kLatticeBoltzmann, 2),
+                   8.0 * 12);
+  // 3D LB: rho + 3 velocities + 15 populations = 19 doubles.
+  EXPECT_DOUBLE_EQ(p.state_bytes_per_node(Method::kLatticeBoltzmann, 3),
+                   8.0 * 19);
+  EXPECT_DOUBLE_EQ(p.state_bytes_per_node(Method::kFiniteDifference, 2),
+                   8.0 * 3);
+  EXPECT_DOUBLE_EQ(p.state_bytes_per_node(Method::kFiniteDifference, 3),
+                   8.0 * 4);
+}
+
+TEST(ClusterParams, DefaultsAreValid) {
+  EXPECT_NO_THROW(ClusterParams{}.validate());
+}
+
+TEST(ClusterParams, RejectsNonsense) {
+  ClusterParams p;
+  p.busy_share = 0.0;
+  EXPECT_THROW(p.validate(), contract_error);
+  p = ClusterParams{};
+  p.bus_bandwidth_bytes_per_s = -1;
+  EXPECT_THROW(p.validate(), contract_error);
+}
+
+TEST(JobSubmit, PrefersFasterModelsOnAMixedCluster) {
+  // The paper's strategy: choose 715 models before 720s and 710s.
+  ClusterSim sim(ClusterParams{}, ClusterSim::paper_cluster());
+  const Decomposition2D d(Extents2{400, 100}, 4, 1);
+  const WorkloadSpec w = make_workload2d(d, Method::kLatticeBoltzmann);
+  const SimResult r = sim.run(w, 5, HostModel::k715, false);
+  const auto hosts = ClusterSim::paper_cluster();
+  for (int h : r.host_of_proc) EXPECT_EQ(hosts[h], HostModel::k715);
+}
+
+}  // namespace
+}  // namespace subsonic

@@ -1,0 +1,109 @@
+#include <unistd.h>
+#include "src/comm/tcp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include "src/util/check.hpp"
+
+namespace subsonic {
+namespace {
+
+std::string temp_registry(const char* name) {
+  return std::string(::testing::TempDir()) + "/subsonic_ports_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(TcpTransport, PublishesPortsInRegistryFile) {
+  const std::string path = temp_registry("registry");
+  {
+    TcpTransport t(3, path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    int seen = 0, r = 0, port = 0;
+    while (in >> r >> port) {
+      EXPECT_EQ(t.listen_port(r), port);
+      EXPECT_GT(port, 0);
+      ++seen;
+    }
+    EXPECT_EQ(seen, 3);
+  }
+  // Destructor removes the registry.
+  std::ifstream gone(path);
+  EXPECT_FALSE(gone.good());
+}
+
+TEST(TcpTransport, RoundTripThroughRealSockets) {
+  TcpTransport t(2, temp_registry("roundtrip"));
+  std::vector<double> got;
+  std::thread receiver([&] { got = t.recv(1, 0, make_tag(3, 1, 4)); });
+  t.send(0, 1, make_tag(3, 1, 4), {1.5, -2.5, 3.25});
+  receiver.join();
+  EXPECT_EQ(got, (std::vector<double>{1.5, -2.5, 3.25}));
+  EXPECT_EQ(t.messages_delivered(), 1);
+  EXPECT_EQ(t.doubles_delivered(), 3);
+}
+
+TEST(TcpTransport, OutOfOrderTagsAreParkedAndRecovered) {
+  TcpTransport t(2, temp_registry("park"));
+  t.send(0, 1, 20, {2.0});
+  t.send(0, 1, 10, {1.0});
+  // Ask for the later-sent tag first: the earlier frame gets parked.
+  EXPECT_EQ(t.recv(1, 0, 10), (std::vector<double>{1.0}));
+  EXPECT_EQ(t.recv(1, 0, 20), (std::vector<double>{2.0}));
+}
+
+TEST(TcpTransport, BidirectionalPairUsesTwoChannels) {
+  TcpTransport t(2, temp_registry("bidir"));
+  std::thread a([&] {
+    t.send(0, 1, 1, {10.0});
+    EXPECT_EQ(t.recv(0, 1, 2), (std::vector<double>{20.0}));
+  });
+  std::thread b([&] {
+    t.send(1, 0, 2, {20.0});
+    EXPECT_EQ(t.recv(1, 0, 1), (std::vector<double>{10.0}));
+  });
+  a.join();
+  b.join();
+}
+
+TEST(TcpTransport, ManyRanksAllToAll) {
+  const int n = 5;
+  TcpTransport t(n, temp_registry("alltoall"));
+  std::vector<std::thread> threads;
+  std::vector<double> sums(n, 0);
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      for (int peer = 0; peer < n; ++peer)
+        if (peer != r) t.send(r, peer, 0, {double(r + 100)});
+      for (int peer = 0; peer < n; ++peer)
+        if (peer != r) sums[r] += t.recv(r, peer, 0)[0];
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double all = n * (n - 1) / 2.0 + 100.0 * n;  // sum of every rank's value
+  for (int r = 0; r < n; ++r) EXPECT_DOUBLE_EQ(sums[r], all - (r + 100));
+}
+
+TEST(TcpTransport, LargePayloadSurvivesFraming) {
+  TcpTransport t(2, temp_registry("large"));
+  std::vector<double> big(200000);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = double(i) * 0.5;
+  std::vector<double> got;
+  std::thread receiver([&] { got = t.recv(1, 0, 9); });
+  t.send(0, 1, 9, big);
+  receiver.join();
+  EXPECT_EQ(got, big);
+}
+
+TEST(TcpTransport, RefusesStaleRegistryFile) {
+  const std::string path = temp_registry("stale");
+  { std::ofstream(path) << "0 1234\n"; }
+  EXPECT_THROW(TcpTransport(1, path), contract_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace subsonic

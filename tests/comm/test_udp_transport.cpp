@@ -1,0 +1,119 @@
+#include <fstream>
+#include <cstdio>
+#include "src/comm/udp_transport.hpp"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+namespace {
+
+std::string temp_registry(const char* name) {
+  return std::string(::testing::TempDir()) + "/subsonic_udp_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(UdpTransport, RoundTripSingleFragment) {
+  UdpTransport t(2, temp_registry("roundtrip"));
+  std::vector<double> got;
+  std::thread receiver([&] { got = t.recv(1, 0, make_tag(1, 0, 3)); });
+  t.send(0, 1, make_tag(1, 0, 3), {1.0, 2.0, 3.0});
+  receiver.join();
+  EXPECT_EQ(got, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(t.messages_delivered(), 1);
+  EXPECT_EQ(t.retransmissions(), 0);
+}
+
+TEST(UdpTransport, EmptyPayload) {
+  UdpTransport t(2, temp_registry("empty"));
+  std::thread receiver([&] { EXPECT_TRUE(t.recv(1, 0, 7).empty()); });
+  t.send(0, 1, 7, {});
+  receiver.join();
+}
+
+TEST(UdpTransport, LargePayloadIsFragmentedAndReassembled) {
+  UdpTransport t(2, temp_registry("frag"));
+  std::vector<double> big(50000);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = 0.25 * double(i);
+  std::vector<double> got;
+  std::thread receiver([&] { got = t.recv(1, 0, 11); });
+  t.send(0, 1, 11, big);
+  receiver.join();
+  EXPECT_EQ(got, big);
+  // 50000 doubles over 4096-double fragments -> 13 data datagrams.
+  EXPECT_GE(t.datagrams_sent(), 13);
+}
+
+TEST(UdpTransport, RecoversFromDroppedDatagrams) {
+  // Appendix D's "considerable effort": with every 3rd first transmission
+  // deliberately lost, retransmission must still deliver everything.
+  UdpOptions opt;
+  opt.drop_every_n = 3;
+  opt.retransmit_timeout_s = 0.005;
+  UdpTransport t(2, temp_registry("drops"), opt);
+  std::vector<double> payload(20000);
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = double(i) - 7.5;
+  std::vector<double> got;
+  std::thread receiver([&] { got = t.recv(1, 0, 21); });
+  // Keep the sender pumping so its retransmissions go out.
+  std::thread sender([&] {
+    t.send(0, 1, 21, payload);
+    // The sender must service ACKs/retransmits until delivery completes;
+    // in the real runtime this happens in its next recv().  Emulate by
+    // receiving a reply.
+    t.recv(0, 1, 22);
+  });
+  receiver.join();
+  t.send(1, 0, 22, {1.0});
+  sender.join();
+  EXPECT_EQ(got, payload);
+  EXPECT_GT(t.datagrams_dropped(), 0);
+  EXPECT_GT(t.retransmissions(), 0);
+}
+
+TEST(UdpTransport, TagsDemultiplex) {
+  UdpTransport t(2, temp_registry("tags"));
+  t.send(0, 1, 100, {1.0});
+  t.send(0, 1, 200, {2.0});
+  std::vector<double> a, b;
+  std::thread receiver([&] {
+    b = t.recv(1, 0, 200);
+    a = t.recv(1, 0, 100);
+  });
+  receiver.join();
+  EXPECT_EQ(a, (std::vector<double>{1.0}));
+  EXPECT_EQ(b, (std::vector<double>{2.0}));
+}
+
+TEST(UdpTransport, AllToAll) {
+  const int n = 4;
+  UdpTransport t(n, temp_registry("alltoall"));
+  std::vector<std::thread> threads;
+  std::vector<double> sums(n, 0);
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      for (int peer = 0; peer < n; ++peer)
+        if (peer != r) t.send(r, peer, 5, {double(r)});
+      for (int peer = 0; peer < n; ++peer)
+        if (peer != r) sums[r] += t.recv(r, peer, 5)[0];
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int r = 0; r < n; ++r)
+    EXPECT_DOUBLE_EQ(sums[r], n * (n - 1) / 2.0 - r);
+}
+
+TEST(UdpTransport, RefusesStaleRegistry) {
+  const std::string path = temp_registry("stale");
+  { std::ofstream(path) << "0 9999\n"; }
+  EXPECT_THROW(UdpTransport(1, path), contract_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace subsonic

@@ -1,0 +1,143 @@
+#include "src/decomp/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace subsonic {
+namespace {
+
+TEST(EvenSplit, DividesEvenly) {
+  EXPECT_EQ(even_split_start(100, 4, 0), 0);
+  EXPECT_EQ(even_split_start(100, 4, 1), 25);
+  EXPECT_EQ(even_split_start(100, 4, 4), 100);
+}
+
+TEST(EvenSplit, RemainderGoesToFirstParts) {
+  // 10 over 3 parts: sizes 4, 3, 3.
+  EXPECT_EQ(even_split_start(10, 3, 0), 0);
+  EXPECT_EQ(even_split_start(10, 3, 1), 4);
+  EXPECT_EQ(even_split_start(10, 3, 2), 7);
+  EXPECT_EQ(even_split_start(10, 3, 3), 10);
+}
+
+TEST(EvenSplit, SizesDifferByAtMostOne) {
+  for (int n : {7, 13, 100, 101, 997})
+    for (int parts : {1, 2, 3, 5, 8}) {
+      int lo = n, hi = 0;
+      for (int i = 0; i < parts; ++i) {
+        const int sz =
+            even_split_start(n, parts, i + 1) - even_split_start(n, parts, i);
+        lo = std::min(lo, sz);
+        hi = std::max(hi, sz);
+      }
+      EXPECT_LE(hi - lo, 1) << "n=" << n << " parts=" << parts;
+    }
+}
+
+TEST(Decomposition2D, BoxesTileTheGrid) {
+  const Decomposition2D d(Extents2{800, 500}, 5, 4);
+  EXPECT_EQ(d.rank_count(), 20);
+  std::int64_t total = 0;
+  for (int r = 0; r < d.rank_count(); ++r) total += d.box(r).count();
+  EXPECT_EQ(total, 800LL * 500);
+}
+
+TEST(Decomposition2D, BoxesAreDisjoint) {
+  const Decomposition2D d(Extents2{37, 23}, 3, 2);
+  for (int a = 0; a < d.rank_count(); ++a)
+    for (int b = a + 1; b < d.rank_count(); ++b)
+      EXPECT_TRUE(d.box(a).intersect(d.box(b)).empty());
+}
+
+TEST(Decomposition2D, RankCoordRoundTrip) {
+  const Decomposition2D d(Extents2{100, 100}, 5, 4);
+  for (int r = 0; r < d.rank_count(); ++r)
+    EXPECT_EQ(d.rank_of(d.coord_x(r), d.coord_y(r)), r);
+}
+
+TEST(Decomposition2D, OwnerOfMatchesBoxes) {
+  const Decomposition2D d(Extents2{41, 29}, 4, 3);
+  for (int y = 0; y < 29; ++y)
+    for (int x = 0; x < 41; ++x) {
+      const int r = d.owner_of(x, y);
+      EXPECT_TRUE(d.box(r).contains(x, y));
+    }
+}
+
+TEST(Decomposition2D, PaperMTable) {
+  // The table in section 8: (Px1) -> 2, (2x2) -> 2, (3x3) -> 3,
+  // (4x4) -> 4, (5x4) -> 4.
+  EXPECT_EQ(Decomposition2D(Extents2{400, 100}, 8, 1).paper_m(), 2);
+  EXPECT_EQ(Decomposition2D(Extents2{400, 100}, 20, 1).paper_m(), 2);
+  EXPECT_EQ(Decomposition2D(Extents2{200, 200}, 2, 2).paper_m(), 2);
+  EXPECT_EQ(Decomposition2D(Extents2{300, 300}, 3, 3).paper_m(), 3);
+  EXPECT_EQ(Decomposition2D(Extents2{400, 400}, 4, 4).paper_m(), 4);
+  EXPECT_EQ(Decomposition2D(Extents2{500, 400}, 5, 4).paper_m(), 4);
+}
+
+TEST(Decomposition2D, CommEdgeStatistics) {
+  const Decomposition2D d(Extents2{300, 300}, 3, 3);
+  EXPECT_EQ(d.max_comm_edges(), 4);  // the centre subregion
+  EXPECT_NEAR(d.mean_comm_edges(), 24.0 / 9.0, 1e-12);
+  const Decomposition2D p(Extents2{400, 100}, 4, 1);
+  EXPECT_EQ(p.max_comm_edges(), 2);
+}
+
+TEST(Decomposition2D, CommNodeCountPipeline) {
+  // (4x1) of a 400x100 grid: interior subregions send their 100-node-tall,
+  // g-deep left and right strips.
+  const Decomposition2D d(Extents2{400, 100}, 4, 1);
+  EXPECT_EQ(d.comm_node_count(1, StencilShape::kStar, 1), 2 * 100);
+  EXPECT_EQ(d.comm_node_count(1, StencilShape::kStar, 3), 2 * 300);
+  // End subregions only talk to one neighbour.
+  EXPECT_EQ(d.comm_node_count(0, StencilShape::kStar, 1), 100);
+}
+
+TEST(Decomposition2D, CommNodeCountFullAddsCorners) {
+  const Decomposition2D d(Extents2{90, 90}, 3, 3);
+  const int g = 1;
+  const auto star = d.comm_node_count(4, StencilShape::kStar, g);
+  const auto full = d.comm_node_count(4, StencilShape::kFull, g);
+  EXPECT_EQ(star, 4 * 30);
+  EXPECT_EQ(full, 4 * 30 + 4);  // four 1x1 corner blocks
+}
+
+TEST(Decomposition2D, RejectsOversplit) {
+  EXPECT_THROW(Decomposition2D(Extents2{4, 4}, 5, 1), contract_error);
+}
+
+TEST(Decomposition3D, BoxesTileTheGrid) {
+  const Decomposition3D d(Extents3{44, 44, 44}, 3, 2, 2);
+  EXPECT_EQ(d.rank_count(), 12);
+  std::int64_t total = 0;
+  for (int r = 0; r < d.rank_count(); ++r) total += d.box(r).count();
+  EXPECT_EQ(total, 44LL * 44 * 44);
+}
+
+TEST(Decomposition3D, RankCoordRoundTrip) {
+  const Decomposition3D d(Extents3{30, 30, 30}, 2, 3, 2);
+  for (int r = 0; r < d.rank_count(); ++r)
+    EXPECT_EQ(d.rank_of(d.coord_x(r), d.coord_y(r), d.coord_z(r)), r);
+}
+
+TEST(Decomposition3D, OwnerOfMatchesBoxes) {
+  const Decomposition3D d(Extents3{17, 11, 9}, 3, 2, 2);
+  for (int z = 0; z < 9; ++z)
+    for (int y = 0; y < 11; ++y)
+      for (int x = 0; x < 17; ++x)
+        EXPECT_TRUE(d.box(d.owner_of(x, y, z)).contains(x, y, z));
+}
+
+TEST(Decomposition3D, PipelineM) {
+  EXPECT_EQ(Decomposition3D(Extents3{200, 25, 25}, 8, 1, 1).paper_m(), 2);
+}
+
+TEST(Decomposition3D, CommNodeCountPipeline) {
+  // (Px1x1) of 25^3 subregions: interior ranks send two 25x25 faces.
+  const Decomposition3D d(Extents3{100, 25, 25}, 4, 1, 1);
+  EXPECT_EQ(d.comm_node_count(1, StencilShape::kStar, 1), 2 * 25 * 25);
+}
+
+}  // namespace
+}  // namespace subsonic

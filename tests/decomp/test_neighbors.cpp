@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/decomp/decomposition.hpp"
+
+namespace subsonic {
+namespace {
+
+TEST(Neighbors2D, StarCountsByPosition) {
+  const Decomposition2D d(Extents2{90, 90}, 3, 3);
+  // corner, edge, centre
+  EXPECT_EQ(d.neighbors(d.rank_of(0, 0), StencilShape::kStar).size(), 2u);
+  EXPECT_EQ(d.neighbors(d.rank_of(1, 0), StencilShape::kStar).size(), 3u);
+  EXPECT_EQ(d.neighbors(d.rank_of(1, 1), StencilShape::kStar).size(), 4u);
+}
+
+TEST(Neighbors2D, FullCountsByPosition) {
+  const Decomposition2D d(Extents2{90, 90}, 3, 3);
+  EXPECT_EQ(d.neighbors(d.rank_of(0, 0), StencilShape::kFull).size(), 3u);
+  EXPECT_EQ(d.neighbors(d.rank_of(1, 0), StencilShape::kFull).size(), 5u);
+  EXPECT_EQ(d.neighbors(d.rank_of(1, 1), StencilShape::kFull).size(), 8u);
+}
+
+TEST(Neighbors2D, LinksAreSymmetric) {
+  const Decomposition2D d(Extents2{100, 80}, 5, 4);
+  for (auto shape : {StencilShape::kStar, StencilShape::kFull}) {
+    for (int r = 0; r < d.rank_count(); ++r) {
+      for (const NeighborLink& n : d.neighbors(r, shape)) {
+        const auto back = d.neighbors(n.rank, shape);
+        const bool reciprocal =
+            std::any_of(back.begin(), back.end(), [&](const NeighborLink& b) {
+              return b.rank == r && b.dx == -n.dx && b.dy == -n.dy;
+            });
+        EXPECT_TRUE(reciprocal) << "rank " << r << " -> " << n.rank;
+      }
+    }
+  }
+}
+
+TEST(Neighbors2D, OffsetsPointAtTheRightRank) {
+  const Decomposition2D d(Extents2{100, 80}, 5, 4);
+  for (int r = 0; r < d.rank_count(); ++r)
+    for (const NeighborLink& n : d.neighbors(r, StencilShape::kFull)) {
+      EXPECT_EQ(n.rank, d.rank_of(d.coord_x(r) + n.dx, d.coord_y(r) + n.dy));
+      EXPECT_EQ(n.dz, 0);
+    }
+}
+
+TEST(Neighbors2D, SingleSubregionHasNone) {
+  const Decomposition2D d(Extents2{50, 50}, 1, 1);
+  EXPECT_TRUE(d.neighbors(0, StencilShape::kFull).empty());
+}
+
+TEST(Neighbors3D, StarAndFullCounts) {
+  const Decomposition3D d(Extents3{30, 30, 30}, 3, 3, 3);
+  const int centre = d.rank_of(1, 1, 1);
+  EXPECT_EQ(d.neighbors(centre, StencilShape::kStar).size(), 6u);
+  EXPECT_EQ(d.neighbors(centre, StencilShape::kFull).size(), 26u);
+  const int corner = d.rank_of(0, 0, 0);
+  EXPECT_EQ(d.neighbors(corner, StencilShape::kStar).size(), 3u);
+  EXPECT_EQ(d.neighbors(corner, StencilShape::kFull).size(), 7u);
+}
+
+TEST(Neighbors3D, LinksAreSymmetric) {
+  const Decomposition3D d(Extents3{20, 20, 20}, 2, 2, 3);
+  for (int r = 0; r < d.rank_count(); ++r)
+    for (const NeighborLink& n : d.neighbors(r, StencilShape::kFull)) {
+      const auto back = d.neighbors(n.rank, StencilShape::kFull);
+      const bool reciprocal =
+          std::any_of(back.begin(), back.end(), [&](const NeighborLink& b) {
+            return b.rank == r && b.dx == -n.dx && b.dy == -n.dy &&
+                   b.dz == -n.dz;
+          });
+      EXPECT_TRUE(reciprocal);
+    }
+}
+
+TEST(NeighborCountFormula, MatchesStencilShape) {
+  EXPECT_EQ(neighbor_count(StencilShape::kStar, 2), 4);
+  EXPECT_EQ(neighbor_count(StencilShape::kFull, 2), 8);
+  EXPECT_EQ(neighbor_count(StencilShape::kStar, 3), 6);
+  EXPECT_EQ(neighbor_count(StencilShape::kFull, 3), 26);
+}
+
+}  // namespace
+}  // namespace subsonic

@@ -1,0 +1,87 @@
+// Appendix A: worst-case un-synchronization between processes when one
+// process stops.  Full stencil: max(J,K)-1 (eq. 22); star stencil:
+// (J-1)+(K-1) (eq. 23).  Besides checking the closed forms, we verify them
+// against a direct graph simulation: process (i,j) can be at most
+// distance(i,j -> stopped) steps ahead, where distance is the Chebyshev
+// metric for the full stencil and Manhattan for the star stencil.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/decomp/decomposition.hpp"
+
+namespace subsonic {
+namespace {
+
+int simulated_max_unsync2d(int J, int K, StencilShape shape) {
+  // The stopped process sits at some position; every other process can run
+  // ahead by its stencil distance to the stopped one.  The worst case over
+  // stop positions and observers is the graph diameter.
+  int worst = 0;
+  for (int sj = 0; sj < K; ++sj)
+    for (int si = 0; si < J; ++si)
+      for (int j = 0; j < K; ++j)
+        for (int i = 0; i < J; ++i) {
+          const int dx = std::abs(i - si);
+          const int dy = std::abs(j - sj);
+          const int dist =
+              shape == StencilShape::kFull ? std::max(dx, dy) : dx + dy;
+          worst = std::max(worst, dist);
+        }
+  return worst;
+}
+
+TEST(Unsync2D, PaperEquation22FullStencil) {
+  EXPECT_EQ(Decomposition2D(Extents2{100, 80}, 5, 4)
+                .max_unsync(StencilShape::kFull),
+            4);
+  EXPECT_EQ(Decomposition2D(Extents2{100, 100}, 6, 4)
+                .max_unsync(StencilShape::kFull),
+            5);
+}
+
+TEST(Unsync2D, PaperEquation23StarStencil) {
+  EXPECT_EQ(Decomposition2D(Extents2{100, 80}, 5, 4)
+                .max_unsync(StencilShape::kStar),
+            7);
+  EXPECT_EQ(Decomposition2D(Extents2{100, 100}, 6, 4)
+                .max_unsync(StencilShape::kStar),
+            8);
+}
+
+class UnsyncSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(UnsyncSweep, ClosedFormMatchesGraphSimulation) {
+  const auto [J, K] = GetParam();
+  const Decomposition2D d(Extents2{10 * J, 10 * K}, J, K);
+  EXPECT_EQ(d.max_unsync(StencilShape::kFull),
+            simulated_max_unsync2d(J, K, StencilShape::kFull));
+  EXPECT_EQ(d.max_unsync(StencilShape::kStar),
+            simulated_max_unsync2d(J, K, StencilShape::kStar));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decompositions, UnsyncSweep,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 1}, std::pair{2, 2},
+                      std::pair{3, 3}, std::pair{4, 4}, std::pair{5, 4},
+                      std::pair{6, 4}, std::pair{8, 1}, std::pair{1, 7}),
+    [](const auto& param_info) {
+      return "J" + std::to_string(param_info.param.first) + "K" +
+             std::to_string(param_info.param.second);
+    });
+
+TEST(Unsync3D, ClosedForms) {
+  const Decomposition3D d(Extents3{40, 40, 40}, 4, 2, 2);
+  EXPECT_EQ(d.max_unsync(StencilShape::kFull), 3);   // max(4,2,2)-1
+  EXPECT_EQ(d.max_unsync(StencilShape::kStar), 5);   // 3+1+1
+}
+
+TEST(Unsync, SingleProcessIsAlwaysSynchronized) {
+  const Decomposition2D d(Extents2{50, 50}, 1, 1);
+  EXPECT_EQ(d.max_unsync(StencilShape::kFull), 0);
+  EXPECT_EQ(d.max_unsync(StencilShape::kStar), 0);
+}
+
+}  // namespace
+}  // namespace subsonic

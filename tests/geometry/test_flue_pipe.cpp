@@ -1,0 +1,89 @@
+#include "src/geometry/flue_pipe.hpp"
+
+#include <gtest/gtest.h>
+
+namespace subsonic {
+namespace {
+
+TEST(FluePipe, BasicVariantHasInletEdgeAndOutlet) {
+  const Geometry2D g =
+      build_flue_pipe(Extents2{200, 125}, FluePipeVariant::kBasic, 3);
+  EXPECT_EQ(g.mask.extents(), (Extents2{200, 125}));
+  EXPECT_GT(g.mask.count(NodeType::kInlet), 0);
+  EXPECT_GT(g.mask.count(NodeType::kOutlet), 0);
+  EXPECT_GT(g.mask.count(NodeType::kWall), 0);
+  // Most of the domain is fluid.
+  EXPECT_GT(g.mask.count(NodeType::kFluid), g.mask.extents().count() / 2);
+}
+
+TEST(FluePipe, JetOpeningIsOnLeftWall) {
+  const Geometry2D g =
+      build_flue_pipe(Extents2{200, 125}, FluePipeVariant::kBasic, 3);
+  bool found_inlet_on_left = false;
+  for (int y = 0; y < 125; ++y)
+    if (g.mask(0, y) == NodeType::kInlet) found_inlet_on_left = true;
+  EXPECT_TRUE(found_inlet_on_left);
+  EXPECT_GT(g.jet_y1, g.jet_y0);
+}
+
+TEST(FluePipe, ChannelVariantHasOutletOnTop) {
+  const Geometry2D g =
+      build_flue_pipe(Extents2{240, 150}, FluePipeVariant::kChannel, 3);
+  bool found_outlet_on_top = false;
+  const int top = g.mask.extents().ny - 1;
+  for (int x = 0; x < g.mask.extents().nx; ++x)
+    if (g.mask(x, top) == NodeType::kOutlet) found_outlet_on_top = true;
+  EXPECT_TRUE(found_outlet_on_top);
+}
+
+TEST(FluePipe, ChannelVariantHasLargeSolidBlocks) {
+  // Figure 2's point: whole subregions are solid and can be dropped.
+  const Geometry2D g =
+      build_flue_pipe(Extents2{240, 150}, FluePipeVariant::kChannel, 3);
+  const double wall_fraction =
+      double(g.mask.count(NodeType::kWall)) / double(240 * 150);
+  EXPECT_GT(wall_fraction, 0.15);
+}
+
+TEST(FluePipe, DomainIsEnclosed) {
+  const Geometry2D g =
+      build_flue_pipe(Extents2{200, 125}, FluePipeVariant::kBasic, 3);
+  // Every border node is wall, inlet, or outlet — never bare fluid.
+  const Extents2 e = g.mask.extents();
+  for (int x = 0; x < e.nx; ++x) {
+    EXPECT_NE(g.mask(x, 0), NodeType::kFluid);
+    EXPECT_NE(g.mask(x, e.ny - 1), NodeType::kFluid);
+  }
+  for (int y = 0; y < e.ny; ++y) {
+    EXPECT_NE(g.mask(0, y), NodeType::kFluid);
+    EXPECT_NE(g.mask(e.nx - 1, y), NodeType::kFluid);
+  }
+}
+
+TEST(FluePipe, RejectsTinyGrids) {
+  EXPECT_THROW(build_flue_pipe(Extents2{10, 10}, FluePipeVariant::kBasic, 1),
+               contract_error);
+}
+
+TEST(Channel2D, WallsTopAndBottomOnly) {
+  const Mask2D m = build_channel2d(Extents2{16, 9}, 2);
+  for (int x = 0; x < 16; ++x) {
+    EXPECT_EQ(m(x, 0), NodeType::kWall);
+    EXPECT_EQ(m(x, 8), NodeType::kWall);
+    for (int y = 1; y < 8; ++y) EXPECT_EQ(m(x, y), NodeType::kFluid);
+  }
+}
+
+TEST(Channel3D, WallsOnYAndZPlanes) {
+  const Mask3D m = build_channel3d(Extents3{8, 6, 6}, 1);
+  for (int x = 0; x < 8; ++x) {
+    EXPECT_EQ(m(x, 0, 3), NodeType::kWall);
+    EXPECT_EQ(m(x, 5, 3), NodeType::kWall);
+    EXPECT_EQ(m(x, 3, 0), NodeType::kWall);
+    EXPECT_EQ(m(x, 3, 5), NodeType::kWall);
+    EXPECT_EQ(m(x, 2, 2), NodeType::kFluid);
+  }
+}
+
+}  // namespace
+}  // namespace subsonic

@@ -1,0 +1,61 @@
+#include "src/geometry/mask.hpp"
+
+#include <gtest/gtest.h>
+
+namespace subsonic {
+namespace {
+
+TEST(Mask2D, InteriorStartsFluidGhostStartsWall) {
+  Mask2D m(Extents2{4, 4}, 2);
+  EXPECT_EQ(m(0, 0), NodeType::kFluid);
+  EXPECT_EQ(m(3, 3), NodeType::kFluid);
+  EXPECT_EQ(m(-1, 0), NodeType::kWall);
+  EXPECT_EQ(m(4, 4), NodeType::kWall);
+  EXPECT_EQ(m(-2, -2), NodeType::kWall);
+}
+
+TEST(Mask2D, FillBoxClipsToInterior) {
+  Mask2D m(Extents2{5, 5}, 1);
+  m.fill_box({-10, 3, 100, 100}, NodeType::kWall);
+  EXPECT_EQ(m(0, 3), NodeType::kWall);
+  EXPECT_EQ(m(4, 4), NodeType::kWall);
+  EXPECT_EQ(m(0, 2), NodeType::kFluid);
+}
+
+TEST(Mask2D, AllSolidDetectsFullWallBox) {
+  Mask2D m(Extents2{6, 6}, 1);
+  m.fill_box({0, 0, 3, 6}, NodeType::kWall);
+  EXPECT_TRUE(m.all_solid({0, 0, 3, 6}));
+  EXPECT_FALSE(m.all_solid({0, 0, 4, 6}));
+}
+
+TEST(Mask2D, CountByType) {
+  Mask2D m(Extents2{4, 4}, 1);
+  m.set(0, 0, NodeType::kInlet);
+  m.set(3, 3, NodeType::kOutlet);
+  m.set(1, 1, NodeType::kWall);
+  EXPECT_EQ(m.count(NodeType::kInlet), 1);
+  EXPECT_EQ(m.count(NodeType::kOutlet), 1);
+  EXPECT_EQ(m.count(NodeType::kWall), 1);
+  EXPECT_EQ(m.count(NodeType::kFluid), 13);
+}
+
+TEST(Mask3D, DefaultsAndFill) {
+  Mask3D m(Extents3{3, 3, 3}, 1);
+  EXPECT_EQ(m(1, 1, 1), NodeType::kFluid);
+  EXPECT_EQ(m(-1, 0, 0), NodeType::kWall);
+  m.fill_box({0, 0, 0, 3, 3, 1}, NodeType::kWall);
+  EXPECT_TRUE(m.all_solid({0, 0, 0, 3, 3, 1}));
+  EXPECT_FALSE(m.all_solid({0, 0, 0, 3, 3, 2}));
+}
+
+TEST(NodeType, Predicates) {
+  EXPECT_TRUE(is_solid(NodeType::kWall));
+  EXPECT_FALSE(is_solid(NodeType::kFluid));
+  EXPECT_TRUE(is_fluid(NodeType::kFluid));
+  EXPECT_FALSE(is_fluid(NodeType::kInlet));
+  EXPECT_STREQ(to_string(NodeType::kOutlet), "outlet");
+}
+
+}  // namespace
+}  // namespace subsonic

@@ -1,0 +1,83 @@
+#include "src/grid/extents.hpp"
+
+#include <gtest/gtest.h>
+
+namespace subsonic {
+namespace {
+
+TEST(Extents2, CountAndContains) {
+  Extents2 e{800, 500};
+  EXPECT_EQ(e.count(), 400000);
+  EXPECT_TRUE(e.contains(0, 0));
+  EXPECT_TRUE(e.contains(799, 499));
+  EXPECT_FALSE(e.contains(800, 0));
+  EXPECT_FALSE(e.contains(0, -1));
+}
+
+TEST(Extents3, CountAndContains) {
+  Extents3 e{44, 44, 44};
+  EXPECT_EQ(e.count(), 44LL * 44 * 44);
+  EXPECT_TRUE(e.contains(43, 43, 43));
+  EXPECT_FALSE(e.contains(44, 0, 0));
+}
+
+TEST(Extents2, CountDoesNotOverflowInt) {
+  Extents2 e{100000, 100000};
+  EXPECT_EQ(e.count(), 10000000000LL);
+}
+
+TEST(Box2, BasicGeometry) {
+  Box2 b{2, 3, 10, 7};
+  EXPECT_EQ(b.width(), 8);
+  EXPECT_EQ(b.height(), 4);
+  EXPECT_EQ(b.count(), 32);
+  EXPECT_FALSE(b.empty());
+  EXPECT_TRUE(b.contains(2, 3));
+  EXPECT_FALSE(b.contains(10, 3));
+}
+
+TEST(Box2, IntersectOverlapping) {
+  Box2 a{0, 0, 10, 10};
+  Box2 b{5, 5, 15, 15};
+  EXPECT_EQ(a.intersect(b), (Box2{5, 5, 10, 10}));
+}
+
+TEST(Box2, IntersectDisjointIsEmpty) {
+  Box2 a{0, 0, 5, 5};
+  Box2 b{5, 0, 10, 5};  // touching edge, half-open => empty
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(Box2, GrownAddsGhostFootprint) {
+  Box2 b{4, 4, 8, 8};
+  EXPECT_EQ(b.grown(2), (Box2{2, 2, 10, 10}));
+}
+
+TEST(Box2, IntersectIsCommutative) {
+  Box2 a{1, 2, 9, 11};
+  Box2 b{-3, 5, 6, 20};
+  EXPECT_EQ(a.intersect(b), b.intersect(a));
+}
+
+TEST(Box3, IntersectAndGrow) {
+  Box3 a{0, 0, 0, 10, 10, 10};
+  Box3 b{8, -2, 5, 20, 4, 25};
+  const Box3 r = a.intersect(b);
+  EXPECT_EQ(r, (Box3{8, 0, 5, 10, 4, 10}));
+  EXPECT_EQ(r.count(), 2LL * 4 * 5);
+  EXPECT_EQ(a.grown(1), (Box3{-1, -1, -1, 11, 11, 11}));
+}
+
+TEST(Box3, EmptyWhenAnyAxisCollapses) {
+  Box3 a{0, 0, 0, 10, 10, 10};
+  Box3 b{0, 10, 0, 10, 20, 10};
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(FullBox, CoversExtents) {
+  EXPECT_EQ(full_box(Extents2{7, 9}), (Box2{0, 0, 7, 9}));
+  EXPECT_EQ(full_box(Extents3{2, 3, 4}), (Box3{0, 0, 0, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace subsonic

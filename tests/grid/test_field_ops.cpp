@@ -1,0 +1,57 @@
+#include "src/grid/field_ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace subsonic {
+namespace {
+
+TEST(FieldOps, MaxAbsDiffIgnoresGhosts) {
+  PaddedField2D<double> a(Extents2{3, 3}, 1);
+  PaddedField2D<double> b(Extents2{3, 3}, 1);
+  a(1, 1) = 2.0;
+  b(1, 1) = 2.5;
+  a(-1, -1) = 100.0;  // ghost difference must not count
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+}
+
+TEST(FieldOps, MaxAbsDiff3D) {
+  PaddedField3D<double> a(Extents3{2, 2, 2}, 1);
+  PaddedField3D<double> b(Extents3{2, 2, 2}, 1);
+  b(1, 0, 1) = -3.0;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 3.0);
+}
+
+TEST(FieldOps, MaxAbs) {
+  PaddedField2D<double> a(Extents2{3, 3}, 1);
+  a(2, 2) = -7.0;
+  a(0, 0) = 4.0;
+  EXPECT_DOUBLE_EQ(max_abs(a), 7.0);
+}
+
+TEST(FieldOps, L2NormOfConstantField) {
+  PaddedField2D<double> a(Extents2{10, 10}, 1);
+  a.fill(3.0);
+  EXPECT_NEAR(l2_norm(a), 3.0, 1e-12);
+}
+
+TEST(FieldOps, InteriorSum) {
+  PaddedField2D<double> a(Extents2{4, 4}, 2);
+  a.fill(1.0);  // ghosts too
+  // Interior is 16 nodes; ghosts must not contribute.
+  EXPECT_DOUBLE_EQ(interior_sum(a), 16.0);
+}
+
+TEST(FieldOps, InteriorSum3D) {
+  PaddedField3D<double> a(Extents3{2, 3, 4}, 1);
+  a.fill(0.5);
+  EXPECT_DOUBLE_EQ(interior_sum(a), 0.5 * 24);
+}
+
+TEST(FieldOps, MismatchedExtentsThrow) {
+  PaddedField2D<double> a(Extents2{3, 3}, 1);
+  PaddedField2D<double> b(Extents2{4, 3}, 1);
+  EXPECT_THROW(max_abs_diff(a, b), contract_error);
+}
+
+}  // namespace
+}  // namespace subsonic

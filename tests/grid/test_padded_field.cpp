@@ -1,0 +1,105 @@
+#include "src/grid/padded_field.hpp"
+
+#include <gtest/gtest.h>
+
+namespace subsonic {
+namespace {
+
+TEST(PaddedField2D, InteriorAndGhostAccess) {
+  PaddedField2D<double> f(Extents2{4, 3}, 2);
+  EXPECT_EQ(f.nx(), 4);
+  EXPECT_EQ(f.ny(), 3);
+  EXPECT_EQ(f.ghost(), 2);
+  f(0, 0) = 1.5;
+  f(-2, -2) = 2.5;   // ghost corner
+  f(5, 4) = 3.5;     // opposite ghost corner
+  EXPECT_DOUBLE_EQ(f(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(f(-2, -2), 2.5);
+  EXPECT_DOUBLE_EQ(f(5, 4), 3.5);
+}
+
+TEST(PaddedField2D, ValueInitializedToZero) {
+  PaddedField2D<double> f(Extents2{3, 3}, 1);
+  for (int y = -1; y <= 3; ++y)
+    for (int x = -1; x <= 3; ++x) EXPECT_DOUBLE_EQ(f(x, y), 0.0);
+}
+
+TEST(PaddedField2D, AtThrowsOutsidePadding) {
+  PaddedField2D<double> f(Extents2{4, 4}, 1);
+  EXPECT_NO_THROW(f.at(-1, -1));
+  EXPECT_NO_THROW(f.at(4, 4));
+  EXPECT_THROW(f.at(5, 0), contract_error);
+  EXPECT_THROW(f.at(0, -2), contract_error);
+}
+
+TEST(PaddedField2D, DistinctCellsDoNotAlias) {
+  PaddedField2D<int> f(Extents2{5, 5}, 2);
+  int v = 0;
+  for (int y = -2; y < 7; ++y)
+    for (int x = -2; x < 7; ++x) f(x, y) = v++;
+  v = 0;
+  for (int y = -2; y < 7; ++y)
+    for (int x = -2; x < 7; ++x) EXPECT_EQ(f(x, y), v++);
+}
+
+TEST(PaddedField2D, ExtraPitchDoesNotChangeLogicalLayout) {
+  PaddedField2D<double> a(Extents2{8, 4}, 1);
+  PaddedField2D<double> b(Extents2{8, 4}, 1, /*extra_pitch=*/37);
+  for (int y = -1; y <= 4; ++y)
+    for (int x = -1; x <= 8; ++x) {
+      a(x, y) = 10.0 * x + y;
+      b(x, y) = 10.0 * x + y;
+    }
+  EXPECT_TRUE(a == b);
+  EXPECT_GT(b.stored_count(), a.stored_count());
+}
+
+TEST(PaddedField2D, FillSetsEverything) {
+  PaddedField2D<float> f(Extents2{3, 2}, 1);
+  f.fill(2.0f);
+  for (int y = -1; y <= 2; ++y)
+    for (int x = -1; x <= 3; ++x) EXPECT_FLOAT_EQ(f(x, y), 2.0f);
+}
+
+TEST(PaddedField2D, ZeroGhostIsAllowed) {
+  PaddedField2D<double> f(Extents2{2, 2}, 0);
+  f(1, 1) = 9.0;
+  EXPECT_DOUBLE_EQ(f(1, 1), 9.0);
+  EXPECT_FALSE(f.valid(-1, 0));
+}
+
+TEST(PaddedField3D, InteriorAndGhostAccess) {
+  PaddedField3D<double> f(Extents3{3, 4, 5}, 1);
+  f(0, 0, 0) = 1.0;
+  f(-1, -1, -1) = 2.0;
+  f(3, 4, 5) = 3.0;
+  EXPECT_DOUBLE_EQ(f(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(f(-1, -1, -1), 2.0);
+  EXPECT_DOUBLE_EQ(f(3, 4, 5), 3.0);
+}
+
+TEST(PaddedField3D, DistinctCellsDoNotAlias) {
+  PaddedField3D<int> f(Extents3{3, 3, 3}, 1);
+  int v = 0;
+  for (int z = -1; z < 4; ++z)
+    for (int y = -1; y < 4; ++y)
+      for (int x = -1; x < 4; ++x) f(x, y, z) = v++;
+  v = 0;
+  for (int z = -1; z < 4; ++z)
+    for (int y = -1; y < 4; ++y)
+      for (int x = -1; x < 4; ++x) EXPECT_EQ(f(x, y, z), v++);
+}
+
+TEST(PaddedField3D, AtThrowsOutsidePadding) {
+  PaddedField3D<double> f(Extents3{2, 2, 2}, 1);
+  EXPECT_NO_THROW(f.at(2, 2, 2));
+  EXPECT_THROW(f.at(3, 0, 0), contract_error);
+}
+
+TEST(PaddedField2D, RequiresPositiveExtents) {
+  EXPECT_THROW(PaddedField2D<double>(Extents2{0, 4}, 1), contract_error);
+  EXPECT_THROW(PaddedField2D<double>(Extents2{4, -1}, 1), contract_error);
+}
+
+}  // namespace
+}  // namespace subsonic

@@ -1,0 +1,235 @@
+// The load-bearing integration test: a parallel run over any decomposition
+// must reproduce the serial run bit for bit.  This is the paper's claim
+// that padding separates computation from communication so completely that
+// the parallel program is a straightforward extension of the serial one
+// (section 4.2) — every ghost value a stencil reads must equal the value
+// the serial program would have read.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unistd.h>
+
+#include "src/geometry/flue_pipe.hpp"
+#include "src/grid/field_ops.hpp"
+#include "src/comm/tcp_transport.hpp"
+#include "src/comm/udp_transport.hpp"
+#include "src/runtime/parallel2d.hpp"
+#include "src/runtime/serial2d.hpp"
+
+namespace subsonic {
+namespace {
+
+struct Case {
+  const char* name;
+  Method method;
+  double filter_eps;
+  int jx, jy;
+  bool periodic;
+};
+
+class Equivalence : public ::testing::TestWithParam<Case> {};
+
+void perturb(Domain2D& d, Box2 box) {
+  // A smooth deterministic perturbation written in *global* coordinates so
+  // serial and parallel runs get the same initial state.
+  for (int y = 0; y < d.ny(); ++y)
+    for (int x = 0; x < d.nx(); ++x) {
+      const int gx = box.x0 + x;
+      const int gy = box.y0 + y;
+      if (d.node(x, y) != NodeType::kFluid) continue;
+      d.rho()(x, y) = 1.0 + 0.02 * std::sin(0.2 * gx) * std::cos(0.3 * gy);
+      d.vx()(x, y) = 0.01 * std::sin(0.15 * gy + 0.4);
+      d.vy()(x, y) = 0.01 * std::cos(0.25 * gx);
+    }
+}
+
+TEST_P(Equivalence, ParallelMatchesSerialBitwise) {
+  const Case& c = GetParam();
+  const int nx = 48, ny = 36;
+  FluidParams p;
+  p.dt = c.method == Method::kLatticeBoltzmann ? 1.0 : 0.3;
+  p.nu = 0.05;
+  p.filter_eps = c.filter_eps;
+  p.periodic_x = p.periodic_y = c.periodic;
+
+  const int ghost = required_ghost(c.method, p.filter_eps > 0.0);
+  Mask2D mask(Extents2{nx, ny}, ghost);
+  if (!c.periodic) {
+    // Enclose the domain and add an internal obstacle.
+    mask.fill_box({0, 0, nx, 1}, NodeType::kWall);
+    mask.fill_box({0, ny - 1, nx, ny}, NodeType::kWall);
+    mask.fill_box({0, 0, 1, ny}, NodeType::kWall);
+    mask.fill_box({nx - 1, 0, nx, ny}, NodeType::kWall);
+    mask.fill_box({20, 12, 26, 20}, NodeType::kWall);
+  } else {
+    mask.fill_box({10, 10, 14, 14}, NodeType::kWall);
+  }
+
+  SerialDriver2D serial(mask, p, c.method);
+  perturb(serial.domain(), full_box(mask.extents()));
+  serial.reinitialize();
+
+  ParallelDriver2D parallel(mask, p, c.method, c.jx, c.jy);
+  for (int r = 0; r < parallel.decomposition().rank_count(); ++r)
+    if (parallel.is_active(r))
+      perturb(parallel.subdomain(r), parallel.decomposition().box(r));
+  parallel.reinitialize();
+
+  const int steps = 25;
+  serial.run(steps);
+  parallel.run(steps);
+
+  const auto grho = parallel.gather(FieldId::kRho);
+  const auto gvx = parallel.gather(FieldId::kVx);
+  const auto gvy = parallel.gather(FieldId::kVy);
+
+  double worst = 0;
+  for (int y = 0; y < ny; ++y)
+    for (int x = 0; x < nx; ++x) {
+      worst = std::max(worst,
+                       std::abs(grho(x, y) - serial.domain().rho()(x, y)));
+      worst =
+          std::max(worst, std::abs(gvx(x, y) - serial.domain().vx()(x, y)));
+      worst =
+          std::max(worst, std::abs(gvy(x, y) - serial.domain().vy()(x, y)));
+    }
+  EXPECT_EQ(worst, 0.0) << "parallel and serial runs diverged";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decompositions, Equivalence,
+    ::testing::Values(
+        Case{"lb_2x2", Method::kLatticeBoltzmann, 0.0, 2, 2, false},
+        Case{"lb_3x3_filter", Method::kLatticeBoltzmann, 0.2, 3, 3, false},
+        Case{"lb_4x1_periodic", Method::kLatticeBoltzmann, 0.0, 4, 1, true},
+        Case{"lb_1x4_periodic_filter", Method::kLatticeBoltzmann, 0.3, 1, 4,
+             true},
+        Case{"lb_5x4", Method::kLatticeBoltzmann, 0.1, 5, 4, false},
+        Case{"fd_2x2", Method::kFiniteDifference, 0.0, 2, 2, false},
+        Case{"fd_3x2_filter", Method::kFiniteDifference, 0.2, 3, 2, false},
+        Case{"fd_4x1_periodic", Method::kFiniteDifference, 0.0, 4, 1, true},
+        Case{"fd_2x3_periodic_filter", Method::kFiniteDifference, 0.25, 2, 3,
+             true},
+        Case{"fd_5x4", Method::kFiniteDifference, 0.1, 5, 4, false},
+        Case{"lb_1x1", Method::kLatticeBoltzmann, 0.2, 1, 1, false},
+        Case{"fd_1x1_periodic", Method::kFiniteDifference, 0.2, 1, 1, true}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+TEST(EquivalenceFluePipe, JetGeometryWithInactiveSubregions) {
+  // The Figure-2 style geometry: some subregions are entirely solid and
+  // run no process at all; the result must still match the serial run.
+  const Geometry2D g =
+      build_flue_pipe(Extents2{180, 120}, FluePipeVariant::kChannel, 3);
+  FluidParams p;
+  p.dt = 1.0;
+  p.nu = 0.02;
+  p.filter_eps = 0.1;
+  p.inlet_vx = g.inlet_speed;
+
+  SerialDriver2D serial(g.mask, p, Method::kLatticeBoltzmann);
+  ParallelDriver2D parallel(g.mask, p, Method::kLatticeBoltzmann, 6, 4);
+  EXPECT_LT(parallel.active_count(), 24);
+
+  const int steps = 30;
+  serial.run(steps);
+  parallel.run(steps);
+
+  const auto gvx = parallel.gather(FieldId::kVx);
+  const auto gvy = parallel.gather(FieldId::kVy);
+  double worst = 0;
+  for (int y = 0; y < 120; ++y)
+    for (int x = 0; x < 180; ++x) {
+      worst =
+          std::max(worst, std::abs(gvx(x, y) - serial.domain().vx()(x, y)));
+      worst =
+          std::max(worst, std::abs(gvy(x, y) - serial.domain().vy()(x, y)));
+    }
+  EXPECT_EQ(worst, 0.0);
+  // And the jet must actually be flowing.
+  EXPECT_GT(max_abs(serial.domain().vx()), 0.01);
+}
+
+TEST(EquivalenceTransport, TcpSocketsProduceTheSameFlow) {
+  // Same run over real loopback TCP sockets (the paper's actual transport).
+  const int nx = 36, ny = 24;
+  FluidParams p;
+  p.dt = 1.0;
+  p.nu = 0.05;
+  Mask2D mask(Extents2{nx, ny}, 1);
+  mask.fill_box({0, 0, nx, 1}, NodeType::kWall);
+  mask.fill_box({0, ny - 1, nx, ny}, NodeType::kWall);
+  mask.fill_box({0, 0, 1, ny}, NodeType::kWall);
+  mask.fill_box({nx - 1, 0, nx, ny}, NodeType::kWall);
+
+  SerialDriver2D serial(mask, p, Method::kLatticeBoltzmann);
+  perturb(serial.domain(), full_box(mask.extents()));
+  serial.reinitialize();
+
+  const std::string registry = std::string(::testing::TempDir()) +
+                               "/subsonic_ports_equiv_" +
+                               std::to_string(::getpid());
+  auto tcp = std::make_shared<TcpTransport>(3 * 2, registry);
+  ParallelDriver2D parallel(mask, p, Method::kLatticeBoltzmann, 3, 2, tcp);
+  for (int r = 0; r < parallel.decomposition().rank_count(); ++r)
+    perturb(parallel.subdomain(r), parallel.decomposition().box(r));
+  parallel.reinitialize();
+
+  serial.run(12);
+  parallel.run(12);
+
+  const auto grho = parallel.gather(FieldId::kRho);
+  double worst = 0;
+  for (int y = 0; y < ny; ++y)
+    for (int x = 0; x < nx; ++x)
+      worst = std::max(worst,
+                       std::abs(grho(x, y) - serial.domain().rho()(x, y)));
+  EXPECT_EQ(worst, 0.0);
+  EXPECT_GT(tcp->messages_delivered(), 0);
+}
+
+TEST(EquivalenceTransport, UdpDatagramsProduceTheSameFlow) {
+  // Appendix D's alternative transport: reliable delivery is implemented
+  // in user space over datagrams, with deliberate packet loss injected to
+  // exercise the retransmission path — the flow must still match serial.
+  const int nx = 30, ny = 20;
+  FluidParams p;
+  p.dt = 1.0;
+  p.nu = 0.05;
+  Mask2D mask(Extents2{nx, ny}, 1);
+  mask.fill_box({0, 0, nx, 1}, NodeType::kWall);
+  mask.fill_box({0, ny - 1, nx, ny}, NodeType::kWall);
+  mask.fill_box({0, 0, 1, ny}, NodeType::kWall);
+  mask.fill_box({nx - 1, 0, nx, ny}, NodeType::kWall);
+
+  SerialDriver2D serial(mask, p, Method::kLatticeBoltzmann);
+  perturb(serial.domain(), full_box(mask.extents()));
+  serial.reinitialize();
+
+  UdpOptions opt;
+  opt.drop_every_n = 7;  // lose every 7th datagram on purpose
+  opt.retransmit_timeout_s = 0.005;
+  const std::string registry = std::string(::testing::TempDir()) +
+                               "/subsonic_udp_equiv_" +
+                               std::to_string(::getpid());
+  auto udp = std::make_shared<UdpTransport>(4, registry, opt);
+  ParallelDriver2D parallel(mask, p, Method::kLatticeBoltzmann, 2, 2, udp);
+  for (int r = 0; r < 4; ++r)
+    perturb(parallel.subdomain(r), parallel.decomposition().box(r));
+  parallel.reinitialize();
+
+  serial.run(8);
+  parallel.run(8);
+
+  const auto grho = parallel.gather(FieldId::kRho);
+  double worst = 0;
+  for (int y = 0; y < ny; ++y)
+    for (int x = 0; x < nx; ++x)
+      worst = std::max(worst,
+                       std::abs(grho(x, y) - serial.domain().rho()(x, y)));
+  EXPECT_EQ(worst, 0.0);
+  EXPECT_GT(udp->datagrams_dropped(), 0);
+  EXPECT_GT(udp->retransmissions(), 0);
+}
+
+}  // namespace
+}  // namespace subsonic

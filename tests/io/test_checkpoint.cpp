@@ -1,0 +1,174 @@
+#include "src/io/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "src/geometry/flue_pipe.hpp"
+#include "src/runtime/parallel2d.hpp"
+#include "src/runtime/serial2d.hpp"
+#include "src/runtime/serial3d.hpp"
+
+namespace subsonic {
+namespace {
+
+std::string tmp_dir() { return ::testing::TempDir(); }
+
+TEST(Checkpoint, RoundTripIsExact2D) {
+  Mask2D mask(Extents2{20, 16}, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  SerialDriver2D a(mask, p, Method::kLatticeBoltzmann);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 20; ++x)
+      a.domain().rho()(x, y) = 1.0 + 0.01 * std::sin(0.3 * x * y);
+  a.reinitialize();
+  a.run(7);
+  const std::string path = tmp_dir() + "/ckpt2d.dump";
+  save_domain(a.domain(), path);
+
+  SerialDriver2D b(mask, p, Method::kLatticeBoltzmann);
+  restore_domain(b.domain(), path);
+  EXPECT_EQ(b.domain().step(), 7);
+  EXPECT_TRUE(b.domain().rho() == a.domain().rho());
+  EXPECT_TRUE(b.domain().vx() == a.domain().vx());
+  for (int i = 0; i < a.domain().q(); ++i)
+    EXPECT_TRUE(b.domain().f(i) == a.domain().f(i));
+}
+
+TEST(Checkpoint, ResumeEqualsUninterruptedRun) {
+  // The paper: migration "is equivalent to stopping the computation,
+  // saving the entire state on disk, and then restarting."  A restored
+  // run must continue bit for bit.
+  Mask2D mask(Extents2{24, 18}, 3);
+  FluidParams p;
+  p.dt = 1.0;
+  p.filter_eps = 0.2;
+  mask.fill_box({0, 0, 24, 1}, NodeType::kWall);
+  mask.fill_box({0, 17, 24, 18}, NodeType::kWall);
+  mask.fill_box({0, 0, 1, 18}, NodeType::kWall);
+  mask.fill_box({23, 0, 24, 18}, NodeType::kWall);
+
+  SerialDriver2D straight(mask, p, Method::kLatticeBoltzmann);
+  for (int y = 1; y < 17; ++y)
+    for (int x = 1; x < 23; ++x)
+      straight.domain().rho()(x, y) = 1.0 + 0.02 * std::cos(0.4 * x + y);
+  straight.reinitialize();
+
+  SerialDriver2D interrupted(mask, p, Method::kLatticeBoltzmann);
+  for (int y = 1; y < 17; ++y)
+    for (int x = 1; x < 23; ++x)
+      interrupted.domain().rho()(x, y) = 1.0 + 0.02 * std::cos(0.4 * x + y);
+  interrupted.reinitialize();
+
+  straight.run(20);
+
+  interrupted.run(8);
+  const std::string path = tmp_dir() + "/resume.dump";
+  save_domain(interrupted.domain(), path);
+  SerialDriver2D resumed(mask, p, Method::kLatticeBoltzmann);
+  restore_domain(resumed.domain(), path);
+  resumed.run(12);
+
+  EXPECT_EQ(resumed.domain().step(), 20);
+  EXPECT_TRUE(resumed.domain().rho() == straight.domain().rho());
+  EXPECT_TRUE(resumed.domain().vx() == straight.domain().vx());
+  EXPECT_TRUE(resumed.domain().vy() == straight.domain().vy());
+}
+
+TEST(Checkpoint, ParallelCheckpointRestartIsBitwise) {
+  const Geometry2D g =
+      build_flue_pipe(Extents2{120, 80}, FluePipeVariant::kBasic, 3);
+  FluidParams p;
+  p.dt = 1.0;
+  p.nu = 0.02;
+  p.filter_eps = 0.1;
+  p.inlet_vx = g.inlet_speed;
+
+  ParallelDriver2D a(g.mask, p, Method::kLatticeBoltzmann, 3, 2);
+  a.run(10);
+  a.save_checkpoint(tmp_dir());
+
+  ParallelDriver2D b(g.mask, p, Method::kLatticeBoltzmann, 3, 2);
+  b.restore_checkpoint(tmp_dir());
+  a.run(10);
+  b.run(10);
+
+  const auto va = a.gather(FieldId::kVx);
+  const auto vb = b.gather(FieldId::kVx);
+  for (int y = 0; y < 80; ++y)
+    for (int x = 0; x < 120; ++x)
+      ASSERT_EQ(va(x, y), vb(x, y)) << x << "," << y;
+}
+
+TEST(Checkpoint, RoundTripIsExact3D) {
+  Mask3D mask(Extents3{10, 8, 6}, 1);
+  FluidParams p;
+  p.dt = 0.3;
+  SerialDriver3D a(mask, p, Method::kFiniteDifference);
+  for (int z = 0; z < 6; ++z)
+    for (int y = 0; y < 8; ++y)
+      for (int x = 0; x < 10; ++x)
+        a.domain().vz()(x, y, z) = 0.01 * std::sin(x + 2.0 * y - z);
+  a.reinitialize();
+  a.run(3);
+  const std::string path = tmp_dir() + "/ckpt3d.dump";
+  save_domain(a.domain(), path);
+
+  SerialDriver3D b(mask, p, Method::kFiniteDifference);
+  restore_domain(b.domain(), path);
+  EXPECT_EQ(b.domain().step(), 3);
+  EXPECT_TRUE(b.domain().vz() == a.domain().vz());
+  EXPECT_TRUE(b.domain().rho() == a.domain().rho());
+}
+
+TEST(Checkpoint, RejectsWrongSubregion) {
+  Mask2D mask(Extents2{16, 16}, 1);
+  FluidParams p;
+  Domain2D a(mask, Box2{0, 0, 8, 16}, p, Method::kFiniteDifference, 1);
+  Domain2D b(mask, Box2{8, 0, 16, 16}, p, Method::kFiniteDifference, 1);
+  const std::string path = tmp_dir() + "/wrongbox.dump";
+  save_domain(a, path);
+  EXPECT_THROW(restore_domain(b, path), contract_error);
+}
+
+TEST(Checkpoint, RejectsWrongMethod) {
+  Mask2D mask(Extents2{8, 8}, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  Domain2D lb(mask, full_box(mask.extents()), p, Method::kLatticeBoltzmann,
+              1);
+  Domain2D fd(mask, full_box(mask.extents()), p, Method::kFiniteDifference,
+              1);
+  const std::string path = tmp_dir() + "/wrongmethod.dump";
+  save_domain(lb, path);
+  EXPECT_THROW(restore_domain(fd, path), contract_error);
+}
+
+TEST(Checkpoint, RejectsChangedParameters) {
+  Mask2D mask(Extents2{8, 8}, 1);
+  FluidParams p;
+  Domain2D a(mask, full_box(mask.extents()), p, Method::kFiniteDifference,
+             1);
+  const std::string path = tmp_dir() + "/wrongparams.dump";
+  save_domain(a, path);
+  FluidParams p2 = p;
+  p2.nu = p.nu * 2;
+  Domain2D b(mask, full_box(mask.extents()), p2, Method::kFiniteDifference,
+             1);
+  EXPECT_THROW(restore_domain(b, path), contract_error);
+}
+
+TEST(Checkpoint, RejectsGarbageFile) {
+  const std::string path = tmp_dir() + "/garbage.dump";
+  { std::ofstream(path) << "this is not a checkpoint"; }
+  Mask2D mask(Extents2{8, 8}, 1);
+  FluidParams p;
+  Domain2D d(mask, full_box(mask.extents()), p, Method::kFiniteDifference,
+             1);
+  EXPECT_THROW(restore_domain(d, path), contract_error);
+}
+
+}  // namespace
+}  // namespace subsonic

@@ -1,0 +1,80 @@
+#include "src/io/pgm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace subsonic {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Pgm, WritesValidHeaderAndSize) {
+  PaddedField2D<double> f(Extents2{7, 5}, 1);
+  const std::string path = tmp_path("t1.pgm");
+  write_pgm(f, path, 0.0, 1.0);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 7);
+  EXPECT_EQ(h, 5);
+  EXPECT_EQ(maxv, 255);
+  in.get();  // the single whitespace after the header
+  std::string pixels((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_EQ(pixels.size(), 35u);
+}
+
+TEST(Pgm, MapsRangeLinearlyAndClamps) {
+  PaddedField2D<double> f(Extents2{3, 1}, 0);
+  f(0, 0) = -10.0;  // below lo: clamps to 0
+  f(1, 0) = 0.5;    // middle: ~127
+  f(2, 0) = 99.0;   // above hi: clamps to 255
+  const std::string path = tmp_path("t2.pgm");
+  write_pgm(f, path, 0.0, 1.0);
+  std::ifstream in(path, std::ios::binary);
+  std::string line;
+  std::getline(in, line);  // P5
+  std::getline(in, line);  // dims
+  std::getline(in, line);  // maxval
+  unsigned char px[3];
+  in.read(reinterpret_cast<char*>(px), 3);
+  EXPECT_EQ(px[0], 0);
+  EXPECT_NEAR(px[1], 128, 1);
+  EXPECT_EQ(px[2], 255);
+}
+
+TEST(Pgm, SymmetricScaleCentresZeroAtMidGray) {
+  PaddedField2D<double> f(Extents2{2, 1}, 0);
+  f(0, 0) = 0.0;
+  f(1, 0) = 2.0;  // peak
+  const std::string path = tmp_path("t3.pgm");
+  write_pgm_symmetric(f, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string line;
+  std::getline(in, line);
+  std::getline(in, line);
+  std::getline(in, line);
+  unsigned char px[2];
+  in.read(reinterpret_cast<char*>(px), 2);
+  EXPECT_NEAR(px[0], 128, 1);
+  EXPECT_EQ(px[1], 255);
+}
+
+TEST(Pgm, AllZeroFieldDoesNotDivideByZero) {
+  PaddedField2D<double> f(Extents2{4, 4}, 0);
+  EXPECT_NO_THROW(write_pgm_symmetric(f, tmp_path("t4.pgm")));
+}
+
+TEST(Pgm, RejectsInvertedRange) {
+  PaddedField2D<double> f(Extents2{2, 2}, 0);
+  EXPECT_THROW(write_pgm(f, tmp_path("t5.pgm"), 1.0, 0.0), contract_error);
+}
+
+}  // namespace
+}  // namespace subsonic

@@ -1,0 +1,97 @@
+#include "src/perfmodel/efficiency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace subsonic {
+namespace {
+
+TEST(PerfModel, EfficiencyFromTimesLimits) {
+  EXPECT_DOUBLE_EQ(efficiency_from_times(1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(efficiency_from_times(1.0, 1.0), 0.5);
+  EXPECT_NEAR(efficiency_from_times(1.0, 9.0), 0.1, 1e-12);
+}
+
+TEST(PerfModel, CommNodesScaling) {
+  // N_c = m N^(1/2) in 2D, m N^(2/3) in 3D (eqs. 15-16).
+  EXPECT_DOUBLE_EQ(comm_nodes(10000.0, 2, 4.0), 4.0 * 100.0);
+  EXPECT_DOUBLE_EQ(comm_nodes(8000.0, 3, 2.0), 2.0 * 400.0);
+}
+
+TEST(PerfModel, LargeSubregionsApproachPerfectEfficiency) {
+  EXPECT_GT(efficiency_shared_bus_2d(300.0 * 300, 2, 2), 0.99);
+  EXPECT_GT(efficiency_dedicated(300.0 * 300, 2, 4, 2.0 / 3.0), 0.99);
+}
+
+TEST(PerfModel, PaperFigure12Values) {
+  // Figure 12 plots eq. 20 with U_calc/V_com = 2/3 for
+  // (P, m) = (4,2), (9,3), (16,4), (20,4).  Spot-check the midpoint
+  // N = 100^2 where the curves are visibly separated.
+  const double n = 100.0 * 100;
+  const double f4 = efficiency_shared_bus_2d(n, 2, 4);
+  const double f9 = efficiency_shared_bus_2d(n, 3, 9);
+  const double f16 = efficiency_shared_bus_2d(n, 4, 16);
+  const double f20 = efficiency_shared_bus_2d(n, 4, 20);
+  EXPECT_NEAR(f4, 1.0 / (1.0 + 0.01 * 3 * 2 * (2.0 / 3.0)), 1e-9);
+  // Monotone ordering of the four curves.
+  EXPECT_GT(f4, f9);
+  EXPECT_GT(f9, f16);
+  EXPECT_GT(f16, f20);
+  // The paper's qualitative claim: N >= 100^2 gives good efficiency even
+  // at 20 processors.
+  EXPECT_GT(f20, 0.65);
+}
+
+TEST(PerfModel, PaperFigure13Crossover) {
+  // Figure 13: 2D at N=125^2 stays efficient as P grows; 3D at N=25^3
+  // collapses.  Check the ordering and rough levels at P = 20.
+  const double f2d = efficiency_shared_bus_2d(125.0 * 125, 2, 20);
+  const double f3d = efficiency_shared_bus_3d(25.0 * 25 * 25, 2, 20);
+  EXPECT_GT(f2d, 0.80);
+  EXPECT_LT(f3d, 0.60);
+  EXPECT_GT(f2d, f3d);
+}
+
+TEST(PerfModel, EfficiencyFallsWithProcessorsOnSharedBus) {
+  double prev = 1.0;
+  for (int p : {2, 4, 8, 16}) {
+    const double f = efficiency_shared_bus_2d(120.0 * 120, 2, p);
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(PerfModel, ThreeDNeedsFarMoreNodesThanTwoD) {
+  // Same target efficiency: the N^(-1/3) scaling (eq. 18 vs 17) makes the
+  // required subregion grow much faster in 3D.
+  const double m = 2, r = 2.0 / 3.0;
+  const double f_2d = efficiency_dedicated(100.0 * 100, 2, m, r);
+  // A 3D subregion with the same node count is much less efficient.
+  const double f_3d = efficiency_dedicated(100.0 * 100, 3, m, r);
+  EXPECT_GT(f_2d, f_3d);
+}
+
+TEST(PerfModel, SpeedupDefinition) {
+  EXPECT_DOUBLE_EQ(speedup_from_efficiency(0.8, 20), 16.0);
+  EXPECT_DOUBLE_EQ(speedup_from_efficiency(1.0, 4), 4.0);
+}
+
+TEST(PerfModel, MinNodesInversionRoundTrips) {
+  for (double f : {0.5, 0.8, 0.9, 0.95}) {
+    const double n = min_nodes_for_efficiency_2d(f, 2, 20);
+    EXPECT_NEAR(efficiency_shared_bus_2d(n, 2, 20), f, 1e-9);
+  }
+}
+
+TEST(PerfModel, PaperEightyPercentClaim) {
+  // Abstract: "typical simulations achieve 80% parallel efficiency using
+  // 20 workstations."  The model should say that a realistic subregion
+  // (the paper's 800x500 grid over 20 processors = 20000 nodes each)
+  // lands in that neighbourhood.
+  const double n = 800.0 * 500 / 20;
+  const double f = efficiency_shared_bus_2d(n, 4, 20);
+  EXPECT_GT(f, 0.70);
+  EXPECT_LT(f, 0.95);
+}
+
+}  // namespace
+}  // namespace subsonic

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/runtime/exchange2d.hpp"
+#include "src/runtime/exchange3d.hpp"
+
+namespace subsonic {
+namespace {
+
+TEST(LinkPlans2D, InteriorRankHasEightLinks) {
+  const Decomposition2D d(Extents2{90, 90}, 3, 3);
+  const auto plans = make_link_plans2d(d, d.rank_of(1, 1), 3, false, false,
+                                       {});
+  EXPECT_EQ(plans.size(), 8u);
+}
+
+TEST(LinkPlans2D, CornerRankHasThreeLinks) {
+  const Decomposition2D d(Extents2{90, 90}, 3, 3);
+  const auto plans = make_link_plans2d(d, d.rank_of(0, 0), 3, false, false,
+                                       {});
+  EXPECT_EQ(plans.size(), 3u);
+}
+
+TEST(LinkPlans2D, SendAndRecvBoxesHaveMatchingSizes) {
+  const Decomposition2D d(Extents2{101, 67}, 4, 3);
+  for (int r = 0; r < d.rank_count(); ++r)
+    for (const LinkPlan2D& p :
+         make_link_plans2d(d, r, 3, false, false, {})) {
+      EXPECT_EQ(p.send_box.count(), p.recv_box.count());
+      EXPECT_FALSE(p.send_box.empty());
+    }
+}
+
+TEST(LinkPlans2D, SendBoxesLieInTheInteriorRecvBoxesInThePadding) {
+  const Decomposition2D d(Extents2{80, 60}, 4, 2);
+  const int g = 3;
+  for (int r = 0; r < d.rank_count(); ++r) {
+    const Box2 local{0, 0, d.box(r).width(), d.box(r).height()};
+    for (const LinkPlan2D& p : make_link_plans2d(d, r, g, false, false, {})) {
+      EXPECT_EQ(p.send_box.intersect(local), p.send_box);
+      EXPECT_TRUE(p.recv_box.intersect(local).empty());
+      EXPECT_EQ(p.recv_box.intersect(local.grown(g)), p.recv_box);
+    }
+  }
+}
+
+TEST(LinkPlans2D, DirectionIndicesArePaired) {
+  const Decomposition2D d(Extents2{60, 60}, 2, 2);
+  for (int r = 0; r < d.rank_count(); ++r)
+    for (const LinkPlan2D& p : make_link_plans2d(d, r, 1, false, false, {})) {
+      // dir and peer_dir encode opposite offsets: their (dx,dy) sum to 0.
+      const int dx = p.dir % 3 - 1, dy = p.dir / 3 - 1;
+      const int pdx = p.peer_dir % 3 - 1, pdy = p.peer_dir / 3 - 1;
+      EXPECT_EQ(dx + pdx, 0);
+      EXPECT_EQ(dy + pdy, 0);
+    }
+}
+
+TEST(LinkPlans2D, PeriodicWrapCreatesSelfLinks) {
+  const Decomposition2D d(Extents2{40, 40}, 1, 1);
+  const auto plans = make_link_plans2d(d, 0, 2, true, true, {});
+  EXPECT_EQ(plans.size(), 8u);  // all eight wrap back to self
+  for (const LinkPlan2D& p : plans) EXPECT_EQ(p.peer, 0);
+}
+
+TEST(LinkPlans2D, InactiveNeighboursAreSkipped) {
+  const Decomposition2D d(Extents2{60, 20}, 3, 1);
+  std::vector<bool> active{true, false, true};
+  EXPECT_TRUE(make_link_plans2d(d, 0, 1, false, false, active).empty());
+  EXPECT_TRUE(make_link_plans2d(d, 2, 1, false, false, active).empty());
+}
+
+TEST(PackUnpack2D, RoundTripsThroughPayload) {
+  Mask2D mask(Extents2{12, 10}, 2);
+  FluidParams p;
+  Domain2D a(mask, full_box(mask.extents()), p, Method::kFiniteDifference,
+             2);
+  for (int y = 0; y < 10; ++y)
+    for (int x = 0; x < 12; ++x) {
+      a.rho()(x, y) = x + 100.0 * y;
+      a.vx()(x, y) = -x + 0.5 * y;
+    }
+  const Box2 box{3, 2, 9, 7};
+  const auto payload =
+      pack2d(a, {FieldId::kRho, FieldId::kVx}, box);
+  EXPECT_EQ(payload.size(), size_t(box.count()) * 2);
+
+  Domain2D b(mask, full_box(mask.extents()), p, Method::kFiniteDifference,
+             2);
+  unpack2d(b, {FieldId::kRho, FieldId::kVx}, box, payload);
+  for (int y = box.y0; y < box.y1; ++y)
+    for (int x = box.x0; x < box.x1; ++x) {
+      EXPECT_DOUBLE_EQ(b.rho()(x, y), x + 100.0 * y);
+      EXPECT_DOUBLE_EQ(b.vx()(x, y), -x + 0.5 * y);
+    }
+}
+
+TEST(PackUnpack2D, WrongPayloadSizeThrows) {
+  Mask2D mask(Extents2{6, 6}, 1);
+  FluidParams p;
+  Domain2D d(mask, full_box(mask.extents()), p, Method::kFiniteDifference,
+             1);
+  EXPECT_THROW(unpack2d(d, {FieldId::kRho}, Box2{0, 0, 2, 2}, {1.0}),
+               contract_error);
+}
+
+TEST(LinkPlans3D, InteriorRankHasTwentySixLinks) {
+  const Decomposition3D d(Extents3{30, 30, 30}, 3, 3, 3);
+  const auto plans = make_link_plans3d(d, d.rank_of(1, 1, 1), 1, false,
+                                       false, false, {});
+  EXPECT_EQ(plans.size(), 26u);
+}
+
+TEST(LinkPlans3D, SendRecvCountsMatch) {
+  const Decomposition3D d(Extents3{23, 17, 11}, 2, 2, 2);
+  for (int r = 0; r < d.rank_count(); ++r)
+    for (const LinkPlan3D& p :
+         make_link_plans3d(d, r, 3, false, false, false, {}))
+      EXPECT_EQ(p.send_box.count(), p.recv_box.count());
+}
+
+TEST(PackUnpack3D, RoundTrips) {
+  Mask3D mask(Extents3{6, 5, 4}, 1);
+  FluidParams p;
+  Domain3D a(mask, full_box(mask.extents()), p, Method::kFiniteDifference,
+             1);
+  for (int z = 0; z < 4; ++z)
+    for (int y = 0; y < 5; ++y)
+      for (int x = 0; x < 6; ++x) a.vz()(x, y, z) = x + 10 * y + 100 * z;
+  const Box3 box{1, 1, 1, 5, 4, 3};
+  const auto payload = pack3d(a, {FieldId::kVz}, box);
+  Domain3D b(mask, full_box(mask.extents()), p, Method::kFiniteDifference,
+             1);
+  unpack3d(b, {FieldId::kVz}, box, payload);
+  for (int z = box.z0; z < box.z1; ++z)
+    for (int y = box.y0; y < box.y1; ++y)
+      for (int x = box.x0; x < box.x1; ++x)
+        EXPECT_DOUBLE_EQ(b.vz()(x, y, z), x + 10 * y + 100 * z);
+}
+
+}  // namespace
+}  // namespace subsonic

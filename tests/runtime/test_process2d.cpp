@@ -1,0 +1,115 @@
+// The fork()-based process runtime: real UNIX processes, real sockets,
+// dump-file results — and still bit-identical to the serial run.
+#include "src/runtime/process2d.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "src/decomp/decomposition.hpp"
+#include "src/geometry/flue_pipe.hpp"
+#include "src/io/checkpoint.hpp"
+#include "src/runtime/serial2d.hpp"
+
+namespace subsonic {
+namespace {
+
+std::string make_workdir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/proc2d_" +
+                          name + "_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+Mask2D closed_box(int nx, int ny, int ghost) {
+  Mask2D mask(Extents2{nx, ny}, ghost);
+  mask.fill_box({0, 0, nx, 1}, NodeType::kWall);
+  mask.fill_box({0, ny - 1, nx, ny}, NodeType::kWall);
+  mask.fill_box({0, 0, 1, ny}, NodeType::kWall);
+  mask.fill_box({nx - 1, 0, nx, ny}, NodeType::kWall);
+  mask.fill_box({12, 8, 18, 14}, NodeType::kWall);  // obstacle
+  return mask;
+}
+
+TEST(ProcessRuntime, ForkedProcessesMatchSerialBitwise) {
+  const int nx = 36, ny = 24;
+  FluidParams p;
+  p.dt = 1.0;
+  p.nu = 0.02;
+  p.inlet_vx = 0.06;
+  Mask2D mask = closed_box(nx, ny, 1);
+  mask.fill_box({0, 10, 1, 14}, NodeType::kInlet);
+  mask.fill_box({nx - 1, 10, nx, 14}, NodeType::kOutlet);
+
+  SerialDriver2D serial(mask, p, Method::kLatticeBoltzmann);
+  serial.run(15);
+
+  const std::string workdir = make_workdir("equiv");
+  const ProcessRunResult r =
+      run_multiprocess2d(mask, p, Method::kLatticeBoltzmann, 2, 2, 15,
+                         workdir);
+  EXPECT_EQ(r.processes, 4);
+  EXPECT_EQ(r.final_step, 15);
+
+  // Gather by restoring the dump files, as the parent would.
+  const Decomposition2D d(mask.extents(), 2, 2);
+  double worst = 0;
+  for (int rank = 0; rank < 4; ++rank) {
+    Domain2D sub(mask, d.box(rank), p, Method::kLatticeBoltzmann, 1);
+    restore_domain(sub, workdir + "/rank_" + std::to_string(rank) +
+                            ".dump");
+    const Box2 b = d.box(rank);
+    for (int y = 0; y < b.height(); ++y)
+      for (int x = 0; x < b.width(); ++x)
+        worst = std::max(
+            worst, std::abs(sub.vx()(x, y) -
+                            serial.domain().vx()(b.x0 + x, b.y0 + y)));
+  }
+  EXPECT_EQ(worst, 0.0);
+}
+
+TEST(ProcessRuntime, RepeatedCallsResumeFromTheDumps) {
+  const int nx = 24, ny = 18;
+  FluidParams p;
+  p.dt = 1.0;
+  const Mask2D mask = closed_box(nx, ny, 1);
+
+  const std::string workdir = make_workdir("resume");
+  run_multiprocess2d(mask, p, Method::kLatticeBoltzmann, 2, 1, 6, workdir);
+  const ProcessRunResult r =
+      run_multiprocess2d(mask, p, Method::kLatticeBoltzmann, 2, 1, 6,
+                         workdir);
+  EXPECT_EQ(r.final_step, 12);
+
+  // ...and the two-burst run equals one uninterrupted serial run.
+  SerialDriver2D serial(mask, p, Method::kLatticeBoltzmann);
+  serial.run(12);
+  const Decomposition2D d(mask.extents(), 2, 1);
+  Domain2D sub(mask, d.box(1), p, Method::kLatticeBoltzmann, 1);
+  restore_domain(sub, workdir + "/rank_1.dump");
+  const Box2 b = d.box(1);
+  for (int y = 0; y < b.height(); ++y)
+    for (int x = 0; x < b.width(); ++x)
+      ASSERT_EQ(sub.rho()(x, y),
+                serial.domain().rho()(b.x0 + x, b.y0 + y));
+}
+
+TEST(ProcessRuntime, DropsAllSolidSubregions) {
+  const int nx = 30, ny = 20;
+  Mask2D mask = closed_box(nx, ny, 1);
+  mask.fill_box({0, 0, 10, 20}, NodeType::kWall);  // left third solid
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("solid");
+  const ProcessRunResult r =
+      run_multiprocess2d(mask, p, Method::kLatticeBoltzmann, 3, 1, 5,
+                         workdir);
+  EXPECT_EQ(r.processes, 2);  // rank 0 is entirely wall
+}
+
+}  // namespace
+}  // namespace subsonic

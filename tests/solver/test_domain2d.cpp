@@ -1,0 +1,118 @@
+#include "src/solver/domain2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/geometry/flue_pipe.hpp"
+#include "src/solver/lbm2d.hpp"
+
+namespace subsonic {
+namespace {
+
+TEST(Domain2D, SubregionWindowCopiesGlobalMask) {
+  Mask2D mask(Extents2{20, 20}, 2);
+  mask.fill_box({8, 0, 12, 20}, NodeType::kWall);  // vertical wall band
+  FluidParams p;
+  const Domain2D d(mask, Box2{10, 5, 15, 15}, p, Method::kFiniteDifference,
+                   2);
+  EXPECT_EQ(d.nx(), 5);
+  EXPECT_EQ(d.ny(), 10);
+  // Local (0,0) is global (10,5): inside the wall band.
+  EXPECT_EQ(d.node(0, 0), NodeType::kWall);
+  EXPECT_EQ(d.node(2, 0), NodeType::kFluid);   // global x=12
+  EXPECT_EQ(d.node(-2, 0), NodeType::kWall);   // global x=8
+  EXPECT_EQ(d.node(-3 + 1, 0), NodeType::kWall);
+}
+
+TEST(Domain2D, PeriodicWindowWrapsTypes) {
+  Mask2D mask(Extents2{10, 6}, 2);
+  mask.fill_box({0, 0, 1, 6}, NodeType::kWall);  // wall column at x=0
+  FluidParams p;
+  p.periodic_x = true;
+  const Domain2D d(mask, Box2{8, 0, 10, 6}, p, Method::kFiniteDifference, 2);
+  // Local x=2 is global x=10, which wraps to x=0: the wall column.
+  EXPECT_EQ(d.node(2, 0), NodeType::kWall);
+  EXPECT_EQ(d.node(3, 0), NodeType::kFluid);  // wraps to x=1
+}
+
+TEST(Domain2D, NonPeriodicWindowSeesWallPadding) {
+  Mask2D mask(Extents2{10, 6}, 2);
+  FluidParams p;
+  const Domain2D d(mask, Box2{0, 0, 10, 6}, p, Method::kFiniteDifference, 2);
+  EXPECT_EQ(d.node(-1, 0), NodeType::kWall);
+  EXPECT_EQ(d.node(10, 5), NodeType::kWall);
+}
+
+TEST(Domain2D, InitialStateIsQuiescentAtRho0) {
+  Mask2D mask(Extents2{8, 8}, 1);
+  FluidParams p;
+  p.rho0 = 1.25;
+  const Domain2D d(mask, full_box(mask.extents()), p,
+                   Method::kFiniteDifference, 1);
+  for (int y = -1; y <= 8; ++y)
+    for (int x = -1; x <= 8; ++x) {
+      EXPECT_DOUBLE_EQ(d.rho()(x, y), 1.25);
+      EXPECT_DOUBLE_EQ(d.vx()(x, y), 0.0);
+    }
+}
+
+TEST(Domain2D, InletNodesStartAtJetVelocity) {
+  Mask2D mask(Extents2{8, 8}, 1);
+  mask.fill_box({0, 3, 1, 5}, NodeType::kInlet);
+  FluidParams p;
+  p.inlet_vx = 0.07;
+  const Domain2D d(mask, full_box(mask.extents()), p,
+                   Method::kFiniteDifference, 1);
+  EXPECT_DOUBLE_EQ(d.vx()(0, 3), 0.07);
+  EXPECT_DOUBLE_EQ(d.vx()(0, 4), 0.07);
+  EXPECT_DOUBLE_EQ(d.vx()(1, 3), 0.0);
+}
+
+TEST(Domain2D, FdHasNoPopulations) {
+  Mask2D mask(Extents2{4, 4}, 1);
+  FluidParams p;
+  const Domain2D d(mask, full_box(mask.extents()), p,
+                   Method::kFiniteDifference, 1);
+  EXPECT_EQ(d.q(), 0);
+}
+
+TEST(Domain2D, LbStartsAtEquilibrium) {
+  Mask2D mask(Extents2{6, 6}, 1);
+  FluidParams p;
+  Domain2D d(mask, full_box(mask.extents()), p, Method::kLatticeBoltzmann,
+             1);
+  EXPECT_EQ(d.q(), lbm2d::kQ);
+  for (int i = 0; i < lbm2d::kQ; ++i)
+    EXPECT_DOUBLE_EQ(d.f(i)(2, 2), lbm2d::equilibrium(i, 1.0, 0.0, 0.0));
+}
+
+TEST(Domain2D, FieldLookup) {
+  Mask2D mask(Extents2{4, 4}, 1);
+  FluidParams p;
+  Domain2D d(mask, full_box(mask.extents()), p, Method::kLatticeBoltzmann,
+             1);
+  EXPECT_EQ(&d.field(FieldId::kRho), &d.rho());
+  EXPECT_EQ(&d.field(FieldId::kVx), &d.vx());
+  EXPECT_EQ(&d.field(FieldId::kVy), &d.vy());
+  EXPECT_EQ(&d.field(population(4)), &d.f(4));
+  EXPECT_THROW(d.field(FieldId::kVz), contract_error);
+}
+
+TEST(Domain2D, RejectsBoxOutsideGlobalGrid) {
+  Mask2D mask(Extents2{8, 8}, 1);
+  FluidParams p;
+  EXPECT_THROW(Domain2D(mask, Box2{4, 4, 12, 8}, p,
+                        Method::kFiniteDifference, 1),
+               contract_error);
+}
+
+TEST(Domain2D, RejectsInsufficientMaskGhost) {
+  Mask2D mask(Extents2{8, 8}, 1);
+  FluidParams p;
+  EXPECT_THROW(
+      Domain2D(mask, full_box(mask.extents()), p, Method::kFiniteDifference,
+               3),
+      contract_error);
+}
+
+}  // namespace
+}  // namespace subsonic

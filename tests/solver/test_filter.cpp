@@ -1,0 +1,149 @@
+#include "src/solver/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geometry/flue_pipe.hpp"
+#include "src/grid/field_ops.hpp"
+#include "src/runtime/serial2d.hpp"
+
+namespace subsonic {
+namespace {
+
+Domain2D make_domain(const Mask2D& mask, double eps, bool periodic = true) {
+  FluidParams p;
+  p.filter_eps = eps;
+  p.periodic_x = p.periodic_y = periodic;
+  return Domain2D(mask, full_box(mask.extents()), p,
+                  Method::kFiniteDifference, 3);
+}
+
+void wrap_ghosts(Domain2D& d, PaddedField2D<double>& u) {
+  const int g = d.ghost();
+  for (int y = 0; y < d.ny(); ++y)
+    for (int k = 1; k <= g; ++k) {
+      u(-k, y) = u(d.nx() - k, y);
+      u(d.nx() - 1 + k, y) = u(k - 1, y);
+    }
+  for (int k = 1; k <= g; ++k)
+    for (int x = -g; x < d.nx() + g; ++x) {
+      u(x, -k) = u(x, d.ny() - k);
+      u(x, d.ny() - 1 + k) = u(x, k - 1);
+    }
+}
+
+TEST(Filter, ZeroEpsIsANoOp) {
+  Mask2D mask(Extents2{16, 16}, 3);
+  Domain2D d = make_domain(mask, 0.0);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) d.vx()(x, y) = std::sin(0.7 * x * y);
+  PaddedField2D<double> before = d.vx();
+  filter2d(d);
+  EXPECT_DOUBLE_EQ(max_abs_diff(before, d.vx()), 0.0);
+}
+
+TEST(Filter, ConstantFieldIsUnchanged) {
+  Mask2D mask(Extents2{12, 12}, 3);
+  Domain2D d = make_domain(mask, 0.5);
+  d.vx().fill(3.25);
+  filter2d(d);
+  for (int y = 0; y < 12; ++y)
+    for (int x = 0; x < 12; ++x) EXPECT_DOUBLE_EQ(d.vx()(x, y), 3.25);
+}
+
+TEST(Filter, QuadraticFieldIsUnchanged) {
+  // The 5-point fourth difference annihilates polynomials up to cubic.
+  Mask2D mask(Extents2{16, 16}, 3);
+  Domain2D d = make_domain(mask, 0.5, /*periodic=*/false);
+  // Disable periodic wrap so the polynomial extends into the padding.
+  const int g = d.ghost();
+  for (int y = -g; y < 16 + g; ++y)
+    for (int x = -g; x < 16 + g; ++x)
+      d.vx()(x, y) = 2.0 + 0.5 * x - 0.25 * y + 0.125 * x * x - 0.3 * x * y;
+  // Make every stencil node fluid: use a mask whose padding is fluid too.
+  // (The default padding is wall, which would just skip the filter; we
+  // instead verify on the interior sub-block whose stencils stay inside.)
+  filter2d(d);
+  for (int y = 2; y < 14; ++y)
+    for (int x = 2; x < 14; ++x)
+      EXPECT_NEAR(d.vx()(x, y),
+                  2.0 + 0.5 * x - 0.25 * y + 0.125 * x * x - 0.3 * x * y,
+                  1e-12);
+}
+
+TEST(Filter, DampsTheNyquistMode) {
+  // The alternating (-1)^x mode is the grid-scale noise the filter exists
+  // to kill (paper section 6).  One application with eps scales it by
+  // (1 - eps); eps = 1 removes it entirely.
+  Mask2D mask(Extents2{16, 16}, 3);
+  Domain2D d = make_domain(mask, 1.0);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) d.vx()(x, y) = (x % 2 == 0) ? 1 : -1;
+  wrap_ghosts(d, d.vx());
+  filter2d(d);
+  for (int y = 4; y < 12; ++y)
+    for (int x = 4; x < 12; ++x) EXPECT_NEAR(d.vx()(x, y), 0.0, 1e-12);
+}
+
+TEST(Filter, PartialEpsDampsProportionally) {
+  Mask2D mask(Extents2{16, 16}, 3);
+  Domain2D d = make_domain(mask, 0.25);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) d.vx()(x, y) = (x % 2 == 0) ? 1 : -1;
+  wrap_ghosts(d, d.vx());
+  filter2d(d);
+  for (int y = 4; y < 12; ++y)
+    for (int x = 4; x < 12; ++x) {
+      const double expected = 0.75 * ((x % 2 == 0) ? 1 : -1);
+      EXPECT_NEAR(d.vx()(x, y), expected, 1e-12);
+    }
+}
+
+TEST(Filter, SkipsDirectionsBlockedByWalls) {
+  Mask2D mask(Extents2{16, 16}, 3);
+  mask.fill_box({0, 7, 16, 8}, NodeType::kWall);  // horizontal wall row
+  Domain2D d = make_domain(mask, 1.0, /*periodic=*/false);
+  // Nyquist in y only; nodes near the wall cannot filter in y.
+  const int g = d.ghost();
+  for (int y = -g; y < 16 + g; ++y)
+    for (int x = -g; x < 16 + g; ++x) d.vx()(x, y) = (y % 2 == 0) ? 1 : -1;
+  filter2d(d);
+  // Nodes whose y-stencil crosses the wall are skipped and keep their
+  // alternating values; far from the wall the mode is erased.
+  EXPECT_DOUBLE_EQ(d.vx()(8, 9), -1.0);  // stencil crosses wall: unchanged
+  EXPECT_DOUBLE_EQ(d.vx()(8, 8), 1.0);   // adjacent to wall: unchanged
+  EXPECT_NEAR(d.vx()(8, 12), 0.0, 1e-12);
+}
+
+TEST(Filter, DoesNotTouchWallValues) {
+  Mask2D mask(Extents2{12, 12}, 3);
+  mask.fill_box({5, 5, 7, 7}, NodeType::kWall);
+  Domain2D d = make_domain(mask, 1.0, false);
+  for (int y = 0; y < 12; ++y)
+    for (int x = 0; x < 12; ++x) d.vx()(x, y) = ((x + y) % 2 == 0) ? 1 : -1;
+  const double w55 = d.vx()(5, 5);
+  filter2d(d);
+  EXPECT_DOUBLE_EQ(d.vx()(5, 5), w55);
+}
+
+TEST(Filter, ConservesPeriodicMean) {
+  // On a fully periodic fluid domain the fourth difference telescopes, so
+  // the filter conserves the total of the field.
+  const int n = 16;
+  Mask2D mask(Extents2{n, n}, 3);
+  Domain2D d = make_domain(mask, 0.8);
+  unsigned s = 12345;
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x) {
+      s = s * 1664525u + 1013904223u;
+      d.rho()(x, y) = 1.0 + 1e-3 * double(s >> 20);
+    }
+  wrap_ghosts(d, d.rho());
+  const double sum0 = interior_sum(d.rho());
+  filter2d(d);
+  EXPECT_NEAR(interior_sum(d.rho()) / sum0, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace subsonic

@@ -1,0 +1,66 @@
+#include "src/solver/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace subsonic {
+namespace {
+
+TEST(Probe, RecordsSamples) {
+  Probe p;
+  p.record(1.0);
+  p.record(2.0);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.mean(), 1.5);
+}
+
+TEST(Probe, AmplitudeOfPureSine) {
+  Probe p;
+  for (int i = 0; i < 1000; ++i)
+    p.record(0.3 + 0.07 * std::sin(2 * M_PI * i / 50.0));
+  EXPECT_NEAR(p.mean(), 0.3, 1e-3);
+  EXPECT_NEAR(p.amplitude(), 0.07, 1e-3);
+}
+
+TEST(Probe, DominantPeriodOfPureSine) {
+  Probe p;
+  for (int i = 0; i < 1000; ++i)
+    p.record(std::sin(2 * M_PI * i / 37.0));
+  EXPECT_NEAR(p.dominant_period(), 37.0, 0.5);
+}
+
+TEST(Probe, PeriodRobustToOffsetAndGrowth) {
+  // A starting jet: oscillation grows on top of a drifting mean.
+  Probe p;
+  for (int i = 0; i < 2000; ++i) {
+    const double grow = 1.0 - std::exp(-i / 300.0);
+    p.record(0.1 + 0.02 * grow * std::sin(2 * M_PI * i / 80.0));
+  }
+  EXPECT_NEAR(p.dominant_period(1000), 80.0, 2.0);
+}
+
+TEST(Probe, ConstantSignalHasNoPeriod) {
+  Probe p;
+  for (int i = 0; i < 100; ++i) p.record(5.0);
+  EXPECT_DOUBLE_EQ(p.dominant_period(), 0.0);
+  EXPECT_DOUBLE_EQ(p.amplitude(), 0.0);
+  EXPECT_EQ(p.crossings(), 0);
+}
+
+TEST(Probe, CrossingsCountCycles) {
+  Probe p;
+  for (int i = 0; i < 500; ++i) p.record(std::sin(2 * M_PI * i / 50.0));
+  EXPECT_NEAR(p.crossings(), 10, 1);
+}
+
+TEST(Probe, TailWindowExcludesTransient) {
+  Probe p;
+  for (int i = 0; i < 100; ++i) p.record(100.0);  // transient
+  for (int i = 0; i < 400; ++i) p.record(std::sin(2 * M_PI * i / 40.0));
+  EXPECT_NEAR(p.mean(100), 0.0, 0.01);
+  EXPECT_NEAR(p.dominant_period(100), 40.0, 1.0);
+}
+
+}  // namespace
+}  // namespace subsonic

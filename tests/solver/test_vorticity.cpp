@@ -1,0 +1,107 @@
+#include "src/solver/vorticity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geometry/flue_pipe.hpp"
+#include "src/solver/poiseuille.hpp"
+
+namespace subsonic {
+namespace {
+
+Domain2D make_domain(Extents2 e) {
+  Mask2D mask(e, 1);
+  FluidParams p;
+  return Domain2D(mask, full_box(e), p, Method::kFiniteDifference, 1);
+}
+
+TEST(Vorticity, RigidRotationHasConstantVorticity) {
+  // v = omega x r: vx = -w y, vy = w x  =>  curl = 2w everywhere.
+  const double w0 = 0.01;
+  Domain2D d = make_domain(Extents2{16, 16});
+  for (int y = -1; y <= 16; ++y)
+    for (int x = -1; x <= 16; ++x) {
+      d.vx()(x, y) = -w0 * y;
+      d.vy()(x, y) = w0 * x;
+    }
+  const auto w = vorticity2d(d);
+  for (int y = 1; y < 15; ++y)
+    for (int x = 1; x < 15; ++x) EXPECT_NEAR(w(x, y), 2 * w0, 1e-14);
+}
+
+TEST(Vorticity, UniformFlowHasNone) {
+  Domain2D d = make_domain(Extents2{10, 10});
+  for (int y = -1; y <= 10; ++y)
+    for (int x = -1; x <= 10; ++x) {
+      d.vx()(x, y) = 0.05;
+      d.vy()(x, y) = -0.02;
+    }
+  const auto w = vorticity2d(d);
+  for (int y = 1; y < 9; ++y)
+    for (int x = 1; x < 9; ++x) EXPECT_DOUBLE_EQ(w(x, y), 0.0);
+}
+
+TEST(Vorticity, ShearFlowSign) {
+  // vx = k y  =>  w = -k.
+  const double k = 0.03;
+  Domain2D d = make_domain(Extents2{12, 12});
+  for (int y = -1; y <= 12; ++y)
+    for (int x = -1; x <= 12; ++x) d.vx()(x, y) = k * y;
+  const auto w = vorticity2d(d);
+  EXPECT_NEAR(w(6, 6), -k, 1e-14);
+}
+
+TEST(Vorticity, WallNodesReportZero) {
+  Mask2D mask(Extents2{10, 10}, 1);
+  mask.fill_box({4, 4, 6, 6}, NodeType::kWall);
+  FluidParams p;
+  Domain2D d(mask, full_box(mask.extents()), p, Method::kFiniteDifference,
+             1);
+  for (int y = -1; y <= 10; ++y)
+    for (int x = -1; x <= 10; ++x) d.vy()(x, y) = 0.1 * x;
+  const auto w = vorticity2d(d);
+  EXPECT_DOUBLE_EQ(w(4, 4), 0.0);
+  EXPECT_NEAR(w(1, 1), 0.1, 1e-14);
+}
+
+TEST(Poiseuille, AnalyticProfilePeaksAtTheCentre) {
+  const double lo = 0.5, hi = 19.5, g = 1e-4, nu = 0.1;
+  const double centre = 0.5 * (lo + hi);
+  EXPECT_DOUBLE_EQ(poiseuille_velocity(lo, lo, hi, g, nu), 0.0);
+  EXPECT_DOUBLE_EQ(poiseuille_velocity(hi, lo, hi, g, nu), 0.0);
+  EXPECT_DOUBLE_EQ(poiseuille_velocity(centre, lo, hi, g, nu),
+                   poiseuille_peak(lo, hi, g, nu));
+  EXPECT_GT(poiseuille_peak(lo, hi, g, nu), 0.0);
+}
+
+TEST(Poiseuille, ForceForPeakInverts) {
+  const ChannelWalls w{0.5, 20.5};
+  const double nu = 0.08, peak = 0.03;
+  const double g = poiseuille_force_for_peak(peak, w, nu);
+  EXPECT_NEAR(poiseuille_peak(w.lo, w.hi, g, nu), peak, 1e-14);
+}
+
+TEST(Poiseuille, EffectiveWallsDependOnMethod) {
+  // FD pins velocity at the wall nodes; LB's bounce-back places the wall
+  // half a link beyond the fluid.
+  const ChannelWalls fd = channel_walls(Method::kFiniteDifference, 21);
+  const ChannelWalls lb = channel_walls(Method::kLatticeBoltzmann, 21);
+  EXPECT_DOUBLE_EQ(fd.lo, 0.0);
+  EXPECT_DOUBLE_EQ(fd.hi, 20.0);
+  EXPECT_DOUBLE_EQ(lb.lo, 0.5);
+  EXPECT_DOUBLE_EQ(lb.hi, 19.5);
+}
+
+TEST(ShearWave, DecayMatchesClosedForm) {
+  const double amp = 0.01, nu = 0.05;
+  const int n = 64;
+  // At t such that nu k^2 t = 1 the amplitude is amp/e.
+  const double kappa = 2.0 * M_PI / n;
+  const double t = 1.0 / (nu * kappa * kappa);
+  EXPECT_NEAR(shear_wave_velocity(n / 4.0, t, n, 1, amp, nu),
+              amp / std::exp(1.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace subsonic

@@ -1,0 +1,32 @@
+#include "src/util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace subsonic {
+namespace {
+
+TEST(Check, PassingRequireDoesNothing) {
+  EXPECT_NO_THROW(SUBSONIC_REQUIRE(1 + 1 == 2));
+}
+
+TEST(Check, FailingRequireThrowsContractError) {
+  EXPECT_THROW(SUBSONIC_REQUIRE(false), contract_error);
+}
+
+TEST(Check, FailingCheckThrowsContractError) {
+  EXPECT_THROW(SUBSONIC_CHECK(2 > 3), contract_error);
+}
+
+TEST(Check, MessageIncludesExpressionAndText) {
+  try {
+    SUBSONIC_REQUIRE_MSG(false, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const contract_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace subsonic

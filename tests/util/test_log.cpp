@@ -1,0 +1,58 @@
+#include "src/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace subsonic {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(Log, SuppressedLinesDoNotEvaluateIntoTheStream) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // The statement must be safe and cheap when suppressed.
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return 42;
+  };
+  SUBSONIC_LOG(kDebug) << "value " << count();
+  // The operand is still evaluated (C++ argument rules) but nothing is
+  // emitted; mainly we assert this compiles and does not crash with the
+  // logger disabled.
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, EmitDoesNotThrow) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_NO_THROW(SUBSONIC_LOG(kError) << "test error message " << 1.5);
+  EXPECT_NO_THROW(SUBSONIC_LOG(kDebug) << "debug " << 7);
+}
+
+TEST(Log, ThresholdOrdering) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn),
+            static_cast<int>(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace subsonic

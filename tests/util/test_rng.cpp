@@ -1,0 +1,82 @@
+#include "src/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace subsonic {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsNearHalf) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(123);
+  Rng child = parent.split();
+  // The child stream must not replay the parent stream.
+  Rng parent2(123);
+  parent2.split();
+  std::vector<std::uint64_t> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(child());
+    b.push_back(parent());
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng p1(5), p2(5);
+  Rng c1 = p1.split(), c2 = p2.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1(), c2());
+}
+
+}  // namespace
+}  // namespace subsonic
