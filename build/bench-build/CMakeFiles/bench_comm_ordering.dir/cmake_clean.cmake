@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_comm_ordering"
+  "../bench/bench_comm_ordering.pdb"
+  "CMakeFiles/bench_comm_ordering.dir/bench_comm_ordering.cpp.o"
+  "CMakeFiles/bench_comm_ordering.dir/bench_comm_ordering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_11_eff3d"
+  "../bench/bench_fig10_11_eff3d.pdb"
+  "CMakeFiles/bench_fig10_11_eff3d.dir/bench_fig10_11_eff3d.cpp.o"
+  "CMakeFiles/bench_fig10_11_eff3d.dir/bench_fig10_11_eff3d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_eff3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_13_model"
+  "../bench/bench_fig12_13_model.pdb"
+  "CMakeFiles/bench_fig12_13_model.dir/bench_fig12_13_model.cpp.o"
+  "CMakeFiles/bench_fig12_13_model.dir/bench_fig12_13_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

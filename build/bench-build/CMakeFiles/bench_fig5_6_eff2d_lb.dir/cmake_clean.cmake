@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_6_eff2d_lb"
+  "../bench/bench_fig5_6_eff2d_lb.pdb"
+  "CMakeFiles/bench_fig5_6_eff2d_lb.dir/bench_fig5_6_eff2d_lb.cpp.o"
+  "CMakeFiles/bench_fig5_6_eff2d_lb.dir/bench_fig5_6_eff2d_lb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_6_eff2d_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig5_6_eff2d_lb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_8_eff2d_fd"
+  "../bench/bench_fig7_8_eff2d_fd.pdb"
+  "CMakeFiles/bench_fig7_8_eff2d_fd.dir/bench_fig7_8_eff2d_fd.cpp.o"
+  "CMakeFiles/bench_fig7_8_eff2d_fd.dir/bench_fig7_8_eff2d_fd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_eff2d_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_scaling"
+  "../bench/bench_fig9_scaling.pdb"
+  "CMakeFiles/bench_fig9_scaling.dir/bench_fig9_scaling.cpp.o"
+  "CMakeFiles/bench_fig9_scaling.dir/bench_fig9_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

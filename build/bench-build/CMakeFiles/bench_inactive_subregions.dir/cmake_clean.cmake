@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_inactive_subregions"
+  "../bench/bench_inactive_subregions.pdb"
+  "CMakeFiles/bench_inactive_subregions.dir/bench_inactive_subregions.cpp.o"
+  "CMakeFiles/bench_inactive_subregions.dir/bench_inactive_subregions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inactive_subregions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_message_volume"
+  "../bench/bench_message_volume.pdb"
+  "CMakeFiles/bench_message_volume.dir/bench_message_volume.cpp.o"
+  "CMakeFiles/bench_message_volume.dir/bench_message_volume.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_message_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_migration_cost"
+  "../bench/bench_migration_cost.pdb"
+  "CMakeFiles/bench_migration_cost.dir/bench_migration_cost.cpp.o"
+  "CMakeFiles/bench_migration_cost.dir/bench_migration_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_migration_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

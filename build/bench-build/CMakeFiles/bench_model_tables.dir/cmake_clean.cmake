@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_model_tables"
+  "../bench/bench_model_tables.pdb"
+  "CMakeFiles/bench_model_tables.dir/bench_model_tables.cpp.o"
+  "CMakeFiles/bench_model_tables.dir/bench_model_tables.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

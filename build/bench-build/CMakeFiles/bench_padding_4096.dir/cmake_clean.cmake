@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_padding_4096"
+  "../bench/bench_padding_4096.pdb"
+  "CMakeFiles/bench_padding_4096.dir/bench_padding_4096.cpp.o"
+  "CMakeFiles/bench_padding_4096.dir/bench_padding_4096.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_padding_4096.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

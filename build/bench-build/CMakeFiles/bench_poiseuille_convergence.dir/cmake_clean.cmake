@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_poiseuille_convergence"
+  "../bench/bench_poiseuille_convergence.pdb"
+  "CMakeFiles/bench_poiseuille_convergence.dir/bench_poiseuille_convergence.cpp.o"
+  "CMakeFiles/bench_poiseuille_convergence.dir/bench_poiseuille_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_poiseuille_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

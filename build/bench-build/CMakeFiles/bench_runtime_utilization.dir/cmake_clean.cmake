@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_runtime_utilization"
+  "../bench/bench_runtime_utilization.pdb"
+  "CMakeFiles/bench_runtime_utilization.dir/bench_runtime_utilization.cpp.o"
+  "CMakeFiles/bench_runtime_utilization.dir/bench_runtime_utilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_speed_table"
+  "../bench/bench_speed_table.pdb"
+  "CMakeFiles/bench_speed_table.dir/bench_speed_table.cpp.o"
+  "CMakeFiles/bench_speed_table.dir/bench_speed_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speed_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

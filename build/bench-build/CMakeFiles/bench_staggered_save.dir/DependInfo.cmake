@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_staggered_save.cpp" "bench-build/CMakeFiles/bench_staggered_save.dir/bench_staggered_save.cpp.o" "gcc" "bench-build/CMakeFiles/bench_staggered_save.dir/bench_staggered_save.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/subsonic_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/subsonic_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/subsonic_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/subsonic_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/subsonic_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/subsonic_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/subsonic_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subsonic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

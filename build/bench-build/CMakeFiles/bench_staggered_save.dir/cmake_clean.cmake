@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_staggered_save"
+  "../bench/bench_staggered_save.pdb"
+  "CMakeFiles/bench_staggered_save.dir/bench_staggered_save.cpp.o"
+  "CMakeFiles/bench_staggered_save.dir/bench_staggered_save.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_staggered_save.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_staggered_save.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_unsync"
+  "../bench/bench_unsync.pdb"
+  "CMakeFiles/bench_unsync.dir/bench_unsync.cpp.o"
+  "CMakeFiles/bench_unsync.dir/bench_unsync.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_pulse.dir/acoustic_pulse.cpp.o"
+  "CMakeFiles/acoustic_pulse.dir/acoustic_pulse.cpp.o.d"
+  "acoustic_pulse"
+  "acoustic_pulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for acoustic_pulse.
+# This may be replaced when dependencies are built.

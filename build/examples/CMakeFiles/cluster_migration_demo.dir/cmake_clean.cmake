@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_migration_demo.dir/cluster_migration_demo.cpp.o"
+  "CMakeFiles/cluster_migration_demo.dir/cluster_migration_demo.cpp.o.d"
+  "cluster_migration_demo"
+  "cluster_migration_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_migration_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_workflow.dir/distributed_workflow.cpp.o"
+  "CMakeFiles/distributed_workflow.dir/distributed_workflow.cpp.o.d"
+  "distributed_workflow"
+  "distributed_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

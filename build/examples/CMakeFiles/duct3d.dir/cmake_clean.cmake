@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duct3d.dir/duct3d.cpp.o"
+  "CMakeFiles/duct3d.dir/duct3d.cpp.o.d"
+  "duct3d"
+  "duct3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duct3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for duct3d.
+# This may be replaced when dependencies are built.

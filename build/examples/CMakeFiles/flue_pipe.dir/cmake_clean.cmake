@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flue_pipe.dir/flue_pipe.cpp.o"
+  "CMakeFiles/flue_pipe.dir/flue_pipe.cpp.o.d"
+  "flue_pipe"
+  "flue_pipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flue_pipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for flue_pipe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poiseuille_validation.dir/poiseuille_validation.cpp.o"
+  "CMakeFiles/poiseuille_validation.dir/poiseuille_validation.cpp.o.d"
+  "poiseuille_validation"
+  "poiseuille_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poiseuille_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsonic_cluster.dir/simulation.cpp.o"
+  "CMakeFiles/subsonic_cluster.dir/simulation.cpp.o.d"
+  "CMakeFiles/subsonic_cluster.dir/workload.cpp.o"
+  "CMakeFiles/subsonic_cluster.dir/workload.cpp.o.d"
+  "libsubsonic_cluster.a"
+  "libsubsonic_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsonic_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/in_memory_transport.cpp" "src/comm/CMakeFiles/subsonic_comm.dir/in_memory_transport.cpp.o" "gcc" "src/comm/CMakeFiles/subsonic_comm.dir/in_memory_transport.cpp.o.d"
+  "/root/repo/src/comm/tcp_endpoint.cpp" "src/comm/CMakeFiles/subsonic_comm.dir/tcp_endpoint.cpp.o" "gcc" "src/comm/CMakeFiles/subsonic_comm.dir/tcp_endpoint.cpp.o.d"
+  "/root/repo/src/comm/tcp_transport.cpp" "src/comm/CMakeFiles/subsonic_comm.dir/tcp_transport.cpp.o" "gcc" "src/comm/CMakeFiles/subsonic_comm.dir/tcp_transport.cpp.o.d"
+  "/root/repo/src/comm/udp_transport.cpp" "src/comm/CMakeFiles/subsonic_comm.dir/udp_transport.cpp.o" "gcc" "src/comm/CMakeFiles/subsonic_comm.dir/udp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/subsonic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsonic_comm.dir/in_memory_transport.cpp.o"
+  "CMakeFiles/subsonic_comm.dir/in_memory_transport.cpp.o.d"
+  "CMakeFiles/subsonic_comm.dir/tcp_endpoint.cpp.o"
+  "CMakeFiles/subsonic_comm.dir/tcp_endpoint.cpp.o.d"
+  "CMakeFiles/subsonic_comm.dir/tcp_transport.cpp.o"
+  "CMakeFiles/subsonic_comm.dir/tcp_transport.cpp.o.d"
+  "CMakeFiles/subsonic_comm.dir/udp_transport.cpp.o"
+  "CMakeFiles/subsonic_comm.dir/udp_transport.cpp.o.d"
+  "libsubsonic_comm.a"
+  "libsubsonic_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsonic_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

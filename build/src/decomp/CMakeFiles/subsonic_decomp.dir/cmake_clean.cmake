@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsonic_decomp.dir/decomposition.cpp.o"
+  "CMakeFiles/subsonic_decomp.dir/decomposition.cpp.o.d"
+  "libsubsonic_decomp.a"
+  "libsubsonic_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsonic_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsonic_geometry.dir/flue_pipe.cpp.o"
+  "CMakeFiles/subsonic_geometry.dir/flue_pipe.cpp.o.d"
+  "libsubsonic_geometry.a"
+  "libsubsonic_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsonic_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

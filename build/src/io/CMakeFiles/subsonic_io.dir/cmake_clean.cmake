@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsonic_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/subsonic_io.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/subsonic_io.dir/pgm.cpp.o"
+  "CMakeFiles/subsonic_io.dir/pgm.cpp.o.d"
+  "libsubsonic_io.a"
+  "libsubsonic_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsonic_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

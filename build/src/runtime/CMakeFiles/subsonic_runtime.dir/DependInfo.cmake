@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/exchange2d.cpp" "src/runtime/CMakeFiles/subsonic_runtime.dir/exchange2d.cpp.o" "gcc" "src/runtime/CMakeFiles/subsonic_runtime.dir/exchange2d.cpp.o.d"
+  "/root/repo/src/runtime/exchange3d.cpp" "src/runtime/CMakeFiles/subsonic_runtime.dir/exchange3d.cpp.o" "gcc" "src/runtime/CMakeFiles/subsonic_runtime.dir/exchange3d.cpp.o.d"
+  "/root/repo/src/runtime/parallel2d.cpp" "src/runtime/CMakeFiles/subsonic_runtime.dir/parallel2d.cpp.o" "gcc" "src/runtime/CMakeFiles/subsonic_runtime.dir/parallel2d.cpp.o.d"
+  "/root/repo/src/runtime/parallel3d.cpp" "src/runtime/CMakeFiles/subsonic_runtime.dir/parallel3d.cpp.o" "gcc" "src/runtime/CMakeFiles/subsonic_runtime.dir/parallel3d.cpp.o.d"
+  "/root/repo/src/runtime/process2d.cpp" "src/runtime/CMakeFiles/subsonic_runtime.dir/process2d.cpp.o" "gcc" "src/runtime/CMakeFiles/subsonic_runtime.dir/process2d.cpp.o.d"
+  "/root/repo/src/runtime/serial2d.cpp" "src/runtime/CMakeFiles/subsonic_runtime.dir/serial2d.cpp.o" "gcc" "src/runtime/CMakeFiles/subsonic_runtime.dir/serial2d.cpp.o.d"
+  "/root/repo/src/runtime/serial3d.cpp" "src/runtime/CMakeFiles/subsonic_runtime.dir/serial3d.cpp.o" "gcc" "src/runtime/CMakeFiles/subsonic_runtime.dir/serial3d.cpp.o.d"
+  "/root/repo/src/runtime/sync_file.cpp" "src/runtime/CMakeFiles/subsonic_runtime.dir/sync_file.cpp.o" "gcc" "src/runtime/CMakeFiles/subsonic_runtime.dir/sync_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/subsonic_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/subsonic_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/subsonic_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/subsonic_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/subsonic_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subsonic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsonic_runtime.dir/exchange2d.cpp.o"
+  "CMakeFiles/subsonic_runtime.dir/exchange2d.cpp.o.d"
+  "CMakeFiles/subsonic_runtime.dir/exchange3d.cpp.o"
+  "CMakeFiles/subsonic_runtime.dir/exchange3d.cpp.o.d"
+  "CMakeFiles/subsonic_runtime.dir/parallel2d.cpp.o"
+  "CMakeFiles/subsonic_runtime.dir/parallel2d.cpp.o.d"
+  "CMakeFiles/subsonic_runtime.dir/parallel3d.cpp.o"
+  "CMakeFiles/subsonic_runtime.dir/parallel3d.cpp.o.d"
+  "CMakeFiles/subsonic_runtime.dir/process2d.cpp.o"
+  "CMakeFiles/subsonic_runtime.dir/process2d.cpp.o.d"
+  "CMakeFiles/subsonic_runtime.dir/serial2d.cpp.o"
+  "CMakeFiles/subsonic_runtime.dir/serial2d.cpp.o.d"
+  "CMakeFiles/subsonic_runtime.dir/serial3d.cpp.o"
+  "CMakeFiles/subsonic_runtime.dir/serial3d.cpp.o.d"
+  "CMakeFiles/subsonic_runtime.dir/sync_file.cpp.o"
+  "CMakeFiles/subsonic_runtime.dir/sync_file.cpp.o.d"
+  "libsubsonic_runtime.a"
+  "libsubsonic_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsonic_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/bc2d.cpp" "src/solver/CMakeFiles/subsonic_solver.dir/bc2d.cpp.o" "gcc" "src/solver/CMakeFiles/subsonic_solver.dir/bc2d.cpp.o.d"
+  "/root/repo/src/solver/bc3d.cpp" "src/solver/CMakeFiles/subsonic_solver.dir/bc3d.cpp.o" "gcc" "src/solver/CMakeFiles/subsonic_solver.dir/bc3d.cpp.o.d"
+  "/root/repo/src/solver/domain2d.cpp" "src/solver/CMakeFiles/subsonic_solver.dir/domain2d.cpp.o" "gcc" "src/solver/CMakeFiles/subsonic_solver.dir/domain2d.cpp.o.d"
+  "/root/repo/src/solver/domain3d.cpp" "src/solver/CMakeFiles/subsonic_solver.dir/domain3d.cpp.o" "gcc" "src/solver/CMakeFiles/subsonic_solver.dir/domain3d.cpp.o.d"
+  "/root/repo/src/solver/fd2d.cpp" "src/solver/CMakeFiles/subsonic_solver.dir/fd2d.cpp.o" "gcc" "src/solver/CMakeFiles/subsonic_solver.dir/fd2d.cpp.o.d"
+  "/root/repo/src/solver/fd3d.cpp" "src/solver/CMakeFiles/subsonic_solver.dir/fd3d.cpp.o" "gcc" "src/solver/CMakeFiles/subsonic_solver.dir/fd3d.cpp.o.d"
+  "/root/repo/src/solver/filter.cpp" "src/solver/CMakeFiles/subsonic_solver.dir/filter.cpp.o" "gcc" "src/solver/CMakeFiles/subsonic_solver.dir/filter.cpp.o.d"
+  "/root/repo/src/solver/lbm2d.cpp" "src/solver/CMakeFiles/subsonic_solver.dir/lbm2d.cpp.o" "gcc" "src/solver/CMakeFiles/subsonic_solver.dir/lbm2d.cpp.o.d"
+  "/root/repo/src/solver/lbm3d.cpp" "src/solver/CMakeFiles/subsonic_solver.dir/lbm3d.cpp.o" "gcc" "src/solver/CMakeFiles/subsonic_solver.dir/lbm3d.cpp.o.d"
+  "/root/repo/src/solver/schedule.cpp" "src/solver/CMakeFiles/subsonic_solver.dir/schedule.cpp.o" "gcc" "src/solver/CMakeFiles/subsonic_solver.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/subsonic_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subsonic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

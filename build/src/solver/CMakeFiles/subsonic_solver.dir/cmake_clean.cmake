@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsonic_solver.dir/bc2d.cpp.o"
+  "CMakeFiles/subsonic_solver.dir/bc2d.cpp.o.d"
+  "CMakeFiles/subsonic_solver.dir/bc3d.cpp.o"
+  "CMakeFiles/subsonic_solver.dir/bc3d.cpp.o.d"
+  "CMakeFiles/subsonic_solver.dir/domain2d.cpp.o"
+  "CMakeFiles/subsonic_solver.dir/domain2d.cpp.o.d"
+  "CMakeFiles/subsonic_solver.dir/domain3d.cpp.o"
+  "CMakeFiles/subsonic_solver.dir/domain3d.cpp.o.d"
+  "CMakeFiles/subsonic_solver.dir/fd2d.cpp.o"
+  "CMakeFiles/subsonic_solver.dir/fd2d.cpp.o.d"
+  "CMakeFiles/subsonic_solver.dir/fd3d.cpp.o"
+  "CMakeFiles/subsonic_solver.dir/fd3d.cpp.o.d"
+  "CMakeFiles/subsonic_solver.dir/filter.cpp.o"
+  "CMakeFiles/subsonic_solver.dir/filter.cpp.o.d"
+  "CMakeFiles/subsonic_solver.dir/lbm2d.cpp.o"
+  "CMakeFiles/subsonic_solver.dir/lbm2d.cpp.o.d"
+  "CMakeFiles/subsonic_solver.dir/lbm3d.cpp.o"
+  "CMakeFiles/subsonic_solver.dir/lbm3d.cpp.o.d"
+  "CMakeFiles/subsonic_solver.dir/schedule.cpp.o"
+  "CMakeFiles/subsonic_solver.dir/schedule.cpp.o.d"
+  "libsubsonic_solver.a"
+  "libsubsonic_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsonic_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

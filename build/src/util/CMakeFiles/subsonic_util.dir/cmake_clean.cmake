@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsonic_util.dir/log.cpp.o"
+  "CMakeFiles/subsonic_util.dir/log.cpp.o.d"
+  "libsubsonic_util.a"
+  "libsubsonic_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsonic_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsubsonic_util.a"
+)

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/test_event_queue.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_event_queue.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_loadavg.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_loadavg.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_params.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_params.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_simulation.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_simulation.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_workload.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_workload.cpp.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm.dir/comm/test_in_memory_transport.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/test_in_memory_transport.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/test_tcp_transport.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/test_tcp_transport.cpp.o.d"
+  "CMakeFiles/test_comm.dir/comm/test_udp_transport.cpp.o"
+  "CMakeFiles/test_comm.dir/comm/test_udp_transport.cpp.o.d"
+  "test_comm"
+  "test_comm.pdb"
+  "test_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decomp.dir/decomp/test_active.cpp.o"
+  "CMakeFiles/test_decomp.dir/decomp/test_active.cpp.o.d"
+  "CMakeFiles/test_decomp.dir/decomp/test_decomposition.cpp.o"
+  "CMakeFiles/test_decomp.dir/decomp/test_decomposition.cpp.o.d"
+  "CMakeFiles/test_decomp.dir/decomp/test_neighbors.cpp.o"
+  "CMakeFiles/test_decomp.dir/decomp/test_neighbors.cpp.o.d"
+  "CMakeFiles/test_decomp.dir/decomp/test_unsync.cpp.o"
+  "CMakeFiles/test_decomp.dir/decomp/test_unsync.cpp.o.d"
+  "test_decomp"
+  "test_decomp.pdb"
+  "test_decomp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

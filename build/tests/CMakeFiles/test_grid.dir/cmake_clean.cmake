@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid.dir/grid/test_extents.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_extents.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_field_ops.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_field_ops.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_padded_field.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_padded_field.cpp.o.d"
+  "test_grid"
+  "test_grid.pdb"
+  "test_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

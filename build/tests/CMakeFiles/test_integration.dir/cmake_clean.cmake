@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_flue_pipe_physics.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_flue_pipe_physics.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_serial_parallel_equivalence.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_serial_parallel_equivalence.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_serial_parallel_equivalence3d.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_serial_parallel_equivalence3d.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io.dir/io/test_checkpoint.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_checkpoint.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_csv.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_csv.cpp.o.d"
+  "CMakeFiles/test_io.dir/io/test_pgm.cpp.o"
+  "CMakeFiles/test_io.dir/io/test_pgm.cpp.o.d"
+  "test_io"
+  "test_io.pdb"
+  "test_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

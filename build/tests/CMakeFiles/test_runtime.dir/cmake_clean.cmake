@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_exchange.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_exchange.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_process2d.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_process2d.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_serial_drivers.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_serial_drivers.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_sync.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_sync.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/solver/test_domain2d.cpp" "tests/CMakeFiles/test_solver.dir/solver/test_domain2d.cpp.o" "gcc" "tests/CMakeFiles/test_solver.dir/solver/test_domain2d.cpp.o.d"
+  "/root/repo/tests/solver/test_fd2d.cpp" "tests/CMakeFiles/test_solver.dir/solver/test_fd2d.cpp.o" "gcc" "tests/CMakeFiles/test_solver.dir/solver/test_fd2d.cpp.o.d"
+  "/root/repo/tests/solver/test_fd3d.cpp" "tests/CMakeFiles/test_solver.dir/solver/test_fd3d.cpp.o" "gcc" "tests/CMakeFiles/test_solver.dir/solver/test_fd3d.cpp.o.d"
+  "/root/repo/tests/solver/test_filter.cpp" "tests/CMakeFiles/test_solver.dir/solver/test_filter.cpp.o" "gcc" "tests/CMakeFiles/test_solver.dir/solver/test_filter.cpp.o.d"
+  "/root/repo/tests/solver/test_invariants.cpp" "tests/CMakeFiles/test_solver.dir/solver/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/test_solver.dir/solver/test_invariants.cpp.o.d"
+  "/root/repo/tests/solver/test_lbm2d.cpp" "tests/CMakeFiles/test_solver.dir/solver/test_lbm2d.cpp.o" "gcc" "tests/CMakeFiles/test_solver.dir/solver/test_lbm2d.cpp.o.d"
+  "/root/repo/tests/solver/test_lbm3d.cpp" "tests/CMakeFiles/test_solver.dir/solver/test_lbm3d.cpp.o" "gcc" "tests/CMakeFiles/test_solver.dir/solver/test_lbm3d.cpp.o.d"
+  "/root/repo/tests/solver/test_probe.cpp" "tests/CMakeFiles/test_solver.dir/solver/test_probe.cpp.o" "gcc" "tests/CMakeFiles/test_solver.dir/solver/test_probe.cpp.o.d"
+  "/root/repo/tests/solver/test_schedule.cpp" "tests/CMakeFiles/test_solver.dir/solver/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/test_solver.dir/solver/test_schedule.cpp.o.d"
+  "/root/repo/tests/solver/test_vorticity.cpp" "tests/CMakeFiles/test_solver.dir/solver/test_vorticity.cpp.o" "gcc" "tests/CMakeFiles/test_solver.dir/solver/test_vorticity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/subsonic_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/subsonic_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/subsonic_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/subsonic_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/subsonic_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/subsonic_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/subsonic_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/subsonic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver.dir/solver/test_domain2d.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/test_domain2d.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/test_fd2d.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/test_fd2d.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/test_fd3d.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/test_fd3d.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/test_filter.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/test_filter.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/test_invariants.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/test_invariants.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/test_lbm2d.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/test_lbm2d.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/test_lbm3d.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/test_lbm3d.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/test_probe.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/test_probe.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/test_schedule.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/test_schedule.cpp.o.d"
+  "CMakeFiles/test_solver.dir/solver/test_vorticity.cpp.o"
+  "CMakeFiles/test_solver.dir/solver/test_vorticity.cpp.o.d"
+  "test_solver"
+  "test_solver.pdb"
+  "test_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_check.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_check.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_log.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_log.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
