@@ -6,8 +6,11 @@
 
 namespace subsonic {
 
-InMemoryTransport::InMemoryTransport(int ranks) : ranks_(ranks) {
+InMemoryTransport::InMemoryTransport(int ranks, InMemoryOptions options)
+    : ranks_(ranks), options_(options) {
   SUBSONIC_REQUIRE(ranks > 0);
+  SUBSONIC_REQUIRE(options.latency_s >= 0.0 &&
+                   options.seconds_per_double >= 0.0);
   channels_.reserve(static_cast<size_t>(ranks) * ranks);
   for (int i = 0; i < ranks * ranks; ++i)
     channels_.push_back(std::make_unique<Channel>());
@@ -21,9 +24,18 @@ InMemoryTransport::Channel& InMemoryTransport::channel(int src, int dst) {
 void InMemoryTransport::send(int src, int dst, MessageTag tag,
                              std::vector<double> payload) {
   Channel& ch = channel(src, dst);
+  auto ready = std::chrono::steady_clock::time_point{};  // immediately
+  if (options_.latency_s > 0.0 || options_.seconds_per_double > 0.0) {
+    const double delay_s =
+        options_.latency_s +
+        options_.seconds_per_double * static_cast<double>(payload.size());
+    ready = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(delay_s));
+  }
   {
     std::lock_guard<std::mutex> lock(ch.mutex);
-    ch.queue.push_back(Entry{tag, std::move(payload)});
+    ch.queue.push_back(Entry{tag, std::move(payload), ready});
   }
   ch.ready.notify_all();
 }
@@ -37,6 +49,13 @@ std::vector<double> InMemoryTransport::recv(int dst, int src,
         std::find_if(ch.queue.begin(), ch.queue.end(),
                      [tag](const Entry& e) { return e.tag == tag; });
     if (it != ch.queue.end()) {
+      // Honour the link timing model: the message exists but is still "in
+      // flight" until its delivery time.
+      const auto ready = it->ready;
+      if (ready > std::chrono::steady_clock::now()) {
+        ch.ready.wait_until(lock, ready);
+        continue;  // re-find: the queue may have changed while unlocked
+      }
       std::vector<double> payload = std::move(it->payload);
       ch.queue.erase(it);
       delivered_.fetch_add(1);

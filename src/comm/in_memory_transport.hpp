@@ -4,6 +4,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -14,11 +15,21 @@
 
 namespace subsonic {
 
+/// Optional link timing model.  With nonzero values each message only
+/// becomes receivable latency_s + seconds_per_double * payload seconds
+/// after its send — the sender never blocks, so overlapped schedules can
+/// genuinely hide the delay, which is what the overlap benchmark measures
+/// (the paper's T_com = message latency + boundary size / bandwidth).
+struct InMemoryOptions {
+  double latency_s = 0.0;
+  double seconds_per_double = 0.0;
+};
+
 class InMemoryTransport final : public Transport {
  public:
   /// `ranks` is the number of communicating processes; rank ids must be
   /// in [0, ranks).
-  explicit InMemoryTransport(int ranks);
+  explicit InMemoryTransport(int ranks, InMemoryOptions options = {});
 
   void send(int src, int dst, MessageTag tag,
             std::vector<double> payload) override;
@@ -33,6 +44,7 @@ class InMemoryTransport final : public Transport {
   struct Entry {
     MessageTag tag;
     std::vector<double> payload;
+    std::chrono::steady_clock::time_point ready;  ///< delivery time
   };
   struct Channel {
     std::mutex mutex;
@@ -43,6 +55,7 @@ class InMemoryTransport final : public Transport {
   Channel& channel(int src, int dst);
 
   int ranks_;
+  InMemoryOptions options_;
   std::vector<std::unique_ptr<Channel>> channels_;  // dst-major
   std::atomic<long> delivered_{0};
   std::atomic<long long> doubles_delivered_{0};

@@ -99,6 +99,13 @@ TcpEndpoint::TcpEndpoint(int rank, int ranks, std::string registry_path)
 }
 
 TcpEndpoint::~TcpEndpoint() {
+  {
+    std::unique_lock<std::mutex> lock(send_mutex_);
+    drain_cv_.wait(lock, [&] { return send_queue_.empty(); });
+    stop_ = true;
+  }
+  send_cv_.notify_all();
+  if (sender_.joinable()) sender_.join();
   for (auto& [peer, fd] : in_fds_) ::close(fd);
   for (auto& [peer, fd] : out_fds_) ::close(fd);
   if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -131,20 +138,60 @@ int TcpEndpoint::connect_to(int rank) {
   return fd;
 }
 
+void TcpEndpoint::sender_loop() {
+  for (;;) {
+    SendJob job;
+    {
+      std::unique_lock<std::mutex> lock(send_mutex_);
+      send_cv_.wait(lock, [&] { return stop_ || !send_queue_.empty(); });
+      if (send_queue_.empty()) return;  // stop requested, queue drained
+      job = std::move(send_queue_.front());
+      send_queue_.pop_front();
+    }
+    try {
+      auto it = out_fds_.find(job.dst);
+      if (it == out_fds_.end()) {
+        const int fd = connect_to(job.dst);
+        const std::int32_t hello = rank_;
+        write_all(fd, &hello, sizeof hello);
+        it = out_fds_.emplace(job.dst, fd).first;
+      }
+      WireHeader h{job.tag, job.payload.size(), rank_, job.dst};
+      write_all(it->second, &h, sizeof h);
+      if (!job.payload.empty())
+        write_all(it->second, job.payload.data(),
+                  job.payload.size() * sizeof(double));
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(send_mutex_);
+      send_error_ = std::current_exception();
+      send_queue_.clear();
+      drain_cv_.notify_all();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(send_mutex_);
+      if (send_queue_.empty()) drain_cv_.notify_all();
+    }
+  }
+}
+
 void TcpEndpoint::send(int dst, MessageTag tag,
                        std::vector<double> payload) {
   SUBSONIC_REQUIRE(dst >= 0 && dst < ranks_);
-  auto it = out_fds_.find(dst);
-  if (it == out_fds_.end()) {
-    const int fd = connect_to(dst);
-    const std::int32_t hello = rank_;
-    write_all(fd, &hello, sizeof hello);
-    it = out_fds_.emplace(dst, fd).first;
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    if (send_error_) std::rethrow_exception(send_error_);
+    if (!sender_.joinable())
+      sender_ = std::thread(&TcpEndpoint::sender_loop, this);
+    send_queue_.push_back(SendJob{dst, tag, std::move(payload)});
   }
-  WireHeader h{tag, payload.size(), rank_, dst};
-  write_all(it->second, &h, sizeof h);
-  if (!payload.empty())
-    write_all(it->second, payload.data(), payload.size() * sizeof(double));
+  send_cv_.notify_one();
+}
+
+void TcpEndpoint::flush() {
+  std::unique_lock<std::mutex> lock(send_mutex_);
+  drain_cv_.wait(lock, [&] { return send_queue_.empty(); });
+  if (send_error_) std::rethrow_exception(send_error_);
 }
 
 std::vector<double> TcpEndpoint::recv(int src, MessageTag tag) {

@@ -7,10 +7,14 @@
 // runtime uses, where each subregion really is a separate UNIX process.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/comm/transport.hpp"
@@ -30,17 +34,32 @@ class TcpEndpoint {
 
   int rank() const { return rank_; }
 
-  /// Sends to `dst`, connecting on first use (blocks until the peer has
-  /// published its port).
+  /// Queues a frame for `dst` and returns immediately; a background
+  /// sender thread owns the outgoing connections (connecting on first
+  /// use, which blocks *it* — not the caller — until the peer has
+  /// published its port).  A connect/write failure surfaces on the next
+  /// send() or flush().
   void send(int dst, MessageTag tag, std::vector<double> payload);
+
+  /// Blocks until every queued frame is on the wire.  Must be called
+  /// before a process _exit()s: a peer may still be waiting on the final
+  /// messages, and _exit would discard the queue.
+  void flush();
 
   /// Blocks until the message (src -> this rank, tag) arrives; frames
   /// with other tags are parked.
   std::vector<double> recv(int src, MessageTag tag);
 
  private:
+  struct SendJob {
+    int dst = -1;
+    MessageTag tag = 0;
+    std::vector<double> payload;
+  };
+
   int lookup_port(int rank) const;
   int connect_to(int rank);
+  void sender_loop();
 
   int rank_;
   int ranks_;
@@ -48,9 +67,17 @@ class TcpEndpoint {
   int listen_fd_ = -1;
   int port_ = 0;
   std::map<int, int> in_fds_;
-  std::map<int, int> out_fds_;
+  std::map<int, int> out_fds_;  // sender thread only
   std::map<int, std::deque<std::pair<MessageTag, std::vector<double>>>>
       parked_;
+
+  std::thread sender_;  // spawned lazily on first send
+  std::mutex send_mutex_;
+  std::condition_variable send_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<SendJob> send_queue_;
+  bool stop_ = false;
+  std::exception_ptr send_error_;
 };
 
 }  // namespace subsonic

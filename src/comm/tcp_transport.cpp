@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -68,11 +69,26 @@ struct TcpTransport::RankState {
   // Connections this rank reads from, by peer rank (only the owning
   // worker thread touches these).
   std::map<int, int> in_fds;
-  // Connections this rank writes to, by peer rank.
+  // Connections this rank writes to, by peer rank (sender thread only).
   std::map<int, int> out_fds;
   // Messages read ahead of the tag the receiver was waiting for.
   std::map<int, std::deque<std::pair<MessageTag, std::vector<double>>>>
       parked;
+
+  // Outgoing frames awaiting the sender thread, FIFO per source rank so
+  // per-channel ordering is preserved.
+  struct SendJob {
+    int dst = -1;
+    MessageTag tag = 0;
+    std::vector<double> payload;
+  };
+  std::thread sender;  // spawned lazily on first send
+  std::mutex send_mutex;
+  std::condition_variable send_cv;   // work available or stop requested
+  std::condition_variable drain_cv;  // queue went empty
+  std::deque<SendJob> send_queue;
+  bool stop = false;
+  std::exception_ptr send_error;
 };
 
 TcpTransport::TcpTransport(int ranks, std::string registry_path)
@@ -112,6 +128,18 @@ TcpTransport::TcpTransport(int ranks, std::string registry_path)
 }
 
 TcpTransport::~TcpTransport() {
+  // Drain every sender queue, then stop and join the sender threads, so
+  // all posted frames are on the wire before any fd closes.
+  for (auto& st : states_) {
+    if (!st) continue;
+    {
+      std::unique_lock<std::mutex> lock(st->send_mutex);
+      st->drain_cv.wait(lock, [&] { return st->send_queue.empty(); });
+      st->stop = true;
+    }
+    st->send_cv.notify_all();
+    if (st->sender.joinable()) st->sender.join();
+  }
   for (auto& st : states_) {
     if (!st) continue;
     for (auto& [peer, fd] : st->in_fds) ::close(fd);
@@ -154,22 +182,59 @@ int TcpTransport::connect_to(int rank) {
   return fd;
 }
 
+void TcpTransport::sender_loop(int src) {
+  RankState& st = *states_[src];
+  for (;;) {
+    RankState::SendJob job;
+    {
+      std::unique_lock<std::mutex> lock(st.send_mutex);
+      st.send_cv.wait(lock,
+                      [&] { return st.stop || !st.send_queue.empty(); });
+      if (st.send_queue.empty()) return;  // stop requested, queue drained
+      job = std::move(st.send_queue.front());
+      st.send_queue.pop_front();
+    }
+    try {
+      auto it = st.out_fds.find(job.dst);
+      if (it == st.out_fds.end()) {
+        const int fd = connect_to(job.dst);
+        // Handshake: announce who is calling so the listener can demux.
+        const std::int32_t hello = src;
+        write_all(fd, &hello, sizeof hello);
+        it = st.out_fds.emplace(job.dst, fd).first;
+      }
+      WireHeader h{job.tag, job.payload.size(), src, job.dst};
+      write_all(it->second, &h, sizeof h);
+      if (!job.payload.empty())
+        write_all(it->second, job.payload.data(),
+                  job.payload.size() * sizeof(double));
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(st.send_mutex);
+      st.send_error = std::current_exception();
+      st.send_queue.clear();
+      st.drain_cv.notify_all();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(st.send_mutex);
+      if (st.send_queue.empty()) st.drain_cv.notify_all();
+    }
+  }
+}
+
 void TcpTransport::send(int src, int dst, MessageTag tag,
                         std::vector<double> payload) {
   SUBSONIC_REQUIRE(src >= 0 && src < ranks_ && dst >= 0 && dst < ranks_);
   RankState& st = *states_[src];
-  auto it = st.out_fds.find(dst);
-  if (it == st.out_fds.end()) {
-    const int fd = connect_to(dst);
-    // Handshake: announce who is calling so the listener can demux.
-    const std::int32_t hello = src;
-    write_all(fd, &hello, sizeof hello);
-    it = st.out_fds.emplace(dst, fd).first;
+  {
+    std::lock_guard<std::mutex> lock(st.send_mutex);
+    if (st.send_error) std::rethrow_exception(st.send_error);
+    if (!st.sender.joinable())
+      st.sender = std::thread(&TcpTransport::sender_loop, this, src);
+    st.send_queue.push_back(
+        RankState::SendJob{dst, tag, std::move(payload)});
   }
-  WireHeader h{tag, payload.size(), src, dst};
-  write_all(it->second, &h, sizeof h);
-  if (!payload.empty())
-    write_all(it->second, payload.data(), payload.size() * sizeof(double));
+  st.send_cv.notify_one();
 }
 
 std::vector<double> TcpTransport::recv(int dst, int src, MessageTag tag) {

@@ -9,6 +9,11 @@
 // In this repository the "processes" are threads of one test process, but
 // every byte still crosses the kernel's TCP stack, so the handshake,
 // ordering, and framing logic is exercised for real.
+//
+// send() is fire-and-forget: frames are queued to a per-rank sender thread
+// that owns the outgoing connections, so a worker that has posted its
+// boundary can go straight back to computing even when the socket buffer
+// would have made write() block — the transport half of hiding T_com.
 #pragma once
 
 #include <deque>
@@ -48,6 +53,7 @@ class TcpTransport final : public Transport {
 
   int lookup_port(int rank);
   int connect_to(int rank);
+  void sender_loop(int src);
 
   int ranks_;
   std::string registry_path_;

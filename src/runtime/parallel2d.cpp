@@ -22,13 +22,15 @@ constexpr int kSyncPhase = 1023;
 ParallelDriver2D::ParallelDriver2D(const Mask2D& mask,
                                    const FluidParams& params, Method method,
                                    int jx, int jy,
-                                   std::shared_ptr<Transport> transport)
+                                   std::shared_ptr<Transport> transport,
+                                   Scheduling sched)
     : decomp_(mask.extents(), jx, jy),
       params_(params),
       method_(method),
       ghost_(required_ghost(method, params.filter_eps > 0.0)),
       schedule_(make_schedule2d(method)),
-      transport_(std::move(transport)) {
+      transport_(std::move(transport)),
+      sched_(sched) {
   const auto active = active_ranks(decomp_, mask);
   active_.assign(decomp_.rank_count(), false);
   for (int r : active) active_[r] = true;
@@ -69,15 +71,18 @@ const Domain2D& ParallelDriver2D::subdomain(int rank) const {
   return const_cast<ParallelDriver2D*>(this)->subdomain(rank);
 }
 
-void ParallelDriver2D::exchange(Worker& w, const std::vector<FieldId>& fields,
-                                long step, int phase_index) {
-  // Send everything first, then block on the receives: the paper's
-  // processes compute, post their boundary, and wait for their
-  // neighbours' boundaries.
+void ParallelDriver2D::post_sends(Worker& w,
+                                  const std::vector<FieldId>& fields,
+                                  long step, int phase_index) {
   for (const LinkPlan2D& link : w.links)
     transport_->send(w.rank, link.peer,
                      make_tag(step, phase_index, link.dir),
                      pack2d(*w.domain, fields, link.send_box));
+}
+
+void ParallelDriver2D::complete_recvs(Worker& w,
+                                      const std::vector<FieldId>& fields,
+                                      long step, int phase_index) {
   for (const LinkPlan2D& link : w.links) {
     const auto payload = transport_->recv(
         w.rank, link.peer, make_tag(step, phase_index, link.peer_dir));
@@ -85,21 +90,60 @@ void ParallelDriver2D::exchange(Worker& w, const std::vector<FieldId>& fields,
   }
 }
 
-void ParallelDriver2D::worker_loop(Worker& w, int steps) {
-  for (int s = 0; s < steps; ++s) {
-    for (size_t i = 0; i < schedule_.size(); ++i) {
-      const Phase& phase = schedule_[i];
-      Stopwatch sw;
-      if (phase.kind == Phase::Kind::kCompute) {
-        run_compute2d(*w.domain, phase.compute);
-        w.stats.compute_s += sw.seconds();
+void ParallelDriver2D::exchange(Worker& w, const std::vector<FieldId>& fields,
+                                long step, int phase_index) {
+  // Send everything first, then block on the receives: the paper's
+  // processes compute, post their boundary, and wait for their
+  // neighbours' boundaries.
+  post_sends(w, fields, step, phase_index);
+  complete_recvs(w, fields, step, phase_index);
+}
+
+void ParallelDriver2D::step_once(Worker& w) {
+  Stopwatch sw;
+  const auto charge_compute = [&] {
+    w.stats.compute_s += sw.seconds();
+    sw.reset();
+  };
+  const auto charge_comm = [&] {
+    w.stats.comm_s += sw.seconds();
+    sw.reset();
+  };
+  const long step = w.domain->step();
+  for (size_t i = 0; i < schedule_.size(); ++i) {
+    const Phase& phase = schedule_[i];
+    if (phase.kind == Phase::Kind::kCompute) {
+      const bool split = sched_ == Scheduling::kOverlap &&
+                         i + 1 < schedule_.size() &&
+                         schedule_[i + 1].kind == Phase::Kind::kExchange;
+      if (split) {
+        // Boundary band first, then the sends go out while the interior
+        // computes; only then block on the neighbours' bands.
+        const Phase& ex = schedule_[i + 1];
+        const int ex_index = static_cast<int>(i + 1);
+        run_compute2d(*w.domain, phase.compute, ComputePass::kBand);
+        charge_compute();
+        post_sends(w, ex.fields, step, ex_index);
+        charge_comm();
+        run_compute2d(*w.domain, phase.compute, ComputePass::kInterior);
+        charge_compute();
+        complete_recvs(w, ex.fields, step, ex_index);
+        charge_comm();
+        ++i;  // the exchange phase was folded into the split
       } else {
-        exchange(w, phase.fields, w.domain->step(), static_cast<int>(i));
-        w.stats.comm_s += sw.seconds();
+        run_compute2d(*w.domain, phase.compute);
+        charge_compute();
       }
+    } else {
+      exchange(w, phase.fields, step, static_cast<int>(i));
+      charge_comm();
     }
-    w.domain->set_step(w.domain->step() + 1);
   }
+  w.domain->set_step(step + 1);
+}
+
+void ParallelDriver2D::worker_loop(Worker& w, int steps) {
+  for (int s = 0; s < steps; ++s) step_once(w);
 }
 
 const WorkerStats& ParallelDriver2D::stats(int rank) const {
@@ -156,14 +200,7 @@ int ParallelDriver2D::run_until_sync(int max_steps,
         if (agreed >= 0) stop = std::min(stop, agreed + margin);
         if (w.domain->step() >= stop) break;
       }
-      for (size_t i = 0; i < schedule_.size(); ++i) {
-        const Phase& phase = schedule_[i];
-        if (phase.kind == Phase::Kind::kCompute)
-          run_compute2d(*w.domain, phase.compute);
-        else
-          exchange(w, phase.fields, w.domain->step(), static_cast<int>(i));
-      }
-      w.domain->set_step(w.domain->step() + 1);
+      step_once(w);
     }
   };
 

@@ -38,10 +38,15 @@ class ParallelDriver2D {
  public:
   /// Decomposes `mask` into jx x jy subregions and builds one Domain per
   /// active subregion.  If `transport` is null an InMemoryTransport is
-  /// created internally.
+  /// created internally.  `sched` picks the per-step phase ordering:
+  /// kOverlap computes the boundary band first, posts the sends, computes
+  /// the interior while the messages are in flight, and only then blocks
+  /// on the receives; kLegacy is compute-everything-then-exchange.  Both
+  /// orderings produce bitwise identical fields.
   ParallelDriver2D(const Mask2D& mask, const FluidParams& params,
                    Method method, int jx, int jy,
-                   std::shared_ptr<Transport> transport = nullptr);
+                   std::shared_ptr<Transport> transport = nullptr,
+                   Scheduling sched = Scheduling::kOverlap);
 
   /// Runs `n` integration steps on every subregion, one thread each.
   void run(int n);
@@ -96,8 +101,16 @@ class ParallelDriver2D {
     WorkerStats stats;
   };
 
+  void post_sends(Worker& w, const std::vector<FieldId>& fields, long step,
+                  int phase_index);
+  void complete_recvs(Worker& w, const std::vector<FieldId>& fields,
+                      long step, int phase_index);
   void exchange(Worker& w, const std::vector<FieldId>& fields, long step,
                 int phase_index);
+  /// Executes one integration step of `w`'s schedule, splitting each
+  /// compute phase that feeds an exchange when the overlap scheduling is
+  /// active, and charging compute/comm time to the worker's stats.
+  void step_once(Worker& w);
   void worker_loop(Worker& w, int steps);
 
   Decomposition2D decomp_;
@@ -109,6 +122,7 @@ class ParallelDriver2D {
   std::vector<int> worker_of_rank_;
   std::vector<Worker> workers_;
   std::shared_ptr<Transport> transport_;
+  Scheduling sched_ = Scheduling::kOverlap;
 };
 
 }  // namespace subsonic

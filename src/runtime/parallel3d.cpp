@@ -20,13 +20,15 @@ constexpr int kSyncPhase = 1023;
 ParallelDriver3D::ParallelDriver3D(const Mask3D& mask,
                                    const FluidParams& params, Method method,
                                    int jx, int jy, int jz,
-                                   std::shared_ptr<Transport> transport)
+                                   std::shared_ptr<Transport> transport,
+                                   Scheduling sched)
     : decomp_(mask.extents(), jx, jy, jz),
       params_(params),
       method_(method),
       ghost_(required_ghost(method, params.filter_eps > 0.0)),
       schedule_(make_schedule3d(method)),
-      transport_(std::move(transport)) {
+      transport_(std::move(transport)),
+      sched_(sched) {
   const auto active = active_ranks(decomp_, mask);
   active_.assign(decomp_.rank_count(), false);
   for (int r : active) active_[r] = true;
@@ -68,12 +70,18 @@ const Domain3D& ParallelDriver3D::subdomain(int rank) const {
   return const_cast<ParallelDriver3D*>(this)->subdomain(rank);
 }
 
-void ParallelDriver3D::exchange(Worker& w, const std::vector<FieldId>& fields,
-                                long step, int phase_index) {
+void ParallelDriver3D::post_sends(Worker& w,
+                                  const std::vector<FieldId>& fields,
+                                  long step, int phase_index) {
   for (const LinkPlan3D& link : w.links)
     transport_->send(w.rank, link.peer,
                      make_tag(step, phase_index, link.dir),
                      pack3d(*w.domain, fields, link.send_box));
+}
+
+void ParallelDriver3D::complete_recvs(Worker& w,
+                                      const std::vector<FieldId>& fields,
+                                      long step, int phase_index) {
   for (const LinkPlan3D& link : w.links) {
     const auto payload = transport_->recv(
         w.rank, link.peer, make_tag(step, phase_index, link.peer_dir));
@@ -81,21 +89,55 @@ void ParallelDriver3D::exchange(Worker& w, const std::vector<FieldId>& fields,
   }
 }
 
-void ParallelDriver3D::worker_loop(Worker& w, int steps) {
-  for (int s = 0; s < steps; ++s) {
-    for (size_t i = 0; i < schedule_.size(); ++i) {
-      const Phase& phase = schedule_[i];
-      Stopwatch sw;
-      if (phase.kind == Phase::Kind::kCompute) {
-        run_compute3d(*w.domain, phase.compute);
-        w.stats.compute_s += sw.seconds();
+void ParallelDriver3D::exchange(Worker& w, const std::vector<FieldId>& fields,
+                                long step, int phase_index) {
+  post_sends(w, fields, step, phase_index);
+  complete_recvs(w, fields, step, phase_index);
+}
+
+void ParallelDriver3D::step_once(Worker& w) {
+  Stopwatch sw;
+  const auto charge_compute = [&] {
+    w.stats.compute_s += sw.seconds();
+    sw.reset();
+  };
+  const auto charge_comm = [&] {
+    w.stats.comm_s += sw.seconds();
+    sw.reset();
+  };
+  const long step = w.domain->step();
+  for (size_t i = 0; i < schedule_.size(); ++i) {
+    const Phase& phase = schedule_[i];
+    if (phase.kind == Phase::Kind::kCompute) {
+      const bool split = sched_ == Scheduling::kOverlap &&
+                         i + 1 < schedule_.size() &&
+                         schedule_[i + 1].kind == Phase::Kind::kExchange;
+      if (split) {
+        const Phase& ex = schedule_[i + 1];
+        const int ex_index = static_cast<int>(i + 1);
+        run_compute3d(*w.domain, phase.compute, ComputePass::kBand);
+        charge_compute();
+        post_sends(w, ex.fields, step, ex_index);
+        charge_comm();
+        run_compute3d(*w.domain, phase.compute, ComputePass::kInterior);
+        charge_compute();
+        complete_recvs(w, ex.fields, step, ex_index);
+        charge_comm();
+        ++i;  // the exchange phase was folded into the split
       } else {
-        exchange(w, phase.fields, w.domain->step(), static_cast<int>(i));
-        w.stats.comm_s += sw.seconds();
+        run_compute3d(*w.domain, phase.compute);
+        charge_compute();
       }
+    } else {
+      exchange(w, phase.fields, step, static_cast<int>(i));
+      charge_comm();
     }
-    w.domain->set_step(w.domain->step() + 1);
   }
+  w.domain->set_step(step + 1);
+}
+
+void ParallelDriver3D::worker_loop(Worker& w, int steps) {
+  for (int s = 0; s < steps; ++s) step_once(w);
 }
 
 const WorkerStats& ParallelDriver3D::stats(int rank) const {
@@ -148,14 +190,7 @@ int ParallelDriver3D::run_until_sync(int max_steps,
         if (agreed >= 0) stop = std::min(stop, agreed + margin);
         if (w.domain->step() >= stop) break;
       }
-      for (size_t i = 0; i < schedule_.size(); ++i) {
-        const Phase& phase = schedule_[i];
-        if (phase.kind == Phase::Kind::kCompute)
-          run_compute3d(*w.domain, phase.compute);
-        else
-          exchange(w, phase.fields, w.domain->step(), static_cast<int>(i));
-      }
-      w.domain->set_step(w.domain->step() + 1);
+      step_once(w);
     }
   };
 

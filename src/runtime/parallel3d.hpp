@@ -19,7 +19,8 @@ class ParallelDriver3D {
  public:
   ParallelDriver3D(const Mask3D& mask, const FluidParams& params,
                    Method method, int jx, int jy, int jz,
-                   std::shared_ptr<Transport> transport = nullptr);
+                   std::shared_ptr<Transport> transport = nullptr,
+                   Scheduling sched = Scheduling::kOverlap);
 
   void run(int n);
 
@@ -55,8 +56,13 @@ class ParallelDriver3D {
     WorkerStats stats;
   };
 
+  void post_sends(Worker& w, const std::vector<FieldId>& fields, long step,
+                  int phase_index);
+  void complete_recvs(Worker& w, const std::vector<FieldId>& fields,
+                      long step, int phase_index);
   void exchange(Worker& w, const std::vector<FieldId>& fields, long step,
                 int phase_index);
+  void step_once(Worker& w);
   void worker_loop(Worker& w, int steps);
 
   Decomposition3D decomp_;
@@ -68,6 +74,7 @@ class ParallelDriver3D {
   std::vector<int> worker_of_rank_;
   std::vector<Worker> workers_;
   std::shared_ptr<Transport> transport_;
+  Scheduling sched_ = Scheduling::kOverlap;
 };
 
 }  // namespace subsonic

@@ -27,7 +27,7 @@ namespace {
                              Method method, const Decomposition2D& decomp,
                              const std::vector<bool>& active, int rank,
                              int steps, const std::string& workdir,
-                             const std::string& registry) {
+                             const std::string& registry, Scheduling sched) {
   try {
     const int ghost = required_ghost(method, params.filter_eps > 0.0);
     Domain2D domain(mask, decomp.box(rank), params, method, ghost);
@@ -44,15 +44,23 @@ namespace {
                           params.periodic_y, active);
     const auto schedule = make_schedule2d(method);
 
-    auto exchange = [&](const std::vector<FieldId>& fields, long step,
-                        int phase) {
+    auto post_sends = [&](const std::vector<FieldId>& fields, long step,
+                          int phase) {
       for (const LinkPlan2D& link : links)
         endpoint.send(link.peer, make_tag(step, phase, link.dir),
                       pack2d(domain, fields, link.send_box));
+    };
+    auto complete_recvs = [&](const std::vector<FieldId>& fields, long step,
+                              int phase) {
       for (const LinkPlan2D& link : links)
         unpack2d(domain, fields, link.recv_box,
                  endpoint.recv(link.peer,
                                make_tag(step, phase, link.peer_dir)));
+    };
+    auto exchange = [&](const std::vector<FieldId>& fields, long step,
+                        int phase) {
+      post_sends(fields, step, phase);
+      complete_recvs(fields, step, phase);
     };
 
     // Initial full sync seeds the ghost regions (same as the threaded
@@ -63,16 +71,34 @@ namespace {
     exchange(all_fields, domain.step(), 1023);
 
     for (int s = 0; s < steps; ++s) {
+      const long step = domain.step();
       for (size_t i = 0; i < schedule.size(); ++i) {
         const Phase& phase = schedule[i];
-        if (phase.kind == Phase::Kind::kCompute)
-          run_compute2d(domain, phase.compute);
-        else
-          exchange(phase.fields, domain.step(), static_cast<int>(i));
+        if (phase.kind == Phase::Kind::kCompute) {
+          const bool split = sched == Scheduling::kOverlap &&
+                             i + 1 < schedule.size() &&
+                             schedule[i + 1].kind == Phase::Kind::kExchange;
+          if (split) {
+            const Phase& ex = schedule[i + 1];
+            const int ex_index = static_cast<int>(i + 1);
+            run_compute2d(domain, phase.compute, ComputePass::kBand);
+            post_sends(ex.fields, step, ex_index);
+            run_compute2d(domain, phase.compute, ComputePass::kInterior);
+            complete_recvs(ex.fields, step, ex_index);
+            ++i;
+          } else {
+            run_compute2d(domain, phase.compute);
+          }
+        } else {
+          exchange(phase.fields, step, static_cast<int>(i));
+        }
       }
-      domain.set_step(domain.step() + 1);
+      domain.set_step(step + 1);
     }
 
+    // Drain the async send queue before _exit: a peer may still be
+    // waiting on our final-step messages.
+    endpoint.flush();
     save_domain(domain, dump_path);
     ::_exit(0);
   } catch (const std::exception& e) {
@@ -88,7 +114,8 @@ namespace {
 ProcessRunResult run_multiprocess2d(const Mask2D& mask,
                                     const FluidParams& params, Method method,
                                     int jx, int jy, int steps,
-                                    const std::string& workdir) {
+                                    const std::string& workdir,
+                                    Scheduling sched) {
   params.validate();
   SUBSONIC_REQUIRE(steps >= 1);
   const Decomposition2D decomp(mask.extents(), jx, jy);
@@ -109,7 +136,7 @@ ProcessRunResult run_multiprocess2d(const Mask2D& mask,
     SUBSONIC_REQUIRE_MSG(pid >= 0, "fork failed");
     if (pid == 0)
       child_main(mask, params, method, decomp, active, rank, steps, workdir,
-                 registry);  // never returns
+                 registry, sched);  // never returns
     children.push_back(pid);
   }
 

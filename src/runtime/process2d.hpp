@@ -11,6 +11,7 @@
 
 #include "src/geometry/mask.hpp"
 #include "src/solver/params.hpp"
+#include "src/solver/pass.hpp"
 
 namespace subsonic {
 
@@ -24,10 +25,13 @@ struct ProcessRunResult {
 /// TCP sockets, and writes "rank_<r>.dump" per subregion into `workdir`
 /// (which must exist).  If matching dump files are already present they
 /// are restored first, so repeated calls continue the run.  Throws if any
-/// child fails.
+/// child fails.  `sched` picks the per-step ordering exactly as in
+/// ParallelDriver2D: the overlap schedule posts each boundary band as soon
+/// as it is computed and overlaps the interior with message flight.
 ProcessRunResult run_multiprocess2d(const Mask2D& mask,
                                     const FluidParams& params, Method method,
                                     int jx, int jy, int steps,
-                                    const std::string& workdir);
+                                    const std::string& workdir,
+                                    Scheduling sched = Scheduling::kOverlap);
 
 }  // namespace subsonic

@@ -29,8 +29,9 @@ Domain2D::Domain2D(const Mask2D& global_mask, Box2 box,
       rho_(Extents2{box.width(), box.height()}, ghost),
       vx_(Extents2{box.width(), box.height()}, ghost),
       vy_(Extents2{box.width(), box.height()}, ghost),
-      scratch_(Extents2{box.width(), box.height()}, ghost),
-      scratch2_(Extents2{box.width(), box.height()}, ghost) {
+      rho_next_(Extents2{box.width(), box.height()}, ghost),
+      vx_next_(Extents2{box.width(), box.height()}, ghost),
+      vy_next_(Extents2{box.width(), box.height()}, ghost) {
   params_.validate();
   SUBSONIC_REQUIRE(!box.empty());
   SUBSONIC_REQUIRE(full_box(global_mask.extents()).intersect(box) == box);
@@ -70,14 +71,48 @@ Domain2D::Domain2D(const Mask2D& global_mask, Box2 box,
   }
 
   // Quiescent initial state on every node including padding: density rho0,
-  // velocity zero; inlet nodes blow at the prescribed jet velocity.
+  // velocity zero; inlet nodes blow at the prescribed jet velocity.  Both
+  // buffers of each double-buffered field get the same state: cells the
+  // kernels never write (walls, inlets, unexchanged padding) hold only
+  // these statics, so either buffer is valid wherever it is read.
   rho_.fill(params_.rho0);
+  rho_next_.fill(params_.rho0);
   for (int y = -ghost; y < ny() + ghost; ++y)
     for (int x = -ghost; x < nx() + ghost; ++x)
       if (node(x, y) == NodeType::kInlet) {
         vx_(x, y) = params_.inlet_vx;
         vy_(x, y) = params_.inlet_vy;
+        vx_next_(x, y) = params_.inlet_vx;
+        vy_next_(x, y) = params_.inlet_vy;
       }
+
+  // Precompute the per-row span tables of the static geometry: the hot
+  // loops iterate contiguous runs instead of testing node(x, y) per cell.
+  const auto type_is = [this](NodeType t) {
+    return [this, t](int x, int y) { return node(x, y) == t; };
+  };
+  computed_spans_ = MaskSpans2D(-1, nx() + 1, -1, ny() + 1,
+                                [this](int x, int y) {
+                                  const NodeType t = node(x, y);
+                                  return t == NodeType::kFluid ||
+                                         t == NodeType::kOutlet;
+                                });
+  if (method == Method::kLatticeBoltzmann) {
+    wall_spans_ = MaskSpans2D(-1, nx() + 1, -1, ny() + 1,
+                              type_is(NodeType::kWall));
+    inlet_spans_ = MaskSpans2D(-1, nx() + 1, -1, ny() + 1,
+                               type_is(NodeType::kInlet));
+    notwall_spans_ =
+        MaskSpans2D(-ghost, nx() + ghost, -ghost, ny() + ghost,
+                    [this](int x, int y) {
+                      return node(x, y) != NodeType::kWall;
+                    });
+  }
+  if (ghost >= 3)
+    filter_spans_ = MaskSpans2D(-1, nx() + 1, -1, ny() + 1,
+                                [this](int x, int y) {
+                                  return filter_mask_(x, y) != 0;
+                                });
 
   if (method == Method::kLatticeBoltzmann) {
     f_.reserve(lbm2d::kQ);

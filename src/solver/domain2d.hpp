@@ -5,10 +5,12 @@
 // straightforward extension of the serial one.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "src/geometry/mask.hpp"
 #include "src/grid/extents.hpp"
+#include "src/grid/mask_spans.hpp"
 #include "src/grid/padded_field.hpp"
 #include "src/solver/field_id.hpp"
 #include "src/solver/params.hpp"
@@ -55,12 +57,33 @@ class Domain2D {
   PaddedField2D<double>& f_next(int i) { return f_next_[i]; }
   void swap_populations() { f_.swap(f_next_); }
 
+  /// Write buffers of the double-buffered macroscopic fields.  A kernel
+  /// pass reads the current buffer, writes the _next buffer, and swaps —
+  /// an O(1) pointer exchange instead of the full-field snapshot copies
+  /// the in-place update needed.
+  PaddedField2D<double>& rho_next() { return rho_next_; }
+  PaddedField2D<double>& vx_next() { return vx_next_; }
+  PaddedField2D<double>& vy_next() { return vy_next_; }
+  void swap_density() { std::swap(rho_, rho_next_); }
+  void swap_velocity() {
+    std::swap(vx_, vx_next_);
+    std::swap(vy_, vy_next_);
+  }
+
   PaddedField2D<double>& field(FieldId id);
   const PaddedField2D<double>& field(FieldId id) const;
 
-  /// Scratch snapshots used by the filter and the FD update.
-  PaddedField2D<double>& scratch() { return scratch_; }
-  PaddedField2D<double>& scratch2() { return scratch2_; }
+  /// Per-row runs of solver-updated (fluid | outlet) nodes over the
+  /// interior plus a one-node ring — the FD update and LB relaxation
+  /// iterate these instead of branching on node() per cell.
+  const MaskSpans2D& computed_spans() const { return computed_spans_; }
+  /// Wall / inlet runs over the same window (LB relaxation only).
+  const MaskSpans2D& wall_spans() const { return wall_spans_; }
+  const MaskSpans2D& inlet_spans() const { return inlet_spans_; }
+  /// Non-wall runs over the whole padded window (LB moments).
+  const MaskSpans2D& notwall_spans() const { return notwall_spans_; }
+  /// Runs of nodes with at least one usable filter direction.
+  const MaskSpans2D& filter_spans() const { return filter_spans_; }
 
   /// Integration step counter, advanced by the driver.
   long step() const { return step_; }
@@ -74,10 +97,14 @@ class Domain2D {
   PaddedField2D<std::uint8_t> type_;
   PaddedField2D<std::uint8_t> filter_mask_;
   PaddedField2D<double> rho_, vx_, vy_;
+  PaddedField2D<double> rho_next_, vx_next_, vy_next_;
   std::vector<PaddedField2D<double>> f_;
   std::vector<PaddedField2D<double>> f_next_;
-  PaddedField2D<double> scratch_;
-  PaddedField2D<double> scratch2_;
+  MaskSpans2D computed_spans_;
+  MaskSpans2D wall_spans_;
+  MaskSpans2D inlet_spans_;
+  MaskSpans2D notwall_spans_;
+  MaskSpans2D filter_spans_;
   long step_ = 0;
 };
 

@@ -26,9 +26,10 @@ Domain3D::Domain3D(const Mask3D& global_mask, Box3 box,
       vx_(Extents3{box.width(), box.height(), box.depth()}, ghost),
       vy_(Extents3{box.width(), box.height(), box.depth()}, ghost),
       vz_(Extents3{box.width(), box.height(), box.depth()}, ghost),
-      scratch_(Extents3{box.width(), box.height(), box.depth()}, ghost),
-      scratch2_(Extents3{box.width(), box.height(), box.depth()}, ghost),
-      scratch3_(Extents3{box.width(), box.height(), box.depth()}, ghost) {
+      rho_next_(Extents3{box.width(), box.height(), box.depth()}, ghost),
+      vx_next_(Extents3{box.width(), box.height(), box.depth()}, ghost),
+      vy_next_(Extents3{box.width(), box.height(), box.depth()}, ghost),
+      vz_next_(Extents3{box.width(), box.height(), box.depth()}, ghost) {
   params_.validate();
   SUBSONIC_REQUIRE(!box.empty());
   SUBSONIC_REQUIRE(full_box(global_mask.extents()).intersect(box) == box);
@@ -70,7 +71,9 @@ Domain3D::Domain3D(const Mask3D& global_mask, Box3 box,
         }
   }
 
+  // Both buffers get the quiescent statics; see Domain2D.
   rho_.fill(params_.rho0);
+  rho_next_.fill(params_.rho0);
   for (int z = -ghost; z < nz() + ghost; ++z)
     for (int y = -ghost; y < ny() + ghost; ++y)
       for (int x = -ghost; x < nx() + ghost; ++x)
@@ -78,7 +81,36 @@ Domain3D::Domain3D(const Mask3D& global_mask, Box3 box,
           vx_(x, y, z) = params_.inlet_vx;
           vy_(x, y, z) = params_.inlet_vy;
           vz_(x, y, z) = params_.inlet_vz;
+          vx_next_(x, y, z) = params_.inlet_vx;
+          vy_next_(x, y, z) = params_.inlet_vy;
+          vz_next_(x, y, z) = params_.inlet_vz;
         }
+
+  const auto type_is = [this](NodeType t) {
+    return [this, t](int x, int y, int z) { return node(x, y, z) == t; };
+  };
+  computed_spans_ =
+      MaskSpans3D(-1, nx() + 1, -1, ny() + 1, -1, nz() + 1,
+                  [this](int x, int y, int z) {
+                    const NodeType t = node(x, y, z);
+                    return t == NodeType::kFluid || t == NodeType::kOutlet;
+                  });
+  if (method == Method::kLatticeBoltzmann) {
+    wall_spans_ = MaskSpans3D(-1, nx() + 1, -1, ny() + 1, -1, nz() + 1,
+                              type_is(NodeType::kWall));
+    inlet_spans_ = MaskSpans3D(-1, nx() + 1, -1, ny() + 1, -1, nz() + 1,
+                               type_is(NodeType::kInlet));
+    notwall_spans_ =
+        MaskSpans3D(-ghost, nx() + ghost, -ghost, ny() + ghost, -ghost,
+                    nz() + ghost, [this](int x, int y, int z) {
+                      return node(x, y, z) != NodeType::kWall;
+                    });
+  }
+  if (ghost >= 3)
+    filter_spans_ = MaskSpans3D(-1, nx() + 1, -1, ny() + 1, -1, nz() + 1,
+                                [this](int x, int y, int z) {
+                                  return filter_mask_(x, y, z) != 0;
+                                });
 
   if (method == Method::kLatticeBoltzmann) {
     f_.reserve(lbm3d::kQ);

@@ -3,10 +3,12 @@
 // 44^3 per subregion and (J x K x L) decompositions.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "src/geometry/mask.hpp"
 #include "src/grid/extents.hpp"
+#include "src/grid/mask_spans.hpp"
 #include "src/grid/padded_field.hpp"
 #include "src/solver/field_id.hpp"
 #include "src/solver/params.hpp"
@@ -51,12 +53,28 @@ class Domain3D {
   PaddedField3D<double>& f_next(int i) { return f_next_[i]; }
   void swap_populations() { f_.swap(f_next_); }
 
+  /// Write buffers of the double-buffered macroscopic fields; see
+  /// Domain2D for the read-current / write-next / swap protocol.
+  PaddedField3D<double>& rho_next() { return rho_next_; }
+  PaddedField3D<double>& vx_next() { return vx_next_; }
+  PaddedField3D<double>& vy_next() { return vy_next_; }
+  PaddedField3D<double>& vz_next() { return vz_next_; }
+  void swap_density() { std::swap(rho_, rho_next_); }
+  void swap_velocity() {
+    std::swap(vx_, vx_next_);
+    std::swap(vy_, vy_next_);
+    std::swap(vz_, vz_next_);
+  }
+
   PaddedField3D<double>& field(FieldId id);
   const PaddedField3D<double>& field(FieldId id) const;
 
-  PaddedField3D<double>& scratch() { return scratch_; }
-  PaddedField3D<double>& scratch2() { return scratch2_; }
-  PaddedField3D<double>& scratch3() { return scratch3_; }
+  /// Static per-row span tables; see Domain2D.
+  const MaskSpans3D& computed_spans() const { return computed_spans_; }
+  const MaskSpans3D& wall_spans() const { return wall_spans_; }
+  const MaskSpans3D& inlet_spans() const { return inlet_spans_; }
+  const MaskSpans3D& notwall_spans() const { return notwall_spans_; }
+  const MaskSpans3D& filter_spans() const { return filter_spans_; }
 
   long step() const { return step_; }
   void set_step(long s) { step_ = s; }
@@ -69,9 +87,14 @@ class Domain3D {
   PaddedField3D<std::uint8_t> type_;
   PaddedField3D<std::uint8_t> filter_mask_;
   PaddedField3D<double> rho_, vx_, vy_, vz_;
+  PaddedField3D<double> rho_next_, vx_next_, vy_next_, vz_next_;
   std::vector<PaddedField3D<double>> f_;
   std::vector<PaddedField3D<double>> f_next_;
-  PaddedField3D<double> scratch_, scratch2_, scratch3_;
+  MaskSpans3D computed_spans_;
+  MaskSpans3D wall_spans_;
+  MaskSpans3D inlet_spans_;
+  MaskSpans3D notwall_spans_;
+  MaskSpans3D filter_spans_;
   long step_ = 0;
 };
 

@@ -4,80 +4,116 @@ namespace subsonic::fd2d {
 
 namespace {
 
-bool computed(NodeType t) {
-  // Walls and inlets hold prescribed values; fluid and outlet nodes evolve
-  // by the interior update (the outlet's density is pinned afterwards by
-  // the boundary pass).
-  return t == NodeType::kFluid || t == NodeType::kOutlet;
-}
+// The per-box update helpers read the *old* field values from `ox`/`oy`/
+// `orho` and write the advanced values into the paired output field; the
+// caller picks which physical buffer plays which role for each pass (see
+// advance_velocity).  Iteration runs the precomputed spans of computed
+// (fluid | outlet) nodes; walls and inlets hold prescribed values.
 
-}  // namespace
-
-void advance_velocity(Domain2D& d) {
+void velocity_box(Domain2D& d, const PaddedField2D<double>& ox,
+                  const PaddedField2D<double>& oy,
+                  PaddedField2D<double>& nvx, PaddedField2D<double>& nvy,
+                  const Box2& r) {
   const FluidParams& p = d.params();
   const double inv2dx = 1.0 / (2.0 * p.dx);
   const double invdx2 = 1.0 / (p.dx * p.dx);
   const double cs2 = p.cs * p.cs;
+  const PaddedField2D<double>& rho_f = d.rho();
 
-  // Snapshot the old velocities: the update of vx needs the old vy and
-  // vice versa, and in-place writes would corrupt neighbouring stencils.
-  PaddedField2D<double>& ox = d.scratch();
-  PaddedField2D<double>& oy = d.scratch2();
-  ox = d.vx();
-  oy = d.vy();
+  for (int y = r.y0; y < r.y1; ++y) {
+    d.computed_spans().for_row(y, r.x0, r.x1, [&](int a, int b) {
+      for (int x = a; x < b; ++x) {
+        const double ux = ox(x, y);
+        const double uy = oy(x, y);
 
-  for (int y = 0; y < d.ny(); ++y) {
-    for (int x = 0; x < d.nx(); ++x) {
-      if (!computed(d.node(x, y))) continue;
-      const double ux = ox(x, y);
-      const double uy = oy(x, y);
+        const double dux_dx = (ox(x + 1, y) - ox(x - 1, y)) * inv2dx;
+        const double dux_dy = (ox(x, y + 1) - ox(x, y - 1)) * inv2dx;
+        const double duy_dx = (oy(x + 1, y) - oy(x - 1, y)) * inv2dx;
+        const double duy_dy = (oy(x, y + 1) - oy(x, y - 1)) * inv2dx;
 
-      const double dux_dx = (ox(x + 1, y) - ox(x - 1, y)) * inv2dx;
-      const double dux_dy = (ox(x, y + 1) - ox(x, y - 1)) * inv2dx;
-      const double duy_dx = (oy(x + 1, y) - oy(x - 1, y)) * inv2dx;
-      const double duy_dy = (oy(x, y + 1) - oy(x, y - 1)) * inv2dx;
+        const double rho = rho_f(x, y);
+        const double drho_dx =
+            (rho_f(x + 1, y) - rho_f(x - 1, y)) * inv2dx;
+        const double drho_dy =
+            (rho_f(x, y + 1) - rho_f(x, y - 1)) * inv2dx;
 
-      const double rho = d.rho()(x, y);
-      const double drho_dx = (d.rho()(x + 1, y) - d.rho()(x - 1, y)) * inv2dx;
-      const double drho_dy = (d.rho()(x, y + 1) - d.rho()(x, y - 1)) * inv2dx;
+        const double lap_ux = (ox(x + 1, y) + ox(x - 1, y) + ox(x, y + 1) +
+                               ox(x, y - 1) - 4.0 * ux) *
+                              invdx2;
+        const double lap_uy = (oy(x + 1, y) + oy(x - 1, y) + oy(x, y + 1) +
+                               oy(x, y - 1) - 4.0 * uy) *
+                              invdx2;
 
-      const double lap_ux = (ox(x + 1, y) + ox(x - 1, y) + ox(x, y + 1) +
-                             ox(x, y - 1) - 4.0 * ux) *
-                            invdx2;
-      const double lap_uy = (oy(x + 1, y) + oy(x - 1, y) + oy(x, y + 1) +
-                             oy(x, y - 1) - 4.0 * uy) *
-                            invdx2;
-
-      d.vx()(x, y) = ux + p.dt * (-ux * dux_dx - uy * dux_dy -
-                                  cs2 / rho * drho_dx + p.nu * lap_ux +
-                                  p.force_x);
-      d.vy()(x, y) = uy + p.dt * (-ux * duy_dx - uy * duy_dy -
-                                  cs2 / rho * drho_dy + p.nu * lap_uy +
-                                  p.force_y);
-    }
+        nvx(x, y) = ux + p.dt * (-ux * dux_dx - uy * dux_dy -
+                                 cs2 / rho * drho_dx + p.nu * lap_ux +
+                                 p.force_x);
+        nvy(x, y) = uy + p.dt * (-ux * duy_dx - uy * duy_dy -
+                                 cs2 / rho * drho_dy + p.nu * lap_uy +
+                                 p.force_y);
+      }
+    });
   }
 }
 
-void advance_density(Domain2D& d) {
+void density_box(Domain2D& d, const PaddedField2D<double>& orho,
+                 PaddedField2D<double>& nrho, const Box2& r) {
   const FluidParams& p = d.params();
   const double inv2dx = 1.0 / (2.0 * p.dx);
+  const PaddedField2D<double>& vx = d.vx();
+  const PaddedField2D<double>& vy = d.vy();
 
-  PaddedField2D<double>& orho = d.scratch();
-  orho = d.rho();
-
-  for (int y = 0; y < d.ny(); ++y) {
-    for (int x = 0; x < d.nx(); ++x) {
-      if (!computed(d.node(x, y))) continue;
-      // Continuity with the new velocities (conservation form).
-      const double dmx_dx = (orho(x + 1, y) * d.vx()(x + 1, y) -
-                             orho(x - 1, y) * d.vx()(x - 1, y)) *
-                            inv2dx;
-      const double dmy_dy = (orho(x, y + 1) * d.vy()(x, y + 1) -
-                             orho(x, y - 1) * d.vy()(x, y - 1)) *
-                            inv2dx;
-      d.rho()(x, y) = orho(x, y) - p.dt * (dmx_dx + dmy_dy);
-    }
+  for (int y = r.y0; y < r.y1; ++y) {
+    d.computed_spans().for_row(y, r.x0, r.x1, [&](int a, int b) {
+      for (int x = a; x < b; ++x) {
+        // Continuity with the new velocities (conservation form).
+        const double dmx_dx =
+            (orho(x + 1, y) * vx(x + 1, y) -
+             orho(x - 1, y) * vx(x - 1, y)) *
+            inv2dx;
+        const double dmy_dy =
+            (orho(x, y + 1) * vy(x, y + 1) -
+             orho(x, y - 1) * vy(x, y - 1)) *
+            inv2dx;
+        nrho(x, y) = orho(x, y) - p.dt * (dmx_dx + dmy_dy);
+      }
+    });
   }
+}
+
+}  // namespace
+
+// Pass protocol (both kernels): the band pass reads the current buffer
+// (old values), writes the _next buffer, and swaps, so the freshly swapped
+// current buffer carries the new band values when the driver packs its
+// sends.  The interior pass then reads the old values from the _next
+// buffer — the pre-swap current buffer under its new name — and writes the
+// current one.  Cells neither pass writes (walls, inlets, unexchanged
+// padding) hold the same prescribed statics in both buffers, so the
+// completed current buffer matches the in-place update bit for bit.
+
+void advance_velocity(Domain2D& d, ComputePass pass) {
+  const Box2 region{0, 0, d.nx(), d.ny()};
+  const int w = d.ghost();
+  if (pass != ComputePass::kInterior) {
+    for (const Box2& b : band_boxes2(region, w))
+      velocity_box(d, d.vx(), d.vy(), d.vx_next(), d.vy_next(), b);
+    d.swap_velocity();
+  }
+  if (pass != ComputePass::kBand)
+    velocity_box(d, d.vx_next(), d.vy_next(), d.vx(), d.vy(),
+                 interior_box2(region, w));
+}
+
+void advance_density(Domain2D& d, ComputePass pass) {
+  const Box2 region{0, 0, d.nx(), d.ny()};
+  const int w = d.ghost();
+  if (pass != ComputePass::kInterior) {
+    for (const Box2& b : band_boxes2(region, w))
+      density_box(d, d.rho(), d.rho_next(), b);
+    d.swap_density();
+  }
+  if (pass != ComputePass::kBand)
+    density_box(d, d.rho_next(), d.rho(), interior_box2(region, w));
 }
 
 }  // namespace subsonic::fd2d

@@ -3,101 +3,134 @@
 namespace subsonic::fd3d {
 
 namespace {
-bool computed(NodeType t) {
-  return t == NodeType::kFluid || t == NodeType::kOutlet;
-}
-}  // namespace
 
-void advance_velocity(Domain3D& d) {
+// See fd2d.cpp: the helpers read old values from the `o*` fields and write
+// the advanced values into the paired outputs, iterating the precomputed
+// spans of computed (fluid | outlet) nodes.
+
+void velocity_box(Domain3D& d, const PaddedField3D<double>& ox,
+                  const PaddedField3D<double>& oy,
+                  const PaddedField3D<double>& oz,
+                  PaddedField3D<double>& nvx, PaddedField3D<double>& nvy,
+                  PaddedField3D<double>& nvz, const Box3& r) {
   const FluidParams& p = d.params();
   const double inv2dx = 1.0 / (2.0 * p.dx);
   const double invdx2 = 1.0 / (p.dx * p.dx);
   const double cs2 = p.cs * p.cs;
+  const PaddedField3D<double>& rho_f = d.rho();
 
-  PaddedField3D<double>& ox = d.scratch();
-  PaddedField3D<double>& oy = d.scratch2();
-  PaddedField3D<double>& oz = d.scratch3();
-  ox = d.vx();
-  oy = d.vy();
-  oz = d.vz();
+  for (int z = r.z0; z < r.z1; ++z) {
+    for (int y = r.y0; y < r.y1; ++y) {
+      d.computed_spans().for_row(y, z, r.x0, r.x1, [&](int a, int b) {
+        for (int x = a; x < b; ++x) {
+          const double ux = ox(x, y, z);
+          const double uy = oy(x, y, z);
+          const double uz = oz(x, y, z);
+          const double rho = rho_f(x, y, z);
 
-  for (int z = 0; z < d.nz(); ++z) {
-    for (int y = 0; y < d.ny(); ++y) {
-      for (int x = 0; x < d.nx(); ++x) {
-        if (!computed(d.node(x, y, z))) continue;
-        const double ux = ox(x, y, z);
-        const double uy = oy(x, y, z);
-        const double uz = oz(x, y, z);
-        const double rho = d.rho()(x, y, z);
+          auto grad = [&](const PaddedField3D<double>& u, double& gx,
+                          double& gy, double& gz) {
+            gx = (u(x + 1, y, z) - u(x - 1, y, z)) * inv2dx;
+            gy = (u(x, y + 1, z) - u(x, y - 1, z)) * inv2dx;
+            gz = (u(x, y, z + 1) - u(x, y, z - 1)) * inv2dx;
+          };
+          auto laplacian = [&](const PaddedField3D<double>& u) {
+            return (u(x + 1, y, z) + u(x - 1, y, z) + u(x, y + 1, z) +
+                    u(x, y - 1, z) + u(x, y, z + 1) + u(x, y, z - 1) -
+                    6.0 * u(x, y, z)) *
+                   invdx2;
+          };
 
-        auto grad = [&](const PaddedField3D<double>& u, double& gx,
-                        double& gy, double& gz) {
-          gx = (u(x + 1, y, z) - u(x - 1, y, z)) * inv2dx;
-          gy = (u(x, y + 1, z) - u(x, y - 1, z)) * inv2dx;
-          gz = (u(x, y, z + 1) - u(x, y, z - 1)) * inv2dx;
-        };
-        auto laplacian = [&](const PaddedField3D<double>& u) {
-          return (u(x + 1, y, z) + u(x - 1, y, z) + u(x, y + 1, z) +
-                  u(x, y - 1, z) + u(x, y, z + 1) + u(x, y, z - 1) -
-                  6.0 * u(x, y, z)) *
-                 invdx2;
-        };
+          double dux_dx, dux_dy, dux_dz;
+          double duy_dx, duy_dy, duy_dz;
+          double duz_dx, duz_dy, duz_dz;
+          grad(ox, dux_dx, dux_dy, dux_dz);
+          grad(oy, duy_dx, duy_dy, duy_dz);
+          grad(oz, duz_dx, duz_dy, duz_dz);
 
-        double dux_dx, dux_dy, dux_dz;
-        double duy_dx, duy_dy, duy_dz;
-        double duz_dx, duz_dy, duz_dz;
-        grad(ox, dux_dx, dux_dy, dux_dz);
-        grad(oy, duy_dx, duy_dy, duy_dz);
-        grad(oz, duz_dx, duz_dy, duz_dz);
+          const double drho_dx =
+              (rho_f(x + 1, y, z) - rho_f(x - 1, y, z)) * inv2dx;
+          const double drho_dy =
+              (rho_f(x, y + 1, z) - rho_f(x, y - 1, z)) * inv2dx;
+          const double drho_dz =
+              (rho_f(x, y, z + 1) - rho_f(x, y, z - 1)) * inv2dx;
 
-        const double drho_dx =
-            (d.rho()(x + 1, y, z) - d.rho()(x - 1, y, z)) * inv2dx;
-        const double drho_dy =
-            (d.rho()(x, y + 1, z) - d.rho()(x, y - 1, z)) * inv2dx;
-        const double drho_dz =
-            (d.rho()(x, y, z + 1) - d.rho()(x, y, z - 1)) * inv2dx;
-
-        d.vx()(x, y, z) =
-            ux + p.dt * (-ux * dux_dx - uy * dux_dy - uz * dux_dz -
-                         cs2 / rho * drho_dx + p.nu * laplacian(ox) +
-                         p.force_x);
-        d.vy()(x, y, z) =
-            uy + p.dt * (-ux * duy_dx - uy * duy_dy - uz * duy_dz -
-                         cs2 / rho * drho_dy + p.nu * laplacian(oy) +
-                         p.force_y);
-        d.vz()(x, y, z) =
-            uz + p.dt * (-ux * duz_dx - uy * duz_dy - uz * duz_dz -
-                         cs2 / rho * drho_dz + p.nu * laplacian(oz) +
-                         p.force_z);
-      }
+          nvx(x, y, z) =
+              ux + p.dt * (-ux * dux_dx - uy * dux_dy - uz * dux_dz -
+                           cs2 / rho * drho_dx + p.nu * laplacian(ox) +
+                           p.force_x);
+          nvy(x, y, z) =
+              uy + p.dt * (-ux * duy_dx - uy * duy_dy - uz * duy_dz -
+                           cs2 / rho * drho_dy + p.nu * laplacian(oy) +
+                           p.force_y);
+          nvz(x, y, z) =
+              uz + p.dt * (-ux * duz_dx - uy * duz_dy - uz * duz_dz -
+                           cs2 / rho * drho_dz + p.nu * laplacian(oz) +
+                           p.force_z);
+        }
+      });
     }
   }
 }
 
-void advance_density(Domain3D& d) {
+void density_box(Domain3D& d, const PaddedField3D<double>& orho,
+                 PaddedField3D<double>& nrho, const Box3& r) {
   const FluidParams& p = d.params();
   const double inv2dx = 1.0 / (2.0 * p.dx);
+  const PaddedField3D<double>& vx = d.vx();
+  const PaddedField3D<double>& vy = d.vy();
+  const PaddedField3D<double>& vz = d.vz();
 
-  PaddedField3D<double>& orho = d.scratch();
-  orho = d.rho();
-
-  for (int z = 0; z < d.nz(); ++z) {
-    for (int y = 0; y < d.ny(); ++y) {
-      for (int x = 0; x < d.nx(); ++x) {
-        if (!computed(d.node(x, y, z))) continue;
-        const double dmx = (orho(x + 1, y, z) * d.vx()(x + 1, y, z) -
-                            orho(x - 1, y, z) * d.vx()(x - 1, y, z)) *
-                           inv2dx;
-        const double dmy = (orho(x, y + 1, z) * d.vy()(x, y + 1, z) -
-                            orho(x, y - 1, z) * d.vy()(x, y - 1, z)) *
-                           inv2dx;
-        const double dmz = (orho(x, y, z + 1) * d.vz()(x, y, z + 1) -
-                            orho(x, y, z - 1) * d.vz()(x, y, z - 1)) *
-                           inv2dx;
-        d.rho()(x, y, z) = orho(x, y, z) - p.dt * (dmx + dmy + dmz);
-      }
+  for (int z = r.z0; z < r.z1; ++z) {
+    for (int y = r.y0; y < r.y1; ++y) {
+      d.computed_spans().for_row(y, z, r.x0, r.x1, [&](int a, int b) {
+        for (int x = a; x < b; ++x) {
+          const double dmx = (orho(x + 1, y, z) * vx(x + 1, y, z) -
+                              orho(x - 1, y, z) * vx(x - 1, y, z)) *
+                             inv2dx;
+          const double dmy = (orho(x, y + 1, z) * vy(x, y + 1, z) -
+                              orho(x, y - 1, z) * vy(x, y - 1, z)) *
+                             inv2dx;
+          const double dmz = (orho(x, y, z + 1) * vz(x, y, z + 1) -
+                              orho(x, y, z - 1) * vz(x, y, z - 1)) *
+                             inv2dx;
+          nrho(x, y, z) = orho(x, y, z) - p.dt * (dmx + dmy + dmz);
+        }
+      });
     }
   }
+}
+
+}  // namespace
+
+// Same pass protocol as fd2d.cpp: band reads current, writes _next, swaps;
+// interior reads old values from _next (the pre-swap current buffer) and
+// writes current.  Unwritten cells hold identical statics in both buffers.
+
+void advance_velocity(Domain3D& d, ComputePass pass) {
+  const Box3 region{0, 0, 0, d.nx(), d.ny(), d.nz()};
+  const int w = d.ghost();
+  if (pass != ComputePass::kInterior) {
+    for (const Box3& b : band_boxes3(region, w))
+      velocity_box(d, d.vx(), d.vy(), d.vz(), d.vx_next(), d.vy_next(),
+                   d.vz_next(), b);
+    d.swap_velocity();
+  }
+  if (pass != ComputePass::kBand)
+    velocity_box(d, d.vx_next(), d.vy_next(), d.vz_next(), d.vx(), d.vy(),
+                 d.vz(), interior_box3(region, w));
+}
+
+void advance_density(Domain3D& d, ComputePass pass) {
+  const Box3 region{0, 0, 0, d.nx(), d.ny(), d.nz()};
+  const int w = d.ghost();
+  if (pass != ComputePass::kInterior) {
+    for (const Box3& b : band_boxes3(region, w))
+      density_box(d, d.rho(), d.rho_next(), b);
+    d.swap_density();
+  }
+  if (pass != ComputePass::kBand)
+    density_box(d, d.rho_next(), d.rho(), interior_box3(region, w));
 }
 
 }  // namespace subsonic::fd3d

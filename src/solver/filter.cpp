@@ -1,61 +1,101 @@
 #include "src/solver/filter.hpp"
 
-#include <array>
+#include <cstring>
 
 namespace subsonic {
 
 namespace {
 
-void filter_field2d(Domain2D& d, PaddedField2D<double>& u) {
-  const double k = d.params().filter_eps / 16.0;
-  PaddedField2D<double>& s = d.scratch();
-  s = u;
+// Double-buffered filter: corrected values are computed from the untouched
+// current buffer `u` into `out`, and every cell the filter leaves alone
+// (gaps between spans, whole ghost-frame rows) is block-copied across, so
+// after the swap the new current buffer matches the in-place update at
+// every padded cell.  One write per cell instead of a full-field snapshot
+// copy plus corrected writes.
 
-  // The direction masks are precomputed from the static geometry
-  // (Domain2D::filter_dirs), so the hot loop does pure arithmetic.
-  for (int y = -1; y < d.ny() + 1; ++y) {
-    for (int x = -1; x < d.nx() + 1; ++x) {
-      const std::uint8_t dirs = d.filter_dirs(x, y);
-      if (dirs == 0) continue;
-      double corr = 0.0;
-      if (dirs & 1) {
-        corr += s(x - 2, y) - 4.0 * s(x - 1, y) + 6.0 * s(x, y) -
-                4.0 * s(x + 1, y) + s(x + 2, y);
-      }
-      if (dirs & 2) {
-        corr += s(x, y - 2) - 4.0 * s(x, y - 1) + 6.0 * s(x, y) -
-                4.0 * s(x, y + 1) + s(x, y + 2);
-      }
-      u(x, y) -= k * corr;
+void filter_field2d(Domain2D& d, const PaddedField2D<double>& u,
+                    PaddedField2D<double>& out) {
+  const double k = d.params().filter_eps / 16.0;
+  const int g = d.ghost();
+  const int xlo = -g, xhi = d.nx() + g;
+
+  const auto copy_run = [&](int y, int a, int b) {
+    if (a < b)
+      std::memcpy(&out(a, y), &u(a, y),
+                  static_cast<size_t>(b - a) * sizeof(double));
+  };
+
+  for (int y = -g; y < d.ny() + g; ++y) {
+    if (y < -1 || y >= d.ny() + 1) {
+      copy_run(y, xlo, xhi);
+      continue;
     }
+    int cursor = xlo;
+    for (const MaskSpan& s : d.filter_spans().row(y)) {
+      copy_run(y, cursor, s.x0);
+      for (int x = s.x0; x < s.x1; ++x) {
+        const std::uint8_t dirs = d.filter_dirs(x, y);
+        double corr = 0.0;
+        if (dirs & 1) {
+          corr += u(x - 2, y) - 4.0 * u(x - 1, y) + 6.0 * u(x, y) -
+                  4.0 * u(x + 1, y) + u(x + 2, y);
+        }
+        if (dirs & 2) {
+          corr += u(x, y - 2) - 4.0 * u(x, y - 1) + 6.0 * u(x, y) -
+                  4.0 * u(x, y + 1) + u(x, y + 2);
+        }
+        out(x, y) = u(x, y) - k * corr;
+      }
+      cursor = s.x1;
+    }
+    copy_run(y, cursor, xhi);
   }
 }
 
-void filter_field3d(Domain3D& d, PaddedField3D<double>& u) {
+void filter_field3d(Domain3D& d, const PaddedField3D<double>& u,
+                    PaddedField3D<double>& out) {
   const double k = d.params().filter_eps / 16.0;
-  PaddedField3D<double>& s = d.scratch();
-  s = u;
+  const int g = d.ghost();
+  const int xlo = -g, xhi = d.nx() + g;
 
-  for (int z = -1; z < d.nz() + 1; ++z) {
-    for (int y = -1; y < d.ny() + 1; ++y) {
-      for (int x = -1; x < d.nx() + 1; ++x) {
-        const std::uint8_t dirs = d.filter_dirs(x, y, z);
-        if (dirs == 0) continue;
-        double corr = 0.0;
-        if (dirs & 1) {
-          corr += s(x - 2, y, z) - 4.0 * s(x - 1, y, z) + 6.0 * s(x, y, z) -
-                  4.0 * s(x + 1, y, z) + s(x + 2, y, z);
-        }
-        if (dirs & 2) {
-          corr += s(x, y - 2, z) - 4.0 * s(x, y - 1, z) + 6.0 * s(x, y, z) -
-                  4.0 * s(x, y + 1, z) + s(x, y + 2, z);
-        }
-        if (dirs & 4) {
-          corr += s(x, y, z - 2) - 4.0 * s(x, y, z - 1) + 6.0 * s(x, y, z) -
-                  4.0 * s(x, y, z + 1) + s(x, y, z + 2);
-        }
-        u(x, y, z) -= k * corr;
+  const auto copy_run = [&](int y, int z, int a, int b) {
+    if (a < b)
+      std::memcpy(&out(a, y, z), &u(a, y, z),
+                  static_cast<size_t>(b - a) * sizeof(double));
+  };
+
+  for (int z = -g; z < d.nz() + g; ++z) {
+    for (int y = -g; y < d.ny() + g; ++y) {
+      if (z < -1 || z >= d.nz() + 1 || y < -1 || y >= d.ny() + 1) {
+        copy_run(y, z, xlo, xhi);
+        continue;
       }
+      int cursor = xlo;
+      for (const MaskSpan& s : d.filter_spans().row(y, z)) {
+        copy_run(y, z, cursor, s.x0);
+        for (int x = s.x0; x < s.x1; ++x) {
+          const std::uint8_t dirs = d.filter_dirs(x, y, z);
+          double corr = 0.0;
+          if (dirs & 1) {
+            corr += u(x - 2, y, z) - 4.0 * u(x - 1, y, z) +
+                    6.0 * u(x, y, z) - 4.0 * u(x + 1, y, z) +
+                    u(x + 2, y, z);
+          }
+          if (dirs & 2) {
+            corr += u(x, y - 2, z) - 4.0 * u(x, y - 1, z) +
+                    6.0 * u(x, y, z) - 4.0 * u(x, y + 1, z) +
+                    u(x, y + 2, z);
+          }
+          if (dirs & 4) {
+            corr += u(x, y, z - 2) - 4.0 * u(x, y, z - 1) +
+                    6.0 * u(x, y, z) - 4.0 * u(x, y, z + 1) +
+                    u(x, y, z + 2);
+          }
+          out(x, y, z) = u(x, y, z) - k * corr;
+        }
+        cursor = s.x1;
+      }
+      copy_run(y, z, cursor, xhi);
     }
   }
 }
@@ -64,17 +104,21 @@ void filter_field3d(Domain3D& d, PaddedField3D<double>& u) {
 
 void filter2d(Domain2D& d) {
   if (d.params().filter_eps == 0.0) return;
-  filter_field2d(d, d.rho());
-  filter_field2d(d, d.vx());
-  filter_field2d(d, d.vy());
+  filter_field2d(d, d.rho(), d.rho_next());
+  filter_field2d(d, d.vx(), d.vx_next());
+  filter_field2d(d, d.vy(), d.vy_next());
+  d.swap_density();
+  d.swap_velocity();
 }
 
 void filter3d(Domain3D& d) {
   if (d.params().filter_eps == 0.0) return;
-  filter_field3d(d, d.rho());
-  filter_field3d(d, d.vx());
-  filter_field3d(d, d.vy());
-  filter_field3d(d, d.vz());
+  filter_field3d(d, d.rho(), d.rho_next());
+  filter_field3d(d, d.vx(), d.vx_next());
+  filter_field3d(d, d.vy(), d.vy_next());
+  filter_field3d(d, d.vz(), d.vz_next());
+  d.swap_density();
+  d.swap_velocity();
 }
 
 }  // namespace subsonic

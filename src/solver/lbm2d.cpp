@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "src/solver/pass.hpp"
+
 namespace subsonic::lbm2d {
 
 void set_equilibrium(Domain2D& d) {
@@ -24,35 +26,32 @@ void set_equilibrium_both(Domain2D& d) {
   d.swap_populations();
 }
 
-void collide_stream(Domain2D& d) {
+void collide_stream(Domain2D& d, ComputePass pass) {
   const FluidParams& p = d.params();
   const double omega = 1.0 / p.lb_tau();
   const double gx = p.force_x * p.dt;
   const double gy = p.force_y * p.dt;
   const bool forced = (gx != 0.0 || gy != 0.0);
+  const int g = d.ghost();
 
-  // Relax the interior plus one ghost ring: the ring relaxation replays,
+  // Relaxation acts on the interior plus one ghost ring: the ring replays,
   // bit for bit, what the owning neighbour computes for those nodes, so
-  // the stream below can pull across the subregion boundary.
-  for (int y = -1; y < d.ny() + 1; ++y) {
-    for (int x = -1; x < d.nx() + 1; ++x) {
-      switch (d.node(x, y)) {
-        case NodeType::kWall: {
-          // Full-way bounce-back: arrived populations leave reversed.
-          for (int i = 1; i < kQ; ++i) {
-            const int o = kOpposite[i];
-            if (o > i) std::swap(d.f(i)(x, y), d.f(o)(x, y));
-          }
-          break;
-        }
-        case NodeType::kInlet: {
-          // The jet is a prescribed-velocity reservoir.
-          for (int i = 0; i < kQ; ++i)
-            d.f(i)(x, y) = equilibrium(i, p.rho0, p.inlet_vx, p.inlet_vy);
-          break;
-        }
-        case NodeType::kFluid:
-        case NodeType::kOutlet: {
+  // the stream can pull across the subregion boundary.  Relaxation is
+  // cell-local, so any partition of the region gives identical results.
+  const Box2 relax_region{-1, -1, d.nx() + 1, d.ny() + 1};
+  const Box2 stream_region{0, 0, d.nx(), d.ny()};
+  // A streamed cell within g of the interior edge pulls from within g + 1
+  // of the relax region's edge, so the band relaxation uses a g + 2 frame.
+  const int relax_w = g + 2;
+
+  // `on_next` selects the physical buffer: before the swap the step's
+  // populations are the current f, afterwards the same buffer is f_next.
+  const auto relax_box = [&](bool on_next, const Box2& r) {
+    PaddedField2D<double>* f[kQ];
+    for (int i = 0; i < kQ; ++i) f[i] = on_next ? &d.f_next(i) : &d.f(i);
+    for (int y = r.y0; y < r.y1; ++y) {
+      d.computed_spans().for_row(y, r.x0, r.x1, [&](int a, int b) {
+        for (int x = a; x < b; ++x) {
           const double rho = d.rho()(x, y);
           const double ux = d.vx()(x, y);
           const double uy = d.vy()(x, y);
@@ -78,53 +77,86 @@ void collide_stream(Domain2D& d) {
           eq[8] = rw_d * (base + apm + 0.5 * apm * apm);
           eq[6] = rw_d * (base - apm + 0.5 * apm * apm);
           for (int i = 0; i < kQ; ++i) {
-            double& fi = d.f(i)(x, y);
+            double& fi = (*f[i])(x, y);
             fi += omega * (eq[i] - fi);
           }
           if (forced) {
             // First-order body-force term: w_i rho (c_i . g) / c_s^2.
             for (int i = 1; i < kQ; ++i)
-              d.f(i)(x, y) +=
+              (*f[i])(x, y) +=
                   kW[i] * rho * 3.0 * (kCx[i] * gx + kCy[i] * gy);
           }
-          break;
         }
-      }
+      });
+      d.wall_spans().for_row(y, r.x0, r.x1, [&](int a, int b) {
+        for (int x = a; x < b; ++x) {
+          // Full-way bounce-back: arrived populations leave reversed.
+          for (int i = 1; i < kQ; ++i) {
+            const int o = kOpposite[i];
+            if (o > i) std::swap((*f[i])(x, y), (*f[o])(x, y));
+          }
+        }
+      });
+      d.inlet_spans().for_row(y, r.x0, r.x1, [&](int a, int b) {
+        for (int x = a; x < b; ++x)
+          // The jet is a prescribed-velocity reservoir.
+          for (int i = 0; i < kQ; ++i)
+            (*f[i])(x, y) = equilibrium(i, p.rho0, p.inlet_vx, p.inlet_vy);
+      });
     }
-  }
+  };
 
-  // Stream (pull) into the back buffer; interior only.  Ghost values of
-  // the new buffer are refreshed by the exchange that follows.  Each
-  // destination row is a contiguous shifted copy of a source row, so the
-  // whole shift is nx doubles of memcpy per row per population.
-  for (int i = 0; i < kQ; ++i) {
-    const int cx = kCx[i];
-    const int cy = kCy[i];
-    const PaddedField2D<double>& src = d.f(i);
-    PaddedField2D<double>& dst = d.f_next(i);
-    const size_t row_bytes = static_cast<size_t>(d.nx()) * sizeof(double);
-    for (int y = 0; y < d.ny(); ++y)
-      std::memcpy(&dst(0, y), &src(-cx, y - cy), row_bytes);
+  // Stream (pull) box `r` from the relaxed buffer into the other one.
+  // Each destination row segment is a contiguous shifted copy of a source
+  // row, so the shift is pure memcpy.
+  const auto stream_box = [&](bool from_next, const Box2& r) {
+    if (r.empty()) return;
+    const size_t row_bytes =
+        static_cast<size_t>(r.x1 - r.x0) * sizeof(double);
+    for (int i = 0; i < kQ; ++i) {
+      const int cx = kCx[i];
+      const int cy = kCy[i];
+      const PaddedField2D<double>& src = from_next ? d.f_next(i) : d.f(i);
+      PaddedField2D<double>& dst = from_next ? d.f(i) : d.f_next(i);
+      for (int y = r.y0; y < r.y1; ++y)
+        std::memcpy(&dst(r.x0, y), &src(r.x0 - cx, y - cy), row_bytes);
+    }
+  };
+
+  if (pass != ComputePass::kInterior) {
+    for (const Box2& b : band_boxes2(relax_region, relax_w))
+      relax_box(false, b);
+    for (const Box2& b : band_boxes2(stream_region, g))
+      stream_box(false, b);
+    // The freshly streamed boundary band becomes current so the driver can
+    // pack its sends while the interior is still computing.
+    d.swap_populations();
   }
-  d.swap_populations();
+  if (pass != ComputePass::kBand) {
+    relax_box(true, interior_box2(relax_region, relax_w));
+    stream_box(true, interior_box2(stream_region, g));
+  }
 }
 
 void moments(Domain2D& d) {
   const int g = d.ghost();
+  const PaddedField2D<double>* f[kQ];
+  for (int i = 0; i < kQ; ++i) f[i] = &d.f(i);
   for (int y = -g; y < d.ny() + g; ++y) {
-    for (int x = -g; x < d.nx() + g; ++x) {
-      if (d.node(x, y) == NodeType::kWall) continue;
-      double rho = 0.0, mx = 0.0, my = 0.0;
-      for (int i = 0; i < kQ; ++i) {
-        const double fi = d.f(i)(x, y);
-        rho += fi;
-        mx += kCx[i] * fi;
-        my += kCy[i] * fi;
+    d.notwall_spans().for_row(y, -g, d.nx() + g, [&](int a, int b) {
+      for (int x = a; x < b; ++x) {
+        double rho = 0.0, mx = 0.0, my = 0.0;
+        for (int i = 0; i < kQ; ++i) {
+          const double fi = (*f[i])(x, y);
+          rho += fi;
+          mx += kCx[i] * fi;
+          my += kCy[i] * fi;
+        }
+        d.rho()(x, y) = rho;
+        d.vx()(x, y) = mx / rho;
+        d.vy()(x, y) = my / rho;
       }
-      d.rho()(x, y) = rho;
-      d.vx()(x, y) = mx / rho;
-      d.vy()(x, y) = my / rho;
-    }
+    });
   }
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "src/solver/domain2d.hpp"
+#include "src/solver/pass.hpp"
 
 namespace subsonic::lbm2d {
 
@@ -40,8 +41,11 @@ void set_equilibrium_both(Domain2D& d);
 
 /// Relax on the interior plus a one-node ghost ring (so the subsequent
 /// stream can pull across subregion boundaries), bounce-back at walls,
-/// then stream the interior into the back buffer and swap.
-void collide_stream(Domain2D& d);
+/// then stream the interior into the back buffer and swap.  The band pass
+/// relaxes and streams only the boundary band (and swaps, so the driver
+/// can pack sends from the current buffer); the interior pass finishes the
+/// rest.  Band + interior is bitwise identical to the full pass.
+void collide_stream(Domain2D& d, ComputePass pass = ComputePass::kFull);
 
 /// Recomputes rho, vx, vy from the populations on all padded nodes
 /// (ghost populations were just communicated); walls keep their statics.

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "src/solver/pass.hpp"
+
 namespace subsonic::lbm3d {
 
 void set_equilibrium(Domain3D& d) {
@@ -26,33 +28,27 @@ void set_equilibrium_both(Domain3D& d) {
   d.swap_populations();
 }
 
-void collide_stream(Domain3D& d) {
+void collide_stream(Domain3D& d, ComputePass pass) {
   const FluidParams& p = d.params();
   const double omega = 1.0 / p.lb_tau();
   const double gx = p.force_x * p.dt;
   const double gy = p.force_y * p.dt;
   const double gz = p.force_z * p.dt;
   const bool forced = (gx != 0.0 || gy != 0.0 || gz != 0.0);
+  const int g = d.ghost();
 
-  for (int z = -1; z < d.nz() + 1; ++z) {
-    for (int y = -1; y < d.ny() + 1; ++y) {
-      for (int x = -1; x < d.nx() + 1; ++x) {
-        switch (d.node(x, y, z)) {
-          case NodeType::kWall: {
-            for (int i = 1; i < kQ; ++i) {
-              const int o = kOpposite[i];
-              if (o > i) std::swap(d.f(i)(x, y, z), d.f(o)(x, y, z));
-            }
-            break;
-          }
-          case NodeType::kInlet: {
-            for (int i = 0; i < kQ; ++i)
-              d.f(i)(x, y, z) = equilibrium(i, p.rho0, p.inlet_vx,
-                                            p.inlet_vy, p.inlet_vz);
-            break;
-          }
-          case NodeType::kFluid:
-          case NodeType::kOutlet: {
+  // Same band/interior protocol as lbm2d.cpp.
+  const Box3 relax_region{-1, -1, -1, d.nx() + 1, d.ny() + 1, d.nz() + 1};
+  const Box3 stream_region{0, 0, 0, d.nx(), d.ny(), d.nz()};
+  const int relax_w = g + 2;
+
+  const auto relax_box = [&](bool on_next, const Box3& r) {
+    PaddedField3D<double>* f[kQ];
+    for (int i = 0; i < kQ; ++i) f[i] = on_next ? &d.f_next(i) : &d.f(i);
+    for (int z = r.z0; z < r.z1; ++z) {
+      for (int y = r.y0; y < r.y1; ++y) {
+        d.computed_spans().for_row(y, z, r.x0, r.x1, [&](int a, int b) {
+          for (int x = a; x < b; ++x) {
             const double rho = d.rho()(x, y, z);
             const double ux = d.vx()(x, y, z);
             const double uy = d.vy()(x, y, z);
@@ -87,56 +83,91 @@ void collide_stream(Domain3D& d) {
             eq[13] = rw_d * (base + s4 + 0.5 * s4 * s4);
             eq[14] = rw_d * (base - s4 + 0.5 * s4 * s4);
             for (int i = 0; i < kQ; ++i) {
-              double& fi = d.f(i)(x, y, z);
+              double& fi = (*f[i])(x, y, z);
               fi += omega * (eq[i] - fi);
             }
             if (forced) {
               for (int i = 1; i < kQ; ++i)
-                d.f(i)(x, y, z) +=
+                (*f[i])(x, y, z) +=
                     kW[i] * rho * 3.0 *
                     (kCx[i] * gx + kCy[i] * gy + kCz[i] * gz);
             }
-            break;
           }
-        }
+        });
+        d.wall_spans().for_row(y, z, r.x0, r.x1, [&](int a, int b) {
+          for (int x = a; x < b; ++x) {
+            for (int i = 1; i < kQ; ++i) {
+              const int o = kOpposite[i];
+              if (o > i)
+                std::swap((*f[i])(x, y, z), (*f[o])(x, y, z));
+            }
+          }
+        });
+        d.inlet_spans().for_row(y, z, r.x0, r.x1, [&](int a, int b) {
+          for (int x = a; x < b; ++x)
+            for (int i = 0; i < kQ; ++i)
+              (*f[i])(x, y, z) = equilibrium(i, p.rho0, p.inlet_vx,
+                                             p.inlet_vy, p.inlet_vz);
+        });
       }
     }
-  }
+  };
 
   // Row-contiguous shifted copies, as in the 2D stream.
-  for (int i = 0; i < kQ; ++i) {
-    const int cx = kCx[i];
-    const int cy = kCy[i];
-    const int cz = kCz[i];
-    const PaddedField3D<double>& src = d.f(i);
-    PaddedField3D<double>& dst = d.f_next(i);
-    const size_t row_bytes = static_cast<size_t>(d.nx()) * sizeof(double);
-    for (int z = 0; z < d.nz(); ++z)
-      for (int y = 0; y < d.ny(); ++y)
-        std::memcpy(&dst(0, y, z), &src(-cx, y - cy, z - cz), row_bytes);
+  const auto stream_box = [&](bool from_next, const Box3& r) {
+    if (r.empty()) return;
+    const size_t row_bytes =
+        static_cast<size_t>(r.x1 - r.x0) * sizeof(double);
+    for (int i = 0; i < kQ; ++i) {
+      const int cx = kCx[i];
+      const int cy = kCy[i];
+      const int cz = kCz[i];
+      const PaddedField3D<double>& src = from_next ? d.f_next(i) : d.f(i);
+      PaddedField3D<double>& dst = from_next ? d.f(i) : d.f_next(i);
+      for (int z = r.z0; z < r.z1; ++z)
+        for (int y = r.y0; y < r.y1; ++y)
+          std::memcpy(&dst(r.x0, y, z), &src(r.x0 - cx, y - cy, z - cz),
+                      row_bytes);
+    }
+  };
+
+  if (pass != ComputePass::kInterior) {
+    for (const Box3& b : band_boxes3(relax_region, relax_w))
+      relax_box(false, b);
+    for (const Box3& b : band_boxes3(stream_region, g))
+      stream_box(false, b);
+    d.swap_populations();
   }
-  d.swap_populations();
+  if (pass != ComputePass::kBand) {
+    relax_box(true, interior_box3(relax_region, relax_w));
+    stream_box(true, interior_box3(stream_region, g));
+  }
 }
 
 void moments(Domain3D& d) {
   const int g = d.ghost();
-  for (int z = -g; z < d.nz() + g; ++z)
-    for (int y = -g; y < d.ny() + g; ++y)
-      for (int x = -g; x < d.nx() + g; ++x) {
-        if (d.node(x, y, z) == NodeType::kWall) continue;
-        double rho = 0.0, mx = 0.0, my = 0.0, mz = 0.0;
-        for (int i = 0; i < kQ; ++i) {
-          const double fi = d.f(i)(x, y, z);
-          rho += fi;
-          mx += kCx[i] * fi;
-          my += kCy[i] * fi;
-          mz += kCz[i] * fi;
+  const PaddedField3D<double>* f[kQ];
+  for (int i = 0; i < kQ; ++i) f[i] = &d.f(i);
+  for (int z = -g; z < d.nz() + g; ++z) {
+    for (int y = -g; y < d.ny() + g; ++y) {
+      d.notwall_spans().for_row(y, z, -g, d.nx() + g, [&](int a, int b) {
+        for (int x = a; x < b; ++x) {
+          double rho = 0.0, mx = 0.0, my = 0.0, mz = 0.0;
+          for (int i = 0; i < kQ; ++i) {
+            const double fi = (*f[i])(x, y, z);
+            rho += fi;
+            mx += kCx[i] * fi;
+            my += kCy[i] * fi;
+            mz += kCz[i] * fi;
+          }
+          d.rho()(x, y, z) = rho;
+          d.vx()(x, y, z) = mx / rho;
+          d.vy()(x, y, z) = my / rho;
+          d.vz()(x, y, z) = mz / rho;
         }
-        d.rho()(x, y, z) = rho;
-        d.vx()(x, y, z) = mx / rho;
-        d.vy()(x, y, z) = my / rho;
-        d.vz()(x, y, z) = mz / rho;
-      }
+      });
+    }
+  }
 }
 
 }  // namespace subsonic::lbm3d

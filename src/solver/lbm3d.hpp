@@ -5,6 +5,7 @@
 #pragma once
 
 #include "src/solver/domain3d.hpp"
+#include "src/solver/pass.hpp"
 
 namespace subsonic::lbm3d {
 
@@ -32,7 +33,7 @@ inline double equilibrium(int i, double rho, double ux, double uy,
 
 void set_equilibrium(Domain3D& d);
 void set_equilibrium_both(Domain3D& d);
-void collide_stream(Domain3D& d);
+void collide_stream(Domain3D& d, ComputePass pass = ComputePass::kFull);
 void moments(Domain3D& d);
 
 }  // namespace subsonic::lbm3d

@@ -46,16 +46,16 @@ std::vector<Phase> make_schedule3d(Method method) {
   return s;
 }
 
-void run_compute2d(Domain2D& d, ComputeKind kind) {
+void run_compute2d(Domain2D& d, ComputeKind kind, ComputePass pass) {
   switch (kind) {
     case ComputeKind::kFdVelocity:
-      fd2d::advance_velocity(d);
+      fd2d::advance_velocity(d, pass);
       return;
     case ComputeKind::kFdDensity:
-      fd2d::advance_density(d);
+      fd2d::advance_density(d, pass);
       return;
     case ComputeKind::kLbCollideStream:
-      lbm2d::collide_stream(d);
+      lbm2d::collide_stream(d, pass);
       return;
     case ComputeKind::kLbMoments:
       lbm2d::moments(d);
@@ -68,16 +68,16 @@ void run_compute2d(Domain2D& d, ComputeKind kind) {
   SUBSONIC_CHECK(false);
 }
 
-void run_compute3d(Domain3D& d, ComputeKind kind) {
+void run_compute3d(Domain3D& d, ComputeKind kind, ComputePass pass) {
   switch (kind) {
     case ComputeKind::kFdVelocity:
-      fd3d::advance_velocity(d);
+      fd3d::advance_velocity(d, pass);
       return;
     case ComputeKind::kFdDensity:
-      fd3d::advance_density(d);
+      fd3d::advance_density(d, pass);
       return;
     case ComputeKind::kLbCollideStream:
-      lbm3d::collide_stream(d);
+      lbm3d::collide_stream(d, pass);
       return;
     case ComputeKind::kLbMoments:
       lbm3d::moments(d);

@@ -15,6 +15,7 @@
 #include "src/solver/domain2d.hpp"
 #include "src/solver/domain3d.hpp"
 #include "src/solver/field_id.hpp"
+#include "src/solver/pass.hpp"
 
 namespace subsonic {
 
@@ -48,9 +49,15 @@ std::vector<Phase> make_schedule2d(Method method);
 /// D3Q15 populations).
 std::vector<Phase> make_schedule3d(Method method);
 
-/// Executes one compute phase on a subregion.
-void run_compute2d(Domain2D& d, ComputeKind kind);
-void run_compute3d(Domain3D& d, ComputeKind kind);
+/// Executes one compute phase on a subregion.  The band/interior passes
+/// are honoured by the splittable kernels (FD updates, LB collide+stream);
+/// the drivers only ever split a compute phase that is followed by an
+/// exchange, and the remaining phases (moments, filter+BC) always run
+/// kFull.
+void run_compute2d(Domain2D& d, ComputeKind kind,
+                   ComputePass pass = ComputePass::kFull);
+void run_compute3d(Domain3D& d, ComputeKind kind,
+                   ComputePass pass = ComputePass::kFull);
 
 /// Messages per neighbour per integration step (paper section 6: FD 2,
 /// LB 1).
