@@ -1,0 +1,136 @@
+// Kernel-throughput suite: MLUPS (million lattice-site updates per
+// second) for each hot kernel — FD velocity, FD density, LB
+// collide+stream, and the fourth-order filter — across grid sizes and
+// intra-subregion thread counts.  This measures the paper's U_calc
+// directly: the overlap schedule (PR 1, bench_overlap) hides T_com, so
+// raising per-subregion compute throughput is the remaining lever on
+// f = (1 + T_com/T_calc)^-1.
+//
+// Results print as a table and are written as JSON (argv[1], default
+// BENCH_kernels.json) with full machine/toolchain provenance, so the
+// committed numbers stay interpretable across hosts — in particular,
+// thread scaling is only meaningful when provenance.hardware_threads
+// exceeds the case's thread count.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/geometry/mask.hpp"
+#include "src/solver/domain2d.hpp"
+#include "src/solver/fd2d.hpp"
+#include "src/solver/filter.hpp"
+#include "src/solver/lbm2d.hpp"
+#include "src/util/provenance.hpp"
+
+namespace {
+
+using namespace subsonic;
+
+struct KernelCase {
+  const char* name;
+  Method method;
+  // Interior site updates one call performs, as a multiple of nx * ny
+  // (the filter runs three fields per call).
+  int fields_per_call;
+  std::function<void(Domain2D&)> call;
+};
+
+struct Result {
+  std::string kernel;
+  int side = 0;
+  int threads = 0;
+  double ms_per_call = 0;
+  double mlups = 0;
+};
+
+Result run_case(const KernelCase& k, int side, int threads) {
+  Mask2D mask(Extents2{side, side}, 3);
+  // A wall obstacle keeps the span tables non-trivial (several runs per
+  // row) without dominating the site count.
+  mask.fill_box({side / 4, side / 4, side / 4 + 8, side / 4 + 8},
+                NodeType::kWall);
+  FluidParams p;
+  p.dt = k.method == Method::kLatticeBoltzmann ? 1.0 : 0.3;
+  p.nu = 0.05;
+  p.filter_eps = 0.1;
+  p.periodic_x = p.periodic_y = true;
+  Domain2D d(mask, full_box(mask.extents()), p, k.method, 3, threads);
+
+  const double updates_per_call =
+      static_cast<double>(side) * side * k.fields_per_call;
+  const int reps =
+      std::max(3, static_cast<int>(8e6 / updates_per_call));
+
+  for (int i = 0; i < 2; ++i) k.call(d);  // warm-up: first-touch, pool wake
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) k.call(d);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  Result r;
+  r.kernel = k.name;
+  r.side = side;
+  r.threads = threads;
+  r.ms_per_call = secs * 1e3 / reps;
+  r.mlups = updates_per_call * reps / secs / 1e6;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const KernelCase kernels[] = {
+      {"fd_velocity", Method::kFiniteDifference, 1,
+       [](Domain2D& d) { fd2d::advance_velocity(d); }},
+      {"fd_density", Method::kFiniteDifference, 1,
+       [](Domain2D& d) { fd2d::advance_density(d); }},
+      {"lb_collide_stream", Method::kLatticeBoltzmann, 1,
+       [](Domain2D& d) { lbm2d::collide_stream(d); }},
+      {"filter", Method::kFiniteDifference, 3,
+       [](Domain2D& d) { filter2d(d); }},
+  };
+  const int sides[] = {96, 192};
+  const int thread_counts[] = {1, 2, 4};
+
+  const Provenance prov = collect_provenance();
+  std::printf("Kernel throughput (MLUPS = 1e6 interior site updates/s)\n");
+  std::printf("host: %s, %d hardware threads\n\n", prov.cpu_model.c_str(),
+              prov.hardware_threads);
+  std::printf("%-18s %-7s %-8s %-12s %s\n", "kernel", "side", "threads",
+              "ms/call", "MLUPS");
+
+  std::vector<Result> results;
+  for (const KernelCase& k : kernels)
+    for (int side : sides)
+      for (int threads : thread_counts) {
+        const Result r = run_case(k, side, threads);
+        std::printf("%-18s %-7d %-8d %-12.4f %.2f\n", r.kernel.c_str(),
+                    r.side, r.threads, r.ms_per_call, r.mlups);
+        results.push_back(r);
+      }
+
+  const std::string path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"provenance\": %s,\n",
+               provenance_json(prov).c_str());
+  std::fprintf(f, "  \"cases\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"side\": %d, \"threads\": %d, "
+                 "\"ms_per_call\": %.4f, \"mlups\": %.2f}%s\n",
+                 r.kernel.c_str(), r.side, r.threads, r.ms_per_call,
+                 r.mlups, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

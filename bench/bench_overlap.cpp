@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/core/subsonic.hpp"
+#include "src/util/provenance.hpp"
 
 namespace {
 
@@ -101,7 +102,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"grid\": [%d, %d],\n  \"decomposition\": [2, 2],"
+  std::fprintf(f, "{\n  \"provenance\": %s,\n",
+               provenance_json(collect_provenance()).c_str());
+  std::fprintf(f, "  \"grid\": [%d, %d],\n  \"decomposition\": [2, 2],"
                   "\n  \"steps\": %d,\n  \"cases\": [\n", side, side, steps);
   for (size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];

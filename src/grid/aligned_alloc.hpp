@@ -1,0 +1,49 @@
+// Minimal cache-line-aligned allocator for the field storage.  The hot
+// kernels read and write whole rows through raw pointers; starting every
+// allocation (and, with the pitch rounded to a cache-line multiple, every
+// row) on a 64-byte boundary means a vectorized row never splits a cache
+// line and the compiler may use aligned loads where it can prove them.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace subsonic {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  constexpr CacheAlignedAllocator(const CacheAlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kCacheLineBytes}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kCacheLineBytes});
+  }
+
+  friend bool operator==(CacheAlignedAllocator, CacheAlignedAllocator) {
+    return true;
+  }
+};
+
+/// Rounds an element count up so a row of `T` occupies a whole number of
+/// cache lines (identity when sizeof(T) does not divide the line size).
+template <typename T>
+constexpr int round_pitch(int elems) {
+  constexpr std::size_t line = kCacheLineBytes;
+  if constexpr (line % sizeof(T) == 0) {
+    constexpr int per_line = static_cast<int>(line / sizeof(T));
+    return (elems + per_line - 1) / per_line * per_line;
+  } else {
+    return elems;
+  }
+}
+
+}  // namespace subsonic

@@ -42,6 +42,16 @@ T max_abs(const PaddedField2D<T>& a) {
   return worst;
 }
 
+template <typename T>
+T max_abs(const PaddedField3D<T>& a) {
+  T worst{};
+  for (int z = 0; z < a.nz(); ++z)
+    for (int y = 0; y < a.ny(); ++y)
+      for (int x = 0; x < a.nx(); ++x)
+        worst = std::max(worst, static_cast<T>(std::abs(a(x, y, z))));
+  return worst;
+}
+
 /// Discrete L2 norm over the interior: sqrt(sum a^2 / count).
 template <typename T>
 double l2_norm(const PaddedField2D<T>& a) {

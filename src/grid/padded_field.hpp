@@ -10,6 +10,13 @@
 // cache behaviour, fixed by lengthening arrays by 200-300 bytes — and our
 // bench_padding_4096 measures the modern analogue (set-associativity
 // conflicts); (2) it allows alignment experiments without touching callers.
+//
+// Storage is 64-byte aligned and the pitch (logical width + ghosts +
+// extra_pitch) is rounded up to a whole number of cache lines, so every
+// row starts on a cache-line boundary and the vectorized kernels never
+// straddle lines at row starts.  extra_pitch is applied *before* the
+// rounding: the Appendix-E experiments ask for N extra elements and get
+// at least N, quantized to the line size.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "src/grid/aligned_alloc.hpp"
 #include "src/grid/extents.hpp"
 #include "src/util/check.hpp"
 
@@ -35,7 +43,7 @@ class PaddedField2D {
       : interior_(interior), ghost_(ghost) {
     SUBSONIC_REQUIRE(interior.nx > 0 && interior.ny > 0);
     SUBSONIC_REQUIRE(ghost >= 0 && extra_pitch >= 0);
-    pitch_ = interior.nx + 2 * ghost + extra_pitch;
+    pitch_ = round_pitch<T>(interior.nx + 2 * ghost + extra_pitch);
     rows_ = interior.ny + 2 * ghost;
     data_.assign(static_cast<std::size_t>(pitch_) * rows_, T{});
   }
@@ -76,6 +84,12 @@ class PaddedField2D {
   T* row_begin(int y) { return data_.data() + index(-ghost_, y); }
   const T* row_begin(int y) const { return data_.data() + index(-ghost_, y); }
 
+  /// Pointer p into row y such that p[x] == (*this)(x, y) for any valid x
+  /// (including negative ghost coordinates).  The kernels hoist these per
+  /// row so their inner loops run over raw __restrict pointers.
+  T* row_ptr(int y) { return data_.data() + index(0, y); }
+  const T* row_ptr(int y) const { return data_.data() + index(0, y); }
+
   friend bool operator==(const PaddedField2D& a, const PaddedField2D& b) {
     if (a.interior_ != b.interior_ || a.ghost_ != b.ghost_) return false;
     for (int y = -a.ghost_; y < a.ny() + a.ghost_; ++y)
@@ -94,7 +108,7 @@ class PaddedField2D {
   int ghost_ = 0;
   int pitch_ = 0;
   int rows_ = 0;
-  std::vector<T> data_;
+  std::vector<T, CacheAlignedAllocator<T>> data_;
 };
 
 /// 3D scalar field with ghost padding; x fastest, then y, then z.
@@ -107,7 +121,7 @@ class PaddedField3D {
       : interior_(interior), ghost_(ghost) {
     SUBSONIC_REQUIRE(interior.nx > 0 && interior.ny > 0 && interior.nz > 0);
     SUBSONIC_REQUIRE(ghost >= 0 && extra_pitch >= 0);
-    pitch_x_ = interior.nx + 2 * ghost + extra_pitch;
+    pitch_x_ = round_pitch<T>(interior.nx + 2 * ghost + extra_pitch);
     pitch_y_ = interior.ny + 2 * ghost;
     slabs_ = interior.nz + 2 * ghost;
     data_.assign(
@@ -147,6 +161,13 @@ class PaddedField3D {
   std::span<T> raw() { return data_; }
   std::span<const T> raw() const { return data_; }
 
+  /// Pointer p into pencil (y, z) with p[x] == (*this)(x, y, z); see the
+  /// 2D row_ptr.
+  T* row_ptr(int y, int z) { return data_.data() + index(0, y, z); }
+  const T* row_ptr(int y, int z) const {
+    return data_.data() + index(0, y, z);
+  }
+
   friend bool operator==(const PaddedField3D& a, const PaddedField3D& b) {
     if (a.interior_ != b.interior_ || a.ghost_ != b.ghost_) return false;
     for (int z = -a.ghost_; z < a.nz() + a.ghost_; ++z)
@@ -169,7 +190,7 @@ class PaddedField3D {
   int pitch_x_ = 0;
   int pitch_y_ = 0;
   int slabs_ = 0;
-  std::vector<T> data_;
+  std::vector<T, CacheAlignedAllocator<T>> data_;
 };
 
 }  // namespace subsonic

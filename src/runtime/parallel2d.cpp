@@ -23,7 +23,7 @@ ParallelDriver2D::ParallelDriver2D(const Mask2D& mask,
                                    const FluidParams& params, Method method,
                                    int jx, int jy,
                                    std::shared_ptr<Transport> transport,
-                                   Scheduling sched)
+                                   Scheduling sched, int threads)
     : decomp_(mask.extents(), jx, jy),
       params_(params),
       method_(method),
@@ -51,7 +51,7 @@ ParallelDriver2D::ParallelDriver2D(const Mask2D& mask,
     Worker w;
     w.rank = r;
     w.domain = std::make_unique<Domain2D>(mask, decomp_.box(r), params_,
-                                          method_, ghost_);
+                                          method_, ghost_, threads);
     w.links = make_link_plans2d(decomp_, r, ghost_, params_.periodic_x,
                                 params_.periodic_y, active_);
     worker_of_rank_[r] = static_cast<int>(workers_.size());

@@ -42,11 +42,16 @@ class ParallelDriver2D {
   /// kOverlap computes the boundary band first, posts the sends, computes
   /// the interior while the messages are in flight, and only then blocks
   /// on the receives; kLegacy is compute-everything-then-exchange.  Both
-  /// orderings produce bitwise identical fields.
+  /// orderings produce bitwise identical fields.  `threads` is the
+  /// *intra-subregion* worker count: each subregion's kernels shard their
+  /// rows across a per-domain pool, nested under the one-thread-per-
+  /// subregion parallelism (0 = SUBSONIC_THREADS env or 1); bitwise
+  /// neutral like the scheduling choice.
   ParallelDriver2D(const Mask2D& mask, const FluidParams& params,
                    Method method, int jx, int jy,
                    std::shared_ptr<Transport> transport = nullptr,
-                   Scheduling sched = Scheduling::kOverlap);
+                   Scheduling sched = Scheduling::kOverlap,
+                   int threads = 0);
 
   /// Runs `n` integration steps on every subregion, one thread each.
   void run(int n);

@@ -21,7 +21,7 @@ ParallelDriver3D::ParallelDriver3D(const Mask3D& mask,
                                    const FluidParams& params, Method method,
                                    int jx, int jy, int jz,
                                    std::shared_ptr<Transport> transport,
-                                   Scheduling sched)
+                                   Scheduling sched, int threads)
     : decomp_(mask.extents(), jx, jy, jz),
       params_(params),
       method_(method),
@@ -49,7 +49,7 @@ ParallelDriver3D::ParallelDriver3D(const Mask3D& mask,
     Worker w;
     w.rank = r;
     w.domain = std::make_unique<Domain3D>(mask, decomp_.box(r), params_,
-                                          method_, ghost_);
+                                          method_, ghost_, threads);
     w.links = make_link_plans3d(decomp_, r, ghost_, params_.periodic_x,
                                 params_.periodic_y, params_.periodic_z,
                                 active_);

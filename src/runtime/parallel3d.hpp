@@ -17,10 +17,13 @@ namespace subsonic {
 
 class ParallelDriver3D {
  public:
+  /// `threads` is the intra-subregion worker count, nested under the
+  /// per-subregion threads; see ParallelDriver2D.
   ParallelDriver3D(const Mask3D& mask, const FluidParams& params,
                    Method method, int jx, int jy, int jz,
                    std::shared_ptr<Transport> transport = nullptr,
-                   Scheduling sched = Scheduling::kOverlap);
+                   Scheduling sched = Scheduling::kOverlap,
+                   int threads = 0);
 
   void run(int n);
 

@@ -27,10 +27,11 @@ namespace {
                              Method method, const Decomposition2D& decomp,
                              const std::vector<bool>& active, int rank,
                              int steps, const std::string& workdir,
-                             const std::string& registry, Scheduling sched) {
+                             const std::string& registry, Scheduling sched,
+                             int threads) {
   try {
     const int ghost = required_ghost(method, params.filter_eps > 0.0);
-    Domain2D domain(mask, decomp.box(rank), params, method, ghost);
+    Domain2D domain(mask, decomp.box(rank), params, method, ghost, threads);
     const std::string dump_path =
         workdir + "/rank_" + std::to_string(rank) + ".dump";
     {
@@ -115,7 +116,7 @@ ProcessRunResult run_multiprocess2d(const Mask2D& mask,
                                     const FluidParams& params, Method method,
                                     int jx, int jy, int steps,
                                     const std::string& workdir,
-                                    Scheduling sched) {
+                                    Scheduling sched, int threads) {
   params.validate();
   SUBSONIC_REQUIRE(steps >= 1);
   const Decomposition2D decomp(mask.extents(), jx, jy);
@@ -136,7 +137,7 @@ ProcessRunResult run_multiprocess2d(const Mask2D& mask,
     SUBSONIC_REQUIRE_MSG(pid >= 0, "fork failed");
     if (pid == 0)
       child_main(mask, params, method, decomp, active, rank, steps, workdir,
-                 registry, sched);  // never returns
+                 registry, sched, threads);  // never returns
     children.push_back(pid);
   }
 

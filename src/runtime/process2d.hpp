@@ -28,10 +28,13 @@ struct ProcessRunResult {
 /// child fails.  `sched` picks the per-step ordering exactly as in
 /// ParallelDriver2D: the overlap schedule posts each boundary band as soon
 /// as it is computed and overlaps the interior with message flight.
+/// `threads` is the intra-subregion worker count inside each child process
+/// (0 = SUBSONIC_THREADS env or 1); bitwise neutral.
 ProcessRunResult run_multiprocess2d(const Mask2D& mask,
                                     const FluidParams& params, Method method,
                                     int jx, int jy, int steps,
                                     const std::string& workdir,
-                                    Scheduling sched = Scheduling::kOverlap);
+                                    Scheduling sched = Scheduling::kOverlap,
+                                    int threads = 0);
 
 }  // namespace subsonic

@@ -5,10 +5,10 @@
 namespace subsonic {
 
 SerialDriver2D::SerialDriver2D(const Mask2D& mask, const FluidParams& params,
-                               Method method)
+                               Method method, int threads)
     : schedule_(make_schedule2d(method)),
       domain_(mask, full_box(mask.extents()), params, method,
-              required_ghost(method, params.filter_eps > 0.0)) {
+              required_ghost(method, params.filter_eps > 0.0), threads) {
   full_sync();
 }
 

@@ -12,8 +12,11 @@ namespace subsonic {
 
 class SerialDriver2D {
  public:
+  /// `threads` shards each kernel's rows across a per-domain worker pool
+  /// (0 = SUBSONIC_THREADS env or 1); results are bitwise identical for
+  /// any value.
   SerialDriver2D(const Mask2D& mask, const FluidParams& params,
-                 Method method);
+                 Method method, int threads = 0);
 
   /// Advances `n` integration steps.
   void run(int n);

@@ -9,8 +9,10 @@ namespace subsonic {
 
 class SerialDriver3D {
  public:
+  /// `threads` as in SerialDriver2D: intra-domain row sharding, bitwise
+  /// neutral.
   SerialDriver3D(const Mask3D& mask, const FluidParams& params,
-                 Method method);
+                 Method method, int threads = 0);
 
   void run(int n);
 

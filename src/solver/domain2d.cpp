@@ -19,7 +19,8 @@ int wrap(int c, int n, bool periodic) {
 }  // namespace
 
 Domain2D::Domain2D(const Mask2D& global_mask, Box2 box,
-                   const FluidParams& params, Method method, int ghost)
+                   const FluidParams& params, Method method, int ghost,
+                   int threads)
     : box_(box),
       ghost_(ghost),
       method_(method),
@@ -37,6 +38,8 @@ Domain2D::Domain2D(const Mask2D& global_mask, Box2 box,
   SUBSONIC_REQUIRE(full_box(global_mask.extents()).intersect(box) == box);
   SUBSONIC_REQUIRE_MSG(global_mask.ghost() >= ghost,
                        "global mask needs at least the domain ghost width");
+  threads_ = resolve_threads(threads);
+  if (threads_ > 1) pool_ = std::make_shared<WorkerPool>(threads_);
 
   const Extents2 ge = global_mask.extents();
   // Copy the local window of node types, wrapping periodic axes.  Where a

@@ -5,6 +5,7 @@
 // straightforward extension of the serial one.
 #pragma once
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "src/grid/padded_field.hpp"
 #include "src/solver/field_id.hpp"
 #include "src/solver/params.hpp"
+#include "src/util/worker_pool.hpp"
 
 namespace subsonic {
 
@@ -22,8 +24,11 @@ class Domain2D {
   /// Builds the local state for `box` of the global geometry.  The mask's
   /// ghost width must be at least `ghost` so the local window (including
   /// padding) can be copied out of it; periodic axes wrap the window.
+  /// `threads` is the intra-subregion worker count the kernels shard rows
+  /// over (0 = SUBSONIC_THREADS env or 1); any value produces bitwise
+  /// identical fields.
   Domain2D(const Mask2D& global_mask, Box2 box, const FluidParams& params,
-           Method method, int ghost);
+           Method method, int ghost, int threads = 0);
 
   Box2 box() const { return box_; }
   int nx() const { return box_.width(); }
@@ -42,6 +47,11 @@ class Domain2D {
   /// five-point x stencil contains no wall; bit 1 — same for y.  Valid on
   /// the interior plus a one-node ring (the filter's region).
   std::uint8_t filter_dirs(int x, int y) const { return filter_mask_(x, y); }
+
+  /// Row pointer form of filter_dirs: p[x] == filter_dirs(x, y).
+  const std::uint8_t* filter_dirs_row(int y) const {
+    return filter_mask_.row_ptr(y);
+  }
 
   PaddedField2D<double>& rho() { return rho_; }
   const PaddedField2D<double>& rho() const { return rho_; }
@@ -89,6 +99,26 @@ class Domain2D {
   long step() const { return step_; }
   void set_step(long s) { step_ = s; }
 
+  /// Resolved intra-subregion thread count (>= 1).
+  int threads() const { return threads_; }
+
+  /// Calls fn(y) for every row y in [y0, y1), sharded over the domain's
+  /// worker pool as contiguous row blocks (plain loop when threads() == 1).
+  /// Callers must only use it for passes whose rows are independent: every
+  /// kernel here writes disjoint output rows and reads buffers no row of
+  /// the same pass writes, which is why any static partition — hence any
+  /// thread count — yields bitwise identical fields.
+  template <typename Fn>
+  void for_rows(int y0, int y1, Fn&& fn) const {
+    if (pool_ && y1 - y0 > 1) {
+      pool_->for_range(y0, y1, [&fn](int a, int b) {
+        for (int y = a; y < b; ++y) fn(y);
+      });
+    } else {
+      for (int y = y0; y < y1; ++y) fn(y);
+    }
+  }
+
  private:
   Box2 box_;
   int ghost_ = 0;
@@ -106,6 +136,8 @@ class Domain2D {
   MaskSpans2D notwall_spans_;
   MaskSpans2D filter_spans_;
   long step_ = 0;
+  int threads_ = 1;
+  std::shared_ptr<WorkerPool> pool_;  // null when threads_ == 1
 };
 
 }  // namespace subsonic

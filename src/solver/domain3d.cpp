@@ -15,7 +15,8 @@ int wrap(int c, int n, bool periodic) {
 }  // namespace
 
 Domain3D::Domain3D(const Mask3D& global_mask, Box3 box,
-                   const FluidParams& params, Method method, int ghost)
+                   const FluidParams& params, Method method, int ghost,
+                   int threads)
     : box_(box),
       ghost_(ghost),
       method_(method),
@@ -35,6 +36,8 @@ Domain3D::Domain3D(const Mask3D& global_mask, Box3 box,
   SUBSONIC_REQUIRE(full_box(global_mask.extents()).intersect(box) == box);
   SUBSONIC_REQUIRE_MSG(global_mask.ghost() >= ghost,
                        "global mask needs at least the domain ghost width");
+  threads_ = resolve_threads(threads);
+  if (threads_ > 1) pool_ = std::make_shared<WorkerPool>(threads_);
 
   const Extents3 ge = global_mask.extents();
   for (int z = -ghost; z < nz() + ghost; ++z)

@@ -3,6 +3,7 @@
 // 44^3 per subregion and (J x K x L) decompositions.
 #pragma once
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -12,13 +13,16 @@
 #include "src/grid/padded_field.hpp"
 #include "src/solver/field_id.hpp"
 #include "src/solver/params.hpp"
+#include "src/util/worker_pool.hpp"
 
 namespace subsonic {
 
 class Domain3D {
  public:
+  /// `threads` as in Domain2D: intra-subregion worker count (0 =
+  /// SUBSONIC_THREADS env or 1), bitwise neutral.
   Domain3D(const Mask3D& global_mask, Box3 box, const FluidParams& params,
-           Method method, int ghost);
+           Method method, int ghost, int threads = 0);
 
   Box3 box() const { return box_; }
   int nx() const { return box_.width(); }
@@ -37,6 +41,11 @@ class Domain3D {
   /// the interior plus a one-node ring.  See Domain2D::filter_dirs.
   std::uint8_t filter_dirs(int x, int y, int z) const {
     return filter_mask_(x, y, z);
+  }
+
+  /// Pencil pointer form of filter_dirs: p[x] == filter_dirs(x, y, z).
+  const std::uint8_t* filter_dirs_row(int y, int z) const {
+    return filter_mask_.row_ptr(y, z);
   }
 
   PaddedField3D<double>& rho() { return rho_; }
@@ -79,6 +88,28 @@ class Domain3D {
   long step() const { return step_; }
   void set_step(long s) { step_ = s; }
 
+  /// Resolved intra-subregion thread count (>= 1).
+  int threads() const { return threads_; }
+
+  /// Calls fn(y, z) for every (y, z) pencil in [y0, y1) x [z0, z1),
+  /// sharded over the worker pool as contiguous blocks of the flattened
+  /// z-major pencil index; see Domain2D::for_rows for the independence
+  /// requirement and the determinism argument.
+  template <typename Fn>
+  void for_rows(int y0, int y1, int z0, int z1, Fn&& fn) const {
+    const int ny = y1 - y0;
+    const long long n = static_cast<long long>(ny) * (z1 - z0);
+    if (n <= 0) return;
+    const auto run = [&](int a, int b) {
+      for (int r = a; r < b; ++r) fn(y0 + r % ny, z0 + r / ny);
+    };
+    if (pool_ && n > 1) {
+      pool_->for_range(0, static_cast<int>(n), run);
+    } else {
+      run(0, static_cast<int>(n));
+    }
+  }
+
  private:
   Box3 box_;
   int ghost_ = 0;
@@ -96,6 +127,8 @@ class Domain3D {
   MaskSpans3D notwall_spans_;
   MaskSpans3D filter_spans_;
   long step_ = 0;
+  int threads_ = 1;
+  std::shared_ptr<WorkerPool> pool_;  // null when threads_ == 1
 };
 
 }  // namespace subsonic

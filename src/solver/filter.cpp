@@ -12,44 +12,58 @@ namespace {
 // after the swap the new current buffer matches the in-place update at
 // every padded cell.  One write per cell instead of a full-field snapshot
 // copy plus corrected writes.
+//
+// Rows are sharded over the domain's worker pool: each row writes only
+// its own output row (copy runs + corrected spans) and reads only the
+// never-written input buffer, so any static partition is bitwise neutral.
+// The corrected span hoists __restrict row pointers (five rows of the
+// input, the filter-direction mask row, the output row).
 
 void filter_field2d(Domain2D& d, const PaddedField2D<double>& u,
                     PaddedField2D<double>& out) {
   const double k = d.params().filter_eps / 16.0;
   const int g = d.ghost();
   const int xlo = -g, xhi = d.nx() + g;
+  const size_t full_row_bytes =
+      static_cast<size_t>(xhi - xlo) * sizeof(double);
 
-  const auto copy_run = [&](int y, int a, int b) {
-    if (a < b)
-      std::memcpy(&out(a, y), &u(a, y),
-                  static_cast<size_t>(b - a) * sizeof(double));
-  };
-
-  for (int y = -g; y < d.ny() + g; ++y) {
+  d.for_rows(-g, d.ny() + g, [&](int y) {
+    double* __restrict orow = out.row_ptr(y);
+    const double* __restrict uc = u.row_ptr(y);
     if (y < -1 || y >= d.ny() + 1) {
-      copy_run(y, xlo, xhi);
-      continue;
+      std::memcpy(orow + xlo, uc + xlo, full_row_bytes);
+      return;
     }
+    const double* __restrict um2 = u.row_ptr(y - 2);
+    const double* __restrict um1 = u.row_ptr(y - 1);
+    const double* __restrict up1 = u.row_ptr(y + 1);
+    const double* __restrict up2 = u.row_ptr(y + 2);
+    const std::uint8_t* __restrict dr = d.filter_dirs_row(y);
+    const auto copy_run = [&](int a, int b) {
+      if (a < b)
+        std::memcpy(orow + a, uc + a,
+                    static_cast<size_t>(b - a) * sizeof(double));
+    };
     int cursor = xlo;
     for (const MaskSpan& s : d.filter_spans().row(y)) {
-      copy_run(y, cursor, s.x0);
+      copy_run(cursor, s.x0);
       for (int x = s.x0; x < s.x1; ++x) {
-        const std::uint8_t dirs = d.filter_dirs(x, y);
+        const std::uint8_t dirs = dr[x];
         double corr = 0.0;
         if (dirs & 1) {
-          corr += u(x - 2, y) - 4.0 * u(x - 1, y) + 6.0 * u(x, y) -
-                  4.0 * u(x + 1, y) + u(x + 2, y);
+          corr += uc[x - 2] - 4.0 * uc[x - 1] + 6.0 * uc[x] -
+                  4.0 * uc[x + 1] + uc[x + 2];
         }
         if (dirs & 2) {
-          corr += u(x, y - 2) - 4.0 * u(x, y - 1) + 6.0 * u(x, y) -
-                  4.0 * u(x, y + 1) + u(x, y + 2);
+          corr += um2[x] - 4.0 * um1[x] + 6.0 * uc[x] - 4.0 * up1[x] +
+                  up2[x];
         }
-        out(x, y) = u(x, y) - k * corr;
+        orow[x] = uc[x] - k * corr;
       }
       cursor = s.x1;
     }
-    copy_run(y, cursor, xhi);
-  }
+    copy_run(cursor, xhi);
+  });
 }
 
 void filter_field3d(Domain3D& d, const PaddedField3D<double>& u,
@@ -57,47 +71,54 @@ void filter_field3d(Domain3D& d, const PaddedField3D<double>& u,
   const double k = d.params().filter_eps / 16.0;
   const int g = d.ghost();
   const int xlo = -g, xhi = d.nx() + g;
+  const size_t full_row_bytes =
+      static_cast<size_t>(xhi - xlo) * sizeof(double);
 
-  const auto copy_run = [&](int y, int z, int a, int b) {
-    if (a < b)
-      std::memcpy(&out(a, y, z), &u(a, y, z),
-                  static_cast<size_t>(b - a) * sizeof(double));
-  };
-
-  for (int z = -g; z < d.nz() + g; ++z) {
-    for (int y = -g; y < d.ny() + g; ++y) {
-      if (z < -1 || z >= d.nz() + 1 || y < -1 || y >= d.ny() + 1) {
-        copy_run(y, z, xlo, xhi);
-        continue;
-      }
-      int cursor = xlo;
-      for (const MaskSpan& s : d.filter_spans().row(y, z)) {
-        copy_run(y, z, cursor, s.x0);
-        for (int x = s.x0; x < s.x1; ++x) {
-          const std::uint8_t dirs = d.filter_dirs(x, y, z);
-          double corr = 0.0;
-          if (dirs & 1) {
-            corr += u(x - 2, y, z) - 4.0 * u(x - 1, y, z) +
-                    6.0 * u(x, y, z) - 4.0 * u(x + 1, y, z) +
-                    u(x + 2, y, z);
-          }
-          if (dirs & 2) {
-            corr += u(x, y - 2, z) - 4.0 * u(x, y - 1, z) +
-                    6.0 * u(x, y, z) - 4.0 * u(x, y + 1, z) +
-                    u(x, y + 2, z);
-          }
-          if (dirs & 4) {
-            corr += u(x, y, z - 2) - 4.0 * u(x, y, z - 1) +
-                    6.0 * u(x, y, z) - 4.0 * u(x, y, z + 1) +
-                    u(x, y, z + 2);
-          }
-          out(x, y, z) = u(x, y, z) - k * corr;
-        }
-        cursor = s.x1;
-      }
-      copy_run(y, z, cursor, xhi);
+  d.for_rows(-g, d.ny() + g, -g, d.nz() + g, [&](int y, int z) {
+    double* __restrict orow = out.row_ptr(y, z);
+    const double* __restrict uc = u.row_ptr(y, z);
+    if (z < -1 || z >= d.nz() + 1 || y < -1 || y >= d.ny() + 1) {
+      std::memcpy(orow + xlo, uc + xlo, full_row_bytes);
+      return;
     }
-  }
+    const double* __restrict uym2 = u.row_ptr(y - 2, z);
+    const double* __restrict uym1 = u.row_ptr(y - 1, z);
+    const double* __restrict uyp1 = u.row_ptr(y + 1, z);
+    const double* __restrict uyp2 = u.row_ptr(y + 2, z);
+    const double* __restrict uzm2 = u.row_ptr(y, z - 2);
+    const double* __restrict uzm1 = u.row_ptr(y, z - 1);
+    const double* __restrict uzp1 = u.row_ptr(y, z + 1);
+    const double* __restrict uzp2 = u.row_ptr(y, z + 2);
+    const std::uint8_t* __restrict dr = d.filter_dirs_row(y, z);
+    const auto copy_run = [&](int a, int b) {
+      if (a < b)
+        std::memcpy(orow + a, uc + a,
+                    static_cast<size_t>(b - a) * sizeof(double));
+    };
+    int cursor = xlo;
+    for (const MaskSpan& s : d.filter_spans().row(y, z)) {
+      copy_run(cursor, s.x0);
+      for (int x = s.x0; x < s.x1; ++x) {
+        const std::uint8_t dirs = dr[x];
+        double corr = 0.0;
+        if (dirs & 1) {
+          corr += uc[x - 2] - 4.0 * uc[x - 1] + 6.0 * uc[x] -
+                  4.0 * uc[x + 1] + uc[x + 2];
+        }
+        if (dirs & 2) {
+          corr += uym2[x] - 4.0 * uym1[x] + 6.0 * uc[x] - 4.0 * uyp1[x] +
+                  uyp2[x];
+        }
+        if (dirs & 4) {
+          corr += uzm2[x] - 4.0 * uzm1[x] + 6.0 * uc[x] - 4.0 * uzp1[x] +
+                  uzp2[x];
+        }
+        orow[x] = uc[x] - k * corr;
+      }
+      cursor = s.x1;
+    }
+    copy_run(cursor, xhi);
+  });
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "src/solver/lbm2d.hpp"
 
 #include <cstring>
+#include <span>
 #include <utility>
 
 #include "src/solver/pass.hpp"
@@ -9,21 +10,31 @@ namespace subsonic::lbm2d {
 
 void set_equilibrium(Domain2D& d) {
   const int g = d.ghost();
-  for (int y = -g; y < d.ny() + g; ++y)
-    for (int x = -g; x < d.nx() + g; ++x) {
-      const double rho = d.rho()(x, y);
-      const double ux = d.vx()(x, y);
-      const double uy = d.vy()(x, y);
+  const PaddedField2D<double>& rho_f = d.rho();
+  const PaddedField2D<double>& vx_f = d.vx();
+  const PaddedField2D<double>& vy_f = d.vy();
+  d.for_rows(-g, d.ny() + g, [&](int y) {
+    const double* __restrict rr = rho_f.row_ptr(y);
+    const double* __restrict uxr = vx_f.row_ptr(y);
+    const double* __restrict uyr = vy_f.row_ptr(y);
+    double* fr[kQ];
+    for (int i = 0; i < kQ; ++i) fr[i] = d.f(i).row_ptr(y);
+    for (int x = -g; x < d.nx() + g; ++x)
       for (int i = 0; i < kQ; ++i)
-        d.f(i)(x, y) = equilibrium(i, rho, ux, uy);
-    }
+        fr[i][x] = equilibrium(i, rr[x], uxr[x], uyr[x]);
+  });
 }
 
 void set_equilibrium_both(Domain2D& d) {
+  // Both population buffers start from the same macroscopic fields, so
+  // compute the equilibria once and block-copy them into the second
+  // buffer (the buffers share extents, ghost width and pitch).
   set_equilibrium(d);
-  d.swap_populations();
-  set_equilibrium(d);
-  d.swap_populations();
+  for (int i = 0; i < kQ; ++i) {
+    const std::span<const double> src = d.f(i).raw();
+    std::memcpy(d.f_next(i).raw().data(), src.data(),
+                src.size() * sizeof(double));
+  }
 }
 
 void collide_stream(Domain2D& d, ComputePass pass) {
@@ -46,15 +57,26 @@ void collide_stream(Domain2D& d, ComputePass pass) {
 
   // `on_next` selects the physical buffer: before the swap the step's
   // populations are the current f, afterwards the same buffer is f_next.
+  // Rows are sharded over the worker pool; relaxation is an in-place
+  // cell-local update reading only the (unwritten this pass) macroscopic
+  // fields, so rows are independent.
   const auto relax_box = [&](bool on_next, const Box2& r) {
     PaddedField2D<double>* f[kQ];
     for (int i = 0; i < kQ; ++i) f[i] = on_next ? &d.f_next(i) : &d.f(i);
-    for (int y = r.y0; y < r.y1; ++y) {
+    const PaddedField2D<double>& rho_f = d.rho();
+    const PaddedField2D<double>& vx_f = d.vx();
+    const PaddedField2D<double>& vy_f = d.vy();
+    d.for_rows(r.y0, r.y1, [&](int y) {
+      const double* __restrict rr = rho_f.row_ptr(y);
+      const double* __restrict uxr = vx_f.row_ptr(y);
+      const double* __restrict uyr = vy_f.row_ptr(y);
+      double* fr[kQ];
+      for (int i = 0; i < kQ; ++i) fr[i] = f[i]->row_ptr(y);
       d.computed_spans().for_row(y, r.x0, r.x1, [&](int a, int b) {
         for (int x = a; x < b; ++x) {
-          const double rho = d.rho()(x, y);
-          const double ux = d.vx()(x, y);
-          const double uy = d.vy()(x, y);
+          const double rho = rr[x];
+          const double ux = uxr[x];
+          const double uy = uyr[x];
           // Unrolled second-order equilibria: eq_i = w_i rho
           // (base + cu + cu^2/2) with cu = 3 c_i.u and
           // base = 1 - 1.5 u^2.  Same expansion as equilibrium(),
@@ -77,14 +99,13 @@ void collide_stream(Domain2D& d, ComputePass pass) {
           eq[8] = rw_d * (base + apm + 0.5 * apm * apm);
           eq[6] = rw_d * (base - apm + 0.5 * apm * apm);
           for (int i = 0; i < kQ; ++i) {
-            double& fi = (*f[i])(x, y);
+            double& fi = fr[i][x];
             fi += omega * (eq[i] - fi);
           }
           if (forced) {
             // First-order body-force term: w_i rho (c_i . g) / c_s^2.
             for (int i = 1; i < kQ; ++i)
-              (*f[i])(x, y) +=
-                  kW[i] * rho * 3.0 * (kCx[i] * gx + kCy[i] * gy);
+              fr[i][x] += kW[i] * rho * 3.0 * (kCx[i] * gx + kCy[i] * gy);
           }
         }
       });
@@ -93,7 +114,7 @@ void collide_stream(Domain2D& d, ComputePass pass) {
           // Full-way bounce-back: arrived populations leave reversed.
           for (int i = 1; i < kQ; ++i) {
             const int o = kOpposite[i];
-            if (o > i) std::swap((*f[i])(x, y), (*f[o])(x, y));
+            if (o > i) std::swap(fr[i][x], fr[o][x]);
           }
         }
       });
@@ -101,26 +122,28 @@ void collide_stream(Domain2D& d, ComputePass pass) {
         for (int x = a; x < b; ++x)
           // The jet is a prescribed-velocity reservoir.
           for (int i = 0; i < kQ; ++i)
-            (*f[i])(x, y) = equilibrium(i, p.rho0, p.inlet_vx, p.inlet_vy);
+            fr[i][x] = equilibrium(i, p.rho0, p.inlet_vx, p.inlet_vy);
       });
-    }
+    });
   };
 
   // Stream (pull) box `r` from the relaxed buffer into the other one.
   // Each destination row segment is a contiguous shifted copy of a source
-  // row, so the shift is pure memcpy.
+  // row, so the shift is pure memcpy.  Rows shard over the pool: every
+  // destination row is written once and all reads hit the source buffer,
+  // which the stream never writes.
   const auto stream_box = [&](bool from_next, const Box2& r) {
     if (r.empty()) return;
     const size_t row_bytes =
         static_cast<size_t>(r.x1 - r.x0) * sizeof(double);
-    for (int i = 0; i < kQ; ++i) {
-      const int cx = kCx[i];
-      const int cy = kCy[i];
-      const PaddedField2D<double>& src = from_next ? d.f_next(i) : d.f(i);
-      PaddedField2D<double>& dst = from_next ? d.f(i) : d.f_next(i);
-      for (int y = r.y0; y < r.y1; ++y)
-        std::memcpy(&dst(r.x0, y), &src(r.x0 - cx, y - cy), row_bytes);
-    }
+    d.for_rows(r.y0, r.y1, [&](int y) {
+      for (int i = 0; i < kQ; ++i) {
+        const PaddedField2D<double>& src = from_next ? d.f_next(i) : d.f(i);
+        PaddedField2D<double>& dst = from_next ? d.f(i) : d.f_next(i);
+        std::memcpy(dst.row_ptr(y) + r.x0,
+                    src.row_ptr(y - kCy[i]) + r.x0 - kCx[i], row_bytes);
+      }
+    });
   };
 
   if (pass != ComputePass::kInterior) {
@@ -142,22 +165,27 @@ void moments(Domain2D& d) {
   const int g = d.ghost();
   const PaddedField2D<double>* f[kQ];
   for (int i = 0; i < kQ; ++i) f[i] = &d.f(i);
-  for (int y = -g; y < d.ny() + g; ++y) {
+  d.for_rows(-g, d.ny() + g, [&](int y) {
+    const double* fr[kQ];
+    for (int i = 0; i < kQ; ++i) fr[i] = f[i]->row_ptr(y);
+    double* __restrict rr = d.rho().row_ptr(y);
+    double* __restrict uxr = d.vx().row_ptr(y);
+    double* __restrict uyr = d.vy().row_ptr(y);
     d.notwall_spans().for_row(y, -g, d.nx() + g, [&](int a, int b) {
       for (int x = a; x < b; ++x) {
         double rho = 0.0, mx = 0.0, my = 0.0;
         for (int i = 0; i < kQ; ++i) {
-          const double fi = (*f[i])(x, y);
+          const double fi = fr[i][x];
           rho += fi;
           mx += kCx[i] * fi;
           my += kCy[i] * fi;
         }
-        d.rho()(x, y) = rho;
-        d.vx()(x, y) = mx / rho;
-        d.vy()(x, y) = my / rho;
+        rr[x] = rho;
+        uxr[x] = mx / rho;
+        uyr[x] = my / rho;
       }
     });
-  }
+  });
 }
 
 }  // namespace subsonic::lbm2d

@@ -1,6 +1,7 @@
 #include "src/solver/lbm3d.hpp"
 
 #include <cstring>
+#include <span>
 #include <utility>
 
 #include "src/solver/pass.hpp"
@@ -9,23 +10,32 @@ namespace subsonic::lbm3d {
 
 void set_equilibrium(Domain3D& d) {
   const int g = d.ghost();
-  for (int z = -g; z < d.nz() + g; ++z)
-    for (int y = -g; y < d.ny() + g; ++y)
-      for (int x = -g; x < d.nx() + g; ++x) {
-        const double rho = d.rho()(x, y, z);
-        const double ux = d.vx()(x, y, z);
-        const double uy = d.vy()(x, y, z);
-        const double uz = d.vz()(x, y, z);
-        for (int i = 0; i < kQ; ++i)
-          d.f(i)(x, y, z) = equilibrium(i, rho, ux, uy, uz);
-      }
+  const PaddedField3D<double>& rho_f = d.rho();
+  const PaddedField3D<double>& vx_f = d.vx();
+  const PaddedField3D<double>& vy_f = d.vy();
+  const PaddedField3D<double>& vz_f = d.vz();
+  d.for_rows(-g, d.ny() + g, -g, d.nz() + g, [&](int y, int z) {
+    const double* __restrict rr = rho_f.row_ptr(y, z);
+    const double* __restrict uxr = vx_f.row_ptr(y, z);
+    const double* __restrict uyr = vy_f.row_ptr(y, z);
+    const double* __restrict uzr = vz_f.row_ptr(y, z);
+    double* fr[kQ];
+    for (int i = 0; i < kQ; ++i) fr[i] = d.f(i).row_ptr(y, z);
+    for (int x = -g; x < d.nx() + g; ++x)
+      for (int i = 0; i < kQ; ++i)
+        fr[i][x] = equilibrium(i, rr[x], uxr[x], uyr[x], uzr[x]);
+  });
 }
 
 void set_equilibrium_both(Domain3D& d) {
+  // As in lbm2d: one equilibrium computation, block-copied into the
+  // second buffer (identical extents, ghost width and pitch).
   set_equilibrium(d);
-  d.swap_populations();
-  set_equilibrium(d);
-  d.swap_populations();
+  for (int i = 0; i < kQ; ++i) {
+    const std::span<const double> src = d.f(i).raw();
+    std::memcpy(d.f_next(i).raw().data(), src.data(),
+                src.size() * sizeof(double));
+  }
 }
 
 void collide_stream(Domain3D& d, ComputePass pass) {
@@ -42,93 +52,100 @@ void collide_stream(Domain3D& d, ComputePass pass) {
   const Box3 stream_region{0, 0, 0, d.nx(), d.ny(), d.nz()};
   const int relax_w = g + 2;
 
+  // Pencils shard over the worker pool; relaxation is cell-local, so any
+  // partition is bitwise neutral (see lbm2d.cpp).
   const auto relax_box = [&](bool on_next, const Box3& r) {
     PaddedField3D<double>* f[kQ];
     for (int i = 0; i < kQ; ++i) f[i] = on_next ? &d.f_next(i) : &d.f(i);
-    for (int z = r.z0; z < r.z1; ++z) {
-      for (int y = r.y0; y < r.y1; ++y) {
-        d.computed_spans().for_row(y, z, r.x0, r.x1, [&](int a, int b) {
-          for (int x = a; x < b; ++x) {
-            const double rho = d.rho()(x, y, z);
-            const double ux = d.vx()(x, y, z);
-            const double uy = d.vy()(x, y, z);
-            const double uz = d.vz()(x, y, z);
-            // Unrolled equilibria (same expansion as equilibrium() with
-            // shared subexpressions hoisted); see lbm2d.cpp.
-            const double base =
-                1.0 - 1.5 * (ux * ux + uy * uy + uz * uz);
-            const double ax = 3.0 * ux;
-            const double ay = 3.0 * uy;
-            const double az = 3.0 * uz;
-            const double rw_s = rho * (1.0 / 9.0);
-            const double rw_d = rho * (1.0 / 72.0);
-            double eq[kQ];
-            eq[0] = rho * (2.0 / 9.0) * base;
-            eq[1] = rw_s * (base + ax + 0.5 * ax * ax);
-            eq[2] = rw_s * (base - ax + 0.5 * ax * ax);
-            eq[3] = rw_s * (base + ay + 0.5 * ay * ay);
-            eq[4] = rw_s * (base - ay + 0.5 * ay * ay);
-            eq[5] = rw_s * (base + az + 0.5 * az * az);
-            eq[6] = rw_s * (base - az + 0.5 * az * az);
-            const double s1 = ax + ay + az;   // c = ( 1,  1,  1)
-            const double s2 = ax + ay - az;   // c = ( 1,  1, -1)
-            const double s3 = ax - ay + az;   // c = ( 1, -1,  1)
-            const double s4 = -ax + ay + az;  // c = (-1,  1,  1)
-            eq[7] = rw_d * (base + s1 + 0.5 * s1 * s1);
-            eq[8] = rw_d * (base - s1 + 0.5 * s1 * s1);
-            eq[9] = rw_d * (base + s2 + 0.5 * s2 * s2);
-            eq[10] = rw_d * (base - s2 + 0.5 * s2 * s2);
-            eq[11] = rw_d * (base + s3 + 0.5 * s3 * s3);
-            eq[12] = rw_d * (base - s3 + 0.5 * s3 * s3);
-            eq[13] = rw_d * (base + s4 + 0.5 * s4 * s4);
-            eq[14] = rw_d * (base - s4 + 0.5 * s4 * s4);
-            for (int i = 0; i < kQ; ++i) {
-              double& fi = (*f[i])(x, y, z);
-              fi += omega * (eq[i] - fi);
-            }
-            if (forced) {
-              for (int i = 1; i < kQ; ++i)
-                (*f[i])(x, y, z) +=
-                    kW[i] * rho * 3.0 *
-                    (kCx[i] * gx + kCy[i] * gy + kCz[i] * gz);
-            }
+    const PaddedField3D<double>& rho_f = d.rho();
+    const PaddedField3D<double>& vx_f = d.vx();
+    const PaddedField3D<double>& vy_f = d.vy();
+    const PaddedField3D<double>& vz_f = d.vz();
+    d.for_rows(r.y0, r.y1, r.z0, r.z1, [&](int y, int z) {
+      const double* __restrict rr = rho_f.row_ptr(y, z);
+      const double* __restrict uxr = vx_f.row_ptr(y, z);
+      const double* __restrict uyr = vy_f.row_ptr(y, z);
+      const double* __restrict uzr = vz_f.row_ptr(y, z);
+      double* fr[kQ];
+      for (int i = 0; i < kQ; ++i) fr[i] = f[i]->row_ptr(y, z);
+      d.computed_spans().for_row(y, z, r.x0, r.x1, [&](int a, int b) {
+        for (int x = a; x < b; ++x) {
+          const double rho = rr[x];
+          const double ux = uxr[x];
+          const double uy = uyr[x];
+          const double uz = uzr[x];
+          // Unrolled equilibria (same expansion as equilibrium() with
+          // shared subexpressions hoisted); see lbm2d.cpp.
+          const double base =
+              1.0 - 1.5 * (ux * ux + uy * uy + uz * uz);
+          const double ax = 3.0 * ux;
+          const double ay = 3.0 * uy;
+          const double az = 3.0 * uz;
+          const double rw_s = rho * (1.0 / 9.0);
+          const double rw_d = rho * (1.0 / 72.0);
+          double eq[kQ];
+          eq[0] = rho * (2.0 / 9.0) * base;
+          eq[1] = rw_s * (base + ax + 0.5 * ax * ax);
+          eq[2] = rw_s * (base - ax + 0.5 * ax * ax);
+          eq[3] = rw_s * (base + ay + 0.5 * ay * ay);
+          eq[4] = rw_s * (base - ay + 0.5 * ay * ay);
+          eq[5] = rw_s * (base + az + 0.5 * az * az);
+          eq[6] = rw_s * (base - az + 0.5 * az * az);
+          const double s1 = ax + ay + az;   // c = ( 1,  1,  1)
+          const double s2 = ax + ay - az;   // c = ( 1,  1, -1)
+          const double s3 = ax - ay + az;   // c = ( 1, -1,  1)
+          const double s4 = -ax + ay + az;  // c = (-1,  1,  1)
+          eq[7] = rw_d * (base + s1 + 0.5 * s1 * s1);
+          eq[8] = rw_d * (base - s1 + 0.5 * s1 * s1);
+          eq[9] = rw_d * (base + s2 + 0.5 * s2 * s2);
+          eq[10] = rw_d * (base - s2 + 0.5 * s2 * s2);
+          eq[11] = rw_d * (base + s3 + 0.5 * s3 * s3);
+          eq[12] = rw_d * (base - s3 + 0.5 * s3 * s3);
+          eq[13] = rw_d * (base + s4 + 0.5 * s4 * s4);
+          eq[14] = rw_d * (base - s4 + 0.5 * s4 * s4);
+          for (int i = 0; i < kQ; ++i) {
+            double& fi = fr[i][x];
+            fi += omega * (eq[i] - fi);
           }
-        });
-        d.wall_spans().for_row(y, z, r.x0, r.x1, [&](int a, int b) {
-          for (int x = a; x < b; ++x) {
-            for (int i = 1; i < kQ; ++i) {
-              const int o = kOpposite[i];
-              if (o > i)
-                std::swap((*f[i])(x, y, z), (*f[o])(x, y, z));
-            }
+          if (forced) {
+            for (int i = 1; i < kQ; ++i)
+              fr[i][x] += kW[i] * rho * 3.0 *
+                          (kCx[i] * gx + kCy[i] * gy + kCz[i] * gz);
           }
-        });
-        d.inlet_spans().for_row(y, z, r.x0, r.x1, [&](int a, int b) {
-          for (int x = a; x < b; ++x)
-            for (int i = 0; i < kQ; ++i)
-              (*f[i])(x, y, z) = equilibrium(i, p.rho0, p.inlet_vx,
-                                             p.inlet_vy, p.inlet_vz);
-        });
-      }
-    }
+        }
+      });
+      d.wall_spans().for_row(y, z, r.x0, r.x1, [&](int a, int b) {
+        for (int x = a; x < b; ++x) {
+          for (int i = 1; i < kQ; ++i) {
+            const int o = kOpposite[i];
+            if (o > i) std::swap(fr[i][x], fr[o][x]);
+          }
+        }
+      });
+      d.inlet_spans().for_row(y, z, r.x0, r.x1, [&](int a, int b) {
+        for (int x = a; x < b; ++x)
+          for (int i = 0; i < kQ; ++i)
+            fr[i][x] = equilibrium(i, p.rho0, p.inlet_vx, p.inlet_vy,
+                                   p.inlet_vz);
+      });
+    });
   };
 
-  // Row-contiguous shifted copies, as in the 2D stream.
+  // Row-contiguous shifted copies, as in the 2D stream; pencils shard over
+  // the pool (each destination pencil written once, source never written).
   const auto stream_box = [&](bool from_next, const Box3& r) {
     if (r.empty()) return;
     const size_t row_bytes =
         static_cast<size_t>(r.x1 - r.x0) * sizeof(double);
-    for (int i = 0; i < kQ; ++i) {
-      const int cx = kCx[i];
-      const int cy = kCy[i];
-      const int cz = kCz[i];
-      const PaddedField3D<double>& src = from_next ? d.f_next(i) : d.f(i);
-      PaddedField3D<double>& dst = from_next ? d.f(i) : d.f_next(i);
-      for (int z = r.z0; z < r.z1; ++z)
-        for (int y = r.y0; y < r.y1; ++y)
-          std::memcpy(&dst(r.x0, y, z), &src(r.x0 - cx, y - cy, z - cz),
-                      row_bytes);
-    }
+    d.for_rows(r.y0, r.y1, r.z0, r.z1, [&](int y, int z) {
+      for (int i = 0; i < kQ; ++i) {
+        const PaddedField3D<double>& src = from_next ? d.f_next(i) : d.f(i);
+        PaddedField3D<double>& dst = from_next ? d.f(i) : d.f_next(i);
+        std::memcpy(dst.row_ptr(y, z) + r.x0,
+                    src.row_ptr(y - kCy[i], z - kCz[i]) + r.x0 - kCx[i],
+                    row_bytes);
+      }
+    });
   };
 
   if (pass != ComputePass::kInterior) {
@@ -148,26 +165,30 @@ void moments(Domain3D& d) {
   const int g = d.ghost();
   const PaddedField3D<double>* f[kQ];
   for (int i = 0; i < kQ; ++i) f[i] = &d.f(i);
-  for (int z = -g; z < d.nz() + g; ++z) {
-    for (int y = -g; y < d.ny() + g; ++y) {
-      d.notwall_spans().for_row(y, z, -g, d.nx() + g, [&](int a, int b) {
-        for (int x = a; x < b; ++x) {
-          double rho = 0.0, mx = 0.0, my = 0.0, mz = 0.0;
-          for (int i = 0; i < kQ; ++i) {
-            const double fi = (*f[i])(x, y, z);
-            rho += fi;
-            mx += kCx[i] * fi;
-            my += kCy[i] * fi;
-            mz += kCz[i] * fi;
-          }
-          d.rho()(x, y, z) = rho;
-          d.vx()(x, y, z) = mx / rho;
-          d.vy()(x, y, z) = my / rho;
-          d.vz()(x, y, z) = mz / rho;
+  d.for_rows(-g, d.ny() + g, -g, d.nz() + g, [&](int y, int z) {
+    const double* fr[kQ];
+    for (int i = 0; i < kQ; ++i) fr[i] = f[i]->row_ptr(y, z);
+    double* __restrict rr = d.rho().row_ptr(y, z);
+    double* __restrict uxr = d.vx().row_ptr(y, z);
+    double* __restrict uyr = d.vy().row_ptr(y, z);
+    double* __restrict uzr = d.vz().row_ptr(y, z);
+    d.notwall_spans().for_row(y, z, -g, d.nx() + g, [&](int a, int b) {
+      for (int x = a; x < b; ++x) {
+        double rho = 0.0, mx = 0.0, my = 0.0, mz = 0.0;
+        for (int i = 0; i < kQ; ++i) {
+          const double fi = fr[i][x];
+          rho += fi;
+          mx += kCx[i] * fi;
+          my += kCy[i] * fi;
+          mz += kCz[i] * fi;
         }
-      });
-    }
-  }
+        rr[x] = rho;
+        uxr[x] = mx / rho;
+        uyr[x] = my / rho;
+        uzr[x] = mz / rho;
+      }
+    });
+  });
 }
 
 }  // namespace subsonic::lbm3d

@@ -1,0 +1,93 @@
+#include "src/util/worker_pool.hpp"
+
+#include <cstdlib>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+WorkerPool::WorkerPool(int threads) : thread_count_(threads) {
+  SUBSONIC_REQUIRE(threads >= 1);
+  workers_.reserve(static_cast<size_t>(threads - 1));
+  for (int id = 1; id < threads; ++id)
+    workers_.emplace_back([this, id] { worker_main(id); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::run_chunk(int id) noexcept {
+  const int lo = chunk_begin(job_lo_, job_hi_, id, thread_count_);
+  const int hi = chunk_begin(job_lo_, job_hi_, id + 1, thread_count_);
+  if (lo >= hi) return;
+  try {
+    (*job_)(lo, hi);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void WorkerPool::worker_main(int id) {
+  long seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    // job_/job_lo_/job_hi_ are stable for the whole epoch: the caller
+    // only mutates them under the mutex after every chunk reported done.
+    run_chunk(id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::for_range(int lo, int hi,
+                           const std::function<void(int, int)>& fn) {
+  if (lo >= hi) return;
+  if (thread_count_ == 1) {
+    fn(lo, hi);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_lo_ = lo;
+    job_hi_ = hi;
+    outstanding_ = thread_count_ - 1;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  run_chunk(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+int resolve_threads(int requested) {
+  if (requested >= 1) return requested;
+  if (const char* env = std::getenv("SUBSONIC_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  return 1;
+}
+
+}  // namespace subsonic

@@ -1,0 +1,78 @@
+// Persistent intra-subregion thread pool.  The paper's efficiency model
+// f = (1 + T_com/T_calc)^-1 treats T_calc as fixed; once T_com is hidden
+// behind the interior computation (the overlap schedule), the only lever
+// left is making T_calc itself smaller.  Every kernel pass in this repo
+// iterates independent rows (2D rows, 3D (y, z) pencils) that write
+// disjoint output rows, so a *static* contiguous partition of the row
+// range across threads computes every row with exactly the same arithmetic
+// as the serial loop — the result is bitwise identical for any thread
+// count, which is what lets the thread knob stay out of the physics.
+//
+// The pool is persistent (std::thread, no OpenMP dependency): workers are
+// spawned once and parked on a condition variable between parallel
+// regions, so per-call overhead is one wake/sleep cycle instead of a
+// thread spawn.  The calling thread always executes chunk 0 itself.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace subsonic {
+
+class WorkerPool {
+ public:
+  /// A pool of `threads` workers in total; `threads - 1` background
+  /// std::threads are spawned (the caller of for_range is the remaining
+  /// worker).  `threads` must be >= 1.
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int threads() const { return thread_count_; }
+
+  /// Splits [lo, hi) into `threads()` contiguous chunks and calls
+  /// fn(chunk_lo, chunk_hi) concurrently, one chunk per worker (empty
+  /// chunks are skipped).  Blocks until every chunk is done; rethrows the
+  /// first exception any chunk threw.  The partition depends only on
+  /// (lo, hi, threads()), never on timing.
+  void for_range(int lo, int hi, const std::function<void(int, int)>& fn);
+
+  /// The deterministic chunk of worker `t`: [chunk_begin(lo, hi, t, T),
+  /// chunk_begin(lo, hi, t + 1, T)).  Exposed for tests.
+  static int chunk_begin(int lo, int hi, int t, int threads) {
+    const long long n = static_cast<long long>(hi) - lo;
+    return lo + static_cast<int>(n * t / threads);
+  }
+
+ private:
+  void worker_main(int id);
+  void run_chunk(int id) noexcept;
+
+  int thread_count_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int, int)>* job_ = nullptr;  // guarded by mutex_
+  int job_lo_ = 0, job_hi_ = 0;
+  long epoch_ = 0;      // bumped per for_range; workers wake on change
+  int outstanding_ = 0;  // background chunks not yet finished
+  bool stop_ = false;
+  std::exception_ptr first_error_;  // guarded by mutex_
+};
+
+/// Resolves a driver/domain `threads` knob: values >= 1 are taken as-is;
+/// 0 (the default everywhere) means "use the SUBSONIC_THREADS environment
+/// variable, or 1 if unset/invalid".  Centralizing the env lookup lets CI
+/// run whole existing suites with the pool engaged (e.g. TSan with
+/// SUBSONIC_THREADS=2) without touching each call site.
+int resolve_threads(int requested);
+
+}  // namespace subsonic

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 namespace subsonic {
 namespace {
 
@@ -94,6 +96,64 @@ TEST(PaddedField3D, AtThrowsOutsidePadding) {
   PaddedField3D<double> f(Extents3{2, 2, 2}, 1);
   EXPECT_NO_THROW(f.at(2, 2, 2));
   EXPECT_THROW(f.at(3, 0, 0), contract_error);
+}
+
+TEST(PaddedField2D, StorageIsCacheLineAligned) {
+  PaddedField2D<double> f(Extents2{5, 3}, 2);
+  const auto addr = reinterpret_cast<std::uintptr_t>(f.raw().data());
+  EXPECT_EQ(addr % kCacheLineBytes, 0u);
+}
+
+TEST(PaddedField2D, PitchIsRoundedToWholeCacheLines) {
+  // 5 + 2*2 = 9 doubles = 72 bytes -> rounds up to 128 bytes = 16 doubles.
+  PaddedField2D<double> f(Extents2{5, 3}, 2);
+  EXPECT_EQ(f.pitch(), 16);
+  EXPECT_EQ(f.pitch() * static_cast<int>(sizeof(double)) % kCacheLineBytes,
+            0);
+  // Already a whole number of lines: stays put.
+  PaddedField2D<double> g(Extents2{12, 3}, 2);  // 16 doubles = 2 lines
+  EXPECT_EQ(g.pitch(), 16);
+}
+
+TEST(PaddedField2D, ExtraPitchIsPreservedThroughRounding) {
+  // The Appendix-E experiments ask for N extra elements and must get at
+  // least N after the cache-line quantization.
+  PaddedField2D<double> base(Extents2{8, 2}, 1);
+  PaddedField2D<double> padded(Extents2{8, 2}, 1, /*extra_pitch=*/5);
+  EXPECT_GE(padded.pitch(), base.pitch() + 5);
+}
+
+TEST(PaddedField2D, RowPtrMatchesOperatorParen) {
+  PaddedField2D<double> f(Extents2{4, 3}, 2);
+  for (int y = -2; y < 5; ++y)
+    for (int x = -2; x < 6; ++x) f(x, y) = 100.0 * y + x;
+  for (int y = -2; y < 5; ++y) {
+    const double* p = f.row_ptr(y);
+    for (int x = -2; x < 6; ++x) EXPECT_DOUBLE_EQ(p[x], f(x, y));
+  }
+}
+
+TEST(PaddedField3D, StorageIsCacheLineAlignedAndRowPtrMatches) {
+  PaddedField3D<double> f(Extents3{3, 4, 2}, 1);
+  const auto addr = reinterpret_cast<std::uintptr_t>(f.raw().data());
+  EXPECT_EQ(addr % kCacheLineBytes, 0u);
+  for (int z = -1; z < 3; ++z)
+    for (int y = -1; y < 5; ++y)
+      for (int x = -1; x < 4; ++x) f(x, y, z) = x + 10.0 * y + 100.0 * z;
+  for (int z = -1; z < 3; ++z)
+    for (int y = -1; y < 5; ++y) {
+      const double* p = f.row_ptr(y, z);
+      for (int x = -1; x < 4; ++x) EXPECT_DOUBLE_EQ(p[x], f(x, y, z));
+    }
+}
+
+TEST(RoundPitch, ByteTypesRoundToFullLines) {
+  EXPECT_EQ(round_pitch<std::uint8_t>(1), 64);
+  EXPECT_EQ(round_pitch<std::uint8_t>(64), 64);
+  EXPECT_EQ(round_pitch<std::uint8_t>(65), 128);
+  EXPECT_EQ(round_pitch<double>(1), 8);
+  EXPECT_EQ(round_pitch<double>(8), 8);
+  EXPECT_EQ(round_pitch<double>(9), 16);
 }
 
 TEST(PaddedField2D, RequiresPositiveExtents) {

@@ -1,0 +1,110 @@
+#include "src/util/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace subsonic {
+namespace {
+
+TEST(WorkerPool, ChunksPartitionTheRangeExactly) {
+  for (int threads : {1, 2, 3, 4, 7}) {
+    for (int lo : {0, -5, 3}) {
+      for (int n : {0, 1, 2, threads - 1, threads, 10 * threads + 3}) {
+        const int hi = lo + n;
+        EXPECT_EQ(WorkerPool::chunk_begin(lo, hi, 0, threads), lo);
+        EXPECT_EQ(WorkerPool::chunk_begin(lo, hi, threads, threads), hi);
+        for (int t = 0; t < threads; ++t) {
+          const int a = WorkerPool::chunk_begin(lo, hi, t, threads);
+          const int b = WorkerPool::chunk_begin(lo, hi, t + 1, threads);
+          EXPECT_LE(a, b);
+        }
+      }
+    }
+  }
+}
+
+TEST(WorkerPool, EveryIndexVisitedExactlyOnce) {
+  WorkerPool pool(4);
+  const int lo = -3, hi = 101;
+  std::vector<std::atomic<int>> visits(hi - lo);
+  pool.for_range(lo, hi, [&](int a, int b) {
+    for (int i = a; i < b; ++i) visits[i - lo].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(WorkerPool, ReusableAcrossManyRegions) {
+  WorkerPool pool(3);
+  long long total = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long long> sum{0};
+    pool.for_range(0, 1000, [&](int a, int b) {
+      long long local = 0;
+      for (int i = a; i < b; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 50LL * (999LL * 1000 / 2));
+}
+
+TEST(WorkerPool, EmptyRangeIsANoop) {
+  WorkerPool pool(2);
+  bool called = false;
+  pool.for_range(5, 5, [&](int, int) { called = true; });
+  pool.for_range(5, 3, [&](int, int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(WorkerPool, SingleThreadRunsInline) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  int calls = 0;
+  pool.for_range(0, 10, [&](int a, int b) {
+    ++calls;
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 10);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(WorkerPool, RangeSmallerThanPoolStillCoversAll) {
+  WorkerPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  pool.for_range(0, 3, [&](int a, int b) {
+    for (int i = a; i < b; ++i) visits[i].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(WorkerPool, ExceptionsPropagateAndPoolSurvives) {
+  WorkerPool pool(4);
+  EXPECT_THROW(pool.for_range(0, 100,
+                              [&](int a, int) {
+                                if (a == 0)
+                                  throw std::runtime_error("chunk failed");
+                              }),
+               std::runtime_error);
+  // The pool must remain usable after a failed region.
+  std::atomic<int> count{0};
+  pool.for_range(0, 10, [&](int a, int b) { count.fetch_add(b - a); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ResolveThreads, ExplicitWinsOverEnvironment) {
+  ::setenv("SUBSONIC_THREADS", "7", 1);
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_EQ(resolve_threads(0), 7);
+  ::setenv("SUBSONIC_THREADS", "garbage", 1);
+  EXPECT_EQ(resolve_threads(0), 1);
+  ::unsetenv("SUBSONIC_THREADS");
+  EXPECT_EQ(resolve_threads(0), 1);
+}
+
+}  // namespace
+}  // namespace subsonic
