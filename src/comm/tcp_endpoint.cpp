@@ -4,10 +4,12 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/file.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -22,30 +24,66 @@ namespace subsonic {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 [[noreturn]] void throw_errno(const char* what) {
   throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
 }
 
-void write_all(int fd, const void* data, size_t len) {
+/// Milliseconds until `deadline`, clamped at 0; -1 when no deadline is set
+/// (poll's "wait forever").
+int remaining_ms(bool has_deadline, Clock::time_point deadline) {
+  if (!has_deadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// Blocks until `fd` is readable or the deadline passes; throws
+/// peer_lost_error on expiry.
+void wait_readable(int fd, bool has_deadline, Clock::time_point deadline,
+                   const char* what) {
+  for (;;) {
+    pollfd p{fd, POLLIN, 0};
+    const int timeout = remaining_ms(has_deadline, deadline);
+    const int n = ::poll(&p, 1, timeout);
+    if (n > 0) return;  // readable, closed, or errored: read() resolves it
+    if (n == 0)
+      throw peer_lost_error(std::string(what) +
+                            ": recv deadline expired — peer presumed lost");
+    if (errno != EINTR) throw_errno("poll");
+  }
+}
+
+/// SIGPIPE-safe socket write: a dead peer yields peer_lost_error on this
+/// thread instead of a process-killing signal.
+void send_all(int fd, const void* data, size_t len) {
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
-    const ssize_t n = ::write(fd, p, len);
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw_errno("write");
+      if (errno == EPIPE || errno == ECONNRESET)
+        throw peer_lost_error("peer closed TCP channel mid-send");
+      throw_errno("send");
     }
     p += n;
     len -= static_cast<size_t>(n);
   }
 }
 
-void read_all(int fd, void* data, size_t len) {
+void read_all(int fd, void* data, size_t len, bool has_deadline,
+              Clock::time_point deadline) {
   char* p = static_cast<char*>(data);
   while (len > 0) {
+    if (has_deadline) wait_readable(fd, true, deadline, "read");
     const ssize_t n = ::read(fd, p, len);
-    if (n == 0) throw std::runtime_error("peer closed TCP channel");
+    if (n == 0) throw peer_lost_error("peer closed TCP channel");
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == ECONNRESET)
+        throw peer_lost_error("peer reset TCP channel");
       throw_errno("read");
     }
     p += n;
@@ -62,9 +100,15 @@ struct WireHeader {
 
 }  // namespace
 
-TcpEndpoint::TcpEndpoint(int rank, int ranks, std::string registry_path)
-    : rank_(rank), ranks_(ranks), registry_path_(std::move(registry_path)) {
+TcpEndpoint::TcpEndpoint(int rank, int ranks, std::string registry_path,
+                         TcpEndpointOptions options)
+    : rank_(rank),
+      ranks_(ranks),
+      registry_path_(std::move(registry_path)),
+      options_(options) {
   SUBSONIC_REQUIRE(rank >= 0 && rank < ranks);
+  SUBSONIC_REQUIRE(options_.recv_deadline_ms >= 0);
+  SUBSONIC_REQUIRE(options_.connect_deadline_ms > 0);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw_errno("socket");
   sockaddr_in addr{};
@@ -93,7 +137,11 @@ TcpEndpoint::TcpEndpoint(int rank, int ranks, std::string registry_path)
   }
   char line[64];
   const int n = std::snprintf(line, sizeof line, "%d %d\n", rank_, port_);
-  write_all(fd, line, static_cast<size_t>(n));
+  if (::write(fd, line, static_cast<size_t>(n)) != n) {
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+    throw_errno("registry write");
+  }
   ::flock(fd, LOCK_UN);
   ::close(fd);
 }
@@ -101,6 +149,8 @@ TcpEndpoint::TcpEndpoint(int rank, int ranks, std::string registry_path)
 TcpEndpoint::~TcpEndpoint() {
   {
     std::unique_lock<std::mutex> lock(send_mutex_);
+    // A send error empties the queue, so this also returns promptly on a
+    // wedged channel instead of waiting for frames that can never leave.
     drain_cv_.wait(lock, [&] { return send_queue_.empty(); });
     stop_ = true;
   }
@@ -112,30 +162,57 @@ TcpEndpoint::~TcpEndpoint() {
 }
 
 int TcpEndpoint::lookup_port(int rank) const {
-  // Peers may not have registered yet; poll the shared file.
-  for (int attempt = 0; attempt < 2000; ++attempt) {
-    std::ifstream in(registry_path_);
-    int r = 0, port = 0;
-    while (in >> r >> port)
-      if (r == rank) return port;
+  // Peers may not have registered yet; poll the shared file until the
+  // connect deadline.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.connect_deadline_ms);
+  for (;;) {
+    {
+      std::ifstream in(registry_path_);
+      int r = 0, port = 0;
+      while (in >> r >> port)
+        if (r == rank) return port;
+    }
+    if (Clock::now() >= deadline)
+      throw peer_lost_error("rank " + std::to_string(rank) +
+                            " never appeared in the port registry");
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
-  throw std::runtime_error("peer never appeared in the port registry");
 }
 
 int TcpEndpoint::connect_to(int rank) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.connect_deadline_ms);
   const int port = lookup_port(rank);
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw_errno("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
-    throw_errno("connect");
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return fd;
+  // The peer has published its port, but its accept queue may fill or the
+  // listener may briefly not exist yet (or anymore): retry refused
+  // connections with exponential backoff until the deadline.
+  int backoff_ms = 1;
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return fd;
+    }
+    const int err = errno;
+    ::close(fd);
+    if (err != ECONNREFUSED && err != ETIMEDOUT) {
+      errno = err;
+      throw_errno("connect");
+    }
+    if (Clock::now() >= deadline)
+      throw peer_lost_error("rank " + std::to_string(rank) +
+                            " refused connections until the deadline");
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 64);
+  }
 }
 
 void TcpEndpoint::sender_loop() {
@@ -153,14 +230,14 @@ void TcpEndpoint::sender_loop() {
       if (it == out_fds_.end()) {
         const int fd = connect_to(job.dst);
         const std::int32_t hello = rank_;
-        write_all(fd, &hello, sizeof hello);
+        send_all(fd, &hello, sizeof hello);
         it = out_fds_.emplace(job.dst, fd).first;
       }
       WireHeader h{job.tag, job.payload.size(), rank_, job.dst};
-      write_all(it->second, &h, sizeof h);
+      send_all(it->second, &h, sizeof h);
       if (!job.payload.empty())
-        write_all(it->second, job.payload.data(),
-                  job.payload.size() * sizeof(double));
+        send_all(it->second, job.payload.data(),
+                 job.payload.size() * sizeof(double));
     } catch (...) {
       std::lock_guard<std::mutex> lock(send_mutex_);
       send_error_ = std::current_exception();
@@ -196,6 +273,9 @@ void TcpEndpoint::flush() {
 
 std::vector<double> TcpEndpoint::recv(int src, MessageTag tag) {
   SUBSONIC_REQUIRE(src >= 0 && src < ranks_);
+  const bool has_deadline = options_.recv_deadline_ms > 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.recv_deadline_ms);
   for (;;) {
     // 1. Parked from an earlier read?
     auto pit = parked_.find(src);
@@ -210,6 +290,8 @@ std::vector<double> TcpEndpoint::recv(int src, MessageTag tag) {
     // 2. Need the connection from src.
     auto cit = in_fds_.find(src);
     if (cit == in_fds_.end()) {
+      if (has_deadline)
+        wait_readable(listen_fd_, true, deadline, "accept");
       const int fd = ::accept(listen_fd_, nullptr, nullptr);
       if (fd < 0) {
         if (errno == EINTR) continue;
@@ -218,18 +300,19 @@ std::vector<double> TcpEndpoint::recv(int src, MessageTag tag) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       std::int32_t hello = -1;
-      read_all(fd, &hello, sizeof hello);
+      read_all(fd, &hello, sizeof hello, has_deadline, deadline);
       SUBSONIC_CHECK(hello >= 0 && hello < ranks_);
       in_fds_.emplace(hello, fd);
       continue;
     }
     // 3. Read the next frame from src; park mismatched tags.
     WireHeader h{};
-    read_all(cit->second, &h, sizeof h);
+    read_all(cit->second, &h, sizeof h, has_deadline, deadline);
     SUBSONIC_CHECK(h.src == src && h.dst == rank_);
     std::vector<double> payload(h.count);
     if (h.count > 0)
-      read_all(cit->second, payload.data(), h.count * sizeof(double));
+      read_all(cit->second, payload.data(), h.count * sizeof(double),
+               has_deadline, deadline);
     if (h.tag == tag) return payload;
     parked_[src].emplace_back(h.tag, std::move(payload));
   }

@@ -5,6 +5,12 @@
 // a lock, resolves peers by polling the same file, and opens channels with
 // the hello handshake.  This is the transport the fork()-based process
 // runtime uses, where each subregion really is a separate UNIX process.
+//
+// Failure semantics (the robustness layer): connects retry with backoff
+// while a slow peer is still coming up, sends are SIGPIPE-safe, and an
+// optional recv deadline converts a dead neighbour into a peer_lost_error
+// instead of an eternal block — so the supervising parent always gets a
+// clean child exit to act on.
 #pragma once
 
 #include <condition_variable>
@@ -21,12 +27,26 @@
 
 namespace subsonic {
 
+struct TcpEndpointOptions {
+  /// Upper bound on any single recv() call, covering both the accept of a
+  /// not-yet-connected peer and the reads of its frames.  0 blocks
+  /// forever (the pre-supervisor behaviour).  On expiry recv throws
+  /// peer_lost_error.
+  int recv_deadline_ms = 0;
+
+  /// Total budget for resolving a peer in the registry plus connecting to
+  /// it, with exponential backoff between ECONNREFUSED retries.  On
+  /// expiry the sender surfaces peer_lost_error.
+  int connect_deadline_ms = 10000;
+};
+
 class TcpEndpoint {
  public:
   /// Binds a listener for `rank` and publishes its port in
   /// `registry_path` (append mode + lock, so concurrent processes can
   /// register simultaneously).
-  TcpEndpoint(int rank, int ranks, std::string registry_path);
+  TcpEndpoint(int rank, int ranks, std::string registry_path,
+              TcpEndpointOptions options = {});
   ~TcpEndpoint();
 
   TcpEndpoint(const TcpEndpoint&) = delete;
@@ -47,7 +67,8 @@ class TcpEndpoint {
   void flush();
 
   /// Blocks until the message (src -> this rank, tag) arrives; frames
-  /// with other tags are parked.
+  /// with other tags are parked.  With a recv deadline configured, throws
+  /// peer_lost_error when the deadline passes without the message.
   std::vector<double> recv(int src, MessageTag tag);
 
  private:
@@ -64,6 +85,7 @@ class TcpEndpoint {
   int rank_;
   int ranks_;
   std::string registry_path_;
+  TcpEndpointOptions options_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::map<int, int> in_fds_;

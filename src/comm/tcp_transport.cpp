@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -27,13 +28,17 @@ namespace {
                            std::strerror(errno));
 }
 
-void write_all(int fd, const void* data, size_t len) {
+/// SIGPIPE-safe socket write: a dead peer yields peer_lost_error on the
+/// sender thread instead of a process-killing signal.
+void send_all(int fd, const void* data, size_t len) {
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
-    const ssize_t n = ::write(fd, p, len);
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw_errno("write");
+      if (errno == EPIPE || errno == ECONNRESET)
+        throw peer_lost_error("peer closed TCP channel mid-send");
+      throw_errno("send");
     }
     p += n;
     len -= static_cast<size_t>(n);
@@ -44,9 +49,11 @@ void read_all(int fd, void* data, size_t len) {
   char* p = static_cast<char*>(data);
   while (len > 0) {
     const ssize_t n = ::read(fd, p, len);
-    if (n == 0) throw std::runtime_error("peer closed TCP channel");
+    if (n == 0) throw peer_lost_error("peer closed TCP channel");
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == ECONNRESET)
+        throw peer_lost_error("peer reset TCP channel");
       throw_errno("read");
     }
     p += n;
@@ -169,17 +176,32 @@ int TcpTransport::lookup_port(int rank) {
 
 int TcpTransport::connect_to(int rank) {
   const int port = lookup_port(rank);
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw_errno("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
-    throw_errno("connect");
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return fd;
+  // Refused connections are retried with exponential backoff: the
+  // listener's accept queue may briefly overflow when every rank opens
+  // its channels at once.
+  int backoff_ms = 1;
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return fd;
+    }
+    const int err = errno;
+    ::close(fd);
+    if (err != ECONNREFUSED || attempt >= 12) {
+      errno = err;
+      throw_errno("connect");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 64);
+  }
 }
 
 void TcpTransport::sender_loop(int src) {
@@ -200,13 +222,13 @@ void TcpTransport::sender_loop(int src) {
         const int fd = connect_to(job.dst);
         // Handshake: announce who is calling so the listener can demux.
         const std::int32_t hello = src;
-        write_all(fd, &hello, sizeof hello);
+        send_all(fd, &hello, sizeof hello);
         it = st.out_fds.emplace(job.dst, fd).first;
       }
       WireHeader h{job.tag, job.payload.size(), src, job.dst};
-      write_all(it->second, &h, sizeof h);
+      send_all(it->second, &h, sizeof h);
       if (!job.payload.empty())
-        write_all(it->second, job.payload.data(),
+        send_all(it->second, job.payload.data(),
                   job.payload.size() * sizeof(double));
     } catch (...) {
       std::lock_guard<std::mutex> lock(st.send_mutex);

@@ -11,9 +11,21 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace subsonic {
+
+/// Thrown when a peer of a point-to-point channel is gone: its socket
+/// closed or reset mid-message, it never registered within the connect
+/// deadline, or a recv deadline expired with nothing on the wire.  In the
+/// process runtime a child converts this into a clean nonzero exit the
+/// supervisor can act on — instead of blocking in recv forever.
+class peer_lost_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Message identity within a channel.  Channels are FIFO, but a receiver
 /// may wait for a specific tag while later-tagged messages queue behind.

@@ -11,12 +11,13 @@
 // bench_padding_4096 measures the modern analogue (set-associativity
 // conflicts); (2) it allows alignment experiments without touching callers.
 //
-// Storage is 64-byte aligned and the pitch (logical width + ghosts +
-// extra_pitch) is rounded up to a whole number of cache lines, so every
-// row starts on a cache-line boundary and the vectorized kernels never
-// straddle lines at row starts.  extra_pitch is applied *before* the
-// rounding: the Appendix-E experiments ask for N extra elements and get
-// at least N, quantized to the line size.
+// Storage is 64-byte aligned and the pitch is a whole number of cache
+// lines, so every row starts on a cache-line boundary and the vectorized
+// kernels never straddle lines at row starts.  The base width (logical
+// width + ghosts) and extra_pitch are each rounded up to whole lines
+// separately: the Appendix-E experiments ask for N extra elements and get
+// at least N, never fewer because the quantization of the base absorbed
+// them.
 #pragma once
 
 #include <cstddef>
@@ -43,7 +44,12 @@ class PaddedField2D {
       : interior_(interior), ghost_(ghost) {
     SUBSONIC_REQUIRE(interior.nx > 0 && interior.ny > 0);
     SUBSONIC_REQUIRE(ghost >= 0 && extra_pitch >= 0);
-    pitch_ = round_pitch<T>(interior.nx + 2 * ghost + extra_pitch);
+    // Rounding the sum would let the line quantization swallow the extra
+    // entirely (width 10 + extra 5 still rounds to 16); quantizing the
+    // extra separately guarantees at least `extra_pitch` elements beyond
+    // the base pitch, as Appendix E asks for.
+    pitch_ = round_pitch<T>(interior.nx + 2 * ghost) +
+             round_pitch<T>(extra_pitch);
     rows_ = interior.ny + 2 * ghost;
     data_.assign(static_cast<std::size_t>(pitch_) * rows_, T{});
   }
@@ -121,7 +127,10 @@ class PaddedField3D {
       : interior_(interior), ghost_(ghost) {
     SUBSONIC_REQUIRE(interior.nx > 0 && interior.ny > 0 && interior.nz > 0);
     SUBSONIC_REQUIRE(ghost >= 0 && extra_pitch >= 0);
-    pitch_x_ = round_pitch<T>(interior.nx + 2 * ghost + extra_pitch);
+    // See PaddedField2D: quantize the extra separately so it is never
+    // swallowed by the cache-line rounding of the base width.
+    pitch_x_ = round_pitch<T>(interior.nx + 2 * ghost) +
+               round_pitch<T>(extra_pitch);
     pitch_y_ = interior.ny + 2 * ghost;
     slabs_ = interior.nz + 2 * ghost;
     data_.assign(
@@ -166,6 +175,12 @@ class PaddedField3D {
   T* row_ptr(int y, int z) { return data_.data() + index(0, y, z); }
   const T* row_ptr(int y, int z) const {
     return data_.data() + index(0, y, z);
+  }
+
+  /// Pointer to the start of pencil (y, z) at x = -ghost (row copies).
+  T* row_begin(int y, int z) { return data_.data() + index(-ghost_, y, z); }
+  const T* row_begin(int y, int z) const {
+    return data_.data() + index(-ghost_, y, z);
   }
 
   friend bool operator==(const PaddedField3D& a, const PaddedField3D& b) {

@@ -1,0 +1,55 @@
+#include "src/io/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace subsonic {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error(std::string(what) + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t len) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail(tmp, "cannot open");
+  const char* p = static_cast<const char*>(data);
+  std::size_t left = len;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail(tmp, "cannot write");
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail(tmp, "cannot fsync");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail(tmp, "cannot close");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail(path, "cannot rename into");
+  }
+}
+
+}  // namespace subsonic

@@ -1,0 +1,20 @@
+// Crash-durable file replacement: write to "<path>.tmp", fsync, rename.
+// POSIX rename is atomic within a filesystem, so a reader (or a restarted
+// run) observes either the previous complete file or the new complete
+// file — never a torn intermediate.  Checkpoint dumps and the epoch
+// MANIFEST both commit through this door.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace subsonic {
+
+/// Atomically replaces `path` with `len` bytes of `data`.  The temporary
+/// sibling is fsync'd before the rename, so once the new name is visible
+/// its contents are durable.  Throws std::runtime_error (naming the path)
+/// on any I/O failure, removing the temporary.
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t len);
+
+}  // namespace subsonic

@@ -1,17 +1,20 @@
 #include "src/io/checkpoint.hpp"
 
-#include <cstdint>
 #include <cstring>
 #include <fstream>
 
-#include "src/util/check.hpp"
+#include "src/io/atomic_file.hpp"
+#include "src/util/crc32.hpp"
 
 namespace subsonic {
 
 namespace {
 
-constexpr std::uint64_t kMagic2D = 0x53554244554d5032ull;  // "SUBDUMP2"
-constexpr std::uint64_t kMagic3D = 0x53554244554d5033ull;  // "SUBDUMP3"
+// "SUBDMP2\x02" / "SUBDMP3\x02" as little-endian u64: v2 of the dump
+// format (logical-layout rows + CRC).  v1 files (raw pitched storage) are
+// rejected like any other non-checkpoint bytes.
+constexpr std::uint64_t kMagic2D = 0x0232504d44425553ull;
+constexpr std::uint64_t kMagic3D = 0x0333504d44425553ull;
 
 struct Header {
   std::uint64_t magic = 0;
@@ -20,7 +23,10 @@ struct Header {
   std::int32_t ghost = 0;
   std::int32_t method = 0;
   std::int32_t q = 0;
-  std::int32_t reserved = 0;
+  std::int32_t nfields = 0;
+  std::uint64_t payload_doubles = 0;  ///< exact doubles following the header
+  std::uint32_t payload_crc = 0;      ///< CRC32 over those bytes
+  std::uint32_t reserved = 0;
   double params[5] = {0, 0, 0, 0, 0};  // dt nu cs rho0 filter_eps
 };
 
@@ -39,26 +45,114 @@ void check_params(const Header& h, const FluidParams& p) {
                        "checkpoint was taken with different parameters");
 }
 
-template <typename Field>
-void write_field(std::ofstream& out, const Field& f) {
-  const auto raw = f.raw();
-  out.write(reinterpret_cast<const char*>(raw.data()),
-            static_cast<std::streamsize>(raw.size() * sizeof(double)));
+/// Appends the logical window (interior + ghost ring) of `f` row by row —
+/// pitch and alignment padding never reach the file.
+void append_field(std::vector<char>& buf, const PaddedField2D<double>& f) {
+  const int g = f.ghost();
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(f.nx() + 2 * g) * sizeof(double);
+  for (int y = -g; y < f.ny() + g; ++y) {
+    const char* row = reinterpret_cast<const char*>(f.row_begin(y));
+    buf.insert(buf.end(), row, row + row_bytes);
+  }
 }
 
-template <typename Field>
-void read_field(std::ifstream& in, Field& f) {
-  const auto raw = f.raw();
-  in.read(reinterpret_cast<char*>(raw.data()),
-          static_cast<std::streamsize>(raw.size() * sizeof(double)));
-  SUBSONIC_REQUIRE_MSG(in.good(), "checkpoint file truncated");
+void append_field(std::vector<char>& buf, const PaddedField3D<double>& f) {
+  const int g = f.ghost();
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(f.nx() + 2 * g) * sizeof(double);
+  for (int z = -g; z < f.nz() + g; ++z)
+    for (int y = -g; y < f.ny() + g; ++y) {
+      const char* row = reinterpret_cast<const char*>(f.row_begin(y, z));
+      buf.insert(buf.end(), row, row + row_bytes);
+    }
+}
+
+const char* scatter_field(const char* src, PaddedField2D<double>& f) {
+  const int g = f.ghost();
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(f.nx() + 2 * g) * sizeof(double);
+  for (int y = -g; y < f.ny() + g; ++y) {
+    std::memcpy(f.row_begin(y), src, row_bytes);
+    src += row_bytes;
+  }
+  return src;
+}
+
+const char* scatter_field(const char* src, PaddedField3D<double>& f) {
+  const int g = f.ghost();
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(f.nx() + 2 * g) * sizeof(double);
+  for (int z = -g; z < f.nz() + g; ++z)
+    for (int y = -g; y < f.ny() + g; ++y) {
+      std::memcpy(f.row_begin(y, z), src, row_bytes);
+      src += row_bytes;
+    }
+  return src;
+}
+
+void seal(std::vector<char>& buf) {
+  Header& h = *reinterpret_cast<Header*>(buf.data());
+  h.payload_doubles = (buf.size() - sizeof(Header)) / sizeof(double);
+  h.payload_crc =
+      crc32(buf.data() + sizeof(Header), buf.size() - sizeof(Header));
+}
+
+/// Reads the whole file; returns false when it cannot be opened.
+bool slurp(const std::string& path, std::vector<char>& out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) return false;
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  out.resize(static_cast<std::size_t>(size));
+  if (size > 0) in.read(out.data(), size);
+  return in.good();
+}
+
+/// File-level validation shared by restore and inspect: header present,
+/// magic known, size exact, checksum intact.  Throws checkpoint_error
+/// naming the path on any violation.
+const Header& validate_file(const std::string& path,
+                            const std::vector<char>& bytes) {
+  if (bytes.size() < sizeof(Header))
+    throw checkpoint_error("checkpoint file " + path +
+                           " is truncated: no complete header");
+  const Header& h = *reinterpret_cast<const Header*>(bytes.data());
+  if (h.magic != kMagic2D && h.magic != kMagic3D)
+    throw checkpoint_error("file " + path +
+                           " is not a subsonic v2 checkpoint");
+  const std::size_t expect =
+      sizeof(Header) + h.payload_doubles * sizeof(double);
+  if (bytes.size() != expect)
+    throw checkpoint_error(
+        "checkpoint file " + path + " is truncated or padded: " +
+        std::to_string(bytes.size()) + " bytes, header promises " +
+        std::to_string(expect));
+  const std::uint32_t crc =
+      crc32(bytes.data() + sizeof(Header), bytes.size() - sizeof(Header));
+  if (crc != h.payload_crc)
+    throw checkpoint_error("checkpoint file " + path +
+                           " failed its CRC32 payload check (torn write "
+                           "or corruption)");
+  return h;
+}
+
+std::vector<char> load_and_validate(const std::string& path,
+                                    std::uint64_t want_magic) {
+  std::vector<char> bytes;
+  if (!slurp(path, bytes))
+    throw checkpoint_error("cannot read checkpoint file " + path);
+  const Header& h = validate_file(path, bytes);
+  if (h.magic != want_magic)
+    throw checkpoint_error("checkpoint file " + path +
+                           " was written by the other-dimensional runtime");
+  return bytes;
 }
 
 }  // namespace
 
-void save_domain(const Domain2D& d, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  SUBSONIC_REQUIRE_MSG(out.good(), "cannot open checkpoint for writing");
+std::vector<char> serialize_domain(const Domain2D& d) {
+  std::vector<char> buf(sizeof(Header));
   Header h;
   h.magic = kMagic2D;
   h.step = d.step();
@@ -69,39 +163,19 @@ void save_domain(const Domain2D& d, const std::string& path) {
   h.ghost = d.ghost();
   h.method = static_cast<std::int32_t>(d.method());
   h.q = d.q();
+  h.nfields = 3 + d.q();
   fill_params(h, d.params());
-  out.write(reinterpret_cast<const char*>(&h), sizeof h);
-  write_field(out, d.rho());
-  write_field(out, d.vx());
-  write_field(out, d.vy());
-  for (int i = 0; i < d.q(); ++i) write_field(out, d.f(i));
-  SUBSONIC_CHECK(out.good());
+  std::memcpy(buf.data(), &h, sizeof h);
+  append_field(buf, d.rho());
+  append_field(buf, d.vx());
+  append_field(buf, d.vy());
+  for (int i = 0; i < d.q(); ++i) append_field(buf, d.f(i));
+  seal(buf);
+  return buf;
 }
 
-void restore_domain(Domain2D& d, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  SUBSONIC_REQUIRE_MSG(in.good(), "cannot open checkpoint for reading");
-  Header h;
-  in.read(reinterpret_cast<char*>(&h), sizeof h);
-  SUBSONIC_REQUIRE_MSG(in.good() && h.magic == kMagic2D,
-                       "not a 2D subsonic checkpoint");
-  SUBSONIC_REQUIRE_MSG(h.box[0] == d.box().x0 && h.box[1] == d.box().y0 &&
-                           h.box[3] == d.box().x1 && h.box[4] == d.box().y1,
-                       "checkpoint belongs to a different subregion");
-  SUBSONIC_REQUIRE(h.ghost == d.ghost());
-  SUBSONIC_REQUIRE(h.method == static_cast<std::int32_t>(d.method()));
-  SUBSONIC_REQUIRE(h.q == d.q());
-  check_params(h, d.params());
-  read_field(in, d.rho());
-  read_field(in, d.vx());
-  read_field(in, d.vy());
-  for (int i = 0; i < d.q(); ++i) read_field(in, d.f(i));
-  d.set_step(h.step);
-}
-
-void save_domain(const Domain3D& d, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  SUBSONIC_REQUIRE_MSG(out.good(), "cannot open checkpoint for writing");
+std::vector<char> serialize_domain(const Domain3D& d) {
+  std::vector<char> buf(sizeof(Header));
   Header h;
   h.magic = kMagic3D;
   h.step = d.step();
@@ -114,23 +188,51 @@ void save_domain(const Domain3D& d, const std::string& path) {
   h.ghost = d.ghost();
   h.method = static_cast<std::int32_t>(d.method());
   h.q = d.q();
+  h.nfields = 4 + d.q();
   fill_params(h, d.params());
-  out.write(reinterpret_cast<const char*>(&h), sizeof h);
-  write_field(out, d.rho());
-  write_field(out, d.vx());
-  write_field(out, d.vy());
-  write_field(out, d.vz());
-  for (int i = 0; i < d.q(); ++i) write_field(out, d.f(i));
-  SUBSONIC_CHECK(out.good());
+  std::memcpy(buf.data(), &h, sizeof h);
+  append_field(buf, d.rho());
+  append_field(buf, d.vx());
+  append_field(buf, d.vy());
+  append_field(buf, d.vz());
+  for (int i = 0; i < d.q(); ++i) append_field(buf, d.f(i));
+  seal(buf);
+  return buf;
+}
+
+void save_domain(const Domain2D& d, const std::string& path) {
+  const std::vector<char> buf = serialize_domain(d);
+  atomic_write_file(path, buf.data(), buf.size());
+}
+
+void save_domain(const Domain3D& d, const std::string& path) {
+  const std::vector<char> buf = serialize_domain(d);
+  atomic_write_file(path, buf.data(), buf.size());
+}
+
+void restore_domain(Domain2D& d, const std::string& path) {
+  const std::vector<char> bytes = load_and_validate(path, kMagic2D);
+  const Header& h = *reinterpret_cast<const Header*>(bytes.data());
+  SUBSONIC_REQUIRE_MSG(h.box[0] == d.box().x0 && h.box[1] == d.box().y0 &&
+                           h.box[3] == d.box().x1 && h.box[4] == d.box().y1,
+                       "checkpoint belongs to a different subregion");
+  SUBSONIC_REQUIRE(h.ghost == d.ghost());
+  SUBSONIC_REQUIRE(h.method == static_cast<std::int32_t>(d.method()));
+  SUBSONIC_REQUIRE(h.q == d.q());
+  SUBSONIC_REQUIRE(h.nfields == 3 + d.q());
+  check_params(h, d.params());
+  const char* src = bytes.data() + sizeof(Header);
+  src = scatter_field(src, d.rho());
+  src = scatter_field(src, d.vx());
+  src = scatter_field(src, d.vy());
+  for (int i = 0; i < d.q(); ++i) src = scatter_field(src, d.f(i));
+  SUBSONIC_CHECK(src == bytes.data() + bytes.size());
+  d.set_step(h.step);
 }
 
 void restore_domain(Domain3D& d, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  SUBSONIC_REQUIRE_MSG(in.good(), "cannot open checkpoint for reading");
-  Header h;
-  in.read(reinterpret_cast<char*>(&h), sizeof h);
-  SUBSONIC_REQUIRE_MSG(in.good() && h.magic == kMagic3D,
-                       "not a 3D subsonic checkpoint");
+  const std::vector<char> bytes = load_and_validate(path, kMagic3D);
+  const Header& h = *reinterpret_cast<const Header*>(bytes.data());
   SUBSONIC_REQUIRE_MSG(
       h.box[0] == d.box().x0 && h.box[1] == d.box().y0 &&
           h.box[2] == d.box().z0 && h.box[3] == d.box().x1 &&
@@ -139,13 +241,31 @@ void restore_domain(Domain3D& d, const std::string& path) {
   SUBSONIC_REQUIRE(h.ghost == d.ghost());
   SUBSONIC_REQUIRE(h.method == static_cast<std::int32_t>(d.method()));
   SUBSONIC_REQUIRE(h.q == d.q());
+  SUBSONIC_REQUIRE(h.nfields == 4 + d.q());
   check_params(h, d.params());
-  read_field(in, d.rho());
-  read_field(in, d.vx());
-  read_field(in, d.vy());
-  read_field(in, d.vz());
-  for (int i = 0; i < d.q(); ++i) read_field(in, d.f(i));
+  const char* src = bytes.data() + sizeof(Header);
+  src = scatter_field(src, d.rho());
+  src = scatter_field(src, d.vx());
+  src = scatter_field(src, d.vy());
+  src = scatter_field(src, d.vz());
+  for (int i = 0; i < d.q(); ++i) src = scatter_field(src, d.f(i));
+  SUBSONIC_CHECK(src == bytes.data() + bytes.size());
   d.set_step(h.step);
+}
+
+CheckpointInfo inspect_checkpoint(const std::string& path) {
+  std::vector<char> bytes;
+  if (!slurp(path, bytes))
+    throw checkpoint_error("cannot read checkpoint file " + path);
+  const Header& h = validate_file(path, bytes);
+  CheckpointInfo info;
+  info.dim = h.magic == kMagic2D ? 2 : 3;
+  info.step = h.step;
+  for (int i = 0; i < 6; ++i) info.box[i] = h.box[i];
+  info.ghost = h.ghost;
+  info.method = h.method;
+  info.q = h.q;
+  return info;
 }
 
 }  // namespace subsonic

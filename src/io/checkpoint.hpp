@@ -8,23 +8,71 @@
 // A checkpoint stores the fields and the step counter of one subregion;
 // geometry and parameters are static configuration and are revalidated
 // (not rebuilt) at restore time via a fingerprint in the header.
+//
+// Format (v2): fields are serialized row by row over the *logical* window
+// (interior plus ghost ring), never the raw pitched storage, so a dump is
+// portable between builds with different pitch rounding or extra_pitch
+// (the Appendix-E experiments).  The header carries a CRC32 over the
+// payload and the exact payload size; writes go through the atomic
+// tmp+fsync+rename protocol, so a file that exists under its final name
+// is either complete and verifiable or rejected loudly.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/solver/domain2d.hpp"
 #include "src/solver/domain3d.hpp"
+#include "src/util/check.hpp"
 
 namespace subsonic {
 
-/// Writes the full state (rho, V, populations, step) of a subregion.
+/// Thrown when a checkpoint file itself is unusable — missing, truncated,
+/// bit-flipped (CRC mismatch), or not a checkpoint at all.  The message
+/// always names the offending path.  Derives from contract_error so
+/// callers treating any restore failure uniformly keep working; catch
+/// this type to distinguish a corrupt file from a geometry/parameter
+/// mismatch (which stays a plain contract_error).
+class checkpoint_error : public contract_error {
+ public:
+  using contract_error::contract_error;
+};
+
+/// Everything a supervisor needs to know about a dump without building a
+/// Domain: which runtime wrote it, where it belongs, and how far it got.
+struct CheckpointInfo {
+  int dim = 0;                            ///< 2 or 3
+  long step = 0;                          ///< step counter at save time
+  std::int32_t box[6] = {0, 0, 0, 0, 0, 0};  ///< x0 y0 z0 x1 y1 z1
+  int ghost = 0;
+  int method = 0;
+  int q = 0;
+};
+
+/// Serializes the full state (header + logical-layout fields) into a
+/// buffer — the exact bytes save_domain writes.  Exposed so the process
+/// runtime can snapshot cheaply at a checkpoint step and defer (stagger)
+/// the disk write, and so the fault harness can tear a write.
+std::vector<char> serialize_domain(const Domain2D& d);
+std::vector<char> serialize_domain(const Domain3D& d);
+
+/// Writes the full state of a subregion atomically (tmp + fsync + rename).
 void save_domain(const Domain2D& d, const std::string& path);
 void save_domain(const Domain3D& d, const std::string& path);
 
 /// Restores state saved by save_domain into a domain constructed with the
-/// same geometry, method, ghost width and parameters.  Throws on any
-/// mismatch (wrong file, wrong subregion, wrong build).
+/// same geometry, method, ghost width and parameters.  Throws
+/// checkpoint_error when the file is corrupt (truncated / checksum
+/// mismatch / wrong format) and contract_error on any configuration
+/// mismatch (wrong subregion, wrong method, changed parameters).
 void restore_domain(Domain2D& d, const std::string& path);
 void restore_domain(Domain3D& d, const std::string& path);
+
+/// Fully reads and verifies a dump (size and CRC32) and returns its
+/// header facts.  Throws checkpoint_error when the file is missing or
+/// corrupt.  This is how the supervisor decides a rank's epoch dump is
+/// durable before committing the epoch MANIFEST.
+CheckpointInfo inspect_checkpoint(const std::string& path);
 
 }  // namespace subsonic

@@ -180,6 +180,11 @@ int ParallelDriver2D::run_until_sync(int max_steps,
                                      SyncFile& sync_file) {
   SUBSONIC_REQUIRE(max_steps >= 1);
   const long start = workers_.empty() ? 0 : workers_[0].domain->step();
+  // A sync file left over from a crashed or aborted earlier round would
+  // make the first announcer compute a stale agreed step and wedge the
+  // group; clear it before anyone can announce.  Safe: workers announce
+  // only after `request` flips, which is observed strictly after entry.
+  sync_file.clear();
   // Detection happens at step boundaries, so by the time the last worker
   // announces, early announcers may have drifted ahead by the stencil
   // bound; widening the agreed step by that bound keeps it reachable

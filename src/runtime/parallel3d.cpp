@@ -174,6 +174,9 @@ int ParallelDriver3D::run_until_sync(int max_steps,
                                      SyncFile& sync_file) {
   SUBSONIC_REQUIRE(max_steps >= 1);
   const long start = workers_.empty() ? 0 : workers_[0].domain->step();
+  // Clear stale records from a crashed earlier round before anyone can
+  // announce (see ParallelDriver2D::run_until_sync).
+  sync_file.clear();
   const long margin = decomp_.max_unsync(StencilShape::kFull);
 
   auto loop = [&](Worker& w) {

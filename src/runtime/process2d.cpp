@@ -1,47 +1,113 @@
 #include "src/runtime/process2d.hpp"
 
+#include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "src/comm/tcp_endpoint.hpp"
+#include "src/comm/transport.hpp"
+#include "src/io/atomic_file.hpp"
 #include "src/io/checkpoint.hpp"
+#include "src/runtime/epoch_store.hpp"
 #include "src/runtime/exchange2d.hpp"
 #include "src/solver/schedule.hpp"
 #include "src/util/check.hpp"
+#include "src/util/fault_plan.hpp"
 
 namespace subsonic {
 
 namespace {
 
-/// The body of one parallel subprocess: build the local domain (or
-/// restore its dump), loop compute/exchange for `steps`, dump, exit.
-/// Never returns normally — the child must not unwind into the parent's
-/// runtime state.
+/// Everything one child process needs beyond the physics inputs: its
+/// identity within the current supervisor generation, where to resume
+/// from, and the checkpoint/deadline/fault policy.
+struct ChildConfig {
+  int rank = -1;
+  int generation = 0;     ///< supervisor respawn counter (0 = first cohort)
+  long target_step = 0;   ///< run until domain.step() reaches this
+  long start_step = 0;    ///< step the run as a whole began at
+  long restore_epoch = -1;  ///< epoch dump to restore (-1: legacy/fresh)
+  int checkpoint_interval = 0;
+  int stagger_index = 0;  ///< this rank's index in the active list
+  int recv_deadline_ms = 0;
+  Scheduling sched = Scheduling::kOverlap;
+  int threads = 0;
+};
+
+/// A checkpoint captured in memory at its epoch step but flushed to disk
+/// a few steps later — the paper's orderly *staggered* state saving.
+/// Deferring only the write (never the capture) keeps every rank's dump
+/// for an epoch at the same logical step.
+struct PendingDump {
+  long epoch = 0;
+  long flush_step = 0;  ///< write once domain.step() reaches this
+  std::vector<char> bytes;
+};
+
+/// Writes one pending dump.  A matching torn_dump fault writes only the
+/// front half of the bytes straight to the final path (no tmp+rename) and
+/// kills the process — simulating a rank dying mid-write without the
+/// atomic protocol.  Restart must then treat the file as garbage.
+void flush_dump(const PendingDump& p, const ChildConfig& cfg,
+                const std::string& workdir, const FaultPlan& faults) {
+  const std::string path = epoch::dump_path(workdir, cfg.rank, p.epoch);
+  if (faults.torn_dump(cfg.rank, p.epoch, cfg.generation)) {
+    std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+    torn.write(p.bytes.data(),
+               static_cast<std::streamsize>(p.bytes.size() / 2));
+    torn.flush();
+    ::raise(SIGKILL);
+  }
+  atomic_write_file(path, p.bytes.data(), p.bytes.size());
+}
+
+/// The body of one parallel subprocess: build the local domain (restore
+/// its epoch or legacy dump), loop compute/exchange until target_step,
+/// saving staggered epoch checkpoints along the way, dump, exit.  Never
+/// returns normally — the child must not unwind into the parent's
+/// runtime state.  Injected faults fire here: a kill fault SIGKILLs the
+/// process at its step *before* pending epoch dumps for that step are
+/// flushed, a delay_connect fault stalls the rank before it registers.
 [[noreturn]] void child_main(const Mask2D& mask, const FluidParams& params,
                              Method method, const Decomposition2D& decomp,
-                             const std::vector<bool>& active, int rank,
-                             int steps, const std::string& workdir,
-                             const std::string& registry, Scheduling sched,
-                             int threads) {
+                             const std::vector<bool>& active,
+                             const ChildConfig& cfg,
+                             const std::string& workdir,
+                             const std::string& registry,
+                             const FaultPlan& faults) {
   try {
     const int ghost = required_ghost(method, params.filter_eps > 0.0);
-    Domain2D domain(mask, decomp.box(rank), params, method, ghost, threads);
-    const std::string dump_path =
-        workdir + "/rank_" + std::to_string(rank) + ".dump";
-    {
-      std::ifstream probe(dump_path, std::ios::binary);
-      if (probe.good()) restore_domain(domain, dump_path);
+    Domain2D domain(mask, decomp.box(cfg.rank), params, method, ghost,
+                    cfg.threads);
+    const std::string legacy_dump =
+        workdir + "/rank_" + std::to_string(cfg.rank) + ".dump";
+    if (cfg.restore_epoch >= 0) {
+      restore_domain(domain,
+                     epoch::dump_path(workdir, cfg.rank, cfg.restore_epoch));
+    } else {
+      std::ifstream probe(legacy_dump, std::ios::binary);
+      if (probe.good()) restore_domain(domain, legacy_dump);
     }
 
-    TcpEndpoint endpoint(rank, decomp.rank_count(), registry);
+    const int delay_ms = faults.delay_connect_ms(cfg.rank, cfg.generation);
+    if (delay_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+
+    TcpEndpointOptions ep_options;
+    ep_options.recv_deadline_ms = cfg.recv_deadline_ms;
+    TcpEndpoint endpoint(cfg.rank, decomp.rank_count(), registry,
+                         ep_options);
     const auto links =
-        make_link_plans2d(decomp, rank, ghost, params.periodic_x,
+        make_link_plans2d(decomp, cfg.rank, ghost, params.periodic_x,
                           params.periodic_y, active);
     const auto schedule = make_schedule2d(method);
 
@@ -65,18 +131,20 @@ namespace {
     };
 
     // Initial full sync seeds the ghost regions (same as the threaded
-    // runtime's reinitialize step).
+    // runtime's reinitialize step).  The tag carries the restore step, so
+    // a respawned cohort handshakes consistently regardless of epoch.
     std::vector<FieldId> all_fields{FieldId::kRho, FieldId::kVx,
                                     FieldId::kVy};
     for (int i = 0; i < domain.q(); ++i) all_fields.push_back(population(i));
     exchange(all_fields, domain.step(), 1023);
 
-    for (int s = 0; s < steps; ++s) {
+    std::vector<PendingDump> pending;
+    while (domain.step() < cfg.target_step) {
       const long step = domain.step();
       for (size_t i = 0; i < schedule.size(); ++i) {
         const Phase& phase = schedule[i];
         if (phase.kind == Phase::Kind::kCompute) {
-          const bool split = sched == Scheduling::kOverlap &&
+          const bool split = cfg.sched == Scheduling::kOverlap &&
                              i + 1 < schedule.size() &&
                              schedule[i + 1].kind == Phase::Kind::kExchange;
           if (split) {
@@ -95,20 +163,67 @@ namespace {
         }
       }
       domain.set_step(step + 1);
+      const long done = domain.step();
+
+      // A kill fault fires before this step's checkpoint work, so the
+      // crash always loses whatever the stagger had not yet flushed.
+      if (auto ks = faults.kill_step(cfg.rank, cfg.generation))
+        if (done - cfg.start_step >= *ks) ::raise(SIGKILL);
+
+      if (cfg.checkpoint_interval > 0 &&
+          (done - cfg.start_step) % cfg.checkpoint_interval == 0 &&
+          done < cfg.target_step) {
+        PendingDump p;
+        p.epoch = (done - cfg.start_step) / cfg.checkpoint_interval - 1;
+        p.flush_step = done + cfg.stagger_index;
+        p.bytes = serialize_domain(domain);
+        pending.push_back(std::move(p));
+      }
+      for (size_t i = 0; i < pending.size();) {
+        if (done >= pending[i].flush_step) {
+          flush_dump(pending[i], cfg, workdir, faults);
+          pending.erase(pending.begin() + static_cast<long>(i));
+        } else {
+          ++i;
+        }
+      }
     }
+    for (const PendingDump& p : pending) flush_dump(p, cfg, workdir, faults);
 
     // Drain the async send queue before _exit: a peer may still be
     // waiting on our final-step messages.
     endpoint.flush();
-    save_domain(domain, dump_path);
+    save_domain(domain, legacy_dump);
     ::_exit(0);
+  } catch (const peer_lost_error& e) {
+    // Expected when a neighbour dies: report and exit so the supervisor
+    // can restart the cohort.  Never hang.
+    std::fprintf(stderr, "subprocess rank %d lost a peer: %s\n", cfg.rank,
+                 e.what());
+    ::_exit(3);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "subprocess rank %d failed: %s\n", rank, e.what());
+    std::fprintf(stderr, "subprocess rank %d failed: %s\n", cfg.rank,
+                 e.what());
     ::_exit(1);
   } catch (...) {
     ::_exit(2);
   }
 }
+
+std::string describe_status(int status) {
+  if (WIFEXITED(status))
+    return "exited " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status))
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  return "status " + std::to_string(status);
+}
+
+/// One spawned cohort: pid-per-active-rank plus reap bookkeeping.
+struct Cohort {
+  std::vector<pid_t> pids;   // parallel to active_list
+  std::vector<bool> reaped;  // parallel to active_list
+  std::vector<int> status;   // valid where reaped
+};
 
 }  // namespace
 
@@ -116,53 +231,206 @@ ProcessRunResult run_multiprocess2d(const Mask2D& mask,
                                     const FluidParams& params, Method method,
                                     int jx, int jy, int steps,
                                     const std::string& workdir,
-                                    Scheduling sched, int threads) {
+                                    const ProcessRunOptions& options) {
   params.validate();
   SUBSONIC_REQUIRE(steps >= 1);
+  SUBSONIC_REQUIRE(options.checkpoint_interval >= 0);
+  SUBSONIC_REQUIRE(options.max_restarts >= 0);
+  SUBSONIC_REQUIRE(options.recv_deadline_ms >= 0);
   const Decomposition2D decomp(mask.extents(), jx, jy);
   const auto active_list = active_ranks(decomp, mask);
   std::vector<bool> active(decomp.rank_count(), false);
   for (int r : active_list) active[r] = true;
+  const int ghost = required_ghost(method, params.filter_eps > 0.0);
 
-  // Fresh registry per run: ports are ephemeral and stale entries would
-  // point at dead listeners.
+  const FaultPlan faults = options.faults.empty()
+                               ? FaultPlan::from_env()
+                               : FaultPlan::parse(options.faults);
+
+  // Fresh registry and fresh epoch state per run: ports are ephemeral and
+  // stale entries would point at dead listeners; stale epoch dumps or a
+  // stale MANIFEST belong to some previous run's step numbering.
   const std::string registry = workdir + "/ports";
   std::remove(registry.c_str());
+  epoch::clear_run_state(workdir);
 
-  std::fflush(nullptr);  // do not duplicate buffered output into children
-  std::vector<pid_t> children;
-  children.reserve(active_list.size());
-  for (int rank : active_list) {
-    const pid_t pid = ::fork();
-    SUBSONIC_REQUIRE_MSG(pid >= 0, "fork failed");
-    if (pid == 0)
-      child_main(mask, params, method, decomp, active, rank, steps, workdir,
-                 registry, sched, threads);  // never returns
-    children.push_back(pid);
+  // Continuation runs resume from the legacy per-rank dumps; probe the
+  // step they carry so epochs and kill-step offsets count from there.
+  long start_step = 0;
+  if (!active_list.empty()) {
+    try {
+      const CheckpointInfo info = inspect_checkpoint(
+          workdir + "/rank_" + std::to_string(active_list[0]) + ".dump");
+      start_step = info.step;
+    } catch (const std::exception&) {
+      start_step = 0;  // absent or unreadable: fresh run
+    }
   }
+  const long target_step = start_step + steps;
 
-  bool failed = false;
-  for (pid_t pid : children) {
-    int status = 0;
-    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
-        WEXITSTATUS(status) != 0)
-      failed = true;
-  }
-  std::remove(registry.c_str());
-  if (failed)
-    throw std::runtime_error("a parallel subprocess exited abnormally");
-
-  // Read the common step counter back from any dump.
   ProcessRunResult result;
   result.processes = static_cast<int>(active_list.size());
-  if (!active_list.empty()) {
-    const int ghost = required_ghost(method, params.filter_eps > 0.0);
+  result.final_step = target_step;
+  if (active_list.empty()) return result;
+
+  int generation = 0;
+  long committed_epoch = -1;  // newest MANIFEST-committed epoch
+
+  // Verify-and-commit: an epoch becomes restorable only once every
+  // active rank's dump for it exists, passes its CRC, and agrees on the
+  // step counter.  Called from the supervision loop (cheap when the next
+  // epoch is not complete yet) and once after any cohort ends.
+  auto poll_epochs = [&]() {
+    if (options.checkpoint_interval <= 0) return;
+    for (;;) {
+      const long e = committed_epoch + 1;
+      long step = -1;
+      bool complete = true;
+      for (int rank : active_list) {
+        try {
+          const CheckpointInfo info =
+              inspect_checkpoint(epoch::dump_path(workdir, rank, e));
+          if (step < 0) step = info.step;
+          complete = complete && info.step == step;
+        } catch (const std::exception&) {
+          complete = false;  // missing, torn, or corrupt: not this epoch
+        }
+        if (!complete) break;
+      }
+      if (!complete) return;
+      epoch::Manifest m;
+      m.epoch = e;
+      m.step = step;
+      m.ranks = active_list;
+      epoch::commit_manifest(workdir, m);
+      committed_epoch = e;
+      epoch::gc_epochs(workdir, active_list, e);
+    }
+  };
+
+  auto spawn_cohort = [&](long restore_epoch) -> Cohort {
+    std::remove(registry.c_str());
+    std::fflush(nullptr);  // do not duplicate buffered output into children
+    Cohort cohort;
+    cohort.pids.reserve(active_list.size());
+    for (size_t i = 0; i < active_list.size(); ++i) {
+      ChildConfig cfg;
+      cfg.rank = active_list[i];
+      cfg.generation = generation;
+      cfg.target_step = target_step;
+      cfg.start_step = start_step;
+      cfg.restore_epoch = restore_epoch;
+      cfg.checkpoint_interval = options.checkpoint_interval;
+      cfg.stagger_index = static_cast<int>(i);
+      cfg.recv_deadline_ms = options.recv_deadline_ms;
+      cfg.sched = options.sched;
+      cfg.threads = options.threads;
+      const pid_t pid = ::fork();
+      SUBSONIC_REQUIRE_MSG(pid >= 0, "fork failed");
+      if (pid == 0)
+        child_main(mask, params, method, decomp, active, cfg, workdir,
+                   registry, faults);  // never returns
+      cohort.pids.push_back(pid);
+    }
+    cohort.reaped.assign(cohort.pids.size(), false);
+    cohort.status.assign(cohort.pids.size(), 0);
+    return cohort;
+  };
+
+  for (;;) {
+    Cohort cohort = spawn_cohort(generation == 0 ? -1 : committed_epoch);
+
+    // Supervise: reap out of order with WNOHANG so a crash in any rank is
+    // seen immediately, no matter where it falls in pid order.
+    bool failure = false;
+    size_t live = cohort.pids.size();
+    while (live > 0 && !failure) {
+      bool progressed = false;
+      for (size_t i = 0; i < cohort.pids.size(); ++i) {
+        if (cohort.reaped[i]) continue;
+        int status = 0;
+        const pid_t r = ::waitpid(cohort.pids[i], &status, WNOHANG);
+        if (r == cohort.pids[i]) {
+          cohort.reaped[i] = true;
+          cohort.status[i] = status;
+          --live;
+          progressed = true;
+          if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            failure = true;
+        }
+      }
+      poll_epochs();
+      if (!progressed && !failure && live > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    if (failure) {
+      // First casualty seen: kill the whole cohort.  Survivors may be
+      // wedged waiting on the dead rank (until their recv deadline), so
+      // never wait for them to exit on their own.
+      for (size_t i = 0; i < cohort.pids.size(); ++i)
+        if (!cohort.reaped[i]) ::kill(cohort.pids[i], SIGKILL);
+      for (size_t i = 0; i < cohort.pids.size(); ++i) {
+        if (cohort.reaped[i]) continue;
+        int status = 0;
+        if (::waitpid(cohort.pids[i], &status, 0) == cohort.pids[i]) {
+          cohort.reaped[i] = true;
+          cohort.status[i] = status;
+        }
+      }
+      // Dumps flushed just before the crash may complete another epoch.
+      poll_epochs();
+
+      if (result.restarts >= options.max_restarts) {
+        std::remove(registry.c_str());
+        std::vector<RankFailure> failures;
+        std::ostringstream msg;
+        msg << "parallel run failed after " << result.restarts
+            << " restart(s);";
+        for (size_t i = 0; i < cohort.pids.size(); ++i) {
+          const int status = cohort.status[i];
+          if (WIFEXITED(status) && WEXITSTATUS(status) == 0) continue;
+          RankFailure f;
+          f.rank = active_list[i];
+          f.wait_status = status;
+          f.detail = describe_status(status);
+          msg << " rank " << f.rank << ": " << f.detail << ';';
+          failures.push_back(std::move(f));
+        }
+        throw ProcessRunError(msg.str(), std::move(failures));
+      }
+      ++result.restarts;
+      ++generation;
+      continue;  // respawn from the newest committed epoch (or scratch)
+    }
+
+    // Clean finish.
+    poll_epochs();
+    break;
+  }
+  std::remove(registry.c_str());
+  result.committed_epoch = committed_epoch;
+
+  // Read the common step counter back from any dump.
+  {
     Domain2D probe(mask, decomp.box(active_list[0]), params, method, ghost);
     restore_domain(probe, workdir + "/rank_" +
                               std::to_string(active_list[0]) + ".dump");
     result.final_step = probe.step();
   }
   return result;
+}
+
+ProcessRunResult run_multiprocess2d(const Mask2D& mask,
+                                    const FluidParams& params, Method method,
+                                    int jx, int jy, int steps,
+                                    const std::string& workdir,
+                                    Scheduling sched, int threads) {
+  ProcessRunOptions options;
+  options.sched = sched;
+  options.threads = threads;
+  return run_multiprocess2d(mask, params, method, jx, jy, steps, workdir,
+                            options);
 }
 
 }  // namespace subsonic

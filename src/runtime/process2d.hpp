@@ -5,9 +5,20 @@
 // every process leaves its state as a dump file in the working directory,
 // where it can be inspected or resumed (the dump files double as the
 // result-gathering mechanism for the parent).
+//
+// The parent is a *supervisor*: it reaps children out of order with
+// waitpid(WNOHANG), commits staggered checkpoint epochs (an epoch MANIFEST
+// is written only once every active rank's dump is durable and CRC-clean),
+// and on an abnormal child exit kills the surviving cohort and respawns it
+// from the newest complete epoch, up to a bounded restart budget.  Comm
+// deadlines inside the children turn a dead neighbour into a clean child
+// exit the supervisor can act on — a failed rank can slow a run down, but
+// it can neither hang it nor corrupt its results.
 #pragma once
 
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "src/geometry/mask.hpp"
 #include "src/solver/params.hpp"
@@ -15,21 +26,78 @@
 
 namespace subsonic {
 
+struct ProcessRunOptions {
+  /// Per-step ordering, exactly as in ParallelDriver2D; the overlap
+  /// schedule posts each boundary band as soon as it is computed.
+  Scheduling sched = Scheduling::kOverlap;
+
+  /// Intra-subregion worker count inside each child (0 = SUBSONIC_THREADS
+  /// env or 1); bitwise neutral.
+  int threads = 0;
+
+  /// Steps between staggered epoch checkpoints (0 = final dump only).
+  /// Each rank snapshots its state at every interval boundary and flushes
+  /// the bytes to disk a few steps later, staggered by rank — the paper's
+  /// orderly staggered state saving, which keeps the ranks from hitting
+  /// the disk in lockstep.
+  int checkpoint_interval = 0;
+
+  /// How many times the supervisor may respawn the cohort after an
+  /// abnormal child exit before giving up with a per-rank report.
+  int max_restarts = 2;
+
+  /// Per-recv deadline inside the children (0 = block forever).  With a
+  /// deadline, a rank whose neighbour died exits cleanly within the bound
+  /// instead of hanging in recv.
+  int recv_deadline_ms = 10000;
+
+  /// Fault-injection spec (see src/util/fault_plan.hpp).  Empty means
+  /// "read SUBSONIC_FAULTS from the environment", so CI can inject faults
+  /// into an unmodified test suite; pass an explicit spec to pin a test's
+  /// faults regardless of environment.
+  std::string faults;
+};
+
+/// How one rank's process ended, for the supervisor's failure report.
+struct RankFailure {
+  int rank = -1;
+  int wait_status = 0;  ///< raw waitpid() status
+  std::string detail;   ///< human form: "exited 1", "killed by signal 9"
+};
+
+/// Thrown when the restart budget is exhausted (or was 0): the message is
+/// the per-rank failure report, and `failures` carries it structured.
+class ProcessRunError : public std::runtime_error {
+ public:
+  ProcessRunError(const std::string& what, std::vector<RankFailure> f)
+      : std::runtime_error(what), failures(std::move(f)) {}
+  std::vector<RankFailure> failures;
+};
+
 struct ProcessRunResult {
-  int processes = 0;       ///< child processes forked (active subregions)
-  long final_step = 0;     ///< step counter all subregions reached
+  int processes = 0;        ///< child processes per cohort (active subregions)
+  long final_step = 0;      ///< step counter all subregions reached
+  int restarts = 0;         ///< cohort respawns the supervisor performed
+  long committed_epoch = -1;  ///< newest MANIFEST-committed epoch (-1: none)
 };
 
 /// Forks one child per active subregion of the (jx x jy) decomposition of
 /// `mask`, runs `steps` integration steps with boundary exchange over real
 /// TCP sockets, and writes "rank_<r>.dump" per subregion into `workdir`
 /// (which must exist).  If matching dump files are already present they
-/// are restored first, so repeated calls continue the run.  Throws if any
-/// child fails.  `sched` picks the per-step ordering exactly as in
-/// ParallelDriver2D: the overlap schedule posts each boundary band as soon
-/// as it is computed and overlaps the interior with message flight.
-/// `threads` is the intra-subregion worker count inside each child process
-/// (0 = SUBSONIC_THREADS env or 1); bitwise neutral.
+/// are restored first, so repeated calls continue the run.  Children are
+/// supervised per the options above; throws ProcessRunError when the
+/// restart budget is exhausted, with every child reaped and the port
+/// registry removed.
+ProcessRunResult run_multiprocess2d(const Mask2D& mask,
+                                    const FluidParams& params, Method method,
+                                    int jx, int jy, int steps,
+                                    const std::string& workdir,
+                                    const ProcessRunOptions& options);
+
+/// Convenience overload with default supervision (kept for existing
+/// callers): overlap scheduling, env-driven faults, default restart
+/// budget and deadlines.
 ProcessRunResult run_multiprocess2d(const Mask2D& mask,
                                     const FluidParams& params, Method method,
                                     int jx, int jy, int steps,

@@ -20,19 +20,19 @@ int wrap(int c, int n, bool periodic) {
 
 Domain2D::Domain2D(const Mask2D& global_mask, Box2 box,
                    const FluidParams& params, Method method, int ghost,
-                   int threads)
+                   int threads, int extra_pitch)
     : box_(box),
       ghost_(ghost),
       method_(method),
       params_(params),
-      type_(Extents2{box.width(), box.height()}, ghost),
-      filter_mask_(Extents2{box.width(), box.height()}, ghost),
-      rho_(Extents2{box.width(), box.height()}, ghost),
-      vx_(Extents2{box.width(), box.height()}, ghost),
-      vy_(Extents2{box.width(), box.height()}, ghost),
-      rho_next_(Extents2{box.width(), box.height()}, ghost),
-      vx_next_(Extents2{box.width(), box.height()}, ghost),
-      vy_next_(Extents2{box.width(), box.height()}, ghost) {
+      type_(Extents2{box.width(), box.height()}, ghost, extra_pitch),
+      filter_mask_(Extents2{box.width(), box.height()}, ghost, extra_pitch),
+      rho_(Extents2{box.width(), box.height()}, ghost, extra_pitch),
+      vx_(Extents2{box.width(), box.height()}, ghost, extra_pitch),
+      vy_(Extents2{box.width(), box.height()}, ghost, extra_pitch),
+      rho_next_(Extents2{box.width(), box.height()}, ghost, extra_pitch),
+      vx_next_(Extents2{box.width(), box.height()}, ghost, extra_pitch),
+      vy_next_(Extents2{box.width(), box.height()}, ghost, extra_pitch) {
   params_.validate();
   SUBSONIC_REQUIRE(!box.empty());
   SUBSONIC_REQUIRE(full_box(global_mask.extents()).intersect(box) == box);
@@ -121,8 +121,10 @@ Domain2D::Domain2D(const Mask2D& global_mask, Box2 box,
     f_.reserve(lbm2d::kQ);
     f_next_.reserve(lbm2d::kQ);
     for (int i = 0; i < lbm2d::kQ; ++i) {
-      f_.emplace_back(Extents2{box.width(), box.height()}, ghost);
-      f_next_.emplace_back(Extents2{box.width(), box.height()}, ghost);
+      f_.emplace_back(Extents2{box.width(), box.height()}, ghost,
+                      extra_pitch);
+      f_next_.emplace_back(Extents2{box.width(), box.height()}, ghost,
+                           extra_pitch);
     }
     // Both buffers start at the equilibrium of the initial macro state so
     // that never-written padding (outside the global domain) always holds

@@ -26,9 +26,12 @@ class Domain2D {
   /// padding) can be copied out of it; periodic axes wrap the window.
   /// `threads` is the intra-subregion worker count the kernels shard rows
   /// over (0 = SUBSONIC_THREADS env or 1); any value produces bitwise
-  /// identical fields.
+  /// identical fields.  `extra_pitch` lengthens every field row by that
+  /// many unused elements before cache-line rounding (the Appendix-E
+  /// padding experiments); it changes memory layout only, never results,
+  /// and checkpoints are portable across different values.
   Domain2D(const Mask2D& global_mask, Box2 box, const FluidParams& params,
-           Method method, int ghost, int threads = 0);
+           Method method, int ghost, int threads = 0, int extra_pitch = 0);
 
   Box2 box() const { return box_; }
   int nx() const { return box_.width(); }

@@ -16,21 +16,31 @@ int wrap(int c, int n, bool periodic) {
 
 Domain3D::Domain3D(const Mask3D& global_mask, Box3 box,
                    const FluidParams& params, Method method, int ghost,
-                   int threads)
+                   int threads, int extra_pitch)
     : box_(box),
       ghost_(ghost),
       method_(method),
       params_(params),
-      type_(Extents3{box.width(), box.height(), box.depth()}, ghost),
-      filter_mask_(Extents3{box.width(), box.height(), box.depth()}, ghost),
-      rho_(Extents3{box.width(), box.height(), box.depth()}, ghost),
-      vx_(Extents3{box.width(), box.height(), box.depth()}, ghost),
-      vy_(Extents3{box.width(), box.height(), box.depth()}, ghost),
-      vz_(Extents3{box.width(), box.height(), box.depth()}, ghost),
-      rho_next_(Extents3{box.width(), box.height(), box.depth()}, ghost),
-      vx_next_(Extents3{box.width(), box.height(), box.depth()}, ghost),
-      vy_next_(Extents3{box.width(), box.height(), box.depth()}, ghost),
-      vz_next_(Extents3{box.width(), box.height(), box.depth()}, ghost) {
+      type_(Extents3{box.width(), box.height(), box.depth()}, ghost,
+            extra_pitch),
+      filter_mask_(Extents3{box.width(), box.height(), box.depth()}, ghost,
+                   extra_pitch),
+      rho_(Extents3{box.width(), box.height(), box.depth()}, ghost,
+           extra_pitch),
+      vx_(Extents3{box.width(), box.height(), box.depth()}, ghost,
+          extra_pitch),
+      vy_(Extents3{box.width(), box.height(), box.depth()}, ghost,
+          extra_pitch),
+      vz_(Extents3{box.width(), box.height(), box.depth()}, ghost,
+          extra_pitch),
+      rho_next_(Extents3{box.width(), box.height(), box.depth()}, ghost,
+                extra_pitch),
+      vx_next_(Extents3{box.width(), box.height(), box.depth()}, ghost,
+               extra_pitch),
+      vy_next_(Extents3{box.width(), box.height(), box.depth()}, ghost,
+               extra_pitch),
+      vz_next_(Extents3{box.width(), box.height(), box.depth()}, ghost,
+               extra_pitch) {
   params_.validate();
   SUBSONIC_REQUIRE(!box.empty());
   SUBSONIC_REQUIRE(full_box(global_mask.extents()).intersect(box) == box);
@@ -120,9 +130,9 @@ Domain3D::Domain3D(const Mask3D& global_mask, Box3 box,
     f_next_.reserve(lbm3d::kQ);
     for (int i = 0; i < lbm3d::kQ; ++i) {
       f_.emplace_back(Extents3{box.width(), box.height(), box.depth()},
-                      ghost);
-      f_next_.emplace_back(
-          Extents3{box.width(), box.height(), box.depth()}, ghost);
+                      ghost, extra_pitch);
+      f_next_.emplace_back(Extents3{box.width(), box.height(), box.depth()},
+                           ghost, extra_pitch);
     }
     lbm3d::set_equilibrium_both(*this);
   }

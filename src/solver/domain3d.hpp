@@ -19,10 +19,11 @@ namespace subsonic {
 
 class Domain3D {
  public:
-  /// `threads` as in Domain2D: intra-subregion worker count (0 =
-  /// SUBSONIC_THREADS env or 1), bitwise neutral.
+  /// `threads` and `extra_pitch` as in Domain2D: intra-subregion worker
+  /// count (0 = SUBSONIC_THREADS env or 1) and Appendix-E row padding;
+  /// both are bitwise neutral.
   Domain3D(const Mask3D& global_mask, Box3 box, const FluidParams& params,
-           Method method, int ghost, int threads = 0);
+           Method method, int ghost, int threads = 0, int extra_pitch = 0);
 
   Box3 box() const { return box_; }
   int nx() const { return box_.width(); }

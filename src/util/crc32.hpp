@@ -1,0 +1,43 @@
+// CRC32 (the IEEE 802.3 polynomial, reflected form 0xEDB88320) used to
+// verify checkpoint payloads.  A dump that survived an atomic rename is
+// complete, but a torn write injected past the atomic protocol — or plain
+// disk corruption — must never restore silently; the checksum in the dump
+// header is the last line of defence.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace subsonic {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// CRC32 of `len` bytes at `data`.  Pass a previous result as `seed` to
+/// checksum a stream incrementally; the default seed starts a fresh sum.
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace subsonic

@@ -1,0 +1,132 @@
+#include "src/util/fault_plan.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace subsonic {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& clause, const char* why) {
+  throw std::invalid_argument("bad SUBSONIC_FAULTS clause \"" + clause +
+                              "\": " + why);
+}
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\n");
+  if (begin == std::string::npos) return "";
+  return s.substr(begin, s.find_last_not_of(" \t\n") - begin + 1);
+}
+
+/// Splits "rank=2,step=7" into {rank: 2, step: 7}; every value must be a
+/// plain base-10 integer.
+std::map<std::string, long> parse_args(const std::string& clause,
+                                       const std::string& args) {
+  std::map<std::string, long> out;
+  std::istringstream in(args);
+  std::string kv;
+  while (std::getline(in, kv, ',')) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0)
+      bad_spec(clause, "expected key=value");
+    const std::string key = trim(kv.substr(0, eq));
+    const std::string value = trim(kv.substr(eq + 1));
+    if (key.empty() || value.empty()) bad_spec(clause, "expected key=value");
+    std::size_t used = 0;
+    long parsed = 0;
+    try {
+      parsed = std::stol(value, &used);
+    } catch (const std::exception&) {
+      bad_spec(clause, "value is not an integer");
+    }
+    if (used != value.size()) bad_spec(clause, "value is not an integer");
+    if (!out.emplace(key, parsed).second)
+      bad_spec(clause, "duplicate key");
+  }
+  return out;
+}
+
+long take(std::map<std::string, long>& args, const std::string& clause,
+          const char* key) {
+  const auto it = args.find(key);
+  if (it == args.end())
+    bad_spec(clause, (std::string("missing key ") + key).c_str());
+  const long v = it->second;
+  args.erase(it);
+  return v;
+}
+
+long take_or(std::map<std::string, long>& args, const char* key,
+             long fallback) {
+  const auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  const long v = it->second;
+  args.erase(it);
+  return v;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream in(spec);
+  std::string raw;
+  while (std::getline(in, raw, ';')) {
+    const std::string clause = trim(raw);
+    if (clause.empty()) continue;
+    const auto colon = clause.find(':');
+    if (colon == std::string::npos) bad_spec(clause, "expected kind:args");
+    const std::string kind = trim(clause.substr(0, colon));
+    auto args = parse_args(clause, clause.substr(colon + 1));
+    if (kind == "kill") {
+      Kill k;
+      k.rank = static_cast<int>(take(args, clause, "rank"));
+      k.step = take(args, clause, "step");
+      k.gen = static_cast<int>(take_or(args, "gen", 0));
+      plan.kills_.push_back(k);
+    } else if (kind == "torn_dump") {
+      TornDump t;
+      t.rank = static_cast<int>(take(args, clause, "rank"));
+      t.epoch = take(args, clause, "epoch");
+      t.gen = static_cast<int>(take_or(args, "gen", 0));
+      plan.torn_dumps_.push_back(t);
+    } else if (kind == "delay_connect") {
+      DelayConnect d;
+      d.rank = static_cast<int>(take(args, clause, "rank"));
+      d.ms = static_cast<int>(take(args, clause, "ms"));
+      d.gen = static_cast<int>(take_or(args, "gen", 0));
+      plan.delays_.push_back(d);
+    } else {
+      bad_spec(clause, "unknown fault kind");
+    }
+    if (!args.empty()) bad_spec(clause, "unknown key");
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* spec = std::getenv("SUBSONIC_FAULTS");
+  return spec ? parse(spec) : FaultPlan{};
+}
+
+std::optional<long> FaultPlan::kill_step(int rank, int gen) const {
+  for (const Kill& k : kills_)
+    if (k.rank == rank && k.gen == gen) return k.step;
+  return std::nullopt;
+}
+
+bool FaultPlan::torn_dump(int rank, long epoch, int gen) const {
+  for (const TornDump& t : torn_dumps_)
+    if (t.rank == rank && t.epoch == epoch && t.gen == gen) return true;
+  return false;
+}
+
+int FaultPlan::delay_connect_ms(int rank, int gen) const {
+  for (const DelayConnect& d : delays_)
+    if (d.rank == rank && d.gen == gen) return d.ms;
+  return 0;
+}
+
+}  // namespace subsonic

@@ -1,0 +1,81 @@
+// Deterministic fault injection for the process runtime.  A FaultPlan is
+// parsed from the SUBSONIC_FAULTS environment variable (or an explicit
+// spec string) and threaded through the supervisor into every child, so
+// integration tests — and CI — can kill ranks mid-run, tear checkpoint
+// writes, and delay connections, then assert the supervised runtime still
+// produces bitwise-correct results.
+//
+// Grammar (';'-separated faults, ','-separated key=value args):
+//
+//   kill:rank=R,step=S[,gen=G]          rank R raises SIGKILL when its
+//                                       step counter reaches S
+//   torn_dump:rank=R,epoch=E[,gen=G]    rank R writes only a prefix of its
+//                                       epoch-E dump (bypassing the atomic
+//                                       tmp+rename protocol), then SIGKILLs
+//                                       itself — a crash mid-checkpoint
+//   delay_connect:rank=R,ms=M[,gen=G]   rank R sleeps M milliseconds before
+//                                       opening its endpoint, delaying both
+//                                       registration and connection
+//
+// Each fault applies to exactly one supervisor generation (the cohort
+// spawn count, 0 for the first launch; default gen=0), so an injected
+// crash does not re-fire after the supervisor respawns the cohort.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace subsonic {
+
+class FaultPlan {
+ public:
+  struct Kill {
+    int rank = -1;
+    long step = 0;
+    int gen = 0;
+  };
+  struct TornDump {
+    int rank = -1;
+    long epoch = 0;
+    int gen = 0;
+  };
+  struct DelayConnect {
+    int rank = -1;
+    int ms = 0;
+    int gen = 0;
+  };
+
+  FaultPlan() = default;
+
+  /// Parses a spec string; throws std::invalid_argument (with the
+  /// offending clause in the message) on any grammar violation.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Parses SUBSONIC_FAULTS, or returns an empty plan when it is unset.
+  static FaultPlan from_env();
+
+  bool empty() const {
+    return kills_.empty() && torn_dumps_.empty() && delays_.empty();
+  }
+
+  /// The step at which `rank` must kill itself in generation `gen`, if any.
+  std::optional<long> kill_step(int rank, int gen) const;
+
+  /// True when `rank`'s write of epoch `e` must be torn in generation `gen`.
+  bool torn_dump(int rank, long epoch, int gen) const;
+
+  /// Milliseconds `rank` sleeps before opening its endpoint (0 = none).
+  int delay_connect_ms(int rank, int gen) const;
+
+  const std::vector<Kill>& kills() const { return kills_; }
+  const std::vector<TornDump>& torn_dumps() const { return torn_dumps_; }
+  const std::vector<DelayConnect>& delays() const { return delays_; }
+
+ private:
+  std::vector<Kill> kills_;
+  std::vector<TornDump> torn_dumps_;
+  std::vector<DelayConnect> delays_;
+};
+
+}  // namespace subsonic

@@ -170,5 +170,107 @@ TEST(Checkpoint, RejectsGarbageFile) {
   EXPECT_THROW(restore_domain(d, path), contract_error);
 }
 
+// A crash mid-write (simulated by truncation) must surface as the distinct
+// corruption error, naming the file, never as a silent partial restore.
+TEST(Checkpoint, TruncatedFileIsCheckpointErrorNamingThePath) {
+  Mask2D mask(Extents2{12, 10}, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  SerialDriver2D a(mask, p, Method::kLatticeBoltzmann);
+  a.reinitialize();
+  a.run(4);
+  const std::string path = tmp_dir() + "/torn.dump";
+  save_domain(a.domain(), path);
+
+  // Rewrite the file as a prefix of itself — a torn write.
+  std::vector<char> bytes = serialize_domain(a.domain());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  SerialDriver2D b(mask, p, Method::kLatticeBoltzmann);
+  try {
+    restore_domain(b.domain(), path);
+    FAIL() << "torn dump restored";
+  } catch (const checkpoint_error& e) {
+    EXPECT_NE(std::string(e.what()).find("torn.dump"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(inspect_checkpoint(path), checkpoint_error);
+}
+
+// A single flipped bit anywhere in the payload must fail the CRC.
+TEST(Checkpoint, BitFlipIsCheckpointError) {
+  Mask2D mask(Extents2{12, 10}, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  SerialDriver2D a(mask, p, Method::kLatticeBoltzmann);
+  a.reinitialize();
+  a.run(2);
+  const std::string path = tmp_dir() + "/bitflip.dump";
+  save_domain(a.domain(), path);
+
+  std::vector<char> bytes = serialize_domain(a.domain());
+  bytes[bytes.size() - 7] ^= 0x10;  // one bit, deep in the payload
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  SerialDriver2D b(mask, p, Method::kLatticeBoltzmann);
+  EXPECT_THROW(restore_domain(b.domain(), path), checkpoint_error);
+  EXPECT_THROW(inspect_checkpoint(path), checkpoint_error);
+}
+
+TEST(Checkpoint, InspectReportsHeaderFactsAfterFullVerify) {
+  Mask2D mask(Extents2{20, 16}, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  SerialDriver2D a(mask, p, Method::kLatticeBoltzmann);
+  a.reinitialize();
+  a.run(9);
+  const std::string path = tmp_dir() + "/inspect.dump";
+  save_domain(a.domain(), path);
+  const CheckpointInfo info = inspect_checkpoint(path);
+  EXPECT_EQ(info.dim, 2);
+  EXPECT_EQ(info.step, 9);
+  EXPECT_EQ(info.box[0], 0);
+  EXPECT_EQ(info.box[3], 20);
+  EXPECT_EQ(info.box[4], 16);
+  EXPECT_EQ(info.q, a.domain().q());
+  EXPECT_THROW(inspect_checkpoint(tmp_dir() + "/no_such.dump"),
+               checkpoint_error);
+}
+
+// Dumps serialize the logical window, so they are portable between builds
+// whose PaddedField pitch differs (the Appendix-E extra_pitch experiments):
+// save with one pitch, restore with another, continue bit for bit.
+TEST(Checkpoint, RestoreAcrossDifferentPitchIsBitwise) {
+  Mask2D mask(Extents2{22, 14}, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  p.periodic_x = p.periodic_y = true;
+  const Box2 box = full_box(mask.extents());
+
+  Domain2D narrow(mask, box, p, Method::kLatticeBoltzmann, 1,
+                  /*threads=*/0, /*extra_pitch=*/0);
+  for (int y = 0; y < narrow.ny(); ++y)
+    for (int x = 0; x < narrow.nx(); ++x)
+      narrow.rho()(x, y) = 1.0 + 0.03 * std::sin(0.5 * x - 0.2 * y);
+
+  const std::string path = tmp_dir() + "/pitch.dump";
+  save_domain(narrow, path);
+
+  Domain2D wide(mask, box, p, Method::kLatticeBoltzmann, 1,
+                /*threads=*/0, /*extra_pitch=*/5);
+  restore_domain(wide, path);
+  for (int y = 0; y < narrow.ny(); ++y)
+    for (int x = 0; x < narrow.nx(); ++x) {
+      ASSERT_EQ(wide.rho()(x, y), narrow.rho()(x, y)) << x << "," << y;
+      ASSERT_EQ(wide.vx()(x, y), narrow.vx()(x, y)) << x << "," << y;
+    }
+  // And the bytes a re-serialization produces are identical, pitch or not.
+  EXPECT_EQ(serialize_domain(wide), serialize_domain(narrow));
+}
+
 }  // namespace
 }  // namespace subsonic

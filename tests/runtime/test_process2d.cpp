@@ -2,12 +2,17 @@
 // dump-file results — and still bit-identical to the serial run.
 #include "src/runtime/process2d.hpp"
 
+#include <cerrno>
 #include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "src/decomp/decomposition.hpp"
@@ -101,14 +106,181 @@ TEST(ProcessRuntime, RepeatedCallsResumeFromTheDumps) {
 TEST(ProcessRuntime, DropsAllSolidSubregions) {
   const int nx = 30, ny = 20;
   Mask2D mask = closed_box(nx, ny, 1);
-  mask.fill_box({0, 0, 10, 20}, NodeType::kWall);  // left third solid
   FluidParams p;
   p.dt = 1.0;
-  const std::string workdir = make_workdir("solid");
-  const ProcessRunResult r =
-      run_multiprocess2d(mask, p, Method::kLatticeBoltzmann, 3, 1, 5,
-                         workdir);
-  EXPECT_EQ(r.processes, 2);  // rank 0 is entirely wall
+  {
+    Mask2D solid = mask;
+    solid.fill_box({0, 0, 10, 20}, NodeType::kWall);  // left third solid
+    const std::string workdir = make_workdir("solid");
+    const ProcessRunResult r =
+        run_multiprocess2d(solid, p, Method::kLatticeBoltzmann, 3, 1, 5,
+                           workdir);
+    EXPECT_EQ(r.processes, 2);  // rank 0 is entirely wall
+  }
+}
+
+/// Bitwise comparison of every restored rank dump against a serial run.
+void expect_matches_serial(const Mask2D& mask, const FluidParams& p,
+                           Method method, int jx, int jy, int steps,
+                           const std::string& workdir) {
+  SerialDriver2D serial(mask, p, method);
+  serial.run(steps);
+  const Decomposition2D d(mask.extents(), jx, jy);
+  const int ghost = required_ghost(method, p.filter_eps > 0.0);
+  for (int rank : active_ranks(d, mask)) {
+    Domain2D sub(mask, d.box(rank), p, method, ghost);
+    restore_domain(sub, workdir + "/rank_" + std::to_string(rank) +
+                            ".dump");
+    EXPECT_EQ(sub.step(), steps);
+    const Box2 b = d.box(rank);
+    for (int y = 0; y < b.height(); ++y)
+      for (int x = 0; x < b.width(); ++x) {
+        ASSERT_EQ(sub.rho()(x, y),
+                  serial.domain().rho()(b.x0 + x, b.y0 + y))
+            << "rank " << rank << " at " << x << "," << y;
+        ASSERT_EQ(sub.vx()(x, y),
+                  serial.domain().vx()(b.x0 + x, b.y0 + y))
+            << "rank " << rank << " at " << x << "," << y;
+      }
+  }
+}
+
+TEST(ProcessSupervisor, KilledRankRestartsFromNewestEpochBitwiseLB) {
+  // A rank SIGKILLed mid-run: the supervisor reaps it out of order, kills
+  // the survivors, respawns from the newest committed epoch, and the
+  // finished run is bit-identical to a run that never crashed.
+  const Mask2D mask = closed_box(24, 18, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("killlb");
+  ProcessRunOptions options;
+  options.checkpoint_interval = 4;
+  options.faults = "kill:rank=1,step=7";
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 1, 12, workdir, options);
+  EXPECT_EQ(r.restarts, 1);
+  EXPECT_EQ(r.final_step, 12);
+  EXPECT_GE(r.committed_epoch, 0);  // epoch 0 (step 4) survived the crash
+  expect_matches_serial(mask, p, Method::kLatticeBoltzmann, 2, 1, 12,
+                        workdir);
+}
+
+TEST(ProcessSupervisor, KilledRankRestartsFromNewestEpochBitwiseFD) {
+  const Mask2D mask = closed_box(24, 18, 1);
+  FluidParams p;
+  p.dt = 0.5;
+  const std::string workdir = make_workdir("killfd");
+  ProcessRunOptions options;
+  options.checkpoint_interval = 3;
+  options.faults = "kill:rank=0,step=8";
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kFiniteDifference, 1, 2, 12, workdir, options);
+  EXPECT_EQ(r.restarts, 1);
+  EXPECT_EQ(r.final_step, 12);
+  expect_matches_serial(mask, p, Method::kFiniteDifference, 1, 2, 12,
+                        workdir);
+}
+
+TEST(ProcessSupervisor, ExhaustedBudgetFailsFastWithReapedChildren) {
+  // max_restarts = 0: the first casualty must fail the whole run within
+  // the deadline bound — dead ranks never hang the supervisor — with a
+  // per-rank report and the port registry cleaned up.
+  const Mask2D mask = closed_box(24, 18, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("budget0");
+  ProcessRunOptions options;
+  options.max_restarts = 0;
+  options.recv_deadline_ms = 5000;
+  options.faults = "kill:rank=1,step=2";
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    run_multiprocess2d(mask, p, Method::kLatticeBoltzmann, 2, 1, 50,
+                       workdir, options);
+    FAIL() << "supervisor returned despite a dead rank and zero budget";
+  } catch (const ProcessRunError& e) {
+    bool saw_rank1 = false;
+    for (const RankFailure& f : e.failures)
+      if (f.rank == 1) {
+        saw_rank1 = true;
+        EXPECT_NE(f.detail.find("signal"), std::string::npos) << f.detail;
+      }
+    EXPECT_TRUE(saw_rank1) << e.what();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // WNOHANG supervision notices the death long before the recv deadline.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2 * 5000);
+  std::ifstream registry(workdir + "/ports");
+  EXPECT_FALSE(registry.good());  // no stale listeners advertised
+  // Every child was reaped: no zombies left for this process to collect.
+  errno = 0;
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(ProcessSupervisor, TornDumpIsNeverCommittedAndRecoveryIsBitwise) {
+  // A rank that dies mid-checkpoint leaves a torn file under the final
+  // name (the fault bypasses tmp+rename).  The supervisor must refuse to
+  // commit that epoch, restart from the last good one, and still finish
+  // bit-identically.
+  const Mask2D mask = closed_box(24, 18, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("torn");
+  ProcessRunOptions options;
+  options.checkpoint_interval = 3;
+  options.faults = "torn_dump:rank=0,epoch=1";
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 1, 12, workdir, options);
+  EXPECT_EQ(r.restarts, 1);
+  expect_matches_serial(mask, p, Method::kLatticeBoltzmann, 2, 1, 12,
+                        workdir);
+}
+
+TEST(ProcessSupervisor, SlowConnectingRankIsToleratedWithoutRestart) {
+  // delay_connect stalls one rank before it even registers its port; the
+  // others retry with backoff instead of failing, so the run completes
+  // with no supervisor intervention.
+  const Mask2D mask = closed_box(24, 18, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("slow");
+  ProcessRunOptions options;
+  options.faults = "delay_connect:rank=1,ms=300";
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 2, 8, workdir, options);
+  EXPECT_EQ(r.restarts, 0);
+  expect_matches_serial(mask, p, Method::kLatticeBoltzmann, 2, 2, 8,
+                        workdir);
+}
+
+TEST(ProcessSupervisor, CommitsEpochsAndCollectsOldOnes) {
+  // This test asserts exact restart/epoch accounting, which any
+  // CI-injected fault legitimately changes; run it fault-free.
+  ::unsetenv("SUBSONIC_FAULTS");
+  const Mask2D mask = closed_box(24, 18, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("epochs");
+  ProcessRunOptions options;
+  options.checkpoint_interval = 2;
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 1, 10, workdir, options);
+  // Checkpoints at steps 2,4,6,8 -> epochs 0..3 (step 10 is the final
+  // legacy dump, not an epoch).
+  EXPECT_EQ(r.committed_epoch, 3);
+  EXPECT_EQ(r.restarts, 0);
+  // The newest epoch's dumps exist and verify; older ones were collected.
+  for (int rank = 0; rank < 2; ++rank) {
+    const CheckpointInfo info = inspect_checkpoint(
+        workdir + "/rank_" + std::to_string(rank) + ".epoch_3.dump");
+    EXPECT_EQ(info.step, 8);
+    std::ifstream old(workdir + "/rank_" + std::to_string(rank) +
+                      ".epoch_2.dump");
+    EXPECT_FALSE(old.good());
+  }
 }
 
 }  // namespace

@@ -117,6 +117,40 @@ TEST(RunUntilSync, WithoutRequestRunsToCompletion) {
   sync.clear();
 }
 
+TEST(RunUntilSync, StaleSyncFileRecordsDoNotWedgeAFreshRun) {
+  // Records left by a crashed or aborted earlier round must not poison a
+  // fresh synchronization: without start-of-round hygiene the first
+  // announcer computes an ancient agreed step that no worker can honour
+  // consistently.  run_until_sync clears the file at entry.
+  Mask2D mask(Extents2{24, 24}, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  p.periodic_x = p.periodic_y = true;
+  ParallelDriver2D drv(mask, p, Method::kLatticeBoltzmann, 2, 2);
+  SyncFile sync(tmp_sync("stale"));
+  sync.clear();
+  sync.announce(0, 3);  // a full stale quorum from a previous round
+  sync.announce(1, 5);
+  sync.announce(2, 4);
+  sync.announce(3, 2);
+  std::atomic<bool> request{false};
+  std::thread trigger([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    request.store(true);
+  });
+  const int ran = drv.run_until_sync(100000, request, sync);
+  trigger.join();
+  EXPECT_GT(ran, 0);
+  EXPECT_LT(ran, 100000);
+  long step0 = -1;
+  for (int r = 0; r < drv.decomposition().rank_count(); ++r) {
+    if (!drv.is_active(r)) continue;
+    if (step0 < 0) step0 = drv.subdomain(r).step();
+    EXPECT_EQ(drv.subdomain(r).step(), step0);
+  }
+  sync.clear();
+}
+
 TEST(RunUntilSync, MigrationSequenceMatchesUninterruptedRun) {
   // The full appendix-B + section-5 sequence at the functional level:
   // run, receive a migration signal, synchronize, save state, "restart"

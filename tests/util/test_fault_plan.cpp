@@ -1,0 +1,88 @@
+// The SUBSONIC_FAULTS grammar: deterministic fault injection for the
+// supervised process runtime.
+#include "src/util/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace subsonic {
+namespace {
+
+TEST(FaultPlan, EmptySpecIsEmptyPlan) {
+  const FaultPlan plan = FaultPlan::parse("");
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.kill_step(0, 0).has_value());
+  EXPECT_FALSE(plan.torn_dump(0, 0, 0));
+  EXPECT_EQ(plan.delay_connect_ms(0, 0), 0);
+}
+
+TEST(FaultPlan, ParsesEveryFaultKind) {
+  const FaultPlan plan = FaultPlan::parse(
+      "kill:rank=2,step=7;torn_dump:rank=1,epoch=0;"
+      "delay_connect:rank=3,ms=500");
+  ASSERT_EQ(plan.kills().size(), 1u);
+  ASSERT_EQ(plan.torn_dumps().size(), 1u);
+  ASSERT_EQ(plan.delays().size(), 1u);
+
+  ASSERT_TRUE(plan.kill_step(2, 0).has_value());
+  EXPECT_EQ(*plan.kill_step(2, 0), 7);
+  EXPECT_FALSE(plan.kill_step(1, 0).has_value());  // wrong rank
+  EXPECT_FALSE(plan.kill_step(2, 1).has_value());  // wrong generation
+
+  EXPECT_TRUE(plan.torn_dump(1, 0, 0));
+  EXPECT_FALSE(plan.torn_dump(1, 1, 0));  // wrong epoch
+  EXPECT_FALSE(plan.torn_dump(1, 0, 1));  // wrong generation
+  EXPECT_FALSE(plan.torn_dump(2, 0, 0));  // wrong rank
+
+  EXPECT_EQ(plan.delay_connect_ms(3, 0), 500);
+  EXPECT_EQ(plan.delay_connect_ms(3, 1), 0);
+  EXPECT_EQ(plan.delay_connect_ms(0, 0), 0);
+}
+
+TEST(FaultPlan, GenerationScopingIsExplicit) {
+  const FaultPlan plan =
+      FaultPlan::parse("kill:rank=0,step=3,gen=1;kill:rank=0,step=9,gen=2");
+  EXPECT_FALSE(plan.kill_step(0, 0).has_value());  // gen 0 unaffected
+  EXPECT_EQ(*plan.kill_step(0, 1), 3);
+  EXPECT_EQ(*plan.kill_step(0, 2), 9);
+}
+
+TEST(FaultPlan, WhitespaceAndTrailingSeparatorAreTolerated) {
+  const FaultPlan plan =
+      FaultPlan::parse(" kill:rank=1,step=2 ; delay_connect:rank=0,ms=10 ;");
+  EXPECT_EQ(*plan.kill_step(1, 0), 2);
+  EXPECT_EQ(plan.delay_connect_ms(0, 0), 10);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecsNamingTheClause) {
+  EXPECT_THROW(FaultPlan::parse("explode:rank=0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("kill:rank=0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("kill:step=5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("kill:rank=x,step=5"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("kill:rank=0,step=5,bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("torn_dump:rank=0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("delay_connect:rank=0"),
+               std::invalid_argument);
+  try {
+    FaultPlan::parse("kill:rank=0,step=5;oops:a=1");
+    FAIL() << "parsed a bogus clause";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("oops"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultPlan, FromEnvReadsSubsonicFaults) {
+  ::setenv("SUBSONIC_FAULTS", "kill:rank=4,step=11", 1);
+  const FaultPlan plan = FaultPlan::from_env();
+  ::unsetenv("SUBSONIC_FAULTS");
+  EXPECT_EQ(*plan.kill_step(4, 0), 11);
+  EXPECT_TRUE(FaultPlan::from_env().empty());
+}
+
+}  // namespace
+}  // namespace subsonic
