@@ -8,10 +8,16 @@
 // step, under kOverlap it is hidden behind the interior computation and
 // per-step wall time drops back toward the zero-latency figure.
 //
+// Timings come from the driver's telemetry registry, which also supplies
+// the per-phase breakdown ("compute.lb_collide_stream.band",
+// "comm.complete_recvs", ...) written into the JSON — the overlap story
+// is visible phase by phase, not just in the totals.
+//
 // Results are printed as a table and written as JSON (argv[1], default
 // BENCH_overlap.json) so the measurement can be committed with the code.
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -35,6 +41,7 @@ struct Result {
   double wall_per_step_ms = 0;
   double compute_s = 0;  // summed over workers
   double comm_s = 0;     // summed over workers
+  std::map<std::string, double> phase_s;  // per-phase totals over workers
 };
 
 Result run_case(const Config& cfg, Scheduling sched, int side, int steps) {
@@ -63,8 +70,11 @@ Result run_case(const Config& cfg, Scheduling sched, int side, int steps) {
   r.wall_per_step_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count() / steps;
   for (int rank = 0; rank < 4; ++rank) {
-    r.compute_s += drv.stats(rank).compute_s;
-    r.comm_s += drv.stats(rank).comm_s;
+    const telemetry::RankMetrics m =
+        telemetry::collect_rank(drv.telemetry().metrics(), rank);
+    r.compute_s += m.t_calc();
+    r.comm_s += m.t_com();
+    for (const auto& [name, t] : m.timers) r.phase_s[name] += t.total_s;
   }
   return r;
 }
@@ -111,10 +121,16 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "    {\"method\": \"%s\", \"sched\": \"%s\", "
                  "\"latency_ms\": %.3f, \"wall_ms_per_step\": %.4f, "
-                 "\"compute_s\": %.5f, \"comm_s\": %.5f}%s\n",
+                 "\"compute_s\": %.5f, \"comm_s\": %.5f,\n"
+                 "     \"phases\": {",
                  r.method.c_str(), r.sched.c_str(), r.latency_s * 1e3,
-                 r.wall_per_step_ms, r.compute_s, r.comm_s,
-                 i + 1 < results.size() ? "," : "");
+                 r.wall_per_step_ms, r.compute_s, r.comm_s);
+    size_t k = 0;
+    for (const auto& [name, secs] : r.phase_s) {
+      std::fprintf(f, "%s\"%s\": %.5f", k ? ", " : "", name.c_str(), secs);
+      ++k;
+    }
+    std::fprintf(f, "}}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

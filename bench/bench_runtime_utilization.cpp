@@ -4,6 +4,10 @@
 // exchange time also absorbs scheduler wait, so absolute numbers are a
 // lower bound; the monotone trend — larger subregions, higher g — is the
 // paper's coarse-graining story (section 3).
+//
+// The timings come from the driver's telemetry registry (the same
+// "compute.*" / "comm.*" phase timers the process runtime streams to
+// disk), not from an ad-hoc stopwatch.
 #include <cstdio>
 
 #include "src/core/subsonic.hpp"
@@ -24,8 +28,10 @@ int main() {
     drv.run(40);
     double compute = 0, comm = 0;
     for (int r = 0; r < 4; ++r) {
-      compute += drv.stats(r).compute_s;
-      comm += drv.stats(r).comm_s;
+      const telemetry::RankMetrics m =
+          telemetry::collect_rank(drv.telemetry().metrics(), r);
+      compute += m.t_calc();
+      comm += m.t_com();
     }
     std::printf("%-7d %-14.4f %-12.4f %.3f\n", side, compute, comm,
                 compute / (compute + comm));

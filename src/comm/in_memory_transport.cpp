@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "src/telemetry/metrics.hpp"
 #include "src/util/check.hpp"
+#include "src/util/stopwatch.hpp"
 
 namespace subsonic {
+
+void InMemoryTransport::attach_metrics(
+    std::shared_ptr<telemetry::MetricsRegistry> registry) {
+  metrics_ = std::move(registry);
+}
 
 InMemoryTransport::InMemoryTransport(int ranks, InMemoryOptions options)
     : ranks_(ranks), options_(options) {
@@ -33,16 +40,22 @@ void InMemoryTransport::send(int src, int dst, MessageTag tag,
             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                 std::chrono::duration<double>(delay_s));
   }
+  const long long doubles = static_cast<long long>(payload.size());
   {
     std::lock_guard<std::mutex> lock(ch.mutex);
     ch.queue.push_back(Entry{tag, std::move(payload), ready});
   }
   ch.ready.notify_all();
+  if (metrics_) {
+    metrics_->counter(src, "transport.msgs_sent").add();
+    metrics_->counter(src, "transport.doubles_sent").add(doubles);
+  }
 }
 
 std::vector<double> InMemoryTransport::recv(int dst, int src,
                                             MessageTag tag) {
   Channel& ch = channel(src, dst);
+  Stopwatch wait;
   std::unique_lock<std::mutex> lock(ch.mutex);
   for (;;) {
     const auto it =
@@ -60,6 +73,13 @@ std::vector<double> InMemoryTransport::recv(int dst, int src,
       ch.queue.erase(it);
       delivered_.fetch_add(1);
       doubles_delivered_.fetch_add(static_cast<long long>(payload.size()));
+      if (metrics_) {
+        lock.unlock();
+        metrics_->timer(dst, "transport.recv_wait").record(wait.seconds());
+        metrics_->counter(dst, "transport.msgs_recv").add();
+        metrics_->counter(dst, "transport.doubles_recv")
+            .add(static_cast<long long>(payload.size()));
+      }
       return payload;
     }
     ch.ready.wait(lock);

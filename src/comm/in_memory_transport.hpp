@@ -40,6 +40,11 @@ class InMemoryTransport final : public Transport {
     return doubles_delivered_.load();
   }
 
+  /// Charges per-rank "transport.*" counters and the recv-wait timer into
+  /// `registry`.  Attach before traffic starts.
+  void attach_metrics(
+      std::shared_ptr<telemetry::MetricsRegistry> registry) override;
+
  private:
   struct Entry {
     MessageTag tag;
@@ -59,6 +64,7 @@ class InMemoryTransport final : public Transport {
   std::vector<std::unique_ptr<Channel>> channels_;  // dst-major
   std::atomic<long> delivered_{0};
   std::atomic<long long> doubles_delivered_{0};
+  std::shared_ptr<telemetry::MetricsRegistry> metrics_;
 };
 
 }  // namespace subsonic

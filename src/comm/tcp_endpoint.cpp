@@ -18,7 +18,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "src/telemetry/metrics.hpp"
 #include "src/util/check.hpp"
+#include "src/util/stopwatch.hpp"
 
 namespace subsonic {
 
@@ -41,17 +43,20 @@ int remaining_ms(bool has_deadline, Clock::time_point deadline) {
 }
 
 /// Blocks until `fd` is readable or the deadline passes; throws
-/// peer_lost_error on expiry.
+/// peer_lost_error on expiry (charging `expired` when provided).
 void wait_readable(int fd, bool has_deadline, Clock::time_point deadline,
-                   const char* what) {
+                   const char* what,
+                   telemetry::Counter* expired = nullptr) {
   for (;;) {
     pollfd p{fd, POLLIN, 0};
     const int timeout = remaining_ms(has_deadline, deadline);
     const int n = ::poll(&p, 1, timeout);
     if (n > 0) return;  // readable, closed, or errored: read() resolves it
-    if (n == 0)
+    if (n == 0) {
+      if (expired) expired->add();
       throw peer_lost_error(std::string(what) +
                             ": recv deadline expired — peer presumed lost");
+    }
     if (errno != EINTR) throw_errno("poll");
   }
 }
@@ -74,10 +79,11 @@ void send_all(int fd, const void* data, size_t len) {
 }
 
 void read_all(int fd, void* data, size_t len, bool has_deadline,
-              Clock::time_point deadline) {
+              Clock::time_point deadline,
+              telemetry::Counter* expired = nullptr) {
   char* p = static_cast<char*>(data);
   while (len > 0) {
-    if (has_deadline) wait_readable(fd, true, deadline, "read");
+    if (has_deadline) wait_readable(fd, true, deadline, "read", expired);
     const ssize_t n = ::read(fd, p, len);
     if (n == 0) throw peer_lost_error("peer closed TCP channel");
     if (n < 0) {
@@ -210,6 +216,8 @@ int TcpEndpoint::connect_to(int rank) {
     if (Clock::now() >= deadline)
       throw peer_lost_error("rank " + std::to_string(rank) +
                             " refused connections until the deadline");
+    if (options_.metrics)
+      options_.metrics->counter(rank_, "transport.connect_retries").add();
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
     backoff_ms = std::min(backoff_ms * 2, 64);
   }
@@ -238,7 +246,20 @@ void TcpEndpoint::sender_loop() {
       if (!job.payload.empty())
         send_all(it->second, job.payload.data(),
                  job.payload.size() * sizeof(double));
+      if (options_.metrics) {
+        options_.metrics->counter(rank_, "transport.msgs_sent").add();
+        options_.metrics->counter(rank_, "transport.doubles_sent")
+            .add(static_cast<long long>(job.payload.size()));
+      }
     } catch (...) {
+      if (options_.metrics) {
+        try {
+          throw;
+        } catch (const peer_lost_error&) {
+          options_.metrics->counter(rank_, "transport.peer_lost").add();
+        } catch (...) {
+        }
+      }
       std::lock_guard<std::mutex> lock(send_mutex_);
       send_error_ = std::current_exception();
       send_queue_.clear();
@@ -248,6 +269,9 @@ void TcpEndpoint::sender_loop() {
     {
       std::lock_guard<std::mutex> lock(send_mutex_);
       if (send_queue_.empty()) drain_cv_.notify_all();
+      if (options_.metrics)
+        options_.metrics->gauge(rank_, "transport.send_queue_depth")
+            .set(static_cast<double>(send_queue_.size()));
     }
   }
 }
@@ -261,6 +285,9 @@ void TcpEndpoint::send(int dst, MessageTag tag,
     if (!sender_.joinable())
       sender_ = std::thread(&TcpEndpoint::sender_loop, this);
     send_queue_.push_back(SendJob{dst, tag, std::move(payload)});
+    if (options_.metrics)
+      options_.metrics->gauge(rank_, "transport.send_queue_depth")
+          .set(static_cast<double>(send_queue_.size()));
   }
   send_cv_.notify_one();
 }
@@ -276,6 +303,19 @@ std::vector<double> TcpEndpoint::recv(int src, MessageTag tag) {
   const bool has_deadline = options_.recv_deadline_ms > 0;
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(options_.recv_deadline_ms);
+  telemetry::Counter* expired =
+      options_.metrics
+          ? &options_.metrics->counter(rank_, "transport.deadline_expired")
+          : nullptr;
+  Stopwatch wait;
+  const auto charge_recv = [&](const std::vector<double>& payload) {
+    if (!options_.metrics) return;
+    options_.metrics->timer(rank_, "transport.recv_wait")
+        .record(wait.seconds());
+    options_.metrics->counter(rank_, "transport.msgs_recv").add();
+    options_.metrics->counter(rank_, "transport.doubles_recv")
+        .add(static_cast<long long>(payload.size()));
+  };
   for (;;) {
     // 1. Parked from an earlier read?
     auto pit = parked_.find(src);
@@ -284,6 +324,7 @@ std::vector<double> TcpEndpoint::recv(int src, MessageTag tag) {
         if (it->first == tag) {
           std::vector<double> payload = std::move(it->second);
           pit->second.erase(it);
+          charge_recv(payload);
           return payload;
         }
     }
@@ -291,7 +332,7 @@ std::vector<double> TcpEndpoint::recv(int src, MessageTag tag) {
     auto cit = in_fds_.find(src);
     if (cit == in_fds_.end()) {
       if (has_deadline)
-        wait_readable(listen_fd_, true, deadline, "accept");
+        wait_readable(listen_fd_, true, deadline, "accept", expired);
       const int fd = ::accept(listen_fd_, nullptr, nullptr);
       if (fd < 0) {
         if (errno == EINTR) continue;
@@ -300,20 +341,23 @@ std::vector<double> TcpEndpoint::recv(int src, MessageTag tag) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       std::int32_t hello = -1;
-      read_all(fd, &hello, sizeof hello, has_deadline, deadline);
+      read_all(fd, &hello, sizeof hello, has_deadline, deadline, expired);
       SUBSONIC_CHECK(hello >= 0 && hello < ranks_);
       in_fds_.emplace(hello, fd);
       continue;
     }
     // 3. Read the next frame from src; park mismatched tags.
     WireHeader h{};
-    read_all(cit->second, &h, sizeof h, has_deadline, deadline);
+    read_all(cit->second, &h, sizeof h, has_deadline, deadline, expired);
     SUBSONIC_CHECK(h.src == src && h.dst == rank_);
     std::vector<double> payload(h.count);
     if (h.count > 0)
       read_all(cit->second, payload.data(), h.count * sizeof(double),
-               has_deadline, deadline);
-    if (h.tag == tag) return payload;
+               has_deadline, deadline, expired);
+    if (h.tag == tag) {
+      charge_recv(payload);
+      return payload;
+    }
     parked_[src].emplace_back(h.tag, std::move(payload));
   }
 }

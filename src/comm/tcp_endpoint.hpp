@@ -38,6 +38,12 @@ struct TcpEndpointOptions {
   /// it, with exponential backoff between ECONNREFUSED retries.  On
   /// expiry the sender surfaces peer_lost_error.
   int connect_deadline_ms = 10000;
+
+  /// Optional wire telemetry: when set, the endpoint charges per-rank
+  /// "transport.*" counters (messages/doubles sent and received, connect
+  /// retries, deadline expiries, peer losses), the send-queue-depth gauge
+  /// and the recv-wait timer into this registry.
+  std::shared_ptr<telemetry::MetricsRegistry> metrics;
 };
 
 class TcpEndpoint {

@@ -17,7 +17,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "src/telemetry/metrics.hpp"
 #include "src/util/check.hpp"
+#include "src/util/stopwatch.hpp"
 
 namespace subsonic {
 
@@ -174,7 +176,12 @@ int TcpTransport::lookup_port(int rank) {
   throw std::runtime_error("rank not found in port registry");
 }
 
-int TcpTransport::connect_to(int rank) {
+void TcpTransport::attach_metrics(
+    std::shared_ptr<telemetry::MetricsRegistry> registry) {
+  metrics_ = std::move(registry);
+}
+
+int TcpTransport::connect_to(int rank, int src) {
   const int port = lookup_port(rank);
   // Refused connections are retried with exponential backoff: the
   // listener's accept queue may briefly overflow when every rank opens
@@ -199,6 +206,7 @@ int TcpTransport::connect_to(int rank) {
       errno = err;
       throw_errno("connect");
     }
+    if (metrics_) metrics_->counter(src, "transport.connect_retries").add();
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
     backoff_ms = std::min(backoff_ms * 2, 64);
   }
@@ -219,7 +227,7 @@ void TcpTransport::sender_loop(int src) {
     try {
       auto it = st.out_fds.find(job.dst);
       if (it == st.out_fds.end()) {
-        const int fd = connect_to(job.dst);
+        const int fd = connect_to(job.dst, src);
         // Handshake: announce who is calling so the listener can demux.
         const std::int32_t hello = src;
         send_all(fd, &hello, sizeof hello);
@@ -230,6 +238,11 @@ void TcpTransport::sender_loop(int src) {
       if (!job.payload.empty())
         send_all(it->second, job.payload.data(),
                   job.payload.size() * sizeof(double));
+      if (metrics_) {
+        metrics_->counter(src, "transport.msgs_sent").add();
+        metrics_->counter(src, "transport.doubles_sent")
+            .add(static_cast<long long>(job.payload.size()));
+      }
     } catch (...) {
       std::lock_guard<std::mutex> lock(st.send_mutex);
       st.send_error = std::current_exception();
@@ -255,6 +268,9 @@ void TcpTransport::send(int src, int dst, MessageTag tag,
       st.sender = std::thread(&TcpTransport::sender_loop, this, src);
     st.send_queue.push_back(
         RankState::SendJob{dst, tag, std::move(payload)});
+    if (metrics_)
+      metrics_->gauge(src, "transport.send_queue_depth")
+          .set(static_cast<double>(st.send_queue.size()));
   }
   st.send_cv.notify_one();
 }
@@ -262,6 +278,14 @@ void TcpTransport::send(int src, int dst, MessageTag tag,
 std::vector<double> TcpTransport::recv(int dst, int src, MessageTag tag) {
   SUBSONIC_REQUIRE(src >= 0 && src < ranks_ && dst >= 0 && dst < ranks_);
   RankState& st = *states_[dst];
+  Stopwatch wait;
+  const auto charge_recv = [&](const std::vector<double>& payload) {
+    if (!metrics_) return;
+    metrics_->timer(dst, "transport.recv_wait").record(wait.seconds());
+    metrics_->counter(dst, "transport.msgs_recv").add();
+    metrics_->counter(dst, "transport.doubles_recv")
+        .add(static_cast<long long>(payload.size()));
+  };
 
   auto take_parked = [&]() -> std::vector<double>* {
     auto pit = st.parked.find(src);
@@ -281,9 +305,12 @@ std::vector<double> TcpTransport::recv(int dst, int src, MessageTag tag) {
           dq.erase(it);
           break;
         }
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++delivered_;
-      doubles_delivered_ += static_cast<long long>(payload.size());
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++delivered_;
+        doubles_delivered_ += static_cast<long long>(payload.size());
+      }
+      charge_recv(payload);
       return payload;
     }
 
@@ -313,9 +340,12 @@ std::vector<double> TcpTransport::recv(int dst, int src, MessageTag tag) {
     if (h.count > 0)
       read_all(cit->second, payload.data(), h.count * sizeof(double));
     if (h.tag == tag) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++delivered_;
-      doubles_delivered_ += static_cast<long long>(payload.size());
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++delivered_;
+        doubles_delivered_ += static_cast<long long>(payload.size());
+      }
+      charge_recv(payload);
       return payload;
     }
     st.parked[src].emplace_back(h.tag, std::move(payload));

@@ -45,6 +45,12 @@ class TcpTransport final : public Transport {
   long messages_delivered() const override;
   long long doubles_delivered() const override;
 
+  /// Charges per-rank "transport.*" counters, the send-queue-depth gauge,
+  /// connect retries and the recv-wait timer into `registry`.  Attach
+  /// before traffic starts.
+  void attach_metrics(
+      std::shared_ptr<telemetry::MetricsRegistry> registry) override;
+
   /// The port rank listens on (for tests).
   int listen_port(int rank) const;
 
@@ -52,7 +58,7 @@ class TcpTransport final : public Transport {
   struct RankState;
 
   int lookup_port(int rank);
-  int connect_to(int rank);
+  int connect_to(int rank, int src);
   void sender_loop(int src);
 
   int ranks_;
@@ -61,6 +67,7 @@ class TcpTransport final : public Transport {
   mutable std::mutex stats_mutex_;
   long delivered_ = 0;
   long long doubles_delivered_ = 0;
+  std::shared_ptr<telemetry::MetricsRegistry> metrics_;
 };
 
 }  // namespace subsonic

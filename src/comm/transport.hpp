@@ -11,11 +11,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace subsonic {
+
+namespace telemetry {
+class MetricsRegistry;
+}
 
 /// Thrown when a peer of a point-to-point channel is gone: its socket
 /// closed or reset mid-message, it never registered within the connect
@@ -57,6 +62,17 @@ class Transport {
   virtual long messages_delivered() const = 0;
   /// Total payload doubles delivered so far (diagnostics).
   virtual long long doubles_delivered() const = 0;
+
+  /// Opt-in wire telemetry: implementations that support it charge
+  /// "transport.*" counters/timers (messages and doubles sent/received,
+  /// recv wait, queue depth) into `registry`, keyed by rank.  The base
+  /// implementation ignores the registry, so transports stay usable
+  /// without telemetry.  Attach before traffic starts; the transport
+  /// keeps the registry alive via the shared_ptr.
+  virtual void attach_metrics(
+      std::shared_ptr<telemetry::MetricsRegistry> registry) {
+    (void)registry;
+  }
 };
 
 }  // namespace subsonic

@@ -13,7 +13,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/telemetry/metrics.hpp"
 #include "src/util/check.hpp"
+#include "src/util/stopwatch.hpp"
 
 namespace subsonic {
 
@@ -140,6 +142,11 @@ UdpTransport::~UdpTransport() {
   ::unlink(registry_path_.c_str());
 }
 
+void UdpTransport::attach_metrics(
+    std::shared_ptr<telemetry::MetricsRegistry> registry) {
+  metrics_ = std::move(registry);
+}
+
 void UdpTransport::transmit_fragment(int rank,
                                      const std::vector<char>& frame,
                                      int dst_rank, bool first_time) {
@@ -169,6 +176,8 @@ void UdpTransport::transmit_fragment(int rank,
     std::lock_guard<std::mutex> lock(stats_mutex_);
     if (++drop_counter_ % options_.drop_every_n == 0) {
       ++drops_;
+      if (metrics_)
+        metrics_->counter(rank, "transport.datagrams_dropped").add();
       return;  // simulate a lost datagram; retransmission recovers it
     }
   }
@@ -177,6 +186,7 @@ void UdpTransport::transmit_fragment(int rank,
                reinterpret_cast<const sockaddr*>(&dest),
                sizeof(sockaddr_in));
   if (n < 0) throw_errno("sendto");
+  if (metrics_) metrics_->counter(rank, "transport.datagrams_sent").add();
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++datagrams_sent_;
 }
@@ -212,6 +222,11 @@ void UdpTransport::send(int src, int dst, MessageTag tag,
     }
     transmit_fragment(src, frame, dst, /*first_time=*/true);
   }
+  if (metrics_) {
+    metrics_->counter(src, "transport.msgs_sent").add();
+    metrics_->counter(src, "transport.doubles_sent")
+        .add(static_cast<long long>(payload.size()));
+  }
   // Opportunistically drain any pending ACKs for earlier sends.
   pump(src, 0.0);
 }
@@ -233,6 +248,9 @@ void UdpTransport::retransmit_stale(int rank) {
   for (const auto& [frame, dst] : stale)
     transmit_fragment(rank, frame, dst, /*first_time=*/false);
   if (!stale.empty()) {
+    if (metrics_)
+      metrics_->counter(rank, "transport.retransmissions")
+          .add(static_cast<long long>(stale.size()));
     std::lock_guard<std::mutex> lock(stats_mutex_);
     retransmissions_ += static_cast<long>(stale.size());
   }
@@ -316,12 +334,19 @@ std::vector<double> UdpTransport::recv(int dst, int src, MessageTag tag) {
   SUBSONIC_REQUIRE(src >= 0 && src < ranks_ && dst >= 0 && dst < ranks_);
   RankState& st = *states_[dst];
   const MsgKey key{src, tag};
+  Stopwatch wait;
   for (;;) {
     const auto it = st.completed.find(key);
     if (it != st.completed.end()) {
       std::vector<double> payload = std::move(it->second);
       st.completed.erase(it);
       st.consumed[key] = true;
+      if (metrics_) {
+        metrics_->timer(dst, "transport.recv_wait").record(wait.seconds());
+        metrics_->counter(dst, "transport.msgs_recv").add();
+        metrics_->counter(dst, "transport.doubles_recv")
+            .add(static_cast<long long>(payload.size()));
+      }
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++delivered_;
       doubles_delivered_ += static_cast<long long>(payload.size());

@@ -56,6 +56,12 @@ class UdpTransport final : public Transport {
   long retransmissions() const;
   long datagrams_dropped() const;
 
+  /// Charges per-rank "transport.*" counters (messages/doubles, datagrams,
+  /// retransmissions) and the recv-wait timer into `registry`.  Attach
+  /// before traffic starts.
+  void attach_metrics(
+      std::shared_ptr<telemetry::MetricsRegistry> registry) override;
+
  private:
   struct RankState;
 
@@ -78,6 +84,7 @@ class UdpTransport final : public Transport {
   long drop_counter_ = 0;
   std::atomic<bool> stop_{false};
   std::thread service_;
+  std::shared_ptr<telemetry::MetricsRegistry> metrics_;
 };
 
 }  // namespace subsonic

@@ -14,6 +14,8 @@
 //   cluster/   discrete-event model of the 25-workstation cluster:
 //              shared-bus Ethernet, load averages, monitoring, migration
 //   perfmodel/ the paper's analytic efficiency model (eqs. 12-21)
+//   telemetry/ metrics registry, per-rank phase tracing (Chrome trace
+//              JSON), measured T_calc / T_com next to the model's f
 //   io/        PGM / CSV writers, binary checkpoints
 //
 // Quick start (see examples/quickstart.cpp):
@@ -50,10 +52,13 @@
 #include "src/perfmodel/efficiency.hpp"
 #include "src/runtime/parallel2d.hpp"
 #include "src/runtime/parallel3d.hpp"
+#include "src/runtime/process2d.hpp"
 #include "src/runtime/serial2d.hpp"
 #include "src/runtime/serial3d.hpp"
 #include "src/solver/poiseuille.hpp"
 #include "src/solver/vorticity.hpp"
+#include "src/telemetry/summary.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace subsonic {
 

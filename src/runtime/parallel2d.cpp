@@ -9,7 +9,7 @@
 #include "src/io/checkpoint.hpp"
 #include "src/solver/lbm2d.hpp"
 #include "src/util/check.hpp"
-#include "src/util/stopwatch.hpp"
+#include "src/util/log.hpp"
 
 namespace subsonic {
 
@@ -37,6 +37,9 @@ ParallelDriver2D::ParallelDriver2D(const Mask2D& mask,
 
   if (!transport_)
     transport_ = std::make_shared<InMemoryTransport>(decomp_.rank_count());
+  telemetry_ =
+      std::make_unique<telemetry::Session>(telemetry::Session::from_env());
+  transport_->attach_metrics(telemetry_->metrics_ptr());
 
   worker_of_rank_.assign(decomp_.rank_count(), -1);
   workers_.reserve(active.size());
@@ -100,16 +103,9 @@ void ParallelDriver2D::exchange(Worker& w, const std::vector<FieldId>& fields,
 }
 
 void ParallelDriver2D::step_once(Worker& w) {
-  Stopwatch sw;
-  const auto charge_compute = [&] {
-    w.stats.compute_s += sw.seconds();
-    sw.reset();
-  };
-  const auto charge_comm = [&] {
-    w.stats.comm_s += sw.seconds();
-    sw.reset();
-  };
+  telemetry::Session* const tel = telemetry_.get();
   const long step = w.domain->step();
+  set_log_context(w.rank, step);
   for (size_t i = 0; i < schedule_.size(); ++i) {
     const Phase& phase = schedule_[i];
     if (phase.kind == Phase::Kind::kCompute) {
@@ -121,29 +117,55 @@ void ParallelDriver2D::step_once(Worker& w) {
         // computes; only then block on the neighbours' bands.
         const Phase& ex = schedule_[i + 1];
         const int ex_index = static_cast<int>(i + 1);
-        run_compute2d(*w.domain, phase.compute, ComputePass::kBand);
-        charge_compute();
-        post_sends(w, ex.fields, step, ex_index);
-        charge_comm();
-        run_compute2d(*w.domain, phase.compute, ComputePass::kInterior);
-        charge_compute();
-        complete_recvs(w, ex.fields, step, ex_index);
-        charge_comm();
+        {
+          telemetry::ScopedSpan span(
+              tel, w.rank,
+              compute_phase_name(phase.compute, ComputePass::kBand),
+              "compute", step);
+          run_compute2d(*w.domain, phase.compute, ComputePass::kBand);
+          w.stats.compute_s += span.stop();
+        }
+        {
+          telemetry::ScopedSpan span(tel, w.rank, "comm.post_sends", "comm",
+                                     step);
+          post_sends(w, ex.fields, step, ex_index);
+          w.stats.comm_s += span.stop();
+        }
+        {
+          telemetry::ScopedSpan span(
+              tel, w.rank,
+              compute_phase_name(phase.compute, ComputePass::kInterior),
+              "compute", step);
+          run_compute2d(*w.domain, phase.compute, ComputePass::kInterior);
+          w.stats.compute_s += span.stop();
+        }
+        {
+          telemetry::ScopedSpan span(tel, w.rank, "comm.complete_recvs",
+                                     "comm", step);
+          complete_recvs(w, ex.fields, step, ex_index);
+          w.stats.comm_s += span.stop();
+        }
         ++i;  // the exchange phase was folded into the split
       } else {
+        telemetry::ScopedSpan span(tel, w.rank,
+                                   compute_phase_name(phase.compute),
+                                   "compute", step);
         run_compute2d(*w.domain, phase.compute);
-        charge_compute();
+        w.stats.compute_s += span.stop();
       }
     } else {
+      telemetry::ScopedSpan span(tel, w.rank, "comm.exchange", "comm", step);
       exchange(w, phase.fields, step, static_cast<int>(i));
-      charge_comm();
+      w.stats.comm_s += span.stop();
     }
   }
   w.domain->set_step(step + 1);
+  tel->metrics().counter(w.rank, "steps").add();
 }
 
 void ParallelDriver2D::worker_loop(Worker& w, int steps) {
   for (int s = 0; s < steps; ++s) step_once(w);
+  clear_log_context();
 }
 
 const WorkerStats& ParallelDriver2D::stats(int rank) const {
@@ -207,6 +229,7 @@ int ParallelDriver2D::run_until_sync(int max_steps,
       }
       step_once(w);
     }
+    clear_log_context();
   };
 
   if (workers_.size() == 1) {
@@ -248,6 +271,8 @@ void ParallelDriver2D::reinitialize() {
   auto sync_one = [&](Worker& w) {
     if (method_ == Method::kLatticeBoltzmann)
       lbm2d::set_equilibrium_both(*w.domain);
+    telemetry::ScopedSpan span(telemetry_.get(), w.rank, "comm.sync", "comm",
+                               w.domain->step());
     exchange(w, all_fields, epoch, kSyncPhase);
   };
 

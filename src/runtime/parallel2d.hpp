@@ -17,22 +17,11 @@
 #include "src/decomp/decomposition.hpp"
 #include "src/runtime/exchange2d.hpp"
 #include "src/runtime/sync_file.hpp"
+#include "src/runtime/worker_stats.hpp"
 #include "src/solver/schedule.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace subsonic {
-
-/// Per-worker timing, the measured version of the paper's processor
-/// utilization g = T_calc / (T_calc + T_com) (section 8, eq. 8).  On a
-/// machine with fewer cores than workers the "communication" time also
-/// absorbs scheduler wait, so g is a lower bound there.
-struct WorkerStats {
-  double compute_s = 0;  ///< time inside compute phases
-  double comm_s = 0;     ///< time inside exchange phases (incl. waiting)
-  double utilization() const {
-    const double total = compute_s + comm_s;
-    return total > 0 ? compute_s / total : 1.0;
-  }
-};
 
 class ParallelDriver2D {
  public:
@@ -98,6 +87,12 @@ class ParallelDriver2D {
 
   Transport& transport() { return *transport_; }
 
+  /// Live telemetry for this driver: phase timers are always charged
+  /// (they feed stats()); per-span trace events when SUBSONIC_TRACE is
+  /// set.  The transport shares the registry for its own counters.
+  telemetry::Session& telemetry() { return *telemetry_; }
+  const telemetry::Session& telemetry() const { return *telemetry_; }
+
  private:
   struct Worker {
     int rank = -1;
@@ -128,6 +123,7 @@ class ParallelDriver2D {
   std::vector<Worker> workers_;
   std::shared_ptr<Transport> transport_;
   Scheduling sched_ = Scheduling::kOverlap;
+  std::unique_ptr<telemetry::Session> telemetry_;
 };
 
 }  // namespace subsonic

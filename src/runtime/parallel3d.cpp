@@ -9,7 +9,7 @@
 #include "src/io/checkpoint.hpp"
 #include "src/solver/lbm3d.hpp"
 #include "src/util/check.hpp"
-#include "src/util/stopwatch.hpp"
+#include "src/util/log.hpp"
 
 namespace subsonic {
 
@@ -35,6 +35,9 @@ ParallelDriver3D::ParallelDriver3D(const Mask3D& mask,
 
   if (!transport_)
     transport_ = std::make_shared<InMemoryTransport>(decomp_.rank_count());
+  telemetry_ =
+      std::make_unique<telemetry::Session>(telemetry::Session::from_env());
+  transport_->attach_metrics(telemetry_->metrics_ptr());
 
   worker_of_rank_.assign(decomp_.rank_count(), -1);
   workers_.reserve(active.size());
@@ -96,16 +99,9 @@ void ParallelDriver3D::exchange(Worker& w, const std::vector<FieldId>& fields,
 }
 
 void ParallelDriver3D::step_once(Worker& w) {
-  Stopwatch sw;
-  const auto charge_compute = [&] {
-    w.stats.compute_s += sw.seconds();
-    sw.reset();
-  };
-  const auto charge_comm = [&] {
-    w.stats.comm_s += sw.seconds();
-    sw.reset();
-  };
+  telemetry::Session* const tel = telemetry_.get();
   const long step = w.domain->step();
+  set_log_context(w.rank, step);
   for (size_t i = 0; i < schedule_.size(); ++i) {
     const Phase& phase = schedule_[i];
     if (phase.kind == Phase::Kind::kCompute) {
@@ -115,29 +111,55 @@ void ParallelDriver3D::step_once(Worker& w) {
       if (split) {
         const Phase& ex = schedule_[i + 1];
         const int ex_index = static_cast<int>(i + 1);
-        run_compute3d(*w.domain, phase.compute, ComputePass::kBand);
-        charge_compute();
-        post_sends(w, ex.fields, step, ex_index);
-        charge_comm();
-        run_compute3d(*w.domain, phase.compute, ComputePass::kInterior);
-        charge_compute();
-        complete_recvs(w, ex.fields, step, ex_index);
-        charge_comm();
+        {
+          telemetry::ScopedSpan span(
+              tel, w.rank,
+              compute_phase_name(phase.compute, ComputePass::kBand),
+              "compute", step);
+          run_compute3d(*w.domain, phase.compute, ComputePass::kBand);
+          w.stats.compute_s += span.stop();
+        }
+        {
+          telemetry::ScopedSpan span(tel, w.rank, "comm.post_sends", "comm",
+                                     step);
+          post_sends(w, ex.fields, step, ex_index);
+          w.stats.comm_s += span.stop();
+        }
+        {
+          telemetry::ScopedSpan span(
+              tel, w.rank,
+              compute_phase_name(phase.compute, ComputePass::kInterior),
+              "compute", step);
+          run_compute3d(*w.domain, phase.compute, ComputePass::kInterior);
+          w.stats.compute_s += span.stop();
+        }
+        {
+          telemetry::ScopedSpan span(tel, w.rank, "comm.complete_recvs",
+                                     "comm", step);
+          complete_recvs(w, ex.fields, step, ex_index);
+          w.stats.comm_s += span.stop();
+        }
         ++i;  // the exchange phase was folded into the split
       } else {
+        telemetry::ScopedSpan span(tel, w.rank,
+                                   compute_phase_name(phase.compute),
+                                   "compute", step);
         run_compute3d(*w.domain, phase.compute);
-        charge_compute();
+        w.stats.compute_s += span.stop();
       }
     } else {
+      telemetry::ScopedSpan span(tel, w.rank, "comm.exchange", "comm", step);
       exchange(w, phase.fields, step, static_cast<int>(i));
-      charge_comm();
+      w.stats.comm_s += span.stop();
     }
   }
   w.domain->set_step(step + 1);
+  tel->metrics().counter(w.rank, "steps").add();
 }
 
 void ParallelDriver3D::worker_loop(Worker& w, int steps) {
   for (int s = 0; s < steps; ++s) step_once(w);
+  clear_log_context();
 }
 
 const WorkerStats& ParallelDriver3D::stats(int rank) const {
@@ -195,6 +217,7 @@ int ParallelDriver3D::run_until_sync(int max_steps,
       }
       step_once(w);
     }
+    clear_log_context();
   };
 
   if (workers_.size() == 1) {
@@ -236,6 +259,8 @@ void ParallelDriver3D::reinitialize() {
   auto sync_one = [&](Worker& w) {
     if (method_ == Method::kLatticeBoltzmann)
       lbm3d::set_equilibrium_both(*w.domain);
+    telemetry::ScopedSpan span(telemetry_.get(), w.rank, "comm.sync", "comm",
+                               w.domain->step());
     exchange(w, all_fields, epoch, kSyncPhase);
   };
 

@@ -9,9 +9,10 @@
 #include "src/comm/transport.hpp"
 #include "src/decomp/decomposition.hpp"
 #include "src/runtime/exchange3d.hpp"
-#include "src/runtime/parallel2d.hpp"  // WorkerStats
 #include "src/runtime/sync_file.hpp"
+#include "src/runtime/worker_stats.hpp"
 #include "src/solver/schedule.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace subsonic {
 
@@ -51,6 +52,10 @@ class ParallelDriver3D {
 
   Transport& transport() { return *transport_; }
 
+  /// Live telemetry; see ParallelDriver2D::telemetry().
+  telemetry::Session& telemetry() { return *telemetry_; }
+  const telemetry::Session& telemetry() const { return *telemetry_; }
+
  private:
   struct Worker {
     int rank = -1;
@@ -78,6 +83,7 @@ class ParallelDriver3D {
   std::vector<Worker> workers_;
   std::shared_ptr<Transport> transport_;
   Scheduling sched_ = Scheduling::kOverlap;
+  std::unique_ptr<telemetry::Session> telemetry_;
 };
 
 }  // namespace subsonic

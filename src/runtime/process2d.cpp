@@ -5,6 +5,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -20,12 +21,48 @@
 #include "src/runtime/epoch_store.hpp"
 #include "src/runtime/exchange2d.hpp"
 #include "src/solver/schedule.hpp"
+#include "src/telemetry/summary.hpp"
+#include "src/telemetry/telemetry.hpp"
 #include "src/util/check.hpp"
 #include "src/util/fault_plan.hpp"
+#include "src/util/log.hpp"
 
 namespace subsonic {
 
 namespace {
+
+std::string metrics_path(const std::string& workdir, int rank) {
+  return workdir + "/rank_" + std::to_string(rank) + ".metrics.jsonl";
+}
+
+std::string rank_trace_path(const std::string& workdir, int rank) {
+  return workdir + "/rank_" + std::to_string(rank) + ".trace.json";
+}
+
+/// Parent-side half of the child-stderr tagging pipe: reads the child's
+/// stderr line by line and re-emits each line onto the supervisor's
+/// stderr prefixed "[rank r]", so interleaved output from a cohort stays
+/// attributable.  Runs until EOF (every write end of the pipe closed,
+/// i.e. the child exited); fprintf keeps each line atomic.
+void tag_child_stderr(int fd, int rank) {
+  std::string pending;
+  char buf[512];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    pending.append(buf, static_cast<size_t>(n));
+    size_t pos;
+    while ((pos = pending.find('\n')) != std::string::npos) {
+      std::fprintf(stderr, "[rank %d] %.*s\n", rank, static_cast<int>(pos),
+                   pending.data());
+      pending.erase(0, pos + 1);
+    }
+  }
+  if (!pending.empty())
+    std::fprintf(stderr, "[rank %d] %s\n", rank, pending.c_str());
+  ::close(fd);
+}
 
 /// Everything one child process needs beyond the physics inputs: its
 /// identity within the current supervisor generation, where to resume
@@ -41,6 +78,9 @@ struct ChildConfig {
   int recv_deadline_ms = 0;
   Scheduling sched = Scheduling::kOverlap;
   int threads = 0;
+  bool trace = false;        ///< record Chrome-trace spans in this child
+  long long origin_ns = -1;  ///< supervisor's trace origin, so per-rank
+                             ///< traces merge onto one timeline
 };
 
 /// A checkpoint captured in memory at its epoch step but flushed to disk
@@ -85,17 +125,27 @@ void flush_dump(const PendingDump& p, const ChildConfig& cfg,
                              const std::string& registry,
                              const FaultPlan& faults) {
   try {
+    telemetry::SessionConfig tel_cfg;
+    tel_cfg.trace = cfg.trace;
+    tel_cfg.origin_ns = cfg.origin_ns;
+    telemetry::Session session(tel_cfg);
+    telemetry::Session* const tel = &session;
+    set_log_context(cfg.rank);
+
     const int ghost = required_ghost(method, params.filter_eps > 0.0);
     Domain2D domain(mask, decomp.box(cfg.rank), params, method, ghost,
                     cfg.threads);
     const std::string legacy_dump =
         workdir + "/rank_" + std::to_string(cfg.rank) + ".dump";
-    if (cfg.restore_epoch >= 0) {
-      restore_domain(domain,
-                     epoch::dump_path(workdir, cfg.rank, cfg.restore_epoch));
-    } else {
-      std::ifstream probe(legacy_dump, std::ios::binary);
-      if (probe.good()) restore_domain(domain, legacy_dump);
+    {
+      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.restore", "ckpt");
+      if (cfg.restore_epoch >= 0) {
+        restore_domain(domain,
+                       epoch::dump_path(workdir, cfg.rank, cfg.restore_epoch));
+      } else {
+        std::ifstream probe(legacy_dump, std::ios::binary);
+        if (probe.good()) restore_domain(domain, legacy_dump);
+      }
     }
 
     const int delay_ms = faults.delay_connect_ms(cfg.rank, cfg.generation);
@@ -104,6 +154,7 @@ void flush_dump(const PendingDump& p, const ChildConfig& cfg,
 
     TcpEndpointOptions ep_options;
     ep_options.recv_deadline_ms = cfg.recv_deadline_ms;
+    ep_options.metrics = session.metrics_ptr();
     TcpEndpoint endpoint(cfg.rank, decomp.rank_count(), registry,
                          ep_options);
     const auto links =
@@ -136,11 +187,16 @@ void flush_dump(const PendingDump& p, const ChildConfig& cfg,
     std::vector<FieldId> all_fields{FieldId::kRho, FieldId::kVx,
                                     FieldId::kVy};
     for (int i = 0; i < domain.q(); ++i) all_fields.push_back(population(i));
-    exchange(all_fields, domain.step(), 1023);
+    {
+      telemetry::ScopedSpan span(tel, cfg.rank, "comm.sync", "comm",
+                                 domain.step());
+      exchange(all_fields, domain.step(), 1023);
+    }
 
     std::vector<PendingDump> pending;
     while (domain.step() < cfg.target_step) {
       const long step = domain.step();
+      set_log_context(cfg.rank, step);
       for (size_t i = 0; i < schedule.size(); ++i) {
         const Phase& phase = schedule[i];
         if (phase.kind == Phase::Kind::kCompute) {
@@ -150,19 +206,45 @@ void flush_dump(const PendingDump& p, const ChildConfig& cfg,
           if (split) {
             const Phase& ex = schedule[i + 1];
             const int ex_index = static_cast<int>(i + 1);
-            run_compute2d(domain, phase.compute, ComputePass::kBand);
-            post_sends(ex.fields, step, ex_index);
-            run_compute2d(domain, phase.compute, ComputePass::kInterior);
-            complete_recvs(ex.fields, step, ex_index);
+            {
+              telemetry::ScopedSpan span(
+                  tel, cfg.rank,
+                  compute_phase_name(phase.compute, ComputePass::kBand),
+                  "compute", step);
+              run_compute2d(domain, phase.compute, ComputePass::kBand);
+            }
+            {
+              telemetry::ScopedSpan span(tel, cfg.rank, "comm.post_sends",
+                                         "comm", step);
+              post_sends(ex.fields, step, ex_index);
+            }
+            {
+              telemetry::ScopedSpan span(
+                  tel, cfg.rank,
+                  compute_phase_name(phase.compute, ComputePass::kInterior),
+                  "compute", step);
+              run_compute2d(domain, phase.compute, ComputePass::kInterior);
+            }
+            {
+              telemetry::ScopedSpan span(tel, cfg.rank, "comm.complete_recvs",
+                                         "comm", step);
+              complete_recvs(ex.fields, step, ex_index);
+            }
             ++i;
           } else {
+            telemetry::ScopedSpan span(tel, cfg.rank,
+                                       compute_phase_name(phase.compute),
+                                       "compute", step);
             run_compute2d(domain, phase.compute);
           }
         } else {
+          telemetry::ScopedSpan span(tel, cfg.rank, "comm.exchange", "comm",
+                                     step);
           exchange(phase.fields, step, static_cast<int>(i));
         }
       }
       domain.set_step(step + 1);
+      tel->metrics().counter(cfg.rank, "steps").add();
       const long done = domain.step();
 
       // A kill fault fires before this step's checkpoint work, so the
@@ -173,6 +255,8 @@ void flush_dump(const PendingDump& p, const ChildConfig& cfg,
       if (cfg.checkpoint_interval > 0 &&
           (done - cfg.start_step) % cfg.checkpoint_interval == 0 &&
           done < cfg.target_step) {
+        telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.capture", "ckpt",
+                                   done);
         PendingDump p;
         p.epoch = (done - cfg.start_step) / cfg.checkpoint_interval - 1;
         p.flush_step = done + cfg.stagger_index;
@@ -181,6 +265,8 @@ void flush_dump(const PendingDump& p, const ChildConfig& cfg,
       }
       for (size_t i = 0; i < pending.size();) {
         if (done >= pending[i].flush_step) {
+          telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.flush", "ckpt",
+                                     done);
           flush_dump(pending[i], cfg, workdir, faults);
           pending.erase(pending.begin() + static_cast<long>(i));
         } else {
@@ -188,12 +274,33 @@ void flush_dump(const PendingDump& p, const ChildConfig& cfg,
         }
       }
     }
-    for (const PendingDump& p : pending) flush_dump(p, cfg, workdir, faults);
+    set_log_context(cfg.rank);
+    for (const PendingDump& p : pending) {
+      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.flush", "ckpt",
+                                 domain.step());
+      flush_dump(p, cfg, workdir, faults);
+    }
 
     // Drain the async send queue before _exit: a peer may still be
     // waiting on our final-step messages.
-    endpoint.flush();
-    save_domain(domain, legacy_dump);
+    {
+      telemetry::ScopedSpan span(tel, cfg.rank, "comm.flush", "comm",
+                                 domain.step());
+      endpoint.flush();
+    }
+    {
+      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.final_save", "ckpt",
+                                 domain.step());
+      save_domain(domain, legacy_dump);
+    }
+
+    // The telemetry streams are this rank's half of the supervisor's
+    // run_summary.json; written last so they cover the whole run, and only
+    // on a clean exit (a killed rank contributes nothing — the respawned
+    // generation rewrites the file).
+    session.write_metrics_jsonl(metrics_path(workdir, cfg.rank));
+    if (session.tracing())
+      session.write_trace_json(rank_trace_path(workdir, cfg.rank));
     ::_exit(0);
   } catch (const peer_lost_error& e) {
     // Expected when a neighbour dies: report and exit so the supervisor
@@ -218,11 +325,14 @@ std::string describe_status(int status) {
   return "status " + std::to_string(status);
 }
 
-/// One spawned cohort: pid-per-active-rank plus reap bookkeeping.
+/// One spawned cohort: pid-per-active-rank plus reap bookkeeping, and the
+/// stderr-tagger thread per child (each drains one pipe until the child
+/// exits).
 struct Cohort {
   std::vector<pid_t> pids;   // parallel to active_list
   std::vector<bool> reaped;  // parallel to active_list
   std::vector<int> status;   // valid where reaped
+  std::vector<std::thread> taggers;
 };
 
 }  // namespace
@@ -253,6 +363,25 @@ ProcessRunResult run_multiprocess2d(const Mask2D& mask,
   const std::string registry = workdir + "/ports";
   std::remove(registry.c_str());
   epoch::clear_run_state(workdir);
+
+  // Stale telemetry belongs to a previous run's step numbering; the
+  // aggregation below must only ever see this run's streams.
+  for (int rank = 0; rank < decomp.rank_count(); ++rank) {
+    std::remove(metrics_path(workdir, rank).c_str());
+    std::remove(rank_trace_path(workdir, rank).c_str());
+  }
+  std::remove((workdir + "/trace.json").c_str());
+  std::remove((workdir + "/run_summary.json").c_str());
+  std::remove((workdir + "/supervisor.metrics.jsonl").c_str());
+
+  // The supervisor's own session: every child inherits its trace origin,
+  // so the merged trace.json has one consistent timeline across ranks.
+  const bool trace_on =
+      options.trace > 0 ||
+      (options.trace < 0 && telemetry::trace_enabled_from_env());
+  telemetry::SessionConfig sup_cfg;
+  sup_cfg.trace = trace_on;
+  telemetry::Session supervisor(sup_cfg);
 
   // Continuation runs resume from the legacy per-rank dumps; probe the
   // step they carry so epochs and kill-step offsets count from there.
@@ -302,9 +431,16 @@ ProcessRunResult run_multiprocess2d(const Mask2D& mask,
       m.epoch = e;
       m.step = step;
       m.ranks = active_list;
-      epoch::commit_manifest(workdir, m);
+      {
+        telemetry::ScopedSpan span(&supervisor, -1, "ckpt.commit", "ckpt",
+                                   step);
+        epoch::commit_manifest(workdir, m);
+      }
       committed_epoch = e;
-      epoch::gc_epochs(workdir, active_list, e);
+      {
+        telemetry::ScopedSpan span(&supervisor, -1, "ckpt.gc", "ckpt", step);
+        epoch::gc_epochs(workdir, active_list, e);
+      }
     }
   };
 
@@ -325,16 +461,36 @@ ProcessRunResult run_multiprocess2d(const Mask2D& mask,
       cfg.recv_deadline_ms = options.recv_deadline_ms;
       cfg.sched = options.sched;
       cfg.threads = options.threads;
+      cfg.trace = trace_on;
+      cfg.origin_ns = supervisor.origin_ns();
+      int err_pipe[2];
+      SUBSONIC_REQUIRE_MSG(::pipe(err_pipe) == 0, "pipe failed");
       const pid_t pid = ::fork();
       SUBSONIC_REQUIRE_MSG(pid >= 0, "fork failed");
-      if (pid == 0)
+      if (pid == 0) {
+        // Route the child's stderr through the tagging pipe so the parent
+        // can prefix every line with the rank.
+        ::dup2(err_pipe[1], 2);
+        ::close(err_pipe[0]);
+        ::close(err_pipe[1]);
         child_main(mask, params, method, decomp, active, cfg, workdir,
                    registry, faults);  // never returns
+      }
+      ::close(err_pipe[1]);
+      cohort.taggers.emplace_back(tag_child_stderr, err_pipe[0],
+                                  active_list[i]);
       cohort.pids.push_back(pid);
     }
     cohort.reaped.assign(cohort.pids.size(), false);
     cohort.status.assign(cohort.pids.size(), 0);
     return cohort;
+  };
+
+  // Tagger threads hit EOF once their child is gone; join them only after
+  // every child in the cohort is reaped (both outcomes).
+  auto join_taggers = [](Cohort& cohort) {
+    for (std::thread& t : cohort.taggers)
+      if (t.joinable()) t.join();
   };
 
   for (;;) {
@@ -378,6 +534,7 @@ ProcessRunResult run_multiprocess2d(const Mask2D& mask,
           cohort.status[i] = status;
         }
       }
+      join_taggers(cohort);
       // Dumps flushed just before the crash may complete another epoch.
       poll_epochs();
 
@@ -401,10 +558,12 @@ ProcessRunResult run_multiprocess2d(const Mask2D& mask,
       }
       ++result.restarts;
       ++generation;
+      supervisor.metrics().counter(-1, "restart.count").add();
       continue;  // respawn from the newest committed epoch (or scratch)
     }
 
     // Clean finish.
+    join_taggers(cohort);
     poll_epochs();
     break;
   }
@@ -417,6 +576,69 @@ ProcessRunResult run_multiprocess2d(const Mask2D& mask,
     restore_domain(probe, workdir + "/rank_" +
                               std::to_string(active_list[0]) + ".dump");
     result.final_step = probe.step();
+  }
+
+  // Aggregate the telemetry every rank streamed to disk: reconstruct the
+  // per-rank WorkerStats for the caller, and write run_summary.json with
+  // the measured T_calc / T_com next to the paper model's predicted f.
+  std::vector<telemetry::RankMetrics> rank_metrics;
+  rank_metrics.reserve(active_list.size());
+  for (int rank : active_list) {
+    std::vector<telemetry::RankMetrics> parsed;
+    try {
+      parsed = telemetry::read_metrics_jsonl(metrics_path(workdir, rank));
+    } catch (const std::exception&) {
+      // A missing or unreadable stream degrades that rank to zeros; the
+      // simulation result itself is already safely on disk.
+    }
+    bool found = false;
+    for (telemetry::RankMetrics& rm : parsed) {
+      if (rm.rank != rank) continue;
+      rank_metrics.push_back(std::move(rm));
+      found = true;
+      break;
+    }
+    if (!found) {
+      telemetry::RankMetrics empty;
+      empty.rank = rank;
+      rank_metrics.push_back(std::move(empty));
+    }
+  }
+  result.rank_stats.reserve(rank_metrics.size());
+  for (const telemetry::RankMetrics& rm : rank_metrics) {
+    WorkerStats ws;
+    ws.compute_s = rm.t_calc();
+    ws.comm_s = rm.t_com();
+    result.rank_stats.push_back(ws);
+  }
+
+  telemetry::RunModelInputs model;
+  model.dims = 2;
+  model.processes = static_cast<int>(active_list.size());
+  double owned_nodes = 0;
+  for (int rank : active_list)
+    owned_nodes += static_cast<double>(decomp.box(rank).count());
+  model.nodes_per_rank = owned_nodes / static_cast<double>(active_list.size());
+  // Doubles shipped per boundary node per step, from the schedule actually
+  // run: each exchange phase ships |fields| doubles per node per ghost
+  // layer.
+  double doubles_per_node = 0;
+  for (const Phase& phase : make_schedule2d(method))
+    if (phase.kind == Phase::Kind::kExchange)
+      doubles_per_node += static_cast<double>(phase.fields.size());
+  model.comm_doubles_per_node = doubles_per_node * ghost;
+
+  const telemetry::RunSummary summary =
+      telemetry::summarize_run(rank_metrics, model, result.restarts);
+  result.summary_path = workdir + "/run_summary.json";
+  telemetry::write_run_summary(summary, result.summary_path);
+  supervisor.write_metrics_jsonl(workdir + "/supervisor.metrics.jsonl");
+  if (trace_on) {
+    std::vector<std::string> traces;
+    traces.reserve(active_list.size());
+    for (int rank : active_list)
+      traces.push_back(rank_trace_path(workdir, rank));
+    telemetry::merge_chrome_traces(traces, workdir + "/trace.json");
   }
   return result;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/geometry/mask.hpp"
+#include "src/runtime/worker_stats.hpp"
 #include "src/solver/params.hpp"
 #include "src/solver/pass.hpp"
 
@@ -56,6 +57,12 @@ struct ProcessRunOptions {
   /// into an unmodified test suite; pass an explicit spec to pin a test's
   /// faults regardless of environment.
   std::string faults;
+
+  /// Chrome-trace capture in the children and merged trace.json in the
+  /// supervisor: 1 forces on, 0 forces off, -1 follows SUBSONIC_TRACE.
+  /// Metrics JSONL streams are always written (their cost is one timer
+  /// record per phase); tracing additionally records every span.
+  int trace = -1;
 };
 
 /// How one rank's process ended, for the supervisor's failure report.
@@ -79,6 +86,18 @@ struct ProcessRunResult {
   long final_step = 0;      ///< step counter all subregions reached
   int restarts = 0;         ///< cohort respawns the supervisor performed
   long committed_epoch = -1;  ///< newest MANIFEST-committed epoch (-1: none)
+
+  /// Per-active-rank timing reconstructed from each child's
+  /// rank_<r>.metrics.jsonl stream (parallel to the active rank list,
+  /// ascending rank order).  compute_s is the child's summed "compute.*"
+  /// phase time, comm_s its summed "comm.*" time — the measured
+  /// T_calc and T_com of the efficiency model.
+  std::vector<WorkerStats> rank_stats;
+
+  /// Path of the run_summary.json the supervisor wrote (empty when the
+  /// run had no active ranks).  Holds measured T_calc/T_com/utilization
+  /// per rank next to the paper-model predicted efficiency f.
+  std::string summary_path;
 };
 
 /// Forks one child per active subregion of the (jx x jy) decomposition of

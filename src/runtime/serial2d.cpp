@@ -8,7 +8,9 @@ SerialDriver2D::SerialDriver2D(const Mask2D& mask, const FluidParams& params,
                                Method method, int threads)
     : schedule_(make_schedule2d(method)),
       domain_(mask, full_box(mask.extents()), params, method,
-              required_ghost(method, params.filter_eps > 0.0), threads) {
+              required_ghost(method, params.filter_eps > 0.0), threads),
+      telemetry_(std::make_unique<telemetry::Session>(
+          telemetry::Session::from_env())) {
   full_sync();
 }
 
@@ -49,15 +51,22 @@ void SerialDriver2D::reinitialize() {
 }
 
 void SerialDriver2D::run(int n) {
+  telemetry::Session* const tel = telemetry_.get();
   for (int s = 0; s < n; ++s) {
+    const long step = domain_.step();
     for (const Phase& phase : schedule_) {
       if (phase.kind == Phase::Kind::kCompute) {
+        telemetry::ScopedSpan span(tel, 0, compute_phase_name(phase.compute),
+                                   "compute", step);
         run_compute2d(domain_, phase.compute);
       } else {
+        telemetry::ScopedSpan span(tel, 0, "comm.periodic_wrap", "comm",
+                                   step);
         for (FieldId id : phase.fields) fill_periodic(domain_.field(id));
       }
     }
-    domain_.set_step(domain_.step() + 1);
+    domain_.set_step(step + 1);
+    tel->metrics().counter(0, "steps").add();
   }
 }
 

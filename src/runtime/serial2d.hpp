@@ -4,9 +4,12 @@
 // here they reduce to periodic wrap-around copies (or nothing at all).
 #pragma once
 
+#include <memory>
+
 #include "src/geometry/mask.hpp"
 #include "src/solver/domain2d.hpp"
 #include "src/solver/schedule.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace subsonic {
 
@@ -29,6 +32,11 @@ class SerialDriver2D {
   /// populations at the new equilibrium.
   void reinitialize();
 
+  /// Live telemetry: compute phases charge "compute.*" timers at rank 0,
+  /// the periodic wraps "comm.periodic_wrap"; trace per SUBSONIC_TRACE.
+  telemetry::Session& telemetry() { return *telemetry_; }
+  const telemetry::Session& telemetry() const { return *telemetry_; }
+
  private:
   /// Periodic wrap of one field's ghost layers (no-op without periodicity).
   void fill_periodic(PaddedField2D<double>& u);
@@ -37,6 +45,7 @@ class SerialDriver2D {
 
   std::vector<Phase> schedule_;
   Domain2D domain_;
+  std::unique_ptr<telemetry::Session> telemetry_;
 };
 
 }  // namespace subsonic

@@ -1,9 +1,12 @@
 // Serial reference driver for 3D runs; see serial2d.hpp.
 #pragma once
 
+#include <memory>
+
 #include "src/geometry/mask.hpp"
 #include "src/solver/domain3d.hpp"
 #include "src/solver/schedule.hpp"
+#include "src/telemetry/telemetry.hpp"
 
 namespace subsonic {
 
@@ -21,12 +24,17 @@ class SerialDriver3D {
 
   void reinitialize();
 
+  /// Live telemetry; see SerialDriver2D::telemetry().
+  telemetry::Session& telemetry() { return *telemetry_; }
+  const telemetry::Session& telemetry() const { return *telemetry_; }
+
  private:
   void fill_periodic(PaddedField3D<double>& u);
   void full_sync();
 
   std::vector<Phase> schedule_;
   Domain3D domain_;
+  std::unique_ptr<telemetry::Session> telemetry_;
 };
 
 }  // namespace subsonic

@@ -74,4 +74,44 @@ constexpr int comm_doubles_per_node(Method m, int dims) {
   return m == Method::kFiniteDifference ? 4 : 5;
 }
 
+/// Telemetry phase-timer name for a compute phase: "compute.<kind>".
+/// Every name shares the "compute." prefix the aggregator sums into
+/// measured T_calc.
+constexpr const char* compute_phase_name(ComputeKind kind) {
+  switch (kind) {
+    case ComputeKind::kFdVelocity: return "compute.fd_velocity";
+    case ComputeKind::kFdDensity: return "compute.fd_density";
+    case ComputeKind::kLbCollideStream: return "compute.lb_collide_stream";
+    case ComputeKind::kLbMoments: return "compute.lb_moments";
+    case ComputeKind::kFilterAndBc: return "compute.filter_bc";
+  }
+  return "compute.unknown";
+}
+
+/// Same, qualified by the overlap split: ".band" for the boundary band
+/// computed before the sends, ".interior" for the bulk computed while the
+/// messages fly.
+constexpr const char* compute_phase_name(ComputeKind kind, ComputePass pass) {
+  if (pass == ComputePass::kFull) return compute_phase_name(kind);
+  switch (kind) {
+    case ComputeKind::kFdVelocity:
+      return pass == ComputePass::kBand ? "compute.fd_velocity.band"
+                                        : "compute.fd_velocity.interior";
+    case ComputeKind::kFdDensity:
+      return pass == ComputePass::kBand ? "compute.fd_density.band"
+                                        : "compute.fd_density.interior";
+    case ComputeKind::kLbCollideStream:
+      return pass == ComputePass::kBand
+                 ? "compute.lb_collide_stream.band"
+                 : "compute.lb_collide_stream.interior";
+    case ComputeKind::kLbMoments:
+      return pass == ComputePass::kBand ? "compute.lb_moments.band"
+                                        : "compute.lb_moments.interior";
+    case ComputeKind::kFilterAndBc:
+      return pass == ComputePass::kBand ? "compute.filter_bc.band"
+                                        : "compute.filter_bc.interior";
+  }
+  return "compute.unknown";
+}
+
 }  // namespace subsonic

@@ -1,0 +1,97 @@
+#include "src/telemetry/metrics.hpp"
+
+#include <algorithm>
+
+namespace subsonic {
+namespace telemetry {
+
+void Gauge::set(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  value_ = v;
+  max_ = std::max(max_, v);
+}
+
+void Gauge::add(double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  value_ += delta;
+  max_ = std::max(max_, value_);
+}
+
+double Gauge::value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return value_;
+}
+
+double Gauge::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+void PhaseTimer::record(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.count == 0) {
+    stats_.min_s = seconds;
+    stats_.max_s = seconds;
+  } else {
+    stats_.min_s = std::min(stats_.min_s, seconds);
+    stats_.max_s = std::max(stats_.max_s, seconds);
+  }
+  ++stats_.count;
+  stats_.total_s += seconds;
+}
+
+TimerStats PhaseTimer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Counter& MetricsRegistry::counter(int rank, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[Key{rank, std::string(name)}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(int rank, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[Key{rank, std::string(name)}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+PhaseTimer& MetricsRegistry::timer(int rank, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = timers_[Key{rank, std::string(name)}];
+  if (!slot) slot = std::make_unique<PhaseTimer>();
+  return *slot;
+}
+
+std::vector<MetricsRegistry::CounterRow> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterRow> rows;
+  rows.reserve(counters_.size());
+  for (const auto& [key, c] : counters_)
+    rows.push_back(CounterRow{key.first, key.second, c->value()});
+  return rows;
+}
+
+std::vector<MetricsRegistry::GaugeRow> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GaugeRow> rows;
+  rows.reserve(gauges_.size());
+  for (const auto& [key, g] : gauges_)
+    rows.push_back(GaugeRow{key.first, key.second, g->value(), g->max()});
+  return rows;
+}
+
+std::vector<MetricsRegistry::TimerRow> MetricsRegistry::timers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TimerRow> rows;
+  rows.reserve(timers_.size());
+  for (const auto& [key, t] : timers_)
+    rows.push_back(TimerRow{key.first, key.second, t->stats()});
+  return rows;
+}
+
+}  // namespace telemetry
+}  // namespace subsonic

@@ -1,0 +1,280 @@
+#include "src/telemetry/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/perfmodel/efficiency.hpp"
+
+namespace subsonic {
+namespace telemetry {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+// --- Minimal flat-JSON-object field extraction ----------------------------
+// The JSONL lines are written by Session::write_metrics_jsonl with a fixed
+// shape: one object per line, string values never contain escapes (metric
+// names are ASCII identifiers with dots).  That lets a torn or foreign
+// line simply fail extraction and be skipped.
+
+bool extract_string(const std::string& line, const char* key,
+                    std::string* out) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const std::size_t begin = pos + needle.size();
+  const std::size_t end = line.find('"', begin);
+  if (end == std::string::npos) return false;
+  *out = line.substr(begin, end - begin);
+  return true;
+}
+
+bool extract_number(const std::string& line, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* cursor = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(cursor, &end);
+  if (end == cursor) return false;
+  *out = v;
+  return true;
+}
+
+bool extract_integer(const std::string& line, const char* key,
+                     long long* out) {
+  double v = 0;
+  if (!extract_number(line, key, &v)) return false;
+  *out = static_cast<long long>(v);
+  return true;
+}
+
+}  // namespace
+
+double RankMetrics::timer_total(std::string_view prefix) const {
+  double total = 0;
+  for (const auto& [name, stats] : timers)
+    if (starts_with(name, prefix)) total += stats.total_s;
+  return total;
+}
+
+double RankMetrics::utilization() const {
+  const double calc = t_calc();
+  const double total = calc + t_com();
+  return total > 0 ? calc / total : 0.0;
+}
+
+long long RankMetrics::counter_or(std::string_view name,
+                                  long long fallback) const {
+  const auto it = counters.find(std::string(name));
+  return it != counters.end() ? it->second : fallback;
+}
+
+RankMetrics collect_rank(const MetricsRegistry& registry, int rank) {
+  RankMetrics out;
+  out.rank = rank;
+  for (const auto& row : registry.counters())
+    if (row.rank == rank) out.counters[row.name] = row.value;
+  for (const auto& row : registry.gauges())
+    if (row.rank == rank)
+      out.gauges[row.name] = RankMetrics::GaugeValue{row.value, row.max};
+  for (const auto& row : registry.timers())
+    if (row.rank == rank) out.timers[row.name] = row.stats;
+  return out;
+}
+
+std::vector<RankMetrics> read_metrics_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::map<int, RankMetrics> by_rank;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string kind, name;
+    long long rank = 0;
+    if (!extract_string(line, "kind", &kind) ||
+        !extract_string(line, "name", &name) ||
+        !extract_integer(line, "rank", &rank))
+      continue;
+    RankMetrics& rm = by_rank[static_cast<int>(rank)];
+    rm.rank = static_cast<int>(rank);
+    if (kind == "counter") {
+      long long value = 0;
+      if (extract_integer(line, "value", &value)) rm.counters[name] = value;
+    } else if (kind == "gauge") {
+      RankMetrics::GaugeValue g;
+      if (extract_number(line, "value", &g.value) &&
+          extract_number(line, "max", &g.max))
+        rm.gauges[name] = g;
+    } else if (kind == "timer") {
+      TimerStats stats;
+      if (extract_integer(line, "count", &stats.count) &&
+          extract_number(line, "total_s", &stats.total_s) &&
+          extract_number(line, "min_s", &stats.min_s) &&
+          extract_number(line, "max_s", &stats.max_s))
+        rm.timers[name] = stats;
+    }
+  }
+  std::vector<RankMetrics> out;
+  out.reserve(by_rank.size());
+  for (auto& [rank, rm] : by_rank) out.push_back(std::move(rm));
+  return out;
+}
+
+RunSummary summarize_run(const std::vector<RankMetrics>& ranks,
+                         const RunModelInputs& model, long long restarts) {
+  RunSummary summary;
+  summary.restarts = restarts;
+
+  int active = 0;
+  double doubles_sent_sum = 0;
+  long long active_steps_sum = 0;
+  int active_with_steps = 0;
+  for (const RankMetrics& rm : ranks) {
+    RankSummary rs;
+    rs.rank = rm.rank;
+    rs.steps = rm.counter_or("steps");
+    rs.t_calc = rm.t_calc();
+    rs.t_com = rm.t_com();
+    rs.utilization = rm.utilization();
+    rs.msgs_sent = rm.counter_or("transport.msgs_sent");
+    rs.doubles_sent = rm.counter_or("transport.doubles_sent");
+    summary.steps = std::max(summary.steps, rs.steps);
+    if (rs.t_calc + rs.t_com > 0) {
+      ++active;
+      summary.t_calc_mean += rs.t_calc;
+      summary.t_com_mean += rs.t_com;
+      summary.utilization_mean += rs.utilization;
+      if (rs.steps > 0 && rs.doubles_sent > 0) {
+        doubles_sent_sum += static_cast<double>(rs.doubles_sent);
+        active_steps_sum += rs.steps;
+        ++active_with_steps;
+      }
+    }
+    summary.ranks.push_back(rs);
+  }
+  if (active > 0) {
+    summary.t_calc_mean /= active;
+    summary.t_com_mean /= active;
+    summary.utilization_mean /= active;
+    if (summary.t_calc_mean > 0)
+      summary.measured_f =
+          efficiency_from_times(summary.t_calc_mean, summary.t_com_mean);
+  }
+
+  // Recover m from the byte counters: each rank ships
+  // m * N^(1-1/d) * comm_doubles_per_node doubles per step (eqs. 14-16).
+  if (active_with_steps > 0 && model.nodes_per_rank > 0 &&
+      model.comm_doubles_per_node > 0) {
+    const double per_rank_per_step = doubles_sent_sum /
+                                     static_cast<double>(active_steps_sum);
+    const double surface =
+        std::pow(model.nodes_per_rank,
+                 model.dims == 2 ? 0.5 : 2.0 / 3.0);
+    summary.m_factor =
+        per_rank_per_step / (surface * model.comm_doubles_per_node);
+  }
+
+  if (summary.m_factor > 0 && model.nodes_per_rank > 0) {
+    summary.predicted_f_dedicated =
+        efficiency_dedicated(model.nodes_per_rank, model.dims,
+                             summary.m_factor, model.ucalc_over_vcom);
+    summary.predicted_f_shared_bus =
+        model.dims == 2
+            ? efficiency_shared_bus_2d(model.nodes_per_rank, summary.m_factor,
+                                       model.processes,
+                                       model.ucalc_over_vcom)
+            : efficiency_shared_bus_3d(model.nodes_per_rank, summary.m_factor,
+                                       model.processes,
+                                       model.ucalc_over_vcom);
+  }
+  return summary;
+}
+
+std::string run_summary_json(const RunSummary& summary) {
+  std::ostringstream os;
+  char buf[256];
+  os << "{\n  \"ranks\": [";
+  for (std::size_t i = 0; i < summary.ranks.size(); ++i) {
+    const RankSummary& rs = summary.ranks[i];
+    if (i) os << ',';
+    std::snprintf(buf, sizeof buf,
+                  "\n    {\"rank\":%d,\"steps\":%lld,\"t_calc_s\":%.6f,"
+                  "\"t_com_s\":%.6f,\"utilization\":%.6f,"
+                  "\"msgs_sent\":%lld,\"doubles_sent\":%lld}",
+                  rs.rank, rs.steps, rs.t_calc, rs.t_com, rs.utilization,
+                  rs.msgs_sent, rs.doubles_sent);
+    os << buf;
+  }
+  os << "\n  ],\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"steps\": %lld,\n  \"restarts\": %lld,\n"
+                "  \"t_calc_mean_s\": %.6f,\n  \"t_com_mean_s\": %.6f,\n"
+                "  \"measured_f\": %.6f,\n  \"utilization_mean\": %.6f,\n",
+                summary.steps, summary.restarts, summary.t_calc_mean,
+                summary.t_com_mean, summary.measured_f,
+                summary.utilization_mean);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"m_factor\": %.6f,\n"
+                "  \"predicted_f_dedicated\": %.6f,\n"
+                "  \"predicted_f_shared_bus\": %.6f\n}\n",
+                summary.m_factor, summary.predicted_f_dedicated,
+                summary.predicted_f_shared_bus);
+  os << buf;
+  return os.str();
+}
+
+void write_run_summary(const RunSummary& summary, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("cannot write run summary " + path);
+  const std::string json = run_summary_json(summary);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+void merge_chrome_traces(const std::vector<std::string>& paths,
+                         const std::string& out_path) {
+  std::string merged = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool any = false;
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream content;
+    content << in.rdbuf();
+    const std::string text = content.str();
+    // trace.cpp writes traceEvents as the last member, so the events are
+    // exactly the text between the array's '[' and the final ']'.
+    const std::size_t marker = text.find("\"traceEvents\":[");
+    const std::size_t close = text.rfind(']');
+    if (marker == std::string::npos || close == std::string::npos) continue;
+    const std::size_t begin = marker + std::string("\"traceEvents\":[").size();
+    if (close <= begin) continue;
+    std::string events = text.substr(begin, close - begin);
+    // Trim whitespace so an empty array contributes nothing.
+    const std::size_t first = events.find_first_not_of(" \n\r\t");
+    if (first == std::string::npos) continue;
+    events = events.substr(first,
+                           events.find_last_not_of(" \n\r\t") - first + 1);
+    if (events.empty()) continue;
+    if (any) merged += ',';
+    merged += '\n';
+    merged += events;
+    any = true;
+  }
+  merged += "\n]}\n";
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) throw std::runtime_error("cannot write merged trace " + out_path);
+  std::fwrite(merged.data(), 1, merged.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace telemetry
+}  // namespace subsonic

@@ -1,0 +1,116 @@
+// Aggregation: turn per-rank metrics (live registries or the JSONL files
+// ranks write in the process runtime) into measured T_calc / T_com /
+// utilization, and put the paper's predicted efficiency (eqs. 17-21) next
+// to the measured f (eq. 12).
+//
+// The prediction deliberately does NOT derive U_calc / U_com from the
+// measured times — that would make predicted f identical to measured f by
+// algebra.  Instead it keeps the paper's calibration (U_calc / V_com =
+// 2/3 for the cluster in section 9) and feeds it measured geometry: N
+// from the decomposition, m recovered from the transport byte counters.
+// Agreement between the two columns then genuinely validates the model.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/telemetry/metrics.hpp"
+
+namespace subsonic {
+namespace telemetry {
+
+/// Everything one rank reported, in aggregate form.  Built either from a
+/// live MetricsRegistry (threaded drivers) or parsed back from the
+/// rank_<r>.metrics.jsonl file the rank wrote (process runtime).
+struct RankMetrics {
+  struct GaugeValue {
+    double value = 0;
+    double max = 0;
+  };
+
+  int rank = -1;
+  std::map<std::string, long long> counters;
+  std::map<std::string, GaugeValue> gauges;
+  std::map<std::string, TimerStats> timers;
+
+  /// Sum of total_s over every timer whose name starts with `prefix`.
+  double timer_total(std::string_view prefix) const;
+  /// Measured T_calc: every "compute." phase.
+  double t_calc() const { return timer_total("compute."); }
+  /// Measured T_com: every driver-level "comm." phase.  Transport-internal
+  /// waits live under "transport." and are excluded — they overlap the
+  /// comm spans and would double-count.
+  double t_com() const { return timer_total("comm."); }
+  /// g = T_calc / (T_calc + T_com); 0 for a rank that did no work (an
+  /// idle rank is not a perfectly utilized rank).
+  double utilization() const;
+
+  long long counter_or(std::string_view name, long long fallback = 0) const;
+};
+
+/// Snapshot one rank out of a live registry.
+RankMetrics collect_rank(const MetricsRegistry& registry, int rank);
+
+/// Parse a metrics JSONL file written by Session::write_metrics_jsonl.
+/// Lines that don't parse are skipped (a torn final line from a killed
+/// rank must not poison the aggregate).
+std::vector<RankMetrics> read_metrics_jsonl(const std::string& path);
+
+/// Geometry fed to the paper's model alongside the measurements.
+struct RunModelInputs {
+  int dims = 2;
+  /// Interior (owned) nodes per rank, N in the model.
+  double nodes_per_rank = 0;
+  int processes = 1;
+  /// The paper's cluster calibration (section 9): U_calc / V_com = 2/3.
+  double ucalc_over_vcom = 2.0 / 3.0;
+  /// Doubles shipped per boundary node per step (schedule.hpp); used to
+  /// recover the boundary-width factor m from the byte counters.
+  double comm_doubles_per_node = 3.0;
+};
+
+struct RankSummary {
+  int rank = -1;
+  long long steps = 0;
+  double t_calc = 0;
+  double t_com = 0;
+  double utilization = 0;
+  long long msgs_sent = 0;
+  long long doubles_sent = 0;
+};
+
+/// The whole run: measured means plus the model's predictions.
+struct RunSummary {
+  std::vector<RankSummary> ranks;
+  long long steps = 0;  ///< max over ranks (restarted ranks re-count)
+  long long restarts = 0;
+  double t_calc_mean = 0;  ///< mean over non-idle ranks
+  double t_com_mean = 0;
+  /// Measured f = (1 + T_com/T_calc)^-1 on the means (eq. 12); 0 when no
+  /// rank computed anything.
+  double measured_f = 0;
+  double utilization_mean = 0;  ///< mean g over non-idle ranks
+  /// Boundary-width factor m recovered from doubles_sent; 0 if unknown.
+  double m_factor = 0;
+  /// Model predictions with the paper calibration; 0 when m is unknown.
+  double predicted_f_dedicated = 0;
+  double predicted_f_shared_bus = 0;
+};
+
+RunSummary summarize_run(const std::vector<RankMetrics>& ranks,
+                         const RunModelInputs& model, long long restarts = 0);
+
+std::string run_summary_json(const RunSummary& summary);
+void write_run_summary(const RunSummary& summary, const std::string& path);
+
+/// Merge per-rank Chrome traces into one loadable file.  Works textually:
+/// each input ends with its traceEvents array (trace.cpp guarantees the
+/// layout), so the events splice together without a JSON parser.
+/// Unreadable inputs are skipped.
+void merge_chrome_traces(const std::vector<std::string>& paths,
+                         const std::string& out_path);
+
+}  // namespace telemetry
+}  // namespace subsonic

@@ -1,0 +1,58 @@
+#include "src/telemetry/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace subsonic {
+namespace telemetry {
+
+void TraceBuffer::record(TraceEvent e) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceBuffer::chrome_json() const {
+  const std::vector<TraceEvent> snapshot = events();
+  std::ostringstream os;
+  // The traceEvents array is deliberately the last member: the supervisor
+  // merges per-rank files textually by splicing everything between the
+  // array's '[' and the file's final ']' (summary.cpp).
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const TraceEvent& e = snapshot[i];
+    if (i) os << ',';
+    os << "\n{\"name\":\"" << e.name << "\",\"cat\":\"" << e.cat
+       << "\",\"ph\":\"X\",";
+    std::snprintf(buf, sizeof buf,
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%llu,"
+                  "\"args\":{\"step\":%ld}}",
+                  e.ts_us, e.dur_us, e.rank,
+                  static_cast<unsigned long long>(e.tid), e.step);
+    os << buf;
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void TraceBuffer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("cannot write trace file " + path);
+  const std::string json = chrome_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace telemetry
+}  // namespace subsonic

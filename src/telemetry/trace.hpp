@@ -1,0 +1,49 @@
+// Per-step phase tracing in Chrome trace-event format.  Every span the
+// runtime records (boundary compute, interior compute, post_sends,
+// complete_recvs, filter, checkpoint capture/flush, restart) becomes one
+// complete "X" event; the resulting file loads directly into
+// chrome://tracing or https://ui.perfetto.dev, with one track per rank
+// (rendered as the event's pid) — the per-rank timeline view that papers
+// like Wittmann et al. (arXiv:1111.1129) use to explain LB parallel
+// efficiency.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace subsonic {
+namespace telemetry {
+
+/// One completed span ("ph":"X" in Chrome trace terms).
+struct TraceEvent {
+  std::string name;  ///< span name, e.g. "compute.lb_collide_stream.band"
+  std::string cat;   ///< coarse category: "compute", "comm", "ckpt", ...
+  int rank = 0;      ///< rendered as the trace pid (one track per rank)
+  std::uint64_t tid = 0;  ///< thread within the rank
+  long step = 0;          ///< integration step, rendered into args
+  double ts_us = 0;       ///< start, microseconds since the session origin
+  double dur_us = 0;      ///< duration in microseconds
+};
+
+/// Thread-safe append-only buffer of spans.
+class TraceBuffer {
+ public:
+  void record(TraceEvent e);
+
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+
+  /// The buffer as one loadable Chrome trace: a JSON object whose
+  /// "traceEvents" array holds every span.
+  std::string chrome_json() const;
+  void write_chrome_trace(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace telemetry
+}  // namespace subsonic

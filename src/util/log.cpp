@@ -1,14 +1,35 @@
 #include "src/util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace subsonic {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("SUBSONIC_LOG"))
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& level_store() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
 std::mutex g_emit_mutex;
+
+struct LogContext {
+  bool active = false;
+  int rank = 0;
+  long step = -1;
+};
+thread_local LogContext t_context;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,16 +41,67 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+double seconds_since_start() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - origin).count();
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) { level_store().store(level); }
+LogLevel log_level() { return level_store().load(); }
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text)
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2")
+    return LogLevel::kWarn;
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "off" || lower == "none" || lower == "4") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void set_log_context(int rank, long step) {
+  t_context.active = true;
+  t_context.rank = rank;
+  t_context.step = step;
+}
+
+void clear_log_context() { t_context = LogContext{}; }
 
 namespace detail {
-void log_emit(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+
+std::string format_log_line(LogLevel level, const std::string& message) {
+  char head[96];
+  std::snprintf(head, sizeof head, "[%10.6f] [%s] ", seconds_since_start(),
+                level_name(level));
+  std::string line = head;
+  if (t_context.active) {
+    char ctx[64];
+    if (t_context.step >= 0)
+      std::snprintf(ctx, sizeof ctx, "[rank %d step %ld] ", t_context.rank,
+                    t_context.step);
+    else
+      std::snprintf(ctx, sizeof ctx, "[rank %d] ", t_context.rank);
+    line += ctx;
+  }
+  line += message;
+  return line;
 }
+
+void log_emit(LogLevel level, const std::string& message) {
+  const std::string line = format_log_line(level, message);
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
 }  // namespace detail
 
 }  // namespace subsonic

@@ -13,12 +13,14 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "src/decomp/decomposition.hpp"
 #include "src/geometry/flue_pipe.hpp"
 #include "src/io/checkpoint.hpp"
 #include "src/runtime/serial2d.hpp"
+#include "src/telemetry/summary.hpp"
 
 namespace subsonic {
 namespace {
@@ -254,6 +256,71 @@ TEST(ProcessSupervisor, SlowConnectingRankIsToleratedWithoutRestart) {
   EXPECT_EQ(r.restarts, 0);
   expect_matches_serial(mask, p, Method::kLatticeBoltzmann, 2, 2, 8,
                         workdir);
+}
+
+TEST(ProcessRuntime, TelemetrySummaryStatsAndTrace) {
+  // Exact per-rank accounting (4 ranks, 12 steps each) is what a
+  // CI-injected fault legitimately changes; pin the run fault-free.
+  ::unsetenv("SUBSONIC_FAULTS");
+  const Mask2D mask = closed_box(32, 24, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("telemetry");
+  ProcessRunOptions options;
+  options.trace = 1;  // force tracing, regardless of SUBSONIC_TRACE
+  options.checkpoint_interval = 4;
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 2, 12, workdir, options);
+
+  // Satellite: per-rank WorkerStats reconstructed from the JSONL streams.
+  ASSERT_EQ(r.rank_stats.size(), 4u);
+  for (const WorkerStats& ws : r.rank_stats) {
+    EXPECT_GT(ws.compute_s, 0.0);
+    EXPECT_GT(ws.comm_s, 0.0);
+    EXPECT_GT(ws.utilization(), 0.0);
+    EXPECT_LE(ws.utilization(), 1.0);
+  }
+
+  // Each rank streamed a parseable metrics file with full step counts and
+  // wire counters from the endpoint.
+  for (int rank = 0; rank < 4; ++rank) {
+    const auto parsed = telemetry::read_metrics_jsonl(
+        workdir + "/rank_" + std::to_string(rank) + ".metrics.jsonl");
+    ASSERT_EQ(parsed.size(), 1u) << "rank " << rank;
+    EXPECT_EQ(parsed[0].rank, rank);
+    EXPECT_EQ(parsed[0].counter_or("steps"), 12);
+    EXPECT_GT(parsed[0].counter_or("transport.msgs_sent"), 0);
+    EXPECT_GT(parsed[0].counter_or("transport.doubles_sent"), 0);
+  }
+
+  // run_summary.json: measured T_calc/T_com next to the model's f.
+  ASSERT_FALSE(r.summary_path.empty());
+  std::ifstream summary_in(r.summary_path);
+  ASSERT_TRUE(summary_in.good());
+  std::ostringstream summary_text;
+  summary_text << summary_in.rdbuf();
+  const std::string summary = summary_text.str();
+  EXPECT_NE(summary.find("\"ranks\""), std::string::npos);
+  EXPECT_NE(summary.find("\"measured_f\""), std::string::npos);
+  EXPECT_NE(summary.find("\"predicted_f_dedicated\""), std::string::npos);
+  EXPECT_NE(summary.find("\"m_factor\""), std::string::npos);
+
+  // Merged Chrome trace: one loadable file with complete-span events.
+  std::ifstream trace_in(workdir + "/trace.json");
+  ASSERT_TRUE(trace_in.good());
+  std::ostringstream trace_text;
+  trace_text << trace_in.rdbuf();
+  const std::string trace = trace_text.str();
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.front(), '{');
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("comm.post_sends"), std::string::npos);
+  EXPECT_NE(trace.find("ckpt.capture"), std::string::npos);
+
+  // The supervisor's own stream exists too (rank -1 metrics).
+  std::ifstream sup(workdir + "/supervisor.metrics.jsonl");
+  EXPECT_TRUE(sup.good());
 }
 
 TEST(ProcessSupervisor, CommitsEpochsAndCollectsOldOnes) {

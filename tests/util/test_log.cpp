@@ -45,6 +45,52 @@ TEST(Log, EmitDoesNotThrow) {
   EXPECT_NO_THROW(SUBSONIC_LOG(kDebug) << "debug " << 7);
 }
 
+TEST(Log, ParseLevelAcceptsNamesNumbersAndCase) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("4"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("7"), std::nullopt);
+}
+
+TEST(Log, ContextPrefixAppearsAndClears) {
+  clear_log_context();
+  std::string line = detail::format_log_line(LogLevel::kInfo, "hello");
+  EXPECT_EQ(line.find("[rank"), std::string::npos);
+  EXPECT_NE(line.find("[INFO] hello"), std::string::npos);
+
+  set_log_context(3, 17);
+  line = detail::format_log_line(LogLevel::kWarn, "boundary");
+  EXPECT_NE(line.find("[rank 3 step 17] boundary"), std::string::npos);
+
+  set_log_context(5);  // no step
+  line = detail::format_log_line(LogLevel::kError, "x");
+  EXPECT_NE(line.find("[rank 5] x"), std::string::npos);
+  EXPECT_EQ(line.find("step"), std::string::npos);
+
+  clear_log_context();
+  line = detail::format_log_line(LogLevel::kInfo, "done");
+  EXPECT_EQ(line.find("[rank"), std::string::npos);
+}
+
+TEST(Log, LinesCarryMonotonicTimestamps) {
+  // "[%10.6f] " heads every line; a later line never reads earlier.
+  const std::string first = detail::format_log_line(LogLevel::kInfo, "a");
+  const std::string second = detail::format_log_line(LogLevel::kInfo, "b");
+  ASSERT_EQ(first.front(), '[');
+  const double t0 = std::stod(first.substr(1));
+  const double t1 = std::stod(second.substr(1));
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GE(t1, t0);
+}
+
 TEST(Log, ThresholdOrdering) {
   EXPECT_LT(static_cast<int>(LogLevel::kDebug),
             static_cast<int>(LogLevel::kInfo));
