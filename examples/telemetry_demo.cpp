@@ -1,5 +1,5 @@
-// Telemetry end to end on the process runtime: a (2x2) lattice Boltzmann
-// run with tracing forced on, leaving in the working directory
+// Telemetry end to end on the process runtime: a supervised lattice
+// Boltzmann run with tracing forced on, leaving in the working directory
 //
 //   rank_<r>.metrics.jsonl   per-rank counters / gauges / phase timers
 //   rank_<r>.trace.json      per-rank Chrome trace
@@ -8,8 +8,9 @@
 //   run_summary.json         measured T_calc / T_com / utilization per
 //                            rank next to the paper model's predicted f
 //
-// Usage: telemetry_demo [workdir] [steps]   (workdir must exist;
-// default "." and 24 steps).
+// Usage: telemetry_demo [workdir] [steps] [dims]   (workdir must exist;
+// default "." / 24 steps / dims 2).  dims 2 runs a 2x2 decomposition,
+// dims 3 a 2x2x1 one — both through the same supervised Cohort pipeline.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,8 +21,13 @@ int main(int argc, char** argv) {
   using namespace subsonic;
   const std::string workdir = argc > 1 ? argv[1] : ".";
   const int steps = argc > 2 ? std::atoi(argv[2]) : 24;
+  const int dims = argc > 3 ? std::atoi(argv[3]) : 2;
+  if (dims != 2 && dims != 3) {
+    std::fprintf(stderr, "telemetry_demo: dims must be 2 or 3, got %d\n",
+                 dims);
+    return 1;
+  }
 
-  Mask2D mask(Extents2{96, 96}, 1);
   FluidParams params;
   params.dt = 1.0;
   params.nu = 0.02;
@@ -31,9 +37,17 @@ int main(int argc, char** argv) {
   options.trace = 1;  // force tracing regardless of SUBSONIC_TRACE
   options.checkpoint_interval = 8;
 
-  const ProcessRunResult result =
-      run_multiprocess2d(mask, params, Method::kLatticeBoltzmann, 2, 2,
-                         steps, workdir, options);
+  ProcessRunResult result;
+  if (dims == 2) {
+    Mask2D mask(Extents2{96, 96}, 1);
+    result = run_multiprocess2d(mask, params, Method::kLatticeBoltzmann, 2,
+                                2, steps, workdir, options);
+  } else {
+    params.periodic_z = true;
+    Mask3D mask(Extents3{32, 32, 16}, 1);
+    result = run_multiprocess3d(mask, params, Method::kLatticeBoltzmann, 2,
+                                2, 1, steps, workdir, options);
+  }
 
   std::printf("ran %d processes to step %ld (%d restart(s))\n",
               result.processes, result.final_step, result.restarts);

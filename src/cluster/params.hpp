@@ -5,6 +5,7 @@
 // 715/50 running 2D lattice Boltzmann).
 #pragma once
 
+#include "src/cluster/kernel_speeds.hpp"
 #include "src/solver/params.hpp"
 #include "src/util/check.hpp"
 
@@ -42,6 +43,13 @@ constexpr double host_speed_factor(HostModel host, Method method, int dims) {
 struct ClusterParams {
   /// Fluid-node updates per second at speed factor 1.0.
   double base_node_rate = 39132.0;
+
+  /// Optional measured per-kernel speeds (BENCH_kernels.json via
+  /// KernelSpeedTable::from_bench_json).  When the table covers the
+  /// method's 2D kernels, node_rate() composes them instead of using the
+  /// base_node_rate scalar; otherwise — empty table, missing kernel, or a
+  /// 3D method (the bench suite measures 2D kernels) — the scalar applies.
+  KernelSpeedTable kernel_speeds;
 
   /// Shared-bus Ethernet: payload bandwidth and fixed per-message cost
   /// (protocol + interrupt overhead, significant for small messages —
@@ -93,6 +101,19 @@ struct ClusterParams {
   /// (process start + channel reopen).  Paper: ~30 s per migration.
   double dump_bytes_per_s = 1.0e6;
   double restart_overhead_s = 10.0;
+
+  /// Fluid-node updates per second of `host` running `method` in `dims`
+  /// dimensions: the measured per-kernel rate when kernel_speeds covers
+  /// the method (2D only), else the paper's base_node_rate scalar; the
+  /// paper's relative host-speed factor applies in both cases.
+  double node_rate(HostModel host, Method method, int dims) const {
+    const double factor = host_speed_factor(host, method, dims);
+    if (dims == 2) {
+      if (const auto measured = kernel_speeds.node_rate(method))
+        return *measured * factor;
+    }
+    return base_node_rate * factor;
+  }
 
   /// Bytes of saved state per fluid node (the dump file).
   double state_bytes_per_node(Method method, int dims) const {

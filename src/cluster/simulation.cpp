@@ -193,8 +193,7 @@ SimResult ClusterSim::run(const WorkloadSpec& workload, long steps,
   int sync_skew = 0;
 
   auto node_rate = [&](int host) {
-    return params_.base_node_rate *
-           host_speed_factor(hosts[host].model, method, dims);
+    return params_.node_rate(hosts[host].model, method, dims);
   };
   auto cpu_share = [&](int host, double now) {
     return hosts[host].background_active(now) ? params_.busy_share : 1.0;
@@ -422,7 +421,7 @@ SimResult ClusterSim::run(const WorkloadSpec& workload, long steps,
   result.seconds_per_step = result.elapsed_s / double(steps);
   result.serial_seconds_per_step =
       double(workload.total_compute_nodes()) /
-      (params_.base_node_rate * host_speed_factor(reference, method, dims));
+      params_.node_rate(reference, method, dims);
   result.speedup = result.serial_seconds_per_step / result.seconds_per_step;
   result.efficiency = result.speedup / double(nprocs);
   result.messages = network.messages();

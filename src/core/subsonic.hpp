@@ -50,9 +50,11 @@
 #include "src/io/csv.hpp"
 #include "src/io/pgm.hpp"
 #include "src/perfmodel/efficiency.hpp"
+#include "src/runtime/gather.hpp"
 #include "src/runtime/parallel2d.hpp"
 #include "src/runtime/parallel3d.hpp"
 #include "src/runtime/process2d.hpp"
+#include "src/runtime/process3d.hpp"
 #include "src/runtime/serial2d.hpp"
 #include "src/runtime/serial3d.hpp"
 #include "src/solver/poiseuille.hpp"

@@ -1,0 +1,279 @@
+#include "src/runtime/cohort.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "src/comm/tcp_endpoint.hpp"
+#include "src/io/atomic_file.hpp"
+#include "src/io/checkpoint.hpp"
+#include "src/runtime/epoch_store.hpp"
+#include "src/telemetry/telemetry.hpp"
+#include "src/util/log.hpp"
+
+namespace subsonic {
+namespace cohort {
+
+std::string metrics_path(const std::string& workdir, int rank) {
+  return workdir + "/rank_" + std::to_string(rank) + ".metrics.jsonl";
+}
+
+std::string rank_trace_path(const std::string& workdir, int rank) {
+  return workdir + "/rank_" + std::to_string(rank) + ".trace.json";
+}
+
+std::string legacy_dump_path(const std::string& workdir, int rank) {
+  return workdir + "/rank_" + std::to_string(rank) + ".dump";
+}
+
+void tag_child_stderr(int fd, int rank) {
+  std::string pending;
+  char buf[512];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    pending.append(buf, static_cast<size_t>(n));
+    size_t pos;
+    while ((pos = pending.find('\n')) != std::string::npos) {
+      std::fprintf(stderr, "[rank %d] %.*s\n", rank, static_cast<int>(pos),
+                   pending.data());
+      pending.erase(0, pos + 1);
+    }
+  }
+  if (!pending.empty())
+    std::fprintf(stderr, "[rank %d] %s\n", rank, pending.c_str());
+  ::close(fd);
+}
+
+void flush_dump(const PendingDump& p, const ChildConfig& cfg,
+                const std::string& workdir, const FaultPlan& faults) {
+  const std::string path = epoch::dump_path(workdir, cfg.rank, p.epoch);
+  if (faults.torn_dump(cfg.rank, p.epoch, cfg.generation)) {
+    std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+    torn.write(p.bytes.data(),
+               static_cast<std::streamsize>(p.bytes.size() / 2));
+    torn.flush();
+    ::raise(SIGKILL);
+  }
+  atomic_write_file(path, p.bytes.data(), p.bytes.size());
+}
+
+template <int Dim>
+[[noreturn]] void child_main(const typename DomainTraits<Dim>::Mask& mask,
+                             const FluidParams& params, Method method,
+                             const typename DomainTraits<Dim>::Decomp& decomp,
+                             const std::vector<bool>& active,
+                             const ChildConfig& cfg,
+                             const std::string& workdir,
+                             const std::string& registry,
+                             const FaultPlan& faults) {
+  using Traits = DomainTraits<Dim>;
+  using LinkPlan = typename Traits::LinkPlan;
+  try {
+    telemetry::SessionConfig tel_cfg;
+    tel_cfg.trace = cfg.trace;
+    tel_cfg.origin_ns = cfg.origin_ns;
+    telemetry::Session session(tel_cfg);
+    telemetry::Session* const tel = &session;
+    set_log_context(cfg.rank);
+
+    const int ghost = required_ghost(method, params.filter_eps > 0.0);
+    typename Traits::Domain domain(mask, decomp.box(cfg.rank), params,
+                                   method, ghost, cfg.threads);
+    const std::string legacy_dump = legacy_dump_path(workdir, cfg.rank);
+    {
+      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.restore", "ckpt");
+      if (cfg.restore_epoch >= 0) {
+        restore_domain(domain,
+                       epoch::dump_path(workdir, cfg.rank, cfg.restore_epoch));
+      } else {
+        std::ifstream probe(legacy_dump, std::ios::binary);
+        if (probe.good()) restore_domain(domain, legacy_dump);
+      }
+    }
+
+    const int delay_ms = faults.delay_connect_ms(cfg.rank, cfg.generation);
+    if (delay_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+
+    TcpEndpointOptions ep_options;
+    ep_options.recv_deadline_ms = cfg.recv_deadline_ms;
+    ep_options.metrics = session.metrics_ptr();
+    TcpEndpoint endpoint(cfg.rank, decomp.rank_count(), registry,
+                         ep_options);
+    const auto links =
+        Traits::make_links(decomp, cfg.rank, ghost, params, active);
+    const auto schedule = Traits::make_schedule(method);
+
+    auto post_sends = [&](const std::vector<FieldId>& fields, long step,
+                          int phase) {
+      for (const LinkPlan& link : links)
+        endpoint.send(link.peer, make_tag(step, phase, link.dir),
+                      Traits::pack(domain, fields, link.send_box));
+    };
+    auto complete_recvs = [&](const std::vector<FieldId>& fields, long step,
+                              int phase) {
+      for (const LinkPlan& link : links)
+        Traits::unpack(domain, fields, link.recv_box,
+                       endpoint.recv(link.peer,
+                                     make_tag(step, phase, link.peer_dir)));
+    };
+    auto exchange = [&](const std::vector<FieldId>& fields, long step,
+                        int phase) {
+      post_sends(fields, step, phase);
+      complete_recvs(fields, step, phase);
+    };
+
+    // Initial full sync seeds the ghost regions (same as the threaded
+    // runtime's reinitialize step).  The tag carries the restore step, so
+    // a respawned cohort handshakes consistently regardless of epoch.
+    std::vector<FieldId> all_fields = Traits::macro_fields();
+    for (int i = 0; i < domain.q(); ++i) all_fields.push_back(population(i));
+    {
+      telemetry::ScopedSpan span(tel, cfg.rank, "comm.sync", "comm",
+                                 domain.step());
+      exchange(all_fields, domain.step(), 1023);
+    }
+
+    std::vector<PendingDump> pending;
+    while (domain.step() < cfg.target_step) {
+      const long step = domain.step();
+      set_log_context(cfg.rank, step);
+      for (size_t i = 0; i < schedule.size(); ++i) {
+        const Phase& phase = schedule[i];
+        if (phase.kind == Phase::Kind::kCompute) {
+          const bool split = cfg.sched == Scheduling::kOverlap &&
+                             i + 1 < schedule.size() &&
+                             schedule[i + 1].kind == Phase::Kind::kExchange;
+          if (split) {
+            const Phase& ex = schedule[i + 1];
+            const int ex_index = static_cast<int>(i + 1);
+            {
+              telemetry::ScopedSpan span(
+                  tel, cfg.rank,
+                  compute_phase_name(phase.compute, ComputePass::kBand),
+                  "compute", step);
+              Traits::run_compute(domain, phase.compute, ComputePass::kBand);
+            }
+            {
+              telemetry::ScopedSpan span(tel, cfg.rank, "comm.post_sends",
+                                         "comm", step);
+              post_sends(ex.fields, step, ex_index);
+            }
+            {
+              telemetry::ScopedSpan span(
+                  tel, cfg.rank,
+                  compute_phase_name(phase.compute, ComputePass::kInterior),
+                  "compute", step);
+              Traits::run_compute(domain, phase.compute,
+                                  ComputePass::kInterior);
+            }
+            {
+              telemetry::ScopedSpan span(tel, cfg.rank, "comm.complete_recvs",
+                                         "comm", step);
+              complete_recvs(ex.fields, step, ex_index);
+            }
+            ++i;
+          } else {
+            telemetry::ScopedSpan span(tel, cfg.rank,
+                                       compute_phase_name(phase.compute),
+                                       "compute", step);
+            Traits::run_compute(domain, phase.compute);
+          }
+        } else {
+          telemetry::ScopedSpan span(tel, cfg.rank, "comm.exchange", "comm",
+                                     step);
+          exchange(phase.fields, step, static_cast<int>(i));
+        }
+      }
+      domain.set_step(step + 1);
+      tel->metrics().counter(cfg.rank, "steps").add();
+      const long done = domain.step();
+
+      // A kill fault fires before this step's checkpoint work, so the
+      // crash always loses whatever the stagger had not yet flushed.
+      if (auto ks = faults.kill_step(cfg.rank, cfg.generation))
+        if (done - cfg.start_step >= *ks) ::raise(SIGKILL);
+
+      if (cfg.checkpoint_interval > 0 &&
+          (done - cfg.start_step) % cfg.checkpoint_interval == 0 &&
+          done < cfg.target_step) {
+        telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.capture", "ckpt",
+                                   done);
+        PendingDump p;
+        p.epoch = (done - cfg.start_step) / cfg.checkpoint_interval - 1;
+        p.flush_step = done + cfg.stagger_index;
+        p.bytes = serialize_domain(domain);
+        pending.push_back(std::move(p));
+      }
+      for (size_t i = 0; i < pending.size();) {
+        if (done >= pending[i].flush_step) {
+          telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.flush", "ckpt",
+                                     done);
+          flush_dump(pending[i], cfg, workdir, faults);
+          pending.erase(pending.begin() + static_cast<long>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+    set_log_context(cfg.rank);
+    for (const PendingDump& p : pending) {
+      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.flush", "ckpt",
+                                 domain.step());
+      flush_dump(p, cfg, workdir, faults);
+    }
+
+    // Drain the async send queue before _exit: a peer may still be
+    // waiting on our final-step messages.
+    {
+      telemetry::ScopedSpan span(tel, cfg.rank, "comm.flush", "comm",
+                                 domain.step());
+      endpoint.flush();
+    }
+    {
+      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.final_save", "ckpt",
+                                 domain.step());
+      save_domain(domain, legacy_dump);
+    }
+
+    // The telemetry streams are this rank's half of the supervisor's
+    // run_summary.json; written last so they cover the whole run, and only
+    // on a clean exit (a killed rank contributes nothing — the respawned
+    // generation rewrites the file).
+    session.write_metrics_jsonl(metrics_path(workdir, cfg.rank));
+    if (session.tracing())
+      session.write_trace_json(rank_trace_path(workdir, cfg.rank));
+    ::_exit(0);
+  } catch (const peer_lost_error& e) {
+    // Expected when a neighbour dies: report and exit so the supervisor
+    // can restart the cohort.  Never hang.
+    std::fprintf(stderr, "subprocess rank %d lost a peer: %s\n", cfg.rank,
+                 e.what());
+    ::_exit(3);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "subprocess rank %d failed: %s\n", cfg.rank,
+                 e.what());
+    ::_exit(1);
+  } catch (...) {
+    ::_exit(2);
+  }
+}
+
+template void child_main<2>(const Mask2D&, const FluidParams&, Method,
+                            const Decomposition2D&, const std::vector<bool>&,
+                            const ChildConfig&, const std::string&,
+                            const std::string&, const FaultPlan&);
+template void child_main<3>(const Mask3D&, const FluidParams&, Method,
+                            const Decomposition3D&, const std::vector<bool>&,
+                            const ChildConfig&, const std::string&,
+                            const std::string&, const FaultPlan&);
+
+}  // namespace cohort
+}  // namespace subsonic

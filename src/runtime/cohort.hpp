@@ -1,0 +1,113 @@
+// The child half of the supervised process runtime, dimension-generic.
+// A "cohort" is one spawned generation of rank processes; this header
+// carries the per-child configuration, the staggered-checkpoint pending
+// queue, and child_main<Dim> — the body every forked rank runs: build the
+// local domain (restore its epoch or legacy dump), loop compute/exchange
+// until target_step, save staggered epoch checkpoints, dump, exit.  The
+// supervisor (supervisor.hpp) forks, reaps and respawns cohorts.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/domain_traits.hpp"
+#include "src/solver/pass.hpp"
+#include "src/util/fault_plan.hpp"
+
+namespace subsonic {
+namespace cohort {
+
+/// "rank_<r>.metrics.jsonl" in `workdir`: one child's metrics stream.
+std::string metrics_path(const std::string& workdir, int rank);
+
+/// "rank_<r>.trace.json" in `workdir`: one child's Chrome-trace capture.
+std::string rank_trace_path(const std::string& workdir, int rank);
+
+/// "rank_<r>.dump" in `workdir`: the final-state dump a clean child
+/// leaves behind (and restores from on a continuation run).
+std::string legacy_dump_path(const std::string& workdir, int rank);
+
+/// Parent-side half of the child-stderr tagging pipe: reads the child's
+/// stderr line by line and re-emits each line onto the supervisor's
+/// stderr prefixed "[rank r]", so interleaved output from a cohort stays
+/// attributable.  Runs until EOF (every write end of the pipe closed,
+/// i.e. the child exited); fprintf keeps each line atomic.
+void tag_child_stderr(int fd, int rank);
+
+/// Everything one child process needs beyond the physics inputs: its
+/// identity within the current supervisor generation, where to resume
+/// from, and the checkpoint/deadline/fault policy.
+struct ChildConfig {
+  int rank = -1;
+  int generation = 0;     ///< supervisor respawn counter (0 = first cohort)
+  long target_step = 0;   ///< run until domain.step() reaches this
+  long start_step = 0;    ///< step the run as a whole began at
+  long restore_epoch = -1;  ///< epoch dump to restore (-1: legacy/fresh)
+  int checkpoint_interval = 0;
+  int stagger_index = 0;  ///< this rank's index in the active list
+  int recv_deadline_ms = 0;
+  Scheduling sched = Scheduling::kOverlap;
+  int threads = 0;
+  bool trace = false;        ///< record Chrome-trace spans in this child
+  long long origin_ns = -1;  ///< supervisor's trace origin, so per-rank
+                             ///< traces merge onto one timeline
+};
+
+/// A checkpoint captured in memory at its epoch step but flushed to disk
+/// a few steps later — the paper's orderly *staggered* state saving.
+/// Deferring only the write (never the capture) keeps every rank's dump
+/// for an epoch at the same logical step.
+struct PendingDump {
+  long epoch = 0;
+  long flush_step = 0;  ///< write once domain.step() reaches this
+  std::vector<char> bytes;
+};
+
+/// Writes one pending dump.  A matching torn_dump fault writes only the
+/// front half of the bytes straight to the final path (no tmp+rename) and
+/// kills the process — simulating a rank dying mid-write without the
+/// atomic protocol.  Restart must then treat the file as garbage.
+void flush_dump(const PendingDump& p, const ChildConfig& cfg,
+                const std::string& workdir, const FaultPlan& faults);
+
+/// One spawned cohort: pid-per-active-rank plus reap bookkeeping, and the
+/// stderr-tagger thread per child (each drains one pipe until the child
+/// exits).
+struct Cohort {
+  std::vector<pid_t> pids;   // parallel to active_list
+  std::vector<bool> reaped;  // parallel to active_list
+  std::vector<int> status;   // valid where reaped
+  std::vector<std::thread> taggers;
+};
+
+/// The body of one parallel subprocess.  Never returns normally — the
+/// child must not unwind into the parent's runtime state.  Injected
+/// faults fire here: a kill fault SIGKILLs the process at its step
+/// *before* pending epoch dumps for that step are flushed, a
+/// delay_connect fault stalls the rank before it registers.
+template <int Dim>
+[[noreturn]] void child_main(const typename DomainTraits<Dim>::Mask& mask,
+                             const FluidParams& params, Method method,
+                             const typename DomainTraits<Dim>::Decomp& decomp,
+                             const std::vector<bool>& active,
+                             const ChildConfig& cfg,
+                             const std::string& workdir,
+                             const std::string& registry,
+                             const FaultPlan& faults);
+
+extern template void child_main<2>(const Mask2D&, const FluidParams&, Method,
+                                   const Decomposition2D&,
+                                   const std::vector<bool>&,
+                                   const ChildConfig&, const std::string&,
+                                   const std::string&, const FaultPlan&);
+extern template void child_main<3>(const Mask3D&, const FluidParams&, Method,
+                                   const Decomposition3D&,
+                                   const std::vector<bool>&,
+                                   const ChildConfig&, const std::string&,
+                                   const std::string&, const FaultPlan&);
+
+}  // namespace cohort
+}  // namespace subsonic

@@ -1,0 +1,55 @@
+// The process runtime's gather surface: reconstruct the full macroscopic
+// fields from the per-rank dump files a supervised run leaves behind —
+// "these files contain all the information that is needed" (paper section
+// 4.1), so the dumps double as the result-gathering mechanism and no
+// driver or tool needs per-dimension I/O code.  Works on the final
+// rank_<r>.dump files (epoch == -1) or on any MANIFEST-committed epoch's
+// rank_<r>.epoch_<e>.dump files, in both dimensions.
+#pragma once
+
+#include <string>
+
+#include "src/geometry/mask.hpp"
+#include "src/grid/padded_field.hpp"
+#include "src/solver/params.hpp"
+
+namespace subsonic {
+
+/// Global macroscopic fields reassembled from a 2D run's dumps.  Inactive
+/// (all-solid) subregions hold the quiescent state, exactly as in
+/// ParallelDriver::gather.
+struct GatheredFields2D {
+  long step = 0;  ///< step counter every dump agreed on
+  PaddedField2D<double> rho;
+  PaddedField2D<double> vx;
+  PaddedField2D<double> vy;
+};
+
+/// 3D counterpart of GatheredFields2D.
+struct GatheredFields3D {
+  long step = 0;
+  PaddedField3D<double> rho;
+  PaddedField3D<double> vx;
+  PaddedField3D<double> vy;
+  PaddedField3D<double> vz;
+};
+
+/// Reassembles rho/Vx/Vy from the dumps of a (jx x jy) supervised run in
+/// `workdir`.  `epoch` == -1 reads the final rank_<r>.dump files; an
+/// `epoch` >= 0 must be committed (<= the MANIFEST's newest epoch) and
+/// reads that epoch's dumps.  The mask, params, method and decomposition
+/// must match the run that wrote the dumps; throws checkpoint_error /
+/// contract_error on corrupt files or any mismatch, including dumps that
+/// disagree on the step counter.
+GatheredFields2D gather_fields2d(const Mask2D& mask,
+                                 const FluidParams& params, Method method,
+                                 int jx, int jy, const std::string& workdir,
+                                 long epoch = -1);
+
+/// 3D counterpart: reassembles rho/Vx/Vy/Vz from a (jx x jy x jz) run.
+GatheredFields3D gather_fields3d(const Mask3D& mask,
+                                 const FluidParams& params, Method method,
+                                 int jx, int jy, int jz,
+                                 const std::string& workdir, long epoch = -1);
+
+}  // namespace subsonic

@@ -1,89 +1,22 @@
-// Threaded 3D parallel driver; see parallel2d.hpp.
+// Compatibility header: ParallelDriver3D wraps the 3D instantiation of
+// the dimension-generic ParallelDriver template (parallel_driver.hpp),
+// keeping the historical (jx, jy, jz) constructor signature.
 #pragma once
 
-#include <atomic>
 #include <memory>
-#include <string>
-#include <vector>
 
-#include "src/comm/transport.hpp"
-#include "src/decomp/decomposition.hpp"
-#include "src/runtime/exchange3d.hpp"
-#include "src/runtime/sync_file.hpp"
-#include "src/runtime/worker_stats.hpp"
-#include "src/solver/schedule.hpp"
-#include "src/telemetry/telemetry.hpp"
+#include "src/runtime/parallel_driver.hpp"
 
 namespace subsonic {
 
-class ParallelDriver3D {
+class ParallelDriver3D : public ParallelDriver<3> {
  public:
-  /// `threads` is the intra-subregion worker count, nested under the
-  /// per-subregion threads; see ParallelDriver2D.
   ParallelDriver3D(const Mask3D& mask, const FluidParams& params,
                    Method method, int jx, int jy, int jz,
                    std::shared_ptr<Transport> transport = nullptr,
-                   Scheduling sched = Scheduling::kOverlap,
-                   int threads = 0);
-
-  void run(int n);
-
-  /// See ParallelDriver2D::run_until_sync (appendix B).
-  int run_until_sync(int max_steps, const std::atomic<bool>& request,
-                     SyncFile& sync_file);
-
-  const Decomposition3D& decomposition() const { return decomp_; }
-  int active_count() const { return static_cast<int>(workers_.size()); }
-
-  /// Accumulated timing of the worker owning `rank` (must be active).
-  const WorkerStats& stats(int rank) const;
-
-  Domain3D& subdomain(int rank);
-  const Domain3D& subdomain(int rank) const;
-  bool is_active(int rank) const { return active_[rank]; }
-
-  PaddedField3D<double> gather(FieldId id) const;
-
-  void reinitialize();
-
-  /// Per-subregion dump files; see ParallelDriver2D::save_checkpoint.
-  void save_checkpoint(const std::string& dir) const;
-  void restore_checkpoint(const std::string& dir);
-
-  Transport& transport() { return *transport_; }
-
-  /// Live telemetry; see ParallelDriver2D::telemetry().
-  telemetry::Session& telemetry() { return *telemetry_; }
-  const telemetry::Session& telemetry() const { return *telemetry_; }
-
- private:
-  struct Worker {
-    int rank = -1;
-    std::unique_ptr<Domain3D> domain;
-    std::vector<LinkPlan3D> links;
-    WorkerStats stats;
-  };
-
-  void post_sends(Worker& w, const std::vector<FieldId>& fields, long step,
-                  int phase_index);
-  void complete_recvs(Worker& w, const std::vector<FieldId>& fields,
-                      long step, int phase_index);
-  void exchange(Worker& w, const std::vector<FieldId>& fields, long step,
-                int phase_index);
-  void step_once(Worker& w);
-  void worker_loop(Worker& w, int steps);
-
-  Decomposition3D decomp_;
-  FluidParams params_;
-  Method method_;
-  int ghost_;
-  std::vector<Phase> schedule_;
-  std::vector<bool> active_;
-  std::vector<int> worker_of_rank_;
-  std::vector<Worker> workers_;
-  std::shared_ptr<Transport> transport_;
-  Scheduling sched_ = Scheduling::kOverlap;
-  std::unique_ptr<telemetry::Session> telemetry_;
+                   Scheduling sched = Scheduling::kOverlap, int threads = 0)
+      : ParallelDriver<3>(mask, params, method, GridShape{jx, jy, jz},
+                          std::move(transport), sched, threads) {}
 };
 
 }  // namespace subsonic

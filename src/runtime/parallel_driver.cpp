@@ -1,13 +1,11 @@
-#include "src/runtime/parallel2d.hpp"
+#include "src/runtime/parallel_driver.hpp"
 
-#include <atomic>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "src/comm/in_memory_transport.hpp"
 #include "src/io/checkpoint.hpp"
-#include "src/solver/lbm2d.hpp"
 #include "src/util/check.hpp"
 #include "src/util/log.hpp"
 
@@ -19,16 +17,17 @@ namespace {
 constexpr int kSyncPhase = 1023;
 }  // namespace
 
-ParallelDriver2D::ParallelDriver2D(const Mask2D& mask,
-                                   const FluidParams& params, Method method,
-                                   int jx, int jy,
-                                   std::shared_ptr<Transport> transport,
-                                   Scheduling sched, int threads)
-    : decomp_(mask.extents(), jx, jy),
+template <int Dim>
+ParallelDriver<Dim>::ParallelDriver(const Mask& mask,
+                                    const FluidParams& params, Method method,
+                                    const GridShape& grid,
+                                    std::shared_ptr<Transport> transport,
+                                    Scheduling sched, int threads)
+    : decomp_(Traits::make_decomposition(mask, grid)),
       params_(params),
       method_(method),
       ghost_(required_ghost(method, params.filter_eps > 0.0)),
-      schedule_(make_schedule2d(method)),
+      schedule_(Traits::make_schedule(method)),
       transport_(std::move(transport)),
       sched_(sched) {
   const auto active = active_ranks(decomp_, mask);
@@ -44,19 +43,17 @@ ParallelDriver2D::ParallelDriver2D(const Mask2D& mask,
   worker_of_rank_.assign(decomp_.rank_count(), -1);
   workers_.reserve(active.size());
   for (int r = 0; r < decomp_.rank_count(); ++r) {
-    const Box2 b = decomp_.box(r);
     SUBSONIC_REQUIRE_MSG(
-        b.width() >= ghost_ && b.height() >= ghost_,
+        !Traits::thinner_than_ghost(decomp_.box(r), ghost_),
         "subregion thinner than the ghost width: its depth-g padding "
         "would need data from non-adjacent subregions");
   }
   for (int r : active) {
     Worker w;
     w.rank = r;
-    w.domain = std::make_unique<Domain2D>(mask, decomp_.box(r), params_,
-                                          method_, ghost_, threads);
-    w.links = make_link_plans2d(decomp_, r, ghost_, params_.periodic_x,
-                                params_.periodic_y, active_);
+    w.domain = std::make_unique<Domain>(mask, decomp_.box(r), params_,
+                                        method_, ghost_, threads);
+    w.links = Traits::make_links(decomp_, r, ghost_, params_, active_);
     worker_of_rank_[r] = static_cast<int>(workers_.size());
     workers_.push_back(std::move(w));
   }
@@ -64,37 +61,45 @@ ParallelDriver2D::ParallelDriver2D(const Mask2D& mask,
   reinitialize();
 }
 
-Domain2D& ParallelDriver2D::subdomain(int rank) {
+template <int Dim>
+typename ParallelDriver<Dim>::Domain& ParallelDriver<Dim>::subdomain(
+    int rank) {
   SUBSONIC_REQUIRE(rank >= 0 && rank < decomp_.rank_count());
   SUBSONIC_REQUIRE_MSG(worker_of_rank_[rank] >= 0, "rank is inactive");
   return *workers_[worker_of_rank_[rank]].domain;
 }
 
-const Domain2D& ParallelDriver2D::subdomain(int rank) const {
-  return const_cast<ParallelDriver2D*>(this)->subdomain(rank);
+template <int Dim>
+const typename ParallelDriver<Dim>::Domain& ParallelDriver<Dim>::subdomain(
+    int rank) const {
+  return const_cast<ParallelDriver<Dim>*>(this)->subdomain(rank);
 }
 
-void ParallelDriver2D::post_sends(Worker& w,
-                                  const std::vector<FieldId>& fields,
-                                  long step, int phase_index) {
-  for (const LinkPlan2D& link : w.links)
+template <int Dim>
+void ParallelDriver<Dim>::post_sends(Worker& w,
+                                     const std::vector<FieldId>& fields,
+                                     long step, int phase_index) {
+  for (const LinkPlan& link : w.links)
     transport_->send(w.rank, link.peer,
                      make_tag(step, phase_index, link.dir),
-                     pack2d(*w.domain, fields, link.send_box));
+                     Traits::pack(*w.domain, fields, link.send_box));
 }
 
-void ParallelDriver2D::complete_recvs(Worker& w,
-                                      const std::vector<FieldId>& fields,
-                                      long step, int phase_index) {
-  for (const LinkPlan2D& link : w.links) {
+template <int Dim>
+void ParallelDriver<Dim>::complete_recvs(Worker& w,
+                                         const std::vector<FieldId>& fields,
+                                         long step, int phase_index) {
+  for (const LinkPlan& link : w.links) {
     const auto payload = transport_->recv(
         w.rank, link.peer, make_tag(step, phase_index, link.peer_dir));
-    unpack2d(*w.domain, fields, link.recv_box, payload);
+    Traits::unpack(*w.domain, fields, link.recv_box, payload);
   }
 }
 
-void ParallelDriver2D::exchange(Worker& w, const std::vector<FieldId>& fields,
-                                long step, int phase_index) {
+template <int Dim>
+void ParallelDriver<Dim>::exchange(Worker& w,
+                                   const std::vector<FieldId>& fields,
+                                   long step, int phase_index) {
   // Send everything first, then block on the receives: the paper's
   // processes compute, post their boundary, and wait for their
   // neighbours' boundaries.
@@ -102,7 +107,8 @@ void ParallelDriver2D::exchange(Worker& w, const std::vector<FieldId>& fields,
   complete_recvs(w, fields, step, phase_index);
 }
 
-void ParallelDriver2D::step_once(Worker& w) {
+template <int Dim>
+void ParallelDriver<Dim>::step_once(Worker& w) {
   telemetry::Session* const tel = telemetry_.get();
   const long step = w.domain->step();
   set_log_context(w.rank, step);
@@ -122,7 +128,7 @@ void ParallelDriver2D::step_once(Worker& w) {
               tel, w.rank,
               compute_phase_name(phase.compute, ComputePass::kBand),
               "compute", step);
-          run_compute2d(*w.domain, phase.compute, ComputePass::kBand);
+          Traits::run_compute(*w.domain, phase.compute, ComputePass::kBand);
           w.stats.compute_s += span.stop();
         }
         {
@@ -136,7 +142,8 @@ void ParallelDriver2D::step_once(Worker& w) {
               tel, w.rank,
               compute_phase_name(phase.compute, ComputePass::kInterior),
               "compute", step);
-          run_compute2d(*w.domain, phase.compute, ComputePass::kInterior);
+          Traits::run_compute(*w.domain, phase.compute,
+                              ComputePass::kInterior);
           w.stats.compute_s += span.stop();
         }
         {
@@ -150,7 +157,7 @@ void ParallelDriver2D::step_once(Worker& w) {
         telemetry::ScopedSpan span(tel, w.rank,
                                    compute_phase_name(phase.compute),
                                    "compute", step);
-        run_compute2d(*w.domain, phase.compute);
+        Traits::run_compute(*w.domain, phase.compute);
         w.stats.compute_s += span.stop();
       }
     } else {
@@ -163,18 +170,21 @@ void ParallelDriver2D::step_once(Worker& w) {
   tel->metrics().counter(w.rank, "steps").add();
 }
 
-void ParallelDriver2D::worker_loop(Worker& w, int steps) {
+template <int Dim>
+void ParallelDriver<Dim>::worker_loop(Worker& w, int steps) {
   for (int s = 0; s < steps; ++s) step_once(w);
   clear_log_context();
 }
 
-const WorkerStats& ParallelDriver2D::stats(int rank) const {
+template <int Dim>
+const WorkerStats& ParallelDriver<Dim>::stats(int rank) const {
   SUBSONIC_REQUIRE(rank >= 0 && rank < decomp_.rank_count());
   SUBSONIC_REQUIRE_MSG(worker_of_rank_[rank] >= 0, "rank is inactive");
   return workers_[worker_of_rank_[rank]].stats;
 }
 
-void ParallelDriver2D::run(int n) {
+template <int Dim>
+void ParallelDriver<Dim>::run(int n) {
   if (workers_.size() == 1) {  // no threads needed
     worker_loop(workers_[0], n);
     return;
@@ -197,9 +207,10 @@ void ParallelDriver2D::run(int n) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
-int ParallelDriver2D::run_until_sync(int max_steps,
-                                     const std::atomic<bool>& request,
-                                     SyncFile& sync_file) {
+template <int Dim>
+int ParallelDriver<Dim>::run_until_sync(int max_steps,
+                                        const std::atomic<bool>& request,
+                                        SyncFile& sync_file) {
   SUBSONIC_REQUIRE(max_steps >= 1);
   const long start = workers_.empty() ? 0 : workers_[0].domain->step();
   // A sync file left over from a crashed or aborted earlier round would
@@ -260,22 +271,29 @@ int ParallelDriver2D::run_until_sync(int max_steps,
   return static_cast<int>(finished - start);
 }
 
-void ParallelDriver2D::reinitialize() {
-  static std::atomic<long> sync_epoch{0};
+template <int Dim>
+void ParallelDriver<Dim>::reinitialize() {
+  // Per-instantiation static: the 2D and 3D counters start at disjoint
+  // bases, so sync tags never collide on a transport shared across
+  // dimensions.
+  static std::atomic<long> sync_epoch{Traits::kSyncEpochBase};
   const long epoch = sync_epoch.fetch_add(1);
 
-  std::vector<FieldId> all_fields{FieldId::kRho, FieldId::kVx, FieldId::kVy};
-  if (method_ == Method::kLatticeBoltzmann)
-    for (int i = 0; i < lbm2d::kQ; ++i) all_fields.push_back(population(i));
+  std::vector<FieldId> all_fields = Traits::macro_fields();
+  if (method_ == Method::kLatticeBoltzmann) {
+    const int q = workers_.empty() ? 0 : workers_[0].domain->q();
+    for (int i = 0; i < q; ++i) all_fields.push_back(population(i));
+  }
 
   auto sync_one = [&](Worker& w) {
     if (method_ == Method::kLatticeBoltzmann)
-      lbm2d::set_equilibrium_both(*w.domain);
+      Traits::set_equilibrium(*w.domain);
     telemetry::ScopedSpan span(telemetry_.get(), w.rank, "comm.sync", "comm",
                                w.domain->step());
     exchange(w, all_fields, epoch, kSyncPhase);
   };
 
+  if (workers_.empty()) return;
   if (workers_.size() == 1) {
     sync_one(workers_[0]);
     return;
@@ -286,41 +304,33 @@ void ParallelDriver2D::reinitialize() {
   for (std::thread& t : threads) t.join();
 }
 
-void ParallelDriver2D::save_checkpoint(const std::string& dir) const {
+template <int Dim>
+void ParallelDriver<Dim>::save_checkpoint(const std::string& dir) const {
   // One after the other in rank order, as the paper's processes stagger
   // their saves to avoid monopolizing the file server.
   for (const Worker& w : workers_)
-    save_domain(*w.domain, dir + "/rank_" + std::to_string(w.rank) +
-                               ".dump");
+    save_domain(*w.domain,
+                dir + "/rank_" + std::to_string(w.rank) + ".dump");
 }
 
-void ParallelDriver2D::restore_checkpoint(const std::string& dir) {
+template <int Dim>
+void ParallelDriver<Dim>::restore_checkpoint(const std::string& dir) {
   for (Worker& w : workers_)
-    restore_domain(*w.domain, dir + "/rank_" + std::to_string(w.rank) +
-                                  ".dump");
+    restore_domain(*w.domain,
+                   dir + "/rank_" + std::to_string(w.rank) + ".dump");
 }
 
-PaddedField2D<double> ParallelDriver2D::gather(FieldId id) const {
-  const Extents2 ge = decomp_.global();
-  PaddedField2D<double> out(ge, 0);
-
-  // Quiescent default for inactive (all-solid) subregions, matching what
-  // the serial boundary pass holds at wall nodes.
-  double default_value = 0.0;
-  if (id == FieldId::kRho) default_value = params_.rho0;
-  if (is_population(id))
-    default_value =
-        lbm2d::equilibrium(population_index(id), params_.rho0, 0.0, 0.0);
-  out.fill(default_value);
-
-  for (const Worker& w : workers_) {
-    const Box2 b = decomp_.box(w.rank);
-    const PaddedField2D<double>& u = w.domain->field(id);
-    for (int y = 0; y < b.height(); ++y)
-      for (int x = 0; x < b.width(); ++x)
-        out(b.x0 + x, b.y0 + y) = u(x, y);
-  }
+template <int Dim>
+typename ParallelDriver<Dim>::Field ParallelDriver<Dim>::gather(
+    FieldId id) const {
+  Field out = Traits::make_global_field(decomp_);
+  out.fill(Traits::quiescent(id, params_));
+  for (const Worker& w : workers_)
+    Traits::copy_interior(out, *w.domain, id, decomp_.box(w.rank));
   return out;
 }
+
+template class ParallelDriver<2>;
+template class ParallelDriver<3>;
 
 }  // namespace subsonic

@@ -1,0 +1,139 @@
+// Threaded parallel driver: one worker per active subregion, executing the
+// same per-step schedule as the serial driver, with the exchange phases
+// realized as transport messages (paper section 4).  Synchronization is
+// indirect, exactly as in the paper: a worker blocks only when it has not
+// yet received the boundary data its next compute phase needs, so
+// neighbours drift apart by at most the stencil distance (appendix A).
+// One template covers both dimensions; ParallelDriver2D/3D in
+// parallel2d.hpp / parallel3d.hpp are thin compatibility shims over it.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/comm/transport.hpp"
+#include "src/runtime/domain_traits.hpp"
+#include "src/runtime/sync_file.hpp"
+#include "src/runtime/worker_stats.hpp"
+#include "src/solver/schedule.hpp"
+#include "src/telemetry/telemetry.hpp"
+
+namespace subsonic {
+
+template <int Dim>
+class ParallelDriver {
+ public:
+  using Traits = DomainTraits<Dim>;
+  using Mask = typename Traits::Mask;
+  using Domain = typename Traits::Domain;
+  using Decomp = typename Traits::Decomp;
+  using LinkPlan = typename Traits::LinkPlan;
+  using Field = typename Traits::Field;
+
+  /// Decomposes `mask` into `grid` subregions and builds one Domain per
+  /// active subregion.  If `transport` is null an InMemoryTransport is
+  /// created internally.  `sched` picks the per-step phase ordering:
+  /// kOverlap computes the boundary band first, posts the sends, computes
+  /// the interior while the messages are in flight, and only then blocks
+  /// on the receives; kLegacy is compute-everything-then-exchange.  Both
+  /// orderings produce bitwise identical fields.  `threads` is the
+  /// *intra-subregion* worker count: each subregion's kernels shard their
+  /// rows across a per-domain pool, nested under the one-thread-per-
+  /// subregion parallelism (0 = SUBSONIC_THREADS env or 1); bitwise
+  /// neutral like the scheduling choice.
+  ParallelDriver(const Mask& mask, const FluidParams& params, Method method,
+                 const GridShape& grid,
+                 std::shared_ptr<Transport> transport = nullptr,
+                 Scheduling sched = Scheduling::kOverlap, int threads = 0);
+
+  /// Runs `n` integration steps on every subregion, one thread each.
+  void run(int n);
+
+  /// Runs up to `max_steps` steps, stopping early — with every subregion
+  /// at the *same* step — once `request` becomes true (appendix B: each
+  /// worker announces its current step in the shared sync file; the agreed
+  /// stop is max + 1, widened by the un-synchronization bound because our
+  /// workers notice the request at step boundaries rather than in a signal
+  /// handler).  Returns the number of steps executed.  After it returns,
+  /// migration is save_checkpoint + restore_checkpoint on a new driver.
+  int run_until_sync(int max_steps, const std::atomic<bool>& request,
+                     SyncFile& sync_file);
+
+  const Decomp& decomposition() const { return decomp_; }
+  int active_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Accumulated timing of the worker owning `rank` (must be active).
+  const WorkerStats& stats(int rank) const;
+
+  /// The subdomain of decomposition rank `rank` (must be active).
+  Domain& subdomain(int rank);
+  const Domain& subdomain(int rank) const;
+  bool is_active(int rank) const { return active_[rank]; }
+
+  /// Assembles the global interior of a field from the subdomains.
+  /// Inactive (all-solid) subregions contribute the quiescent state.
+  Field gather(FieldId id) const;
+
+  /// Call after editing subdomain fields: re-seeds LB equilibria and
+  /// refreshes every ghost region (all fields).
+  void reinitialize();
+
+  /// Writes one dump file per active subregion into `dir`
+  /// ("rank_<r>.dump"), in rank order — the paper's orderly one-after-
+  /// the-other state saving (section 5.2).
+  void save_checkpoint(const std::string& dir) const;
+
+  /// Restores a checkpoint written by save_checkpoint for the same
+  /// geometry, decomposition, method and parameters.  Resuming from here
+  /// reproduces the uninterrupted run bit for bit — the paper's point
+  /// that migration equals stop + save + restart.
+  void restore_checkpoint(const std::string& dir);
+
+  Transport& transport() { return *transport_; }
+
+  /// Live telemetry for this driver: phase timers are always charged
+  /// (they feed stats()); per-span trace events when SUBSONIC_TRACE is
+  /// set.  The transport shares the registry for its own counters.
+  telemetry::Session& telemetry() { return *telemetry_; }
+  const telemetry::Session& telemetry() const { return *telemetry_; }
+
+ private:
+  struct Worker {
+    int rank = -1;
+    std::unique_ptr<Domain> domain;
+    std::vector<LinkPlan> links;
+    WorkerStats stats;
+  };
+
+  void post_sends(Worker& w, const std::vector<FieldId>& fields, long step,
+                  int phase_index);
+  void complete_recvs(Worker& w, const std::vector<FieldId>& fields,
+                      long step, int phase_index);
+  void exchange(Worker& w, const std::vector<FieldId>& fields, long step,
+                int phase_index);
+  /// Executes one integration step of `w`'s schedule, splitting each
+  /// compute phase that feeds an exchange when the overlap scheduling is
+  /// active, and charging compute/comm time to the worker's stats.
+  void step_once(Worker& w);
+  void worker_loop(Worker& w, int steps);
+
+  Decomp decomp_;
+  FluidParams params_;
+  Method method_;
+  int ghost_;
+  std::vector<Phase> schedule_;
+  std::vector<bool> active_;
+  std::vector<int> worker_of_rank_;
+  std::vector<Worker> workers_;
+  std::shared_ptr<Transport> transport_;
+  Scheduling sched_ = Scheduling::kOverlap;
+  std::unique_ptr<telemetry::Session> telemetry_;
+};
+
+extern template class ParallelDriver<2>;
+extern template class ParallelDriver<3>;
+
+}  // namespace subsonic

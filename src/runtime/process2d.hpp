@@ -1,113 +1,20 @@
-// The fork()-based process runtime: each active subregion runs in a real
-// UNIX process, exactly as in the paper — "the job-submit program ...
-// begins a parallel subprocess on each workstation" — with TCP/IP sockets
-// between the processes and the shared port-registry handshake.  On exit,
-// every process leaves its state as a dump file in the working directory,
-// where it can be inspected or resumed (the dump files double as the
-// result-gathering mechanism for the parent).
-//
-// The parent is a *supervisor*: it reaps children out of order with
-// waitpid(WNOHANG), commits staggered checkpoint epochs (an epoch MANIFEST
-// is written only once every active rank's dump is durable and CRC-clean),
-// and on an abnormal child exit kills the surviving cohort and respawns it
-// from the newest complete epoch, up to a bounded restart budget.  Comm
-// deadlines inside the children turn a dead neighbour into a clean child
-// exit the supervisor can act on — a failed rank can slow a run down, but
-// it can neither hang it nor corrupt its results.
+// Compatibility header: the 2D entry points of the supervised process
+// runtime.  The implementation is the dimension-generic run_supervised
+// template (supervisor.hpp), which also defines ProcessRunOptions,
+// ProcessRunResult, RankFailure and ProcessRunError.
 #pragma once
 
-#include <stdexcept>
 #include <string>
-#include <vector>
 
 #include "src/geometry/mask.hpp"
-#include "src/runtime/worker_stats.hpp"
-#include "src/solver/params.hpp"
-#include "src/solver/pass.hpp"
+#include "src/runtime/supervisor.hpp"
 
 namespace subsonic {
-
-struct ProcessRunOptions {
-  /// Per-step ordering, exactly as in ParallelDriver2D; the overlap
-  /// schedule posts each boundary band as soon as it is computed.
-  Scheduling sched = Scheduling::kOverlap;
-
-  /// Intra-subregion worker count inside each child (0 = SUBSONIC_THREADS
-  /// env or 1); bitwise neutral.
-  int threads = 0;
-
-  /// Steps between staggered epoch checkpoints (0 = final dump only).
-  /// Each rank snapshots its state at every interval boundary and flushes
-  /// the bytes to disk a few steps later, staggered by rank — the paper's
-  /// orderly staggered state saving, which keeps the ranks from hitting
-  /// the disk in lockstep.
-  int checkpoint_interval = 0;
-
-  /// How many times the supervisor may respawn the cohort after an
-  /// abnormal child exit before giving up with a per-rank report.
-  int max_restarts = 2;
-
-  /// Per-recv deadline inside the children (0 = block forever).  With a
-  /// deadline, a rank whose neighbour died exits cleanly within the bound
-  /// instead of hanging in recv.
-  int recv_deadline_ms = 10000;
-
-  /// Fault-injection spec (see src/util/fault_plan.hpp).  Empty means
-  /// "read SUBSONIC_FAULTS from the environment", so CI can inject faults
-  /// into an unmodified test suite; pass an explicit spec to pin a test's
-  /// faults regardless of environment.
-  std::string faults;
-
-  /// Chrome-trace capture in the children and merged trace.json in the
-  /// supervisor: 1 forces on, 0 forces off, -1 follows SUBSONIC_TRACE.
-  /// Metrics JSONL streams are always written (their cost is one timer
-  /// record per phase); tracing additionally records every span.
-  int trace = -1;
-};
-
-/// How one rank's process ended, for the supervisor's failure report.
-struct RankFailure {
-  int rank = -1;
-  int wait_status = 0;  ///< raw waitpid() status
-  std::string detail;   ///< human form: "exited 1", "killed by signal 9"
-};
-
-/// Thrown when the restart budget is exhausted (or was 0): the message is
-/// the per-rank failure report, and `failures` carries it structured.
-class ProcessRunError : public std::runtime_error {
- public:
-  ProcessRunError(const std::string& what, std::vector<RankFailure> f)
-      : std::runtime_error(what), failures(std::move(f)) {}
-  std::vector<RankFailure> failures;
-};
-
-struct ProcessRunResult {
-  int processes = 0;        ///< child processes per cohort (active subregions)
-  long final_step = 0;      ///< step counter all subregions reached
-  int restarts = 0;         ///< cohort respawns the supervisor performed
-  long committed_epoch = -1;  ///< newest MANIFEST-committed epoch (-1: none)
-
-  /// Per-active-rank timing reconstructed from each child's
-  /// rank_<r>.metrics.jsonl stream (parallel to the active rank list,
-  /// ascending rank order).  compute_s is the child's summed "compute.*"
-  /// phase time, comm_s its summed "comm.*" time — the measured
-  /// T_calc and T_com of the efficiency model.
-  std::vector<WorkerStats> rank_stats;
-
-  /// Path of the run_summary.json the supervisor wrote (empty when the
-  /// run had no active ranks).  Holds measured T_calc/T_com/utilization
-  /// per rank next to the paper-model predicted efficiency f.
-  std::string summary_path;
-};
 
 /// Forks one child per active subregion of the (jx x jy) decomposition of
 /// `mask`, runs `steps` integration steps with boundary exchange over real
 /// TCP sockets, and writes "rank_<r>.dump" per subregion into `workdir`
-/// (which must exist).  If matching dump files are already present they
-/// are restored first, so repeated calls continue the run.  Children are
-/// supervised per the options above; throws ProcessRunError when the
-/// restart budget is exhausted, with every child reaped and the port
-/// registry removed.
+/// (which must exist).  See run_supervised for the full contract.
 ProcessRunResult run_multiprocess2d(const Mask2D& mask,
                                     const FluidParams& params, Method method,
                                     int jx, int jy, int steps,

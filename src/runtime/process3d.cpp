@@ -1,25 +1,25 @@
-#include "src/runtime/process2d.hpp"
+#include "src/runtime/process3d.hpp"
 
 namespace subsonic {
 
-ProcessRunResult run_multiprocess2d(const Mask2D& mask,
+ProcessRunResult run_multiprocess3d(const Mask3D& mask,
                                     const FluidParams& params, Method method,
-                                    int jx, int jy, int steps,
+                                    int jx, int jy, int jz, int steps,
                                     const std::string& workdir,
                                     const ProcessRunOptions& options) {
-  return run_supervised<2>(mask, params, method, GridShape{jx, jy, 1}, steps,
-                           workdir, options);
+  return run_supervised<3>(mask, params, method, GridShape{jx, jy, jz},
+                           steps, workdir, options);
 }
 
-ProcessRunResult run_multiprocess2d(const Mask2D& mask,
+ProcessRunResult run_multiprocess3d(const Mask3D& mask,
                                     const FluidParams& params, Method method,
-                                    int jx, int jy, int steps,
+                                    int jx, int jy, int jz, int steps,
                                     const std::string& workdir,
                                     Scheduling sched, int threads) {
   ProcessRunOptions options;
   options.sched = sched;
   options.threads = threads;
-  return run_multiprocess2d(mask, params, method, jx, jy, steps, workdir,
+  return run_multiprocess3d(mask, params, method, jx, jy, jz, steps, workdir,
                             options);
 }
 

@@ -1,51 +1,11 @@
-// Serial reference driver: runs the full grid as a single subregion.  The
-// paper's design point is that the serial and parallel programs share all
-// numerical code and differ only in what the "communicate" phases do —
-// here they reduce to periodic wrap-around copies (or nothing at all).
+// Compatibility header: SerialDriver2D is the 2D instantiation of the
+// dimension-generic SerialDriver template (serial_driver.hpp).
 #pragma once
 
-#include <memory>
-
-#include "src/geometry/mask.hpp"
-#include "src/solver/domain2d.hpp"
-#include "src/solver/schedule.hpp"
-#include "src/telemetry/telemetry.hpp"
+#include "src/runtime/serial_driver.hpp"
 
 namespace subsonic {
 
-class SerialDriver2D {
- public:
-  /// `threads` shards each kernel's rows across a per-domain worker pool
-  /// (0 = SUBSONIC_THREADS env or 1); results are bitwise identical for
-  /// any value.
-  SerialDriver2D(const Mask2D& mask, const FluidParams& params,
-                 Method method, int threads = 0);
-
-  /// Advances `n` integration steps.
-  void run(int n);
-
-  Domain2D& domain() { return domain_; }
-  const Domain2D& domain() const { return domain_; }
-
-  /// Call after editing the macroscopic fields directly (custom initial
-  /// conditions): refreshes ghost wraps and, for LB, re-seeds the
-  /// populations at the new equilibrium.
-  void reinitialize();
-
-  /// Live telemetry: compute phases charge "compute.*" timers at rank 0,
-  /// the periodic wraps "comm.periodic_wrap"; trace per SUBSONIC_TRACE.
-  telemetry::Session& telemetry() { return *telemetry_; }
-  const telemetry::Session& telemetry() const { return *telemetry_; }
-
- private:
-  /// Periodic wrap of one field's ghost layers (no-op without periodicity).
-  void fill_periodic(PaddedField2D<double>& u);
-  /// Wrap every field the schedule ever exchanges plus the macro fields.
-  void full_sync();
-
-  std::vector<Phase> schedule_;
-  Domain2D domain_;
-  std::unique_ptr<telemetry::Session> telemetry_;
-};
+using SerialDriver2D = SerialDriver<2>;
 
 }  // namespace subsonic

@@ -1,40 +1,11 @@
-// Serial reference driver for 3D runs; see serial2d.hpp.
+// Compatibility header: SerialDriver3D is the 3D instantiation of the
+// dimension-generic SerialDriver template (serial_driver.hpp).
 #pragma once
 
-#include <memory>
-
-#include "src/geometry/mask.hpp"
-#include "src/solver/domain3d.hpp"
-#include "src/solver/schedule.hpp"
-#include "src/telemetry/telemetry.hpp"
+#include "src/runtime/serial_driver.hpp"
 
 namespace subsonic {
 
-class SerialDriver3D {
- public:
-  /// `threads` as in SerialDriver2D: intra-domain row sharding, bitwise
-  /// neutral.
-  SerialDriver3D(const Mask3D& mask, const FluidParams& params,
-                 Method method, int threads = 0);
-
-  void run(int n);
-
-  Domain3D& domain() { return domain_; }
-  const Domain3D& domain() const { return domain_; }
-
-  void reinitialize();
-
-  /// Live telemetry; see SerialDriver2D::telemetry().
-  telemetry::Session& telemetry() { return *telemetry_; }
-  const telemetry::Session& telemetry() const { return *telemetry_; }
-
- private:
-  void fill_periodic(PaddedField3D<double>& u);
-  void full_sync();
-
-  std::vector<Phase> schedule_;
-  Domain3D domain_;
-  std::unique_ptr<telemetry::Session> telemetry_;
-};
+using SerialDriver3D = SerialDriver<3>;
 
 }  // namespace subsonic

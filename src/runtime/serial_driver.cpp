@@ -1,0 +1,56 @@
+#include "src/runtime/serial_driver.hpp"
+
+namespace subsonic {
+
+template <int Dim>
+SerialDriver<Dim>::SerialDriver(const Mask& mask, const FluidParams& params,
+                                Method method, int threads)
+    : schedule_(Traits::make_schedule(method)),
+      domain_(mask, full_box(mask.extents()), params, method,
+              required_ghost(method, params.filter_eps > 0.0), threads),
+      telemetry_(std::make_unique<telemetry::Session>(
+          telemetry::Session::from_env())) {
+  full_sync();
+}
+
+template <int Dim>
+void SerialDriver<Dim>::full_sync() {
+  for (FieldId id : Traits::macro_fields())
+    Traits::fill_periodic(domain_, domain_.field(id));
+  for (int i = 0; i < domain_.q(); ++i)
+    Traits::fill_periodic(domain_, domain_.f(i));
+}
+
+template <int Dim>
+void SerialDriver<Dim>::reinitialize() {
+  if (domain_.method() == Method::kLatticeBoltzmann)
+    Traits::set_equilibrium(domain_);
+  full_sync();
+}
+
+template <int Dim>
+void SerialDriver<Dim>::run(int n) {
+  telemetry::Session* const tel = telemetry_.get();
+  for (int s = 0; s < n; ++s) {
+    const long step = domain_.step();
+    for (const Phase& phase : schedule_) {
+      if (phase.kind == Phase::Kind::kCompute) {
+        telemetry::ScopedSpan span(tel, 0, compute_phase_name(phase.compute),
+                                   "compute", step);
+        Traits::run_compute(domain_, phase.compute);
+      } else {
+        telemetry::ScopedSpan span(tel, 0, "comm.periodic_wrap", "comm",
+                                   step);
+        for (FieldId id : phase.fields)
+          Traits::fill_periodic(domain_, domain_.field(id));
+      }
+    }
+    domain_.set_step(step + 1);
+    tel->metrics().counter(0, "steps").add();
+  }
+}
+
+template class SerialDriver<2>;
+template class SerialDriver<3>;
+
+}  // namespace subsonic

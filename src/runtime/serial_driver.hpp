@@ -1,0 +1,59 @@
+// Serial reference driver: runs the full grid as a single subregion.  The
+// paper's design point is that the serial and parallel programs share all
+// numerical code and differ only in what the "communicate" phases do —
+// here they reduce to periodic wrap-around copies (or nothing at all).
+// One template covers both dimensions; DomainTraits supplies the concrete
+// grid machinery.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/runtime/domain_traits.hpp"
+#include "src/solver/schedule.hpp"
+#include "src/telemetry/telemetry.hpp"
+
+namespace subsonic {
+
+template <int Dim>
+class SerialDriver {
+ public:
+  using Traits = DomainTraits<Dim>;
+  using Mask = typename Traits::Mask;
+  using Domain = typename Traits::Domain;
+
+  /// `threads` shards each kernel's rows across a per-domain worker pool
+  /// (0 = SUBSONIC_THREADS env or 1); results are bitwise identical for
+  /// any value.
+  SerialDriver(const Mask& mask, const FluidParams& params, Method method,
+               int threads = 0);
+
+  /// Advances `n` integration steps.
+  void run(int n);
+
+  Domain& domain() { return domain_; }
+  const Domain& domain() const { return domain_; }
+
+  /// Call after editing the macroscopic fields directly (custom initial
+  /// conditions): refreshes ghost wraps and, for LB, re-seeds the
+  /// populations at the new equilibrium.
+  void reinitialize();
+
+  /// Live telemetry: compute phases charge "compute.*" timers at rank 0,
+  /// the periodic wraps "comm.periodic_wrap"; trace per SUBSONIC_TRACE.
+  telemetry::Session& telemetry() { return *telemetry_; }
+  const telemetry::Session& telemetry() const { return *telemetry_; }
+
+ private:
+  /// Wrap every field the schedule ever exchanges plus the macro fields.
+  void full_sync();
+
+  std::vector<Phase> schedule_;
+  Domain domain_;
+  std::unique_ptr<telemetry::Session> telemetry_;
+};
+
+extern template class SerialDriver<2>;
+extern template class SerialDriver<3>;
+
+}  // namespace subsonic

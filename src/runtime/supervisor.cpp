@@ -1,0 +1,411 @@
+#include "src/runtime/supervisor.hpp"
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "src/io/checkpoint.hpp"
+#include "src/runtime/cohort.hpp"
+#include "src/runtime/epoch_store.hpp"
+#include "src/telemetry/summary.hpp"
+#include "src/telemetry/telemetry.hpp"
+#include "src/util/check.hpp"
+#include "src/util/fault_plan.hpp"
+
+namespace subsonic {
+
+namespace {
+
+std::string describe_status(int status) {
+  if (WIFEXITED(status))
+    return "exited " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status))
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  return "status " + std::to_string(status);
+}
+
+/// Parses "rank_<digits><suffix>" and returns the rank, or -1 when `name`
+/// has a different shape.
+int parse_rank_file(const std::string& name, const std::string& suffix) {
+  const std::string prefix = "rank_";
+  if (name.size() <= prefix.size() + suffix.size()) return -1;
+  if (name.compare(0, prefix.size(), prefix) != 0) return -1;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+    return -1;
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return -1;
+  for (char c : digits)
+    if (!std::isdigit(static_cast<unsigned char>(c))) return -1;
+  return std::atoi(digits.c_str());
+}
+
+/// Start-of-run hygiene beyond epoch::clear_run_state: removes *every*
+/// rank telemetry stream (a previous run in this directory may have used
+/// more ranks, or the other dimension — the aggregation below must only
+/// ever see this run's streams), and every legacy rank_<r>.dump that
+/// cannot belong to this run's geometry (other dimension, other
+/// decomposition window, other method or ghost width, rank out of range).
+/// Children restore legacy dumps blindly, so a stale one would abort the
+/// cohort — or resume this run from another run's state.  Dumps that
+/// *match* are kept: they are what makes repeated calls continue a run.
+/// Corrupt-but-matching-name dumps are also kept, so a torn final dump
+/// still fails loudly instead of silently restarting from scratch.
+template <int Dim>
+void clean_stale_artifacts(const std::string& workdir,
+                           const typename DomainTraits<Dim>::Decomp& decomp,
+                           Method method, int ghost) {
+  using Traits = DomainTraits<Dim>;
+  std::vector<std::string> names;
+  if (DIR* dir = ::opendir(workdir.c_str())) {
+    while (const dirent* entry = ::readdir(dir)) names.push_back(entry->d_name);
+    ::closedir(dir);
+  }
+  for (const std::string& name : names) {
+    if (parse_rank_file(name, ".metrics.jsonl") >= 0 ||
+        parse_rank_file(name, ".trace.json") >= 0) {
+      std::remove((workdir + "/" + name).c_str());
+      continue;
+    }
+    const int rank = parse_rank_file(name, ".dump");
+    if (rank < 0 || name.find(".epoch_") != std::string::npos) continue;
+    if (rank >= decomp.rank_count()) {
+      std::remove((workdir + "/" + name).c_str());
+      continue;
+    }
+    try {
+      const CheckpointInfo info = inspect_checkpoint(workdir + "/" + name);
+      if (!Traits::box_matches(info, decomp.box(rank)) ||
+          info.method != static_cast<int>(method) || info.ghost != ghost)
+        std::remove((workdir + "/" + name).c_str());
+    } catch (const std::exception&) {
+      // Unreadable or torn: keep it and let the restore report it.
+    }
+  }
+}
+
+}  // namespace
+
+template <int Dim>
+ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
+                                const FluidParams& params, Method method,
+                                const GridShape& grid, int steps,
+                                const std::string& workdir,
+                                const ProcessRunOptions& options) {
+  using Traits = DomainTraits<Dim>;
+  params.validate();
+  SUBSONIC_REQUIRE(steps >= 1);
+  SUBSONIC_REQUIRE(options.checkpoint_interval >= 0);
+  SUBSONIC_REQUIRE(options.max_restarts >= 0);
+  SUBSONIC_REQUIRE(options.recv_deadline_ms >= 0);
+  const typename Traits::Decomp decomp =
+      Traits::make_decomposition(mask, grid);
+  const auto active_list = active_ranks(decomp, mask);
+  std::vector<bool> active(decomp.rank_count(), false);
+  for (int r : active_list) active[r] = true;
+  const int ghost = required_ghost(method, params.filter_eps > 0.0);
+
+  const FaultPlan faults = options.faults.empty()
+                               ? FaultPlan::from_env()
+                               : FaultPlan::parse(options.faults);
+
+  // Fresh registry and fresh epoch state per run: ports are ephemeral and
+  // stale entries would point at dead listeners; stale epoch dumps or a
+  // stale MANIFEST belong to some previous run's step numbering.
+  const std::string registry = workdir + "/ports";
+  std::remove(registry.c_str());
+  epoch::clear_run_state(workdir);
+  clean_stale_artifacts<Dim>(workdir, decomp, method, ghost);
+  std::remove((workdir + "/trace.json").c_str());
+  std::remove((workdir + "/run_summary.json").c_str());
+  std::remove((workdir + "/supervisor.metrics.jsonl").c_str());
+
+  // The supervisor's own session: every child inherits its trace origin,
+  // so the merged trace.json has one consistent timeline across ranks.
+  const bool trace_on =
+      options.trace > 0 ||
+      (options.trace < 0 && telemetry::trace_enabled_from_env());
+  telemetry::SessionConfig sup_cfg;
+  sup_cfg.trace = trace_on;
+  telemetry::Session supervisor(sup_cfg);
+
+  // Continuation runs resume from the legacy per-rank dumps; probe the
+  // step they carry so epochs and kill-step offsets count from there.
+  long start_step = 0;
+  if (!active_list.empty()) {
+    try {
+      const CheckpointInfo info = inspect_checkpoint(
+          cohort::legacy_dump_path(workdir, active_list[0]));
+      start_step = info.step;
+    } catch (const std::exception&) {
+      start_step = 0;  // absent or unreadable: fresh run
+    }
+  }
+  const long target_step = start_step + steps;
+
+  ProcessRunResult result;
+  result.processes = static_cast<int>(active_list.size());
+  result.final_step = target_step;
+  if (active_list.empty()) return result;
+
+  int generation = 0;
+  long committed_epoch = -1;  // newest MANIFEST-committed epoch
+
+  // Verify-and-commit: an epoch becomes restorable only once every
+  // active rank's dump for it exists, passes its CRC, and agrees on the
+  // step counter.  Called from the supervision loop (cheap when the next
+  // epoch is not complete yet) and once after any cohort ends.
+  auto poll_epochs = [&]() {
+    if (options.checkpoint_interval <= 0) return;
+    for (;;) {
+      const long e = committed_epoch + 1;
+      long step = -1;
+      bool complete = true;
+      for (int rank : active_list) {
+        try {
+          const CheckpointInfo info =
+              inspect_checkpoint(epoch::dump_path(workdir, rank, e));
+          if (step < 0) step = info.step;
+          complete = complete && info.step == step;
+        } catch (const std::exception&) {
+          complete = false;  // missing, torn, or corrupt: not this epoch
+        }
+        if (!complete) break;
+      }
+      if (!complete) return;
+      epoch::Manifest m;
+      m.epoch = e;
+      m.step = step;
+      m.ranks = active_list;
+      {
+        telemetry::ScopedSpan span(&supervisor, -1, "ckpt.commit", "ckpt",
+                                   step);
+        epoch::commit_manifest(workdir, m);
+      }
+      committed_epoch = e;
+      {
+        telemetry::ScopedSpan span(&supervisor, -1, "ckpt.gc", "ckpt", step);
+        epoch::gc_epochs(workdir, active_list, e);
+      }
+    }
+  };
+
+  auto spawn_cohort = [&](long restore_epoch) -> cohort::Cohort {
+    std::remove(registry.c_str());
+    std::fflush(nullptr);  // do not duplicate buffered output into children
+    cohort::Cohort cohort;
+    cohort.pids.reserve(active_list.size());
+    for (size_t i = 0; i < active_list.size(); ++i) {
+      cohort::ChildConfig cfg;
+      cfg.rank = active_list[i];
+      cfg.generation = generation;
+      cfg.target_step = target_step;
+      cfg.start_step = start_step;
+      cfg.restore_epoch = restore_epoch;
+      cfg.checkpoint_interval = options.checkpoint_interval;
+      cfg.stagger_index = static_cast<int>(i);
+      cfg.recv_deadline_ms = options.recv_deadline_ms;
+      cfg.sched = options.sched;
+      cfg.threads = options.threads;
+      cfg.trace = trace_on;
+      cfg.origin_ns = supervisor.origin_ns();
+      int err_pipe[2];
+      SUBSONIC_REQUIRE_MSG(::pipe(err_pipe) == 0, "pipe failed");
+      const pid_t pid = ::fork();
+      SUBSONIC_REQUIRE_MSG(pid >= 0, "fork failed");
+      if (pid == 0) {
+        // Route the child's stderr through the tagging pipe so the parent
+        // can prefix every line with the rank.
+        ::dup2(err_pipe[1], 2);
+        ::close(err_pipe[0]);
+        ::close(err_pipe[1]);
+        cohort::child_main<Dim>(mask, params, method, decomp, active, cfg,
+                                workdir, registry, faults);  // never returns
+      }
+      ::close(err_pipe[1]);
+      cohort.taggers.emplace_back(cohort::tag_child_stderr, err_pipe[0],
+                                  active_list[i]);
+      cohort.pids.push_back(pid);
+    }
+    cohort.reaped.assign(cohort.pids.size(), false);
+    cohort.status.assign(cohort.pids.size(), 0);
+    return cohort;
+  };
+
+  // Tagger threads hit EOF once their child is gone; join them only after
+  // every child in the cohort is reaped (both outcomes).
+  auto join_taggers = [](cohort::Cohort& cohort) {
+    for (std::thread& t : cohort.taggers)
+      if (t.joinable()) t.join();
+  };
+
+  for (;;) {
+    cohort::Cohort cohort = spawn_cohort(generation == 0 ? -1
+                                                         : committed_epoch);
+
+    // Supervise: reap out of order with WNOHANG so a crash in any rank is
+    // seen immediately, no matter where it falls in pid order.
+    bool failure = false;
+    size_t live = cohort.pids.size();
+    while (live > 0 && !failure) {
+      bool progressed = false;
+      for (size_t i = 0; i < cohort.pids.size(); ++i) {
+        if (cohort.reaped[i]) continue;
+        int status = 0;
+        const pid_t r = ::waitpid(cohort.pids[i], &status, WNOHANG);
+        if (r == cohort.pids[i]) {
+          cohort.reaped[i] = true;
+          cohort.status[i] = status;
+          --live;
+          progressed = true;
+          if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            failure = true;
+        }
+      }
+      poll_epochs();
+      if (!progressed && !failure && live > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    if (failure) {
+      // First casualty seen: kill the whole cohort.  Survivors may be
+      // wedged waiting on the dead rank (until their recv deadline), so
+      // never wait for them to exit on their own.
+      for (size_t i = 0; i < cohort.pids.size(); ++i)
+        if (!cohort.reaped[i]) ::kill(cohort.pids[i], SIGKILL);
+      for (size_t i = 0; i < cohort.pids.size(); ++i) {
+        if (cohort.reaped[i]) continue;
+        int status = 0;
+        if (::waitpid(cohort.pids[i], &status, 0) == cohort.pids[i]) {
+          cohort.reaped[i] = true;
+          cohort.status[i] = status;
+        }
+      }
+      join_taggers(cohort);
+      // Dumps flushed just before the crash may complete another epoch.
+      poll_epochs();
+
+      if (result.restarts >= options.max_restarts) {
+        std::remove(registry.c_str());
+        std::vector<RankFailure> failures;
+        std::ostringstream msg;
+        msg << "parallel run failed after " << result.restarts
+            << " restart(s);";
+        for (size_t i = 0; i < cohort.pids.size(); ++i) {
+          const int status = cohort.status[i];
+          if (WIFEXITED(status) && WEXITSTATUS(status) == 0) continue;
+          RankFailure f;
+          f.rank = active_list[i];
+          f.wait_status = status;
+          f.detail = describe_status(status);
+          msg << " rank " << f.rank << ": " << f.detail << ';';
+          failures.push_back(std::move(f));
+        }
+        throw ProcessRunError(msg.str(), std::move(failures));
+      }
+      ++result.restarts;
+      ++generation;
+      supervisor.metrics().counter(-1, "restart.count").add();
+      continue;  // respawn from the newest committed epoch (or scratch)
+    }
+
+    // Clean finish.
+    join_taggers(cohort);
+    poll_epochs();
+    break;
+  }
+  std::remove(registry.c_str());
+  result.committed_epoch = committed_epoch;
+
+  // Read the common step counter back from any dump.
+  {
+    typename Traits::Domain probe(mask, decomp.box(active_list[0]), params,
+                                  method, ghost);
+    restore_domain(probe, cohort::legacy_dump_path(workdir, active_list[0]));
+    result.final_step = probe.step();
+  }
+
+  // Aggregate the telemetry every rank streamed to disk: reconstruct the
+  // per-rank WorkerStats for the caller, and write run_summary.json with
+  // the measured T_calc / T_com next to the paper model's predicted f.
+  std::vector<telemetry::RankMetrics> rank_metrics;
+  rank_metrics.reserve(active_list.size());
+  for (int rank : active_list) {
+    std::vector<telemetry::RankMetrics> parsed;
+    try {
+      parsed =
+          telemetry::read_metrics_jsonl(cohort::metrics_path(workdir, rank));
+    } catch (const std::exception&) {
+      // A missing or unreadable stream degrades that rank to zeros; the
+      // simulation result itself is already safely on disk.
+    }
+    bool found = false;
+    for (telemetry::RankMetrics& rm : parsed) {
+      if (rm.rank != rank) continue;
+      rank_metrics.push_back(std::move(rm));
+      found = true;
+      break;
+    }
+    if (!found) {
+      telemetry::RankMetrics empty;
+      empty.rank = rank;
+      rank_metrics.push_back(std::move(empty));
+    }
+  }
+  result.rank_stats.reserve(rank_metrics.size());
+  for (const telemetry::RankMetrics& rm : rank_metrics) {
+    WorkerStats ws;
+    ws.compute_s = rm.t_calc();
+    ws.comm_s = rm.t_com();
+    result.rank_stats.push_back(ws);
+  }
+
+  telemetry::RunModelInputs model;
+  model.dims = Dim;
+  model.processes = static_cast<int>(active_list.size());
+  double owned_nodes = 0;
+  for (int rank : active_list)
+    owned_nodes += static_cast<double>(decomp.box(rank).count());
+  model.nodes_per_rank = owned_nodes / static_cast<double>(active_list.size());
+  // Doubles shipped per boundary node per step, from the schedule actually
+  // run: each exchange phase ships |fields| doubles per node per ghost
+  // layer.
+  double doubles_per_node = 0;
+  for (const Phase& phase : Traits::make_schedule(method))
+    if (phase.kind == Phase::Kind::kExchange)
+      doubles_per_node += static_cast<double>(phase.fields.size());
+  model.comm_doubles_per_node = doubles_per_node * ghost;
+
+  const telemetry::RunSummary summary =
+      telemetry::summarize_run(rank_metrics, model, result.restarts);
+  result.summary_path = workdir + "/run_summary.json";
+  telemetry::write_run_summary(summary, result.summary_path);
+  supervisor.write_metrics_jsonl(workdir + "/supervisor.metrics.jsonl");
+  if (trace_on) {
+    std::vector<std::string> traces;
+    traces.reserve(active_list.size());
+    for (int rank : active_list)
+      traces.push_back(cohort::rank_trace_path(workdir, rank));
+    telemetry::merge_chrome_traces(traces, workdir + "/trace.json");
+  }
+  return result;
+}
+
+template ProcessRunResult run_supervised<2>(const Mask2D&, const FluidParams&,
+                                            Method, const GridShape&, int,
+                                            const std::string&,
+                                            const ProcessRunOptions&);
+template ProcessRunResult run_supervised<3>(const Mask3D&, const FluidParams&,
+                                            Method, const GridShape&, int,
+                                            const std::string&,
+                                            const ProcessRunOptions&);
+
+}  // namespace subsonic

@@ -105,18 +105,31 @@ class Domain2D {
   /// Resolved intra-subregion thread count (>= 1).
   int threads() const { return threads_; }
 
+  /// Fluid-span length of row y — the kernels' per-row work is
+  /// proportional to the computed-span footprint, and wall/solid rows
+  /// cost (almost) nothing.
+  long long row_weight(int y) const {
+    long long w = 0;
+    for (const MaskSpan& s : computed_spans_.row(y)) w += s.x1 - s.x0;
+    return w;
+  }
+
   /// Calls fn(y) for every row y in [y0, y1), sharded over the domain's
   /// worker pool as contiguous row blocks (plain loop when threads() == 1).
-  /// Callers must only use it for passes whose rows are independent: every
-  /// kernel here writes disjoint output rows and reads buffers no row of
-  /// the same pass writes, which is why any static partition — hence any
-  /// thread count — yields bitwise identical fields.
+  /// Block boundaries are placed by cumulative fluid-span length
+  /// (row_weight), so a wall-heavy end of the subregion doesn't idle the
+  /// threads that drew it.  Callers must only use it for passes whose rows
+  /// are independent: every kernel here writes disjoint output rows and
+  /// reads buffers no row of the same pass writes, which is why any static
+  /// partition — hence any thread count — yields bitwise identical fields.
   template <typename Fn>
   void for_rows(int y0, int y1, Fn&& fn) const {
     if (pool_ && y1 - y0 > 1) {
-      pool_->for_range(y0, y1, [&fn](int a, int b) {
-        for (int y = a; y < b; ++y) fn(y);
-      });
+      pool_->for_weighted(
+          y0, y1, [this](int y) { return row_weight(y); },
+          [&fn](int a, int b) {
+            for (int y = a; y < b; ++y) fn(y);
+          });
     } else {
       for (int y = y0; y < y1; ++y) fn(y);
     }

@@ -92,9 +92,17 @@ class Domain3D {
   /// Resolved intra-subregion thread count (>= 1).
   int threads() const { return threads_; }
 
+  /// Fluid-span length of pencil (y, z); see Domain2D::row_weight.
+  long long row_weight(int y, int z) const {
+    long long w = 0;
+    for (const MaskSpan& s : computed_spans_.row(y, z)) w += s.x1 - s.x0;
+    return w;
+  }
+
   /// Calls fn(y, z) for every (y, z) pencil in [y0, y1) x [z0, z1),
   /// sharded over the worker pool as contiguous blocks of the flattened
-  /// z-major pencil index; see Domain2D::for_rows for the independence
+  /// z-major pencil index, with block boundaries placed by cumulative
+  /// fluid-span length; see Domain2D::for_rows for the independence
   /// requirement and the determinism argument.
   template <typename Fn>
   void for_rows(int y0, int y1, int z0, int z1, Fn&& fn) const {
@@ -105,7 +113,10 @@ class Domain3D {
       for (int r = a; r < b; ++r) fn(y0 + r % ny, z0 + r / ny);
     };
     if (pool_ && n > 1) {
-      pool_->for_range(0, static_cast<int>(n), run);
+      pool_->for_weighted(
+          0, static_cast<int>(n),
+          [&](int r) { return row_weight(y0 + r % ny, z0 + r / ny); },
+          run);
     } else {
       run(0, static_cast<int>(n));
     }

@@ -22,9 +22,38 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+std::vector<int> WorkerPool::weighted_bounds(
+    int lo, int hi, int threads,
+    const std::function<long long(int)>& weight) {
+  SUBSONIC_REQUIRE(threads >= 1 && lo <= hi);
+  std::vector<int> bounds(static_cast<size_t>(threads) + 1, hi);
+  bounds[0] = lo;
+  long long total = 0;
+  for (int i = lo; i < hi; ++i) total += weight(i) + 1;
+  // Boundary t (1 <= t < threads) is the first index whose cumulative
+  // weight reaches t shares of the total — the weighted analogue of
+  // chunk_begin's `lo + n * t / threads`.  One forward pass places every
+  // boundary: cum * threads crosses t * total in nondecreasing t order.
+  long long cum = 0;
+  int t = 1;
+  for (int i = lo; i < hi && t < threads; ++i) {
+    cum += weight(i) + 1;
+    while (t < threads &&
+           cum * threads >= total * static_cast<long long>(t))
+      bounds[static_cast<size_t>(t++)] = i + 1;
+  }
+  return bounds;
+}
+
 void WorkerPool::run_chunk(int id) noexcept {
-  const int lo = chunk_begin(job_lo_, job_hi_, id, thread_count_);
-  const int hi = chunk_begin(job_lo_, job_hi_, id + 1, thread_count_);
+  int lo, hi;
+  if (job_bounds_) {
+    lo = job_bounds_[id];
+    hi = job_bounds_[id + 1];
+  } else {
+    lo = chunk_begin(job_lo_, job_hi_, id, thread_count_);
+    hi = chunk_begin(job_lo_, job_hi_, id + 1, thread_count_);
+  }
   if (lo >= hi) return;
   try {
     (*job_)(lo, hi);
@@ -43,13 +72,35 @@ void WorkerPool::worker_main(int id) {
       if (stop_) return;
       seen = epoch_;
     }
-    // job_/job_lo_/job_hi_ are stable for the whole epoch: the caller
-    // only mutates them under the mutex after every chunk reported done.
+    // job_/job_lo_/job_hi_/job_bounds_ are stable for the whole epoch:
+    // the caller only mutates them under the mutex after every chunk
+    // reported done.
     run_chunk(id);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--outstanding_ == 0) done_cv_.notify_one();
     }
+  }
+}
+
+void WorkerPool::dispatch(const std::function<void(int, int)>& fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    outstanding_ = thread_count_ - 1;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  run_chunk(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  job_ = nullptr;
+  job_bounds_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
   }
 }
 
@@ -60,25 +111,25 @@ void WorkerPool::for_range(int lo, int hi,
     fn(lo, hi);
     return;
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    job_ = &fn;
-    job_lo_ = lo;
-    job_hi_ = hi;
-    outstanding_ = thread_count_ - 1;
-    ++epoch_;
+  job_lo_ = lo;
+  job_hi_ = hi;
+  job_bounds_ = nullptr;
+  dispatch(fn);
+}
+
+void WorkerPool::for_weighted(int lo, int hi,
+                              const std::function<long long(int)>& weight,
+                              const std::function<void(int, int)>& fn) {
+  if (lo >= hi) return;
+  if (thread_count_ == 1) {
+    fn(lo, hi);
+    return;
   }
-  start_cv_.notify_all();
-  run_chunk(0);  // the caller is worker 0
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
-  job_ = nullptr;
-  if (first_error_) {
-    std::exception_ptr e = first_error_;
-    first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(e);
-  }
+  bounds_ = weighted_bounds(lo, hi, thread_count_, weight);
+  job_lo_ = lo;
+  job_hi_ = hi;
+  job_bounds_ = bounds_.data();
+  dispatch(fn);
 }
 
 int resolve_threads(int requested) {

@@ -43,6 +43,17 @@ class WorkerPool {
   /// (lo, hi, threads()), never on timing.
   void for_range(int lo, int hi, const std::function<void(int, int)>& fn);
 
+  /// Like for_range, but the contiguous chunk boundaries are placed by
+  /// cumulative `weight(i)` instead of index count — the spans-weighted
+  /// static partition: when wall rows cluster at one end of a subregion,
+  /// the equal-count split leaves the threads owning the fluid end with
+  /// most of the work.  The partition depends only on (lo, hi, threads(),
+  /// the weights), never on timing, so results stay bitwise identical for
+  /// any thread count; only the wall-clock balance changes.
+  void for_weighted(int lo, int hi,
+                    const std::function<long long(int)>& weight,
+                    const std::function<void(int, int)>& fn);
+
   /// The deterministic chunk of worker `t`: [chunk_begin(lo, hi, t, T),
   /// chunk_begin(lo, hi, t + 1, T)).  Exposed for tests.
   static int chunk_begin(int lo, int hi, int t, int threads) {
@@ -50,9 +61,21 @@ class WorkerPool {
     return lo + static_cast<int>(n * t / threads);
   }
 
+  /// The weighted partition of [lo, hi): returns `threads + 1` ascending
+  /// boundaries with bounds[0] == lo and bounds[threads] == hi; worker t
+  /// owns [bounds[t], bounds[t+1]).  Each index contributes weight(i) + 1
+  /// (the +1 is the fixed per-row cost — it keeps all-zero-weight ranges
+  /// splitting evenly instead of collapsing onto one worker), and the
+  /// boundary after worker t is the first index where the cumulative
+  /// weight reaches t+1 shares of the total.  Exposed for tests.
+  static std::vector<int> weighted_bounds(
+      int lo, int hi, int threads,
+      const std::function<long long(int)>& weight);
+
  private:
   void worker_main(int id);
   void run_chunk(int id) noexcept;
+  void dispatch(const std::function<void(int, int)>& fn);
 
   int thread_count_ = 1;
   std::vector<std::thread> workers_;
@@ -62,7 +85,9 @@ class WorkerPool {
   std::condition_variable done_cv_;
   const std::function<void(int, int)>* job_ = nullptr;  // guarded by mutex_
   int job_lo_ = 0, job_hi_ = 0;
-  long epoch_ = 0;      // bumped per for_range; workers wake on change
+  const int* job_bounds_ = nullptr;  // weighted partition; null = equal-count
+  std::vector<int> bounds_;  // storage for job_bounds_
+  long epoch_ = 0;      // bumped per parallel region; workers wake on change
   int outstanding_ = 0;  // background chunks not yet finished
   bool stop_ = false;
   std::exception_ptr first_error_;  // guarded by mutex_

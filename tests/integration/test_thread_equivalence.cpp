@@ -91,6 +91,38 @@ INSTANTIATE_TEST_SUITE_P(Methods, ThreadEquivalence,
                                       : "fd";
                          });
 
+TEST(ThreadEquivalence, WallHeavyMaskBitwiseAcrossThreadCounts) {
+  // Wall-heavy geometry: the bottom 3/4 of the box is solid, so almost
+  // all the fluid rows land in the top quarter.  The spans-weighted
+  // partition splits *that* block across threads instead of handing it
+  // whole to the last thread — and must still be bitwise invisible.
+  const int nx = 96, ny = 64;
+  Mask2D mask(Extents2{nx, ny}, 3);
+  mask.fill_box({0, 0, nx, 1}, NodeType::kWall);
+  mask.fill_box({0, ny - 1, nx, ny}, NodeType::kWall);
+  mask.fill_box({0, 0, 1, ny}, NodeType::kWall);
+  mask.fill_box({nx - 1, 0, nx, ny}, NodeType::kWall);
+  mask.fill_box({0, 0, nx, 3 * ny / 4}, NodeType::kWall);  // solid lower 3/4
+
+  FluidParams p;
+  p.dt = 1.0;
+  p.nu = 0.02;
+  p.filter_eps = 0.1;
+  p.force_x = 1e-4;  // drive a flow along the open channel on top
+
+  SerialDriver2D one(mask, p, Method::kLatticeBoltzmann, /*threads=*/1);
+  one.run(25);
+  EXPECT_GT(max_abs(one.domain().vx()), 1e-6);
+
+  for (int threads : {2, 3, 4}) {
+    SerialDriver2D many(mask, p, Method::kLatticeBoltzmann, threads);
+    many.run(25);
+    expect_identical(one.domain().rho(), many.domain().rho(), "rho");
+    expect_identical(one.domain().vx(), many.domain().vx(), "vx");
+    expect_identical(one.domain().vy(), many.domain().vy(), "vy");
+  }
+}
+
 TEST(ThreadEquivalence3D, SerialRunBitwiseAcrossThreadCounts) {
   // 3D pencils shard over a flattened (y, z) index; same invariance claim.
   Mask3D mask(Extents3{20, 14, 12}, 3);

@@ -1,0 +1,225 @@
+// The supervised process runtime in three dimensions: the same Cohort
+// pipeline as 2D (run_supervised<3> behind run_multiprocess3d), so the
+// whole fault-tolerance contract — kill/respawn from the newest committed
+// epoch, torn dumps never committed, fail-fast on an exhausted budget —
+// must hold with 3D subdomains and D3Q15 state.  Mirrors test_process2d.
+#include "src/runtime/process3d.hpp"
+
+#include <cerrno>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "src/decomp/decomposition.hpp"
+#include "src/io/checkpoint.hpp"
+#include "src/runtime/process2d.hpp"
+#include "src/runtime/serial2d.hpp"
+#include "src/runtime/serial3d.hpp"
+
+namespace subsonic {
+namespace {
+
+std::string make_workdir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/proc3d_" +
+                          name + "_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+Mask3D closed_box3d(int nx, int ny, int nz, int ghost) {
+  Mask3D mask(Extents3{nx, ny, nz}, ghost);
+  mask.fill_box({0, 0, 0, nx, ny, 1}, NodeType::kWall);
+  mask.fill_box({0, 0, nz - 1, nx, ny, nz}, NodeType::kWall);
+  mask.fill_box({0, 0, 0, nx, 1, nz}, NodeType::kWall);
+  mask.fill_box({0, ny - 1, 0, nx, ny, nz}, NodeType::kWall);
+  mask.fill_box({0, 0, 0, 1, ny, nz}, NodeType::kWall);
+  mask.fill_box({nx - 1, 0, 0, nx, ny, nz}, NodeType::kWall);
+  mask.fill_box({6, 4, 3, 10, 8, 6}, NodeType::kWall);  // obstacle
+  return mask;
+}
+
+/// Bitwise comparison of every restored 3D rank dump against a serial run.
+void expect_matches_serial3d(const Mask3D& mask, const FluidParams& p,
+                             Method method, int jx, int jy, int jz,
+                             int steps, const std::string& workdir) {
+  SerialDriver3D serial(mask, p, method);
+  serial.run(steps);
+  const Decomposition3D d(mask.extents(), jx, jy, jz);
+  const int ghost = required_ghost(method, p.filter_eps > 0.0);
+  for (int rank : active_ranks(d, mask)) {
+    Domain3D sub(mask, d.box(rank), p, method, ghost);
+    restore_domain(sub, workdir + "/rank_" + std::to_string(rank) +
+                            ".dump");
+    EXPECT_EQ(sub.step(), steps);
+    const Box3 b = d.box(rank);
+    for (int z = 0; z < b.depth(); ++z)
+      for (int y = 0; y < b.height(); ++y)
+        for (int x = 0; x < b.width(); ++x) {
+          ASSERT_EQ(sub.rho()(x, y, z),
+                    serial.domain().rho()(b.x0 + x, b.y0 + y, b.z0 + z))
+              << "rank " << rank << " at " << x << "," << y << "," << z;
+          ASSERT_EQ(sub.vz()(x, y, z),
+                    serial.domain().vz()(b.x0 + x, b.y0 + y, b.z0 + z))
+              << "rank " << rank << " at " << x << "," << y << "," << z;
+        }
+  }
+}
+
+TEST(Process3DRuntime, ForkedProcessesMatchSerialBitwise) {
+  const int nx = 16, ny = 12, nz = 10;
+  FluidParams p;
+  p.dt = 1.0;
+  p.nu = 0.02;
+  const Mask3D mask = closed_box3d(nx, ny, nz, 1);
+
+  const std::string workdir = make_workdir("equiv");
+  const ProcessRunResult r = run_multiprocess3d(
+      mask, p, Method::kLatticeBoltzmann, 2, 2, 1, 10, workdir);
+  EXPECT_EQ(r.processes, 4);
+  EXPECT_EQ(r.final_step, 10);
+  expect_matches_serial3d(mask, p, Method::kLatticeBoltzmann, 2, 2, 1, 10,
+                          workdir);
+}
+
+TEST(Process3DRuntime, RepeatedCallsResumeFromTheDumps) {
+  FluidParams p;
+  p.dt = 1.0;
+  const Mask3D mask = closed_box3d(14, 10, 8, 1);
+  const std::string workdir = make_workdir("resume");
+  run_multiprocess3d(mask, p, Method::kLatticeBoltzmann, 2, 1, 1, 5,
+                     workdir);
+  const ProcessRunResult r = run_multiprocess3d(
+      mask, p, Method::kLatticeBoltzmann, 2, 1, 1, 5, workdir);
+  EXPECT_EQ(r.final_step, 10);
+  expect_matches_serial3d(mask, p, Method::kLatticeBoltzmann, 2, 1, 1, 10,
+                          workdir);
+}
+
+TEST(Process3DSupervisor, KilledRankRestartsFromNewestEpochBitwiseLB) {
+  const Mask3D mask = closed_box3d(16, 12, 10, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("killlb");
+  ProcessRunOptions options;
+  options.checkpoint_interval = 4;
+  options.faults = "kill:rank=1,step=7";
+  const ProcessRunResult r = run_multiprocess3d(
+      mask, p, Method::kLatticeBoltzmann, 2, 1, 1, 12, workdir, options);
+  EXPECT_EQ(r.restarts, 1);
+  EXPECT_EQ(r.final_step, 12);
+  EXPECT_GE(r.committed_epoch, 0);  // epoch 0 (step 4) survived the crash
+  expect_matches_serial3d(mask, p, Method::kLatticeBoltzmann, 2, 1, 1, 12,
+                          workdir);
+}
+
+TEST(Process3DSupervisor, KilledRankRestartsFromNewestEpochBitwiseFD) {
+  const Mask3D mask = closed_box3d(16, 12, 10, 1);
+  FluidParams p;
+  p.dt = 0.3;
+  p.nu = 0.05;
+  const std::string workdir = make_workdir("killfd");
+  ProcessRunOptions options;
+  options.checkpoint_interval = 3;
+  options.faults = "kill:rank=0,step=8";
+  const ProcessRunResult r = run_multiprocess3d(
+      mask, p, Method::kFiniteDifference, 1, 2, 1, 12, workdir, options);
+  EXPECT_EQ(r.restarts, 1);
+  EXPECT_EQ(r.final_step, 12);
+  expect_matches_serial3d(mask, p, Method::kFiniteDifference, 1, 2, 1, 12,
+                          workdir);
+}
+
+TEST(Process3DSupervisor, TornDumpIsNeverCommittedAndRecoveryIsBitwise) {
+  const Mask3D mask = closed_box3d(16, 12, 10, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("torn");
+  ProcessRunOptions options;
+  options.checkpoint_interval = 3;
+  options.faults = "torn_dump:rank=0,epoch=1";
+  const ProcessRunResult r = run_multiprocess3d(
+      mask, p, Method::kLatticeBoltzmann, 2, 1, 1, 12, workdir, options);
+  EXPECT_EQ(r.restarts, 1);
+  expect_matches_serial3d(mask, p, Method::kLatticeBoltzmann, 2, 1, 1, 12,
+                          workdir);
+}
+
+TEST(Process3DSupervisor, ExhaustedBudgetFailsFastWithReapedChildren) {
+  const Mask3D mask = closed_box3d(14, 10, 8, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("budget0");
+  ProcessRunOptions options;
+  options.max_restarts = 0;
+  options.recv_deadline_ms = 5000;
+  options.faults = "kill:rank=1,step=2";
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    run_multiprocess3d(mask, p, Method::kLatticeBoltzmann, 2, 1, 1, 50,
+                       workdir, options);
+    FAIL() << "supervisor returned despite a dead rank and zero budget";
+  } catch (const ProcessRunError& e) {
+    bool saw_rank1 = false;
+    for (const RankFailure& f : e.failures)
+      if (f.rank == 1) {
+        saw_rank1 = true;
+        EXPECT_NE(f.detail.find("signal"), std::string::npos) << f.detail;
+      }
+    EXPECT_TRUE(saw_rank1) << e.what();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2 * 5000);
+  std::ifstream registry(workdir + "/ports");
+  EXPECT_FALSE(registry.good());  // no stale listeners advertised
+  errno = 0;
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(Process3DSupervisor, StaleTwoDArtifactsCannotPoisonAThreeDRun) {
+  // A 2D run and a 3D run sharing a workdir collide on every artifact
+  // name (rank_0.dump is rank 0 in both).  Start-of-run hygiene must
+  // remove the other dimension's dumps instead of trying to resume from
+  // them, so the 3D run starts from step 0 and finishes bit-identical to
+  // a 3D run in a fresh directory.
+  const std::string workdir = make_workdir("stale2d");
+
+  FluidParams p2;
+  p2.dt = 1.0;
+  Mask2D mask2(Extents2{24, 18}, 1);
+  mask2.fill_box({0, 0, 24, 1}, NodeType::kWall);
+  mask2.fill_box({0, 17, 24, 18}, NodeType::kWall);
+  mask2.fill_box({0, 0, 1, 18}, NodeType::kWall);
+  mask2.fill_box({23, 0, 24, 18}, NodeType::kWall);
+  run_multiprocess2d(mask2, p2, Method::kLatticeBoltzmann, 2, 1, 6,
+                     workdir);
+  {
+    const CheckpointInfo info = inspect_checkpoint(workdir + "/rank_0.dump");
+    ASSERT_EQ(info.dim, 2);  // the poison is in place
+  }
+
+  FluidParams p;
+  p.dt = 1.0;
+  const Mask3D mask = closed_box3d(14, 10, 8, 1);
+  const ProcessRunResult r = run_multiprocess3d(
+      mask, p, Method::kLatticeBoltzmann, 2, 1, 1, 8, workdir);
+  // A resume from the 2D dumps would have reported final_step == 14.
+  EXPECT_EQ(r.final_step, 8);
+  const CheckpointInfo info = inspect_checkpoint(workdir + "/rank_0.dump");
+  EXPECT_EQ(info.dim, 3);
+  expect_matches_serial3d(mask, p, Method::kLatticeBoltzmann, 2, 1, 1, 8,
+                          workdir);
+}
+
+}  // namespace
+}  // namespace subsonic

@@ -96,6 +96,84 @@ TEST(WorkerPool, ExceptionsPropagateAndPoolSurvives) {
   EXPECT_EQ(count.load(), 10);
 }
 
+TEST(WeightedBounds, PartitionIsValidAndDeterministic) {
+  // A wall-heavy profile: work concentrated in the last quarter of the
+  // range, like a subregion whose lower rows are all solid.
+  const auto weight = [](int i) -> long long { return i < 30 ? 0 : 40; };
+  for (int threads : {1, 2, 3, 4, 7}) {
+    const auto bounds = WorkerPool::weighted_bounds(0, 40, threads, weight);
+    ASSERT_EQ(bounds.size(), static_cast<size_t>(threads) + 1);
+    EXPECT_EQ(bounds.front(), 0);
+    EXPECT_EQ(bounds.back(), 40);
+    for (int t = 0; t < threads; ++t) EXPECT_LE(bounds[t], bounds[t + 1]);
+    // Same inputs, same partition.
+    EXPECT_EQ(bounds, WorkerPool::weighted_bounds(0, 40, threads, weight));
+  }
+}
+
+TEST(WeightedBounds, WallHeavyMaskBalancesWork) {
+  // 100 rows, the first 80 solid (weight 0) and the last 20 fluid
+  // (weight 50 each).  The equal-count split at 4 threads gives the last
+  // thread all 20 fluid rows; the weighted split must spread them out.
+  const auto weight = [](int i) -> long long { return i < 80 ? 0 : 50; };
+  const int threads = 4;
+  const auto bounds = WorkerPool::weighted_bounds(0, 100, threads, weight);
+  long long total = 0;
+  for (int i = 0; i < 100; ++i) total += weight(i) + 1;
+  for (int t = 0; t < threads; ++t) {
+    long long w = 0;
+    for (int i = bounds[t]; i < bounds[t + 1]; ++i) w += weight(i) + 1;
+    // Every thread's share is within one row's weight of the ideal.
+    EXPECT_LE(w, total / threads + 51) << "thread " << t;
+  }
+  // In particular, the fluid block is split across threads: the last
+  // thread must own at most ~1/4 of the fluid rows plus slack, not all 20.
+  EXPECT_GE(bounds[threads - 1], 85);
+}
+
+TEST(WeightedBounds, UniformWeightsMatchEqualCountSplit) {
+  // 120 is divisible by every thread count here, so the weighted split
+  // with uniform weights lands on exactly the equal-count boundaries.
+  for (int threads : {1, 2, 3, 4}) {
+    const auto bounds = WorkerPool::weighted_bounds(
+        0, 120, threads, [](int) -> long long { return 7; });
+    for (int t = 0; t <= threads; ++t)
+      EXPECT_EQ(bounds[t], WorkerPool::chunk_begin(0, 120, t, threads));
+  }
+}
+
+TEST(WeightedBounds, AllZeroWeightsStillSplitEvenly) {
+  const auto bounds = WorkerPool::weighted_bounds(
+      0, 12, 3, [](int) -> long long { return 0; });
+  EXPECT_EQ(bounds, (std::vector<int>{0, 4, 8, 12}));
+}
+
+TEST(WorkerPoolWeighted, EveryIndexVisitedExactlyOnce) {
+  WorkerPool pool(4);
+  const int lo = 0, hi = 97;
+  std::vector<std::atomic<int>> visits(hi - lo);
+  pool.for_weighted(
+      lo, hi, [](int i) -> long long { return i < 50 ? 0 : 9; },
+      [&](int a, int b) {
+        for (int i = a; i < b; ++i) visits[i - lo].fetch_add(1);
+      });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(WorkerPoolWeighted, InterleavesWithForRange) {
+  WorkerPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.for_weighted(
+        0, 100, [](int i) -> long long { return i % 5; },
+        [&](int a, int b) { count.fetch_add(b - a); });
+    EXPECT_EQ(count.load(), 100);
+    count = 0;
+    pool.for_range(0, 100, [&](int a, int b) { count.fetch_add(b - a); });
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
 TEST(ResolveThreads, ExplicitWinsOverEnvironment) {
   ::setenv("SUBSONIC_THREADS", "7", 1);
   EXPECT_EQ(resolve_threads(3), 3);
