@@ -87,22 +87,40 @@ KernelSpeedTable KernelSpeedTable::from_bench_json(const std::string& path) {
 std::optional<double> KernelSpeedTable::mlups(
     const std::string& kernel) const {
   const auto it = mlups_.find(kernel);
-  if (it == mlups_.end()) return std::nullopt;
-  return it->second;
+  if (it != mlups_.end()) return it->second;
+  // Variant fallback: <base>_<variant> -> <base> -> <base>_scalar.  Only
+  // the known dispatch suffixes participate; an arbitrary unknown kernel
+  // name must stay a miss, not resolve to some prefix of itself.
+  for (const char* suffix : {"_avx2", "_scalar"}) {
+    const std::string s = suffix;
+    if (kernel.size() > s.size() &&
+        kernel.compare(kernel.size() - s.size(), s.size(), s) == 0) {
+      const std::string base = kernel.substr(0, kernel.size() - s.size());
+      const auto b = mlups_.find(base);
+      if (b != mlups_.end()) return b->second;
+      const auto sc = mlups_.find(base + "_scalar");
+      if (sc != mlups_.end()) return sc->second;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
 }
 
-std::optional<double> KernelSpeedTable::node_rate(Method method) const {
+std::optional<double> KernelSpeedTable::node_rate(
+    Method method, const std::string& variant) const {
   const std::vector<std::string> required =
       method == Method::kLatticeBoltzmann
           ? std::vector<std::string>{"lb_collide_stream"}
           : std::vector<std::string>{"fd_velocity", "fd_density"};
+  const std::string suffix = variant.empty() ? "" : "_" + variant;
   double seconds_per_meganode = 0;  // sum of 1 / MLUPS over the passes
   for (const std::string& kernel : required) {
-    const auto m = mlups(kernel);
+    const auto m = mlups(kernel + suffix);
     if (!m) return std::nullopt;
     seconds_per_meganode += 1.0 / *m;
   }
-  if (const auto f = mlups("filter")) seconds_per_meganode += 1.0 / *f;
+  if (const auto f = mlups("filter" + suffix))
+    seconds_per_meganode += 1.0 / *f;
   return 1e6 / seconds_per_meganode;
 }
 

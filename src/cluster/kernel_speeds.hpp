@@ -33,16 +33,25 @@ class KernelSpeedTable {
 
   bool empty() const { return mlups_.empty(); }
 
-  /// MLUPS of one kernel, if benched.
+  /// MLUPS of one kernel, if benched.  Dispatch-variant names resolve
+  /// through a fallback chain: `lb_collide_stream_avx2` tries the exact
+  /// entry, then the unsuffixed base (`lb_collide_stream`, the
+  /// auto-dispatched production row), then the base's `_scalar` row —
+  /// so a bench file from before the SIMD split, or from a machine that
+  /// couldn't run a variant, still prices the kernel.
   std::optional<double> mlups(const std::string& kernel) const;
 
   /// Composed fluid-node updates per second for one step of `method`:
   /// 1e6 / sum over the method's kernel passes of 1 / MLUPS.  FD composes
   /// fd_velocity + fd_density, LB is lb_collide_stream; the filter pass
   /// is added whenever it was benched (the paper's production runs keep
-  /// the fourth-order filter on).  Returns nullopt when a required kernel
-  /// is missing, so callers can fall back to the scalar rate.
-  std::optional<double> node_rate(Method method) const;
+  /// the fourth-order filter on).  A non-empty `variant` (e.g. "avx2",
+  /// "scalar") asks for that dispatch variant of each pass, resolved
+  /// through the mlups() fallback chain.  Returns nullopt when a
+  /// required kernel is missing, so callers can fall back to the scalar
+  /// rate.
+  std::optional<double> node_rate(Method method,
+                                  const std::string& variant = "") const;
 
   /// Directly sets a kernel's MLUPS (tests, hand calibration).
   void set(const std::string& kernel, double mlups);

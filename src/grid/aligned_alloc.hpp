@@ -33,6 +33,32 @@ struct CacheAlignedAllocator {
   }
 };
 
+/// CacheAlignedAllocator whose no-argument construct performs *default*
+/// initialization — a no-op for trivial types — so vector::resize hands
+/// back uninitialized storage instead of zero-filling it on the resizing
+/// thread.  Large slabs are then first-touched in parallel by the worker
+/// pool (first_touch_zero): under the kernel's NUMA first-touch policy
+/// each page lands on the node of the thread that will work on it, which
+/// a serial resize-time memset would defeat by homing every page on the
+/// allocating thread's node.
+template <typename T>
+struct UninitCacheAlignedAllocator : CacheAlignedAllocator<T> {
+  UninitCacheAlignedAllocator() = default;
+  template <typename U>
+  constexpr UninitCacheAlignedAllocator(
+      const UninitCacheAlignedAllocator<U>&) noexcept {}
+
+  template <typename U>
+  void construct(U* p) noexcept(noexcept(::new(static_cast<void*>(p)) U)) {
+    ::new (static_cast<void*>(p)) U;
+  }
+
+  friend bool operator==(UninitCacheAlignedAllocator,
+                         UninitCacheAlignedAllocator) {
+    return true;
+  }
+};
+
 /// Rounds an element count up so a row of `T` occupies a whole number of
 /// cache lines (identity when sizeof(T) does not divide the line size).
 template <typename T>

@@ -10,11 +10,23 @@ namespace subsonic {
 
 namespace {
 
-// "SUBDMP2\x02" / "SUBDMP3\x02" as little-endian u64: v2 of the dump
-// format (logical-layout rows + CRC).  v1 files (raw pitched storage) are
-// rejected like any other non-checkpoint bytes.
-constexpr std::uint64_t kMagic2D = 0x0232504d44425553ull;
-constexpr std::uint64_t kMagic3D = 0x0333504d44425553ull;
+// Magic as little-endian u64: a 7-byte "SUBDMP2" / "SUBDMP3" tag naming
+// the runtime dimension, then one version byte following the historical
+// dim + version - 2 pattern ("SUBDMP2\x02" / "SUBDMP3\x03" are the v2
+// dumps).  v3 adds the layout tag in the previously-reserved header word;
+// the payload bytes are identical (logical-layout rows + CRC), so v2
+// files restore unchanged.  v1 files (raw pitched storage) are rejected
+// like any other non-checkpoint bytes.
+constexpr std::uint64_t kMagic2Dv2 = 0x0232504d44425553ull;  // "SUBDMP2\x02"
+constexpr std::uint64_t kMagic3Dv2 = 0x0333504d44425553ull;  // "SUBDMP3\x03"
+constexpr std::uint64_t kMagic2Dv3 = 0x0332504d44425553ull;  // "SUBDMP2\x03"
+constexpr std::uint64_t kMagic3Dv3 = 0x0433504d44425553ull;  // "SUBDMP3\x04"
+
+bool magic_2d(std::uint64_t m) { return m == kMagic2Dv2 || m == kMagic2Dv3; }
+bool magic_3d(std::uint64_t m) { return m == kMagic3Dv2 || m == kMagic3Dv3; }
+int magic_version(std::uint64_t m) {
+  return m == kMagic2Dv2 || m == kMagic3Dv2 ? 2 : 3;
+}
 
 struct Header {
   std::uint64_t magic = 0;
@@ -26,7 +38,7 @@ struct Header {
   std::int32_t nfields = 0;
   std::uint64_t payload_doubles = 0;  ///< exact doubles following the header
   std::uint32_t payload_crc = 0;      ///< CRC32 over those bytes
-  std::uint32_t reserved = 0;
+  std::uint32_t layout = 0;  ///< producing distribution layout (v3+; v2 = 0)
   double params[5] = {0, 0, 0, 0, 0};  // dt nu cs rho0 filter_eps
 };
 
@@ -118,9 +130,9 @@ const Header& validate_file(const std::string& path,
     throw checkpoint_error("checkpoint file " + path +
                            " is truncated: no complete header");
   const Header& h = *reinterpret_cast<const Header*>(bytes.data());
-  if (h.magic != kMagic2D && h.magic != kMagic3D)
+  if (!magic_2d(h.magic) && !magic_3d(h.magic))
     throw checkpoint_error("file " + path +
-                           " is not a subsonic v2 checkpoint");
+                           " is not a subsonic v2/v3 checkpoint");
   const std::size_t expect =
       sizeof(Header) + h.payload_doubles * sizeof(double);
   if (bytes.size() != expect)
@@ -137,13 +149,12 @@ const Header& validate_file(const std::string& path,
   return h;
 }
 
-std::vector<char> load_and_validate(const std::string& path,
-                                    std::uint64_t want_magic) {
+std::vector<char> load_and_validate(const std::string& path, int want_dim) {
   std::vector<char> bytes;
   if (!slurp(path, bytes))
     throw checkpoint_error("cannot read checkpoint file " + path);
   const Header& h = validate_file(path, bytes);
-  if (h.magic != want_magic)
+  if ((want_dim == 2) != magic_2d(h.magic))
     throw checkpoint_error("checkpoint file " + path +
                            " was written by the other-dimensional runtime");
   return bytes;
@@ -154,7 +165,8 @@ std::vector<char> load_and_validate(const std::string& path,
 std::vector<char> serialize_domain(const Domain2D& d) {
   std::vector<char> buf(sizeof(Header));
   Header h;
-  h.magic = kMagic2D;
+  h.magic = kMagic2Dv3;
+  h.layout = kLayoutSoaSlab;
   h.step = d.step();
   h.box[0] = d.box().x0;
   h.box[1] = d.box().y0;
@@ -177,7 +189,8 @@ std::vector<char> serialize_domain(const Domain2D& d) {
 std::vector<char> serialize_domain(const Domain3D& d) {
   std::vector<char> buf(sizeof(Header));
   Header h;
-  h.magic = kMagic3D;
+  h.magic = kMagic3Dv3;
+  h.layout = kLayoutSoaSlab;
   h.step = d.step();
   h.box[0] = d.box().x0;
   h.box[1] = d.box().y0;
@@ -211,7 +224,7 @@ void save_domain(const Domain3D& d, const std::string& path) {
 }
 
 void restore_domain(Domain2D& d, const std::string& path) {
-  const std::vector<char> bytes = load_and_validate(path, kMagic2D);
+  const std::vector<char> bytes = load_and_validate(path, 2);
   const Header& h = *reinterpret_cast<const Header*>(bytes.data());
   SUBSONIC_REQUIRE_MSG(h.box[0] == d.box().x0 && h.box[1] == d.box().y0 &&
                            h.box[3] == d.box().x1 && h.box[4] == d.box().y1,
@@ -231,7 +244,7 @@ void restore_domain(Domain2D& d, const std::string& path) {
 }
 
 void restore_domain(Domain3D& d, const std::string& path) {
-  const std::vector<char> bytes = load_and_validate(path, kMagic3D);
+  const std::vector<char> bytes = load_and_validate(path, 3);
   const Header& h = *reinterpret_cast<const Header*>(bytes.data());
   SUBSONIC_REQUIRE_MSG(
       h.box[0] == d.box().x0 && h.box[1] == d.box().y0 &&
@@ -259,7 +272,9 @@ CheckpointInfo inspect_checkpoint(const std::string& path) {
     throw checkpoint_error("cannot read checkpoint file " + path);
   const Header& h = validate_file(path, bytes);
   CheckpointInfo info;
-  info.dim = h.magic == kMagic2D ? 2 : 3;
+  info.dim = magic_2d(h.magic) ? 2 : 3;
+  info.version = magic_version(h.magic);
+  info.layout = static_cast<int>(h.layout);
   info.step = h.step;
   for (int i = 0; i < 6; ++i) info.box[i] = h.box[i];
   info.ghost = h.ghost;

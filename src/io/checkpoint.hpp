@@ -9,13 +9,18 @@
 // geometry and parameters are static configuration and are revalidated
 // (not rebuilt) at restore time via a fingerprint in the header.
 //
-// Format (v2): fields are serialized row by row over the *logical* window
+// Format (v3): fields are serialized row by row over the *logical* window
 // (interior plus ghost ring), never the raw pitched storage, so a dump is
-// portable between builds with different pitch rounding or extra_pitch
-// (the Appendix-E experiments).  The header carries a CRC32 over the
-// payload and the exact payload size; writes go through the atomic
-// tmp+fsync+rename protocol, so a file that exists under its final name
-// is either complete and verifiable or rejected loudly.
+// portable between builds with different pitch rounding, extra_pitch (the
+// Appendix-E experiments), or in-memory distribution layout.  v3 records
+// which layout produced the dump in a header tag (kLayoutSoaSlab for the
+// row-interleaved SoA slabs) — provenance for tools, not a restore
+// requirement, precisely because the payload is layout-independent.  v2
+// dumps (same bytes, tag slot reserved as zero) restore unchanged.  The
+// header carries a CRC32 over the payload and the exact payload size;
+// writes go through the atomic tmp+fsync+rename protocol, so a file that
+// exists under its final name is either complete and verifiable or
+// rejected loudly.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +44,10 @@ class checkpoint_error : public contract_error {
   using contract_error::contract_error;
 };
 
+/// Distribution-layout tags recorded in v3 dump headers.
+constexpr int kLayoutUnspecified = 0;  ///< v2 dumps (reserved slot was 0)
+constexpr int kLayoutSoaSlab = 1;      ///< row-interleaved SoA slab planes
+
 /// Everything a supervisor needs to know about a dump without building a
 /// Domain: which runtime wrote it, where it belongs, and how far it got.
 struct CheckpointInfo {
@@ -48,6 +57,8 @@ struct CheckpointInfo {
   int ghost = 0;
   int method = 0;
   int q = 0;
+  int version = 0;  ///< dump format version (2 or 3)
+  int layout = 0;   ///< producing layout tag (kLayout*; 0 for v2 dumps)
 };
 
 /// Serializes the full state (header + logical-layout fields) into a

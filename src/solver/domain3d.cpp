@@ -126,13 +126,31 @@ Domain3D::Domain3D(const Mask3D& global_mask, Box3 box,
                                 });
 
   if (method == Method::kLatticeBoltzmann) {
+    // Pencil-interleaved SoA slabs, the 3D analogue of Domain2D: pencil
+    // (y, z) of direction i at slab + (((z + g) * py + y + g) * kQ + i) *
+    // pitch, each direction an ordinary strided view.  Allocated
+    // uninitialized and first-touched by the worker pool (NUMA).
+    const int fpitch = round_pitch<double>(box.width() + 2 * ghost) +
+                       round_pitch<double>(extra_pitch);
+    const std::size_t pencils =
+        static_cast<std::size_t>(box.height() + 2 * ghost) *
+        (box.depth() + 2 * ghost);
+    const std::size_t slab = static_cast<std::size_t>(lbm3d::kQ) * fpitch *
+                             pencils;
+    fstore_.resize(slab);
+    fstore_next_.resize(slab);
+    first_touch_zero(pool_.get(), fstore_.data(), slab);
+    first_touch_zero(pool_.get(), fstore_next_.data(), slab);
     f_.reserve(lbm3d::kQ);
     f_next_.reserve(lbm3d::kQ);
     for (int i = 0; i < lbm3d::kQ; ++i) {
-      f_.emplace_back(Extents3{box.width(), box.height(), box.depth()},
-                      ghost, extra_pitch);
-      f_next_.emplace_back(Extents3{box.width(), box.height(), box.depth()},
-                           ghost, extra_pitch);
+      f_.emplace_back(fstore_.data() + static_cast<std::size_t>(i) * fpitch,
+                      Extents3{box.width(), box.height(), box.depth()},
+                      ghost, fpitch, lbm3d::kQ * fpitch);
+      f_next_.emplace_back(
+          fstore_next_.data() + static_cast<std::size_t>(i) * fpitch,
+          Extents3{box.width(), box.height(), box.depth()}, ghost, fpitch,
+          lbm3d::kQ * fpitch);
     }
     lbm3d::set_equilibrium_both(*this);
   }

@@ -25,6 +25,11 @@ class Domain3D {
   Domain3D(const Mask3D& global_mask, Box3 box, const FluidParams& params,
            Method method, int ghost, int threads = 0, int extra_pitch = 0);
 
+  // The population fields are views into the interleaved slabs below;
+  // copying would alias the original's storage.
+  Domain3D(const Domain3D&) = delete;
+  Domain3D& operator=(const Domain3D&) = delete;
+
   Box3 box() const { return box_; }
   int nx() const { return box_.width(); }
   int ny() const { return box_.height(); }
@@ -58,9 +63,12 @@ class Domain3D {
   PaddedField3D<double>& vz() { return vz_; }
   const PaddedField3D<double>& vz() const { return vz_; }
 
+  /// Direction i of the distribution function — a strided view into the
+  /// pencil-interleaved SoA slab; see Domain2D::f.
   PaddedField3D<double>& f(int i) { return f_[i]; }
   const PaddedField3D<double>& f(int i) const { return f_[i]; }
   PaddedField3D<double>& f_next(int i) { return f_next_[i]; }
+  /// Swaps the view vectors; the two slabs themselves never move.
   void swap_populations() { f_.swap(f_next_); }
 
   /// Write buffers of the double-buffered macroscopic fields; see
@@ -131,6 +139,10 @@ class Domain3D {
   PaddedField3D<std::uint8_t> filter_mask_;
   PaddedField3D<double> rho_, vx_, vy_, vz_;
   PaddedField3D<double> rho_next_, vx_next_, vy_next_, vz_next_;
+  // Interleaved SoA storage behind the f_ / f_next_ views (LB only);
+  // see Domain2D.
+  std::vector<double, UninitCacheAlignedAllocator<double>> fstore_;
+  std::vector<double, UninitCacheAlignedAllocator<double>> fstore_next_;
   std::vector<PaddedField3D<double>> f_;
   std::vector<PaddedField3D<double>> f_next_;
   MaskSpans3D computed_spans_;

@@ -62,10 +62,14 @@ void velocity_box(Domain2D& d, const PaddedField2D<double>& ox,
         const double lap_uy =
             (uyc[x + 1] + uyc[x - 1] + uyp[x] + uym[x] - 4.0 * uy) * invdx2;
 
+        // One divide per cell, not two: both pressure-gradient terms
+        // share the same cs2/rho factor, and (cs2 / rho) * d evaluates
+        // identically to the inlined form, so this is a pure hoist.
+        const double cs2_over_rho = cs2 / rho;
         outx[x] = ux + dt * (-ux * dux_dx - uy * dux_dy -
-                             cs2 / rho * drho_dx + nu * lap_ux + fx);
+                             cs2_over_rho * drho_dx + nu * lap_ux + fx);
         outy[x] = uy + dt * (-ux * duy_dx - uy * duy_dy -
-                             cs2 / rho * drho_dy + nu * lap_uy + fy);
+                             cs2_over_rho * drho_dy + nu * lap_uy + fy);
       }
     });
   });

@@ -1,10 +1,14 @@
 #include "src/solver/lbm2d.hpp"
 
+#include <cstddef>
+#include <algorithm>
 #include <cstring>
 #include <span>
-#include <utility>
+#include <vector>
 
+#include "src/solver/lbm_kernels.hpp"
 #include "src/solver/pass.hpp"
+#include "src/solver/simd.hpp"
 
 namespace subsonic::lbm2d {
 
@@ -27,13 +31,16 @@ void set_equilibrium(Domain2D& d) {
 
 void set_equilibrium_both(Domain2D& d) {
   // Both population buffers start from the same macroscopic fields, so
-  // compute the equilibria once and block-copy them into the second
-  // buffer (the buffers share extents, ghost width and pitch).
+  // compute the equilibria once and row-copy them into the second buffer
+  // (the buffers share extents, ghost width and pitch; row copies because
+  // the planes are strided views into the interleaved slab).
   set_equilibrium(d);
+  const int g = d.ghost();
   for (int i = 0; i < kQ; ++i) {
-    const std::span<const double> src = d.f(i).raw();
-    std::memcpy(d.f_next(i).raw().data(), src.data(),
-                src.size() * sizeof(double));
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(d.f(i).pitch()) * sizeof(double);
+    for (int y = -g; y < d.ny() + g; ++y)
+      std::memcpy(d.f_next(i).row_begin(y), d.f(i).row_begin(y), row_bytes);
   }
 }
 
@@ -45,119 +52,205 @@ void collide_stream(Domain2D& d, ComputePass pass) {
   const bool forced = (gx != 0.0 || gy != 0.0);
   const int g = d.ghost();
 
-  // Relaxation acts on the interior plus one ghost ring: the ring replays,
-  // bit for bit, what the owning neighbour computes for those nodes, so
-  // the stream can pull across the subregion boundary.  Relaxation is
-  // cell-local, so any partition of the region gives identical results.
-  const Box2 relax_region{-1, -1, d.nx() + 1, d.ny() + 1};
   const Box2 stream_region{0, 0, d.nx(), d.ny()};
-  // A streamed cell within g of the interior edge pulls from within g + 1
-  // of the relax region's edge, so the band relaxation uses a g + 2 frame.
-  const int relax_w = g + 2;
 
-  // `on_next` selects the physical buffer: before the swap the step's
-  // populations are the current f, afterwards the same buffer is f_next.
-  // Rows are sharded over the worker pool; relaxation is an in-place
-  // cell-local update reading only the (unwritten this pass) macroscopic
-  // fields, so rows are independent.
-  const auto relax_box = [&](bool on_next, const Box2& r) {
-    PaddedField2D<double>* f[kQ];
-    for (int i = 0; i < kQ; ++i) f[i] = on_next ? &d.f_next(i) : &d.f(i);
-    const PaddedField2D<double>& rho_f = d.rho();
-    const PaddedField2D<double>& vx_f = d.vx();
-    const PaddedField2D<double>& vy_f = d.vy();
-    d.for_rows(r.y0, r.y1, [&](int y) {
-      const double* __restrict rr = rho_f.row_ptr(y);
-      const double* __restrict uxr = vx_f.row_ptr(y);
-      const double* __restrict uyr = vy_f.row_ptr(y);
-      double* fr[kQ];
-      for (int i = 0; i < kQ; ++i) fr[i] = f[i]->row_ptr(y);
-      d.computed_spans().for_row(y, r.x0, r.x1, [&](int a, int b) {
-        for (int x = a; x < b; ++x) {
-          const double rho = rr[x];
-          const double ux = uxr[x];
-          const double uy = uyr[x];
-          // Unrolled second-order equilibria: eq_i = w_i rho
-          // (base + cu + cu^2/2) with cu = 3 c_i.u and
-          // base = 1 - 1.5 u^2.  Same expansion as equilibrium(),
-          // with the shared subexpressions hoisted.
-          const double base = 1.0 - 1.5 * (ux * ux + uy * uy);
-          const double ax = 3.0 * ux;
-          const double ay = 3.0 * uy;
-          const double rw_s = rho * (1.0 / 9.0);
-          const double rw_d = rho * (1.0 / 36.0);
-          double eq[kQ];
-          eq[0] = rho * (4.0 / 9.0) * base;
-          eq[1] = rw_s * (base + ax + 0.5 * ax * ax);
-          eq[3] = rw_s * (base - ax + 0.5 * ax * ax);
-          eq[2] = rw_s * (base + ay + 0.5 * ay * ay);
-          eq[4] = rw_s * (base - ay + 0.5 * ay * ay);
-          const double app = ax + ay;   // c = ( 1,  1)
-          const double apm = ax - ay;   // c = ( 1, -1)
-          eq[5] = rw_d * (base + app + 0.5 * app * app);
-          eq[7] = rw_d * (base - app + 0.5 * app * app);
-          eq[8] = rw_d * (base + apm + 0.5 * apm * apm);
-          eq[6] = rw_d * (base - apm + 0.5 * apm * apm);
-          for (int i = 0; i < kQ; ++i) {
-            double& fi = fr[i][x];
-            fi += omega * (eq[i] - fi);
-          }
-          if (forced) {
-            // First-order body-force term: w_i rho (c_i . g) / c_s^2.
-            for (int i = 1; i < kQ; ++i)
-              fr[i][x] += kW[i] * rho * 3.0 * (kCx[i] * gx + kCy[i] * gy);
-          }
+  // Fused collide + stream over destination box `r`, as a push sweep: for
+  // every source row (the box's rows plus one on each side) the kernel
+  // computes the post-collision populations once per cell and writes each
+  // direction straight into its shifted destination row of the back
+  // buffer.  The source buffer is never written, so band + interior passes
+  // read the same pristine pre-step state and any row partition — hence
+  // any thread count — produces identical results: destination row t of
+  // plane i is written only from source row t - cy_i, so threads owning
+  // disjoint source rows write disjoint rows of every plane.
+  //
+  // Collision is resolved per *source* node type (the value a neighbour
+  // receives from a node is what that node emits):
+  //   computed (fluid | outlet) — BGK relaxation toward equilibrium
+  //   wall                      — full-way bounce-back: the opposite
+  //                               incoming population leaves instead
+  //   inlet                     — prescribed-velocity reservoir equilibria
+  // This is the same arithmetic the split relax + memcpy-stream passes
+  // performed, evaluated in one traversal instead of two.
+  const PaddedField2D<double>& rho_f = d.rho();
+  const PaddedField2D<double>& vx_f = d.vx();
+  const PaddedField2D<double>& vy_f = d.vy();
+  double eq_in[kQ];  // reservoir populations are cell-independent
+  for (int i = 0; i < kQ; ++i)
+    eq_in[i] = equilibrium(i, p.rho0, p.inlet_vx, p.inlet_vy);
+  const lbm_kernels::Collide2D cp{omega, gx, gy, forced};
+  const lbm_kernels::Fn2D span_fn = lbm_kernels::select2d(active_simd());
+
+  // One source row of the sweep.  `S`/`D` name the source and destination
+  // planes; `shift` moves every destination down by that many whole row
+  // blocks of the interleaved slab (0 for the two-slab ping-pong, +/-2
+  // for the in-place sweep below).  Directions whose destination row
+  // falls outside the box scatter into a per-thread, per-direction
+  // scratch row instead; the stores are simply discarded.  That keeps
+  // every source row on the branch-free span kernel (the boundary rows
+  // would otherwise crawl through the guarded per-cell path), and one
+  // private row per direction preserves the kernel's no-alias contract.
+  // Scratch rows stay cache-hot, so the dead stores cost almost nothing.
+  const int stride = d.nx() + 6;  // span window plus the cx pre-shift
+  const auto sweep_row = [&](const Box2& r, const PaddedField2D<double>* const* S,
+                             PaddedField2D<double>* const* D, int shift,
+                             int ys) {
+    thread_local std::vector<double> scratch;
+    if (static_cast<int>(scratch.size()) < kQ * stride)
+      scratch.resize(static_cast<size_t>(kQ) * stride);
+    lbm_kernels::Row2D row;
+    row.rho = rho_f.row_ptr(ys);
+    row.ux = vx_f.row_ptr(ys);
+    row.uy = vy_f.row_ptr(ys);
+    bool real[kQ];  // direction's dest row is inside r (not scratch)
+    for (int i = 0; i < kQ; ++i) {
+      row.s[i] = S[i]->row_ptr(ys);
+      const int yd = ys + kCy[i];
+      real[i] = yd >= r.y0 && yd < r.y1;
+      row.d[i] = real[i]
+                     ? D[i]->row_ptr(yd) +
+                           static_cast<std::ptrdiff_t>(shift) *
+                               D[i]->row_stride() +
+                           kCx[i]
+                     : scratch.data() + i * stride + 2;
+    }
+      // Source columns in [fa, fb) land inside r's columns for every
+      // direction; the at-most-one cell on each side of a span outside
+      // that goes through the guarded per-cell kernel.
+      const int fa = r.x0 + 1;
+      const int fb = r.x1 - 1;
+      d.computed_spans().for_row(ys, r.x0 - 1, r.x1 + 1, [&](int a, int b) {
+        int x = a;
+        for (; x < b && x < fa; ++x)
+          lbm_kernels::collide_scatter2d_cell(row, x, r.x0, r.x1, cp);
+        const int stop = std::min(b, fb);
+        if (x < stop) {
+          span_fn(row, x, stop, cp);
+          x = stop;
+        }
+        for (; x < b; ++x)
+          lbm_kernels::collide_scatter2d_cell(row, x, r.x0, r.x1, cp);
+      });
+      d.wall_spans().for_row(ys, r.x0 - 1, r.x1 + 1, [&](int a, int b) {
+        for (int i = 0; i < kQ; ++i) {
+          if (!real[i]) continue;
+          double* __restrict dst = row.d[i];
+          const double* __restrict src = row.s[kOpposite[i]];
+          const int lo = std::max(a, r.x0 - kCx[i]);
+          const int hi = std::min(b, r.x1 - kCx[i]);
+          for (int x = lo; x < hi; ++x) dst[x] = src[x];
         }
       });
-      d.wall_spans().for_row(y, r.x0, r.x1, [&](int a, int b) {
-        for (int x = a; x < b; ++x) {
-          // Full-way bounce-back: arrived populations leave reversed.
-          for (int i = 1; i < kQ; ++i) {
-            const int o = kOpposite[i];
-            if (o > i) std::swap(fr[i][x], fr[o][x]);
-          }
+      d.inlet_spans().for_row(ys, r.x0 - 1, r.x1 + 1, [&](int a, int b) {
+        for (int i = 0; i < kQ; ++i) {
+          if (!real[i]) continue;
+          double* __restrict dst = row.d[i];
+          const int lo = std::max(a, r.x0 - kCx[i]);
+          const int hi = std::min(b, r.x1 - kCx[i]);
+          for (int x = lo; x < hi; ++x) dst[x] = eq_in[i];
         }
       });
-      d.inlet_spans().for_row(y, r.x0, r.x1, [&](int a, int b) {
-        for (int x = a; x < b; ++x)
-          // The jet is a prescribed-velocity reservoir.
-          for (int i = 0; i < kQ; ++i)
-            fr[i][x] = equilibrium(i, p.rho0, p.inlet_vx, p.inlet_vy);
-      });
-    });
   };
 
-  // Stream (pull) box `r` from the relaxed buffer into the other one.
-  // Each destination row segment is a contiguous shifted copy of a source
-  // row, so the shift is pure memcpy.  Rows shard over the pool: every
-  // destination row is written once and all reads hit the source buffer,
-  // which the stream never writes.
-  const auto stream_box = [&](bool from_next, const Box2& r) {
+  const auto fused_box = [&](bool from_next, const Box2& r) {
     if (r.empty()) return;
-    const size_t row_bytes =
-        static_cast<size_t>(r.x1 - r.x0) * sizeof(double);
-    d.for_rows(r.y0, r.y1, [&](int y) {
-      for (int i = 0; i < kQ; ++i) {
-        const PaddedField2D<double>& src = from_next ? d.f_next(i) : d.f(i);
-        PaddedField2D<double>& dst = from_next ? d.f(i) : d.f_next(i);
-        std::memcpy(dst.row_ptr(y) + r.x0,
-                    src.row_ptr(y - kCy[i]) + r.x0 - kCx[i], row_bytes);
-      }
-    });
+    const PaddedField2D<double>* S[kQ];
+    PaddedField2D<double>* D[kQ];
+    for (int i = 0; i < kQ; ++i) {
+      S[i] = from_next ? &d.f_next(i) : &d.f(i);
+      D[i] = from_next ? &d.f(i) : &d.f_next(i);
+    }
+    d.for_rows(r.y0 - 1, r.y1 + 1,
+               [&](int ys) { sweep_row(r, S, D, 0, ys); });
   };
 
-  if (pass != ComputePass::kInterior) {
-    for (const Box2& b : band_boxes2(relax_region, relax_w))
-      relax_box(false, b);
-    for (const Box2& b : band_boxes2(stream_region, g))
-      stream_box(false, b);
+  if (pass == ComputePass::kFull) {
+    // One sweep over the whole region: every destination cell gets the
+    // same value whether it is written before or after the swap, and the
+    // single box keeps nearly all rows on the fast all-directions path
+    // (the band frame would push every band-edge row through the guarded
+    // cells).
+    if (d.threads() == 1) {
+      // Serial in-place sweep (compressed grid): sources and destinations
+      // share one slab, with every destination row written two row blocks
+      // past its source and the views re-homed afterwards.  The freshly
+      // read source blocks absorb the stores while still cache-resident,
+      // so the sweep's memory traffic drops from read + RFO + writeback
+      // on two slabs to read + writeback on one — the difference between
+      // ~120 and ~190 MLUPS at side 192 on the reference container, where
+      // non-temporal stores (the usual RFO remedy) measure slower than
+      // regular stores.  Correctness needs a strict row order: shifting
+      // +2 while walking rows downward (or -2 walking upward), every
+      // store lands in blocks the sweep has already consumed, and no
+      // source or macroscopic row is ever overwritten before its last
+      // read.  The arithmetic — hence every stored value — is identical
+      // to the two-slab path, so thread-count invariance still holds;
+      // only the multi-thread row partition forces the ping-pong.
+      const int shift = d.population_origin() == 0 ? +2 : -2;
+      const PaddedField2D<double>* S[kQ];
+      PaddedField2D<double>* D[kQ];
+      for (int i = 0; i < kQ; ++i) S[i] = D[i] = &d.f(i);
+      const Box2& r = stream_region;
+      const int ny = d.ny();
+      const int nx = d.nx();
+      const int pitch = d.f(0).pitch();
+      // The sweep writes only interior destination cells (ghost-row dests
+      // go to scratch, ghost-column dests are clamped out), so in the
+      // two-slab scheme the ghost ring of each population plane keeps
+      // whatever the boundary fills / initial equilibria put there, and
+      // later passes read that ring (bounce-back off padded walls, and
+      // moments feeds the macroscopic ghosts from it).  The shifted views
+      // would instead expose old interior rows as the ring, so each row's
+      // ring must move with the views: ghost rows whole, interior rows
+      // just their ghost-column chunks (their middles are fresh sweep
+      // output).  Interleaving the carry with the sweep in the same row
+      // order makes it ordering-safe *and* cheap: every ring source is
+      // read before the sweep (or a later carry) reuses its block — the
+      // leading ghost rows' blocks, for instance, are consumed here
+      // before the first sweep rows overwrite them — every ring write
+      // touches bytes the sweep never writes, and all of it lands on
+      // lines inside the sweep's cache-resident window instead of a cold
+      // separate pass over the slab.
+      const auto carry_ring_row = [&](int y) {
+        for (int i = 0; i < kQ; ++i) {
+          PaddedField2D<double>& v = d.f(i);
+          double* before = v.row_begin(y);  // views not yet re-homed
+          double* now =
+              before + static_cast<std::ptrdiff_t>(shift) * v.row_stride();
+          if (y < 0 || y >= ny) {
+            std::memcpy(now, before, sizeof(double) * pitch);
+          } else {
+            std::memcpy(now, before, sizeof(double) * g);
+            std::memcpy(now + g + nx, before + g + nx,
+                        sizeof(double) * (pitch - g - nx));
+          }
+        }
+      };
+      if (shift > 0) {
+        for (int t = ny + g - 1; t >= -g; --t) {
+          carry_ring_row(t);
+          if (t >= r.y0 - 1 && t <= r.y1) sweep_row(r, S, D, shift, t);
+        }
+      } else {
+        for (int t = -g; t < ny + g; ++t) {
+          carry_ring_row(t);
+          if (t >= r.y0 - 1 && t <= r.y1) sweep_row(r, S, D, shift, t);
+        }
+      }
+      d.shift_population_origin(shift);
+      return;
+    }
+    fused_box(false, stream_region);
+    d.swap_populations();
+    return;
+  }
+  if (pass == ComputePass::kBand) {
+    for (const Box2& b : band_boxes2(stream_region, g)) fused_box(false, b);
     // The freshly streamed boundary band becomes current so the driver can
     // pack its sends while the interior is still computing.
     d.swap_populations();
-  }
-  if (pass != ComputePass::kBand) {
-    relax_box(true, interior_box2(relax_region, relax_w));
-    stream_box(true, interior_box2(stream_region, g));
+  } else {
+    fused_box(true, interior_box2(stream_region, g));
   }
 }
 

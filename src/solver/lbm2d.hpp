@@ -39,12 +39,17 @@ void set_equilibrium(Domain2D& d);
 /// buffer holds the reservoir state.
 void set_equilibrium_both(Domain2D& d);
 
-/// Relax on the interior plus a one-node ghost ring (so the subsequent
-/// stream can pull across subregion boundaries), bounce-back at walls,
-/// then stream the interior into the back buffer and swap.  The band pass
-/// relaxes and streams only the boundary band (and swaps, so the driver
-/// can pack sends from the current buffer); the interior pass finishes the
-/// rest.  Band + interior is bitwise identical to the full pass.
+/// Fused collide + stream, one push sweep (DESIGN.md 5g): each source
+/// row's post-collision values (BGK at computed nodes, bounce-back at
+/// walls, reservoir equilibrium at inlets) are computed once and
+/// scattered along all q directions into the destination buffer; sources
+/// include a one-node ghost ring so streams cross subregion boundaries.
+/// The band pass sweeps only the boundary band (and swaps, so the driver
+/// can pack sends from the current buffer); the interior pass finishes
+/// the rest.  A serial kFull pass instead runs in place on a single slab,
+/// shifting the view origin and carrying the ghost ring with it.  All
+/// variants — band + interior vs full, scalar vs AVX2, in-place vs
+/// two-slab — are bitwise identical.
 void collide_stream(Domain2D& d, ComputePass pass = ComputePass::kFull);
 
 /// Recomputes rho, vx, vy from the populations on all padded nodes

@@ -1,10 +1,14 @@
 #include "src/solver/lbm3d.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <span>
 #include <utility>
+#include <vector>
 
+#include "src/solver/lbm_kernels.hpp"
 #include "src/solver/pass.hpp"
+#include "src/solver/simd.hpp"
 
 namespace subsonic::lbm3d {
 
@@ -28,13 +32,19 @@ void set_equilibrium(Domain3D& d) {
 }
 
 void set_equilibrium_both(Domain3D& d) {
-  // As in lbm2d: one equilibrium computation, block-copied into the
-  // second buffer (identical extents, ghost width and pitch).
+  // As in lbm2d: one equilibrium computation, pencil-copied into the
+  // second buffer (identical extents, ghost width and pitch; pencil
+  // copies because the planes are strided views into the interleaved
+  // slab).
   set_equilibrium(d);
+  const int g = d.ghost();
   for (int i = 0; i < kQ; ++i) {
-    const std::span<const double> src = d.f(i).raw();
-    std::memcpy(d.f_next(i).raw().data(), src.data(),
-                src.size() * sizeof(double));
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(d.f(i).pitch()) * sizeof(double);
+    for (int z = -g; z < d.nz() + g; ++z)
+      for (int y = -g; y < d.ny() + g; ++y)
+        std::memcpy(d.f_next(i).row_begin(y, z), d.f(i).row_begin(y, z),
+                    row_bytes);
   }
 }
 
@@ -47,117 +57,108 @@ void collide_stream(Domain3D& d, ComputePass pass) {
   const bool forced = (gx != 0.0 || gy != 0.0 || gz != 0.0);
   const int g = d.ghost();
 
-  // Same band/interior protocol as lbm2d.cpp.
-  const Box3 relax_region{-1, -1, -1, d.nx() + 1, d.ny() + 1, d.nz() + 1};
   const Box3 stream_region{0, 0, 0, d.nx(), d.ny(), d.nz()};
-  const int relax_w = g + 2;
 
-  // Pencils shard over the worker pool; relaxation is cell-local, so any
-  // partition is bitwise neutral (see lbm2d.cpp).
-  const auto relax_box = [&](bool on_next, const Box3& r) {
-    PaddedField3D<double>* f[kQ];
-    for (int i = 0; i < kQ; ++i) f[i] = on_next ? &d.f_next(i) : &d.f(i);
-    const PaddedField3D<double>& rho_f = d.rho();
-    const PaddedField3D<double>& vx_f = d.vx();
-    const PaddedField3D<double>& vy_f = d.vy();
-    const PaddedField3D<double>& vz_f = d.vz();
-    d.for_rows(r.y0, r.y1, r.z0, r.z1, [&](int y, int z) {
-      const double* __restrict rr = rho_f.row_ptr(y, z);
-      const double* __restrict uxr = vx_f.row_ptr(y, z);
-      const double* __restrict uyr = vy_f.row_ptr(y, z);
-      const double* __restrict uzr = vz_f.row_ptr(y, z);
-      double* fr[kQ];
-      for (int i = 0; i < kQ; ++i) fr[i] = f[i]->row_ptr(y, z);
-      d.computed_spans().for_row(y, z, r.x0, r.x1, [&](int a, int b) {
-        for (int x = a; x < b; ++x) {
-          const double rho = rr[x];
-          const double ux = uxr[x];
-          const double uy = uyr[x];
-          const double uz = uzr[x];
-          // Unrolled equilibria (same expansion as equilibrium() with
-          // shared subexpressions hoisted); see lbm2d.cpp.
-          const double base =
-              1.0 - 1.5 * (ux * ux + uy * uy + uz * uz);
-          const double ax = 3.0 * ux;
-          const double ay = 3.0 * uy;
-          const double az = 3.0 * uz;
-          const double rw_s = rho * (1.0 / 9.0);
-          const double rw_d = rho * (1.0 / 72.0);
-          double eq[kQ];
-          eq[0] = rho * (2.0 / 9.0) * base;
-          eq[1] = rw_s * (base + ax + 0.5 * ax * ax);
-          eq[2] = rw_s * (base - ax + 0.5 * ax * ax);
-          eq[3] = rw_s * (base + ay + 0.5 * ay * ay);
-          eq[4] = rw_s * (base - ay + 0.5 * ay * ay);
-          eq[5] = rw_s * (base + az + 0.5 * az * az);
-          eq[6] = rw_s * (base - az + 0.5 * az * az);
-          const double s1 = ax + ay + az;   // c = ( 1,  1,  1)
-          const double s2 = ax + ay - az;   // c = ( 1,  1, -1)
-          const double s3 = ax - ay + az;   // c = ( 1, -1,  1)
-          const double s4 = -ax + ay + az;  // c = (-1,  1,  1)
-          eq[7] = rw_d * (base + s1 + 0.5 * s1 * s1);
-          eq[8] = rw_d * (base - s1 + 0.5 * s1 * s1);
-          eq[9] = rw_d * (base + s2 + 0.5 * s2 * s2);
-          eq[10] = rw_d * (base - s2 + 0.5 * s2 * s2);
-          eq[11] = rw_d * (base + s3 + 0.5 * s3 * s3);
-          eq[12] = rw_d * (base - s3 + 0.5 * s3 * s3);
-          eq[13] = rw_d * (base + s4 + 0.5 * s4 * s4);
-          eq[14] = rw_d * (base - s4 + 0.5 * s4 * s4);
-          for (int i = 0; i < kQ; ++i) {
-            double& fi = fr[i][x];
-            fi += omega * (eq[i] - fi);
-          }
-          if (forced) {
-            for (int i = 1; i < kQ; ++i)
-              fr[i][x] += kW[i] * rho * 3.0 *
-                          (kCx[i] * gx + kCy[i] * gy + kCz[i] * gz);
-          }
-        }
-      });
-      d.wall_spans().for_row(y, z, r.x0, r.x1, [&](int a, int b) {
-        for (int x = a; x < b; ++x) {
-          for (int i = 1; i < kQ; ++i) {
-            const int o = kOpposite[i];
-            if (o > i) std::swap(fr[i][x], fr[o][x]);
-          }
-        }
-      });
-      d.inlet_spans().for_row(y, z, r.x0, r.x1, [&](int a, int b) {
-        for (int x = a; x < b; ++x)
-          for (int i = 0; i < kQ; ++i)
-            fr[i][x] = equilibrium(i, p.rho0, p.inlet_vx, p.inlet_vy,
-                                   p.inlet_vz);
-      });
-    });
-  };
+  // Fused collide + stream as a push sweep over source pencils — the 3D
+  // analogue of lbm2d.cpp: for each source pencil (y, z) the span kernel
+  // computes the post-collision populations once per cell and scatters
+  // direction i into its plane at (x + cx_i, y + cy_i, z + cz_i).
+  // Destination pencil (t, u) of plane i is written only from source
+  // pencil (t - cy_i, u - cz_i), so sharding source pencils over threads
+  // writes disjoint pencils of every plane and stays bitwise
+  // thread-invariant.  Collision is resolved per source node type
+  // (computed → BGK, wall → bounce-back, inlet → reservoir equilibria);
+  // see lbm2d.cpp for the protocol.
+  const PaddedField3D<double>& rho_f = d.rho();
+  const PaddedField3D<double>& vx_f = d.vx();
+  const PaddedField3D<double>& vy_f = d.vy();
+  const PaddedField3D<double>& vz_f = d.vz();
+  double eq_in[kQ];  // reservoir populations are cell-independent
+  for (int i = 0; i < kQ; ++i)
+    eq_in[i] = equilibrium(i, p.rho0, p.inlet_vx, p.inlet_vy, p.inlet_vz);
+  const lbm_kernels::Collide3D cp{omega, gx, gy, gz, forced};
+  const lbm_kernels::Fn3D span_fn = lbm_kernels::select3d(active_simd());
 
-  // Row-contiguous shifted copies, as in the 2D stream; pencils shard over
-  // the pool (each destination pencil written once, source never written).
-  const auto stream_box = [&](bool from_next, const Box3& r) {
+  const auto fused_box = [&](bool from_next, const Box3& r) {
     if (r.empty()) return;
-    const size_t row_bytes =
-        static_cast<size_t>(r.x1 - r.x0) * sizeof(double);
-    d.for_rows(r.y0, r.y1, r.z0, r.z1, [&](int y, int z) {
+    const PaddedField3D<double>* S[kQ];
+    PaddedField3D<double>* D[kQ];
+    for (int i = 0; i < kQ; ++i) {
+      S[i] = from_next ? &d.f_next(i) : &d.f(i);
+      D[i] = from_next ? &d.f(i) : &d.f_next(i);
+    }
+    // Out-of-box destination pencils redirect to per-thread scratch rows
+    // (discarded stores), keeping every source pencil on the branch-free
+    // span kernel; see lbm2d.cpp.
+    const int stride = d.nx() + 6;
+    d.for_rows(r.y0 - 1, r.y1 + 1, r.z0 - 1, r.z1 + 1, [&](int ys,
+                                                           int zs) {
+      thread_local std::vector<double> scratch;
+      if (static_cast<int>(scratch.size()) < kQ * stride)
+        scratch.resize(static_cast<size_t>(kQ) * stride);
+      lbm_kernels::Row3D row;
+      row.rho = rho_f.row_ptr(ys, zs);
+      row.ux = vx_f.row_ptr(ys, zs);
+      row.uy = vy_f.row_ptr(ys, zs);
+      row.uz = vz_f.row_ptr(ys, zs);
+      bool real[kQ];  // direction's dest pencil is inside r (not scratch)
       for (int i = 0; i < kQ; ++i) {
-        const PaddedField3D<double>& src = from_next ? d.f_next(i) : d.f(i);
-        PaddedField3D<double>& dst = from_next ? d.f(i) : d.f_next(i);
-        std::memcpy(dst.row_ptr(y, z) + r.x0,
-                    src.row_ptr(y - kCy[i], z - kCz[i]) + r.x0 - kCx[i],
-                    row_bytes);
+        row.s[i] = S[i]->row_ptr(ys, zs);
+        const int yd = ys + kCy[i];
+        const int zd = zs + kCz[i];
+        real[i] = yd >= r.y0 && yd < r.y1 && zd >= r.z0 && zd < r.z1;
+        row.d[i] = real[i] ? D[i]->row_ptr(yd, zd) + kCx[i]
+                           : scratch.data() + i * stride + 2;
       }
+      const int fa = r.x0 + 1;
+      const int fb = r.x1 - 1;
+      d.computed_spans().for_row(
+          ys, zs, r.x0 - 1, r.x1 + 1, [&](int a, int b) {
+            int x = a;
+            for (; x < b && x < fa; ++x)
+              lbm_kernels::collide_scatter3d_cell(row, x, r.x0, r.x1, cp);
+            const int stop = std::min(b, fb);
+            if (x < stop) {
+              span_fn(row, x, stop, cp);
+              x = stop;
+            }
+            for (; x < b; ++x)
+              lbm_kernels::collide_scatter3d_cell(row, x, r.x0, r.x1, cp);
+          });
+      d.wall_spans().for_row(ys, zs, r.x0 - 1, r.x1 + 1, [&](int a,
+                                                             int b) {
+        for (int i = 0; i < kQ; ++i) {
+          if (!real[i]) continue;
+          double* __restrict dst = row.d[i];
+          const double* __restrict src = row.s[kOpposite[i]];
+          const int lo = std::max(a, r.x0 - kCx[i]);
+          const int hi = std::min(b, r.x1 - kCx[i]);
+          for (int x = lo; x < hi; ++x) dst[x] = src[x];
+        }
+      });
+      d.inlet_spans().for_row(ys, zs, r.x0 - 1, r.x1 + 1, [&](int a,
+                                                              int b) {
+        for (int i = 0; i < kQ; ++i) {
+          if (!real[i]) continue;
+          double* __restrict dst = row.d[i];
+          const int lo = std::max(a, r.x0 - kCx[i]);
+          const int hi = std::min(b, r.x1 - kCx[i]);
+          for (int x = lo; x < hi; ++x) dst[x] = eq_in[i];
+        }
+      });
     });
   };
 
-  if (pass != ComputePass::kInterior) {
-    for (const Box3& b : band_boxes3(relax_region, relax_w))
-      relax_box(false, b);
-    for (const Box3& b : band_boxes3(stream_region, g))
-      stream_box(false, b);
+  if (pass == ComputePass::kFull) {
+    fused_box(false, stream_region);
     d.swap_populations();
+    return;
   }
-  if (pass != ComputePass::kBand) {
-    relax_box(true, interior_box3(relax_region, relax_w));
-    stream_box(true, interior_box3(stream_region, g));
+  if (pass == ComputePass::kBand) {
+    for (const Box3& b : band_boxes3(stream_region, g)) fused_box(false, b);
+    d.swap_populations();
+  } else {
+    fused_box(true, interior_box3(stream_region, g));
   }
 }
 

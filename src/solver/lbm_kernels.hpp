@@ -1,0 +1,89 @@
+// Inner span kernels of the fused LB collide-stream sweep (lbm2d.cpp /
+// lbm3d.cpp set up the rows, these do the per-cell arithmetic).  The sweep
+// is a *push*: for one source row it computes the post-collision
+// populations once per cell and scatters each direction i into its
+// destination plane at (x + cx_i, y + cy_i).  Because every direction
+// lives in its own PaddedField plane, destination row r of plane i is
+// written only from source row r - cy_i — so sharding source rows across
+// threads writes disjoint rows of every plane and stays bitwise
+// thread-invariant, exactly like the unfused kernels.
+//
+// The caller pre-shifts the destination pointers by cx_i (d[i][x] aliases
+// plane i at (x + cx_i, y + cy_i)), so the fast span kernel is branch-free
+// over [a, b).  Cells near box edges, where some direction would land
+// outside, go through the guarded _cell variants instead.
+//
+// Both the scalar and the AVX2 kernels evaluate the exact operation tree
+// of the original relax pass (same association, no FMA), so every level
+// produces bit-identical populations.
+#pragma once
+
+#include "src/solver/simd.hpp"
+
+namespace subsonic::lbm_kernels {
+
+/// One source row of the 2D sweep (D2Q9).
+struct Row2D {
+  const double* rho;
+  const double* ux;
+  const double* uy;
+  const double* s[9];  ///< source populations at (x, y)
+  double* d[9];        ///< pre-shifted dests; null = dest row outside box
+};
+
+/// Collision constants of the step.
+struct Collide2D {
+  double omega = 0;
+  double gx = 0, gy = 0;  ///< force * dt
+  bool forced = false;
+};
+
+/// Fast path over source cells [a, b): requires every d[i] non-null and
+/// every store in range.
+using Fn2D = void (*)(const Row2D&, int a, int b, const Collide2D&);
+
+void collide_scatter2d_scalar(const Row2D& r, int a, int b,
+                              const Collide2D& c);
+#if defined(SUBSONIC_HAVE_AVX2)
+void collide_scatter2d_avx2(const Row2D& r, int a, int b, const Collide2D& c);
+#endif
+
+/// Guarded single source cell: stores only directions whose destination
+/// lands in columns [x0, x1) of a non-null row.
+void collide_scatter2d_cell(const Row2D& r, int x, int x0, int x1,
+                            const Collide2D& c);
+
+/// The span kernel for `level` (kAvx2 assumes the CPU supports it —
+/// resolve via active_simd()/set_simd, which clamp).
+Fn2D select2d(SimdLevel level);
+
+/// One source pencil of the 3D sweep (D3Q15).
+struct Row3D {
+  const double* rho;
+  const double* ux;
+  const double* uy;
+  const double* uz;
+  const double* s[15];
+  double* d[15];  ///< pre-shifted; null = dest pencil outside box
+};
+
+struct Collide3D {
+  double omega = 0;
+  double gx = 0, gy = 0, gz = 0;
+  bool forced = false;
+};
+
+using Fn3D = void (*)(const Row3D&, int a, int b, const Collide3D&);
+
+void collide_scatter3d_scalar(const Row3D& r, int a, int b,
+                              const Collide3D& c);
+#if defined(SUBSONIC_HAVE_AVX2)
+void collide_scatter3d_avx2(const Row3D& r, int a, int b, const Collide3D& c);
+#endif
+
+void collide_scatter3d_cell(const Row3D& r, int x, int x0, int x1,
+                            const Collide3D& c);
+
+Fn3D select3d(SimdLevel level);
+
+}  // namespace subsonic::lbm_kernels

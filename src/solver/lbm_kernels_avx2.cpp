@@ -1,0 +1,207 @@
+// AVX2 span kernels of the fused collide-stream sweep: the scalar kernels
+// of lbm_kernels.cpp transcribed 4 lanes wide.  Compiled with -mavx2 in
+// its own translation unit (see CMakeLists.txt) and reached only through
+// select2d/select3d after the runtime CPU probe.
+//
+// One pass per row computes all directions per iteration — the same shape
+// as the scalar loop, so the source row and every destination row stream
+// through the cache exactly once and the hardware prefetchers see the
+// same 2Q + 3 concurrent streams the scalar kernel trained them on.  (A
+// per-direction formulation was tried and rejected: it re-reads the
+// shared per-cell terms Q times, serializes the memory streams so each
+// short row pays its miss latency unhidden, and the non-temporal stores
+// it was built to enable measured *slower* than regular stores on the
+// machines this project targets.)
+//
+// Bitwise contract: every intrinsic below maps to exactly one IEEE-754
+// operation of the scalar operation tree, in the same association.  The
+// translation unit enables AVX2 but not FMA, so the compiler cannot
+// contract mul+add chains; elementwise vector mul/add/sub round exactly
+// like their scalar counterparts.  The loop tail (span length not a
+// multiple of 4) runs the scalar span kernel over the remainder.
+#include "src/solver/lbm_kernels.hpp"
+
+#if defined(SUBSONIC_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "src/solver/lbm2d.hpp"
+#include "src/solver/lbm3d.hpp"
+
+namespace subsonic::lbm_kernels {
+
+namespace {
+
+/// f + omega * (eq - f), one vector op per scalar op.
+inline __m256d relax(__m256d f, __m256d eq, __m256d vom) {
+  return _mm256_add_pd(f, _mm256_mul_pd(vom, _mm256_sub_pd(eq, f)));
+}
+
+/// v + ((w * rho) * 3.0) * cg — the scalar force term's association.
+inline __m256d force(__m256d v, double w, __m256d rho, double cg) {
+  const __m256d t = _mm256_mul_pd(
+      _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(w), rho),
+                    _mm256_set1_pd(3.0)),
+      _mm256_set1_pd(cg));
+  return _mm256_add_pd(v, t);
+}
+
+// ---------------------------------------------------------------------------
+// D2Q9
+
+template <bool Forced>
+void span2d(const Row2D& r, int a, int b, const Collide2D& c) {
+  using lbm2d::kW;
+  double cg[9];
+  if (Forced)
+    for (int i = 1; i < 9; ++i)
+      cg[i] = lbm2d::kCx[i] * c.gx + lbm2d::kCy[i] * c.gy;
+  const __m256d vom = _mm256_set1_pd(c.omega);
+  const __m256d v1 = _mm256_set1_pd(1.0);
+  const __m256d v15 = _mm256_set1_pd(1.5);
+  const __m256d v3 = _mm256_set1_pd(3.0);
+  const __m256d vh = _mm256_set1_pd(0.5);
+  const __m256d ws = _mm256_set1_pd(1.0 / 9.0);
+  const __m256d wd = _mm256_set1_pd(1.0 / 36.0);
+  const __m256d w0 = _mm256_set1_pd(4.0 / 9.0);
+  int x = a;
+  for (; x + 4 <= b; x += 4) {
+    const __m256d rho = _mm256_loadu_pd(r.rho + x);
+    const __m256d ux = _mm256_loadu_pd(r.ux + x);
+    const __m256d uy = _mm256_loadu_pd(r.uy + x);
+    // base = 1 - 1.5 * (ux*ux + uy*uy); a_k = 3 u_k
+    const __m256d base = _mm256_sub_pd(
+        v1, _mm256_mul_pd(v15, _mm256_add_pd(_mm256_mul_pd(ux, ux),
+                                             _mm256_mul_pd(uy, uy))));
+    const __m256d ax = _mm256_mul_pd(v3, ux);
+    const __m256d ay = _mm256_mul_pd(v3, uy);
+    const __m256d rw_s = _mm256_mul_pd(rho, ws);
+    const __m256d rw_d = _mm256_mul_pd(rho, wd);
+    const __m256d app = _mm256_add_pd(ax, ay);
+    const __m256d apm = _mm256_sub_pd(ax, ay);
+    // (0.5 * t) * t, shared by the +t and -t directions.
+    const __m256d hax = _mm256_mul_pd(_mm256_mul_pd(vh, ax), ax);
+    const __m256d hay = _mm256_mul_pd(_mm256_mul_pd(vh, ay), ay);
+    const __m256d hpp = _mm256_mul_pd(_mm256_mul_pd(vh, app), app);
+    const __m256d hpm = _mm256_mul_pd(_mm256_mul_pd(vh, apm), apm);
+    __m256d eq[9];
+    eq[0] = _mm256_mul_pd(_mm256_mul_pd(rho, w0), base);
+    eq[1] = _mm256_mul_pd(rw_s, _mm256_add_pd(_mm256_add_pd(base, ax), hax));
+    eq[3] = _mm256_mul_pd(rw_s, _mm256_add_pd(_mm256_sub_pd(base, ax), hax));
+    eq[2] = _mm256_mul_pd(rw_s, _mm256_add_pd(_mm256_add_pd(base, ay), hay));
+    eq[4] = _mm256_mul_pd(rw_s, _mm256_add_pd(_mm256_sub_pd(base, ay), hay));
+    eq[5] = _mm256_mul_pd(rw_d, _mm256_add_pd(_mm256_add_pd(base, app), hpp));
+    eq[7] = _mm256_mul_pd(rw_d, _mm256_add_pd(_mm256_sub_pd(base, app), hpp));
+    eq[8] = _mm256_mul_pd(rw_d, _mm256_add_pd(_mm256_add_pd(base, apm), hpm));
+    eq[6] = _mm256_mul_pd(rw_d, _mm256_add_pd(_mm256_sub_pd(base, apm), hpm));
+    for (int i = 0; i < 9; ++i) {
+      __m256d v = relax(_mm256_loadu_pd(r.s[i] + x), eq[i], vom);
+      if (Forced && i > 0) v = force(v, kW[i], rho, cg[i]);
+      _mm256_storeu_pd(r.d[i] + x, v);
+    }
+  }
+  if (x < b) collide_scatter2d_scalar(r, x, b, c);
+}
+
+// ---------------------------------------------------------------------------
+// D3Q15
+
+template <bool Forced>
+void span3d(const Row3D& r, int a, int b, const Collide3D& c) {
+  using lbm3d::kW;
+  double cg[15];
+  if (Forced)
+    for (int i = 1; i < 15; ++i)
+      cg[i] = lbm3d::kCx[i] * c.gx + lbm3d::kCy[i] * c.gy +
+              lbm3d::kCz[i] * c.gz;
+  const __m256d vom = _mm256_set1_pd(c.omega);
+  const __m256d v1 = _mm256_set1_pd(1.0);
+  const __m256d v15 = _mm256_set1_pd(1.5);
+  const __m256d v3 = _mm256_set1_pd(3.0);
+  const __m256d vh = _mm256_set1_pd(0.5);
+  const __m256d ws = _mm256_set1_pd(1.0 / 9.0);
+  const __m256d wd = _mm256_set1_pd(1.0 / 72.0);
+  const __m256d w0 = _mm256_set1_pd(2.0 / 9.0);
+  int x = a;
+  for (; x + 4 <= b; x += 4) {
+    const __m256d rho = _mm256_loadu_pd(r.rho + x);
+    const __m256d ux = _mm256_loadu_pd(r.ux + x);
+    const __m256d uy = _mm256_loadu_pd(r.uy + x);
+    const __m256d uz = _mm256_loadu_pd(r.uz + x);
+    // base = 1 - 1.5 * ((ux*ux + uy*uy) + uz*uz) — the scalar sum's
+    // left-to-right association.
+    const __m256d base = _mm256_sub_pd(
+        v1,
+        _mm256_mul_pd(v15, _mm256_add_pd(_mm256_add_pd(_mm256_mul_pd(ux, ux),
+                                                       _mm256_mul_pd(uy, uy)),
+                                         _mm256_mul_pd(uz, uz))));
+    const __m256d ax = _mm256_mul_pd(v3, ux);
+    const __m256d ay = _mm256_mul_pd(v3, uy);
+    const __m256d az = _mm256_mul_pd(v3, uz);
+    const __m256d rw_s = _mm256_mul_pd(rho, ws);
+    const __m256d rw_d = _mm256_mul_pd(rho, wd);
+    // s1..s4 as in the scalar kernel; s4v = -ax + ay + az is evaluated as
+    // (ay - ax) + az, bit-identical since IEEE addition commutes and
+    // ay + (-ax) == ay - ax exactly.
+    const __m256d s1v = _mm256_add_pd(_mm256_add_pd(ax, ay), az);
+    const __m256d s2v = _mm256_sub_pd(_mm256_add_pd(ax, ay), az);
+    const __m256d s3v = _mm256_add_pd(_mm256_sub_pd(ax, ay), az);
+    const __m256d s4v = _mm256_add_pd(_mm256_sub_pd(ay, ax), az);
+    const __m256d hax = _mm256_mul_pd(_mm256_mul_pd(vh, ax), ax);
+    const __m256d hay = _mm256_mul_pd(_mm256_mul_pd(vh, ay), ay);
+    const __m256d haz = _mm256_mul_pd(_mm256_mul_pd(vh, az), az);
+    const __m256d hs1 = _mm256_mul_pd(_mm256_mul_pd(vh, s1v), s1v);
+    const __m256d hs2 = _mm256_mul_pd(_mm256_mul_pd(vh, s2v), s2v);
+    const __m256d hs3 = _mm256_mul_pd(_mm256_mul_pd(vh, s3v), s3v);
+    const __m256d hs4 = _mm256_mul_pd(_mm256_mul_pd(vh, s4v), s4v);
+    __m256d eq[15];
+    eq[0] = _mm256_mul_pd(_mm256_mul_pd(rho, w0), base);
+    eq[1] = _mm256_mul_pd(rw_s, _mm256_add_pd(_mm256_add_pd(base, ax), hax));
+    eq[2] = _mm256_mul_pd(rw_s, _mm256_add_pd(_mm256_sub_pd(base, ax), hax));
+    eq[3] = _mm256_mul_pd(rw_s, _mm256_add_pd(_mm256_add_pd(base, ay), hay));
+    eq[4] = _mm256_mul_pd(rw_s, _mm256_add_pd(_mm256_sub_pd(base, ay), hay));
+    eq[5] = _mm256_mul_pd(rw_s, _mm256_add_pd(_mm256_add_pd(base, az), haz));
+    eq[6] = _mm256_mul_pd(rw_s, _mm256_add_pd(_mm256_sub_pd(base, az), haz));
+    eq[7] = _mm256_mul_pd(rw_d, _mm256_add_pd(_mm256_add_pd(base, s1v), hs1));
+    eq[8] = _mm256_mul_pd(rw_d, _mm256_add_pd(_mm256_sub_pd(base, s1v), hs1));
+    eq[9] = _mm256_mul_pd(rw_d, _mm256_add_pd(_mm256_add_pd(base, s2v), hs2));
+    eq[10] =
+        _mm256_mul_pd(rw_d, _mm256_add_pd(_mm256_sub_pd(base, s2v), hs2));
+    eq[11] =
+        _mm256_mul_pd(rw_d, _mm256_add_pd(_mm256_add_pd(base, s3v), hs3));
+    eq[12] =
+        _mm256_mul_pd(rw_d, _mm256_add_pd(_mm256_sub_pd(base, s3v), hs3));
+    eq[13] =
+        _mm256_mul_pd(rw_d, _mm256_add_pd(_mm256_add_pd(base, s4v), hs4));
+    eq[14] =
+        _mm256_mul_pd(rw_d, _mm256_add_pd(_mm256_sub_pd(base, s4v), hs4));
+    for (int i = 0; i < 15; ++i) {
+      __m256d v = relax(_mm256_loadu_pd(r.s[i] + x), eq[i], vom);
+      if (Forced && i > 0) v = force(v, kW[i], rho, cg[i]);
+      _mm256_storeu_pd(r.d[i] + x, v);
+    }
+  }
+  if (x < b) collide_scatter3d_scalar(r, x, b, c);
+}
+
+}  // namespace
+
+void collide_scatter2d_avx2(const Row2D& r, int a, int b,
+                            const Collide2D& c) {
+  if (c.forced)
+    span2d<true>(r, a, b, c);
+  else
+    span2d<false>(r, a, b, c);
+}
+
+void collide_scatter3d_avx2(const Row3D& r, int a, int b,
+                            const Collide3D& c) {
+  if (c.forced)
+    span3d<true>(r, a, b, c);
+  else
+    span3d<false>(r, a, b, c);
+}
+
+}  // namespace subsonic::lbm_kernels
+
+#endif  // SUBSONIC_HAVE_AVX2

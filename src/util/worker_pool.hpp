@@ -14,6 +14,8 @@
 // thread spawn.  The calling thread always executes chunk 0 itself.
 #pragma once
 
+#include <algorithm>
+#include <cstring>
 #include <exception>
 #include <functional>
 #include <condition_variable>
@@ -92,6 +94,28 @@ class WorkerPool {
   bool stop_ = false;
   std::exception_ptr first_error_;  // guarded by mutex_
 };
+
+/// Zero-fills [p, p + n) sharded over `pool` (plain memset when null).
+/// Used right after an uninitialized slab allocation: on NUMA machines the
+/// OS homes each page on the node of the thread that first writes it, so
+/// zeroing with the same static partition the kernels later use places
+/// every page next to its worker.  The partition is the pool's equal-count
+/// chunking — deterministic, and matching for_range's layout.
+inline void first_touch_zero(WorkerPool* pool, double* p, std::size_t n) {
+  // Chunk in cache-line units so two workers never split a line (and,
+  // transitively, never split a page except at chunk boundaries).
+  const int lines = static_cast<int>((n + 7) / 8);
+  const auto zero = [p, n](int lo, int hi) {
+    const std::size_t a = static_cast<std::size_t>(lo) * 8;
+    const std::size_t b = std::min(n, static_cast<std::size_t>(hi) * 8);
+    if (b > a) std::memset(p + a, 0, (b - a) * sizeof(double));
+  };
+  if (pool && lines > 1) {
+    pool->for_range(0, lines, zero);
+  } else {
+    zero(0, lines);
+  }
+}
 
 /// Resolves a driver/domain `threads` knob: values >= 1 are taken as-is;
 /// 0 (the default everywhere) means "use the SUBSONIC_THREADS environment

@@ -89,6 +89,56 @@ TEST(KernelSpeedTable, RejectsMissingAndUselessFiles) {
   EXPECT_THROW(KernelSpeedTable::from_bench_json(mt.path()), contract_error);
 }
 
+TEST(KernelSpeedTable, VariantNamesFallBackThroughBaseToScalarEntry) {
+  // Full chain: exact variant -> unsuffixed base -> base_scalar.
+  KernelSpeedTable t;
+  t.set("lb_collide_stream_avx2", 170.0);
+  t.set("lb_collide_stream", 150.0);
+  t.set("lb_collide_stream_scalar", 140.0);
+  EXPECT_EQ(t.mlups("lb_collide_stream_avx2"), 170.0);  // exact hit
+
+  KernelSpeedTable base_only;
+  base_only.set("lb_collide_stream", 150.0);
+  // A pre-SIMD-split bench file prices both variants at the base row.
+  EXPECT_EQ(base_only.mlups("lb_collide_stream_avx2"), 150.0);
+  EXPECT_EQ(base_only.mlups("lb_collide_stream_scalar"), 150.0);
+
+  KernelSpeedTable scalar_only;
+  scalar_only.set("lb_collide_stream_scalar", 140.0);
+  // No exact or base entry: a variant resolves to the scalar row...
+  EXPECT_EQ(scalar_only.mlups("lb_collide_stream_avx2"), 140.0);
+  // ...but the unsuffixed base name itself does not (it is not a
+  // variant, so it must not silently alias a pinned measurement).
+  EXPECT_FALSE(scalar_only.mlups("lb_collide_stream").has_value());
+
+  // Unknown kernels and unknown suffixes stay misses.
+  EXPECT_FALSE(base_only.mlups("lb_collide_stream_sse9").has_value());
+  EXPECT_FALSE(base_only.mlups("no_such_kernel").has_value());
+}
+
+TEST(KernelSpeedTable, NodeRateResolvesVariantsPerPass) {
+  KernelSpeedTable t;
+  t.set("lb_collide_stream", 150.0);
+  t.set("lb_collide_stream_avx2", 300.0);
+  t.set("filter", 200.0);
+  // Variant-qualified rate: the LB pass uses the avx2 row; the filter
+  // pass has no avx2 row and falls back to its base entry.
+  const double avx2 = *t.node_rate(Method::kLatticeBoltzmann, "avx2");
+  EXPECT_DOUBLE_EQ(avx2, 1e6 / (1.0 / 300.0 + 1.0 / 200.0));
+  // Unqualified rate keeps the auto-dispatched production rows.
+  const double base = *t.node_rate(Method::kLatticeBoltzmann);
+  EXPECT_DOUBLE_EQ(base, 1e6 / (1.0 / 150.0 + 1.0 / 200.0));
+  // The scalar variant falls back to the base rows here (no _scalar
+  // entries), pricing the same as unqualified.
+  EXPECT_DOUBLE_EQ(*t.node_rate(Method::kLatticeBoltzmann, "scalar"), base);
+  // FD passes ride the same chain.
+  t.set("fd_velocity", 400.0);
+  t.set("fd_density", 600.0);
+  EXPECT_DOUBLE_EQ(
+      *t.node_rate(Method::kFiniteDifference, "avx2"),
+      1e6 / (1.0 / 400.0 + 1.0 / 600.0 + 1.0 / 200.0));
+}
+
 TEST(ClusterParams, NodeRateUsesMeasuredKernelsWithScalarFallback) {
   ClusterParams p;
   const double scalar_lb2 =

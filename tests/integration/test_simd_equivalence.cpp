@@ -1,0 +1,154 @@
+// The SIMD dispatch level must stay out of the physics: the AVX2 kernels
+// are element-wise transcriptions of the scalar collide-stream arithmetic
+// (same operation order, no FMA contraction), so a run under either level
+// must produce bit-for-bit identical fields across drivers, passes, and
+// forcing.  These tests pin the level with set_simd and compare whole
+// runs; they skip (rather than silently pass scalar-vs-scalar) on
+// machines or builds without AVX2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geometry/flue_pipe.hpp"
+#include "src/runtime/parallel2d.hpp"
+#include "src/runtime/serial2d.hpp"
+#include "src/runtime/serial3d.hpp"
+#include "src/solver/simd.hpp"
+
+namespace subsonic {
+namespace {
+
+/// Pins the dispatch level for one scope, restoring auto dispatch after.
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(SimdLevel level) { set_simd(level); }
+  ~ScopedSimd() { reset_simd(); }
+};
+
+bool avx2_available() { return simd_avx2_built() && simd_avx2_supported(); }
+
+FluidParams lb_params(bool forced) {
+  FluidParams p;
+  p.dt = 1.0;
+  p.nu = 0.02;
+  p.filter_eps = 0.1;
+  if (forced) {
+    p.force_x = 2e-5;
+    p.force_y = -1e-5;
+  }
+  return p;
+}
+
+TEST(SimdDispatch, OverrideIsHonoredAndClamped) {
+  ScopedSimd pin(SimdLevel::kScalar);
+  EXPECT_EQ(active_simd(), SimdLevel::kScalar);
+  set_simd(SimdLevel::kAvx2);
+  if (avx2_available())
+    EXPECT_EQ(active_simd(), SimdLevel::kAvx2);
+  else
+    EXPECT_EQ(active_simd(), SimdLevel::kScalar);  // clamped to the build
+}
+
+// Serial 2D, kFull pass (threads == 1 takes the in-place sweep), with and
+// without body force — the forced collide path has its own vector code.
+TEST(SimdEquivalence, SerialRun2DIsBitwise) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 in this build/CPU";
+  const Geometry2D g =
+      build_flue_pipe(Extents2{96, 64}, FluePipeVariant::kChannel, 3);
+  for (bool forced : {false, true}) {
+    FluidParams p = lb_params(forced);
+    p.inlet_vx = g.inlet_speed;
+
+    SerialDriver2D scalar(g.mask, p, Method::kLatticeBoltzmann);
+    {
+      ScopedSimd pin(SimdLevel::kScalar);
+      scalar.run(25);
+    }
+    SerialDriver2D vec(g.mask, p, Method::kLatticeBoltzmann);
+    {
+      ScopedSimd pin(SimdLevel::kAvx2);
+      vec.run(25);
+    }
+    EXPECT_TRUE(vec.domain().rho() == scalar.domain().rho()) << forced;
+    EXPECT_TRUE(vec.domain().vx() == scalar.domain().vx()) << forced;
+    EXPECT_TRUE(vec.domain().vy() == scalar.domain().vy()) << forced;
+    for (int i = 0; i < scalar.domain().q(); ++i)
+      EXPECT_TRUE(vec.domain().f(i) == scalar.domain().f(i))
+          << "f" << i << " forced=" << forced;
+  }
+}
+
+// Threaded-parallel 2D driver: the overlap schedule runs the band and
+// interior passes (two-slab sweeps) instead of kFull, and the ghost
+// exchange consumes kernel output every step.
+TEST(SimdEquivalence, ParallelBandInteriorRun2DIsBitwise) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 in this build/CPU";
+  const Geometry2D g =
+      build_flue_pipe(Extents2{120, 80}, FluePipeVariant::kBasic, 3);
+  FluidParams p = lb_params(false);
+  p.inlet_vx = g.inlet_speed;
+
+  ParallelDriver2D scalar(g.mask, p, Method::kLatticeBoltzmann, 2, 2);
+  {
+    ScopedSimd pin(SimdLevel::kScalar);
+    scalar.run(20);
+  }
+  ParallelDriver2D vec(g.mask, p, Method::kLatticeBoltzmann, 2, 2);
+  {
+    ScopedSimd pin(SimdLevel::kAvx2);
+    vec.run(20);
+  }
+  for (FieldId id : {FieldId::kRho, FieldId::kVx, FieldId::kVy}) {
+    const auto a = scalar.gather(id);
+    const auto b = vec.gather(id);
+    for (int y = 0; y < 80; ++y)
+      for (int x = 0; x < 120; ++x)
+        ASSERT_EQ(a(x, y), b(x, y))
+            << static_cast<int>(id) << " @ " << x << "," << y;
+  }
+}
+
+// Serial 3D (D3Q15 kernels), forced and unforced.
+TEST(SimdEquivalence, SerialRun3DIsBitwise) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 in this build/CPU";
+  Mask3D mask(Extents3{24, 16, 12}, 3);
+  mask.fill_box({8, 6, 4, 12, 10, 8}, NodeType::kWall);
+  for (bool forced : {false, true}) {
+    FluidParams p = lb_params(forced);
+    p.periodic_x = p.periodic_y = p.periodic_z = true;
+    if (forced) p.force_z = 1e-5;
+
+    SerialDriver3D scalar(mask, p, Method::kLatticeBoltzmann);
+    for (int z = 0; z < 12; ++z)
+      for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 24; ++x)
+          scalar.domain().rho()(x, y, z) =
+              1.0 + 0.02 * std::sin(0.4 * x - 0.3 * y + 0.5 * z);
+    scalar.reinitialize();
+    SerialDriver3D vec(mask, p, Method::kLatticeBoltzmann);
+    for (int z = 0; z < 12; ++z)
+      for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 24; ++x)
+          vec.domain().rho()(x, y, z) =
+              1.0 + 0.02 * std::sin(0.4 * x - 0.3 * y + 0.5 * z);
+    vec.reinitialize();
+
+    {
+      ScopedSimd pin(SimdLevel::kScalar);
+      scalar.run(12);
+    }
+    {
+      ScopedSimd pin(SimdLevel::kAvx2);
+      vec.run(12);
+    }
+    EXPECT_TRUE(vec.domain().rho() == scalar.domain().rho()) << forced;
+    EXPECT_TRUE(vec.domain().vx() == scalar.domain().vx()) << forced;
+    EXPECT_TRUE(vec.domain().vz() == scalar.domain().vz()) << forced;
+    for (int i = 0; i < scalar.domain().q(); ++i)
+      EXPECT_TRUE(vec.domain().f(i) == scalar.domain().f(i))
+          << "f" << i << " forced=" << forced;
+  }
+}
+
+}  // namespace
+}  // namespace subsonic
