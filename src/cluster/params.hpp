@@ -5,6 +5,8 @@
 // 715/50 running 2D lattice Boltzmann).
 #pragma once
 
+#include <vector>
+
 #include "src/cluster/kernel_speeds.hpp"
 #include "src/solver/params.hpp"
 #include "src/util/check.hpp"
@@ -102,6 +104,20 @@ struct ClusterParams {
   double dump_bytes_per_s = 1.0e6;
   double restart_overhead_s = 10.0;
 
+  /// Relative per-rank speed factors of a heterogeneous run (e.g. measured
+  /// by the supervisor as cells integrated per compute-second, normalized).
+  /// Empty = homogeneous cluster (every rank at 1.0); a rank beyond the
+  /// vector's end also reads 1.0, so a partial vector is fine.  Feeds the
+  /// heterogeneous efficiency prediction (efficiency_heterogeneous) and
+  /// the load balancer's placement cost.
+  std::vector<double> rank_speeds;
+
+  /// Speed factor of `rank` under rank_speeds (1.0 when unspecified).
+  double rank_speed(int rank) const {
+    if (rank < 0 || rank >= static_cast<int>(rank_speeds.size())) return 1.0;
+    return rank_speeds[rank];
+  }
+
   /// Fluid-node updates per second of `host` running `method` in `dims`
   /// dimensions: the measured per-kernel rate when kernel_speeds covers
   /// the method (2D only), else the paper's base_node_rate scalar; the
@@ -129,6 +145,7 @@ struct ClusterParams {
     SUBSONIC_REQUIRE(bus_bandwidth_bytes_per_s > 0);
     SUBSONIC_REQUIRE(message_overhead_s >= 0);
     SUBSONIC_REQUIRE(busy_share > 0 && busy_share <= 1.0);
+    for (double s : rank_speeds) SUBSONIC_REQUIRE(s > 0);
   }
 };
 

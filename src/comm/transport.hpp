@@ -44,6 +44,19 @@ constexpr MessageTag make_tag(long step, int phase, int dir) {
          static_cast<MessageTag>(dir & 0x3F);
 }
 
+/// Tag for the over-decomposed (block) runtime, where several block pairs
+/// multiplex one rank-pair channel: the sending block's id is placed above
+/// the (step, phase, dir) bits, so the receiver can wait for precisely the
+/// message of one neighbouring block.  `src_block + 1` keeps block tags
+/// disjoint from plain make_tag() tags on a shared transport; the step
+/// field below stays collision-free while step < 2^24, far beyond any run
+/// this runtime performs.
+constexpr MessageTag make_block_tag(long step, int phase, int dir,
+                                    int src_block) {
+  return (static_cast<MessageTag>(src_block + 1) << 40) |
+         make_tag(step, phase, dir);
+}
+
 class Transport {
  public:
   virtual ~Transport() = default;

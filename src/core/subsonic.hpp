@@ -40,6 +40,7 @@
 #include "src/cluster/workload.hpp"
 #include "src/comm/in_memory_transport.hpp"
 #include "src/comm/tcp_transport.hpp"
+#include "src/decomp/block_decomposition.hpp"
 #include "src/decomp/decomposition.hpp"
 #include "src/geometry/flue_pipe.hpp"
 #include "src/geometry/mask.hpp"
@@ -50,7 +51,9 @@
 #include "src/io/csv.hpp"
 #include "src/io/pgm.hpp"
 #include "src/perfmodel/efficiency.hpp"
+#include "src/runtime/blocked_driver.hpp"
 #include "src/runtime/gather.hpp"
+#include "src/runtime/rebalancer.hpp"
 #include "src/runtime/parallel2d.hpp"
 #include "src/runtime/parallel3d.hpp"
 #include "src/runtime/process2d.hpp"

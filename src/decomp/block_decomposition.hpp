@@ -1,0 +1,122 @@
+// Patch-based over-decomposition (Feichtinger-style block/patch LBM
+// parallelization; ROADMAP item 2).  The global grid is cut into many
+// small fixed-size blocks — far more blocks than ranks — and a mutable
+// block→rank owner map assigns each block to the rank that computes it.
+// The fine block grid is itself a Decomposition2D/3D, so every existing
+// piece of per-subregion machinery (boxes, neighbour links, active
+// filtering, ghost-exchange plans) applies verbatim with "rank" read as
+// "block id".  Load balancing then degenerates to rewriting the owner map
+// and moving a block's checkpointed state: the design that turns dynamic
+// redistribution into cheap block re-assignment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/decomp/decomposition.hpp"
+#include "src/geometry/mask.hpp"
+
+namespace subsonic {
+
+/// Default target block side: ~32^2 cells per block in 2D, ~32^3 in 3D —
+/// small enough that a rank owns several blocks (re-assignment
+/// granularity), large enough that the ghost surface stays a modest
+/// fraction of the block volume.
+constexpr int kDefaultBlockSide = 32;
+
+/// Resolves the target block side: the SUBSONIC_BLOCKS environment
+/// variable when set (a positive integer side length), else `fallback`.
+/// Throws std::invalid_argument on a malformed value.
+int block_side_from_env(int fallback);
+
+/// Number of blocks along an axis of `n` nodes for target side `side`,
+/// clamped so no block is thinner than `min_side` (the ghost width — a
+/// thinner block would need ghost data from non-adjacent blocks).
+int block_count_for_axis(int n, int side, int min_side);
+
+/// 2D block decomposition: a fine (bx x by) block grid over the global
+/// extents plus a block→rank owner map seeded from the coarse (jx x jy)
+/// rank decomposition (each block starts on the rank whose subregion
+/// contains its center).  All-solid blocks get owner -1 and are never
+/// computed or exchanged with, exactly like inactive ranks in the
+/// monolithic decomposition.
+class BlockDecomposition2D {
+ public:
+  /// `side` is the target block side; `min_side` the smallest legal block
+  /// side (pass the ghost width).
+  BlockDecomposition2D(const Mask2D& mask, int jx, int jy, int side,
+                       int min_side);
+
+  const Decomposition2D& blocks() const { return blocks_; }
+  const Decomposition2D& ranks() const { return ranks_; }
+
+  int block_count() const { return blocks_.rank_count(); }
+  int rank_count() const { return ranks_.rank_count(); }
+  Box2 box(int block) const { return blocks_.box(block); }
+
+  /// Owning rank of `block`; -1 for an inactive (all-solid) block.
+  int owner(int block) const { return owner_[block]; }
+  void set_owner(int block, int rank);
+  const std::vector<int>& owner_map() const { return owner_; }
+  /// Replaces the whole map (a rebalance).  Must keep inactive blocks at
+  /// -1 and assign every active block a rank in range.
+  void set_owner_map(std::vector<int> owner);
+
+  bool block_active(int block) const { return owner_[block] >= 0; }
+  /// active()[b] == block_active(b), in the shape make_link_plans expects.
+  const std::vector<bool>& active() const { return active_; }
+
+  /// Ascending block ids owned by `rank`.
+  std::vector<int> blocks_of(int rank) const;
+  /// Ranks owning at least one active block, ascending.
+  std::vector<int> active_ranks() const;
+
+  /// Interior cells of each block (0 for inactive blocks) — the work
+  /// proxy the rebalancer weighs blocks by.
+  std::int64_t block_cells(int block) const {
+    return block_active(block) ? blocks_.box(block).count() : 0;
+  }
+
+ private:
+  Decomposition2D blocks_;
+  Decomposition2D ranks_;
+  std::vector<int> owner_;
+  std::vector<bool> active_;
+};
+
+/// 3D counterpart over a (jx x jy x jz) rank grid.
+class BlockDecomposition3D {
+ public:
+  BlockDecomposition3D(const Mask3D& mask, int jx, int jy, int jz, int side,
+                       int min_side);
+
+  const Decomposition3D& blocks() const { return blocks_; }
+  const Decomposition3D& ranks() const { return ranks_; }
+
+  int block_count() const { return blocks_.rank_count(); }
+  int rank_count() const { return ranks_.rank_count(); }
+  Box3 box(int block) const { return blocks_.box(block); }
+
+  int owner(int block) const { return owner_[block]; }
+  void set_owner(int block, int rank);
+  const std::vector<int>& owner_map() const { return owner_; }
+  void set_owner_map(std::vector<int> owner);
+
+  bool block_active(int block) const { return owner_[block] >= 0; }
+  const std::vector<bool>& active() const { return active_; }
+
+  std::vector<int> blocks_of(int rank) const;
+  std::vector<int> active_ranks() const;
+
+  std::int64_t block_cells(int block) const {
+    return block_active(block) ? blocks_.box(block).count() : 0;
+  }
+
+ private:
+  Decomposition3D blocks_;
+  Decomposition3D ranks_;
+  std::vector<int> owner_;
+  std::vector<bool> active_;
+};
+
+}  // namespace subsonic

@@ -57,6 +57,16 @@ class Mask2D {
     return n;
   }
 
+  /// Nodes of type `t` inside `box` (which must lie inside the interior
+  /// or its padding) — e.g. a rank's fluid-cell work weight.
+  std::int64_t count_box(Box2 box, NodeType t) const {
+    std::int64_t n = 0;
+    for (int y = box.y0; y < box.y1; ++y)
+      for (int x = box.x0; x < box.x1; ++x)
+        if ((*this)(x, y) == t) ++n;
+    return n;
+  }
+
  private:
   PaddedField2D<std::uint8_t> types_;
 };
@@ -96,6 +106,15 @@ class Mask3D {
         for (int x = box.x0; x < box.x1; ++x)
           if ((*this)(x, y, z) != NodeType::kWall) return false;
     return true;
+  }
+
+  std::int64_t count_box(Box3 box, NodeType t) const {
+    std::int64_t n = 0;
+    for (int z = box.z0; z < box.z1; ++z)
+      for (int y = box.y0; y < box.y1; ++y)
+        for (int x = box.x0; x < box.x1; ++x)
+          if ((*this)(x, y, z) == t) ++n;
+    return n;
   }
 
  private:

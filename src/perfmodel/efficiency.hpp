@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cmath>
+#include <vector>
 
 #include "src/util/check.hpp"
 
@@ -62,6 +63,42 @@ inline double efficiency_shared_bus_3d(double n, double m, int p,
   SUBSONIC_REQUIRE(p >= 1);
   return 1.0 / (1.0 + (5.0 / 6.0) * std::pow(n, -1.0 / 3.0) * (p - 1) * m *
                           ucalc_over_vcom);
+}
+
+/// Load-balance factor of a heterogeneous assignment: rank r carrying
+/// `loads[r]` work units on a host of relative speed `speeds[r]` finishes
+/// in time L_r = loads[r] / speeds[r]; the whole step takes max_r(L) while
+/// perfect balance would take mean(L).  Returns mean/max in (0, 1]
+/// (1 = perfectly balanced).  An empty `speeds` means a homogeneous
+/// cluster (all 1.0); otherwise sizes must match.
+inline double load_balance_factor(const std::vector<double>& loads,
+                                  const std::vector<double>& speeds = {}) {
+  SUBSONIC_REQUIRE(!loads.empty());
+  SUBSONIC_REQUIRE(speeds.empty() || speeds.size() == loads.size());
+  double sum = 0.0, max_l = 0.0;
+  for (size_t r = 0; r < loads.size(); ++r) {
+    SUBSONIC_REQUIRE(loads[r] >= 0);
+    const double speed = speeds.empty() ? 1.0 : speeds[r];
+    SUBSONIC_REQUIRE(speed > 0);
+    const double l = loads[r] / speed;
+    sum += l;
+    max_l = l > max_l ? l : max_l;
+  }
+  if (max_l <= 0.0) return 1.0;
+  return (sum / static_cast<double>(loads.size())) / max_l;
+}
+
+/// Heterogeneous-cluster efficiency: the homogeneous prediction f (eqs.
+/// 17-21, which assume equal subregions on equal hosts) degraded by the
+/// load-balance factor of the actual per-rank load/speed assignment —
+/// the slowest rank paces every synchronous step, so f_het = f_hom *
+/// (mean_r L_r / max_r L_r).  This is what the dynamic load balancer
+/// maximizes by moving blocks toward faster or less-loaded hosts.
+inline double efficiency_heterogeneous(double f_homogeneous,
+                                       const std::vector<double>& loads,
+                                       const std::vector<double>& speeds = {}) {
+  SUBSONIC_REQUIRE(f_homogeneous >= 0 && f_homogeneous <= 1);
+  return f_homogeneous * load_balance_factor(loads, speeds);
 }
 
 /// Speedup implied by an efficiency at P processors (definition, eq. 7).

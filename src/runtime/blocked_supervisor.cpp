@@ -1,0 +1,467 @@
+// run_supervised_blocked<Dim>: the over-decomposed half of the process
+// runtime (supervisor.hpp documents the contract).  Structure mirrors
+// run_supervised, with two deltas: checkpoints and final dumps are
+// per-*block* (owner-agnostic, so a restart works under any owner map),
+// and when rebalancing is enabled the run proceeds in segments of
+// rebalance_interval steps — at each segment boundary every child has
+// exited cleanly at the same step with its blocks' state on disk, the
+// supervisor folds the segment's per-block compute timers into a
+// rebalance decision, and the next segment's cohort starts under the
+// (possibly rewritten) owner map.  Epoch ordering stays sound across
+// segments because children number epochs from the run's global start
+// step, and a mid-segment crash restores the newest committed epoch
+// exactly as in the monolithic runtime.
+#include <dirent.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "src/io/checkpoint.hpp"
+#include "src/runtime/cohort.hpp"
+#include "src/runtime/epoch_store.hpp"
+#include "src/runtime/rebalancer.hpp"
+#include "src/runtime/supervisor.hpp"
+#include "src/runtime/supervisor_util.hpp"
+#include "src/telemetry/summary.hpp"
+#include "src/telemetry/telemetry.hpp"
+#include "src/util/check.hpp"
+#include "src/util/fault_plan.hpp"
+
+namespace subsonic {
+
+namespace {
+
+using supervisor_detail::describe_status;
+using supervisor_detail::parse_id_file;
+
+/// Start-of-run hygiene for a blocked run: every rank telemetry stream
+/// goes (the aggregation below must only see this run's streams), every
+/// monolithic rank_<r>.dump goes (a blocked run can never restore one),
+/// and every block_<b>.dump that cannot belong to this run's block
+/// geometry goes.  Matching block dumps are kept — they are what makes
+/// repeated calls continue a run.
+template <int Dim>
+void clean_stale_blocked_artifacts(
+    const std::string& workdir,
+    const typename DomainTraits<Dim>::BlockDecomp& bd, Method method,
+    int ghost) {
+  using Traits = DomainTraits<Dim>;
+  std::vector<std::string> names;
+  if (DIR* dir = ::opendir(workdir.c_str())) {
+    while (const dirent* entry = ::readdir(dir)) names.push_back(entry->d_name);
+    ::closedir(dir);
+  }
+  for (const std::string& name : names) {
+    if (name.find(".epoch_") != std::string::npos) continue;  // cleared already
+    if (parse_id_file(name, "rank_", ".metrics.jsonl") >= 0 ||
+        parse_id_file(name, "rank_", ".trace.json") >= 0 ||
+        parse_id_file(name, "rank_", ".dump") >= 0) {
+      std::remove((workdir + "/" + name).c_str());
+      continue;
+    }
+    const int block = parse_id_file(name, "block_", ".dump");
+    if (block < 0) continue;
+    if (block >= bd.block_count() || !bd.block_active(block)) {
+      std::remove((workdir + "/" + name).c_str());
+      continue;
+    }
+    try {
+      const CheckpointInfo info = inspect_checkpoint(workdir + "/" + name);
+      if (!Traits::box_matches(info, bd.box(block)) ||
+          info.method != static_cast<int>(method) || info.ghost != ghost)
+        std::remove((workdir + "/" + name).c_str());
+    } catch (const std::exception&) {
+      // Unreadable or torn: keep it and let the restore report it.
+    }
+  }
+}
+
+}  // namespace
+
+template <int Dim>
+ProcessRunResult run_supervised_blocked(
+    const typename DomainTraits<Dim>::Mask& mask, const FluidParams& params,
+    Method method, const GridShape& grid, int steps,
+    const std::string& workdir, const ProcessRunOptions& options) {
+  using Traits = DomainTraits<Dim>;
+  params.validate();
+  SUBSONIC_REQUIRE(steps >= 1);
+  SUBSONIC_REQUIRE(options.checkpoint_interval >= 0);
+  SUBSONIC_REQUIRE(options.max_restarts >= 0);
+  SUBSONIC_REQUIRE(options.recv_deadline_ms >= 0);
+  SUBSONIC_REQUIRE(options.rebalance_interval >= 0);
+  SUBSONIC_REQUIRE(options.rebalance_threshold >= 1.0);
+
+  const int ghost = required_ghost(method, params.filter_eps > 0.0);
+  const int side = options.block_side > 0
+                       ? options.block_side
+                       : block_side_from_env(kDefaultBlockSide);
+  typename Traits::BlockDecomp bd =
+      Traits::make_block_decomposition(mask, grid, side, ghost);
+
+  const FaultPlan faults = options.faults.empty()
+                               ? FaultPlan::from_env()
+                               : FaultPlan::parse(options.faults);
+
+  const std::string registry = workdir + "/ports";
+  std::remove(registry.c_str());
+  epoch::clear_run_state(workdir);
+  clean_stale_blocked_artifacts<Dim>(workdir, bd, method, ghost);
+  std::remove((workdir + "/trace.json").c_str());
+  std::remove((workdir + "/run_summary.json").c_str());
+  std::remove((workdir + "/supervisor.metrics.jsonl").c_str());
+
+  const bool trace_on =
+      options.trace > 0 ||
+      (options.trace < 0 && telemetry::trace_enabled_from_env());
+  telemetry::SessionConfig sup_cfg;
+  sup_cfg.trace = trace_on;
+  telemetry::Session supervisor(sup_cfg);
+
+  std::vector<int> active_blocks;
+  for (int b = 0; b < bd.block_count(); ++b)
+    if (bd.block_active(b)) active_blocks.push_back(b);
+
+  // Continuation runs resume from the legacy per-block dumps.
+  long start_step = 0;
+  if (!active_blocks.empty()) {
+    try {
+      start_step = inspect_checkpoint(cohort::legacy_block_dump_path(
+                                          workdir, active_blocks[0]))
+                       .step;
+    } catch (const std::exception&) {
+      start_step = 0;  // absent or unreadable: fresh run
+    }
+  }
+  const long target_step = start_step + steps;
+
+  ProcessRunResult result;
+  result.blocks = bd.block_count();
+  result.final_step = target_step;
+  result.block_owner = bd.owner_map();
+  if (active_blocks.empty()) return result;
+
+  int generation = 0;        // counts every spawned cohort
+  long committed_epoch = -1;
+
+  auto poll_epochs = [&]() {
+    if (options.checkpoint_interval <= 0) return;
+    for (;;) {
+      const long e = committed_epoch + 1;
+      long step = -1;
+      bool complete = true;
+      for (int b : active_blocks) {
+        try {
+          const CheckpointInfo info =
+              inspect_checkpoint(epoch::block_dump_path(workdir, b, e));
+          if (step < 0) step = info.step;
+          complete = complete && info.step == step;
+        } catch (const std::exception&) {
+          complete = false;
+        }
+        if (!complete) break;
+      }
+      if (!complete) return;
+      epoch::Manifest m;
+      m.epoch = e;
+      m.step = step;
+      m.ranks = active_blocks;  // block ids: the blocked runtime's unit
+      {
+        telemetry::ScopedSpan span(&supervisor, -1, "ckpt.commit", "ckpt",
+                                   step);
+        epoch::commit_manifest(workdir, m);
+      }
+      committed_epoch = e;
+      {
+        telemetry::ScopedSpan span(&supervisor, -1, "ckpt.gc", "ckpt", step);
+        epoch::gc_block_epochs(workdir, active_blocks, e);
+      }
+    }
+  };
+
+  // Whole-run telemetry, accumulated across segments (children rewrite
+  // their per-rank streams every cohort).
+  std::map<int, telemetry::RankMetrics> accumulated;
+  // The ranks of the *last* segment, for the final aggregation below.
+  std::vector<int> active_list = bd.active_ranks();
+  result.processes = static_cast<int>(active_list.size());
+
+  long cur_step = start_step;
+  while (cur_step < target_step) {
+    const long seg_target =
+        options.rebalance_interval > 0
+            ? std::min(target_step, cur_step + options.rebalance_interval)
+            : target_step;
+    active_list = bd.active_ranks();
+    result.processes = static_cast<int>(active_list.size());
+
+    auto spawn_cohort = [&](long restore_epoch) -> cohort::Cohort {
+      std::remove(registry.c_str());
+      std::fflush(nullptr);
+      cohort::Cohort cohort;
+      cohort.pids.reserve(active_list.size());
+      for (size_t i = 0; i < active_list.size(); ++i) {
+        cohort::ChildConfig cfg;
+        cfg.rank = active_list[i];
+        cfg.generation = generation;
+        cfg.target_step = seg_target;
+        cfg.start_step = start_step;
+        cfg.final_target = target_step;
+        cfg.restore_epoch = restore_epoch;
+        cfg.checkpoint_interval = options.checkpoint_interval;
+        cfg.stagger_index = static_cast<int>(i);
+        cfg.recv_deadline_ms = options.recv_deadline_ms;
+        cfg.sched = options.sched;
+        cfg.threads = options.threads;
+        cfg.trace = trace_on;
+        cfg.origin_ns = supervisor.origin_ns();
+        int err_pipe[2];
+        SUBSONIC_REQUIRE_MSG(::pipe(err_pipe) == 0, "pipe failed");
+        const pid_t pid = ::fork();
+        SUBSONIC_REQUIRE_MSG(pid >= 0, "fork failed");
+        if (pid == 0) {
+          ::dup2(err_pipe[1], 2);
+          ::close(err_pipe[0]);
+          ::close(err_pipe[1]);
+          cohort::child_main_blocked<Dim>(mask, params, method, bd, cfg,
+                                          workdir, registry,
+                                          faults);  // never returns
+        }
+        ::close(err_pipe[1]);
+        cohort.taggers.emplace_back(cohort::tag_child_stderr, err_pipe[0],
+                                    active_list[i]);
+        cohort.pids.push_back(pid);
+      }
+      cohort.reaped.assign(cohort.pids.size(), false);
+      cohort.status.assign(cohort.pids.size(), 0);
+      return cohort;
+    };
+
+    auto join_taggers = [](cohort::Cohort& cohort) {
+      for (std::thread& t : cohort.taggers)
+        if (t.joinable()) t.join();
+    };
+
+    bool first_attempt = true;
+    for (;;) {
+      // A segment's first cohort resumes from the legacy block dumps the
+      // previous segment left (or fresh); a crash-restart resumes from
+      // the newest committed epoch, because legacy dumps are only
+      // consistent across blocks after a fully clean cohort exit.
+      cohort::Cohort cohort =
+          spawn_cohort(first_attempt ? -1 : committed_epoch);
+      first_attempt = false;
+      ++generation;
+
+      bool failure = false;
+      size_t live = cohort.pids.size();
+      while (live > 0 && !failure) {
+        bool progressed = false;
+        for (size_t i = 0; i < cohort.pids.size(); ++i) {
+          if (cohort.reaped[i]) continue;
+          int status = 0;
+          const pid_t r = ::waitpid(cohort.pids[i], &status, WNOHANG);
+          if (r == cohort.pids[i]) {
+            cohort.reaped[i] = true;
+            cohort.status[i] = status;
+            --live;
+            progressed = true;
+            if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+              failure = true;
+          }
+        }
+        poll_epochs();
+        if (!progressed && !failure && live > 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+
+      if (failure) {
+        for (size_t i = 0; i < cohort.pids.size(); ++i)
+          if (!cohort.reaped[i]) ::kill(cohort.pids[i], SIGKILL);
+        for (size_t i = 0; i < cohort.pids.size(); ++i) {
+          if (cohort.reaped[i]) continue;
+          int status = 0;
+          if (::waitpid(cohort.pids[i], &status, 0) == cohort.pids[i]) {
+            cohort.reaped[i] = true;
+            cohort.status[i] = status;
+          }
+        }
+        join_taggers(cohort);
+        poll_epochs();
+
+        if (result.restarts >= options.max_restarts) {
+          std::remove(registry.c_str());
+          std::vector<RankFailure> failures;
+          std::ostringstream msg;
+          msg << "parallel run failed after " << result.restarts
+              << " restart(s);";
+          for (size_t i = 0; i < cohort.pids.size(); ++i) {
+            const int status = cohort.status[i];
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 0) continue;
+            RankFailure f;
+            f.rank = active_list[i];
+            f.wait_status = status;
+            f.detail = describe_status(status);
+            msg << " rank " << f.rank << ": " << f.detail << ';';
+            failures.push_back(std::move(f));
+          }
+          throw ProcessRunError(msg.str(), std::move(failures));
+        }
+        ++result.restarts;
+        supervisor.metrics().counter(-1, "restart.count").add();
+        continue;  // respawn from the newest committed epoch (or scratch)
+      }
+
+      join_taggers(cohort);
+      poll_epochs();
+      break;
+    }
+
+    // Fold this segment's telemetry: into the whole-run accumulation, and
+    // into the per-block costs the rebalance decision feeds on.
+    std::vector<telemetry::RankMetrics> segment_metrics;
+    for (int rank : active_list) {
+      telemetry::RankMetrics seg;
+      seg.rank = rank;
+      try {
+        for (telemetry::RankMetrics& rm : telemetry::read_metrics_jsonl(
+                 cohort::metrics_path(workdir, rank)))
+          if (rm.rank == rank) seg = std::move(rm);
+      } catch (const std::exception&) {
+        // A missing stream degrades this rank to zeros for the segment.
+      }
+      telemetry::merge_metrics(accumulated[rank], seg);
+      segment_metrics.push_back(std::move(seg));
+    }
+
+    cur_step = seg_target;
+
+    if (options.rebalance_interval > 0 && cur_step < target_step) {
+      std::vector<BlockCost> costs;
+      costs.reserve(active_blocks.size());
+      for (size_t i = 0; i < active_list.size(); ++i) {
+        const telemetry::RankMetrics& rm = segment_metrics[i];
+        for (int b : bd.blocks_of(active_list[i])) {
+          BlockCost c;
+          c.block = b;
+          c.cells = bd.block_cells(b);
+          const auto it =
+              rm.timers.find("compute.block_" + std::to_string(b));
+          if (it != rm.timers.end()) c.t_calc_s = it->second.total_s;
+          costs.push_back(c);
+        }
+      }
+      const RebalanceDecision decision =
+          propose_rebalance(bd.owner_map(), costs, bd.rank_count(),
+                            options.rebalance_threshold);
+      if (decision.rebalance) {
+        bd.set_owner_map(decision.owner);
+        telemetry::RebalanceRecord rec;
+        rec.step = cur_step;
+        rec.moved_blocks = static_cast<int>(decision.moves.size());
+        rec.imbalance_before = decision.imbalance_before;
+        rec.imbalance_after = decision.imbalance_after;
+        result.rebalances.push_back(rec);
+        supervisor.metrics().counter(-1, "rebalance.count").add();
+        supervisor.metrics()
+            .counter(-1, "rebalance.moved_blocks")
+            .add(rec.moved_blocks);
+        std::fprintf(stderr,
+                     "[supervisor] rebalance at step %ld: %d block(s) move, "
+                     "imbalance %.2f -> %.2f\n",
+                     rec.step, rec.moved_blocks, rec.imbalance_before,
+                     rec.imbalance_after);
+      }
+    }
+  }
+  std::remove(registry.c_str());
+  result.committed_epoch = committed_epoch;
+  result.block_owner = bd.owner_map();
+
+  // Read the common step counter back from any block dump.
+  try {
+    result.final_step = inspect_checkpoint(cohort::legacy_block_dump_path(
+                                               workdir, active_blocks[0]))
+                            .step;
+  } catch (const std::exception&) {
+    // keep target_step
+  }
+
+  std::vector<telemetry::RankMetrics> rank_metrics;
+  rank_metrics.reserve(active_list.size());
+  for (int rank : active_list) {
+    auto it = accumulated.find(rank);
+    if (it != accumulated.end()) {
+      rank_metrics.push_back(it->second);
+    } else {
+      telemetry::RankMetrics empty;
+      empty.rank = rank;
+      rank_metrics.push_back(std::move(empty));
+    }
+  }
+  result.rank_stats.reserve(rank_metrics.size());
+  for (const telemetry::RankMetrics& rm : rank_metrics) {
+    WorkerStats ws;
+    ws.compute_s = rm.t_calc();
+    ws.comm_s = rm.t_com();
+    result.rank_stats.push_back(ws);
+  }
+
+  telemetry::RunModelInputs model;
+  model.dims = Dim;
+  model.processes = static_cast<int>(active_list.size());
+  double owned_nodes = 0;
+  for (int b : active_blocks)
+    owned_nodes += static_cast<double>(bd.box(b).count());
+  model.nodes_per_rank = owned_nodes / static_cast<double>(active_list.size());
+  double doubles_per_node = 0;
+  for (const Phase& phase : Traits::make_schedule(method))
+    if (phase.kind == Phase::Kind::kExchange)
+      doubles_per_node += static_cast<double>(phase.fields.size());
+  model.comm_doubles_per_node = doubles_per_node * ghost;
+  model.rank_weights.reserve(active_list.size());
+  for (int rank : active_list) {
+    double fluid = 0;
+    for (int b : bd.blocks_of(rank))
+      fluid += static_cast<double>(
+          mask.count_box(bd.box(b), NodeType::kFluid));
+    model.rank_weights.push_back(fluid);
+  }
+
+  telemetry::RunSummary summary =
+      telemetry::summarize_run(rank_metrics, model, result.restarts);
+  summary.blocks = bd.block_count();
+  summary.rebalances = result.rebalances;
+  result.summary_path = workdir + "/run_summary.json";
+  telemetry::write_run_summary(summary, result.summary_path);
+  supervisor.write_metrics_jsonl(workdir + "/supervisor.metrics.jsonl");
+  if (trace_on) {
+    std::vector<std::string> traces;
+    traces.reserve(active_list.size());
+    for (int rank : active_list)
+      traces.push_back(cohort::rank_trace_path(workdir, rank));
+    telemetry::merge_chrome_traces(traces, workdir + "/trace.json");
+  }
+  return result;
+}
+
+template ProcessRunResult run_supervised_blocked<2>(const Mask2D&,
+                                                    const FluidParams&, Method,
+                                                    const GridShape&, int,
+                                                    const std::string&,
+                                                    const ProcessRunOptions&);
+template ProcessRunResult run_supervised_blocked<3>(const Mask3D&,
+                                                    const FluidParams&, Method,
+                                                    const GridShape&, int,
+                                                    const std::string&,
+                                                    const ProcessRunOptions&);
+
+}  // namespace subsonic

@@ -3,6 +3,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -12,6 +13,7 @@
 #include "src/comm/tcp_endpoint.hpp"
 #include "src/io/atomic_file.hpp"
 #include "src/io/checkpoint.hpp"
+#include "src/runtime/block_set.hpp"
 #include "src/runtime/epoch_store.hpp"
 #include "src/telemetry/telemetry.hpp"
 #include "src/util/log.hpp"
@@ -29,6 +31,10 @@ std::string rank_trace_path(const std::string& workdir, int rank) {
 
 std::string legacy_dump_path(const std::string& workdir, int rank) {
   return workdir + "/rank_" + std::to_string(rank) + ".dump";
+}
+
+std::string legacy_block_dump_path(const std::string& workdir, int block) {
+  return workdir + "/block_" + std::to_string(block) + ".dump";
 }
 
 void tag_child_stderr(int fd, int rank) {
@@ -63,6 +69,26 @@ void flush_dump(const PendingDump& p, const ChildConfig& cfg,
   }
   atomic_write_file(path, p.bytes.data(), p.bytes.size());
 }
+
+void flush_block_dump(const PendingBlockDump& p, const ChildConfig& cfg,
+                      const std::string& workdir, const FaultPlan& faults) {
+  const std::string path = epoch::block_dump_path(workdir, p.block, p.epoch);
+  if (faults.torn_dump(cfg.rank, p.epoch, cfg.generation)) {
+    std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+    torn.write(p.bytes.data(),
+               static_cast<std::streamsize>(p.bytes.size() / 2));
+    torn.flush();
+    ::raise(SIGKILL);
+  }
+  atomic_write_file(path, p.bytes.data(), p.bytes.size());
+}
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
 
 template <int Dim>
 [[noreturn]] void child_main(const typename DomainTraits<Dim>::Mask& mask,
@@ -101,6 +127,17 @@ template <int Dim>
     const int delay_ms = faults.delay_connect_ms(cfg.rank, cfg.generation);
     if (delay_ms > 0)
       std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+
+    // Slow-host fault: every compute phase is stretched by a busy-spin
+    // proportional to its measured duration, inside the phase's telemetry
+    // span — indistinguishable from a genuinely slow CPU downstream.
+    const int slow_pm = faults.slow_permille(cfg.rank, cfg.generation);
+    auto run_compute_timed = [&](auto& dom, ComputeKind kind,
+                                 ComputePass pass) {
+      const auto t0 = std::chrono::steady_clock::now();
+      Traits::run_compute(dom, kind, pass);
+      if (slow_pm > 0) spin_slow_penalty(seconds_since(t0), slow_pm);
+    };
 
     TcpEndpointOptions ep_options;
     ep_options.recv_deadline_ms = cfg.recv_deadline_ms;
@@ -159,7 +196,7 @@ template <int Dim>
                   tel, cfg.rank,
                   compute_phase_name(phase.compute, ComputePass::kBand),
                   "compute", step);
-              Traits::run_compute(domain, phase.compute, ComputePass::kBand);
+              run_compute_timed(domain, phase.compute, ComputePass::kBand);
             }
             {
               telemetry::ScopedSpan span(tel, cfg.rank, "comm.post_sends",
@@ -171,8 +208,8 @@ template <int Dim>
                   tel, cfg.rank,
                   compute_phase_name(phase.compute, ComputePass::kInterior),
                   "compute", step);
-              Traits::run_compute(domain, phase.compute,
-                                  ComputePass::kInterior);
+              run_compute_timed(domain, phase.compute,
+                                ComputePass::kInterior);
             }
             {
               telemetry::ScopedSpan span(tel, cfg.rank, "comm.complete_recvs",
@@ -184,7 +221,7 @@ template <int Dim>
             telemetry::ScopedSpan span(tel, cfg.rank,
                                        compute_phase_name(phase.compute),
                                        "compute", step);
-            Traits::run_compute(domain, phase.compute);
+            run_compute_timed(domain, phase.compute, ComputePass::kFull);
           }
         } else {
           telemetry::ScopedSpan span(tel, cfg.rank, "comm.exchange", "comm",
@@ -266,6 +303,138 @@ template <int Dim>
   }
 }
 
+template <int Dim>
+[[noreturn]] void child_main_blocked(
+    const typename DomainTraits<Dim>::Mask& mask, const FluidParams& params,
+    Method method, const typename DomainTraits<Dim>::BlockDecomp& bd,
+    const ChildConfig& cfg, const std::string& workdir,
+    const std::string& registry, const FaultPlan& faults) {
+  try {
+    telemetry::SessionConfig tel_cfg;
+    tel_cfg.trace = cfg.trace;
+    tel_cfg.origin_ns = cfg.origin_ns;
+    telemetry::Session session(tel_cfg);
+    telemetry::Session* const tel = &session;
+    set_log_context(cfg.rank);
+
+    BlockSet<Dim> set(mask, params, method, bd, cfg.rank, cfg.threads, tel);
+    {
+      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.restore", "ckpt");
+      for (int b : set.block_ids()) {
+        auto& dom = set.domain_of_block(b);
+        if (cfg.restore_epoch >= 0) {
+          restore_domain(
+              dom, epoch::block_dump_path(workdir, b, cfg.restore_epoch));
+        } else {
+          const std::string legacy = legacy_block_dump_path(workdir, b);
+          std::ifstream probe(legacy, std::ios::binary);
+          if (probe.good()) restore_domain(dom, legacy);
+        }
+      }
+    }
+
+    const int delay_ms = faults.delay_connect_ms(cfg.rank, cfg.generation);
+    if (delay_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+
+    const int slow_pm = faults.slow_permille(cfg.rank, cfg.generation);
+
+    TcpEndpointOptions ep_options;
+    ep_options.recv_deadline_ms = cfg.recv_deadline_ms;
+    ep_options.metrics = session.metrics_ptr();
+    TcpEndpoint endpoint(cfg.rank, bd.rank_count(), registry, ep_options);
+    auto send = [&](int dst, MessageTag tag, std::vector<double> payload) {
+      endpoint.send(dst, tag, std::move(payload));
+    };
+    auto recv = [&](int src, MessageTag tag) {
+      return endpoint.recv(src, tag);
+    };
+
+    // Initial full sync seeds every block's ghost regions; the tag carries
+    // the restore step, so a respawned cohort handshakes consistently.
+    {
+      telemetry::ScopedSpan span(tel, cfg.rank, "comm.sync", "comm",
+                                 set.step());
+      set.sync_all_fields(set.step(), send, recv);
+    }
+
+    std::vector<PendingBlockDump> pending;
+    while (set.step() < cfg.target_step) {
+      set_log_context(cfg.rank, set.step());
+      set.step_once(cfg.sched, send, recv, slow_pm);
+      const long done = set.step();
+
+      if (auto ks = faults.kill_step(cfg.rank, cfg.generation))
+        if (done - cfg.start_step >= *ks) ::raise(SIGKILL);
+
+      // Capture up to the run's end, segment boundaries included (the
+      // boundary dump flushes in the exit path below) — a gap in the
+      // epoch numbering would stall the supervisor's sequential commits.
+      const long run_end = std::max(cfg.final_target, cfg.target_step);
+      if (cfg.checkpoint_interval > 0 &&
+          (done - cfg.start_step) % cfg.checkpoint_interval == 0 &&
+          done < run_end) {
+        telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.capture", "ckpt",
+                                   done);
+        const long epoch_id =
+            (done - cfg.start_step) / cfg.checkpoint_interval - 1;
+        for (int i = 0; i < set.local_count(); ++i) {
+          PendingBlockDump p;
+          p.block = set.block_ids()[i];
+          p.epoch = epoch_id;
+          p.flush_step = done + cfg.stagger_index;
+          p.bytes = serialize_domain(set.domain(i));
+          pending.push_back(std::move(p));
+        }
+      }
+      for (size_t i = 0; i < pending.size();) {
+        if (done >= pending[i].flush_step) {
+          telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.flush", "ckpt",
+                                     done);
+          flush_block_dump(pending[i], cfg, workdir, faults);
+          pending.erase(pending.begin() + static_cast<long>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+    set_log_context(cfg.rank);
+    for (const PendingBlockDump& p : pending) {
+      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.flush", "ckpt",
+                                 set.step());
+      flush_block_dump(p, cfg, workdir, faults);
+    }
+
+    {
+      telemetry::ScopedSpan span(tel, cfg.rank, "comm.flush", "comm",
+                                 set.step());
+      endpoint.flush();
+    }
+    {
+      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.final_save", "ckpt",
+                                 set.step());
+      for (int i = 0; i < set.local_count(); ++i)
+        save_domain(set.domain(i),
+                    legacy_block_dump_path(workdir, set.block_ids()[i]));
+    }
+
+    session.write_metrics_jsonl(metrics_path(workdir, cfg.rank));
+    if (session.tracing())
+      session.write_trace_json(rank_trace_path(workdir, cfg.rank));
+    ::_exit(0);
+  } catch (const peer_lost_error& e) {
+    std::fprintf(stderr, "subprocess rank %d lost a peer: %s\n", cfg.rank,
+                 e.what());
+    ::_exit(3);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "subprocess rank %d failed: %s\n", cfg.rank,
+                 e.what());
+    ::_exit(1);
+  } catch (...) {
+    ::_exit(2);
+  }
+}
+
 template void child_main<2>(const Mask2D&, const FluidParams&, Method,
                             const Decomposition2D&, const std::vector<bool>&,
                             const ChildConfig&, const std::string&,
@@ -274,6 +443,14 @@ template void child_main<3>(const Mask3D&, const FluidParams&, Method,
                             const Decomposition3D&, const std::vector<bool>&,
                             const ChildConfig&, const std::string&,
                             const std::string&, const FaultPlan&);
+template void child_main_blocked<2>(const Mask2D&, const FluidParams&, Method,
+                                    const BlockDecomposition2D&,
+                                    const ChildConfig&, const std::string&,
+                                    const std::string&, const FaultPlan&);
+template void child_main_blocked<3>(const Mask3D&, const FluidParams&, Method,
+                                    const BlockDecomposition3D&,
+                                    const ChildConfig&, const std::string&,
+                                    const std::string&, const FaultPlan&);
 
 }  // namespace cohort
 }  // namespace subsonic

@@ -30,6 +30,11 @@ std::string rank_trace_path(const std::string& workdir, int rank);
 /// leaves behind (and restores from on a continuation run).
 std::string legacy_dump_path(const std::string& workdir, int rank);
 
+/// "block_<b>.dump" in `workdir`: final-state dump of one block of the
+/// over-decomposed runtime.  Keyed by block id — never by rank — so a
+/// continuation run restores correctly under a rewritten owner map.
+std::string legacy_block_dump_path(const std::string& workdir, int block);
+
 /// Parent-side half of the child-stderr tagging pipe: reads the child's
 /// stderr line by line and re-emits each line onto the supervisor's
 /// stderr prefixed "[rank r]", so interleaved output from a cohort stays
@@ -45,6 +50,12 @@ struct ChildConfig {
   int generation = 0;     ///< supervisor respawn counter (0 = first cohort)
   long target_step = 0;   ///< run until domain.step() reaches this
   long start_step = 0;    ///< step the run as a whole began at
+  /// Step the whole *run* ends at (>= target_step; the blocked runtime
+  /// runs in segments, so one cohort's target may sit mid-run).  Epoch
+  /// checkpoints are captured up to the run's end but not at it — the
+  /// final state is the legacy dump — which keeps the epoch numbering
+  /// gap-free across segment boundaries.
+  long final_target = 0;
   long restore_epoch = -1;  ///< epoch dump to restore (-1: legacy/fresh)
   int checkpoint_interval = 0;
   int stagger_index = 0;  ///< this rank's index in the active list
@@ -72,6 +83,20 @@ struct PendingDump {
 /// atomic protocol.  Restart must then treat the file as garbage.
 void flush_dump(const PendingDump& p, const ChildConfig& cfg,
                 const std::string& workdir, const FaultPlan& faults);
+
+/// Per-block pending checkpoint of the over-decomposed runtime: captured
+/// for every local block at the epoch step, flushed staggered.
+struct PendingBlockDump {
+  int block = -1;
+  long epoch = 0;
+  long flush_step = 0;
+  std::vector<char> bytes;
+};
+
+/// Writes one pending block dump; the torn_dump fault tears it exactly as
+/// flush_dump does (half-written, no atomic rename, SIGKILL).
+void flush_block_dump(const PendingBlockDump& p, const ChildConfig& cfg,
+                      const std::string& workdir, const FaultPlan& faults);
 
 /// One spawned cohort: pid-per-active-rank plus reap bookkeeping, and the
 /// stderr-tagger thread per child (each drains one pipe until the child
@@ -108,6 +133,33 @@ extern template void child_main<3>(const Mask3D&, const FluidParams&, Method,
                                    const std::vector<bool>&,
                                    const ChildConfig&, const std::string&,
                                    const std::string&, const FaultPlan&);
+
+/// The over-decomposed counterpart of child_main: one rank process
+/// stepping every block the owner map assigns to it (a BlockSet) over the
+/// shared TcpEndpoint, with per-*block* epoch checkpoints and final
+/// dumps.  Supports the same kill / delay_connect / torn_dump faults plus
+/// the slow fault (a busy-spin charged into the per-block compute
+/// timers, making the rank look like a genuinely slow host to the
+/// rebalancer).
+template <int Dim>
+[[noreturn]] void child_main_blocked(
+    const typename DomainTraits<Dim>::Mask& mask, const FluidParams& params,
+    Method method, const typename DomainTraits<Dim>::BlockDecomp& bd,
+    const ChildConfig& cfg, const std::string& workdir,
+    const std::string& registry, const FaultPlan& faults);
+
+extern template void child_main_blocked<2>(const Mask2D&, const FluidParams&,
+                                           Method, const BlockDecomposition2D&,
+                                           const ChildConfig&,
+                                           const std::string&,
+                                           const std::string&,
+                                           const FaultPlan&);
+extern template void child_main_blocked<3>(const Mask3D&, const FluidParams&,
+                                           Method, const BlockDecomposition3D&,
+                                           const ChildConfig&,
+                                           const std::string&,
+                                           const std::string&,
+                                           const FaultPlan&);
 
 }  // namespace cohort
 }  // namespace subsonic

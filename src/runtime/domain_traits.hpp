@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "src/decomp/block_decomposition.hpp"
 #include "src/decomp/decomposition.hpp"
 #include "src/geometry/mask.hpp"
 #include "src/runtime/exchange2d.hpp"
@@ -44,6 +45,7 @@ struct DomainTraits<2> {
   using Mask = Mask2D;
   using Domain = Domain2D;
   using Decomp = Decomposition2D;
+  using BlockDecomp = BlockDecomposition2D;
   using Box = Box2;
   using LinkPlan = LinkPlan2D;
   using Field = PaddedField2D<double>;
@@ -51,6 +53,25 @@ struct DomainTraits<2> {
   static Decomp make_decomposition(const Mask& mask, const GridShape& grid) {
     SUBSONIC_REQUIRE_MSG(grid.jz == 1, "2D decomposition requires jz == 1");
     return Decomp(mask.extents(), grid.jx, grid.jy);
+  }
+
+  /// Over-decomposition of the same grid into ~side^2 blocks seeded onto
+  /// the (jx x jy) rank grid; `ghost` bounds the smallest legal block.
+  static BlockDecomp make_block_decomposition(const Mask& mask,
+                                              const GridShape& grid, int side,
+                                              int ghost) {
+    SUBSONIC_REQUIRE_MSG(grid.jz == 1, "2D decomposition requires jz == 1");
+    return BlockDecomp(mask, grid.jx, grid.jy, side, ghost);
+  }
+
+  /// Link plans of one *block* over the fine block grid — the generic
+  /// make_link_plans with "rank" read as "block id"; neighbours that are
+  /// all-solid blocks are dropped exactly like inactive ranks.
+  static std::vector<LinkPlan> make_block_links(const BlockDecomp& bd,
+                                                int block, int ghost,
+                                                const FluidParams& p) {
+    return make_link_plans2d(bd.blocks(), block, ghost, p.periodic_x,
+                             p.periodic_y, bd.active());
   }
 
   static std::vector<Phase> make_schedule(Method method) {
@@ -151,12 +172,26 @@ struct DomainTraits<3> {
   using Mask = Mask3D;
   using Domain = Domain3D;
   using Decomp = Decomposition3D;
+  using BlockDecomp = BlockDecomposition3D;
   using Box = Box3;
   using LinkPlan = LinkPlan3D;
   using Field = PaddedField3D<double>;
 
   static Decomp make_decomposition(const Mask& mask, const GridShape& grid) {
     return Decomp(mask.extents(), grid.jx, grid.jy, grid.jz);
+  }
+
+  static BlockDecomp make_block_decomposition(const Mask& mask,
+                                              const GridShape& grid, int side,
+                                              int ghost) {
+    return BlockDecomp(mask, grid.jx, grid.jy, grid.jz, side, ghost);
+  }
+
+  static std::vector<LinkPlan> make_block_links(const BlockDecomp& bd,
+                                                int block, int ghost,
+                                                const FluidParams& p) {
+    return make_link_plans3d(bd.blocks(), block, ghost, p.periodic_x,
+                             p.periodic_y, p.periodic_z, bd.active());
   }
 
   static std::vector<Phase> make_schedule(Method method) {

@@ -21,6 +21,11 @@ std::string dump_path(const std::string& workdir, int rank, long e) {
          std::to_string(e) + ".dump";
 }
 
+std::string block_dump_path(const std::string& workdir, int block, long e) {
+  return workdir + "/block_" + std::to_string(block) + ".epoch_" +
+         std::to_string(e) + ".dump";
+}
+
 void commit_manifest(const std::string& workdir, const Manifest& m) {
   std::ostringstream out;
   out << "epoch " << m.epoch << '\n' << "step " << m.step << '\n' << "ranks";
@@ -54,6 +59,17 @@ void gc_epochs(const std::string& workdir, const std::vector<int>& ranks,
   }
 }
 
+void gc_block_epochs(const std::string& workdir,
+                     const std::vector<int>& blocks, long keep_from) {
+  for (long e = keep_from - 1; e >= 0; --e) {
+    bool any = false;
+    for (int b : blocks)
+      if (std::remove(block_dump_path(workdir, b, e).c_str()) == 0)
+        any = true;
+    if (!any) break;  // older epochs were already collected
+  }
+}
+
 void clear_run_state(const std::string& workdir) {
   std::remove(manifest_path(workdir).c_str());
   DIR* dir = ::opendir(workdir.c_str());
@@ -61,7 +77,8 @@ void clear_run_state(const std::string& workdir) {
   std::vector<std::string> doomed;
   while (dirent* entry = ::readdir(dir)) {
     const std::string name = entry->d_name;
-    const bool epoch_dump = name.rfind("rank_", 0) == 0 &&
+    const bool epoch_dump = (name.rfind("rank_", 0) == 0 ||
+                             name.rfind("block_", 0) == 0) &&
                             name.find(".epoch_") != std::string::npos &&
                             name.size() >= 5 &&
                             name.compare(name.size() - 5, 5, ".dump") == 0;

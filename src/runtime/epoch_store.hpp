@@ -22,6 +22,12 @@ std::string manifest_path(const std::string& workdir);
 /// "rank_<r>.epoch_<e>.dump" in `workdir`.
 std::string dump_path(const std::string& workdir, int rank, long e);
 
+/// "block_<b>.epoch_<e>.dump" in `workdir` — the over-decomposed runtime's
+/// epoch dumps.  Block dumps are keyed by block id, never by owning rank,
+/// which is what lets a restart resume under a rewritten owner map (each
+/// block restores its own state wherever it now lives).
+std::string block_dump_path(const std::string& workdir, int block, long e);
+
 struct Manifest {
   long epoch = -1;         ///< newest complete epoch
   long step = 0;           ///< step counter all its dumps carry
@@ -40,10 +46,14 @@ std::optional<Manifest> read_manifest(const std::string& workdir);
 void gc_epochs(const std::string& workdir, const std::vector<int>& ranks,
                long keep_from);
 
-/// Start-of-run hygiene: removes the MANIFEST, every rank_*.epoch_*.dump
-/// and every *.tmp straggler in `workdir`, so state left by a crashed
-/// prior run can never wedge or corrupt a fresh one (the checkpoint
-/// analogue of the fresh port registry).
+/// Same for block epoch dumps (`blocks` are block ids).
+void gc_block_epochs(const std::string& workdir,
+                     const std::vector<int>& blocks, long keep_from);
+
+/// Start-of-run hygiene: removes the MANIFEST, every rank_*.epoch_*.dump /
+/// block_*.epoch_*.dump and every *.tmp straggler in `workdir`, so state
+/// left by a crashed prior run can never wedge or corrupt a fresh one (the
+/// checkpoint analogue of the fresh port registry).
 void clear_run_state(const std::string& workdir);
 
 }  // namespace epoch

@@ -61,7 +61,80 @@ std::pair<long, std::vector<typename DomainTraits<Dim>::Field>> gather_impl(
   return {step < 0 ? 0 : step, std::move(fields)};
 }
 
+/// Blocked counterpart: one scratch subdomain per active *block*, the
+/// rest identical.  Dumps are owner-agnostic, so no owner map is needed.
+template <int Dim>
+std::pair<long, std::vector<typename DomainTraits<Dim>::Field>>
+gather_blocked_impl(const typename DomainTraits<Dim>::Mask& mask,
+                    const FluidParams& params, Method method,
+                    const GridShape& grid, int block_side,
+                    const std::string& workdir, long epoch) {
+  using Traits = DomainTraits<Dim>;
+  params.validate();
+  const int ghost = required_ghost(method, params.filter_eps > 0.0);
+  const int side =
+      block_side > 0 ? block_side : block_side_from_env(kDefaultBlockSide);
+  const typename Traits::BlockDecomp bd =
+      Traits::make_block_decomposition(mask, grid, side, ghost);
+
+  if (epoch >= 0) {
+    const auto m = epoch::read_manifest(workdir);
+    SUBSONIC_REQUIRE_MSG(m && epoch <= m->epoch,
+                         "gather_fields_blocked: epoch is not committed");
+  }
+
+  const std::vector<FieldId> ids = Traits::macro_fields();
+  std::vector<typename Traits::Field> fields;
+  fields.reserve(ids.size());
+  for (FieldId id : ids) {
+    fields.push_back(Traits::make_global_field(bd.blocks()));
+    fields.back().fill(Traits::quiescent(id, params));
+  }
+
+  long step = -1;
+  for (int b = 0; b < bd.block_count(); ++b) {
+    if (!bd.block_active(b)) continue;
+    typename Traits::Domain sub(mask, bd.box(b), params, method, ghost);
+    const std::string path = epoch >= 0
+                                 ? epoch::block_dump_path(workdir, b, epoch)
+                                 : cohort::legacy_block_dump_path(workdir, b);
+    restore_domain(sub, path);
+    if (step < 0) step = sub.step();
+    SUBSONIC_REQUIRE_MSG(
+        sub.step() == step,
+        "gather_fields_blocked: dumps disagree on the step counter");
+    for (size_t i = 0; i < ids.size(); ++i)
+      Traits::copy_interior(fields[i], sub, ids[i], bd.box(b));
+  }
+  return {step < 0 ? 0 : step, std::move(fields)};
+}
+
 }  // namespace
+
+GatheredFields2D gather_fields2d_blocked(const Mask2D& mask,
+                                         const FluidParams& params,
+                                         Method method, int jx, int jy,
+                                         int block_side,
+                                         const std::string& workdir,
+                                         long epoch) {
+  auto [step, fields] = gather_blocked_impl<2>(
+      mask, params, method, GridShape{jx, jy, 1}, block_side, workdir, epoch);
+  return GatheredFields2D{step, std::move(fields[0]), std::move(fields[1]),
+                          std::move(fields[2])};
+}
+
+GatheredFields3D gather_fields3d_blocked(const Mask3D& mask,
+                                         const FluidParams& params,
+                                         Method method, int jx, int jy, int jz,
+                                         int block_side,
+                                         const std::string& workdir,
+                                         long epoch) {
+  auto [step, fields] =
+      gather_blocked_impl<3>(mask, params, method, GridShape{jx, jy, jz},
+                             block_side, workdir, epoch);
+  return GatheredFields3D{step, std::move(fields[0]), std::move(fields[1]),
+                          std::move(fields[2]), std::move(fields[3])};
+}
 
 GatheredFields2D gather_fields2d(const Mask2D& mask,
                                  const FluidParams& params, Method method,

@@ -52,4 +52,26 @@ GatheredFields3D gather_fields3d(const Mask3D& mask,
                                  int jx, int jy, int jz,
                                  const std::string& workdir, long epoch = -1);
 
+/// Gather surface of the over-decomposed runtime: reassembles the fields
+/// from per-*block* dumps ("block_<b>.dump", or a committed epoch's
+/// "block_<b>.epoch_<e>.dump").  `block_side` must match the run that
+/// wrote the dumps (0 / -1 resolve exactly as ProcessRunOptions::
+/// block_side does for a blocked run: SUBSONIC_BLOCKS or the default).
+/// Owner-map agnostic — block dumps carry no rank identity, so a gather
+/// works across any sequence of rebalances.
+GatheredFields2D gather_fields2d_blocked(const Mask2D& mask,
+                                         const FluidParams& params,
+                                         Method method, int jx, int jy,
+                                         int block_side,
+                                         const std::string& workdir,
+                                         long epoch = -1);
+
+/// 3D counterpart of gather_fields2d_blocked.
+GatheredFields3D gather_fields3d_blocked(const Mask3D& mask,
+                                         const FluidParams& params,
+                                         Method method, int jx, int jy, int jz,
+                                         int block_side,
+                                         const std::string& workdir,
+                                         long epoch = -1);
+
 }  // namespace subsonic

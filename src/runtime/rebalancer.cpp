@@ -1,0 +1,158 @@
+#include "src/runtime/rebalancer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+
+namespace {
+
+/// max/mean over the positive-load ranks; 1.0 when fewer than two ranks
+/// carry load (nothing to balance).
+double imbalance(const std::vector<double>& load) {
+  double sum = 0.0, mx = 0.0;
+  int n = 0;
+  for (double l : load) {
+    if (l <= 0.0) continue;
+    sum += l;
+    mx = std::max(mx, l);
+    ++n;
+  }
+  if (n < 2 || sum <= 0.0) return 1.0;
+  return mx / (sum / n);
+}
+
+}  // namespace
+
+RebalanceDecision propose_rebalance(const std::vector<int>& owner,
+                                    const std::vector<BlockCost>& costs,
+                                    int rank_count, double threshold) {
+  SUBSONIC_REQUIRE(rank_count >= 1);
+  SUBSONIC_REQUIRE(threshold >= 1.0);
+
+  RebalanceDecision d;
+  d.owner = owner;
+
+  // Fold the measurements by current owner: the rank's speed is the work
+  // it did per second of compute, its load the seconds it spent.
+  std::vector<double> rank_time(rank_count, 0.0);
+  std::vector<std::int64_t> rank_cells(rank_count, 0);
+  for (const BlockCost& c : costs) {
+    SUBSONIC_REQUIRE(c.block >= 0 &&
+                     c.block < static_cast<int>(owner.size()));
+    const int r = owner[c.block];
+    SUBSONIC_REQUIRE_MSG(r >= 0 && r < rank_count,
+                         "cost reported for an inactive block");
+    rank_time[r] += c.t_calc_s;
+    rank_cells[r] += c.cells;
+  }
+
+  d.imbalance_before = imbalance(rank_time);
+
+  double speed_sum = 0.0;
+  int speed_n = 0;
+  d.rank_speed.assign(rank_count, 0.0);
+  for (int r = 0; r < rank_count; ++r) {
+    if (rank_time[r] > 0.0 && rank_cells[r] > 0) {
+      d.rank_speed[r] = static_cast<double>(rank_cells[r]) / rank_time[r];
+      speed_sum += d.rank_speed[r];
+      ++speed_n;
+    }
+  }
+  // Ranks we could not measure (no blocks, or zero-cost blocks) are
+  // assumed average — they stay eligible to receive blocks.
+  const double mean_speed = speed_n > 0 ? speed_sum / speed_n : 1.0;
+  for (int r = 0; r < rank_count; ++r)
+    if (d.rank_speed[r] <= 0.0) d.rank_speed[r] = mean_speed;
+
+  if (d.imbalance_before < threshold) {
+    d.imbalance_after = d.imbalance_before;
+    return d;  // hysteresis: below threshold the map stands
+  }
+
+  // Greedy longest-processing-time: heaviest blocks first (cells desc,
+  // id asc for determinism), each onto the rank whose predicted finish
+  // time (load + w) / speed is smallest.  Ties keep the current owner —
+  // minimal state movement — then the lower rank.
+  std::vector<BlockCost> ordered = costs;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const BlockCost& a, const BlockCost& b) {
+              if (a.cells != b.cells) return a.cells > b.cells;
+              return a.block < b.block;
+            });
+
+  std::vector<double> load(rank_count, 0.0);  // assigned cells per rank
+  std::vector<int> proposed = owner;
+  for (const BlockCost& c : ordered) {
+    int best = -1;
+    double best_t = std::numeric_limits<double>::infinity();
+    const double w = static_cast<double>(std::max<std::int64_t>(c.cells, 1));
+    for (int r = 0; r < rank_count; ++r) {
+      const double t = (load[r] + w) / d.rank_speed[r];
+      const bool better =
+          t < best_t ||
+          (t == best_t && best != owner[c.block] && r == owner[c.block]);
+      if (better) {
+        best = r;
+        best_t = std::min(best_t, t);
+      }
+    }
+    proposed[c.block] = best;
+    load[best] += w;
+  }
+
+  // Every rank that owns blocks today keeps at least one: a rank starved
+  // of blocks would idle yet still participate in every ghost barrier.
+  for (int r = 0; r < rank_count; ++r) {
+    const bool owns_now =
+        std::find(owner.begin(), owner.end(), r) != owner.end();
+    const bool owns_after =
+        std::find(proposed.begin(), proposed.end(), r) != proposed.end();
+    if (!owns_now || owns_after) continue;
+    // Give it the lightest block of the most loaded rank.
+    int give = -1;
+    double give_t = -1.0;
+    double give_w = 0.0;
+    for (auto it = ordered.rbegin(); it != ordered.rend(); ++it) {
+      const int from = proposed[it->block];
+      // Do not strip a rank down to zero blocks in the process.
+      int from_count = 0;
+      for (int p : proposed)
+        if (p == from) ++from_count;
+      if (from_count < 2) continue;
+      const double t = load[from] / d.rank_speed[from];
+      if (t > give_t) {
+        give_t = t;
+        give = it->block;
+        give_w = static_cast<double>(std::max<std::int64_t>(it->cells, 1));
+      }
+    }
+    SUBSONIC_CHECK(give >= 0);
+    load[proposed[give]] -= give_w;
+    proposed[give] = r;
+    load[r] += give_w;
+  }
+
+  if (proposed == owner) {
+    d.imbalance_after = d.imbalance_before;
+    return d;  // the measured skew has no better placement
+  }
+
+  // Predicted per-rank compute time under the proposal.
+  std::vector<double> predicted(rank_count, 0.0);
+  for (const BlockCost& c : costs)
+    predicted[proposed[c.block]] +=
+        static_cast<double>(c.cells) / d.rank_speed[proposed[c.block]];
+  d.imbalance_after = imbalance(predicted);
+
+  d.rebalance = true;
+  for (size_t b = 0; b < owner.size(); ++b)
+    if (proposed[b] != owner[b])
+      d.moves.push_back({static_cast<int>(b), owner[b], proposed[b]});
+  d.owner = std::move(proposed);
+  return d;
+}
+
+}  // namespace subsonic

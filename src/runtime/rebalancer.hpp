@@ -1,0 +1,57 @@
+// Telemetry-driven block re-assignment (ROADMAP item 2).  The supervisor
+// measures per-block compute time ("compute.block_<b>" timers) over a
+// rebalance interval, infers each rank's effective speed from the work it
+// performed per second, and — when the measured per-rank compute times are
+// imbalanced past a hysteresis threshold — proposes a new owner map by
+// greedy longest-processing-time placement of blocks onto the speed-scaled
+// ranks.  The proposal is pure decision logic: applying it is the
+// supervisor's segment restart, which moves block state through the
+// owner-agnostic per-block checkpoint dumps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace subsonic {
+
+/// Measured cost of one block over the last rebalance interval.
+struct BlockCost {
+  int block = -1;
+  double t_calc_s = 0.0;   ///< summed "compute.block_<b>" time
+  std::int64_t cells = 0;  ///< interior fluid-capable cells (work proxy)
+};
+
+/// One block changing hands.
+struct BlockMove {
+  int block = -1;
+  int from = -1;
+  int to = -1;
+};
+
+struct RebalanceDecision {
+  /// False when the measured imbalance sits below the threshold (or the
+  /// proposal would not move anything); `owner` then equals the input map.
+  bool rebalance = false;
+  std::vector<int> owner;        ///< proposed block -> rank map
+  std::vector<BlockMove> moves;  ///< blocks whose owner changed
+  /// Inferred cells-per-second of each rank; ranks with no measured
+  /// compute time get the mean speed.
+  std::vector<double> rank_speed;
+  /// max/mean of the measured per-rank compute times (1 = balanced).
+  double imbalance_before = 0.0;
+  /// max/mean of the *predicted* per-rank compute times under the
+  /// proposed map, using the inferred speeds.
+  double imbalance_after = 0.0;
+};
+
+/// Proposes a block->rank re-assignment from measured per-block costs.
+/// `owner` is the current map (-1 entries are inactive blocks and stay
+/// -1); `costs` must cover every active block.  No re-assignment is
+/// proposed while imbalance_before < `threshold` (hysteresis — small
+/// timing noise must not cause churn), and every rank that currently owns
+/// a block keeps at least one.
+RebalanceDecision propose_rebalance(const std::vector<int>& owner,
+                                    const std::vector<BlockCost>& costs,
+                                    int rank_count, double threshold);
+
+}  // namespace subsonic

@@ -15,6 +15,7 @@
 #include "src/io/checkpoint.hpp"
 #include "src/runtime/cohort.hpp"
 #include "src/runtime/epoch_store.hpp"
+#include "src/runtime/supervisor_util.hpp"
 #include "src/telemetry/summary.hpp"
 #include "src/telemetry/telemetry.hpp"
 #include "src/util/check.hpp"
@@ -24,28 +25,11 @@ namespace subsonic {
 
 namespace {
 
-std::string describe_status(int status) {
-  if (WIFEXITED(status))
-    return "exited " + std::to_string(WEXITSTATUS(status));
-  if (WIFSIGNALED(status))
-    return "killed by signal " + std::to_string(WTERMSIG(status));
-  return "status " + std::to_string(status);
-}
+using supervisor_detail::describe_status;
+using supervisor_detail::parse_id_file;
 
-/// Parses "rank_<digits><suffix>" and returns the rank, or -1 when `name`
-/// has a different shape.
 int parse_rank_file(const std::string& name, const std::string& suffix) {
-  const std::string prefix = "rank_";
-  if (name.size() <= prefix.size() + suffix.size()) return -1;
-  if (name.compare(0, prefix.size(), prefix) != 0) return -1;
-  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
-    return -1;
-  const std::string digits =
-      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
-  if (digits.empty()) return -1;
-  for (char c : digits)
-    if (!std::isdigit(static_cast<unsigned char>(c))) return -1;
-  return std::atoi(digits.c_str());
+  return parse_id_file(name, "rank_", suffix);
 }
 
 /// Start-of-run hygiene beyond epoch::clear_run_state: removes *every*
@@ -75,6 +59,13 @@ void clean_stale_artifacts(const std::string& workdir,
       std::remove((workdir + "/" + name).c_str());
       continue;
     }
+    // Per-block dumps belong to the over-decomposed runtime; a monolithic
+    // run in the same directory can never restore them.
+    if (parse_id_file(name, "block_", ".dump") >= 0 &&
+        name.find(".epoch_") == std::string::npos) {
+      std::remove((workdir + "/" + name).c_str());
+      continue;
+    }
     const int rank = parse_rank_file(name, ".dump");
     if (rank < 0 || name.find(".epoch_") != std::string::npos) continue;
     if (rank >= decomp.rank_count()) {
@@ -101,6 +92,12 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
                                 const std::string& workdir,
                                 const ProcessRunOptions& options) {
   using Traits = DomainTraits<Dim>;
+  if (options.block_side != 0)
+    return run_supervised_blocked<Dim>(mask, params, method, grid, steps,
+                                       workdir, options);
+  SUBSONIC_REQUIRE_MSG(options.rebalance_interval == 0,
+                       "rebalancing requires the blocked runtime "
+                       "(options.block_side != 0)");
   params.validate();
   SUBSONIC_REQUIRE(steps >= 1);
   SUBSONIC_REQUIRE(options.checkpoint_interval >= 0);
@@ -375,6 +372,10 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
   for (int rank : active_list)
     owned_nodes += static_cast<double>(decomp.box(rank).count());
   model.nodes_per_rank = owned_nodes / static_cast<double>(active_list.size());
+  model.rank_weights.reserve(active_list.size());
+  for (int rank : active_list)
+    model.rank_weights.push_back(static_cast<double>(
+        mask.count_box(decomp.box(rank), NodeType::kFluid)));
   // Doubles shipped per boundary node per step, from the schedule actually
   // run: each exchange phase ships |fields| doubles per node per ghost
   // layer.

@@ -29,6 +29,7 @@
 #include "src/runtime/worker_stats.hpp"
 #include "src/solver/params.hpp"
 #include "src/solver/pass.hpp"
+#include "src/telemetry/summary.hpp"
 
 namespace subsonic {
 
@@ -68,6 +69,27 @@ struct ProcessRunOptions {
   /// Metrics JSONL streams are always written (their cost is one timer
   /// record per phase); tracing additionally records every span.
   int trace = -1;
+
+  /// Over-decomposition block side.  0 (the default) keeps the monolithic
+  /// one-subregion-per-rank runtime — and its exact on-disk layout and
+  /// bitwise output.  -1 resolves via the SUBSONIC_BLOCKS environment
+  /// variable with kDefaultBlockSide as the fallback; > 0 is an explicit
+  /// target side.  Any nonzero value routes the run through the blocked
+  /// runtime (per-block checkpoints, per-block compute telemetry).
+  int block_side = 0;
+
+  /// Steps between dynamic load-balance decision points (0 = never
+  /// rebalance).  Requires block_side != 0.  At each boundary the
+  /// supervisor folds the per-block compute timers, and — when the
+  /// measured per-rank imbalance exceeds rebalance_threshold — restarts
+  /// the cohort under a rewritten block->rank owner map (block state moves
+  /// through the per-block dumps, so this is the paper's stop + save +
+  /// restart migration at block granularity).
+  int rebalance_interval = 0;
+
+  /// Hysteresis: rebalance only while max/mean per-rank T_calc exceeds
+  /// this (1.15 = 15% skew tolerated before blocks move).
+  double rebalance_threshold = 1.15;
 };
 
 /// How one rank's process ended, for the supervisor's failure report.
@@ -103,6 +125,16 @@ struct ProcessRunResult {
   /// run had no active ranks).  Holds measured T_calc/T_com/utilization
   /// per rank next to the paper-model predicted efficiency f.
   std::string summary_path;
+
+  /// Over-decomposition block count (0 for a monolithic run).
+  int blocks = 0;
+
+  /// Every dynamic load-balance event the supervisor performed, in step
+  /// order (also logged into run_summary.json).
+  std::vector<telemetry::RebalanceRecord> rebalances;
+
+  /// Final block -> rank owner map (empty for a monolithic run).
+  std::vector<int> block_owner;
 };
 
 /// Forks one child per active subregion of the `grid` decomposition of
@@ -126,6 +158,27 @@ extern template ProcessRunResult run_supervised<2>(
     const Mask2D&, const FluidParams&, Method, const GridShape&, int,
     const std::string&, const ProcessRunOptions&);
 extern template ProcessRunResult run_supervised<3>(
+    const Mask3D&, const FluidParams&, Method, const GridShape&, int,
+    const std::string&, const ProcessRunOptions&);
+
+/// The over-decomposed process runtime (run_supervised dispatches here
+/// when options.block_side != 0; callable directly).  Each rank process
+/// steps the blocks the owner map assigns to it, checkpoints are
+/// per-block ("block_<b>.dump" / "block_<b>.epoch_<e>.dump"), and — when
+/// options.rebalance_interval > 0 — the supervisor runs the job in
+/// segments, folding per-block compute timers at every boundary and
+/// restarting the cohort under a rewritten owner map whenever the
+/// measured imbalance warrants it.
+template <int Dim>
+ProcessRunResult run_supervised_blocked(
+    const typename DomainTraits<Dim>::Mask& mask, const FluidParams& params,
+    Method method, const GridShape& grid, int steps,
+    const std::string& workdir, const ProcessRunOptions& options);
+
+extern template ProcessRunResult run_supervised_blocked<2>(
+    const Mask2D&, const FluidParams&, Method, const GridShape&, int,
+    const std::string&, const ProcessRunOptions&);
+extern template ProcessRunResult run_supervised_blocked<3>(
     const Mask3D&, const FluidParams&, Method, const GridShape&, int,
     const std::string&, const ProcessRunOptions&);
 

@@ -1,0 +1,39 @@
+// Small helpers shared by the monolithic (supervisor.cpp) and
+// over-decomposed (blocked_supervisor.cpp) supervisor translation units.
+#pragma once
+
+#include <sys/wait.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace subsonic {
+namespace supervisor_detail {
+
+inline std::string describe_status(int status) {
+  if (WIFEXITED(status))
+    return "exited " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status))
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  return "status " + std::to_string(status);
+}
+
+/// Parses "<prefix><digits><suffix>" and returns the id, or -1 when
+/// `name` has a different shape.
+inline int parse_id_file(const std::string& name, const std::string& prefix,
+                         const std::string& suffix) {
+  if (name.size() <= prefix.size() + suffix.size()) return -1;
+  if (name.compare(0, prefix.size(), prefix) != 0) return -1;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+    return -1;
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return -1;
+  for (char c : digits)
+    if (!std::isdigit(static_cast<unsigned char>(c))) return -1;
+  return std::atoi(digits.c_str());
+}
+
+}  // namespace supervisor_detail
+}  // namespace subsonic

@@ -128,6 +128,28 @@ std::vector<RankMetrics> read_metrics_jsonl(const std::string& path) {
   return out;
 }
 
+void merge_metrics(RankMetrics& dst, const RankMetrics& src) {
+  if (dst.rank < 0) dst.rank = src.rank;
+  for (const auto& [name, value] : src.counters) dst.counters[name] += value;
+  for (const auto& [name, g] : src.gauges) {
+    auto& d = dst.gauges[name];
+    d.value = g.value;  // newest wins
+    d.max = std::max(d.max, g.max);
+  }
+  for (const auto& [name, stats] : src.timers) {
+    auto it = dst.timers.find(name);
+    if (it == dst.timers.end()) {
+      dst.timers[name] = stats;
+      continue;
+    }
+    TimerStats& d = it->second;
+    d.count += stats.count;
+    d.total_s += stats.total_s;
+    d.min_s = std::min(d.min_s, stats.min_s);
+    d.max_s = std::max(d.max_s, stats.max_s);
+  }
+}
+
 RunSummary summarize_run(const std::vector<RankMetrics>& ranks,
                          const RunModelInputs& model, long long restarts) {
   RunSummary summary;
@@ -137,7 +159,17 @@ RunSummary summarize_run(const std::vector<RankMetrics>& ranks,
   double doubles_sent_sum = 0;
   long long active_steps_sum = 0;
   int active_with_steps = 0;
-  for (const RankMetrics& rm : ranks) {
+  double weight_sum = 0;
+  double utilization_weighted = 0;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const RankMetrics& rm = ranks[i];
+    // Utilization is averaged weighted by each rank's share of the work
+    // (fluid cells): a rank owning a sliver of the domain must not count
+    // as much as a fully loaded one.
+    const double weight =
+        i < model.rank_weights.size() && model.rank_weights[i] > 0
+            ? model.rank_weights[i]
+            : 1.0;
     RankSummary rs;
     rs.rank = rm.rank;
     rs.steps = rm.counter_or("steps");
@@ -151,7 +183,8 @@ RunSummary summarize_run(const std::vector<RankMetrics>& ranks,
       ++active;
       summary.t_calc_mean += rs.t_calc;
       summary.t_com_mean += rs.t_com;
-      summary.utilization_mean += rs.utilization;
+      weight_sum += weight;
+      utilization_weighted += weight * rs.utilization;
       if (rs.steps > 0 && rs.doubles_sent > 0) {
         doubles_sent_sum += static_cast<double>(rs.doubles_sent);
         active_steps_sum += rs.steps;
@@ -163,7 +196,8 @@ RunSummary summarize_run(const std::vector<RankMetrics>& ranks,
   if (active > 0) {
     summary.t_calc_mean /= active;
     summary.t_com_mean /= active;
-    summary.utilization_mean /= active;
+    if (weight_sum > 0)
+      summary.utilization_mean = utilization_weighted / weight_sum;
     if (summary.t_calc_mean > 0)
       summary.measured_f =
           efficiency_from_times(summary.t_calc_mean, summary.t_com_mean);
@@ -214,6 +248,20 @@ std::string run_summary_json(const RunSummary& summary) {
     os << buf;
   }
   os << "\n  ],\n";
+  if (summary.blocks > 0 || !summary.rebalances.empty()) {
+    os << "  \"blocks\": " << summary.blocks << ",\n  \"rebalances\": [";
+    for (std::size_t i = 0; i < summary.rebalances.size(); ++i) {
+      const RebalanceRecord& rr = summary.rebalances[i];
+      if (i) os << ',';
+      std::snprintf(buf, sizeof buf,
+                    "\n    {\"step\":%ld,\"moved_blocks\":%d,"
+                    "\"imbalance_before\":%.6f,\"imbalance_after\":%.6f}",
+                    rr.step, rr.moved_blocks, rr.imbalance_before,
+                    rr.imbalance_after);
+      os << buf;
+    }
+    os << (summary.rebalances.empty() ? "],\n" : "\n  ],\n");
+  }
   std::snprintf(buf, sizeof buf,
                 "  \"steps\": %lld,\n  \"restarts\": %lld,\n"
                 "  \"t_calc_mean_s\": %.6f,\n  \"t_com_mean_s\": %.6f,\n"

@@ -58,6 +58,12 @@ RankMetrics collect_rank(const MetricsRegistry& registry, int rank);
 /// rank must not poison the aggregate).
 std::vector<RankMetrics> read_metrics_jsonl(const std::string& path);
 
+/// Accumulates `src` into `dst` (counters add; timers merge count/total/
+/// min/max; gauges keep the newest value and the running max).  The
+/// segmented blocked supervisor uses this to fold each segment's
+/// re-written per-rank streams into whole-run totals.
+void merge_metrics(RankMetrics& dst, const RankMetrics& src);
+
 /// Geometry fed to the paper's model alongside the measurements.
 struct RunModelInputs {
   int dims = 2;
@@ -69,6 +75,11 @@ struct RunModelInputs {
   /// Doubles shipped per boundary node per step (schedule.hpp); used to
   /// recover the boundary-width factor m from the byte counters.
   double comm_doubles_per_node = 3.0;
+  /// Per-rank work weights, parallel to the RankMetrics vector fed to
+  /// summarize_run (typically each rank's fluid-cell count).  Weighted
+  /// means keep a rank owning a sliver of fluid from dragging the
+  /// utilization figure as much as a fully loaded rank.  Empty = equal.
+  std::vector<double> rank_weights;
 };
 
 struct RankSummary {
@@ -81,11 +92,21 @@ struct RankSummary {
   long long doubles_sent = 0;
 };
 
+/// One dynamic load-balance event of the over-decomposed runtime.
+struct RebalanceRecord {
+  long step = 0;          ///< step at which the new owner map took effect
+  int moved_blocks = 0;   ///< blocks that changed rank
+  double imbalance_before = 0;  ///< measured max/mean per-rank T_calc
+  double imbalance_after = 0;   ///< predicted max/mean under the new map
+};
+
 /// The whole run: measured means plus the model's predictions.
 struct RunSummary {
   std::vector<RankSummary> ranks;
   long long steps = 0;  ///< max over ranks (restarted ranks re-count)
   long long restarts = 0;
+  long long blocks = 0;  ///< over-decomposition block count (0: monolithic)
+  std::vector<RebalanceRecord> rebalances;
   double t_calc_mean = 0;  ///< mean over non-idle ranks
   double t_com_mean = 0;
   /// Measured f = (1 + T_com/T_calc)^-1 on the means (eq. 12); 0 when no

@@ -1,5 +1,6 @@
 #include "src/util/fault_plan.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <sstream>
@@ -98,6 +99,13 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       d.ms = static_cast<int>(take(args, clause, "ms"));
       d.gen = static_cast<int>(take_or(args, "gen", 0));
       plan.delays_.push_back(d);
+    } else if (kind == "slow") {
+      Slow s;
+      s.rank = static_cast<int>(take(args, clause, "rank"));
+      s.permille = static_cast<int>(take(args, clause, "permille"));
+      s.gen = static_cast<int>(take_or(args, "gen", -1));
+      if (s.permille < 0) bad_spec(clause, "permille must be non-negative");
+      plan.slows_.push_back(s);
     } else {
       bad_spec(clause, "unknown fault kind");
     }
@@ -127,6 +135,26 @@ int FaultPlan::delay_connect_ms(int rank, int gen) const {
   for (const DelayConnect& d : delays_)
     if (d.rank == rank && d.gen == gen) return d.ms;
   return 0;
+}
+
+int FaultPlan::slow_permille(int rank, int gen) const {
+  for (const Slow& s : slows_)
+    if (s.rank == rank && (s.gen == -1 || s.gen == gen)) return s.permille;
+  return 0;
+}
+
+void spin_slow_penalty(double elapsed_s, int permille) {
+  if (permille <= 0 || elapsed_s <= 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(elapsed_s * permille / 1000.0));
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Burn cycles: a slowed CPU is still running, so the penalty must not
+    // yield the core to other local ranks the way a sleep would.
+    volatile int sink = 0;
+    for (int i = 0; i < 1024; ++i) sink = sink + i;
+  }
 }
 
 }  // namespace subsonic

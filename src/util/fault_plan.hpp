@@ -16,10 +16,19 @@
 //   delay_connect:rank=R,ms=M[,gen=G]   rank R sleeps M milliseconds before
 //                                       opening its endpoint, delaying both
 //                                       registration and connection
+//   slow:rank=R,permille=P[,gen=G]      rank R busy-spins for P/1000 of each
+//                                       compute phase's elapsed time right
+//                                       after it — a CPU that is (1+P/1000)x
+//                                       slower, scaling with the work the
+//                                       rank actually does (so moving work
+//                                       off the rank shrinks the penalty,
+//                                       exactly like a real slow host)
 //
 // Each fault applies to exactly one supervisor generation (the cohort
 // spawn count, 0 for the first launch; default gen=0), so an injected
-// crash does not re-fire after the supervisor respawns the cohort.
+// crash does not re-fire after the supervisor respawns the cohort.  The
+// slow fault defaults to gen=-1 — every generation — because a slow host
+// stays slow across respawns and rebalance segments.
 #pragma once
 
 #include <optional>
@@ -45,6 +54,11 @@ class FaultPlan {
     int ms = 0;
     int gen = 0;
   };
+  struct Slow {
+    int rank = -1;
+    int permille = 0;  ///< extra busy-spin per unit compute, in 1/1000
+    int gen = -1;      ///< -1: every generation
+  };
 
   FaultPlan() = default;
 
@@ -56,7 +70,8 @@ class FaultPlan {
   static FaultPlan from_env();
 
   bool empty() const {
-    return kills_.empty() && torn_dumps_.empty() && delays_.empty();
+    return kills_.empty() && torn_dumps_.empty() && delays_.empty() &&
+           slows_.empty();
   }
 
   /// The step at which `rank` must kill itself in generation `gen`, if any.
@@ -68,14 +83,24 @@ class FaultPlan {
   /// Milliseconds `rank` sleeps before opening its endpoint (0 = none).
   int delay_connect_ms(int rank, int gen) const;
 
+  /// Extra busy-spin of `rank` in generation `gen`, as 1/1000 of each
+  /// compute phase's elapsed time (0 = full speed).
+  int slow_permille(int rank, int gen) const;
+
   const std::vector<Kill>& kills() const { return kills_; }
   const std::vector<TornDump>& torn_dumps() const { return torn_dumps_; }
   const std::vector<DelayConnect>& delays() const { return delays_; }
+  const std::vector<Slow>& slows() const { return slows_; }
 
  private:
   std::vector<Kill> kills_;
   std::vector<TornDump> torn_dumps_;
   std::vector<DelayConnect> delays_;
+  std::vector<Slow> slows_;
 };
+
+/// Busy-spins (never sleeps — a slow CPU stays busy, it does not yield)
+/// for `elapsed_s * permille / 1000` seconds.  No-op for permille <= 0.
+void spin_slow_penalty(double elapsed_s, int permille);
 
 }  // namespace subsonic

@@ -74,6 +74,22 @@ TEST(ClusterParams, RejectsNonsense) {
   EXPECT_THROW(p.validate(), contract_error);
 }
 
+TEST(ClusterParams, RankSpeedsDefaultToHomogeneous) {
+  ClusterParams p;
+  EXPECT_DOUBLE_EQ(p.rank_speed(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.rank_speed(7), 1.0);
+  p.rank_speeds = {1.0, 0.5, 2.0};
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_DOUBLE_EQ(p.rank_speed(1), 0.5);
+  EXPECT_DOUBLE_EQ(p.rank_speed(2), 2.0);
+  // Beyond the vector (and negative ranks) read as the homogeneous 1.0.
+  EXPECT_DOUBLE_EQ(p.rank_speed(3), 1.0);
+  EXPECT_DOUBLE_EQ(p.rank_speed(-1), 1.0);
+  // Zero or negative speeds are nonsense.
+  p.rank_speeds = {1.0, 0.0};
+  EXPECT_THROW(p.validate(), contract_error);
+}
+
 TEST(JobSubmit, PrefersFasterModelsOnAMixedCluster) {
   // The paper's strategy: choose 715 models before 720s and 710s.
   ClusterSim sim(ClusterParams{}, ClusterSim::paper_cluster());

@@ -82,6 +82,40 @@ TEST(PerfModel, MinNodesInversionRoundTrips) {
   }
 }
 
+TEST(PerfModel, LoadBalanceFactorMeasuresSkew) {
+  // Perfect balance on a homogeneous cluster.
+  EXPECT_DOUBLE_EQ(load_balance_factor({5.0, 5.0, 5.0, 5.0}), 1.0);
+  // One rank carrying double: mean/max = 1.25/2.
+  EXPECT_DOUBLE_EQ(load_balance_factor({2.0, 1.0, 1.0, 1.0}), 1.25 / 2.0);
+  // Speeds compensate: double the load on a host twice as fast is balance.
+  EXPECT_DOUBLE_EQ(load_balance_factor({2.0, 1.0}, {2.0, 1.0}), 1.0);
+  // ...and uncompensated heterogeneity shows up as imbalance.
+  EXPECT_LT(load_balance_factor({1.0, 1.0}, {2.0, 1.0}), 1.0);
+  // Degenerate inputs.
+  EXPECT_DOUBLE_EQ(load_balance_factor({0.0, 0.0}), 1.0);
+  EXPECT_THROW(load_balance_factor({}), contract_error);
+  EXPECT_THROW(load_balance_factor({1.0}, {1.0, 1.0}), contract_error);
+  EXPECT_THROW(load_balance_factor({1.0}, {0.0}), contract_error);
+}
+
+TEST(PerfModel, HeterogeneousEfficiencyDegradesTheHomogeneousPrediction) {
+  const double f_hom = efficiency_shared_bus_2d(20000, 4, 20);
+  // Balanced assignment keeps the prediction intact.
+  EXPECT_DOUBLE_EQ(efficiency_heterogeneous(f_hom, {1.0, 1.0, 1.0}), f_hom);
+  // A rank at half speed carrying an equal share halves nothing globally
+  // but paces the step: f drops by the load-balance factor.
+  const std::vector<double> loads = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> speeds = {0.5, 1.0, 1.0, 1.0};
+  const double f_het = efficiency_heterogeneous(f_hom, loads, speeds);
+  EXPECT_DOUBLE_EQ(f_het, f_hom * load_balance_factor(loads, speeds));
+  EXPECT_LT(f_het, f_hom);
+  // What the rebalancer does: shift load toward the fast hosts until the
+  // per-rank times equalize — the prediction recovers.
+  const std::vector<double> rebalanced = {0.5, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(efficiency_heterogeneous(f_hom, rebalanced, speeds),
+                   f_hom);
+}
+
 TEST(PerfModel, PaperEightyPercentClaim) {
   // Abstract: "typical simulations achieve 80% parallel efficiency using
   // 20 workstations."  The model should say that a realistic subregion

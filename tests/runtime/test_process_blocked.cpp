@@ -1,0 +1,197 @@
+// The over-decomposed process runtime: per-block checkpoints, segmented
+// supervision, telemetry-driven dynamic load balancing — all bitwise
+// against serial.
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/runtime/gather.hpp"
+#include "src/runtime/process2d.hpp"
+#include "src/runtime/process3d.hpp"
+#include "src/runtime/serial2d.hpp"
+#include "src/runtime/serial3d.hpp"
+#include "src/util/check.hpp"
+
+namespace subsonic {
+namespace {
+
+std::string make_workdir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/procblk_" +
+                          name + "_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+Mask2D closed_box(int nx, int ny, int ghost) {
+  Mask2D mask(Extents2{nx, ny}, ghost);
+  mask.fill_box({0, 0, nx, 1}, NodeType::kWall);
+  mask.fill_box({0, ny - 1, nx, ny}, NodeType::kWall);
+  mask.fill_box({0, 0, 1, ny}, NodeType::kWall);
+  mask.fill_box({nx - 1, 0, nx, ny}, NodeType::kWall);
+  mask.fill_box({12, 8, 18, 14}, NodeType::kWall);  // obstacle
+  return mask;
+}
+
+/// Bitwise comparison of the blocked gather against an uninterrupted
+/// serial run.
+void expect_blocked_matches_serial(const Mask2D& mask, const FluidParams& p,
+                                   Method method, int block_side, int steps,
+                                   const std::string& workdir) {
+  SerialDriver2D serial(mask, p, method);
+  serial.run(steps);
+  const GatheredFields2D g =
+      gather_fields2d_blocked(mask, p, method, 2, 2, block_side, workdir);
+  EXPECT_EQ(g.step, steps);
+  for (int y = 0; y < mask.extents().ny; ++y)
+    for (int x = 0; x < mask.extents().nx; ++x) {
+      ASSERT_EQ(g.rho(x, y), serial.domain().rho()(x, y)) << x << "," << y;
+      ASSERT_EQ(g.vx(x, y), serial.domain().vx()(x, y)) << x << "," << y;
+      ASSERT_EQ(g.vy(x, y), serial.domain().vy()(x, y)) << x << "," << y;
+    }
+}
+
+TEST(BlockedProcessRuntime, ForkedBlockedRunMatchesSerialBitwise) {
+  ::unsetenv("SUBSONIC_FAULTS");
+  const Mask2D mask = closed_box(32, 24, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("equiv");
+  ProcessRunOptions options;
+  options.block_side = 8;
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 2, 12, workdir, options);
+  EXPECT_EQ(r.final_step, 12);
+  EXPECT_GT(r.blocks, 4);  // genuinely over-decomposed
+  EXPECT_EQ(r.block_owner.size(), static_cast<size_t>(r.blocks));
+  EXPECT_TRUE(r.rebalances.empty());  // rebalancing was off
+  expect_blocked_matches_serial(mask, p, Method::kLatticeBoltzmann, 8, 12,
+                                workdir);
+}
+
+TEST(BlockedProcessRuntime, RepeatedCallsResumeFromTheBlockDumps) {
+  ::unsetenv("SUBSONIC_FAULTS");
+  const Mask2D mask = closed_box(32, 24, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("resume");
+  ProcessRunOptions options;
+  options.block_side = 8;
+  run_multiprocess2d(mask, p, Method::kLatticeBoltzmann, 2, 2, 6, workdir,
+                     options);
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 2, 6, workdir, options);
+  EXPECT_EQ(r.final_step, 12);
+  expect_blocked_matches_serial(mask, p, Method::kLatticeBoltzmann, 8, 12,
+                                workdir);
+}
+
+TEST(BlockedProcessRuntime, ThreeDimensionalBlockedRunMatchesSerialBitwise) {
+  ::unsetenv("SUBSONIC_FAULTS");
+  Mask3D mask(Extents3{16, 12, 10}, 1);
+  mask.fill_box({6, 4, 3, 10, 8, 7}, NodeType::kWall);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("equiv3d");
+  ProcessRunOptions options;
+  options.block_side = 6;
+  const ProcessRunResult r = run_multiprocess3d(
+      mask, p, Method::kLatticeBoltzmann, 2, 1, 1, 6, workdir, options);
+  EXPECT_EQ(r.final_step, 6);
+  SerialDriver3D serial(mask, p, Method::kLatticeBoltzmann);
+  serial.run(6);
+  const GatheredFields3D g = gather_fields3d_blocked(
+      mask, p, Method::kLatticeBoltzmann, 2, 1, 1, 6, workdir);
+  EXPECT_EQ(g.step, 6);
+  for (int z = 0; z < 10; ++z)
+    for (int y = 0; y < 12; ++y)
+      for (int x = 0; x < 16; ++x) {
+        ASSERT_EQ(g.rho(x, y, z), serial.domain().rho()(x, y, z));
+        ASSERT_EQ(g.vz(x, y, z), serial.domain().vz()(x, y, z));
+      }
+}
+
+TEST(BlockedProcessRuntime, RebalancingRequiresTheBlockedRuntime) {
+  const Mask2D mask = closed_box(24, 18, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("guard");
+  ProcessRunOptions options;
+  options.rebalance_interval = 4;  // but block_side = 0: monolithic
+  EXPECT_THROW(run_multiprocess2d(mask, p, Method::kLatticeBoltzmann, 2, 1, 4,
+                                  workdir, options),
+               contract_error);
+}
+
+// The load-imbalance smoke test CI runs: one rank is delay-injected to
+// several times its natural step cost, the supervisor must notice and move
+// blocks off it, and the final fields must still match an undelayed run
+// bitwise (block assignment can never affect results).
+TEST(BlockedProcessRuntime, SlowRankTriggersRebalanceAndStaysBitwise) {
+  const Mask2D mask = closed_box(32, 24, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("rebalance");
+  ProcessRunOptions options;
+  options.block_side = 8;
+  options.rebalance_interval = 8;
+  options.rebalance_threshold = 1.3;
+  options.faults = "slow:rank=0,permille=3000";  // rank 0 at 1/4 speed
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 2, 24, workdir, options);
+  EXPECT_EQ(r.final_step, 24);
+  EXPECT_EQ(r.restarts, 0);  // segments are clean exits, not crashes
+  ASSERT_GE(r.rebalances.size(), 1u);
+  EXPECT_GT(r.rebalances[0].moved_blocks, 0);
+  EXPECT_GE(r.rebalances[0].imbalance_before, options.rebalance_threshold);
+  // The new map still covers every block, and rank 0 lost blocks.
+  int rank0_after = 0;
+  for (int owner : r.block_owner)
+    if (owner == 0) ++rank0_after;
+  EXPECT_GE(rank0_after, 1);
+  EXPECT_LT(rank0_after, r.blocks / 4);
+  // run_summary.json logs the events.
+  std::ifstream in(r.summary_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("\"rebalances\""), std::string::npos);
+  EXPECT_NE(text.str().find("\"imbalance_before\""), std::string::npos);
+  expect_blocked_matches_serial(mask, p, Method::kLatticeBoltzmann, 8, 24,
+                                workdir);
+}
+
+TEST(BlockedProcessRuntime, KillAfterRebalanceRestoresFromCommittedEpoch) {
+  // A rank dies in the third segment, after the slow fault has already
+  // forced at least one rebalance.  The supervisor must respawn from the
+  // newest committed per-block epoch under the rebalanced owner map and
+  // still finish bit-identically.
+  const Mask2D mask = closed_box(32, 24, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("killreb");
+  ProcessRunOptions options;
+  options.block_side = 8;
+  options.checkpoint_interval = 2;
+  options.rebalance_interval = 6;
+  options.rebalance_threshold = 1.3;
+  // Segment cohorts are generations 0,1,2,... — gen 2 is steps 12..18.
+  options.faults = "slow:rank=0,permille=3000;kill:rank=1,step=16,gen=2";
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 2, 24, workdir, options);
+  EXPECT_EQ(r.final_step, 24);
+  EXPECT_EQ(r.restarts, 1);
+  EXPECT_GE(r.rebalances.size(), 1u);
+  EXPECT_GE(r.committed_epoch, 0);
+  expect_blocked_matches_serial(mask, p, Method::kLatticeBoltzmann, 8, 24,
+                                workdir);
+}
+
+}  // namespace
+}  // namespace subsonic

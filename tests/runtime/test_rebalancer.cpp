@@ -1,0 +1,110 @@
+// The pure decision half of dynamic load balancing: measured per-block
+// costs in, proposed owner map out.
+#include "src/runtime/rebalancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/check.hpp"
+
+namespace subsonic {
+namespace {
+
+/// `blocks_per_rank` blocks on each of `ranks` ranks, every block `cells`
+/// cells, each rank's blocks costing `per_rank_t[r]` seconds in total.
+std::pair<std::vector<int>, std::vector<BlockCost>> uniform_case(
+    int ranks, int blocks_per_rank, std::int64_t cells,
+    const std::vector<double>& per_rank_t) {
+  std::vector<int> owner;
+  std::vector<BlockCost> costs;
+  for (int r = 0; r < ranks; ++r)
+    for (int i = 0; i < blocks_per_rank; ++i) {
+      BlockCost c;
+      c.block = static_cast<int>(owner.size());
+      c.cells = cells;
+      c.t_calc_s = per_rank_t[r] / blocks_per_rank;
+      costs.push_back(c);
+      owner.push_back(r);
+    }
+  return {std::move(owner), std::move(costs)};
+}
+
+TEST(Rebalancer, BalancedLoadStaysPutBelowTheThreshold) {
+  const auto [owner, costs] = uniform_case(2, 4, 256, {1.0, 1.05});
+  const RebalanceDecision d = propose_rebalance(owner, costs, 2, 1.15);
+  EXPECT_FALSE(d.rebalance);
+  EXPECT_EQ(d.owner, owner);
+  EXPECT_TRUE(d.moves.empty());
+  EXPECT_NEAR(d.imbalance_before, 1.05 / 1.025, 1e-9);
+}
+
+TEST(Rebalancer, SlowRankShedsBlocksAndPredictedImbalanceDrops) {
+  // Rank 0 took twice as long for the same cells: half the speed.  LPT
+  // with speeds {s, 2s} should place ~1/3 of the cells on rank 0.
+  const auto [owner, costs] = uniform_case(2, 6, 256, {2.0, 1.0});
+  const RebalanceDecision d = propose_rebalance(owner, costs, 2, 1.15);
+  ASSERT_TRUE(d.rebalance);
+  EXPECT_NEAR(d.imbalance_before, 2.0 / 1.5, 1e-9);
+  EXPECT_LT(d.imbalance_after, d.imbalance_before);
+  EXPECT_FALSE(d.moves.empty());
+  // Net effect: the slow rank carries fewer blocks than before, but not
+  // zero (it still participates).
+  int rank0_blocks = 0;
+  for (int r : d.owner)
+    if (r == 0) ++rank0_blocks;
+  EXPECT_LT(rank0_blocks, 6);
+  EXPECT_GE(rank0_blocks, 1);
+  // Inferred speeds: rank 1 twice as fast as rank 0.
+  ASSERT_EQ(d.rank_speed.size(), 2u);
+  EXPECT_NEAR(d.rank_speed[1] / d.rank_speed[0], 2.0, 1e-9);
+}
+
+TEST(Rebalancer, EveryCurrentOwnerKeepsAtLeastOneBlock) {
+  // Rank 1 is so slow that pure LPT would take everything away from it;
+  // the starvation pass must hand one block back.
+  const auto [owner, costs] = uniform_case(2, 3, 100, {1.0, 50.0});
+  const RebalanceDecision d = propose_rebalance(owner, costs, 2, 1.15);
+  ASSERT_TRUE(d.rebalance);
+  int rank1_blocks = 0;
+  for (int r : d.owner)
+    if (r == 1) ++rank1_blocks;
+  EXPECT_GE(rank1_blocks, 1);
+}
+
+TEST(Rebalancer, InactiveBlocksStayInactive) {
+  std::vector<int> owner = {0, -1, 1, 1};
+  std::vector<BlockCost> costs;
+  costs.push_back({0, 3.0, 256});
+  costs.push_back({2, 0.5, 256});
+  costs.push_back({3, 0.5, 256});
+  const RebalanceDecision d = propose_rebalance(owner, costs, 2, 1.15);
+  EXPECT_EQ(d.owner[1], -1);
+  // A cost reported for the inactive block is a contract violation.
+  costs.push_back({1, 1.0, 256});
+  EXPECT_THROW(propose_rebalance(owner, costs, 2, 1.15), contract_error);
+}
+
+TEST(Rebalancer, DecisionIsDeterministic) {
+  const auto [owner, costs] = uniform_case(3, 5, 64, {3.0, 1.0, 1.0});
+  const RebalanceDecision a = propose_rebalance(owner, costs, 3, 1.1);
+  const RebalanceDecision b = propose_rebalance(owner, costs, 3, 1.1);
+  EXPECT_EQ(a.rebalance, b.rebalance);
+  EXPECT_EQ(a.owner, b.owner);
+  EXPECT_EQ(a.moves.size(), b.moves.size());
+}
+
+TEST(Rebalancer, UnmeasuredRanksGetTheMeanSpeed) {
+  // Rank 1 owns no blocks (e.g. it was drained earlier); it must still be
+  // eligible to receive work, at the mean inferred speed.
+  std::vector<int> owner = {0, 0, 0, 0};
+  std::vector<BlockCost> costs;
+  for (int b = 0; b < 4; ++b) costs.push_back({b, 1.0, 256});
+  const RebalanceDecision d = propose_rebalance(owner, costs, 2, 1.15);
+  ASSERT_EQ(d.rank_speed.size(), 2u);
+  EXPECT_NEAR(d.rank_speed[1], d.rank_speed[0], 1e-9);
+  // One loaded rank => imbalance 1.0 => hysteresis holds the map even
+  // though the load sits entirely on rank 0 (nothing measured to compare).
+  EXPECT_FALSE(d.rebalance);
+}
+
+}  // namespace
+}  // namespace subsonic

@@ -266,6 +266,120 @@ TEST(Summary, SummarizeRunMeasuredAndPredictedF) {
   EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
 }
 
+TEST(Summary, MergeMetricsFoldsSegmentsIntoRunTotals) {
+  // The segmented blocked supervisor re-reads each rank's metrics file per
+  // segment; merge_metrics must fold them into whole-run totals.
+  RankMetrics total;
+  RankMetrics seg1;
+  seg1.rank = 3;
+  seg1.counters["steps"] = 10;
+  seg1.counters["transport.doubles_sent"] = 100;
+  TimerStats calc1;
+  calc1.count = 10;
+  calc1.total_s = 2.0;
+  calc1.min_s = 0.1;
+  calc1.max_s = 0.5;
+  seg1.timers["compute.block_0"] = calc1;
+  seg1.gauges["transport.send_queue_depth"] = {2.0, 4.0};
+
+  RankMetrics seg2;
+  seg2.rank = 3;
+  seg2.counters["steps"] = 5;
+  seg2.counters["rebalance.count"] = 1;  // new counter appears mid-run
+  TimerStats calc2;
+  calc2.count = 5;
+  calc2.total_s = 1.0;
+  calc2.min_s = 0.05;
+  calc2.max_s = 0.9;
+  seg2.timers["compute.block_0"] = calc2;
+  TimerStats com2;
+  com2.count = 5;
+  com2.total_s = 0.5;
+  com2.min_s = 0.1;
+  com2.max_s = 0.1;
+  seg2.timers["comm.exchange"] = com2;  // new timer appears mid-run
+  seg2.gauges["transport.send_queue_depth"] = {1.0, 3.0};
+
+  merge_metrics(total, seg1);
+  EXPECT_EQ(total.rank, 3);  // adopted from the first segment
+  merge_metrics(total, seg2);
+
+  EXPECT_EQ(total.counter_or("steps"), 15);
+  EXPECT_EQ(total.counter_or("transport.doubles_sent"), 100);
+  EXPECT_EQ(total.counter_or("rebalance.count"), 1);
+  const TimerStats& calc = total.timers.at("compute.block_0");
+  EXPECT_EQ(calc.count, 15);
+  EXPECT_DOUBLE_EQ(calc.total_s, 3.0);
+  EXPECT_DOUBLE_EQ(calc.min_s, 0.05);
+  EXPECT_DOUBLE_EQ(calc.max_s, 0.9);
+  // An inserted-if-absent timer keeps its own stats.
+  EXPECT_DOUBLE_EQ(total.timers.at("comm.exchange").total_s, 0.5);
+  EXPECT_DOUBLE_EQ(total.t_calc(), 3.0);
+  EXPECT_DOUBLE_EQ(total.t_com(), 0.5);
+  // Gauges: newest value wins, max keeps the running maximum.
+  EXPECT_DOUBLE_EQ(total.gauges.at("transport.send_queue_depth").value, 1.0);
+  EXPECT_DOUBLE_EQ(total.gauges.at("transport.send_queue_depth").max, 4.0);
+}
+
+TEST(Summary, UtilizationMeanWeighsRanksByTheirFluidCells) {
+  // Rank 0 owns a sliver (weight 10) and wastes most of its time waiting;
+  // rank 1 owns the bulk (weight 990) and is nearly fully utilized.  The
+  // unweighted mean would say 0.55; the weighted mean must sit near the
+  // loaded rank's figure.
+  std::vector<RankMetrics> ranks(2);
+  for (int r = 0; r < 2; ++r) {
+    ranks[r].rank = r;
+    ranks[r].counters["steps"] = 10;
+  }
+  TimerStats sliver_calc, sliver_com, bulk_calc, bulk_com;
+  sliver_calc.total_s = 0.1;
+  sliver_com.total_s = 0.9;  // utilization 0.1
+  bulk_calc.total_s = 1.0;
+  bulk_com.total_s = 0.0;  // utilization 1.0
+  ranks[0].timers["compute.lb_collide_stream"] = sliver_calc;
+  ranks[0].timers["comm.exchange"] = sliver_com;
+  ranks[1].timers["compute.lb_collide_stream"] = bulk_calc;
+  ranks[1].timers["comm.exchange"] = bulk_com;
+
+  RunModelInputs model;
+  model.dims = 2;
+  model.processes = 2;
+  model.nodes_per_rank = 500;
+
+  RunModelInputs weighted = model;
+  weighted.rank_weights = {10.0, 990.0};
+  const RunSummary equal = summarize_run(ranks, model);
+  const RunSummary skewed = summarize_run(ranks, weighted);
+  EXPECT_DOUBLE_EQ(equal.utilization_mean, 0.55);
+  EXPECT_DOUBLE_EQ(skewed.utilization_mean,
+                   (10.0 * 0.1 + 990.0 * 1.0) / 1000.0);
+  EXPECT_GT(skewed.utilization_mean, 0.99);
+  // Per-rank figures are untouched by the weighting.
+  EXPECT_DOUBLE_EQ(skewed.ranks[0].utilization, 0.1);
+  EXPECT_DOUBLE_EQ(skewed.ranks[1].utilization, 1.0);
+}
+
+TEST(Summary, RebalanceRecordsAppearInTheRunSummaryJson) {
+  RunSummary s;
+  // Monolithic runs (no blocks, no rebalances) omit the section entirely.
+  EXPECT_EQ(run_summary_json(s).find("\"rebalances\""), std::string::npos);
+
+  s.blocks = 12;
+  RebalanceRecord rr;
+  rr.step = 8;
+  rr.moved_blocks = 2;
+  rr.imbalance_before = 2.25;
+  rr.imbalance_after = 1.1;
+  s.rebalances.push_back(rr);
+  const std::string json = run_summary_json(s);
+  EXPECT_NE(json.find("\"blocks\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"rebalances\""), std::string::npos);
+  EXPECT_NE(json.find("\"moved_blocks\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"imbalance_before\":2.250000"), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
+  EXPECT_EQ(count_occurrences(json, "["), count_occurrences(json, "]"));
+}
+
 // Telemetry must be pure observation: the same run with tracing enabled
 // and disabled produces bitwise-identical fields.
 TEST(Session, TracingDoesNotPerturbSimulationResults) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -74,6 +75,37 @@ TEST(FaultPlan, RejectsMalformedSpecsNamingTheClause) {
     EXPECT_NE(std::string(e.what()).find("oops"), std::string::npos)
         << e.what();
   }
+}
+
+TEST(FaultPlan, SlowFaultAppliesToEveryGenerationByDefault) {
+  const FaultPlan plan = FaultPlan::parse("slow:rank=2,permille=1500");
+  ASSERT_EQ(plan.slows().size(), 1u);
+  EXPECT_FALSE(plan.empty());
+  // A slow host stays slow across respawns and rebalance segments.
+  EXPECT_EQ(plan.slow_permille(2, 0), 1500);
+  EXPECT_EQ(plan.slow_permille(2, 1), 1500);
+  EXPECT_EQ(plan.slow_permille(2, 7), 1500);
+  EXPECT_EQ(plan.slow_permille(0, 0), 0);  // wrong rank
+  // An explicit gen pins it to one generation.
+  const FaultPlan pinned = FaultPlan::parse("slow:rank=1,permille=200,gen=1");
+  EXPECT_EQ(pinned.slow_permille(1, 0), 0);
+  EXPECT_EQ(pinned.slow_permille(1, 1), 200);
+  // Grammar violations name the clause.
+  EXPECT_THROW(FaultPlan::parse("slow:rank=0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("slow:permille=10"), std::invalid_argument);
+}
+
+TEST(FaultPlan, SpinSlowPenaltyBusyWaitsProportionally) {
+  // permille <= 0 or zero elapsed must return immediately.
+  spin_slow_penalty(10.0, 0);
+  spin_slow_penalty(0.0, 5000);
+  // 2000 permille of 5 ms = ~10 ms of spinning; allow generous slack.
+  const auto t0 = std::chrono::steady_clock::now();
+  spin_slow_penalty(0.005, 2000);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed, 0.009);
 }
 
 TEST(FaultPlan, FromEnvReadsSubsonicFaults) {
