@@ -42,17 +42,43 @@ int remaining_ms(bool has_deadline, Clock::time_point deadline) {
   return left > 0 ? static_cast<int>(left) : 0;
 }
 
-/// Blocks until `fd` is readable or the deadline passes; throws
-/// peer_lost_error on expiry (charging `expired` when provided).
-void wait_readable(int fd, bool has_deadline, Clock::time_point deadline,
-                   const char* what,
-                   telemetry::Counter* expired = nullptr) {
+struct WireHeader {
+  std::uint64_t tag;
+  std::uint64_t count;
+  std::int32_t src;
+  std::int32_t dst;
+};
+
+}  // namespace
+
+void TcpEndpoint::pump_wait_hooks() const {
+  if (options_.wait_beacon) options_.wait_beacon();
+  if (options_.abort_requested && options_.abort_requested())
+    throw endpoint_aborted("endpoint wait aborted by rollback request");
+}
+
+/// Blocks until `fd` matches `events` (POLLIN/POLLOUT) or the deadline
+/// passes; throws peer_lost_error on expiry (charging `expired` when
+/// provided).  With liveness hooks configured the wait is sliced so the
+/// hooks are pumped every wait_slice_ms.
+void TcpEndpoint::wait_io(int fd, short events, bool has_deadline,
+                          Clock::time_point deadline, const char* what,
+                          telemetry::Counter* expired) {
+  const bool sliced =
+      static_cast<bool>(options_.wait_beacon) ||
+      static_cast<bool>(options_.abort_requested);
   for (;;) {
-    pollfd p{fd, POLLIN, 0};
-    const int timeout = remaining_ms(has_deadline, deadline);
+    if (sliced) pump_wait_hooks();
+    pollfd p{fd, events, 0};
+    int timeout = remaining_ms(has_deadline, deadline);
+    if (sliced) {
+      const int slice = std::max(1, options_.wait_slice_ms);
+      timeout = timeout < 0 ? slice : std::min(timeout, slice);
+    }
     const int n = ::poll(&p, 1, timeout);
-    if (n > 0) return;  // readable, closed, or errored: read() resolves it
+    if (n > 0) return;  // ready, closed, or errored: read()/send() resolves it
     if (n == 0) {
+      if (sliced && (!has_deadline || Clock::now() < deadline)) continue;
       if (expired) expired->add();
       throw peer_lost_error(std::string(what) +
                             ": recv deadline expired — peer presumed lost");
@@ -62,15 +88,27 @@ void wait_readable(int fd, bool has_deadline, Clock::time_point deadline,
 }
 
 /// SIGPIPE-safe socket write: a dead peer yields peer_lost_error on this
-/// thread instead of a process-killing signal.
-void send_all(int fd, const void* data, size_t len) {
+/// thread instead of a process-killing signal.  With liveness hooks the
+/// write is non-blocking + POLLOUT-waited, so kernel send-buffer pressure
+/// from a hung peer cannot wedge the sender past a rollback request.
+void TcpEndpoint::send_bytes(int peer, int fd, const void* data,
+                             std::size_t len) {
+  const bool sliced =
+      static_cast<bool>(options_.wait_beacon) ||
+      static_cast<bool>(options_.abort_requested);
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
-    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    const ssize_t n =
+        ::send(fd, p, len, MSG_NOSIGNAL | (sliced ? MSG_DONTWAIT : 0));
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (sliced && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        wait_io(fd, POLLOUT, false, Clock::time_point{}, "send", nullptr);
+        continue;
+      }
       if (errno == EPIPE || errno == ECONNRESET)
-        throw peer_lost_error("peer closed TCP channel mid-send");
+        throw peer_lost_error("peer " + std::to_string(peer) +
+                              " closed TCP channel mid-send");
       throw_errno("send");
     }
     p += n;
@@ -78,16 +116,21 @@ void send_all(int fd, const void* data, size_t len) {
   }
 }
 
-void read_all(int fd, void* data, size_t len, bool has_deadline,
-              Clock::time_point deadline,
-              telemetry::Counter* expired = nullptr) {
+void TcpEndpoint::read_bytes(int fd, void* data, std::size_t len,
+                             bool has_deadline, Clock::time_point deadline,
+                             telemetry::Counter* expired) {
+  const bool sliced =
+      static_cast<bool>(options_.wait_beacon) ||
+      static_cast<bool>(options_.abort_requested);
   char* p = static_cast<char*>(data);
   while (len > 0) {
-    if (has_deadline) wait_readable(fd, true, deadline, "read", expired);
+    if (has_deadline || sliced)
+      wait_io(fd, POLLIN, has_deadline, deadline, "read", expired);
     const ssize_t n = ::read(fd, p, len);
     if (n == 0) throw peer_lost_error("peer closed TCP channel");
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (sliced && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
       if (errno == ECONNRESET)
         throw peer_lost_error("peer reset TCP channel");
       throw_errno("read");
@@ -96,15 +139,6 @@ void read_all(int fd, void* data, size_t len, bool has_deadline,
     len -= static_cast<size_t>(n);
   }
 }
-
-struct WireHeader {
-  std::uint64_t tag;
-  std::uint64_t count;
-  std::int32_t src;
-  std::int32_t dst;
-};
-
-}  // namespace
 
 TcpEndpoint::TcpEndpoint(int rank, int ranks, std::string registry_path,
                          TcpEndpointOptions options)
@@ -173,6 +207,7 @@ int TcpEndpoint::lookup_port(int rank) const {
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(options_.connect_deadline_ms);
   for (;;) {
+    pump_wait_hooks();
     {
       std::ifstream in(registry_path_);
       int r = 0, port = 0;
@@ -192,15 +227,23 @@ int TcpEndpoint::connect_to(int rank) {
   const int port = lookup_port(rank);
   // The peer has published its port, but its accept queue may fill or the
   // listener may briefly not exist yet (or anymore): retry refused
-  // connections with exponential backoff until the deadline.
+  // connections with exponential backoff until the deadline or the attempt
+  // cap, whichever comes first.  The backoff carries deterministic
+  // per-(self, peer) jitter (a seeded LCG, not entropy) so a cohort's
+  // retry storms decorrelate identically in a run and its replay.
   int backoff_ms = 1;
+  int attempts = 0;
+  std::uint32_t lcg = 0x9E3779B9u ^ (static_cast<std::uint32_t>(rank_) << 16) ^
+                      static_cast<std::uint32_t>(rank);
   for (;;) {
+    pump_wait_hooks();
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throw_errno("socket");
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ++attempts;
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
         0) {
       int one = 1;
@@ -213,12 +256,21 @@ int TcpEndpoint::connect_to(int rank) {
       errno = err;
       throw_errno("connect");
     }
-    if (Clock::now() >= deadline)
-      throw peer_lost_error("rank " + std::to_string(rank) +
-                            " refused connections until the deadline");
+    const bool capped = options_.connect_attempt_cap > 0 &&
+                        attempts >= options_.connect_attempt_cap;
+    if (capped || Clock::now() >= deadline)
+      throw peer_lost_error(
+          "rank " + std::to_string(rank_) + " could not connect to rank " +
+          std::to_string(rank) + " after " + std::to_string(attempts) +
+          " attempts (" + (capped ? "retry cap" : "connect deadline") +
+          " reached)");
     if (options_.metrics)
       options_.metrics->counter(rank_, "transport.connect_retries").add();
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    lcg = lcg * 1664525u + 1013904223u;
+    const int jitter_ms =
+        static_cast<int>(lcg >> 16) % (backoff_ms / 2 + 1);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff_ms + jitter_ms));
     backoff_ms = std::min(backoff_ms * 2, 64);
   }
 }
@@ -238,14 +290,14 @@ void TcpEndpoint::sender_loop() {
       if (it == out_fds_.end()) {
         const int fd = connect_to(job.dst);
         const std::int32_t hello = rank_;
-        send_all(fd, &hello, sizeof hello);
+        send_bytes(job.dst, fd, &hello, sizeof hello);
         it = out_fds_.emplace(job.dst, fd).first;
       }
       WireHeader h{job.tag, job.payload.size(), rank_, job.dst};
-      send_all(it->second, &h, sizeof h);
+      send_bytes(job.dst, it->second, &h, sizeof h);
       if (!job.payload.empty())
-        send_all(it->second, job.payload.data(),
-                 job.payload.size() * sizeof(double));
+        send_bytes(job.dst, it->second, job.payload.data(),
+                   job.payload.size() * sizeof(double));
       if (options_.metrics) {
         options_.metrics->counter(rank_, "transport.msgs_sent").add();
         options_.metrics->counter(rank_, "transport.doubles_sent")
@@ -331,8 +383,9 @@ std::vector<double> TcpEndpoint::recv(int src, MessageTag tag) {
     // 2. Need the connection from src.
     auto cit = in_fds_.find(src);
     if (cit == in_fds_.end()) {
-      if (has_deadline)
-        wait_readable(listen_fd_, true, deadline, "accept", expired);
+      if (has_deadline || options_.wait_beacon || options_.abort_requested)
+        wait_io(listen_fd_, POLLIN, has_deadline, deadline, "accept",
+                expired);
       const int fd = ::accept(listen_fd_, nullptr, nullptr);
       if (fd < 0) {
         if (errno == EINTR) continue;
@@ -341,19 +394,19 @@ std::vector<double> TcpEndpoint::recv(int src, MessageTag tag) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       std::int32_t hello = -1;
-      read_all(fd, &hello, sizeof hello, has_deadline, deadline, expired);
+      read_bytes(fd, &hello, sizeof hello, has_deadline, deadline, expired);
       SUBSONIC_CHECK(hello >= 0 && hello < ranks_);
       in_fds_.emplace(hello, fd);
       continue;
     }
     // 3. Read the next frame from src; park mismatched tags.
     WireHeader h{};
-    read_all(cit->second, &h, sizeof h, has_deadline, deadline, expired);
+    read_bytes(cit->second, &h, sizeof h, has_deadline, deadline, expired);
     SUBSONIC_CHECK(h.src == src && h.dst == rank_);
     std::vector<double> payload(h.count);
     if (h.count > 0)
-      read_all(cit->second, payload.data(), h.count * sizeof(double),
-               has_deadline, deadline, expired);
+      read_bytes(cit->second, payload.data(), h.count * sizeof(double),
+                 has_deadline, deadline, expired);
     if (h.tag == tag) {
       charge_recv(payload);
       return payload;

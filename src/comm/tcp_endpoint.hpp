@@ -13,10 +13,12 @@
 // clean child exit to act on.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -26,6 +28,10 @@
 #include "src/comm/transport.hpp"
 
 namespace subsonic {
+
+namespace telemetry {
+class Counter;
+}
 
 struct TcpEndpointOptions {
   /// Upper bound on any single recv() call, covering both the accept of a
@@ -39,11 +45,33 @@ struct TcpEndpointOptions {
   /// expiry the sender surfaces peer_lost_error.
   int connect_deadline_ms = 10000;
 
+  /// Hard cap on connect() attempts to one peer; reaching it surfaces a
+  /// peer_lost_error naming the peer and the attempt count even if the
+  /// connect deadline has budget left.  <= 0 leaves the deadline as the
+  /// only bound.
+  int connect_attempt_cap = 1000;
+
   /// Optional wire telemetry: when set, the endpoint charges per-rank
   /// "transport.*" counters (messages/doubles sent and received, connect
   /// retries, deadline expiries, peer losses), the send-queue-depth gauge
   /// and the recv-wait timer into this registry.
   std::shared_ptr<telemetry::MetricsRegistry> metrics;
+
+  /// Liveness hooks for the supervised runtime.  When either is set, every
+  /// blocking wait (recv poll, accept, connect backoff, registry poll, and
+  /// kernel send-buffer pressure) is sliced into wait_slice_ms chunks and
+  /// the hooks are pumped between slices:
+  ///   * wait_beacon() lets a child keep heartbeating while it is parked
+  ///     in a long exchange wait, so the watchdog can tell "waiting on a
+  ///     dead peer" from "hung";
+  ///   * abort_requested() returning true makes the wait throw
+  ///     endpoint_aborted, unwinding the step loop so the child can roll
+  ///     back in-process on the supervisor's signal.
+  /// Unset (the threaded runtime, plain tools), waits are single
+  /// full-deadline polls — bit-for-bit the old behaviour.
+  std::function<void()> wait_beacon;
+  std::function<bool()> abort_requested;
+  int wait_slice_ms = 50;
 };
 
 class TcpEndpoint {
@@ -84,6 +112,14 @@ class TcpEndpoint {
     std::vector<double> payload;
   };
 
+  void pump_wait_hooks() const;
+  void wait_io(int fd, short events, bool has_deadline,
+               std::chrono::steady_clock::time_point deadline,
+               const char* what, telemetry::Counter* expired);
+  void send_bytes(int peer, int fd, const void* data, std::size_t len);
+  void read_bytes(int fd, void* data, std::size_t len, bool has_deadline,
+                  std::chrono::steady_clock::time_point deadline,
+                  telemetry::Counter* expired);
   int lookup_port(int rank) const;
   int connect_to(int rank);
   void sender_loop();

@@ -185,9 +185,15 @@ int TcpTransport::connect_to(int rank, int src) {
   const int port = lookup_port(rank);
   // Refused connections are retried with exponential backoff: the
   // listener's accept queue may briefly overflow when every rank opens
-  // its channels at once.
+  // its channels at once.  The backoff carries deterministic per-(src,
+  // dst) jitter so every rank pair retries on a different cadence, and a
+  // capped retry count surfaces a peer_lost_error naming the peer instead
+  // of a bare errno.
+  constexpr int kAttemptCap = 12;
   int backoff_ms = 1;
-  for (int attempt = 0;; ++attempt) {
+  std::uint32_t lcg = 0x9E3779B9u ^ (static_cast<std::uint32_t>(src) << 16) ^
+                      static_cast<std::uint32_t>(rank);
+  for (int attempt = 1;; ++attempt) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throw_errno("socket");
     sockaddr_in addr{};
@@ -202,12 +208,24 @@ int TcpTransport::connect_to(int rank, int src) {
     }
     const int err = errno;
     ::close(fd);
-    if (err != ECONNREFUSED || attempt >= 12) {
-      errno = err;
-      throw_errno("connect");
-    }
+    if (err != ECONNREFUSED)
+      throw peer_lost_error("rank " + std::to_string(src) +
+                            " could not connect to rank " +
+                            std::to_string(rank) + " after " +
+                            std::to_string(attempt) + " attempts: " +
+                            std::strerror(err));
+    if (attempt >= kAttemptCap)
+      throw peer_lost_error("rank " + std::to_string(src) +
+                            " could not connect to rank " +
+                            std::to_string(rank) + " after " +
+                            std::to_string(attempt) +
+                            " attempts (retry cap reached)");
     if (metrics_) metrics_->counter(src, "transport.connect_retries").add();
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    lcg = lcg * 1664525u + 1013904223u;
+    const int jitter_ms =
+        static_cast<int>(lcg >> 16) % (backoff_ms / 2 + 1);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff_ms + jitter_ms));
     backoff_ms = std::min(backoff_ms * 2, 64);
   }
 }

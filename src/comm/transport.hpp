@@ -32,6 +32,17 @@ class peer_lost_error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown out of a blocking TcpEndpoint wait when the endpoint's
+/// abort_requested callback fires — the supervised runtime's rollback
+/// signal.  Deliberately NOT a peer_lost_error: a peer loss means "my
+/// neighbour died, exit so the supervisor can act", while an abort means
+/// "the supervisor already acted — unwind this round and roll back
+/// in-process".  The child catches it above the step loop.
+class endpoint_aborted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Message identity within a channel.  Channels are FIFO, but a receiver
 /// may wait for a specific tag while later-tagged messages queue behind.
 using MessageTag = std::uint64_t;

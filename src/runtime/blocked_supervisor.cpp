@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <thread>
@@ -61,8 +62,10 @@ void clean_stale_blocked_artifacts(
   }
   for (const std::string& name : names) {
     if (name.find(".epoch_") != std::string::npos) continue;  // cleared already
+    // ".trace.json" by substring: harvested partial traces of put-down
+    // ranks carry a ".g<round>" infix (rank_0.g1.trace.json).
     if (parse_id_file(name, "rank_", ".metrics.jsonl") >= 0 ||
-        parse_id_file(name, "rank_", ".trace.json") >= 0 ||
+        name.find(".trace.json") != std::string::npos ||
         parse_id_file(name, "rank_", ".dump") >= 0) {
       std::remove((workdir + "/" + name).c_str());
       continue;
@@ -112,7 +115,7 @@ ProcessRunResult run_supervised_blocked(
                                : FaultPlan::parse(options.faults);
 
   const std::string registry = workdir + "/ports";
-  std::remove(registry.c_str());
+  liveness::remove_port_registries(workdir);
   epoch::clear_run_state(workdir);
   clean_stale_blocked_artifacts<Dim>(workdir, bd, method, ghost);
   std::remove((workdir + "/trace.json").c_str());
@@ -188,8 +191,43 @@ ProcessRunResult run_supervised_blocked(
   };
 
   // Whole-run telemetry, accumulated across segments (children rewrite
-  // their per-rank streams every cohort).
+  // their per-rank streams every cohort) and across mid-segment rank
+  // deaths (harvested from the SIGTERM-flushed stream before a respawn).
   std::map<int, telemetry::RankMetrics> accumulated;
+  std::vector<std::string> harvested_traces;
+  auto harvest_rank = [&](int rank) {
+    const std::string mp = cohort::metrics_path(workdir, rank);
+    try {
+      for (telemetry::RankMetrics& rm : telemetry::read_metrics_jsonl(mp)) {
+        if (rm.rank != rank) continue;
+        accumulated[rank].rank = rank;
+        telemetry::merge_metrics(accumulated[rank], rm);
+      }
+    } catch (const std::exception&) {
+      // SIGKILL before the handler ran: nothing was flushed.
+    }
+    std::remove(mp.c_str());
+    if (trace_on) {
+      const std::string tp = cohort::rank_trace_path(workdir, rank);
+      std::ifstream probe(tp);
+      if (probe.good()) {
+        const std::string moved = workdir + "/rank_" + std::to_string(rank) +
+                                  ".g" +
+                                  std::to_string(harvested_traces.size()) +
+                                  ".trace.json";
+        std::rename(tp.c_str(), moved.c_str());
+        harvested_traces.push_back(moved);
+      }
+    }
+  };
+
+  // Stderr-tagger threads accumulate across spawns; joined at the end.
+  std::vector<std::thread> taggers;
+  auto join_taggers = [&taggers]() {
+    for (std::thread& t : taggers)
+      if (t.joinable()) t.join();
+  };
+
   // The ranks of the *last* segment, for the final aggregation below.
   std::vector<int> active_list = bd.active_ranks();
   result.processes = static_cast<int>(active_list.size());
@@ -203,127 +241,108 @@ ProcessRunResult run_supervised_blocked(
     active_list = bd.active_ranks();
     result.processes = static_cast<int>(active_list.size());
 
-    auto spawn_cohort = [&](long restore_epoch) -> cohort::Cohort {
-      std::remove(registry.c_str());
+    auto spawn_child = [&](int rank, int gen, long restore_epoch, int hb_fd,
+                           int ctl_fd,
+                           const std::vector<int>& close_in_child) -> pid_t {
+      size_t stagger = 0;
+      for (size_t i = 0; i < active_list.size(); ++i)
+        if (active_list[i] == rank) stagger = i;
+      cohort::ChildConfig cfg;
+      cfg.rank = rank;
+      cfg.generation = gen;
+      cfg.target_step = seg_target;
+      cfg.start_step = start_step;
+      cfg.final_target = target_step;
+      cfg.restore_epoch = restore_epoch;
+      cfg.checkpoint_interval = options.checkpoint_interval;
+      cfg.stagger_index = static_cast<int>(stagger);
+      cfg.recv_deadline_ms = options.recv_deadline_ms;
+      cfg.sched = options.sched;
+      cfg.threads = options.threads;
+      cfg.trace = trace_on;
+      cfg.origin_ns = supervisor.origin_ns();
+      cfg.heartbeat_fd = hb_fd;
+      cfg.control_fd = ctl_fd;
+      cfg.beacon_interval_ms = options.liveness.beacon_interval_ms;
+      int err_pipe[2];
+      SUBSONIC_REQUIRE_MSG(::pipe(err_pipe) == 0, "pipe failed");
       std::fflush(nullptr);
-      cohort::Cohort cohort;
-      cohort.pids.reserve(active_list.size());
-      for (size_t i = 0; i < active_list.size(); ++i) {
-        cohort::ChildConfig cfg;
-        cfg.rank = active_list[i];
-        cfg.generation = generation;
-        cfg.target_step = seg_target;
-        cfg.start_step = start_step;
-        cfg.final_target = target_step;
-        cfg.restore_epoch = restore_epoch;
-        cfg.checkpoint_interval = options.checkpoint_interval;
-        cfg.stagger_index = static_cast<int>(i);
-        cfg.recv_deadline_ms = options.recv_deadline_ms;
-        cfg.sched = options.sched;
-        cfg.threads = options.threads;
-        cfg.trace = trace_on;
-        cfg.origin_ns = supervisor.origin_ns();
-        int err_pipe[2];
-        SUBSONIC_REQUIRE_MSG(::pipe(err_pipe) == 0, "pipe failed");
-        const pid_t pid = ::fork();
-        SUBSONIC_REQUIRE_MSG(pid >= 0, "fork failed");
-        if (pid == 0) {
-          ::dup2(err_pipe[1], 2);
-          ::close(err_pipe[0]);
-          ::close(err_pipe[1]);
-          cohort::child_main_blocked<Dim>(mask, params, method, bd, cfg,
-                                          workdir, registry,
-                                          faults);  // never returns
-        }
+      const pid_t pid = ::fork();
+      SUBSONIC_REQUIRE_MSG(pid >= 0, "fork failed");
+      if (pid == 0) {
+        ::dup2(err_pipe[1], 2);
+        ::close(err_pipe[0]);
         ::close(err_pipe[1]);
-        cohort.taggers.emplace_back(cohort::tag_child_stderr, err_pipe[0],
-                                    active_list[i]);
-        cohort.pids.push_back(pid);
+        for (int fd : close_in_child) ::close(fd);
+        cohort::child_main_blocked<Dim>(mask, params, method, bd, cfg,
+                                        workdir, registry,
+                                        faults);  // never returns
       }
-      cohort.reaped.assign(cohort.pids.size(), false);
-      cohort.status.assign(cohort.pids.size(), 0);
-      return cohort;
+      ::close(err_pipe[1]);
+      taggers.emplace_back(cohort::tag_child_stderr, err_pipe[0], rank);
+      return pid;
     };
 
-    auto join_taggers = [](cohort::Cohort& cohort) {
-      for (std::thread& t : cohort.taggers)
-        if (t.joinable()) t.join();
+    // A segment's first cohort resumes from the legacy block dumps the
+    // previous segment left (or fresh); a mid-segment recovery resumes
+    // from the newest committed epoch, because legacy dumps are only
+    // consistent across blocks after a fully clean cohort exit.
+    const int seg_start_gen = generation;
+    liveness::EngineHooks hooks;
+    hooks.spawn = spawn_child;
+    hooks.poll_epochs = poll_epochs;
+    hooks.committed_epoch = [&]() { return committed_epoch; };
+    hooks.begin_generation = [&, seg_start_gen](int gen, long epoch) {
+      std::remove(liveness::registry_for(registry, gen).c_str());
+      if (gen > 0)
+        std::remove(liveness::registry_for(registry, gen - 1).c_str());
+      if (epoch < 0 && gen > seg_start_gen && cur_step == 0) {
+        // Epoch-less recovery of a fresh run replays from scratch: a
+        // block whose owner already finished the segment carries a
+        // diverged step counter and must be re-simulated, not restored.
+        for (int b : active_blocks) {
+          const std::string dump = cohort::legacy_block_dump_path(workdir, b);
+          try {
+            if (inspect_checkpoint(dump).step != 0) std::remove(dump.c_str());
+          } catch (const std::exception&) {
+            // Absent or torn: the restore path handles it.
+          }
+        }
+      }
+    };
+    hooks.on_rank_down = harvest_rank;
+    hooks.fail = [&](const std::vector<liveness::EngineFailure>& fails) {
+      liveness::remove_port_registries(workdir);
+      std::vector<RankFailure> failures;
+      std::ostringstream msg;
+      msg << "parallel run failed after " << result.restarts
+          << " restart(s);";
+      for (const liveness::EngineFailure& ef : fails) {
+        RankFailure f;
+        f.rank = ef.rank;
+        f.wait_status = ef.status;
+        f.detail = ef.hung ? "hung (heartbeat silence); " +
+                                 describe_status(ef.status)
+                           : describe_status(ef.status);
+        msg << " rank " << f.rank << ": " << f.detail << ';';
+        failures.push_back(std::move(f));
+      }
+      throw ProcessRunError(msg.str(), std::move(failures));
     };
 
-    bool first_attempt = true;
-    for (;;) {
-      // A segment's first cohort resumes from the legacy block dumps the
-      // previous segment left (or fresh); a crash-restart resumes from
-      // the newest committed epoch, because legacy dumps are only
-      // consistent across blocks after a fully clean cohort exit.
-      cohort::Cohort cohort =
-          spawn_cohort(first_attempt ? -1 : committed_epoch);
-      first_attempt = false;
-      ++generation;
-
-      bool failure = false;
-      size_t live = cohort.pids.size();
-      while (live > 0 && !failure) {
-        bool progressed = false;
-        for (size_t i = 0; i < cohort.pids.size(); ++i) {
-          if (cohort.reaped[i]) continue;
-          int status = 0;
-          const pid_t r = ::waitpid(cohort.pids[i], &status, WNOHANG);
-          if (r == cohort.pids[i]) {
-            cohort.reaped[i] = true;
-            cohort.status[i] = status;
-            --live;
-            progressed = true;
-            if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
-              failure = true;
-          }
-        }
-        poll_epochs();
-        if (!progressed && !failure && live > 0)
-          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      liveness::CohortEngine engine(active_list, options.liveness,
+                                    options.max_restarts, std::move(hooks),
+                                    &supervisor, &result.liveness,
+                                    &result.restarts, &result.forks);
+      try {
+        engine.run(&generation, -1);
+      } catch (...) {
+        join_taggers();
+        throw;
       }
-
-      if (failure) {
-        for (size_t i = 0; i < cohort.pids.size(); ++i)
-          if (!cohort.reaped[i]) ::kill(cohort.pids[i], SIGKILL);
-        for (size_t i = 0; i < cohort.pids.size(); ++i) {
-          if (cohort.reaped[i]) continue;
-          int status = 0;
-          if (::waitpid(cohort.pids[i], &status, 0) == cohort.pids[i]) {
-            cohort.reaped[i] = true;
-            cohort.status[i] = status;
-          }
-        }
-        join_taggers(cohort);
-        poll_epochs();
-
-        if (result.restarts >= options.max_restarts) {
-          std::remove(registry.c_str());
-          std::vector<RankFailure> failures;
-          std::ostringstream msg;
-          msg << "parallel run failed after " << result.restarts
-              << " restart(s);";
-          for (size_t i = 0; i < cohort.pids.size(); ++i) {
-            const int status = cohort.status[i];
-            if (WIFEXITED(status) && WEXITSTATUS(status) == 0) continue;
-            RankFailure f;
-            f.rank = active_list[i];
-            f.wait_status = status;
-            f.detail = describe_status(status);
-            msg << " rank " << f.rank << ": " << f.detail << ';';
-            failures.push_back(std::move(f));
-          }
-          throw ProcessRunError(msg.str(), std::move(failures));
-        }
-        ++result.restarts;
-        supervisor.metrics().counter(-1, "restart.count").add();
-        continue;  // respawn from the newest committed epoch (or scratch)
-      }
-
-      join_taggers(cohort);
-      poll_epochs();
-      break;
     }
+    poll_epochs();
 
     // Fold this segment's telemetry: into the whole-run accumulation, and
     // into the per-block costs the rebalance decision feeds on.
@@ -382,7 +401,8 @@ ProcessRunResult run_supervised_blocked(
       }
     }
   }
-  std::remove(registry.c_str());
+  join_taggers();
+  liveness::remove_port_registries(workdir);
   result.committed_epoch = committed_epoch;
   result.block_owner = bd.owner_map();
 
@@ -440,12 +460,13 @@ ProcessRunResult run_supervised_blocked(
       telemetry::summarize_run(rank_metrics, model, result.restarts);
   summary.blocks = bd.block_count();
   summary.rebalances = result.rebalances;
+  summary.liveness = result.liveness;
   result.summary_path = workdir + "/run_summary.json";
   telemetry::write_run_summary(summary, result.summary_path);
   supervisor.write_metrics_jsonl(workdir + "/supervisor.metrics.jsonl");
   if (trace_on) {
-    std::vector<std::string> traces;
-    traces.reserve(active_list.size());
+    std::vector<std::string> traces = harvested_traces;
+    traces.reserve(traces.size() + active_list.size());
     for (int rank : active_list)
       traces.push_back(cohort::rank_trace_path(workdir, rank));
     telemetry::merge_chrome_traces(traces, workdir + "/trace.json");

@@ -1,9 +1,11 @@
 #include "src/runtime/cohort.hpp"
 
+#include <poll.h>
 #include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -15,6 +17,7 @@
 #include "src/io/checkpoint.hpp"
 #include "src/runtime/block_set.hpp"
 #include "src/runtime/epoch_store.hpp"
+#include "src/runtime/liveness.hpp"
 #include "src/telemetry/telemetry.hpp"
 #include "src/util/log.hpp"
 
@@ -84,10 +87,117 @@ void flush_block_dump(const PendingBlockDump& p, const ChildConfig& cfg,
 }
 
 namespace {
+
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
 }
+
+// ---- child-side liveness state -------------------------------------------
+
+/// SIGUSR1 announces a rollback order, but the order frame itself
+/// travels on the control pipe and can arrive before OR after the
+/// signal (write() and kill() are not synchronised).  A plain boolean
+/// flag races: a child parked on the pipe can consume the order, start
+/// the recovery round, and only then receive the late SIGUSR1 — the
+/// stale flag would abandon the fresh round into a wait for an order
+/// that never comes.  So the handler counts signals and the main loop
+/// counts consumed orders (the supervisor sends exactly one signal per
+/// order); a rollback is pending only while signals lead orders.
+/// Atomics, not sig_atomic_t: the transport's sender thread polls this
+/// from abort_requested.
+std::atomic<int> g_rollback_sig{0};
+std::atomic<int> g_rollback_ack{0};
+
+bool rollback_pending() {
+  // Strictly greater: a child parked on the pipe can consume an order
+  // before its signal lands, putting acks transiently AHEAD of signals —
+  // that is a retired rollback, not a pending one.
+  return g_rollback_sig.load(std::memory_order_relaxed) >
+         g_rollback_ack.load(std::memory_order_relaxed);
+}
+
+void handle_sigusr1(int) {
+  g_rollback_sig.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// SIGTERM rescue state: the handler flushes the telemetry stream so the
+/// supervisor can harvest the work this rank did before being put down.
+/// Deliberately not async-signal-safe — the process is about to die
+/// either way (SIGKILL follows after the grace window), so the flush is
+/// best-effort, never a correctness path.
+telemetry::Session* g_term_session = nullptr;
+std::string g_term_metrics_path;
+std::string g_term_trace_path;  // empty: tracing off
+
+void handle_sigterm(int) {
+  if (g_term_session) {
+    try {
+      if (!g_term_metrics_path.empty())
+        g_term_session->write_metrics_jsonl(g_term_metrics_path);
+      if (!g_term_trace_path.empty())
+        g_term_session->write_trace_json(g_term_trace_path);
+    } catch (...) {
+    }
+  }
+  ::_exit(liveness::kTermAckExit);
+}
+
+void install_child_signal_handlers() {
+  struct sigaction term = {};
+  term.sa_handler = handle_sigterm;
+  sigemptyset(&term.sa_mask);
+  ::sigaction(SIGTERM, &term, nullptr);
+  struct sigaction usr = {};
+  usr.sa_handler = handle_sigusr1;
+  sigemptyset(&usr.sa_mask);
+  usr.sa_flags = SA_RESTART;
+  ::sigaction(SIGUSR1, &usr, nullptr);
+}
+
+/// The hang fault: go completely silent and burn CPU forever — a
+/// livelock the watchdog must catch.  hard=1 first ignores SIGTERM so
+/// the supervisor's graceful rung falls through to SIGKILL.  Ignoring
+/// (process-wide disposition), not sigprocmask (per-thread): the
+/// endpoint's sender thread would otherwise take the process-directed
+/// SIGTERM and defeat the fault.
+[[noreturn]] void enter_hang(bool hard) {
+  if (hard) ::signal(SIGTERM, SIG_IGN);
+  for (;;) {
+    volatile unsigned sink = 0;
+    for (int i = 0; i < (1 << 16); ++i) sink = sink + static_cast<unsigned>(i);
+  }
+}
+
+/// Reads the supervisor's rollback order (round + restore epoch) after a
+/// round was abandoned.  The wait is sliced so the parked child keeps
+/// beaconing — the supervisor's proof-of-life gate will not commit a
+/// recovery (and so will not send the order) until every survivor has
+/// beaconed after the casualty, so a silently parked child would
+/// deadlock the recovery into its own hang detection.  Each consumed
+/// order retires one expected SIGUSR1, keeping rollback_pending() false
+/// for signals whose orders this child has already acted on.  False:
+/// the control channel is gone — the supervisor died and the child has
+/// nothing left to rejoin.
+bool await_rollback_order(const ChildConfig& cfg, liveness::Emitter& hb,
+                          int* round, long* restore_epoch) {
+  if (cfg.control_fd < 0) return false;
+  for (;;) {
+    hb.wait_tick();
+    pollfd p{cfg.control_fd, POLLIN, 0};
+    const int n = ::poll(&p, 1, std::max(1, cfg.beacon_interval_ms));
+    if (n > 0) break;
+    if (n < 0 && errno != EINTR) return false;
+  }
+  liveness::RollbackMsg msg;
+  const int consumed = liveness::read_rollback(cfg.control_fd, &msg);
+  if (consumed == 0) return false;
+  g_rollback_ack.fetch_add(consumed, std::memory_order_relaxed);
+  *round = msg.round;
+  *restore_epoch = msg.epoch;
+  return true;
+}
+
 }  // namespace
 
 template <int Dim>
@@ -109,181 +219,238 @@ template <int Dim>
     telemetry::Session* const tel = &session;
     set_log_context(cfg.rank);
 
+    g_term_session = tel;
+    g_term_metrics_path = metrics_path(workdir, cfg.rank);
+    if (session.tracing()) g_term_trace_path = rank_trace_path(workdir, cfg.rank);
+    install_child_signal_handlers();
+
+    liveness::Emitter hb(cfg.heartbeat_fd, cfg.rank, cfg.beacon_interval_ms);
+
     const int ghost = required_ghost(method, params.filter_eps > 0.0);
-    typename Traits::Domain domain(mask, decomp.box(cfg.rank), params,
-                                   method, ghost, cfg.threads);
     const std::string legacy_dump = legacy_dump_path(workdir, cfg.rank);
-    {
-      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.restore", "ckpt");
-      if (cfg.restore_epoch >= 0) {
-        restore_domain(domain,
-                       epoch::dump_path(workdir, cfg.rank, cfg.restore_epoch));
-      } else {
-        std::ifstream probe(legacy_dump, std::ios::binary);
-        if (probe.good()) restore_domain(domain, legacy_dump);
+
+    // One recovery round: build the domain from scratch, restore, connect
+    // under the round's registry, run to target.  Returns false when a
+    // rollback order interrupted it.  A fresh Domain every round is what
+    // makes an in-process rollback bitwise identical to being re-forked.
+    auto run_round = [&](int round, long restore_epoch) -> bool {
+      ChildConfig rcfg = cfg;
+      rcfg.generation = round;
+      rcfg.restore_epoch = restore_epoch;
+
+      typename Traits::Domain domain(mask, decomp.box(rcfg.rank), params,
+                                     method, ghost, rcfg.threads);
+      {
+        telemetry::ScopedSpan span(tel, rcfg.rank, "ckpt.restore", "ckpt");
+        if (rcfg.restore_epoch >= 0) {
+          restore_domain(
+              domain, epoch::dump_path(workdir, rcfg.rank, rcfg.restore_epoch));
+        } else {
+          std::ifstream probe(legacy_dump, std::ios::binary);
+          if (probe.good()) restore_domain(domain, legacy_dump);
+        }
       }
-    }
 
-    const int delay_ms = faults.delay_connect_ms(cfg.rank, cfg.generation);
-    if (delay_ms > 0)
-      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      const int delay_ms = faults.delay_connect_ms(rcfg.rank, round);
+      if (delay_ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
 
-    // Slow-host fault: every compute phase is stretched by a busy-spin
-    // proportional to its measured duration, inside the phase's telemetry
-    // span — indistinguishable from a genuinely slow CPU downstream.
-    const int slow_pm = faults.slow_permille(cfg.rank, cfg.generation);
-    auto run_compute_timed = [&](auto& dom, ComputeKind kind,
-                                 ComputePass pass) {
-      const auto t0 = std::chrono::steady_clock::now();
-      Traits::run_compute(dom, kind, pass);
-      if (slow_pm > 0) spin_slow_penalty(seconds_since(t0), slow_pm);
-    };
+      // Slow-host fault: every compute phase is stretched by a busy-spin
+      // proportional to its measured duration, inside the phase's telemetry
+      // span — indistinguishable from a genuinely slow CPU downstream.
+      const int slow_pm = faults.slow_permille(rcfg.rank, round);
+      auto run_compute_timed = [&](auto& dom, ComputeKind kind,
+                                   ComputePass pass) {
+        const auto t0 = std::chrono::steady_clock::now();
+        Traits::run_compute(dom, kind, pass);
+        if (slow_pm > 0) spin_slow_penalty(seconds_since(t0), slow_pm);
+      };
 
-    TcpEndpointOptions ep_options;
-    ep_options.recv_deadline_ms = cfg.recv_deadline_ms;
-    ep_options.metrics = session.metrics_ptr();
-    TcpEndpoint endpoint(cfg.rank, decomp.rank_count(), registry,
-                         ep_options);
-    const auto links =
-        Traits::make_links(decomp, cfg.rank, ghost, params, active);
-    const auto schedule = Traits::make_schedule(method);
+      TcpEndpointOptions ep_options;
+      ep_options.recv_deadline_ms = rcfg.recv_deadline_ms;
+      ep_options.metrics = session.metrics_ptr();
+      if (rcfg.heartbeat_fd >= 0 || rcfg.control_fd >= 0) {
+        ep_options.wait_beacon = [&hb] { hb.wait_tick(); };
+        ep_options.abort_requested = [] { return rollback_pending(); };
+        ep_options.wait_slice_ms = std::max(1, rcfg.beacon_interval_ms);
+      }
+      TcpEndpoint endpoint(rcfg.rank, decomp.rank_count(),
+                           liveness::registry_for(registry, round),
+                           ep_options);
+      const auto links =
+          Traits::make_links(decomp, rcfg.rank, ghost, params, active);
+      const auto schedule = Traits::make_schedule(method);
 
-    auto post_sends = [&](const std::vector<FieldId>& fields, long step,
+      auto post_sends = [&](const std::vector<FieldId>& fields, long step,
+                            int phase) {
+        for (const LinkPlan& link : links)
+          endpoint.send(link.peer, make_tag(step, phase, link.dir),
+                        Traits::pack(domain, fields, link.send_box));
+      };
+      auto complete_recvs = [&](const std::vector<FieldId>& fields, long step,
+                                int phase) {
+        for (const LinkPlan& link : links)
+          Traits::unpack(domain, fields, link.recv_box,
+                         endpoint.recv(link.peer,
+                                       make_tag(step, phase, link.peer_dir)));
+      };
+      auto exchange = [&](const std::vector<FieldId>& fields, long step,
                           int phase) {
-      for (const LinkPlan& link : links)
-        endpoint.send(link.peer, make_tag(step, phase, link.dir),
-                      Traits::pack(domain, fields, link.send_box));
-    };
-    auto complete_recvs = [&](const std::vector<FieldId>& fields, long step,
-                              int phase) {
-      for (const LinkPlan& link : links)
-        Traits::unpack(domain, fields, link.recv_box,
-                       endpoint.recv(link.peer,
-                                     make_tag(step, phase, link.peer_dir)));
-    };
-    auto exchange = [&](const std::vector<FieldId>& fields, long step,
-                        int phase) {
-      post_sends(fields, step, phase);
-      complete_recvs(fields, step, phase);
-    };
+        post_sends(fields, step, phase);
+        complete_recvs(fields, step, phase);
+      };
 
-    // Initial full sync seeds the ghost regions (same as the threaded
-    // runtime's reinitialize step).  The tag carries the restore step, so
-    // a respawned cohort handshakes consistently regardless of epoch.
-    std::vector<FieldId> all_fields = Traits::macro_fields();
-    for (int i = 0; i < domain.q(); ++i) all_fields.push_back(population(i));
-    {
-      telemetry::ScopedSpan span(tel, cfg.rank, "comm.sync", "comm",
-                                 domain.step());
-      exchange(all_fields, domain.step(), 1023);
-    }
+      // Initial full sync seeds the ghost regions (same as the threaded
+      // runtime's reinitialize step).  The tag carries the restore step, so
+      // a respawned cohort handshakes consistently regardless of epoch.
+      std::vector<FieldId> all_fields = Traits::macro_fields();
+      for (int i = 0; i < domain.q(); ++i) all_fields.push_back(population(i));
+      {
+        telemetry::ScopedSpan span(tel, rcfg.rank, "comm.sync", "comm",
+                                   domain.step());
+        exchange(all_fields, domain.step(), 1023);
+      }
 
-    std::vector<PendingDump> pending;
-    while (domain.step() < cfg.target_step) {
-      const long step = domain.step();
-      set_log_context(cfg.rank, step);
-      for (size_t i = 0; i < schedule.size(); ++i) {
-        const Phase& phase = schedule[i];
-        if (phase.kind == Phase::Kind::kCompute) {
-          const bool split = cfg.sched == Scheduling::kOverlap &&
-                             i + 1 < schedule.size() &&
-                             schedule[i + 1].kind == Phase::Kind::kExchange;
-          if (split) {
-            const Phase& ex = schedule[i + 1];
-            const int ex_index = static_cast<int>(i + 1);
-            {
-              telemetry::ScopedSpan span(
-                  tel, cfg.rank,
-                  compute_phase_name(phase.compute, ComputePass::kBand),
-                  "compute", step);
-              run_compute_timed(domain, phase.compute, ComputePass::kBand);
+      std::vector<PendingDump> pending;
+      while (domain.step() < rcfg.target_step) {
+        if (rollback_pending()) return false;
+        const long step = domain.step();
+        set_log_context(rcfg.rank, step);
+        for (size_t i = 0; i < schedule.size(); ++i) {
+          const Phase& phase = schedule[i];
+          if (phase.kind == Phase::Kind::kCompute) {
+            const bool split = rcfg.sched == Scheduling::kOverlap &&
+                               i + 1 < schedule.size() &&
+                               schedule[i + 1].kind == Phase::Kind::kExchange;
+            if (split) {
+              const Phase& ex = schedule[i + 1];
+              const int ex_index = static_cast<int>(i + 1);
+              {
+                telemetry::ScopedSpan span(
+                    tel, rcfg.rank,
+                    compute_phase_name(phase.compute, ComputePass::kBand),
+                    "compute", step);
+                run_compute_timed(domain, phase.compute, ComputePass::kBand);
+              }
+              {
+                telemetry::ScopedSpan span(tel, rcfg.rank, "comm.post_sends",
+                                           "comm", step);
+                post_sends(ex.fields, step, ex_index);
+              }
+              {
+                telemetry::ScopedSpan span(
+                    tel, rcfg.rank,
+                    compute_phase_name(phase.compute, ComputePass::kInterior),
+                    "compute", step);
+                run_compute_timed(domain, phase.compute,
+                                  ComputePass::kInterior);
+              }
+              {
+                telemetry::ScopedSpan span(tel, rcfg.rank,
+                                           "comm.complete_recvs", "comm",
+                                           step);
+                complete_recvs(ex.fields, step, ex_index);
+              }
+              ++i;
+            } else {
+              telemetry::ScopedSpan span(tel, rcfg.rank,
+                                         compute_phase_name(phase.compute),
+                                         "compute", step);
+              run_compute_timed(domain, phase.compute, ComputePass::kFull);
             }
-            {
-              telemetry::ScopedSpan span(tel, cfg.rank, "comm.post_sends",
-                                         "comm", step);
-              post_sends(ex.fields, step, ex_index);
-            }
-            {
-              telemetry::ScopedSpan span(
-                  tel, cfg.rank,
-                  compute_phase_name(phase.compute, ComputePass::kInterior),
-                  "compute", step);
-              run_compute_timed(domain, phase.compute,
-                                ComputePass::kInterior);
-            }
-            {
-              telemetry::ScopedSpan span(tel, cfg.rank, "comm.complete_recvs",
-                                         "comm", step);
-              complete_recvs(ex.fields, step, ex_index);
-            }
-            ++i;
           } else {
-            telemetry::ScopedSpan span(tel, cfg.rank,
-                                       compute_phase_name(phase.compute),
-                                       "compute", step);
-            run_compute_timed(domain, phase.compute, ComputePass::kFull);
+            telemetry::ScopedSpan span(tel, rcfg.rank, "comm.exchange",
+                                       "comm", step);
+            exchange(phase.fields, step, static_cast<int>(i));
           }
-        } else {
-          telemetry::ScopedSpan span(tel, cfg.rank, "comm.exchange", "comm",
-                                     step);
-          exchange(phase.fields, step, static_cast<int>(i));
         }
-      }
-      domain.set_step(step + 1);
-      tel->metrics().counter(cfg.rank, "steps").add();
-      const long done = domain.step();
+        domain.set_step(step + 1);
+        tel->metrics().counter(rcfg.rank, "steps").add();
+        const long done = domain.step();
+        hb.emit(liveness::Phase::kStep, done);
 
-      // A kill fault fires before this step's checkpoint work, so the
-      // crash always loses whatever the stagger had not yet flushed.
-      if (auto ks = faults.kill_step(cfg.rank, cfg.generation))
-        if (done - cfg.start_step >= *ks) ::raise(SIGKILL);
+        // A kill fault fires before this step's checkpoint work, so the
+        // crash always loses whatever the stagger had not yet flushed.
+        if (auto ks = faults.kill_step(rcfg.rank, round))
+          if (done - rcfg.start_step >= *ks) ::raise(SIGKILL);
+        if (auto hg = faults.hang_at(rcfg.rank, round))
+          if (done - rcfg.start_step >= hg->step) enter_hang(hg->hard);
+        if (auto ms = faults.mute_step(rcfg.rank, round))
+          if (done - rcfg.start_step >= *ms) hb.mute();
 
-      if (cfg.checkpoint_interval > 0 &&
-          (done - cfg.start_step) % cfg.checkpoint_interval == 0 &&
-          done < cfg.target_step) {
-        telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.capture", "ckpt",
-                                   done);
-        PendingDump p;
-        p.epoch = (done - cfg.start_step) / cfg.checkpoint_interval - 1;
-        p.flush_step = done + cfg.stagger_index;
-        p.bytes = serialize_domain(domain);
-        pending.push_back(std::move(p));
-      }
-      for (size_t i = 0; i < pending.size();) {
-        if (done >= pending[i].flush_step) {
-          telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.flush", "ckpt",
+        if (rcfg.checkpoint_interval > 0 &&
+            (done - rcfg.start_step) % rcfg.checkpoint_interval == 0 &&
+            done < rcfg.target_step) {
+          telemetry::ScopedSpan span(tel, rcfg.rank, "ckpt.capture", "ckpt",
                                      done);
-          flush_dump(pending[i], cfg, workdir, faults);
-          pending.erase(pending.begin() + static_cast<long>(i));
-        } else {
-          ++i;
+          PendingDump p;
+          p.epoch = (done - rcfg.start_step) / rcfg.checkpoint_interval - 1;
+          p.flush_step = done + rcfg.stagger_index;
+          p.bytes = serialize_domain(domain);
+          pending.push_back(std::move(p));
+        }
+        for (size_t i = 0; i < pending.size();) {
+          if (done >= pending[i].flush_step) {
+            telemetry::ScopedSpan span(tel, rcfg.rank, "ckpt.flush", "ckpt",
+                                       done);
+            flush_dump(pending[i], rcfg, workdir, faults);
+            pending.erase(pending.begin() + static_cast<long>(i));
+          } else {
+            ++i;
+          }
         }
       }
-    }
-    set_log_context(cfg.rank);
-    for (const PendingDump& p : pending) {
-      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.flush", "ckpt",
-                                 domain.step());
-      flush_dump(p, cfg, workdir, faults);
-    }
+      set_log_context(rcfg.rank);
+      for (const PendingDump& p : pending) {
+        telemetry::ScopedSpan span(tel, rcfg.rank, "ckpt.flush", "ckpt",
+                                   domain.step());
+        flush_dump(p, rcfg, workdir, faults);
+      }
 
-    // Drain the async send queue before _exit: a peer may still be
-    // waiting on our final-step messages.
-    {
-      telemetry::ScopedSpan span(tel, cfg.rank, "comm.flush", "comm",
-                                 domain.step());
-      endpoint.flush();
-    }
-    {
-      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.final_save", "ckpt",
-                                 domain.step());
-      save_domain(domain, legacy_dump);
+      // Drain the async send queue before _exit: a peer may still be
+      // waiting on our final-step messages.
+      {
+        telemetry::ScopedSpan span(tel, rcfg.rank, "comm.flush", "comm",
+                                   domain.step());
+        endpoint.flush();
+      }
+      {
+        telemetry::ScopedSpan span(tel, rcfg.rank, "ckpt.final_save", "ckpt",
+                                   domain.step());
+        save_domain(domain, legacy_dump);
+      }
+      return true;
+    };
+
+    int round = cfg.generation;
+    long restore_epoch = cfg.restore_epoch;
+    for (;;) {
+      hb.set_round(round);
+      hb.emit(liveness::Phase::kStart, cfg.start_step);
+      bool completed = false;
+      try {
+        completed = run_round(round, restore_epoch);
+      } catch (const endpoint_aborted&) {
+        completed = false;  // rollback order arrived mid-wait
+      } catch (const peer_lost_error& e) {
+        // A neighbour died under us.  Supervised, the watchdog is about
+        // to order a rollback, so park on the control pipe instead of
+        // exiting — this rank survives the recovery in-process.
+        if (cfg.control_fd < 0) throw;
+        std::fprintf(stderr,
+                     "subprocess rank %d lost a peer (awaiting rollback): "
+                     "%s\n",
+                     cfg.rank, e.what());
+        completed = false;
+      }
+      if (completed) break;
+      if (!await_rollback_order(cfg, hb, &round, &restore_epoch)) ::_exit(1);
     }
 
     // The telemetry streams are this rank's half of the supervisor's
     // run_summary.json; written last so they cover the whole run, and only
-    // on a clean exit (a killed rank contributes nothing — the respawned
-    // generation rewrites the file).
+    // on a clean (or SIGTERM-rescued) exit — a SIGKILLed rank contributes
+    // nothing until the supervisor harvests a survivor's flush.
     session.write_metrics_jsonl(metrics_path(workdir, cfg.rank));
     if (session.tracing())
       session.write_trace_json(rank_trace_path(workdir, cfg.rank));
@@ -317,105 +484,156 @@ template <int Dim>
     telemetry::Session* const tel = &session;
     set_log_context(cfg.rank);
 
-    BlockSet<Dim> set(mask, params, method, bd, cfg.rank, cfg.threads, tel);
-    {
-      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.restore", "ckpt");
-      for (int b : set.block_ids()) {
-        auto& dom = set.domain_of_block(b);
-        if (cfg.restore_epoch >= 0) {
-          restore_domain(
-              dom, epoch::block_dump_path(workdir, b, cfg.restore_epoch));
-        } else {
-          const std::string legacy = legacy_block_dump_path(workdir, b);
-          std::ifstream probe(legacy, std::ios::binary);
-          if (probe.good()) restore_domain(dom, legacy);
+    g_term_session = tel;
+    g_term_metrics_path = metrics_path(workdir, cfg.rank);
+    if (session.tracing()) g_term_trace_path = rank_trace_path(workdir, cfg.rank);
+    install_child_signal_handlers();
+
+    liveness::Emitter hb(cfg.heartbeat_fd, cfg.rank, cfg.beacon_interval_ms);
+
+    auto run_round = [&](int round, long restore_epoch) -> bool {
+      ChildConfig rcfg = cfg;
+      rcfg.generation = round;
+      rcfg.restore_epoch = restore_epoch;
+
+      BlockSet<Dim> set(mask, params, method, bd, rcfg.rank, rcfg.threads,
+                        tel);
+      {
+        telemetry::ScopedSpan span(tel, rcfg.rank, "ckpt.restore", "ckpt");
+        for (int b : set.block_ids()) {
+          auto& dom = set.domain_of_block(b);
+          if (rcfg.restore_epoch >= 0) {
+            restore_domain(
+                dom, epoch::block_dump_path(workdir, b, rcfg.restore_epoch));
+          } else {
+            const std::string legacy = legacy_block_dump_path(workdir, b);
+            std::ifstream probe(legacy, std::ios::binary);
+            if (probe.good()) restore_domain(dom, legacy);
+          }
         }
       }
-    }
 
-    const int delay_ms = faults.delay_connect_ms(cfg.rank, cfg.generation);
-    if (delay_ms > 0)
-      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      const int delay_ms = faults.delay_connect_ms(rcfg.rank, round);
+      if (delay_ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
 
-    const int slow_pm = faults.slow_permille(cfg.rank, cfg.generation);
+      const int slow_pm = faults.slow_permille(rcfg.rank, round);
 
-    TcpEndpointOptions ep_options;
-    ep_options.recv_deadline_ms = cfg.recv_deadline_ms;
-    ep_options.metrics = session.metrics_ptr();
-    TcpEndpoint endpoint(cfg.rank, bd.rank_count(), registry, ep_options);
-    auto send = [&](int dst, MessageTag tag, std::vector<double> payload) {
-      endpoint.send(dst, tag, std::move(payload));
-    };
-    auto recv = [&](int src, MessageTag tag) {
-      return endpoint.recv(src, tag);
-    };
-
-    // Initial full sync seeds every block's ghost regions; the tag carries
-    // the restore step, so a respawned cohort handshakes consistently.
-    {
-      telemetry::ScopedSpan span(tel, cfg.rank, "comm.sync", "comm",
-                                 set.step());
-      set.sync_all_fields(set.step(), send, recv);
-    }
-
-    std::vector<PendingBlockDump> pending;
-    while (set.step() < cfg.target_step) {
-      set_log_context(cfg.rank, set.step());
-      set.step_once(cfg.sched, send, recv, slow_pm);
-      const long done = set.step();
-
-      if (auto ks = faults.kill_step(cfg.rank, cfg.generation))
-        if (done - cfg.start_step >= *ks) ::raise(SIGKILL);
-
-      // Capture up to the run's end, segment boundaries included (the
-      // boundary dump flushes in the exit path below) — a gap in the
-      // epoch numbering would stall the supervisor's sequential commits.
-      const long run_end = std::max(cfg.final_target, cfg.target_step);
-      if (cfg.checkpoint_interval > 0 &&
-          (done - cfg.start_step) % cfg.checkpoint_interval == 0 &&
-          done < run_end) {
-        telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.capture", "ckpt",
-                                   done);
-        const long epoch_id =
-            (done - cfg.start_step) / cfg.checkpoint_interval - 1;
-        for (int i = 0; i < set.local_count(); ++i) {
-          PendingBlockDump p;
-          p.block = set.block_ids()[i];
-          p.epoch = epoch_id;
-          p.flush_step = done + cfg.stagger_index;
-          p.bytes = serialize_domain(set.domain(i));
-          pending.push_back(std::move(p));
-        }
+      TcpEndpointOptions ep_options;
+      ep_options.recv_deadline_ms = rcfg.recv_deadline_ms;
+      ep_options.metrics = session.metrics_ptr();
+      if (rcfg.heartbeat_fd >= 0 || rcfg.control_fd >= 0) {
+        ep_options.wait_beacon = [&hb] { hb.wait_tick(); };
+        ep_options.abort_requested = [] { return rollback_pending(); };
+        ep_options.wait_slice_ms = std::max(1, rcfg.beacon_interval_ms);
       }
-      for (size_t i = 0; i < pending.size();) {
-        if (done >= pending[i].flush_step) {
-          telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.flush", "ckpt",
+      TcpEndpoint endpoint(rcfg.rank, bd.rank_count(),
+                           liveness::registry_for(registry, round),
+                           ep_options);
+      auto send = [&](int dst, MessageTag tag, std::vector<double> payload) {
+        endpoint.send(dst, tag, std::move(payload));
+      };
+      auto recv = [&](int src, MessageTag tag) {
+        return endpoint.recv(src, tag);
+      };
+
+      // Initial full sync seeds every block's ghost regions; the tag
+      // carries the restore step, so a respawned cohort handshakes
+      // consistently.
+      {
+        telemetry::ScopedSpan span(tel, rcfg.rank, "comm.sync", "comm",
+                                   set.step());
+        set.sync_all_fields(set.step(), send, recv);
+      }
+
+      std::vector<PendingBlockDump> pending;
+      while (set.step() < rcfg.target_step) {
+        if (rollback_pending()) return false;
+        set_log_context(rcfg.rank, set.step());
+        set.step_once(rcfg.sched, send, recv, slow_pm);
+        const long done = set.step();
+        hb.emit(liveness::Phase::kStep, done);
+
+        if (auto ks = faults.kill_step(rcfg.rank, round))
+          if (done - rcfg.start_step >= *ks) ::raise(SIGKILL);
+        if (auto hg = faults.hang_at(rcfg.rank, round))
+          if (done - rcfg.start_step >= hg->step) enter_hang(hg->hard);
+        if (auto ms = faults.mute_step(rcfg.rank, round))
+          if (done - rcfg.start_step >= *ms) hb.mute();
+
+        // Capture up to the run's end, segment boundaries included (the
+        // boundary dump flushes in the exit path below) — a gap in the
+        // epoch numbering would stall the supervisor's sequential commits.
+        const long run_end = std::max(rcfg.final_target, rcfg.target_step);
+        if (rcfg.checkpoint_interval > 0 &&
+            (done - rcfg.start_step) % rcfg.checkpoint_interval == 0 &&
+            done < run_end) {
+          telemetry::ScopedSpan span(tel, rcfg.rank, "ckpt.capture", "ckpt",
                                      done);
-          flush_block_dump(pending[i], cfg, workdir, faults);
-          pending.erase(pending.begin() + static_cast<long>(i));
-        } else {
-          ++i;
+          const long epoch_id =
+              (done - rcfg.start_step) / rcfg.checkpoint_interval - 1;
+          for (int i = 0; i < set.local_count(); ++i) {
+            PendingBlockDump p;
+            p.block = set.block_ids()[i];
+            p.epoch = epoch_id;
+            p.flush_step = done + rcfg.stagger_index;
+            p.bytes = serialize_domain(set.domain(i));
+            pending.push_back(std::move(p));
+          }
+        }
+        for (size_t i = 0; i < pending.size();) {
+          if (done >= pending[i].flush_step) {
+            telemetry::ScopedSpan span(tel, rcfg.rank, "ckpt.flush", "ckpt",
+                                       done);
+            flush_block_dump(pending[i], rcfg, workdir, faults);
+            pending.erase(pending.begin() + static_cast<long>(i));
+          } else {
+            ++i;
+          }
         }
       }
-    }
-    set_log_context(cfg.rank);
-    for (const PendingBlockDump& p : pending) {
-      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.flush", "ckpt",
-                                 set.step());
-      flush_block_dump(p, cfg, workdir, faults);
-    }
+      set_log_context(rcfg.rank);
+      for (const PendingBlockDump& p : pending) {
+        telemetry::ScopedSpan span(tel, rcfg.rank, "ckpt.flush", "ckpt",
+                                   set.step());
+        flush_block_dump(p, rcfg, workdir, faults);
+      }
 
-    {
-      telemetry::ScopedSpan span(tel, cfg.rank, "comm.flush", "comm",
-                                 set.step());
-      endpoint.flush();
-    }
-    {
-      telemetry::ScopedSpan span(tel, cfg.rank, "ckpt.final_save", "ckpt",
-                                 set.step());
-      for (int i = 0; i < set.local_count(); ++i)
-        save_domain(set.domain(i),
-                    legacy_block_dump_path(workdir, set.block_ids()[i]));
+      {
+        telemetry::ScopedSpan span(tel, rcfg.rank, "comm.flush", "comm",
+                                   set.step());
+        endpoint.flush();
+      }
+      {
+        telemetry::ScopedSpan span(tel, rcfg.rank, "ckpt.final_save", "ckpt",
+                                   set.step());
+        for (int i = 0; i < set.local_count(); ++i)
+          save_domain(set.domain(i),
+                      legacy_block_dump_path(workdir, set.block_ids()[i]));
+      }
+      return true;
+    };
+
+    int round = cfg.generation;
+    long restore_epoch = cfg.restore_epoch;
+    for (;;) {
+      hb.set_round(round);
+      hb.emit(liveness::Phase::kStart, cfg.start_step);
+      bool completed = false;
+      try {
+        completed = run_round(round, restore_epoch);
+      } catch (const endpoint_aborted&) {
+        completed = false;
+      } catch (const peer_lost_error& e) {
+        if (cfg.control_fd < 0) throw;  // unsupervised: exit 3 as before
+        std::fprintf(stderr,
+                     "subprocess rank %d lost a peer (awaiting rollback): "
+                     "%s\n",
+                     cfg.rank, e.what());
+        completed = false;
+      }
+      if (completed) break;
+      if (!await_rollback_order(cfg, hb, &round, &restore_epoch)) ::_exit(1);
     }
 
     session.write_metrics_jsonl(metrics_path(workdir, cfg.rank));

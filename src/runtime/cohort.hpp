@@ -65,6 +65,12 @@ struct ChildConfig {
   bool trace = false;        ///< record Chrome-trace spans in this child
   long long origin_ns = -1;  ///< supervisor's trace origin, so per-rank
                              ///< traces merge onto one timeline
+  /// Liveness plumbing (liveness.hpp): write end of the heartbeat pipe
+  /// and read end of the supervisor control pipe; -1 = not supervised
+  /// (no beacons, no in-process rollback).
+  int heartbeat_fd = -1;
+  int control_fd = -1;
+  int beacon_interval_ms = 50;  ///< min spacing of kWait beacons
 };
 
 /// A checkpoint captured in memory at its epoch step but flushed to disk
@@ -113,6 +119,15 @@ struct Cohort {
 /// faults fire here: a kill fault SIGKILLs the process at its step
 /// *before* pending epoch dumps for that step are flushed, a
 /// delay_connect fault stalls the rank before it registers.
+///
+/// `registry` is the *base* port-registry path: each recovery round uses
+/// liveness::registry_for(registry, round).  The child runs rounds in a
+/// loop — on a SIGUSR1 rollback order from the supervisor it abandons
+/// the current round (endpoint_aborted out of any blocking wait), reads
+/// the new round + restore epoch from control_fd, rebuilds its Domain
+/// from scratch and rejoins, which is bitwise identical to being
+/// re-forked.  SIGTERM flushes the telemetry stream and exits with
+/// liveness::kTermAckExit.
 template <int Dim>
 [[noreturn]] void child_main(const typename DomainTraits<Dim>::Mask& mask,
                              const FluidParams& params, Method method,

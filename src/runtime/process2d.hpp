@@ -23,7 +23,7 @@ ProcessRunResult run_multiprocess2d(const Mask2D& mask,
 
 /// Convenience overload with default supervision (kept for existing
 /// callers): overlap scheduling, env-driven faults, default restart
-/// budget and deadlines.
+/// budget, comm deadlines and heartbeat-watchdog policy.
 ProcessRunResult run_multiprocess2d(const Mask2D& mask,
                                     const FluidParams& params, Method method,
                                     int jx, int jy, int steps,

@@ -1,9 +1,11 @@
 // The 3D entry points of the supervised process runtime — the paper's
 // Figure 10/11 workload (section 7: (J x K x L) decompositions of grids
 // from 10^3 to 44^3 per subregion) with the full 2D feature set:
-// supervision with respawn, staggered epoch checkpoints, SUBSONIC_FAULTS
-// injection, per-rank WorkerStats and run_summary.json.  Implemented by
-// the dimension-generic run_supervised template (supervisor.hpp).
+// heartbeat-watchdog supervision with surgical per-rank restart,
+// staggered epoch checkpoints, SUBSONIC_FAULTS injection, per-rank
+// WorkerStats and run_summary.json (with the liveness audit trail).
+// Implemented by the dimension-generic run_supervised template
+// (supervisor.hpp).
 #pragma once
 
 #include <string>

@@ -9,6 +9,8 @@
 #include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <thread>
 
@@ -55,7 +57,9 @@ void clean_stale_artifacts(const std::string& workdir,
   }
   for (const std::string& name : names) {
     if (parse_rank_file(name, ".metrics.jsonl") >= 0 ||
-        parse_rank_file(name, ".trace.json") >= 0) {
+        name.find(".trace.json") != std::string::npos) {
+      // ".trace.json" by substring: harvested partial traces of put-down
+      // ranks carry a ".g<round>" infix (rank_0.g1.trace.json).
       std::remove((workdir + "/" + name).c_str());
       continue;
     }
@@ -114,11 +118,12 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
                                ? FaultPlan::from_env()
                                : FaultPlan::parse(options.faults);
 
-  // Fresh registry and fresh epoch state per run: ports are ephemeral and
-  // stale entries would point at dead listeners; stale epoch dumps or a
-  // stale MANIFEST belong to some previous run's step numbering.
+  // Fresh registries and fresh epoch state per run: ports are ephemeral
+  // and stale entries would point at dead listeners; stale epoch dumps or
+  // a stale MANIFEST belong to some previous run's step numbering.  The
+  // registry path is a *base*: each recovery round uses ports.g<round>.
   const std::string registry = workdir + "/ports";
-  std::remove(registry.c_str());
+  liveness::remove_port_registries(workdir);
   epoch::clear_run_state(workdir);
   clean_stale_artifacts<Dim>(workdir, decomp, method, ghost);
   std::remove((workdir + "/trace.json").c_str());
@@ -195,131 +200,150 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
     }
   };
 
-  auto spawn_cohort = [&](long restore_epoch) -> cohort::Cohort {
-    std::remove(registry.c_str());
-    std::fflush(nullptr);  // do not duplicate buffered output into children
-    cohort::Cohort cohort;
-    cohort.pids.reserve(active_list.size());
-    for (size_t i = 0; i < active_list.size(); ++i) {
-      cohort::ChildConfig cfg;
-      cfg.rank = active_list[i];
-      cfg.generation = generation;
-      cfg.target_step = target_step;
-      cfg.start_step = start_step;
-      cfg.restore_epoch = restore_epoch;
-      cfg.checkpoint_interval = options.checkpoint_interval;
-      cfg.stagger_index = static_cast<int>(i);
-      cfg.recv_deadline_ms = options.recv_deadline_ms;
-      cfg.sched = options.sched;
-      cfg.threads = options.threads;
-      cfg.trace = trace_on;
-      cfg.origin_ns = supervisor.origin_ns();
-      int err_pipe[2];
-      SUBSONIC_REQUIRE_MSG(::pipe(err_pipe) == 0, "pipe failed");
-      const pid_t pid = ::fork();
-      SUBSONIC_REQUIRE_MSG(pid >= 0, "fork failed");
-      if (pid == 0) {
-        // Route the child's stderr through the tagging pipe so the parent
-        // can prefix every line with the rank.
-        ::dup2(err_pipe[1], 2);
-        ::close(err_pipe[0]);
-        ::close(err_pipe[1]);
-        cohort::child_main<Dim>(mask, params, method, decomp, active, cfg,
-                                workdir, registry, faults);  // never returns
-      }
-      ::close(err_pipe[1]);
-      cohort.taggers.emplace_back(cohort::tag_child_stderr, err_pipe[0],
-                                  active_list[i]);
-      cohort.pids.push_back(pid);
-    }
-    cohort.reaped.assign(cohort.pids.size(), false);
-    cohort.status.assign(cohort.pids.size(), 0);
-    return cohort;
-  };
-
-  // Tagger threads hit EOF once their child is gone; join them only after
-  // every child in the cohort is reaped (both outcomes).
-  auto join_taggers = [](cohort::Cohort& cohort) {
-    for (std::thread& t : cohort.taggers)
+  // Stderr-tagger threads accumulate across respawns (each drains one
+  // child's pipe until EOF); joined once everything is reaped.
+  std::vector<std::thread> taggers;
+  auto join_taggers = [&taggers]() {
+    for (std::thread& t : taggers)
       if (t.joinable()) t.join();
   };
 
-  for (;;) {
-    cohort::Cohort cohort = spawn_cohort(generation == 0 ? -1
-                                                         : committed_epoch);
-
-    // Supervise: reap out of order with WNOHANG so a crash in any rank is
-    // seen immediately, no matter where it falls in pid order.
-    bool failure = false;
-    size_t live = cohort.pids.size();
-    while (live > 0 && !failure) {
-      bool progressed = false;
-      for (size_t i = 0; i < cohort.pids.size(); ++i) {
-        if (cohort.reaped[i]) continue;
-        int status = 0;
-        const pid_t r = ::waitpid(cohort.pids[i], &status, WNOHANG);
-        if (r == cohort.pids[i]) {
-          cohort.reaped[i] = true;
-          cohort.status[i] = status;
-          --live;
-          progressed = true;
-          if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
-            failure = true;
-        }
+  // Telemetry of ranks that died mid-run (SIGTERM-flushed or partial):
+  // harvested into this map before a respawn rewrites the file, then
+  // folded into the final aggregation.
+  std::map<int, telemetry::RankMetrics> harvested;
+  std::vector<std::string> harvested_traces;
+  auto harvest_rank = [&](int rank) {
+    const std::string mp = cohort::metrics_path(workdir, rank);
+    try {
+      for (telemetry::RankMetrics& rm : telemetry::read_metrics_jsonl(mp)) {
+        if (rm.rank != rank) continue;
+        harvested[rank].rank = rank;
+        telemetry::merge_metrics(harvested[rank], rm);
       }
-      poll_epochs();
-      if (!progressed && !failure && live > 0)
-        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    } catch (const std::exception&) {
+      // No flush happened (SIGKILL before the handler ran): nothing to
+      // harvest, the respawned process re-counts its replayed work.
     }
-
-    if (failure) {
-      // First casualty seen: kill the whole cohort.  Survivors may be
-      // wedged waiting on the dead rank (until their recv deadline), so
-      // never wait for them to exit on their own.
-      for (size_t i = 0; i < cohort.pids.size(); ++i)
-        if (!cohort.reaped[i]) ::kill(cohort.pids[i], SIGKILL);
-      for (size_t i = 0; i < cohort.pids.size(); ++i) {
-        if (cohort.reaped[i]) continue;
-        int status = 0;
-        if (::waitpid(cohort.pids[i], &status, 0) == cohort.pids[i]) {
-          cohort.reaped[i] = true;
-          cohort.status[i] = status;
-        }
+    // Whatever was (or wasn't) flushed must not be double-read when the
+    // respawned rank writes its own final stream.
+    std::remove(mp.c_str());
+    if (trace_on) {
+      const std::string tp = cohort::rank_trace_path(workdir, rank);
+      std::ifstream probe(tp);
+      if (probe.good()) {
+        const std::string moved = workdir + "/rank_" + std::to_string(rank) +
+                                  ".g" +
+                                  std::to_string(harvested_traces.size()) +
+                                  ".trace.json";
+        std::rename(tp.c_str(), moved.c_str());
+        harvested_traces.push_back(moved);
       }
-      join_taggers(cohort);
-      // Dumps flushed just before the crash may complete another epoch.
-      poll_epochs();
-
-      if (result.restarts >= options.max_restarts) {
-        std::remove(registry.c_str());
-        std::vector<RankFailure> failures;
-        std::ostringstream msg;
-        msg << "parallel run failed after " << result.restarts
-            << " restart(s);";
-        for (size_t i = 0; i < cohort.pids.size(); ++i) {
-          const int status = cohort.status[i];
-          if (WIFEXITED(status) && WEXITSTATUS(status) == 0) continue;
-          RankFailure f;
-          f.rank = active_list[i];
-          f.wait_status = status;
-          f.detail = describe_status(status);
-          msg << " rank " << f.rank << ": " << f.detail << ';';
-          failures.push_back(std::move(f));
-        }
-        throw ProcessRunError(msg.str(), std::move(failures));
-      }
-      ++result.restarts;
-      ++generation;
-      supervisor.metrics().counter(-1, "restart.count").add();
-      continue;  // respawn from the newest committed epoch (or scratch)
     }
+  };
 
-    // Clean finish.
-    join_taggers(cohort);
-    poll_epochs();
-    break;
+  auto spawn_child = [&](int rank, int gen, long restore_epoch, int hb_fd,
+                         int ctl_fd,
+                         const std::vector<int>& close_in_child) -> pid_t {
+    size_t stagger = 0;
+    for (size_t i = 0; i < active_list.size(); ++i)
+      if (active_list[i] == rank) stagger = i;
+    cohort::ChildConfig cfg;
+    cfg.rank = rank;
+    cfg.generation = gen;
+    cfg.target_step = target_step;
+    cfg.start_step = start_step;
+    cfg.restore_epoch = restore_epoch;
+    cfg.checkpoint_interval = options.checkpoint_interval;
+    cfg.stagger_index = static_cast<int>(stagger);
+    cfg.recv_deadline_ms = options.recv_deadline_ms;
+    cfg.sched = options.sched;
+    cfg.threads = options.threads;
+    cfg.trace = trace_on;
+    cfg.origin_ns = supervisor.origin_ns();
+    cfg.heartbeat_fd = hb_fd;
+    cfg.control_fd = ctl_fd;
+    cfg.beacon_interval_ms = options.liveness.beacon_interval_ms;
+    int err_pipe[2];
+    SUBSONIC_REQUIRE_MSG(::pipe(err_pipe) == 0, "pipe failed");
+    std::fflush(nullptr);  // do not duplicate buffered output into children
+    const pid_t pid = ::fork();
+    SUBSONIC_REQUIRE_MSG(pid >= 0, "fork failed");
+    if (pid == 0) {
+      // Route the child's stderr through the tagging pipe so the parent
+      // can prefix every line with the rank; drop every parent-side
+      // liveness fd of the cohort so a dead sibling's pipes reach EOF.
+      ::dup2(err_pipe[1], 2);
+      ::close(err_pipe[0]);
+      ::close(err_pipe[1]);
+      for (int fd : close_in_child) ::close(fd);
+      cohort::child_main<Dim>(mask, params, method, decomp, active, cfg,
+                              workdir, registry, faults);  // never returns
+    }
+    ::close(err_pipe[1]);
+    taggers.emplace_back(cohort::tag_child_stderr, err_pipe[0], rank);
+    return pid;
+  };
+
+  liveness::EngineHooks hooks;
+  hooks.spawn = spawn_child;
+  hooks.poll_epochs = poll_epochs;
+  hooks.committed_epoch = [&]() { return committed_epoch; };
+  hooks.begin_generation = [&](int gen, long epoch) {
+    // Fresh per-round port registry; the previous round's file now points
+    // at listeners that are dead or about to be torn down.
+    std::remove(liveness::registry_for(registry, gen).c_str());
+    if (gen > 0)
+      std::remove(liveness::registry_for(registry, gen - 1).c_str());
+    if (epoch < 0 && gen > 0 && start_step == 0) {
+      // Epoch-less recovery replays the run from scratch: a rank that
+      // already finished rewrote its legacy dump at the target step, and
+      // restoring that mid-replay would desynchronize the cohort.  Fresh
+      // runs only — a continuation's legacy dumps ARE the starting state.
+      for (int rank : active_list) {
+        const std::string dump = cohort::legacy_dump_path(workdir, rank);
+        try {
+          if (inspect_checkpoint(dump).step != 0) std::remove(dump.c_str());
+        } catch (const std::exception&) {
+          // Absent or torn: the restore path handles it.
+        }
+      }
+    }
+  };
+  hooks.on_rank_down = harvest_rank;
+  hooks.fail = [&](const std::vector<liveness::EngineFailure>& fails) {
+    liveness::remove_port_registries(workdir);
+    std::vector<RankFailure> failures;
+    std::ostringstream msg;
+    msg << "parallel run failed after " << result.restarts << " restart(s);";
+    for (const liveness::EngineFailure& ef : fails) {
+      RankFailure f;
+      f.rank = ef.rank;
+      f.wait_status = ef.status;
+      f.detail = ef.hung ? "hung (heartbeat silence); " +
+                               describe_status(ef.status)
+                         : describe_status(ef.status);
+      msg << " rank " << f.rank << ": " << f.detail << ';';
+      failures.push_back(std::move(f));
+    }
+    throw ProcessRunError(msg.str(), std::move(failures));
+  };
+
+  {
+    liveness::CohortEngine engine(active_list, options.liveness,
+                                  options.max_restarts, std::move(hooks),
+                                  &supervisor, &result.liveness,
+                                  &result.restarts, &result.forks);
+    try {
+      engine.run(&generation, -1);
+    } catch (...) {
+      join_taggers();
+      throw;
+    }
   }
-  std::remove(registry.c_str());
+  join_taggers();
+  poll_epochs();
+  liveness::remove_port_registries(workdir);
   result.committed_epoch = committed_epoch;
 
   // Read the common step counter back from any dump.
@@ -336,26 +360,24 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
   std::vector<telemetry::RankMetrics> rank_metrics;
   rank_metrics.reserve(active_list.size());
   for (int rank : active_list) {
-    std::vector<telemetry::RankMetrics> parsed;
+    // Whole-run view: whatever was harvested from this rank's dead
+    // predecessors, plus the final process's stream.
+    telemetry::RankMetrics total;
+    total.rank = rank;
+    const auto hit = harvested.find(rank);
+    if (hit != harvested.end()) telemetry::merge_metrics(total, hit->second);
     try {
-      parsed =
-          telemetry::read_metrics_jsonl(cohort::metrics_path(workdir, rank));
+      for (telemetry::RankMetrics& rm : telemetry::read_metrics_jsonl(
+               cohort::metrics_path(workdir, rank))) {
+        if (rm.rank != rank) continue;
+        telemetry::merge_metrics(total, rm);
+      }
     } catch (const std::exception&) {
-      // A missing or unreadable stream degrades that rank to zeros; the
-      // simulation result itself is already safely on disk.
+      // A missing or unreadable stream degrades that rank to whatever was
+      // harvested (or zeros); the simulation result itself is already
+      // safely on disk.
     }
-    bool found = false;
-    for (telemetry::RankMetrics& rm : parsed) {
-      if (rm.rank != rank) continue;
-      rank_metrics.push_back(std::move(rm));
-      found = true;
-      break;
-    }
-    if (!found) {
-      telemetry::RankMetrics empty;
-      empty.rank = rank;
-      rank_metrics.push_back(std::move(empty));
-    }
+    rank_metrics.push_back(std::move(total));
   }
   result.rank_stats.reserve(rank_metrics.size());
   for (const telemetry::RankMetrics& rm : rank_metrics) {
@@ -385,14 +407,15 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
       doubles_per_node += static_cast<double>(phase.fields.size());
   model.comm_doubles_per_node = doubles_per_node * ghost;
 
-  const telemetry::RunSummary summary =
+  telemetry::RunSummary summary =
       telemetry::summarize_run(rank_metrics, model, result.restarts);
+  summary.liveness = result.liveness;
   result.summary_path = workdir + "/run_summary.json";
   telemetry::write_run_summary(summary, result.summary_path);
   supervisor.write_metrics_jsonl(workdir + "/supervisor.metrics.jsonl");
   if (trace_on) {
-    std::vector<std::string> traces;
-    traces.reserve(active_list.size());
+    std::vector<std::string> traces = harvested_traces;
+    traces.reserve(traces.size() + active_list.size());
     for (int rank : active_list)
       traces.push_back(cohort::rank_trace_path(workdir, rank));
     telemetry::merge_chrome_traces(traces, workdir + "/trace.json");

@@ -10,8 +10,11 @@
 // The parent is a *supervisor*: it reaps children out of order with
 // waitpid(WNOHANG), commits staggered checkpoint epochs (an epoch MANIFEST
 // is written only once every active rank's dump is durable and CRC-clean),
-// and on an abnormal child exit kills the surviving cohort and respawns it
-// from the newest complete epoch, up to a bounded restart budget.  Comm
+// pumps every child's heartbeat pipe through a hung-rank watchdog, and on
+// a casualty — an abnormal exit, or heartbeat silence past the adaptive
+// deadline (escalated SIGTERM -> grace -> SIGKILL) — restarts *only* the
+// dead rank from the newest complete epoch while the survivors roll back
+// in-process, up to a bounded restart budget (liveness.hpp).  Comm
 // deadlines inside the children turn a dead neighbour into a clean child
 // exit the supervisor can act on — a failed rank can slow a run down, but
 // it can neither hang it nor corrupt its results.
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "src/runtime/domain_traits.hpp"
+#include "src/runtime/liveness.hpp"
 #include "src/runtime/worker_stats.hpp"
 #include "src/solver/params.hpp"
 #include "src/solver/pass.hpp"
@@ -90,6 +94,13 @@ struct ProcessRunOptions {
   /// Hysteresis: rebalance only while max/mean per-rank T_calc exceeds
   /// this (1.15 = 15% skew tolerated before blocks move).
   double rebalance_threshold = 1.15;
+
+  /// Heartbeat watchdog + escalation policy (liveness.hpp): every child
+  /// beacons over an inherited pipe; a rank silent past the adaptive
+  /// deadline is SIGTERMed (graceful telemetry flush), then SIGKILLed
+  /// after a grace window, and restarted *surgically* — survivors roll
+  /// back in-process instead of being killed and re-forked.
+  LivenessOptions liveness;
 };
 
 /// How one rank's process ended, for the supervisor's failure report.
@@ -135,6 +146,16 @@ struct ProcessRunResult {
 
   /// Final block -> rank owner map (empty for a monolithic run).
   std::vector<int> block_owner;
+
+  /// The watchdog's audit trail: every hang/exit detection, escalation
+  /// rung, survivor rollback and surgical restart, in event order (also
+  /// logged into run_summary.json).
+  std::vector<telemetry::LivenessRecord> liveness;
+
+  /// Total child processes forked over the whole run.  processes + the
+  /// number of surgically restarted ranks — survivors are rolled back
+  /// in-process and never re-forked, which this counter proves.
+  int forks = 0;
 };
 
 /// Forks one child per active subregion of the `grid` decomposition of

@@ -262,6 +262,21 @@ std::string run_summary_json(const RunSummary& summary) {
     }
     os << (summary.rebalances.empty() ? "],\n" : "\n  ],\n");
   }
+  if (!summary.liveness.empty()) {
+    os << "  \"liveness\": [";
+    for (std::size_t i = 0; i < summary.liveness.size(); ++i) {
+      const LivenessRecord& lr = summary.liveness[i];
+      if (i) os << ',';
+      std::snprintf(buf, sizeof buf,
+                    "\n    {\"event\":\"%s\",\"rank\":%d,\"generation\":%d,"
+                    "\"step\":%ld,\"silence_s\":%.6f,\"deadline_s\":%.6f,"
+                    "\"epoch\":%ld}",
+                    lr.event.c_str(), lr.rank, lr.generation, lr.step,
+                    lr.silence_s, lr.deadline_s, lr.epoch);
+      os << buf;
+    }
+    os << "\n  ],\n";
+  }
   std::snprintf(buf, sizeof buf,
                 "  \"steps\": %lld,\n  \"restarts\": %lld,\n"
                 "  \"t_calc_mean_s\": %.6f,\n  \"t_com_mean_s\": %.6f,\n"

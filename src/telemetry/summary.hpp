@@ -100,6 +100,22 @@ struct RebalanceRecord {
   double imbalance_after = 0;   ///< predicted max/mean under the new map
 };
 
+/// One liveness event of the supervised runtime's watchdog: a hang
+/// detection, an escalation step, a survivor rollback, or a surgical
+/// restart.  The sequence of records in run_summary.json is the audit
+/// trail of every recovery the run performed.
+struct LivenessRecord {
+  /// "hang_detected" | "exit_detected" | "sigterm" | "sigkill" |
+  /// "rollback" | "restart"
+  std::string event;
+  int rank = -1;
+  int generation = 0;     ///< recovery round the event belongs to
+  long step = -1;         ///< last step the rank was seen to complete
+  double silence_s = 0;   ///< heartbeat silence when detected (detections)
+  double deadline_s = 0;  ///< adaptive deadline in force (detections)
+  long epoch = -1;        ///< epoch restored from (rollback/restart)
+};
+
 /// The whole run: measured means plus the model's predictions.
 struct RunSummary {
   std::vector<RankSummary> ranks;
@@ -107,6 +123,7 @@ struct RunSummary {
   long long restarts = 0;
   long long blocks = 0;  ///< over-decomposition block count (0: monolithic)
   std::vector<RebalanceRecord> rebalances;
+  std::vector<LivenessRecord> liveness;
   double t_calc_mean = 0;  ///< mean over non-idle ranks
   double t_com_mean = 0;
   /// Measured f = (1 + T_com/T_calc)^-1 on the means (eq. 12); 0 when no

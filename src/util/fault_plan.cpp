@@ -106,6 +106,21 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       s.gen = static_cast<int>(take_or(args, "gen", -1));
       if (s.permille < 0) bad_spec(clause, "permille must be non-negative");
       plan.slows_.push_back(s);
+    } else if (kind == "hang") {
+      Hang h;
+      h.rank = static_cast<int>(take(args, clause, "rank"));
+      h.step = take(args, clause, "step");
+      h.gen = static_cast<int>(take_or(args, "gen", 0));
+      const long hard = take_or(args, "hard", 0);
+      if (hard != 0 && hard != 1) bad_spec(clause, "hard must be 0 or 1");
+      h.hard = hard == 1;
+      plan.hangs_.push_back(h);
+    } else if (kind == "mute") {
+      Mute m;
+      m.rank = static_cast<int>(take(args, clause, "rank"));
+      m.step = take(args, clause, "step");
+      m.gen = static_cast<int>(take_or(args, "gen", 0));
+      plan.mutes_.push_back(m);
     } else {
       bad_spec(clause, "unknown fault kind");
     }
@@ -141,6 +156,18 @@ int FaultPlan::slow_permille(int rank, int gen) const {
   for (const Slow& s : slows_)
     if (s.rank == rank && (s.gen == -1 || s.gen == gen)) return s.permille;
   return 0;
+}
+
+std::optional<FaultPlan::Hang> FaultPlan::hang_at(int rank, int gen) const {
+  for (const Hang& h : hangs_)
+    if (h.rank == rank && h.gen == gen) return h;
+  return std::nullopt;
+}
+
+std::optional<long> FaultPlan::mute_step(int rank, int gen) const {
+  for (const Mute& m : mutes_)
+    if (m.rank == rank && m.gen == gen) return m.step;
+  return std::nullopt;
 }
 
 void spin_slow_penalty(double elapsed_s, int permille) {

@@ -23,6 +23,18 @@
 //                                       rank actually does (so moving work
 //                                       off the rank shrinks the penalty,
 //                                       exactly like a real slow host)
+//   hang:rank=R,step=S[,gen=G][,hard=1] rank R stops heartbeating and spins
+//                                       forever when its step counter
+//                                       reaches S — a livelock/deadlock the
+//                                       watchdog must detect; hard=1 also
+//                                       blocks SIGTERM so the supervisor's
+//                                       graceful escalation has to fall
+//                                       through to SIGKILL
+//   mute:rank=R,step=S[,gen=G]          rank R keeps computing normally but
+//                                       stops sending heartbeats at step S —
+//                                       a watchdog false positive the
+//                                       runtime must still recover from
+//                                       bitwise
 //
 // Each fault applies to exactly one supervisor generation (the cohort
 // spawn count, 0 for the first launch; default gen=0), so an injected
@@ -59,6 +71,17 @@ class FaultPlan {
     int permille = 0;  ///< extra busy-spin per unit compute, in 1/1000
     int gen = -1;      ///< -1: every generation
   };
+  struct Hang {
+    int rank = -1;
+    long step = 0;
+    int gen = 0;
+    bool hard = false;  ///< block SIGTERM, forcing the SIGKILL path
+  };
+  struct Mute {
+    int rank = -1;
+    long step = 0;
+    int gen = 0;
+  };
 
   FaultPlan() = default;
 
@@ -71,7 +94,7 @@ class FaultPlan {
 
   bool empty() const {
     return kills_.empty() && torn_dumps_.empty() && delays_.empty() &&
-           slows_.empty();
+           slows_.empty() && hangs_.empty() && mutes_.empty();
   }
 
   /// The step at which `rank` must kill itself in generation `gen`, if any.
@@ -87,16 +110,29 @@ class FaultPlan {
   /// compute phase's elapsed time (0 = full speed).
   int slow_permille(int rank, int gen) const;
 
+  /// The hang fault for `rank` in generation `gen`, if any: at the
+  /// returned step the rank must stop heartbeating and spin forever
+  /// (blocking SIGTERM first when `hard`).
+  std::optional<Hang> hang_at(int rank, int gen) const;
+
+  /// The step at which `rank` must go heartbeat-silent (but keep
+  /// computing) in generation `gen`, if any.
+  std::optional<long> mute_step(int rank, int gen) const;
+
   const std::vector<Kill>& kills() const { return kills_; }
   const std::vector<TornDump>& torn_dumps() const { return torn_dumps_; }
   const std::vector<DelayConnect>& delays() const { return delays_; }
   const std::vector<Slow>& slows() const { return slows_; }
+  const std::vector<Hang>& hangs() const { return hangs_; }
+  const std::vector<Mute>& mutes() const { return mutes_; }
 
  private:
   std::vector<Kill> kills_;
   std::vector<TornDump> torn_dumps_;
   std::vector<DelayConnect> delays_;
   std::vector<Slow> slows_;
+  std::vector<Hang> hangs_;
+  std::vector<Mute> mutes_;
 };
 
 /// Busy-spins (never sleeps — a slow CPU stays busy, it does not yield)

@@ -1,8 +1,11 @@
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 #include "src/comm/tcp_transport.hpp"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <thread>
@@ -103,6 +106,51 @@ TEST(TcpTransport, RefusesStaleRegistryFile) {
   { std::ofstream(path) << "0 1234\n"; }
   EXPECT_THROW(TcpTransport(1, path), contract_error);
   std::remove(path.c_str());
+}
+
+TEST(TcpTransport, CappedConnectRetriesSurfaceAsPeerLostNamingThePeer) {
+  // Point rank 0's outgoing channel at a port nobody listens on: the
+  // capped exponential-backoff retry must give up with a peer_lost_error
+  // naming both ranks and the attempt count instead of retrying forever
+  // (a dead peer can slow a rank down, but never hang it in connect).
+  const std::string path = temp_registry("cap");
+  TcpTransport t(2, path);
+
+  // A freshly bound-then-closed listener leaves a loopback port that
+  // refuses connections.
+  int dead_port = 0;
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    socklen_t len = sizeof addr;
+    ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    dead_port = ntohs(addr.sin_port);
+    ::close(fd);
+  }
+  { std::ofstream(path) << "0 " << t.listen_port(0) << "\n1 " << dead_port
+                        << "\n"; }
+
+  // The failure lands on rank 0's sender thread and is rethrown by the
+  // next send from that rank.
+  std::string message;
+  t.send(0, 1, 0, {1.0});
+  for (int i = 0; i < 200 && message.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    try {
+      t.send(0, 1, 0, {1.0});
+    } catch (const peer_lost_error& e) {
+      message = e.what();
+    }
+  }
+  ASSERT_FALSE(message.empty()) << "connect retried past the cap";
+  EXPECT_NE(message.find("rank 0"), std::string::npos) << message;
+  EXPECT_NE(message.find("rank 1"), std::string::npos) << message;
+  EXPECT_NE(message.find("12 attempts"), std::string::npos) << message;
+  EXPECT_NE(message.find("retry cap"), std::string::npos) << message;
 }
 
 }  // namespace

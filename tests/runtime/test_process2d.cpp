@@ -258,6 +258,206 @@ TEST(ProcessSupervisor, SlowConnectingRankIsToleratedWithoutRestart) {
                         workdir);
 }
 
+/// Count of liveness audit records with a given event and (when >= 0) rank.
+int count_events(const ProcessRunResult& r, const char* event,
+                 int rank = -1) {
+  int n = 0;
+  for (const telemetry::LivenessRecord& rec : r.liveness)
+    if (rec.event == event && (rank < 0 || rec.rank == rank)) ++n;
+  return n;
+}
+
+/// The audit trail, one event per line, for assertion messages.
+std::string events_string(const ProcessRunResult& r) {
+  std::ostringstream out;
+  for (const telemetry::LivenessRecord& rec : r.liveness)
+    out << rec.event << " rank=" << rec.rank << " gen=" << rec.generation
+        << " step=" << rec.step << " epoch=" << rec.epoch << "\n";
+  return out.str();
+}
+
+TEST(ProcessLiveness, HungRankIsDetectedAndSurgicallyRestartedBitwise) {
+  // rank 1 livelocks (stops beaconing, spins) at step 7.  The watchdog
+  // must notice within the adaptive deadline, put the rank down with a
+  // graceful SIGTERM, restart *only* that rank from the newest committed
+  // epoch while the three survivors roll back in-process — and the result
+  // must be bit-identical to a run that never hung.
+  ::unsetenv("SUBSONIC_FAULTS");
+  ::unsetenv("SUBSONIC_HEARTBEAT_MS");
+  const Mask2D mask = closed_box(36, 24, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("hang");
+  ProcessRunOptions options;
+  options.checkpoint_interval = 4;
+  options.faults = "hang:rank=1,step=7";
+  options.liveness.heartbeat_floor_ms = 400;
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 2, 12, workdir, options);
+  EXPECT_EQ(r.restarts, 1) << events_string(r);
+  EXPECT_EQ(r.final_step, 12);
+  EXPECT_GE(r.committed_epoch, 0);
+
+  // Surgical: 4 initial forks + exactly one respawn; survivors were
+  // rolled back in-process, never re-forked.
+  EXPECT_EQ(r.processes, 4);
+  EXPECT_EQ(r.forks, 5);
+
+  // The audit trail tells the whole story.
+  EXPECT_EQ(count_events(r, "hang_detected", 1), 1);
+  EXPECT_EQ(count_events(r, "sigterm", 1), 1);
+  EXPECT_EQ(count_events(r, "sigkill"), 0);  // the soft hang took SIGTERM
+  EXPECT_EQ(count_events(r, "restart", 1), 1);
+  EXPECT_EQ(count_events(r, "rollback"), 3);  // every survivor, once
+  for (const telemetry::LivenessRecord& rec : r.liveness)
+    if (rec.event == "hang_detected") {
+      EXPECT_GT(rec.silence_s, 0.0);
+      EXPECT_GE(rec.silence_s, rec.deadline_s);
+      EXPECT_GE(rec.deadline_s, 0.4);  // the configured floor
+    }
+
+  // ...and it is in run_summary.json for offline forensics.
+  std::ifstream in(r.summary_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("\"liveness\""), std::string::npos);
+  EXPECT_NE(text.str().find("\"hang_detected\""), std::string::npos);
+
+  expect_matches_serial(mask, p, Method::kLatticeBoltzmann, 2, 2, 12,
+                        workdir);
+}
+
+TEST(ProcessLiveness, MutedRankIsFlaggedAndRecoveryIsBitwise) {
+  // rank 2 stops heartbeating at step 2 but keeps computing; rank 0
+  // livelocks at step 6, wedging the whole cohort so the mute cannot
+  // outrun the watchdog.  Both silent ranks must be flagged, while rank 1
+  // — alive and beaconing from inside its blocked exchange — survives and
+  // rolls back in-process.
+  ::unsetenv("SUBSONIC_FAULTS");
+  ::unsetenv("SUBSONIC_HEARTBEAT_MS");
+  const Mask2D mask = closed_box(36, 24, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("mute");
+  ProcessRunOptions options;
+  options.checkpoint_interval = 4;
+  options.faults = "hang:rank=0,step=6;mute:rank=2,step=2";
+  options.liveness.heartbeat_floor_ms = 400;
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 3, 1, 12, workdir, options);
+  EXPECT_EQ(r.restarts, 1) << events_string(r);  // one recovery for both
+  EXPECT_EQ(r.final_step, 12);
+  EXPECT_EQ(r.processes, 3);
+  EXPECT_EQ(r.forks, 5);  // 3 spawns + 2 respawns; rank 1 never re-forked
+  EXPECT_EQ(count_events(r, "hang_detected", 0), 1);
+  EXPECT_EQ(count_events(r, "hang_detected", 2), 1);  // the mute, flagged
+  EXPECT_EQ(count_events(r, "restart", 0), 1);
+  EXPECT_EQ(count_events(r, "restart", 2), 1);
+  EXPECT_EQ(count_events(r, "rollback", 1), 1);
+  expect_matches_serial(mask, p, Method::kLatticeBoltzmann, 3, 1, 12,
+                        workdir);
+}
+
+TEST(ProcessLiveness, HardHangEscalatesToSigkillAndStillRecovers) {
+  // hard=1 blocks SIGTERM before spinning, so the graceful rung cannot
+  // land and the ladder must fall through to SIGKILL after the grace
+  // window — and the run must still finish bitwise.
+  ::unsetenv("SUBSONIC_FAULTS");
+  ::unsetenv("SUBSONIC_HEARTBEAT_MS");
+  const Mask2D mask = closed_box(24, 18, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("hardhang");
+  ProcessRunOptions options;
+  options.checkpoint_interval = 3;
+  options.faults = "hang:rank=1,step=5,hard=1";
+  options.liveness.heartbeat_floor_ms = 400;
+  options.liveness.grace_ms = 300;
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 1, 10, workdir, options);
+  EXPECT_EQ(r.restarts, 1) << events_string(r);
+  EXPECT_EQ(r.forks, 3);
+  EXPECT_EQ(count_events(r, "hang_detected", 1), 1);
+  EXPECT_EQ(count_events(r, "sigterm", 1), 1);
+  EXPECT_EQ(count_events(r, "sigkill", 1), 1);  // grace expired
+  expect_matches_serial(mask, p, Method::kLatticeBoltzmann, 2, 1, 10,
+                        workdir);
+}
+
+TEST(ProcessLiveness, HangWithZeroBudgetFailsNamingTheHungRank) {
+  // No restart budget: the detection must still escalate and reap, then
+  // fail the run with "hung" in the per-rank report — never hang the
+  // supervisor alongside the child.
+  ::unsetenv("SUBSONIC_FAULTS");
+  ::unsetenv("SUBSONIC_HEARTBEAT_MS");
+  const Mask2D mask = closed_box(24, 18, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("hangbudget0");
+  ProcessRunOptions options;
+  options.max_restarts = 0;
+  options.faults = "hang:rank=1,step=3";
+  options.liveness.heartbeat_floor_ms = 300;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    run_multiprocess2d(mask, p, Method::kLatticeBoltzmann, 2, 1, 50,
+                       workdir, options);
+    FAIL() << "supervisor returned despite a hung rank and zero budget";
+  } catch (const ProcessRunError& e) {
+    bool saw_rank1 = false;
+    for (const RankFailure& f : e.failures)
+      if (f.rank == 1) {
+        saw_rank1 = true;
+        EXPECT_NE(f.detail.find("hung"), std::string::npos) << f.detail;
+      }
+    EXPECT_TRUE(saw_rank1) << e.what();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            10000);
+  // Every per-round port registry was cleaned up and every child reaped.
+  std::ifstream registry(workdir + "/ports.g0");
+  EXPECT_FALSE(registry.good());
+  errno = 0;
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(ProcessLiveness, PutDownRankKeepsItsPreHangTelemetry) {
+  // The SIGTERM handler flushes the victim's metrics stream, and the
+  // supervisor harvests it before the respawn truncates the file: the
+  // hung rank's final accounting must include the steps it took *before*
+  // the hang, not just the replay.
+  ::unsetenv("SUBSONIC_FAULTS");
+  ::unsetenv("SUBSONIC_HEARTBEAT_MS");
+  const Mask2D mask = closed_box(24, 18, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("harvest");
+  ProcessRunOptions options;
+  options.checkpoint_interval = 4;
+  options.faults = "hang:rank=1,step=7";
+  options.liveness.heartbeat_floor_ms = 400;
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 1, 12, workdir, options);
+  EXPECT_EQ(r.restarts, 1) << events_string(r);
+  // rank 1 ran 7 steps, hung, was put down, then replayed steps 5..12
+  // from epoch 0 (step 4).  Harvest + final stream = 7 + 8 = 15 counted
+  // steps; losing the harvest would leave only the replay's 8.
+  ASSERT_EQ(r.rank_stats.size(), 2u);
+  EXPECT_GT(r.rank_stats[1].compute_s, 0.0);
+  std::ifstream in(r.summary_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("{\"rank\":1,\"steps\":15,"), std::string::npos)
+      << text.str();
+  expect_matches_serial(mask, p, Method::kLatticeBoltzmann, 2, 1, 12,
+                        workdir);
+}
+
 TEST(ProcessRuntime, TelemetrySummaryStatsAndTrace) {
   // Exact per-rank accounting (4 ranks, 12 steps each) is what a
   // CI-injected fault legitimately changes; pin the run fault-free.

@@ -186,6 +186,36 @@ TEST(Process3DSupervisor, ExhaustedBudgetFailsFastWithReapedChildren) {
   EXPECT_EQ(errno, ECHILD);
 }
 
+TEST(Process3DSupervisor, HungRankIsSurgicallyRestartedBitwise) {
+  // The liveness layer is dimension-generic: a 3D rank that livelocks is
+  // detected by heartbeat silence, put down, and surgically restarted
+  // while its neighbour rolls back in-process — bitwise vs serial.
+  ::unsetenv("SUBSONIC_FAULTS");
+  ::unsetenv("SUBSONIC_HEARTBEAT_MS");
+  const Mask3D mask = closed_box3d(16, 12, 10, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("hang");
+  ProcessRunOptions options;
+  options.checkpoint_interval = 3;
+  options.faults = "hang:rank=1,step=5";
+  options.liveness.heartbeat_floor_ms = 400;
+  const ProcessRunResult r = run_multiprocess3d(
+      mask, p, Method::kLatticeBoltzmann, 2, 1, 1, 10, workdir, options);
+  EXPECT_EQ(r.restarts, 1);
+  EXPECT_EQ(r.final_step, 10);
+  EXPECT_EQ(r.forks, 3);  // 2 spawns + 1 surgical respawn
+  bool saw_hang = false, saw_restart = false;
+  for (const telemetry::LivenessRecord& rec : r.liveness) {
+    if (rec.event == "hang_detected" && rec.rank == 1) saw_hang = true;
+    if (rec.event == "restart" && rec.rank == 1) saw_restart = true;
+  }
+  EXPECT_TRUE(saw_hang);
+  EXPECT_TRUE(saw_restart);
+  expect_matches_serial3d(mask, p, Method::kLatticeBoltzmann, 2, 1, 1, 10,
+                          workdir);
+}
+
 TEST(Process3DSupervisor, StaleTwoDArtifactsCannotPoisonAThreeDRun) {
   // A 2D run and a 3D run sharing a workdir collide on every artifact
   // name (rank_0.dump is rank 0 in both).  Start-of-run hygiene must

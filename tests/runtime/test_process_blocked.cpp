@@ -167,6 +167,41 @@ TEST(BlockedProcessRuntime, SlowRankTriggersRebalanceAndStaysBitwise) {
                                 workdir);
 }
 
+TEST(BlockedProcessRuntime, HungRankRecoversSurgicallyAndStaysBitwise) {
+  // The liveness layer runs per segment in the blocked runtime too: a
+  // rank that livelocks mid-segment is put down and surgically restarted
+  // from the newest committed per-block epoch, the survivors roll back
+  // in-process, and the gathered fields stay bitwise.
+  ::unsetenv("SUBSONIC_FAULTS");
+  ::unsetenv("SUBSONIC_HEARTBEAT_MS");
+  const Mask2D mask = closed_box(32, 24, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("hang");
+  ProcessRunOptions options;
+  options.block_side = 8;
+  options.checkpoint_interval = 4;
+  options.faults = "hang:rank=1,step=7";
+  options.liveness.heartbeat_floor_ms = 400;
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 2, 12, workdir, options);
+  EXPECT_EQ(r.final_step, 12);
+  EXPECT_EQ(r.restarts, 1);
+  EXPECT_EQ(r.forks, 5);  // 4 spawns + 1 surgical respawn
+  bool saw_hang = false, saw_restart = false;
+  int rollbacks = 0;
+  for (const telemetry::LivenessRecord& rec : r.liveness) {
+    if (rec.event == "hang_detected" && rec.rank == 1) saw_hang = true;
+    if (rec.event == "restart" && rec.rank == 1) saw_restart = true;
+    if (rec.event == "rollback") ++rollbacks;
+  }
+  EXPECT_TRUE(saw_hang);
+  EXPECT_TRUE(saw_restart);
+  EXPECT_EQ(rollbacks, 3);  // every survivor, exactly once
+  expect_blocked_matches_serial(mask, p, Method::kLatticeBoltzmann, 8, 12,
+                                workdir);
+}
+
 TEST(BlockedProcessRuntime, KillAfterRebalanceRestoresFromCommittedEpoch) {
   // A rank dies in the third segment, after the slow fault has already
   // forced at least one rebalance.  The supervisor must respawn from the

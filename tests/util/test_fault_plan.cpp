@@ -108,6 +108,44 @@ TEST(FaultPlan, SpinSlowPenaltyBusyWaitsProportionally) {
   EXPECT_GE(elapsed, 0.009);
 }
 
+TEST(FaultPlan, HangFaultParsesWithOptionalHardness) {
+  const FaultPlan plan =
+      FaultPlan::parse("hang:rank=1,step=7;hang:rank=2,step=3,gen=1,hard=1");
+  ASSERT_EQ(plan.hangs().size(), 2u);
+  EXPECT_FALSE(plan.empty());
+
+  ASSERT_TRUE(plan.hang_at(1, 0).has_value());
+  EXPECT_EQ(plan.hang_at(1, 0)->step, 7);
+  EXPECT_FALSE(plan.hang_at(1, 0)->hard);
+  EXPECT_FALSE(plan.hang_at(1, 1).has_value());  // wrong generation
+  EXPECT_FALSE(plan.hang_at(0, 0).has_value());  // wrong rank
+
+  ASSERT_TRUE(plan.hang_at(2, 1).has_value());
+  EXPECT_EQ(plan.hang_at(2, 1)->step, 3);
+  EXPECT_TRUE(plan.hang_at(2, 1)->hard);
+
+  // hard=0 is the explicit soft form; anything else is a grammar error.
+  EXPECT_FALSE(FaultPlan::parse("hang:rank=0,step=1,hard=0")
+                   .hang_at(0, 0)
+                   ->hard);
+  EXPECT_THROW(FaultPlan::parse("hang:rank=0,step=1,hard=2"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("hang:rank=0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("hang:step=1"), std::invalid_argument);
+}
+
+TEST(FaultPlan, MuteFaultParsesAndScopesByGeneration) {
+  const FaultPlan plan = FaultPlan::parse("mute:rank=0,step=5,gen=1");
+  ASSERT_EQ(plan.mutes().size(), 1u);
+  EXPECT_FALSE(plan.mute_step(0, 0).has_value());
+  ASSERT_TRUE(plan.mute_step(0, 1).has_value());
+  EXPECT_EQ(*plan.mute_step(0, 1), 5);
+  EXPECT_FALSE(plan.mute_step(1, 1).has_value());
+  EXPECT_THROW(FaultPlan::parse("mute:rank=0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("mute:rank=0,step=1,hard=1"),
+               std::invalid_argument);
+}
+
 TEST(FaultPlan, FromEnvReadsSubsonicFaults) {
   ::setenv("SUBSONIC_FAULTS", "kill:rank=4,step=11", 1);
   const FaultPlan plan = FaultPlan::from_env();
