@@ -14,7 +14,11 @@
 // Each case reports min-of-5 trial timing: five back-to-back trials of
 // `reps` calls each, keeping the fastest trial.  The minimum is the
 // right statistic for throughput on shared machines — slow trials
-// measure the neighbours, not the kernel.
+// measure the neighbours, not the kernel.  Every individual call across
+// all trials is additionally recorded into a telemetry::Histogram, and
+// the row reports per-call p50/p95/p99 next to the min — the robust
+// percentile the perf model's node_rate can prefer over min-of-5 when
+// the machine is noisy.
 //
 // Alongside MLUPS each row derives an effective bandwidth from a
 // per-kernel streaming-traffic model (bytes_per_update: the distinct
@@ -47,6 +51,8 @@
 #include "src/solver/filter.hpp"
 #include "src/solver/lbm2d.hpp"
 #include "src/solver/simd.hpp"
+#include "src/telemetry/metrics.hpp"
+#include "src/telemetry/summary.hpp"
 #include "src/util/provenance.hpp"
 
 namespace {
@@ -78,6 +84,10 @@ struct Result {
   double mlups = 0;
   int bytes_per_update = 0;
   double gbps = 0;
+  // Per-call latency percentiles over every call of every trial.
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
 };
 
 Result run_case(const KernelCase& k, int side, int threads) {
@@ -101,11 +111,17 @@ Result run_case(const KernelCase& k, int side, int threads) {
   if (k.simd >= 0) set_simd(static_cast<SimdLevel>(k.simd));
   for (int i = 0; i < 2; ++i) k.call(d);  // warm-up: first-touch, pool wake
   double best = 0;
+  telemetry::Histogram per_call;
   for (int t = 0; t < kTrials; ++t) {
     const auto t0 = std::chrono::steady_clock::now();
-    for (int i = 0; i < reps; ++i) k.call(d);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    auto prev = t0;
+    for (int i = 0; i < reps; ++i) {
+      k.call(d);
+      const auto now = std::chrono::steady_clock::now();
+      per_call.record(std::chrono::duration<double>(now - prev).count());
+      prev = now;
+    }
+    const double secs = std::chrono::duration<double>(prev - t0).count();
     if (t == 0 || secs < best) best = secs;
   }
   if (k.simd >= 0) reset_simd();
@@ -119,6 +135,10 @@ Result run_case(const KernelCase& k, int side, int threads) {
   r.mlups = updates_per_call * reps / best / 1e6;
   r.bytes_per_update = k.bytes_per_update;
   r.gbps = r.mlups * 1e6 * k.bytes_per_update / 1e9;
+  const telemetry::Percentiles pct = telemetry::percentiles_of(per_call.data());
+  r.p50_ms = pct.p50_s * 1e3;
+  r.p95_ms = pct.p95_s * 1e3;
+  r.p99_ms = pct.p99_s * 1e3;
   return r;
 }
 
@@ -166,8 +186,9 @@ int main(int argc, char** argv) {
   std::printf("host: %s, %d hardware threads\n", prov.cpu_model.c_str(),
               prov.hardware_threads);
   std::printf("timing: best of %d trials per case\n\n", kTrials);
-  std::printf("%-25s %-7s %-8s %-12s %-9s %-8s %s\n", "kernel", "side",
-              "threads", "ms/call", "MLUPS", "B/upd", "GB/s");
+  std::printf("%-25s %-7s %-8s %-12s %-9s %-8s %-8s %-9s %-9s %s\n",
+              "kernel", "side", "threads", "ms/call", "MLUPS", "B/upd",
+              "GB/s", "p50_ms", "p95_ms", "p99_ms");
 
   std::vector<Result> results;
   for (const KernelCase& k : kernels) {
@@ -177,9 +198,11 @@ int main(int argc, char** argv) {
     for (int side : sides)
       for (int threads : thread_counts) {
         const Result r = run_case(k, side, threads);
-        std::printf("%-25s %-7d %-8d %-12.4f %-9.2f %-8d %.2f\n",
-                    r.kernel.c_str(), r.side, r.threads, r.ms_per_call,
-                    r.mlups, r.bytes_per_update, r.gbps);
+        std::printf(
+            "%-25s %-7d %-8d %-12.4f %-9.2f %-8d %-8.2f %-9.4f %-9.4f "
+            "%.4f\n",
+            r.kernel.c_str(), r.side, r.threads, r.ms_per_call, r.mlups,
+            r.bytes_per_update, r.gbps, r.p50_ms, r.p95_ms, r.p99_ms);
         results.push_back(r);
       }
   }
@@ -194,7 +217,9 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "  \"timing\": \"per case: 2 warm-up calls, then best of "
                "%d trials of reps calls; bytes_per_update is the no-RFO "
-               "streaming-traffic model, gbps = mlups * bytes\",\n",
+               "streaming-traffic model, gbps = mlups * bytes; p50/p95/p99 "
+               "are per-call latency over all trials from a 40-bucket log "
+               "histogram\",\n",
                kTrials);
   std::fprintf(f, "  \"cases\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
@@ -202,10 +227,12 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "    {\"kernel\": \"%s\", \"side\": %d, \"threads\": %d, "
                  "\"reps\": %d, \"ms_per_call\": %.4f, \"mlups\": %.2f, "
-                 "\"bytes_per_update\": %d, \"gbps\": %.2f}%s\n",
+                 "\"bytes_per_update\": %d, \"gbps\": %.2f,\n"
+                 "     \"p50_ms\": %.4f, \"p95_ms\": %.4f, "
+                 "\"p99_ms\": %.4f}%s\n",
                  r.kernel.c_str(), r.side, r.threads, r.reps, r.ms_per_call,
-                 r.mlups, r.bytes_per_update, r.gbps,
-                 i + 1 < results.size() ? "," : "");
+                 r.mlups, r.bytes_per_update, r.gbps, r.p50_ms, r.p95_ms,
+                 r.p99_ms, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

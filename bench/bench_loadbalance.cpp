@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "src/core/subsonic.hpp"
+#include "src/telemetry/metrics.hpp"
+#include "src/telemetry/summary.hpp"
 #include "src/util/provenance.hpp"
 
 namespace {
@@ -48,7 +50,29 @@ struct Result {
   int rebalances = 0;
   int moved_blocks = 0;
   int rank0_blocks_final = 0;
+  // Per-step wall-time percentiles, folded over every rank's step.wall
+  // histogram (ProcessRunResult::rank_metrics).  The tail is the
+  // interesting part: a slow host shows up as p95/p99 divergence long
+  // before it moves the mean.
+  double step_p50_s = 0;
+  double step_p95_s = 0;
+  double step_p99_s = 0;
 };
+
+// Fold every rank's "step.wall" histogram from the run's accumulated
+// telemetry into one snapshot and return its percentiles.
+telemetry::Percentiles step_wall_percentiles(const ProcessRunResult& r) {
+  telemetry::HistogramData agg;
+  for (const telemetry::RankMetrics& rm : r.rank_metrics) {
+    const auto it = rm.histograms.find("step.wall");
+    if (it == rm.histograms.end()) continue;
+    for (std::size_t i = 0; i < agg.buckets.size(); ++i)
+      agg.buckets[i] += it->second.buckets[i];
+    agg.count += it->second.count;
+    agg.sum_s += it->second.sum_s;
+  }
+  return telemetry::percentiles_of(agg);
+}
 
 Mask2D closed_box(int nx, int ny) {
   Mask2D mask(Extents2{nx, ny}, 1);
@@ -100,6 +124,10 @@ Result run_arm(const Arm& arm, const Mask2D& mask, long fluid_cells,
     res.moved_blocks += rr.moved_blocks;
   for (int owner : r.block_owner)
     if (owner == 0) ++res.rank0_blocks_final;
+  const telemetry::Percentiles pct = step_wall_percentiles(r);
+  res.step_p50_s = pct.p50_s;
+  res.step_p95_s = pct.p95_s;
+  res.step_p99_s = pct.p99_s;
   return res;
 }
 
@@ -121,16 +149,18 @@ int main(int argc, char** argv) {
   std::printf("Load-balance benchmark: %dx%d grid (%ld fluid cells), "
               "2x2 ranks, 16x16 blocks, %d steps\n\n",
               side, side, fluid_cells, steps);
-  std::printf("%-16s %-14s %-12s %-14s %-6s %-6s %s\n", "arm",
-              "max_Tcalc_s", "imbalance", "cells/s", "rebal", "moved",
-              "rank0_blocks");
+  std::printf("%-16s %-14s %-12s %-14s %-6s %-6s %-13s %-10s %-10s %s\n",
+              "arm", "max_Tcalc_s", "imbalance", "cells/s", "rebal",
+              "moved", "rank0_blocks", "p50_ms", "p95_ms", "p99_ms");
 
   std::vector<Result> results;
   for (const Arm& arm : arms) {
     const Result r = run_arm(arm, mask, fluid_cells, steps);
-    std::printf("%-16s %-14.4f %-12.3f %-14.0f %-6d %-6d %d\n",
+    std::printf("%-16s %-14.4f %-12.3f %-14.0f %-6d %-6d %-13d %-10.3f "
+                "%-10.3f %.3f\n",
                 r.name.c_str(), r.max_t_calc_s, r.imbalance, r.throughput,
-                r.rebalances, r.moved_blocks, r.rank0_blocks_final);
+                r.rebalances, r.moved_blocks, r.rank0_blocks_final,
+                r.step_p50_s * 1e3, r.step_p95_s * 1e3, r.step_p99_s * 1e3);
     results.push_back(r);
   }
 
@@ -168,10 +198,14 @@ int main(int argc, char** argv) {
                  "\"mean_t_calc_s\": %.5f, \"imbalance\": %.4f,\n"
                  "     \"throughput_cells_per_s\": %.0f, "
                  "\"rebalances\": %d, \"moved_blocks\": %d, "
-                 "\"rank0_blocks_final\": %d}%s\n",
+                 "\"rank0_blocks_final\": %d,\n"
+                 "     \"step_wall_p50_s\": %.6f, "
+                 "\"step_wall_p95_s\": %.6f, "
+                 "\"step_wall_p99_s\": %.6f}%s\n",
                  r.name.c_str(), r.max_t_calc_s, r.mean_t_calc_s,
                  r.imbalance, r.throughput, r.rebalances, r.moved_blocks,
-                 r.rank0_blocks_final, i + 1 < results.size() ? "," : "");
+                 r.rank0_blocks_final, r.step_p50_s, r.step_p95_s,
+                 r.step_p99_s, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f,
                "  ],\n  \"slowdown_factor\": %.4f,\n"

@@ -1,0 +1,205 @@
+// subsonic_top: a terminal dashboard for a live supervised run.
+//
+// Attaches to the supervisor's status endpoint (ProcessRunOptions::
+// status_port / SUBSONIC_STATUS_PORT) and refreshes a per-rank table:
+// step, MLUPS, T_calc / T_com, utilization, step-wall and exchange
+// percentiles, and the last liveness event per rank — the cluster
+// operator's view the paper could only get from printf.
+//
+//   subsonic_top --workdir DIR [--interval MS] [--once]
+//   subsonic_top --port P [--interval MS] [--once]
+//
+// With --workdir the port is read from DIR/status.port (written by the
+// supervisor while the run is in flight).  --once prints a single
+// snapshot and exits (0 on success, 1 when the endpoint is unreachable),
+// which is what scripts and CI want.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+/// One GET over a throwaway loopback connection; empty string = failure.
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = ::write(fd, req.data() + off, req.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t hdr_end = resp.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) return "";
+  if (resp.compare(0, 12, "HTTP/1.1 200") != 0) return "";
+  return resp.substr(hdr_end + 4);
+}
+
+/// Minimal field scanners for the /status document (flat keys, no
+/// nesting inside the scanned object slice).
+double num_field(const std::string& obj, const std::string& key,
+                 double fallback = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = obj.find(needle);
+  if (pos == std::string::npos) return fallback;
+  return std::strtod(obj.c_str() + pos + needle.size(), nullptr);
+}
+
+std::string str_field(const std::string& obj, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const size_t pos = obj.find(needle);
+  if (pos == std::string::npos) return "";
+  const size_t start = pos + needle.size();
+  const size_t end = obj.find('"', start);
+  return end == std::string::npos ? "" : obj.substr(start, end - start);
+}
+
+/// Slice the objects of a top-level array field out of the document.
+std::vector<std::string> array_objects(const std::string& doc,
+                                       const std::string& key) {
+  std::vector<std::string> out;
+  const std::string needle = "\"" + key + "\": [";
+  size_t pos = doc.find(needle);
+  if (pos == std::string::npos) return out;
+  pos += needle.size();
+  const size_t end = doc.find(']', pos);
+  while (pos < end) {
+    const size_t open = doc.find('{', pos);
+    if (open == std::string::npos || open > end) break;
+    const size_t close = doc.find('}', open);
+    if (close == std::string::npos) break;
+    out.push_back(doc.substr(open, close - open + 1));
+    pos = close + 1;
+  }
+  return out;
+}
+
+int read_port_file(const std::string& workdir) {
+  std::ifstream in(workdir + "/status.port");
+  int port = 0;
+  in >> port;
+  return in ? port : 0;
+}
+
+void render(const std::string& doc) {
+  std::printf("%-5s %-8s %4s %8s %8s %9s %9s %6s %9s %9s %9s %s\n", "RANK",
+              "STATE", "GEN", "STEP", "MLUPS", "T_CALC_S", "T_COM_S", "UTIL",
+              "P50_MS", "P95_MS", "P99_MS", "LAST_EVENT");
+  for (const std::string& r : array_objects(doc, "ranks")) {
+    const double cells = num_field(r, "fluid_cells");
+    const double steps = num_field(r, "steps_done");
+    const double t_calc = num_field(r, "t_calc_s");
+    const double mlups =
+        t_calc > 0 ? cells * steps / t_calc / 1.0e6 : 0;
+    std::printf("%-5.0f %-8s %4.0f %8.0f %8.2f %9.3f %9.3f %5.1f%% %9.3f "
+                "%9.3f %9.3f %s\n",
+                num_field(r, "rank"), str_field(r, "state").c_str(),
+                num_field(r, "generation"), num_field(r, "step"), mlups,
+                t_calc, num_field(r, "t_com_s"),
+                100.0 * num_field(r, "utilization"),
+                1e3 * num_field(r, "step_wall_p50_s"),
+                1e3 * num_field(r, "step_wall_p95_s"),
+                1e3 * num_field(r, "step_wall_p99_s"),
+                str_field(r, "last_event").c_str());
+  }
+  const std::vector<std::string> events = array_objects(doc, "liveness");
+  const size_t show = events.size() > 5 ? 5 : events.size();
+  if (show > 0) std::printf("recent liveness events:\n");
+  for (size_t i = events.size() - show; i < events.size(); ++i)
+    std::printf("  step %-6.0f rank %-3.0f gen %-3.0f %s\n",
+                num_field(events[i], "step"), num_field(events[i], "rank"),
+                num_field(events[i], "generation"),
+                str_field(events[i], "event").c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workdir;
+  int port = 0;
+  int interval_ms = 1000;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--workdir" && i + 1 < argc) {
+      workdir = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--interval" && i + 1 < argc) {
+      interval_ms = std::atoi(argv[++i]);
+    } else if (arg == "--once") {
+      once = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: subsonic_top (--workdir DIR | --port P) "
+                   "[--interval MS] [--once]\n");
+      return 2;
+    }
+  }
+  if (port <= 0 && workdir.empty()) {
+    std::fprintf(stderr, "subsonic_top: need --port or --workdir\n");
+    return 2;
+  }
+
+  for (;;) {
+    int p = port > 0 ? port : read_port_file(workdir);
+    std::string doc = p > 0 ? http_get(p, "/status") : "";
+    if (once) {
+      if (doc.empty()) {
+        std::fprintf(stderr, "subsonic_top: no status endpoint%s\n",
+                     workdir.empty()
+                         ? ""
+                         : (" (" + workdir + "/status.port)").c_str());
+        return 1;
+      }
+      render(doc);
+      return 0;
+    }
+    std::printf("\033[2J\033[H");  // clear + home
+    if (doc.empty()) {
+      std::printf("subsonic_top: waiting for a status endpoint%s...\n",
+                  workdir.empty() ? "" : (" in " + workdir).c_str());
+    } else {
+      std::printf("subsonic_top  target_step=%.0f  processes=%.0f  "
+                  "blocks=%.0f  done=%s\n\n",
+                  num_field(doc, "target_step"), num_field(doc, "processes"),
+                  num_field(doc, "blocks"),
+                  doc.find("\"done\": true") != std::string::npos ? "yes"
+                                                                  : "no");
+      render(doc);
+    }
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}

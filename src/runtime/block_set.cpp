@@ -119,6 +119,7 @@ void BlockSet<Dim>::step_once(Scheduling sched, const SendFn& send,
     Traits::run_compute(*b.domain, kind, pass);
     if (slow_permille > 0)
       spin_slow_penalty(seconds_since(t0), slow_permille);
+    tel_->metrics().histogram(rank_, "compute.block").record(span.stop());
   };
 
   for (size_t i = 0; i < schedule_.size(); ++i) {
@@ -157,6 +158,7 @@ void BlockSet<Dim>::step_once(Scheduling sched, const SendFn& send,
         post_sends(b, phase.fields, step, static_cast<int>(i), send);
       for (LocalBlock& b : locals_)
         complete_recvs(b, phase.fields, step, static_cast<int>(i), recv);
+      tel_->metrics().histogram(rank_, "comm.exchange").record(span.stop());
     }
   }
   for (LocalBlock& b : locals_) b.domain->set_step(step + 1);

@@ -22,13 +22,16 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <thread>
 
+#include "src/comm/http_status.hpp"
 #include "src/io/checkpoint.hpp"
 #include "src/runtime/cohort.hpp"
 #include "src/runtime/epoch_store.hpp"
 #include "src/runtime/rebalancer.hpp"
+#include "src/runtime/status_board.hpp"
 #include "src/runtime/supervisor.hpp"
 #include "src/runtime/supervisor_util.hpp"
 #include "src/telemetry/summary.hpp"
@@ -121,6 +124,7 @@ ProcessRunResult run_supervised_blocked(
   std::remove((workdir + "/trace.json").c_str());
   std::remove((workdir + "/run_summary.json").c_str());
   std::remove((workdir + "/supervisor.metrics.jsonl").c_str());
+  std::remove((workdir + "/status.port").c_str());
 
   const bool trace_on =
       options.trace > 0 ||
@@ -154,6 +158,43 @@ ProcessRunResult run_supervised_blocked(
 
   int generation = 0;        // counts every spawned cohort
   long committed_epoch = -1;
+
+  const int flush_interval = supervisor_detail::resolve_metrics_flush_interval(
+      options.metrics_flush_interval);
+
+  // Live introspection plane (see supervisor.cpp): board + endpoint, off
+  // unless a status port was requested.
+  std::unique_ptr<liveness::StatusBoard> board;
+  std::unique_ptr<HttpStatusServer> http;
+  const int want_port =
+      supervisor_detail::resolve_status_port(options.status_port);
+  if (want_port >= 0) {
+    board = std::make_unique<liveness::StatusBoard>();
+    liveness::StatusBoard::Config bc;
+    bc.workdir = workdir;
+    bc.ranks = bd.active_ranks();
+    for (int rank : bc.ranks) {
+      double fluid = 0;
+      for (int b : bd.blocks_of(rank))
+        fluid += static_cast<double>(
+            mask.count_box(bd.box(b), NodeType::kFluid));
+      bc.fluid_cells.push_back(fluid);
+    }
+    bc.start_step = start_step;
+    bc.target_step = target_step;
+    bc.dims = Dim;
+    bc.blocks = bd.block_count();
+    bc.supervisor = &supervisor;
+    board->configure(std::move(bc));
+    board->set_owner_map(bd.owner_map());
+    http = std::make_unique<HttpStatusServer>(
+        want_port, [b = board.get()](const std::string& path,
+                                     std::string* body, std::string* ct) {
+          return b->handle(path, body, ct);
+        });
+    std::ofstream pf(workdir + "/status.port", std::ios::trunc);
+    pf << http->port() << "\n";
+  }
 
   auto poll_epochs = [&]() {
     if (options.checkpoint_interval <= 0) return;
@@ -195,17 +236,23 @@ ProcessRunResult run_supervised_blocked(
   // deaths (harvested from the SIGTERM-flushed stream before a respawn).
   std::map<int, telemetry::RankMetrics> accumulated;
   std::vector<std::string> harvested_traces;
-  auto harvest_rank = [&](int rank) {
+  auto harvest_rank = [&](int rank, bool flushed) {
     const std::string mp = cohort::metrics_path(workdir, rank);
+    bool got = false;
     try {
       for (telemetry::RankMetrics& rm : telemetry::read_metrics_jsonl(mp)) {
         if (rm.rank != rank) continue;
         accumulated[rank].rank = rank;
         telemetry::merge_metrics(accumulated[rank], rm);
+        got = true;
       }
     } catch (const std::exception&) {
-      // SIGKILL before the handler ran: nothing was flushed.
+      // SIGKILL before the first periodic flush: nothing was flushed.
     }
+    // Only the periodic flushes survive a signal death: a truthful
+    // prefix of the rank's work, tagged so downstream readers know.
+    if (got && !flushed) accumulated[rank].partial = true;
+    if (got && board) board->on_harvest(rank, accumulated[rank]);
     std::remove(mp.c_str());
     if (trace_on) {
       const std::string tp = cohort::rank_trace_path(workdir, rank);
@@ -264,6 +311,7 @@ ProcessRunResult run_supervised_blocked(
       cfg.heartbeat_fd = hb_fd;
       cfg.control_fd = ctl_fd;
       cfg.beacon_interval_ms = options.liveness.beacon_interval_ms;
+      cfg.metrics_flush_interval = flush_interval;
       int err_pipe[2];
       SUBSONIC_REQUIRE_MSG(::pipe(err_pipe) == 0, "pipe failed");
       std::fflush(nullptr);
@@ -311,8 +359,19 @@ ProcessRunResult run_supervised_blocked(
       }
     };
     hooks.on_rank_down = harvest_rank;
+    if (board) {
+      hooks.on_metrics_frame = [b = board.get()](
+                                   const liveness::MetricsFrame& mf) {
+        b->on_frame(mf);
+      };
+      hooks.on_liveness = [b = board.get()](
+                              const telemetry::LivenessRecord& lr) {
+        b->on_liveness(lr);
+      };
+    }
     hooks.fail = [&](const std::vector<liveness::EngineFailure>& fails) {
       liveness::remove_port_registries(workdir);
+      std::remove((workdir + "/status.port").c_str());
       std::vector<RankFailure> failures;
       std::ostringstream msg;
       msg << "parallel run failed after " << result.restarts
@@ -357,6 +416,10 @@ ProcessRunResult run_supervised_blocked(
       } catch (const std::exception&) {
         // A missing stream degrades this rank to zeros for the segment.
       }
+      // The folded stream must not be readable twice: a rank killed early
+      // in the NEXT segment — before its first flush truncates the file —
+      // would otherwise harvest this segment's totals a second time.
+      std::remove(cohort::metrics_path(workdir, rank).c_str());
       telemetry::merge_metrics(accumulated[rank], seg);
       segment_metrics.push_back(std::move(seg));
     }
@@ -389,6 +452,10 @@ ProcessRunResult run_supervised_blocked(
         rec.imbalance_before = decision.imbalance_before;
         rec.imbalance_after = decision.imbalance_after;
         result.rebalances.push_back(rec);
+        if (board) {
+          board->on_rebalance(rec);
+          board->set_owner_map(bd.owner_map());
+        }
         supervisor.metrics().counter(-1, "rebalance.count").add();
         supervisor.metrics()
             .counter(-1, "rebalance.moved_blocks")
@@ -403,6 +470,7 @@ ProcessRunResult run_supervised_blocked(
   }
   join_taggers();
   liveness::remove_port_registries(workdir);
+  if (board) board->set_done(true);
   result.committed_epoch = committed_epoch;
   result.block_owner = bd.owner_map();
 
@@ -458,6 +526,7 @@ ProcessRunResult run_supervised_blocked(
 
   telemetry::RunSummary summary =
       telemetry::summarize_run(rank_metrics, model, result.restarts);
+  result.rank_metrics = std::move(rank_metrics);
   summary.blocks = bd.block_count();
   summary.rebalances = result.rebalances;
   summary.liveness = result.liveness;
@@ -470,6 +539,10 @@ ProcessRunResult run_supervised_blocked(
     for (int rank : active_list)
       traces.push_back(cohort::rank_trace_path(workdir, rank));
     telemetry::merge_chrome_traces(traces, workdir + "/trace.json");
+  }
+  if (http) {
+    http.reset();  // stop serving before the port file disappears
+    std::remove((workdir + "/status.port").c_str());
   }
   return result;
 }

@@ -18,6 +18,7 @@
 #include "src/runtime/block_set.hpp"
 #include "src/runtime/epoch_store.hpp"
 #include "src/runtime/liveness.hpp"
+#include "src/telemetry/summary.hpp"
 #include "src/telemetry/telemetry.hpp"
 #include "src/util/log.hpp"
 
@@ -198,6 +199,41 @@ bool await_rollback_order(const ChildConfig& cfg, liveness::Emitter& hb,
   return true;
 }
 
+/// Periodic in-flight publication: append the delta records accrued since
+/// the last flush to the rank's metrics stream, then push a cumulative
+/// digest frame up the heartbeat pipe so the supervisor's live view stays
+/// current without touching the filesystem.  Both halves are best-effort
+/// and observationally inert to the physics.
+void publish_metrics(telemetry::Session* tel, liveness::Emitter& hb, int rank,
+                     const std::string& path, long done) {
+  tel->flush_metrics_delta(path);
+  if (!hb.active()) return;
+  const telemetry::RankMetrics rm =
+      telemetry::collect_rank(tel->metrics(), rank);
+  liveness::MetricsFrame mf;
+  mf.step = done;
+  mf.t_calc_s = rm.t_calc();
+  mf.t_com_s = rm.t_com();
+  mf.steps_done = rm.counter_or("steps");
+  mf.msgs_sent = rm.counter_or("transport.msgs_sent");
+  mf.doubles_sent = rm.counter_or("transport.doubles_sent");
+  const auto ce = rm.histograms.find("comm.exchange");
+  if (ce != rm.histograms.end()) {
+    mf.comm_p50_s = ce->second.quantile_s(0.50);
+    mf.comm_p95_s = ce->second.quantile_s(0.95);
+    mf.comm_p99_s = ce->second.quantile_s(0.99);
+  }
+  const auto sw = rm.histograms.find("step.wall");
+  if (sw != rm.histograms.end()) {
+    mf.step_wall_sum_s = sw->second.sum_s;
+    mf.step_wall_count = sw->second.count;
+    for (std::size_t i = 0; i < telemetry::HistogramData::kBuckets; ++i)
+      mf.step_wall_buckets[i] = static_cast<std::uint32_t>(std::min<long long>(
+          sw->second.buckets[i], 0xffffffffLL));
+  }
+  hb.emit_metrics(mf);
+}
+
 }  // namespace
 
 template <int Dim>
@@ -316,6 +352,7 @@ template <int Dim>
         if (rollback_pending()) return false;
         const long step = domain.step();
         set_log_context(rcfg.rank, step);
+        const auto step_t0 = std::chrono::steady_clock::now();
         for (size_t i = 0; i < schedule.size(); ++i) {
           const Phase& phase = schedule[i];
           if (phase.kind == Phase::Kind::kCompute) {
@@ -346,10 +383,16 @@ template <int Dim>
                                   ComputePass::kInterior);
               }
               {
+                // The receive-completion wait is the exposed comm latency of
+                // an overlapped exchange; feed it to the same histogram the
+                // legacy path records so percentiles exist either way.
                 telemetry::ScopedSpan span(tel, rcfg.rank,
                                            "comm.complete_recvs", "comm",
                                            step);
                 complete_recvs(ex.fields, step, ex_index);
+                tel->metrics()
+                    .histogram(rcfg.rank, "comm.exchange")
+                    .record(span.stop());
               }
               ++i;
             } else {
@@ -362,12 +405,25 @@ template <int Dim>
             telemetry::ScopedSpan span(tel, rcfg.rank, "comm.exchange",
                                        "comm", step);
             exchange(phase.fields, step, static_cast<int>(i));
+            tel->metrics()
+                .histogram(rcfg.rank, "comm.exchange")
+                .record(span.stop());
           }
         }
         domain.set_step(step + 1);
         tel->metrics().counter(rcfg.rank, "steps").add();
+        tel->metrics()
+            .histogram(rcfg.rank, "step.wall")
+            .record(seconds_since(step_t0));
         const long done = domain.step();
         hb.emit(liveness::Phase::kStep, done);
+
+        // Publish before the fault checks fire: a rank killed at this very
+        // step still leaves its flushed prefix for the harvest.
+        if (rcfg.metrics_flush_interval > 0 &&
+            (done - rcfg.start_step) % rcfg.metrics_flush_interval == 0)
+          publish_metrics(tel, hb, rcfg.rank,
+                          metrics_path(workdir, cfg.rank), done);
 
         // A kill fault fires before this step's checkpoint work, so the
         // crash always loses whatever the stagger had not yet flushed.
@@ -550,9 +606,18 @@ template <int Dim>
       while (set.step() < rcfg.target_step) {
         if (rollback_pending()) return false;
         set_log_context(rcfg.rank, set.step());
+        const auto step_t0 = std::chrono::steady_clock::now();
         set.step_once(rcfg.sched, send, recv, slow_pm);
+        tel->metrics()
+            .histogram(rcfg.rank, "step.wall")
+            .record(seconds_since(step_t0));
         const long done = set.step();
         hb.emit(liveness::Phase::kStep, done);
+
+        if (rcfg.metrics_flush_interval > 0 &&
+            (done - rcfg.start_step) % rcfg.metrics_flush_interval == 0)
+          publish_metrics(tel, hb, rcfg.rank,
+                          metrics_path(workdir, cfg.rank), done);
 
         if (auto ks = faults.kill_step(rcfg.rank, round))
           if (done - rcfg.start_step >= *ks) ::raise(SIGKILL);

@@ -71,6 +71,10 @@ struct ChildConfig {
   int heartbeat_fd = -1;
   int control_fd = -1;
   int beacon_interval_ms = 50;  ///< min spacing of kWait beacons
+  /// Steps between periodic telemetry publications: a delta append to the
+  /// rank's metrics stream plus a metrics frame up the heartbeat pipe.
+  /// 0 = off (final dump only, the pre-introspection behaviour).
+  int metrics_flush_interval = 0;
 };
 
 /// A checkpoint captured in memory at its epoch step but flushed to disk

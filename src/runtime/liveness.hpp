@@ -130,6 +130,40 @@ bool decode_rollback(const unsigned char in[kRollbackBytes], RollbackMsg* out);
 /// error — the supervisor died.
 int read_rollback(int fd, RollbackMsg* out);
 
+/// A compact cumulative telemetry digest a child pushes up the heartbeat
+/// pipe at every periodic metrics flush: current totals (not deltas — a
+/// dropped frame then costs staleness, never skew), plus the step-wall
+/// histogram so the supervisor can quote live percentiles.  The wire
+/// form is versioned, length-prefixed, and well under PIPE_BUF, so like
+/// beacons it rides the O_NONBLOCK pipe atomically — never torn, worst
+/// case dropped.
+struct MetricsFrame {
+  int rank = -1;
+  std::int32_t round = 0;
+  std::int64_t step = 0;      ///< last completed step
+  std::int64_t mono_ns = 0;   ///< child's monotonic clock at emission
+  double t_calc_s = 0;        ///< cumulative "compute." seconds
+  double t_com_s = 0;         ///< cumulative "comm." seconds
+  std::int64_t steps_done = 0;
+  std::int64_t msgs_sent = 0;
+  std::int64_t doubles_sent = 0;
+  double comm_p50_s = 0;      ///< "comm.exchange" histogram percentiles
+  double comm_p95_s = 0;
+  double comm_p99_s = 0;
+  double step_wall_sum_s = 0;
+  std::int64_t step_wall_count = 0;
+  std::uint32_t step_wall_buckets[telemetry::HistogramData::kBuckets] = {};
+};
+
+constexpr std::uint16_t kMetricsFrameVersion = 1;
+constexpr std::size_t kMetricsFrameBytes = 272;  ///< v1 size, <= PIPE_BUF
+void encode_metrics_frame(const MetricsFrame& m,
+                          unsigned char out[kMetricsFrameBytes]);
+/// False on bad magic, unknown version, or a length prefix that does not
+/// match what the version promises.
+bool decode_metrics_frame(const unsigned char* in, std::size_t len,
+                          MetricsFrame* out);
+
 long long mono_now_ns();
 
 /// Child-side beacon writer.  Thread-safe: the main loop emits kStart /
@@ -153,6 +187,11 @@ class Emitter {
   /// Rate-limited kWait beacon carrying the last emitted step; called
   /// from inside every blocking transport wait.
   void wait_tick();
+
+  /// Pushes a metrics digest up the same pipe (rank and round are filled
+  /// in here).  Subject to the same mute fault and O_NONBLOCK drop
+  /// semantics as beacons.
+  void emit_metrics(MetricsFrame frame);
 
  private:
   void write_beacon(Phase phase, long step);
@@ -211,6 +250,13 @@ class Monitor {
   /// ranks count as fresh (they are not the watchdog's problem).
   bool beaconed_since(int rank, double t_s) const;
 
+  /// Latest metrics digest decoded off the rank's pipe; false when the
+  /// rank never pushed one (or is detached).
+  bool latest_frame(int rank, MetricsFrame* out) const;
+  /// Invoked on every decoded metrics frame (live-view fan-out).  The
+  /// sink runs on the supervision thread, inside poll().
+  void set_frame_sink(std::function<void(const MetricsFrame&)> sink);
+
  private:
   struct State {
     int fd = -1;
@@ -219,6 +265,8 @@ class Monitor {
     long long last_step_mono = -1;
     double last_beacon_s = 0;
     bool hung = false;
+    bool has_frame = false;
+    MetricsFrame frame;
     DeadlineModel model;
     std::string buf;  ///< partial-frame carry between polls
   };
@@ -226,6 +274,7 @@ class Monitor {
   double floor_s_;
   double multiplier_;
   std::map<int, State> states_;
+  std::function<void(const MetricsFrame&)> frame_sink_;
 };
 
 /// SIGTERM -> grace -> SIGKILL ladder for one child.
@@ -261,7 +310,16 @@ struct EngineHooks {
   std::function<void(int generation, long restore_epoch)> begin_generation;
   /// A child of this rank died mid-run (casualty or put-down): harvest
   /// its SIGTERM-flushed telemetry before a respawn overwrites it.
-  std::function<void(int rank)> on_rank_down;
+  /// `flushed` is true when the child acknowledged its put-down (exited
+  /// kTermAckExit or cleanly) so its final telemetry dump is trustworthy;
+  /// false for a SIGKILL / crash, where only the periodic flushes
+  /// survive and the harvest should be tagged partial.
+  std::function<void(int rank, bool flushed)> on_rank_down;
+  /// Every metrics digest decoded off a heartbeat pipe (live view).
+  std::function<void(const MetricsFrame&)> on_metrics_frame;
+  /// Every liveness record as it is appended to the audit trail (live
+  /// view; the record also lands in the records vector as before).
+  std::function<void(const telemetry::LivenessRecord&)> on_liveness;
   /// Restart budget exhausted: every child has been reaped; must throw.
   std::function<void(const std::vector<EngineFailure>& failures)> fail;
 };

@@ -1,0 +1,248 @@
+#include "src/runtime/status_board.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/runtime/cohort.hpp"
+#include "src/telemetry/prometheus.hpp"
+#include "src/telemetry/telemetry.hpp"
+
+namespace subsonic {
+namespace liveness {
+
+namespace {
+
+constexpr std::size_t kTailMax = 64;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void append_number(std::ostringstream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void StatusBoard::configure(Config cfg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cfg_ = std::move(cfg);
+  for (int r : cfg_.ranks) live_[r];  // seed every rank as "starting"
+}
+
+void StatusBoard::on_frame(const MetricsFrame& frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RankLive& rl = live_[frame.rank];
+  rl.has_frame = true;
+  rl.frame = frame;
+  rl.generation = frame.round;
+  if (rl.state == "starting" || rl.state == "hung") rl.state = "running";
+}
+
+void StatusBoard::on_liveness(const telemetry::LivenessRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  liveness_tail_.push_back(record);
+  if (liveness_tail_.size() > kTailMax) liveness_tail_.pop_front();
+  RankLive& rl = live_[record.rank];
+  rl.last_event = record.event;
+  rl.generation = record.generation;
+  if (record.event == "hang_detected")
+    rl.state = "hung";
+  else if (record.event == "exit_detected")
+    rl.state = "down";
+  else if (record.event == "restart" || record.event == "rollback")
+    rl.state = "running";
+}
+
+void StatusBoard::on_rebalance(const telemetry::RebalanceRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rebalance_tail_.push_back(record);
+  if (rebalance_tail_.size() > kTailMax) rebalance_tail_.pop_front();
+}
+
+void StatusBoard::on_harvest(int rank,
+                             const telemetry::RankMetrics& harvested) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  harvested_[rank] = harvested;
+}
+
+void StatusBoard::set_owner_map(std::vector<int> owner) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  owner_ = std::move(owner);
+}
+
+void StatusBoard::set_done(bool done) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  done_ = done;
+  if (done)
+    for (auto& [rank, rl] : live_) rl.state = "done";
+}
+
+bool StatusBoard::handle(const std::string& path, std::string* body,
+                         std::string* content_type) const {
+  if (path == "/healthz") {
+    *body = "ok\n";
+    *content_type = "text/plain; charset=utf-8";
+    return true;
+  }
+  if (path == "/status") {
+    *body = status_json();
+    *content_type = "application/json";
+    return true;
+  }
+  if (path == "/metrics") {
+    *body = metrics_text();
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return true;
+  }
+  return false;
+}
+
+std::string StatusBoard::status_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\n  \"run\": {\"workdir\": \"" << json_escape(cfg_.workdir)
+     << "\", \"dims\": " << cfg_.dims
+     << ", \"processes\": " << cfg_.ranks.size()
+     << ", \"start_step\": " << cfg_.start_step
+     << ", \"target_step\": " << cfg_.target_step
+     << ", \"blocks\": " << cfg_.blocks
+     << ", \"done\": " << (done_ ? "true" : "false") << "},\n";
+  os << "  \"ranks\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < cfg_.ranks.size(); ++i) {
+    const int rank = cfg_.ranks[i];
+    const auto it = live_.find(rank);
+    if (it == live_.end()) continue;
+    const RankLive& rl = it->second;
+    if (!first) os << ',';
+    first = false;
+    os << "\n    {\"rank\": " << rank << ", \"state\": \"" << rl.state
+       << "\", \"generation\": " << rl.generation;
+    os << ", \"fluid_cells\": ";
+    append_number(os, i < cfg_.fluid_cells.size() ? cfg_.fluid_cells[i] : 0);
+    const MetricsFrame& f = rl.frame;
+    os << ", \"step\": " << (rl.has_frame ? f.step : -1);
+    os << ", \"steps_done\": " << (rl.has_frame ? f.steps_done : 0);
+    os << ", \"t_calc_s\": ";
+    append_number(os, rl.has_frame ? f.t_calc_s : 0);
+    os << ", \"t_com_s\": ";
+    append_number(os, rl.has_frame ? f.t_com_s : 0);
+    const double busy = rl.has_frame ? f.t_calc_s + f.t_com_s : 0;
+    os << ", \"utilization\": ";
+    append_number(os, busy > 0 ? f.t_calc_s / busy : 0);
+    os << ", \"msgs_sent\": " << (rl.has_frame ? f.msgs_sent : 0);
+    os << ", \"doubles_sent\": " << (rl.has_frame ? f.doubles_sent : 0);
+    telemetry::HistogramData sw;
+    if (rl.has_frame) {
+      for (std::size_t b = 0; b < telemetry::HistogramData::kBuckets; ++b)
+        sw.buckets[b] = f.step_wall_buckets[b];
+      sw.count = f.step_wall_count;
+      sw.sum_s = f.step_wall_sum_s;
+    }
+    const telemetry::Percentiles p = telemetry::percentiles_of(sw);
+    os << ", \"step_wall_p50_s\": ";
+    append_number(os, p.p50_s);
+    os << ", \"step_wall_p95_s\": ";
+    append_number(os, p.p95_s);
+    os << ", \"step_wall_p99_s\": ";
+    append_number(os, p.p99_s);
+    os << ", \"comm_p50_s\": ";
+    append_number(os, rl.has_frame ? f.comm_p50_s : 0);
+    os << ", \"comm_p95_s\": ";
+    append_number(os, rl.has_frame ? f.comm_p95_s : 0);
+    os << ", \"comm_p99_s\": ";
+    append_number(os, rl.has_frame ? f.comm_p99_s : 0);
+    os << ", \"last_event\": \"" << json_escape(rl.last_event) << "\"}";
+  }
+  os << "\n  ],\n";
+  os << "  \"block_owner\": [";
+  for (std::size_t i = 0; i < owner_.size(); ++i)
+    os << (i ? "," : "") << owner_[i];
+  os << "],\n";
+  os << "  \"liveness\": [";
+  for (std::size_t i = 0; i < liveness_tail_.size(); ++i) {
+    const telemetry::LivenessRecord& lr = liveness_tail_[i];
+    os << (i ? ",\n    " : "\n    ");
+    os << "{\"event\": \"" << json_escape(lr.event)
+       << "\", \"rank\": " << lr.rank << ", \"generation\": " << lr.generation
+       << ", \"step\": " << lr.step << ", \"silence_s\": ";
+    append_number(os, lr.silence_s);
+    os << ", \"deadline_s\": ";
+    append_number(os, lr.deadline_s);
+    os << ", \"epoch\": " << lr.epoch << "}";
+  }
+  os << (liveness_tail_.empty() ? "],\n" : "\n  ],\n");
+  os << "  \"rebalances\": [";
+  for (std::size_t i = 0; i < rebalance_tail_.size(); ++i) {
+    const telemetry::RebalanceRecord& rr = rebalance_tail_[i];
+    os << (i ? ",\n    " : "\n    ");
+    os << "{\"step\": " << rr.step
+       << ", \"moved_blocks\": " << rr.moved_blocks
+       << ", \"imbalance_before\": ";
+    append_number(os, rr.imbalance_before);
+    os << ", \"imbalance_after\": ";
+    append_number(os, rr.imbalance_after);
+    os << "}";
+  }
+  os << (rebalance_tail_.empty() ? "]\n}\n" : "\n  ]\n}\n");
+  return os.str();
+}
+
+std::string StatusBoard::metrics_text() const {
+  // Snapshot under the lock, read the delta streams outside it: a scrape
+  // must never stall the supervision thread on file IO.
+  std::string workdir;
+  std::vector<int> ranks;
+  std::map<int, telemetry::RankMetrics> harvested;
+  telemetry::Session* supervisor = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    workdir = cfg_.workdir;
+    ranks = cfg_.ranks;
+    harvested = harvested_;
+    supervisor = cfg_.supervisor;
+  }
+  std::vector<telemetry::RankMetrics> rows;
+  rows.reserve(ranks.size() + 1);
+  for (int rank : ranks) {
+    telemetry::RankMetrics total;
+    total.rank = rank;
+    const auto hit = harvested.find(rank);
+    if (hit != harvested.end()) telemetry::merge_metrics(total, hit->second);
+    try {
+      for (telemetry::RankMetrics& rm : telemetry::read_metrics_jsonl(
+               cohort::metrics_path(workdir, rank))) {
+        if (rm.rank != rank) continue;
+        telemetry::merge_metrics(total, rm);
+      }
+    } catch (const std::exception&) {
+      // No flush yet (or a vanished stream): serve what was harvested.
+    }
+    rows.push_back(std::move(total));
+  }
+  if (supervisor)
+    rows.push_back(telemetry::collect_rank(supervisor->metrics(), -1));
+  return telemetry::prometheus_text(rows);
+}
+
+}  // namespace liveness
+}  // namespace subsonic

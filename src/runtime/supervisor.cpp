@@ -11,12 +11,15 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <thread>
 
+#include "src/comm/http_status.hpp"
 #include "src/io/checkpoint.hpp"
 #include "src/runtime/cohort.hpp"
 #include "src/runtime/epoch_store.hpp"
+#include "src/runtime/status_board.hpp"
 #include "src/runtime/supervisor_util.hpp"
 #include "src/telemetry/summary.hpp"
 #include "src/telemetry/telemetry.hpp"
@@ -129,6 +132,7 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
   std::remove((workdir + "/trace.json").c_str());
   std::remove((workdir + "/run_summary.json").c_str());
   std::remove((workdir + "/supervisor.metrics.jsonl").c_str());
+  std::remove((workdir + "/status.port").c_str());
 
   // The supervisor's own session: every child inherits its trace origin,
   // so the merged trace.json has one consistent timeline across ranks.
@@ -157,6 +161,39 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
   result.processes = static_cast<int>(active_list.size());
   result.final_step = target_step;
   if (active_list.empty()) return result;
+
+  const int flush_interval = supervisor_detail::resolve_metrics_flush_interval(
+      options.metrics_flush_interval);
+
+  // Live introspection plane: the board collects what the supervision
+  // loop learns (frames, liveness events, harvests) and the endpoint
+  // serves it.  Both are absent unless a status port was requested, and
+  // neither can touch simulation state either way.
+  std::unique_ptr<liveness::StatusBoard> board;
+  std::unique_ptr<HttpStatusServer> http;
+  const int want_port =
+      supervisor_detail::resolve_status_port(options.status_port);
+  if (want_port >= 0) {
+    board = std::make_unique<liveness::StatusBoard>();
+    liveness::StatusBoard::Config bc;
+    bc.workdir = workdir;
+    bc.ranks = active_list;
+    for (int rank : active_list)
+      bc.fluid_cells.push_back(static_cast<double>(
+          mask.count_box(decomp.box(rank), NodeType::kFluid)));
+    bc.start_step = start_step;
+    bc.target_step = target_step;
+    bc.dims = Dim;
+    bc.supervisor = &supervisor;
+    board->configure(std::move(bc));
+    http = std::make_unique<HttpStatusServer>(
+        want_port, [b = board.get()](const std::string& path,
+                                     std::string* body, std::string* ct) {
+          return b->handle(path, body, ct);
+        });
+    std::ofstream pf(workdir + "/status.port", std::ios::trunc);
+    pf << http->port() << "\n";
+  }
 
   int generation = 0;
   long committed_epoch = -1;  // newest MANIFEST-committed epoch
@@ -213,18 +250,24 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
   // folded into the final aggregation.
   std::map<int, telemetry::RankMetrics> harvested;
   std::vector<std::string> harvested_traces;
-  auto harvest_rank = [&](int rank) {
+  auto harvest_rank = [&](int rank, bool flushed) {
     const std::string mp = cohort::metrics_path(workdir, rank);
+    bool got = false;
     try {
       for (telemetry::RankMetrics& rm : telemetry::read_metrics_jsonl(mp)) {
         if (rm.rank != rank) continue;
         harvested[rank].rank = rank;
         telemetry::merge_metrics(harvested[rank], rm);
+        got = true;
       }
     } catch (const std::exception&) {
-      // No flush happened (SIGKILL before the handler ran): nothing to
-      // harvest, the respawned process re-counts its replayed work.
+      // No flush ever happened (SIGKILL before the first periodic flush):
+      // nothing to harvest, the respawn re-counts its replayed work.
     }
+    // A signal death never ran the exit-path dump, so whatever the
+    // periodic flushes left is a truthful prefix, not the whole story.
+    if (got && !flushed) harvested[rank].partial = true;
+    if (got && board) board->on_harvest(rank, harvested[rank]);
     // Whatever was (or wasn't) flushed must not be double-read when the
     // respawned rank writes its own final stream.
     std::remove(mp.c_str());
@@ -264,6 +307,7 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
     cfg.heartbeat_fd = hb_fd;
     cfg.control_fd = ctl_fd;
     cfg.beacon_interval_ms = options.liveness.beacon_interval_ms;
+    cfg.metrics_flush_interval = flush_interval;
     int err_pipe[2];
     SUBSONIC_REQUIRE_MSG(::pipe(err_pipe) == 0, "pipe failed");
     std::fflush(nullptr);  // do not duplicate buffered output into children
@@ -311,8 +355,19 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
     }
   };
   hooks.on_rank_down = harvest_rank;
+  if (board) {
+    hooks.on_metrics_frame = [b = board.get()](
+                                 const liveness::MetricsFrame& mf) {
+      b->on_frame(mf);
+    };
+    hooks.on_liveness = [b = board.get()](
+                            const telemetry::LivenessRecord& lr) {
+      b->on_liveness(lr);
+    };
+  }
   hooks.fail = [&](const std::vector<liveness::EngineFailure>& fails) {
     liveness::remove_port_registries(workdir);
+    std::remove((workdir + "/status.port").c_str());
     std::vector<RankFailure> failures;
     std::ostringstream msg;
     msg << "parallel run failed after " << result.restarts << " restart(s);";
@@ -344,6 +399,7 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
   join_taggers();
   poll_epochs();
   liveness::remove_port_registries(workdir);
+  if (board) board->set_done(true);
   result.committed_epoch = committed_epoch;
 
   // Read the common step counter back from any dump.
@@ -409,6 +465,7 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
 
   telemetry::RunSummary summary =
       telemetry::summarize_run(rank_metrics, model, result.restarts);
+  result.rank_metrics = std::move(rank_metrics);
   summary.liveness = result.liveness;
   result.summary_path = workdir + "/run_summary.json";
   telemetry::write_run_summary(summary, result.summary_path);
@@ -419,6 +476,10 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
     for (int rank : active_list)
       traces.push_back(cohort::rank_trace_path(workdir, rank));
     telemetry::merge_chrome_traces(traces, workdir + "/trace.json");
+  }
+  if (http) {
+    http.reset();  // stop serving before the port file disappears
+    std::remove((workdir + "/status.port").c_str());
   }
   return result;
 }

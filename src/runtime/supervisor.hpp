@@ -37,6 +37,11 @@
 
 namespace subsonic {
 
+/// ProcessRunOptions::status_port value that requests an ephemeral port
+/// regardless of the environment (tests and tools read the bound port
+/// back from <workdir>/status.port).
+constexpr int kStatusPortEphemeral = -2;
+
 struct ProcessRunOptions {
   /// Per-step ordering, exactly as in the threaded drivers; the overlap
   /// schedule posts each boundary band as soon as it is computed.
@@ -95,6 +100,24 @@ struct ProcessRunOptions {
   /// this (1.15 = 15% skew tolerated before blocks move).
   double rebalance_threshold = 1.15;
 
+  /// Steps between each child's periodic telemetry publications: a delta
+  /// append to rank_<r>.metrics.jsonl plus a compact metrics frame up the
+  /// heartbeat pipe (the supervisor's live view, and the prefix a
+  /// SIGKILLed rank still contributes to run_summary.json, both feed on
+  /// it).  0 = SUBSONIC_METRICS_FLUSH env, defaulting to 16; < 0 turns
+  /// periodic publication off (final dump only).  Observationally inert
+  /// to the physics: results stay bitwise identical at any setting.
+  int metrics_flush_interval = 0;
+
+  /// Live status endpoint on 127.0.0.1 serving GET /healthz, /status
+  /// (JSON: per-rank live view, owner map, liveness + rebalance tails)
+  /// and /metrics (Prometheus text exposition).  0 = SUBSONIC_STATUS_PORT
+  /// env (unset/empty/"0" = off, "auto" = ephemeral port, a number = that
+  /// port); -1 forces off; kStatusPortEphemeral (-2) forces an ephemeral
+  /// port; > 0 binds that port.  The bound port is written to
+  /// <workdir>/status.port while the run is in flight.
+  int status_port = 0;
+
   /// Heartbeat watchdog + escalation policy (liveness.hpp): every child
   /// beacons over an inherited pipe; a rank silent past the adaptive
   /// deadline is SIGTERMed (graceful telemetry flush), then SIGKILLed
@@ -131,6 +154,14 @@ struct ProcessRunResult {
   /// phase time, comm_s its summed "comm.*" time — the measured
   /// T_calc and T_com of the efficiency model.
   std::vector<WorkerStats> rank_stats;
+
+  /// The full accumulated telemetry behind rank_stats (parallel to it):
+  /// counters, timers and histograms folded across every segment, respawn
+  /// round and killed-rank harvest.  This is the only post-run access to
+  /// the per-rank step.wall / comm.exchange histograms — the supervisor
+  /// consumes and deletes the on-disk rank_<r>.metrics.jsonl streams as
+  /// it folds them.
+  std::vector<telemetry::RankMetrics> rank_metrics;
 
   /// Path of the run_summary.json the supervisor wrote (empty when the
   /// run had no active ranks).  Holds measured T_calc/T_com/utilization

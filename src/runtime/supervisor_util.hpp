@@ -19,6 +19,36 @@ inline std::string describe_status(int status) {
   return "status " + std::to_string(status);
 }
 
+/// Resolves ProcessRunOptions::metrics_flush_interval: an explicit
+/// positive option wins, negative disables, 0 follows the
+/// SUBSONIC_METRICS_FLUSH environment variable (default 16; a
+/// non-positive env value disables).  Returns the steps between periodic
+/// publications, 0 = off.
+inline int resolve_metrics_flush_interval(int option) {
+  if (option > 0) return option;
+  if (option < 0) return 0;
+  const char* env = std::getenv("SUBSONIC_METRICS_FLUSH");
+  if (!env || !*env) return 16;
+  const int v = std::atoi(env);
+  return v > 0 ? v : 0;
+}
+
+/// Resolves ProcessRunOptions::status_port into a bindable port: > 0 is
+/// that port, 0 means "bind an ephemeral port", and -1 means "endpoint
+/// off".  Option semantics: > 0 explicit, -1 force off, -2 force
+/// ephemeral, 0 = SUBSONIC_STATUS_PORT env ("auto" = ephemeral,
+/// unset/empty/non-positive = off).
+inline int resolve_status_port(int option) {
+  if (option > 0) return option;
+  if (option == -1) return -1;
+  if (option == -2) return 0;
+  const char* env = std::getenv("SUBSONIC_STATUS_PORT");
+  if (!env || !*env) return -1;
+  if (std::string(env) == "auto") return 0;
+  const int v = std::atoi(env);
+  return v > 0 ? v : -1;
+}
+
 /// Parses "<prefix><digits><suffix>" and returns the id, or -1 when
 /// `name` has a different shape.
 inline int parse_id_file(const std::string& name, const std::string& prefix,

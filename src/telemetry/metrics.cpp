@@ -1,9 +1,67 @@
 #include "src/telemetry/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace subsonic {
 namespace telemetry {
+
+double HistogramData::quantile_s(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  long long cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const long long prev = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target && buckets[i] > 0) {
+      if (i + 1 == kBuckets) return Histogram::upper_bound_s(kBuckets - 2);
+      const double hi = Histogram::upper_bound_s(i);
+      const double lo = i == 0 ? 0.0 : Histogram::upper_bound_s(i - 1);
+      const double frac =
+          (target - static_cast<double>(prev)) /
+          static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+  }
+  return Histogram::upper_bound_s(kBuckets - 2);
+}
+
+double Histogram::upper_bound_s(std::size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  // 2^i microseconds.
+  return std::ldexp(1e-6, static_cast<int>(i));
+}
+
+std::size_t Histogram::bucket_index(double seconds) {
+  for (std::size_t i = 0; i + 1 < kBuckets; ++i)
+    if (seconds <= upper_bound_s(i)) return i;
+  return kBuckets - 1;
+}
+
+void Histogram::record(double seconds) {
+  buckets_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_s_.fetch_add(seconds, std::memory_order_relaxed);
+}
+
+HistogramData Histogram::data() const {
+  HistogramData d;
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    d.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  d.count = count_.load(std::memory_order_relaxed);
+  d.sum_s = sum_s_.load(std::memory_order_relaxed);
+  return d;
+}
+
+void Histogram::add(const HistogramData& d) {
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    if (d.buckets[i])
+      buckets_[i].fetch_add(d.buckets[i], std::memory_order_relaxed);
+  count_.fetch_add(d.count, std::memory_order_relaxed);
+  sum_s_.fetch_add(d.sum_s, std::memory_order_relaxed);
+}
 
 void Gauge::set(double v) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -66,6 +124,13 @@ PhaseTimer& MetricsRegistry::timer(int rank, std::string_view name) {
   return *slot;
 }
 
+Histogram& MetricsRegistry::histogram(int rank, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[Key{rank, std::string(name)}];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
 std::vector<MetricsRegistry::CounterRow> MetricsRegistry::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<CounterRow> rows;
@@ -90,6 +155,16 @@ std::vector<MetricsRegistry::TimerRow> MetricsRegistry::timers() const {
   rows.reserve(timers_.size());
   for (const auto& [key, t] : timers_)
     rows.push_back(TimerRow{key.first, key.second, t->stats()});
+  return rows;
+}
+
+std::vector<MetricsRegistry::HistogramRow> MetricsRegistry::histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramRow> rows;
+  rows.reserve(histograms_.size());
+  for (const auto& [key, h] : histograms_)
+    rows.push_back(HistogramRow{key.first, key.second, h->data()});
   return rows;
 }
 

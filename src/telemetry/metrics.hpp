@@ -12,7 +12,9 @@
 // round-trip but not meant for per-node inner loops.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -72,6 +74,44 @@ class PhaseTimer {
   TimerStats stats_;
 };
 
+/// Snapshot of one histogram: per-bucket counts (NOT cumulative; the
+/// Prometheus exposition cumulates on the way out), total count and sum.
+struct HistogramData {
+  static constexpr std::size_t kBuckets = 40;
+  std::array<long long, kBuckets> buckets{};  ///< zero-initialized
+  long long count = 0;
+  double sum_s = 0;
+  double mean_s() const { return count > 0 ? sum_s / count : 0.0; }
+  /// Linear interpolation inside the bucket holding quantile q (0..1).
+  /// The +Inf bucket reports the last finite boundary (we cannot know
+  /// how far past it the samples landed).
+  double quantile_s(double q) const;
+};
+
+/// Log-bucketed latency histogram: bucket i counts samples with
+/// duration <= 2^i microseconds (i = 0..38); the last bucket is +Inf.
+/// That spans 1 us .. ~4.6 min, comfortably covering a cache-hot block
+/// compute through a watchdog-scale stall, at a fixed 40 x 8 bytes.
+/// Lock-free like Counter: safe from any thread, reads are monotonic.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = HistogramData::kBuckets;
+  /// Upper boundary of bucket i in seconds; +Inf for the last bucket.
+  static double upper_bound_s(std::size_t i);
+  /// Index of the bucket a sample of `seconds` falls into.
+  static std::size_t bucket_index(double seconds);
+
+  void record(double seconds);
+  HistogramData data() const;
+  /// Merge a snapshot back in (delta-frame ingestion on the supervisor).
+  void add(const HistogramData& d);
+
+ private:
+  std::array<std::atomic<long long>, kBuckets> buckets_{};
+  std::atomic<long long> count_{0};
+  std::atomic<double> sum_s_{0.0};
+};
+
 /// The registry: lazily creates metrics on first touch and hands out
 /// stable references.  Rank -1 is the conventional home for unranked
 /// (supervisor / whole-process) metrics.
@@ -80,6 +120,7 @@ class MetricsRegistry {
   Counter& counter(int rank, std::string_view name);
   Gauge& gauge(int rank, std::string_view name);
   PhaseTimer& timer(int rank, std::string_view name);
+  Histogram& histogram(int rank, std::string_view name);
 
   struct CounterRow {
     int rank;
@@ -97,11 +138,17 @@ class MetricsRegistry {
     std::string name;
     TimerStats stats;
   };
+  struct HistogramRow {
+    int rank;
+    std::string name;
+    HistogramData data;
+  };
 
   /// Consistent snapshots, sorted by (rank, name).
   std::vector<CounterRow> counters() const;
   std::vector<GaugeRow> gauges() const;
   std::vector<TimerRow> timers() const;
+  std::vector<HistogramRow> histograms() const;
 
  private:
   using Key = std::pair<int, std::string>;
@@ -109,6 +156,7 @@ class MetricsRegistry {
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;
   std::map<Key, std::unique_ptr<PhaseTimer>> timers_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace telemetry

@@ -1,0 +1,152 @@
+#include "src/telemetry/prometheus.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "src/telemetry/metrics.hpp"
+
+namespace subsonic {
+namespace telemetry {
+
+namespace {
+
+// One series line: name{labels} value.  Values print with %.17g so the
+// round-trip through a scraper is exact for counters and close for sums.
+void emit_line(std::ostringstream& os, const std::string& family,
+               const std::string& labels, double value) {
+  char buf[64];
+  if (value == static_cast<long long>(value) &&
+      std::fabs(value) < 9.0e15)
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(value));
+  else
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+  os << family << '{' << labels << "} " << buf << '\n';
+}
+
+void emit_header(std::ostringstream& os, const std::string& family,
+                 const char* type, const std::string& help) {
+  os << "# HELP " << family << ' ' << help << '\n';
+  os << "# TYPE " << family << ' ' << type << '\n';
+}
+
+std::string rank_label(int rank) {
+  return "rank=\"" + std::to_string(rank) + "\"";
+}
+
+// Render the bucket boundary the way Prometheus expects: shortest
+// representation that parses back exactly.
+std::string le_text(double bound_s) {
+  if (std::isinf(bound_s)) return "+Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", bound_s);
+  return buf;
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool digit = c >= '0' && c <= '9';
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || c == ':' || digit;
+    if (i == 0 && digit) out.push_back('_');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '"')
+      out += "\\\"";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out.push_back(c);
+  }
+  return out;
+}
+
+std::string prometheus_text(const std::vector<RankMetrics>& ranks) {
+  std::ostringstream os;
+
+  // Group by family so every series of a metric sits under one header,
+  // as the exposition format requires.
+  std::map<std::string, std::vector<std::pair<int, long long>>> counters;
+  std::map<std::string, std::vector<std::pair<int, RankMetrics::GaugeValue>>>
+      gauges;
+  std::map<std::string, std::vector<std::pair<int, TimerStats>>> timers;
+  std::map<std::string, std::vector<std::pair<int, HistogramData>>> hists;
+  for (const RankMetrics& rm : ranks) {
+    for (const auto& [name, v] : rm.counters)
+      counters[name].emplace_back(rm.rank, v);
+    for (const auto& [name, g] : rm.gauges)
+      gauges[name].emplace_back(rm.rank, g);
+    for (const auto& [name, t] : rm.timers)
+      timers[name].emplace_back(rm.rank, t);
+    for (const auto& [name, h] : rm.histograms)
+      hists[name].emplace_back(rm.rank, h);
+  }
+
+  for (const auto& [name, series] : counters) {
+    const std::string family =
+        "subsonic_" + sanitize_metric_name(name) + "_total";
+    emit_header(os, family, "counter", "counter " + name);
+    for (const auto& [rank, v] : series)
+      emit_line(os, family, rank_label(rank), static_cast<double>(v));
+  }
+  for (const auto& [name, series] : gauges) {
+    const std::string family = "subsonic_" + sanitize_metric_name(name);
+    emit_header(os, family, "gauge", "gauge " + name);
+    for (const auto& [rank, g] : series)
+      emit_line(os, family, rank_label(rank), g.value);
+    emit_header(os, family + "_max", "gauge", "high-water mark of " + name);
+    for (const auto& [rank, g] : series)
+      emit_line(os, family + "_max", rank_label(rank), g.max);
+  }
+  for (const auto& [name, series] : timers) {
+    const std::string family =
+        "subsonic_" + sanitize_metric_name(name) + "_seconds";
+    emit_header(os, family + "_count", "counter", "recordings of " + name);
+    for (const auto& [rank, t] : series)
+      emit_line(os, family + "_count", rank_label(rank),
+                static_cast<double>(t.count));
+    emit_header(os, family + "_sum", "counter", "total seconds in " + name);
+    for (const auto& [rank, t] : series)
+      emit_line(os, family + "_sum", rank_label(rank), t.total_s);
+  }
+  for (const auto& [name, series] : hists) {
+    const std::string family =
+        "subsonic_" + sanitize_metric_name(name) + "_seconds";
+    emit_header(os, family, "histogram", "histogram " + name);
+    for (const auto& [rank, h] : series) {
+      long long cumulative = 0;
+      for (std::size_t i = 0; i < HistogramData::kBuckets; ++i) {
+        cumulative += h.buckets[i];
+        emit_line(os, family + "_bucket",
+                  rank_label(rank) + ",le=\"" +
+                      escape_label_value(le_text(Histogram::upper_bound_s(i))) +
+                      "\"",
+                  static_cast<double>(cumulative));
+      }
+      emit_line(os, family + "_sum", rank_label(rank), h.sum_s);
+      emit_line(os, family + "_count", rank_label(rank),
+                static_cast<double>(h.count));
+    }
+  }
+  return os.str();
+}
+
+}  // namespace telemetry
+}  // namespace subsonic

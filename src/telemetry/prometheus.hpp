@@ -1,0 +1,39 @@
+// Prometheus text exposition (version 0.0.4) over the telemetry types.
+// The status endpoint's GET /metrics renders the supervisor's live
+// per-rank view through these helpers; they are pure string builders so
+// the format is testable without a socket in sight.
+//
+// Mapping:
+//   counter  ->  subsonic_<name>_total{rank="r"}            counter
+//   gauge    ->  subsonic_<name>{rank="r"}                  gauge
+//                subsonic_<name>_max{rank="r"}              gauge
+//   timer    ->  subsonic_<name>_seconds_count/_sum{...}    summary-ish
+//   hist     ->  subsonic_<name>_seconds_bucket{rank,le}    histogram
+//                (+Inf included; buckets cumulative)
+// Metric names are sanitized (dots become underscores); label values are
+// escaped per the exposition rules (backslash, quote, newline).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/telemetry/summary.hpp"
+
+namespace subsonic {
+namespace telemetry {
+
+/// Fold `name` into the Prometheus charset [a-zA-Z0-9_:]; every invalid
+/// byte becomes '_' and a leading digit gets a '_' prefix.
+std::string sanitize_metric_name(std::string_view name);
+
+/// Escape a label value per the text exposition rules: backslash, double
+/// quote and newline become \\, \" and \n.
+std::string escape_label_value(std::string_view value);
+
+/// Render every metric of every rank as one exposition document, grouped
+/// by family with # HELP / # TYPE headers, series labelled {rank="r"}.
+std::string prometheus_text(const std::vector<RankMetrics>& ranks);
+
+}  // namespace telemetry
+}  // namespace subsonic

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "src/perfmodel/efficiency.hpp"
+#include "src/util/log.hpp"
 
 namespace subsonic {
 namespace telemetry {
@@ -57,6 +58,24 @@ bool extract_integer(const std::string& line, const char* key,
   return true;
 }
 
+// Parse "key":[n,n,...] into exactly HistogramData::kBuckets counts.
+bool extract_buckets(const std::string& line, const char* key,
+                     std::array<long long, HistogramData::kBuckets>* out) {
+  const std::string needle = std::string("\"") + key + "\":[";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* cursor = line.c_str() + pos + needle.size();
+  for (std::size_t i = 0; i < out->size(); ++i) {
+    char* end = nullptr;
+    const long long v = std::strtoll(cursor, &end, 10);
+    if (end == cursor) return false;
+    (*out)[i] = v;
+    cursor = end;
+    if (*cursor == ',') ++cursor;
+  }
+  return true;
+}
+
 }  // namespace
 
 double RankMetrics::timer_total(std::string_view prefix) const {
@@ -88,6 +107,8 @@ RankMetrics collect_rank(const MetricsRegistry& registry, int rank) {
       out.gauges[row.name] = RankMetrics::GaugeValue{row.value, row.max};
   for (const auto& row : registry.timers())
     if (row.rank == rank) out.timers[row.name] = row.stats;
+  for (const auto& row : registry.histograms())
+    if (row.rank == rank) out.histograms[row.name] = row.data;
   return out;
 }
 
@@ -105,21 +126,49 @@ std::vector<RankMetrics> read_metrics_jsonl(const std::string& path) {
       continue;
     RankMetrics& rm = by_rank[static_cast<int>(rank)];
     rm.rank = static_cast<int>(rank);
+    // Delta semantics: repeated lines for the same metric accumulate, so
+    // a stream of periodic flushes sums to the same totals a single full
+    // dump would carry.
     if (kind == "counter") {
       long long value = 0;
-      if (extract_integer(line, "value", &value)) rm.counters[name] = value;
+      if (extract_integer(line, "value", &value)) rm.counters[name] += value;
     } else if (kind == "gauge") {
       RankMetrics::GaugeValue g;
       if (extract_number(line, "value", &g.value) &&
-          extract_number(line, "max", &g.max))
-        rm.gauges[name] = g;
+          extract_number(line, "max", &g.max)) {
+        auto& d = rm.gauges[name];
+        d.value = g.value;  // newest wins
+        d.max = std::max(d.max, g.max);
+      }
     } else if (kind == "timer") {
       TimerStats stats;
       if (extract_integer(line, "count", &stats.count) &&
           extract_number(line, "total_s", &stats.total_s) &&
           extract_number(line, "min_s", &stats.min_s) &&
-          extract_number(line, "max_s", &stats.max_s))
-        rm.timers[name] = stats;
+          extract_number(line, "max_s", &stats.max_s)) {
+        auto it = rm.timers.find(name);
+        if (it == rm.timers.end()) {
+          rm.timers[name] = stats;
+        } else {
+          // Delta lines carry interval count/total but whole-run min/max,
+          // so min-of-min / max-of-max stays exact.
+          it->second.count += stats.count;
+          it->second.total_s += stats.total_s;
+          it->second.min_s = std::min(it->second.min_s, stats.min_s);
+          it->second.max_s = std::max(it->second.max_s, stats.max_s);
+        }
+      }
+    } else if (kind == "hist") {
+      HistogramData h;
+      if (extract_integer(line, "count", &h.count) &&
+          extract_number(line, "sum_s", &h.sum_s) &&
+          extract_buckets(line, "buckets", &h.buckets)) {
+        auto& d = rm.histograms[name];
+        for (std::size_t i = 0; i < HistogramData::kBuckets; ++i)
+          d.buckets[i] += h.buckets[i];
+        d.count += h.count;
+        d.sum_s += h.sum_s;
+      }
     }
   }
   std::vector<RankMetrics> out;
@@ -130,6 +179,7 @@ std::vector<RankMetrics> read_metrics_jsonl(const std::string& path) {
 
 void merge_metrics(RankMetrics& dst, const RankMetrics& src) {
   if (dst.rank < 0) dst.rank = src.rank;
+  dst.partial = dst.partial || src.partial;
   for (const auto& [name, value] : src.counters) dst.counters[name] += value;
   for (const auto& [name, g] : src.gauges) {
     auto& d = dst.gauges[name];
@@ -148,6 +198,24 @@ void merge_metrics(RankMetrics& dst, const RankMetrics& src) {
     d.min_s = std::min(d.min_s, stats.min_s);
     d.max_s = std::max(d.max_s, stats.max_s);
   }
+  for (const auto& [name, h] : src.histograms) {
+    auto& d = dst.histograms[name];
+    for (std::size_t i = 0; i < HistogramData::kBuckets; ++i)
+      d.buckets[i] += h.buckets[i];
+    d.count += h.count;
+    d.sum_s += h.sum_s;
+  }
+}
+
+Percentiles percentiles_of(const HistogramData& h) {
+  Percentiles p;
+  p.count = h.count;
+  if (h.count > 0) {
+    p.p50_s = h.quantile_s(0.50);
+    p.p95_s = h.quantile_s(0.95);
+    p.p99_s = h.quantile_s(0.99);
+  }
+  return p;
 }
 
 RunSummary summarize_run(const std::vector<RankMetrics>& ranks,
@@ -178,6 +246,13 @@ RunSummary summarize_run(const std::vector<RankMetrics>& ranks,
     rs.utilization = rm.utilization();
     rs.msgs_sent = rm.counter_or("transport.msgs_sent");
     rs.doubles_sent = rm.counter_or("transport.doubles_sent");
+    rs.partial = rm.partial;
+    if (const auto it = rm.histograms.find("step.wall");
+        it != rm.histograms.end())
+      rs.step_wall = percentiles_of(it->second);
+    if (const auto it = rm.histograms.find("comm.exchange");
+        it != rm.histograms.end())
+      rs.comm_exchange = percentiles_of(it->second);
     summary.steps = std::max(summary.steps, rs.steps);
     if (rs.t_calc + rs.t_com > 0) {
       ++active;
@@ -234,7 +309,7 @@ RunSummary summarize_run(const std::vector<RankMetrics>& ranks,
 
 std::string run_summary_json(const RunSummary& summary) {
   std::ostringstream os;
-  char buf[256];
+  char buf[512];
   os << "{\n  \"ranks\": [";
   for (std::size_t i = 0; i < summary.ranks.size(); ++i) {
     const RankSummary& rs = summary.ranks[i];
@@ -242,10 +317,29 @@ std::string run_summary_json(const RunSummary& summary) {
     std::snprintf(buf, sizeof buf,
                   "\n    {\"rank\":%d,\"steps\":%lld,\"t_calc_s\":%.6f,"
                   "\"t_com_s\":%.6f,\"utilization\":%.6f,"
-                  "\"msgs_sent\":%lld,\"doubles_sent\":%lld}",
+                  "\"msgs_sent\":%lld,\"doubles_sent\":%lld",
                   rs.rank, rs.steps, rs.t_calc, rs.t_com, rs.utilization,
                   rs.msgs_sent, rs.doubles_sent);
     os << buf;
+    if (rs.partial) os << ",\"partial\":true";
+    if (rs.step_wall.count > 0) {
+      std::snprintf(buf, sizeof buf,
+                    ",\"step_wall_p50_s\":%.6f,\"step_wall_p95_s\":%.6f,"
+                    "\"step_wall_p99_s\":%.6f",
+                    rs.step_wall.p50_s, rs.step_wall.p95_s,
+                    rs.step_wall.p99_s);
+      os << buf;
+    }
+    if (rs.comm_exchange.count > 0) {
+      std::snprintf(buf, sizeof buf,
+                    ",\"comm_exchange_p50_s\":%.6f,"
+                    "\"comm_exchange_p95_s\":%.6f,"
+                    "\"comm_exchange_p99_s\":%.6f",
+                    rs.comm_exchange.p50_s, rs.comm_exchange.p95_s,
+                    rs.comm_exchange.p99_s);
+      os << buf;
+    }
+    os << '}';
   }
   os << "\n  ],\n";
   if (summary.blocks > 0 || !summary.rebalances.empty()) {
@@ -309,7 +403,13 @@ void merge_chrome_traces(const std::vector<std::string>& paths,
   bool any = false;
   for (const std::string& path : paths) {
     std::ifstream in(path, std::ios::binary);
-    if (!in) continue;
+    if (!in) {
+      // A killed or restarted rank never wrote its trace; the merged
+      // timeline must still ship with everyone else's events.
+      SUBSONIC_LOG(kWarn) << "merge_chrome_traces: skipping missing trace "
+                          << path;
+      continue;
+    }
     std::ostringstream content;
     content << in.rdbuf();
     const std::string text = content.str();
@@ -317,9 +417,17 @@ void merge_chrome_traces(const std::vector<std::string>& paths,
     // exactly the text between the array's '[' and the final ']'.
     const std::size_t marker = text.find("\"traceEvents\":[");
     const std::size_t close = text.rfind(']');
-    if (marker == std::string::npos || close == std::string::npos) continue;
+    if (marker == std::string::npos || close == std::string::npos) {
+      SUBSONIC_LOG(kWarn) << "merge_chrome_traces: skipping truncated trace "
+                          << path;
+      continue;
+    }
     const std::size_t begin = marker + std::string("\"traceEvents\":[").size();
-    if (close <= begin) continue;
+    if (close <= begin) {
+      SUBSONIC_LOG(kWarn) << "merge_chrome_traces: skipping truncated trace "
+                          << path;
+      continue;
+    }
     std::string events = text.substr(begin, close - begin);
     // Trim whitespace so an empty array contributes nothing.
     const std::size_t first = events.find_first_not_of(" \n\r\t");

@@ -34,6 +34,11 @@ struct RankMetrics {
   std::map<std::string, long long> counters;
   std::map<std::string, GaugeValue> gauges;
   std::map<std::string, TimerStats> timers;
+  std::map<std::string, HistogramData> histograms;
+  /// True when this rank's telemetry was harvested from a killed child's
+  /// periodic flushes rather than a clean final dump: the numbers are a
+  /// truthful prefix of the rank's work, not the whole of it.
+  bool partial = false;
 
   /// Sum of total_s over every timer whose name starts with `prefix`.
   double timer_total(std::string_view prefix) const;
@@ -53,9 +58,13 @@ struct RankMetrics {
 /// Snapshot one rank out of a live registry.
 RankMetrics collect_rank(const MetricsRegistry& registry, int rank);
 
-/// Parse a metrics JSONL file written by Session::write_metrics_jsonl.
-/// Lines that don't parse are skipped (a torn final line from a killed
-/// rank must not poison the aggregate).
+/// Parse a metrics JSONL file written by Session::write_metrics_jsonl or
+/// appended to by Session::flush_metrics_delta.  Lines ACCUMULATE: a
+/// repeated counter/timer/hist line adds onto the earlier one (delta
+/// records), a repeated gauge keeps the newest value and the running max.
+/// A single full dump therefore parses exactly as before.  Lines that
+/// don't parse are skipped (a torn final line from a killed rank must not
+/// poison the aggregate).
 std::vector<RankMetrics> read_metrics_jsonl(const std::string& path);
 
 /// Accumulates `src` into `dst` (counters add; timers merge count/total/
@@ -82,6 +91,17 @@ struct RunModelInputs {
   std::vector<double> rank_weights;
 };
 
+/// p50/p95/p99 pulled out of one histogram for the summary tables.
+struct Percentiles {
+  long long count = 0;
+  double p50_s = 0;
+  double p95_s = 0;
+  double p99_s = 0;
+};
+
+/// Extract summary percentiles from a histogram snapshot.
+Percentiles percentiles_of(const HistogramData& h);
+
 struct RankSummary {
   int rank = -1;
   long long steps = 0;
@@ -90,6 +110,14 @@ struct RankSummary {
   double utilization = 0;
   long long msgs_sent = 0;
   long long doubles_sent = 0;
+  /// Telemetry harvested from periodic flushes of a killed rank (the
+  /// totals cover only the flushed prefix of its work).
+  bool partial = false;
+  /// Per-step wall / per-exchange latency percentiles ("step.wall" and
+  /// "comm.exchange" histograms); zero counts when the rank predates
+  /// histogram instrumentation.
+  Percentiles step_wall;
+  Percentiles comm_exchange;
 };
 
 /// One dynamic load-balance event of the over-decomposed runtime.

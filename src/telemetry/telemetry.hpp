@@ -15,8 +15,10 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "src/telemetry/metrics.hpp"
 #include "src/telemetry/trace.hpp"
@@ -58,14 +60,35 @@ class Session {
   double now_us() const;
 
   void write_trace_json(const std::string& path) const;
-  /// One flat JSON object per line: every counter, gauge and timer row.
-  /// The format round-trips through read_metrics_jsonl (summary.hpp).
+  /// One flat JSON object per line: every counter, gauge, timer and
+  /// histogram row.  The format round-trips through read_metrics_jsonl
+  /// (summary.hpp).
   void write_metrics_jsonl(const std::string& path) const;
+
+  /// Incremental publication: append only what changed since the last
+  /// flush.  The first call truncates the file (so a restarted child
+  /// starts a fresh stream); later calls append delta records — counter
+  /// values and timer/histogram counts are interval deltas, timer
+  /// min_s/max_s stay cumulative (min-of-min / max-of-max merging is
+  /// exact), gauges rewrite their current value.  read_metrics_jsonl
+  /// accumulates the stream back into whole-run totals, so a killed rank
+  /// contributes everything up to its last flush instead of nothing.
+  /// Best-effort: an unwritable path is ignored (a dying child must not
+  /// throw out of its flush).
+  void flush_metrics_delta(const std::string& path);
 
  private:
   SessionConfig cfg_;
   std::shared_ptr<MetricsRegistry> metrics_;
   TraceBuffer trace_;
+
+  // Per-metric high-water marks of what the delta stream already carries.
+  using MetricKey = std::pair<int, std::string>;
+  bool delta_started_ = false;
+  std::map<MetricKey, long long> flushed_counters_;
+  std::map<MetricKey, std::pair<double, double>> flushed_gauges_;
+  std::map<MetricKey, TimerStats> flushed_timers_;
+  std::map<MetricKey, HistogramData> flushed_hists_;
 };
 
 /// RAII span: times a block, charges the (rank, name) phase timer, and —

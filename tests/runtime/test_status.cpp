@@ -1,0 +1,386 @@
+// The live introspection plane: the tiny HTTP status server, the
+// supervisor's StatusBoard documents, and the end-to-end story — a
+// supervised run with a status port serves /healthz, /status and
+// /metrics while ranks hang and die, and a SIGKILLed rank's flushed
+// prefix lands in run_summary.json tagged partial.
+#include "src/runtime/status_board.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/comm/http_status.hpp"
+#include "src/runtime/process2d.hpp"
+#include "src/telemetry/summary.hpp"
+#include "src/telemetry/telemetry.hpp"
+
+namespace subsonic {
+namespace {
+
+std::string make_workdir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/status_" +
+                          name + "_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+Mask2D closed_box(int nx, int ny, int ghost) {
+  Mask2D mask(Extents2{nx, ny}, ghost);
+  mask.fill_box({0, 0, nx, 1}, NodeType::kWall);
+  mask.fill_box({0, ny - 1, nx, ny}, NodeType::kWall);
+  mask.fill_box({0, 0, 1, ny}, NodeType::kWall);
+  mask.fill_box({nx - 1, 0, nx, ny}, NodeType::kWall);
+  return mask;
+}
+
+/// One raw request over a throwaway loopback connection; returns the
+/// full response (status line + headers + body), or "" on failure.
+std::string http_request(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::write(fd, request.data() + off, request.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+/// GET returning the body on a 200, "" otherwise.
+std::string http_get(int port, const std::string& path) {
+  const std::string resp = http_request(
+      port, "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+            "Connection: close\r\n\r\n");
+  const size_t hdr_end = resp.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) return "";
+  if (resp.compare(0, 12, "HTTP/1.1 200") != 0) return "";
+  return resp.substr(hdr_end + 4);
+}
+
+TEST(HttpStatusServer, ServesRoutesRejectsUnknownsAndReportsItsPort) {
+  HttpStatusServer server(
+      0, [](const std::string& path, std::string* body,
+            std::string* content_type) {
+        if (path != "/ping") return false;
+        *body = "pong\n";
+        *content_type = "text/plain";
+        return true;
+      });
+  ASSERT_GT(server.port(), 0);  // ephemeral bind reported back
+
+  EXPECT_EQ(http_get(server.port(), "/ping"), "pong\n");
+  // Query strings are stripped before dispatch.
+  EXPECT_EQ(http_get(server.port(), "/ping?x=1"), "pong\n");
+
+  const std::string missing = http_request(
+      server.port(),
+      "GET /nope HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(missing.compare(0, 12, "HTTP/1.1 404"), 0) << missing;
+
+  const std::string post = http_request(
+      server.port(),
+      "POST /ping HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(post.compare(0, 12, "HTTP/1.1 405"), 0) << post;
+
+  // Sequential connections keep working (close-after-response server).
+  EXPECT_EQ(http_get(server.port(), "/ping"), "pong\n");
+}
+
+liveness::MetricsFrame frame_for(int rank, long step) {
+  liveness::MetricsFrame f;
+  f.rank = rank;
+  f.round = 0;
+  f.step = step;
+  f.steps_done = step;
+  f.t_calc_s = 3.0;
+  f.t_com_s = 1.0;
+  f.msgs_sent = 40;
+  f.doubles_sent = 1200;
+  f.step_wall_sum_s = 0.5;
+  f.step_wall_count = step;
+  f.step_wall_buckets[12] = static_cast<std::uint32_t>(step);
+  return f;
+}
+
+TEST(StatusBoard, RendersTheLiveViewFromFramesAndEvents) {
+  liveness::StatusBoard board;
+  liveness::StatusBoard::Config cfg;
+  cfg.workdir = make_workdir("board");
+  cfg.ranks = {0, 1};
+  cfg.fluid_cells = {400, 400};
+  cfg.target_step = 20;
+  board.configure(cfg);
+
+  // Before any frame: both ranks report "starting".
+  std::string body, type;
+  ASSERT_TRUE(board.handle("/status", &body, &type));
+  EXPECT_EQ(type, "application/json");
+  EXPECT_EQ(body.find("\"state\": \"running\""), std::string::npos);
+
+  board.on_frame(frame_for(0, 7));
+  telemetry::LivenessRecord hang;
+  hang.event = "hang_detected";
+  hang.rank = 1;
+  hang.generation = 0;
+  hang.step = 5;
+  hang.silence_s = 2.0;
+  hang.deadline_s = 1.0;
+  board.on_liveness(hang);
+  board.set_owner_map({0, 0, 1, 1});
+
+  body.clear();
+  ASSERT_TRUE(board.handle("/status", &body, &type));
+  EXPECT_NE(body.find("\"state\": \"running\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"state\": \"hung\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"utilization\": 0.75"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"steps_done\": 7"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"block_owner\": [0,0,1,1]"), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"hang_detected\""), std::string::npos) << body;
+
+  // A restart flips the hung rank back to running; done sweeps them all.
+  telemetry::LivenessRecord restart;
+  restart.event = "restart";
+  restart.rank = 1;
+  restart.generation = 1;
+  board.on_liveness(restart);
+  body.clear();
+  ASSERT_TRUE(board.handle("/status", &body, &type));
+  EXPECT_EQ(body.find("\"state\": \"hung\""), std::string::npos) << body;
+  board.set_done(true);
+  body.clear();
+  ASSERT_TRUE(board.handle("/status", &body, &type));
+  EXPECT_NE(body.find("\"done\": true"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"state\": \"done\""), std::string::npos) << body;
+
+  EXPECT_TRUE(board.handle("/healthz", &body, &type));
+  EXPECT_EQ(body, "ok\n");
+  EXPECT_FALSE(board.handle("/favicon.ico", &body, &type));
+}
+
+TEST(StatusBoard, MetricsTextFoldsHarvestsAndDeltaStreams) {
+  liveness::StatusBoard board;
+  liveness::StatusBoard::Config cfg;
+  cfg.workdir = make_workdir("board_metrics");
+  cfg.ranks = {0, 1};
+  board.configure(cfg);
+
+  // Rank 0 has flushed a delta stream to disk; rank 1 died and was
+  // harvested in memory.  Both must appear in one exposition document.
+  {
+    telemetry::Session child;
+    child.metrics().counter(0, "steps").add(9);
+    child.flush_metrics_delta(cfg.workdir + "/rank_0.metrics.jsonl");
+  }
+  telemetry::RankMetrics dead;
+  dead.rank = 1;
+  dead.counters["steps"] = 5;
+  dead.partial = true;
+  board.on_harvest(1, dead);
+
+  std::string body, type;
+  ASSERT_TRUE(board.handle("/metrics", &body, &type));
+  EXPECT_EQ(type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(body.find("subsonic_steps_total{rank=\"0\"} 9"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("subsonic_steps_total{rank=\"1\"} 5"),
+            std::string::npos)
+      << body;
+}
+
+TEST(ProcessStatusEndpoint, ServesLiveDocumentsThroughAHardHang) {
+  // The acceptance story: a 2-rank run where rank 1 hard-hangs mid-run
+  // (SIGTERM blocked, so the ladder falls through to SIGKILL) while the
+  // supervisor serves /healthz, /status and /metrics on an ephemeral
+  // port.  The endpoint must answer during the run, the killed rank's
+  // periodic flushes must surface in run_summary.json tagged partial,
+  // and the port file must be gone once the run returns.
+  ::unsetenv("SUBSONIC_FAULTS");
+  ::unsetenv("SUBSONIC_HEARTBEAT_MS");
+  ::unsetenv("SUBSONIC_STATUS_PORT");
+  ::unsetenv("SUBSONIC_METRICS_FLUSH");
+  const Mask2D mask = closed_box(24, 18, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("live");
+  ProcessRunOptions options;
+  options.checkpoint_interval = 3;
+  options.faults = "hang:rank=1,step=5,hard=1";
+  options.liveness.heartbeat_floor_ms = 400;
+  options.liveness.grace_ms = 300;
+  options.metrics_flush_interval = 1;
+  options.status_port = kStatusPortEphemeral;
+
+  ProcessRunResult result;
+  std::atomic<bool> done{false};
+  std::string run_error;
+  std::thread runner([&] {
+    try {
+      result = run_multiprocess2d(mask, p, Method::kLatticeBoltzmann, 2, 1,
+                                  10, workdir, options);
+    } catch (const std::exception& e) {
+      run_error = e.what();
+    }
+    done.store(true);
+  });
+
+  // The supervisor writes its bound port to <workdir>/status.port.
+  int port = 0;
+  for (int i = 0; i < 2000 && port <= 0 && !done.load(); ++i) {
+    std::ifstream in(workdir + "/status.port");
+    if (!(in >> port)) port = 0;
+    if (port <= 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GT(port, 0) << "status.port never appeared; run error: "
+                     << run_error;
+
+  // Poll the endpoint for the whole life of the run: it must answer
+  // while ranks compute, while the hang is detected and escalated, and
+  // while the cohort recovers.
+  int ok_status = 0, ok_metrics = 0, ok_healthz = 0;
+  bool saw_hang_event = false, saw_metrics_series = false;
+  while (!done.load()) {
+    const std::string health = http_get(port, "/healthz");
+    if (health == "ok\n") ++ok_healthz;
+    const std::string status = http_get(port, "/status");
+    if (!status.empty() &&
+        status.find("\"ranks\"") != std::string::npos)
+      ++ok_status;
+    if (status.find("\"hang_detected\"") != std::string::npos)
+      saw_hang_event = true;
+    const std::string metrics = http_get(port, "/metrics");
+    if (!metrics.empty()) ++ok_metrics;
+    if (metrics.find("subsonic_steps_total") != std::string::npos)
+      saw_metrics_series = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  runner.join();
+  ASSERT_TRUE(run_error.empty()) << run_error;
+
+  EXPECT_GT(ok_healthz, 0);
+  EXPECT_GT(ok_status, 0);
+  EXPECT_GT(ok_metrics, 0);
+  // With flush_interval=1 every rank publishes from its first step, so
+  // scrapes during the run carry real series.
+  EXPECT_TRUE(saw_metrics_series);
+  // The hang entered the liveness tail and was served live.
+  EXPECT_TRUE(saw_hang_event);
+
+  EXPECT_EQ(result.final_step, 10);
+  EXPECT_EQ(result.restarts, 1);
+
+  // The SIGKILLed rank's pre-kill flushes were harvested and tagged.
+  std::ifstream in(result.summary_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("\"partial\":true"), std::string::npos)
+      << text.str();
+  EXPECT_NE(text.str().find("\"step_wall_p50_s\""), std::string::npos)
+      << text.str();
+
+  // End-of-run hygiene: the port file is gone, the endpoint is down.
+  std::ifstream port_file(workdir + "/status.port");
+  EXPECT_FALSE(port_file.good());
+  EXPECT_EQ(http_get(port, "/healthz"), "");
+}
+
+TEST(ProcessStatusEndpoint, KilledRankContributesItsFlushedPrefixAsPartial) {
+  // No endpoint at all here — the metrics-loss fix must work on its own.
+  // rank 1 SIGKILLs itself at step 7; with flush_interval=1 its first
+  // seven steps were flushed, so the summary must count them and carry
+  // the partial marker instead of silently dropping the prefix.
+  ::unsetenv("SUBSONIC_FAULTS");
+  ::unsetenv("SUBSONIC_STATUS_PORT");
+  ::unsetenv("SUBSONIC_METRICS_FLUSH");
+  const Mask2D mask = closed_box(24, 18, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("partial");
+  ProcessRunOptions options;
+  options.checkpoint_interval = 4;
+  options.faults = "kill:rank=1,step=7";
+  options.metrics_flush_interval = 1;
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 1, 12, workdir, options);
+  EXPECT_EQ(r.restarts, 1);
+  EXPECT_EQ(r.final_step, 12);
+
+  std::ifstream in(r.summary_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  // rank 1 ran 7 steps, died, replayed 8 from the epoch-0 checkpoint:
+  // 15 counted steps, tagged partial (the pre-kill prefix came from
+  // periodic flushes, not a clean dump).
+  EXPECT_NE(text.str().find("{\"rank\":1,\"steps\":15,"), std::string::npos)
+      << text.str();
+  EXPECT_NE(text.str().find("\"partial\":true"), std::string::npos)
+      << text.str();
+  // The clean rank is not tagged.
+  const size_t rank0 = text.str().find("{\"rank\":0,");
+  const size_t rank1 = text.str().find("{\"rank\":1,");
+  ASSERT_NE(rank0, std::string::npos);
+  ASSERT_NE(rank1, std::string::npos);
+  EXPECT_EQ(text.str().substr(rank0, rank1 - rank0).find("\"partial\""),
+            std::string::npos);
+
+  // No endpoint was requested: no port file may exist.
+  std::ifstream port_file(workdir + "/status.port");
+  EXPECT_FALSE(port_file.good());
+}
+
+TEST(ProcessStatusEndpoint, DisabledByDefaultLeavesNoPortFile) {
+  ::unsetenv("SUBSONIC_FAULTS");
+  ::unsetenv("SUBSONIC_STATUS_PORT");
+  const Mask2D mask = closed_box(24, 18, 1);
+  FluidParams p;
+  p.dt = 1.0;
+  const std::string workdir = make_workdir("off");
+  ProcessRunOptions options;
+  const ProcessRunResult r = run_multiprocess2d(
+      mask, p, Method::kLatticeBoltzmann, 2, 1, 6, workdir, options);
+  EXPECT_EQ(r.final_step, 6);
+  std::ifstream port_file(workdir + "/status.port");
+  EXPECT_FALSE(port_file.good());
+}
+
+}  // namespace
+}  // namespace subsonic

@@ -1,0 +1,165 @@
+// The Prometheus text exposition (version 0.0.4) behind GET /metrics:
+// name sanitization, label escaping, cumulative histogram buckets with
+// +Inf, and a golden round trip — a tiny scraper parses the document
+// back and must land on the source numbers.
+#include "src/telemetry/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/metrics.hpp"
+#include "src/telemetry/summary.hpp"
+
+namespace subsonic {
+namespace telemetry {
+namespace {
+
+TEST(Prometheus, SanitizesMetricNamesIntoTheLegalCharset) {
+  EXPECT_EQ(sanitize_metric_name("comm.exchange"), "comm_exchange");
+  EXPECT_EQ(sanitize_metric_name("compute.block_3"), "compute_block_3");
+  EXPECT_EQ(sanitize_metric_name("a-b c/d"), "a_b_c_d");
+  EXPECT_EQ(sanitize_metric_name("legal_name:ok9"), "legal_name:ok9");
+  // A leading digit is illegal and gets a '_' prefix, not dropped.
+  EXPECT_EQ(sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(sanitize_metric_name(""), "");
+}
+
+TEST(Prometheus, EscapesLabelValues) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escape_label_value("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(escape_label_value("new\nline"), "new\\nline");
+  EXPECT_EQ(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+}
+
+RankMetrics sample_rank(int rank) {
+  RankMetrics rm;
+  rm.rank = rank;
+  rm.counters["steps"] = 100 + rank;
+  rm.counters["transport.msgs_sent"] = 4000 + rank;
+  rm.gauges["transport.send_queue_depth"] = {2.0, 7.0};
+  TimerStats t;
+  t.count = 10;
+  t.total_s = 2.5;
+  t.min_s = 0.1;
+  t.max_s = 0.6;
+  rm.timers["compute.kernel"] = t;
+  Histogram h;
+  h.record(0.5e-6);
+  h.record(3e-3);
+  h.record(3e-3);
+  h.record(1e9);  // +Inf bucket
+  rm.histograms["step.wall"] = h.data();
+  return rm;
+}
+
+/// Minimal scraper: every non-comment line is `family{labels} value`.
+std::map<std::string, double> scrape(const std::string& text) {
+  std::map<std::string, double> series;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << line;
+    series[line.substr(0, space)] =
+        std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  return series;
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeAndEndAtInf) {
+  const std::string text = prometheus_text({sample_rank(0)});
+  const std::map<std::string, double> series = scrape(text);
+
+  // Walk the buckets in emission order and check monotonicity.
+  double prev = 0;
+  long long bucket_lines = 0;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_inf = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("subsonic_step_wall_seconds_bucket{", 0) != 0) continue;
+    ++bucket_lines;
+    const double v = std::strtod(
+        line.c_str() + line.rfind(' ') + 1, nullptr);
+    EXPECT_GE(v, prev) << line;
+    prev = v;
+    if (line.find("le=\"+Inf\"") != std::string::npos) saw_inf = true;
+  }
+  EXPECT_EQ(bucket_lines,
+            static_cast<long long>(HistogramData::kBuckets));
+  EXPECT_TRUE(saw_inf);
+
+  // The +Inf bucket equals _count, and _sum is the recorded total.
+  const double inf =
+      series.at("subsonic_step_wall_seconds_bucket{rank=\"0\",le=\"+Inf\"}");
+  EXPECT_DOUBLE_EQ(inf, 4.0);
+  EXPECT_DOUBLE_EQ(series.at("subsonic_step_wall_seconds_count{rank=\"0\"}"),
+                   4.0);
+  EXPECT_NEAR(series.at("subsonic_step_wall_seconds_sum{rank=\"0\"}"),
+              0.5e-6 + 3e-3 + 3e-3 + 1e9, 1.0);
+}
+
+TEST(Prometheus, GoldenRoundTripThroughAScraper) {
+  const std::vector<RankMetrics> ranks = {sample_rank(0), sample_rank(1)};
+  const std::string text = prometheus_text(ranks);
+  const std::map<std::string, double> series = scrape(text);
+
+  for (const RankMetrics& rm : ranks) {
+    const std::string r = "{rank=\"" + std::to_string(rm.rank) + "\"}";
+    EXPECT_DOUBLE_EQ(series.at("subsonic_steps_total" + r),
+                     static_cast<double>(rm.counters.at("steps")));
+    EXPECT_DOUBLE_EQ(
+        series.at("subsonic_transport_msgs_sent_total" + r),
+        static_cast<double>(rm.counters.at("transport.msgs_sent")));
+    EXPECT_DOUBLE_EQ(series.at("subsonic_transport_send_queue_depth" + r),
+                     2.0);
+    EXPECT_DOUBLE_EQ(
+        series.at("subsonic_transport_send_queue_depth_max" + r), 7.0);
+    EXPECT_DOUBLE_EQ(series.at("subsonic_compute_kernel_seconds_count" + r),
+                     10.0);
+    EXPECT_DOUBLE_EQ(series.at("subsonic_compute_kernel_seconds_sum" + r),
+                     2.5);
+  }
+
+  // Exactly one # TYPE header per family, each naming a legal type.
+  std::map<std::string, std::string> types;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE ", 0) != 0) continue;
+    std::istringstream fields(line.substr(7));
+    std::string family, type;
+    fields >> family >> type;
+    EXPECT_EQ(types.count(family), 0u) << "duplicate # TYPE " << family;
+    types[family] = type;
+    EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+        << line;
+  }
+  EXPECT_EQ(types.at("subsonic_steps_total"), "counter");
+  EXPECT_EQ(types.at("subsonic_transport_send_queue_depth"), "gauge");
+  EXPECT_EQ(types.at("subsonic_step_wall_seconds"), "histogram");
+
+  // Sanitized family names only: no dots may survive into series names.
+  std::istringstream again(text);
+  while (std::getline(again, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t brace = line.find('{');
+    ASSERT_NE(brace, std::string::npos) << line;
+    EXPECT_EQ(line.substr(0, brace).find('.'), std::string::npos) << line;
+  }
+}
+
+TEST(Prometheus, EmptyInputRendersAnEmptyDocument) {
+  EXPECT_EQ(prometheus_text({}), "");
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace subsonic

@@ -152,6 +152,52 @@ TEST(Trace, ChromeJsonIsWellFormedAndMerges) {
   std::remove(merged.c_str());
 }
 
+TEST(Trace, MergeSkipsTruncatedTracesAndStillLoads) {
+  // A SIGKILLed rank can leave a half-written trace behind.  The merge
+  // must skip it (with a warning) and still produce a loadable document
+  // carrying everyone else's events — a dead rank never takes the whole
+  // timeline with it.
+  SessionConfig cfg;
+  cfg.trace = true;
+  Session good(cfg);
+  { ScopedSpan span(&good, 0, "compute.fd_velocity", "compute", 0); }
+
+  const std::string path_good = tmp_path("trace_good.json");
+  const std::string path_torn = tmp_path("trace_torn.json");
+  const std::string path_junk = tmp_path("trace_junk.json");
+  const std::string merged = tmp_path("trace_merged_torn.json");
+  good.write_trace_json(path_good);
+  {
+    // Cut a real trace off mid-stream: header present, array never
+    // closed, final event torn.
+    const std::string full = slurp(path_good);
+    std::ofstream torn(path_torn, std::ios::binary);
+    torn << full.substr(0, full.find("\"traceEvents\":[") + 20);
+  }
+  {
+    std::ofstream junk(path_junk, std::ios::binary);
+    junk << "not json at all";
+  }
+
+  merge_chrome_traces(
+      {path_torn, path_good, path_junk, tmp_path("trace_missing.json")},
+      merged);
+
+  const std::string text = slurp(merged);
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  // Only the intact trace's event survives, and the document stays
+  // balanced (loadable by the trace viewer).
+  EXPECT_EQ(count_occurrences(text, "\"ph\":\"X\""), 1u);
+  EXPECT_EQ(count_occurrences(text, "{"), count_occurrences(text, "}"));
+  EXPECT_EQ(count_occurrences(text, "["), count_occurrences(text, "]"));
+
+  std::remove(path_good.c_str());
+  std::remove(path_torn.c_str());
+  std::remove(path_junk.c_str());
+  std::remove(merged.c_str());
+}
+
 TEST(Summary, MetricsJsonlRoundTripsThroughAggregator) {
   Session session;
   MetricsRegistry& reg = session.metrics();
