@@ -113,20 +113,23 @@ int read_port_file(const std::string& workdir) {
 }
 
 void render(const std::string& doc) {
-  std::printf("%-5s %-8s %4s %8s %8s %9s %9s %6s %9s %9s %9s %s\n", "RANK",
-              "STATE", "GEN", "STEP", "MLUPS", "T_CALC_S", "T_COM_S", "UTIL",
-              "P50_MS", "P95_MS", "P99_MS", "LAST_EVENT");
+  std::printf("%-5s %-10s %-8s %4s %8s %8s %9s %9s %6s %9s %9s %9s %s\n",
+              "RANK", "HOST", "STATE", "GEN", "STEP", "MLUPS", "T_CALC_S",
+              "T_COM_S", "UTIL", "P50_MS", "P95_MS", "P99_MS", "LAST_EVENT");
   for (const std::string& r : array_objects(doc, "ranks")) {
     const double cells = num_field(r, "fluid_cells");
     const double steps = num_field(r, "steps_done");
     const double t_calc = num_field(r, "t_calc_s");
     const double mlups =
         t_calc > 0 ? cells * steps / t_calc / 1.0e6 : 0;
-    std::printf("%-5.0f %-8s %4.0f %8.0f %8.2f %9.3f %9.3f %5.1f%% %9.3f "
-                "%9.3f %9.3f %s\n",
-                num_field(r, "rank"), str_field(r, "state").c_str(),
-                num_field(r, "generation"), num_field(r, "step"), mlups,
-                t_calc, num_field(r, "t_com_s"),
+    std::string host = str_field(r, "host");
+    if (host.empty()) host = "-";
+    if (host.size() > 10) host.resize(10);
+    std::printf("%-5.0f %-10s %-8s %4.0f %8.0f %8.2f %9.3f %9.3f %5.1f%% "
+                "%9.3f %9.3f %9.3f %s\n",
+                num_field(r, "rank"), host.c_str(),
+                str_field(r, "state").c_str(), num_field(r, "generation"),
+                num_field(r, "step"), mlups, t_calc, num_field(r, "t_com_s"),
                 100.0 * num_field(r, "utilization"),
                 1e3 * num_field(r, "step_wall_p50_s"),
                 1e3 * num_field(r, "step_wall_p95_s"),
@@ -191,10 +194,12 @@ int main(int argc, char** argv) {
       std::printf("subsonic_top: waiting for a status endpoint%s...\n",
                   workdir.empty() ? "" : (" in " + workdir).c_str());
     } else {
+      std::string launcher = str_field(doc, "launcher");
+      if (launcher.empty()) launcher = "-";
       std::printf("subsonic_top  target_step=%.0f  processes=%.0f  "
-                  "blocks=%.0f  done=%s\n\n",
+                  "blocks=%.0f  launcher=%s  done=%s\n\n",
                   num_field(doc, "target_step"), num_field(doc, "processes"),
-                  num_field(doc, "blocks"),
+                  num_field(doc, "blocks"), launcher.c_str(),
                   doc.find("\"done\": true") != std::string::npos ? "yes"
                                                                   : "no");
       render(doc);

@@ -8,9 +8,11 @@
 //   run_summary.json         measured T_calc / T_com / utilization per
 //                            rank next to the paper model's predicted f
 //
-// Usage: telemetry_demo [workdir] [steps] [dims]   (workdir must exist;
-// default "." / 24 steps / dims 2).  dims 2 runs a 2x2 decomposition,
-// dims 3 a 2x2x1 one — both through the same supervised Cohort pipeline.
+// Usage: telemetry_demo [workdir] [steps] [dims] [blocks]   (workdir must
+// exist; default "." / 24 steps / dims 2 / blocks 0).  dims 2 runs a 2x2
+// decomposition, dims 3 a 2x2x1 one — both through the same supervised
+// Cohort pipeline.  blocks > 0 routes the run through the over-decomposed
+// blocked runtime with that block side.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -22,6 +24,7 @@ int main(int argc, char** argv) {
   const std::string workdir = argc > 1 ? argv[1] : ".";
   const int steps = argc > 2 ? std::atoi(argv[2]) : 24;
   const int dims = argc > 3 ? std::atoi(argv[3]) : 2;
+  const int blocks = argc > 4 ? std::atoi(argv[4]) : 0;
   if (dims != 2 && dims != 3) {
     std::fprintf(stderr, "telemetry_demo: dims must be 2 or 3, got %d\n",
                  dims);
@@ -36,6 +39,7 @@ int main(int argc, char** argv) {
   ProcessRunOptions options;
   options.trace = 1;  // force tracing regardless of SUBSONIC_TRACE
   options.checkpoint_interval = 8;
+  options.block_side = blocks;
 
   ProcessRunResult result;
   if (dims == 2) {

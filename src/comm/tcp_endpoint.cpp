@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "src/comm/rendezvous.hpp"
 #include "src/telemetry/metrics.hpp"
 #include "src/util/check.hpp"
 #include "src/util/stopwatch.hpp"
@@ -165,9 +166,20 @@ TcpEndpoint::TcpEndpoint(int rank, int ranks, std::string registry_path,
     throw_errno("getsockname");
   port_ = ntohs(addr.sin_port);
 
-  // Publish "rank port" — append mode under an exclusive lock, exactly
-  // the paper's shared-file protocol, because other processes register
+  // Publish (rank, port).  Against a rendezvous service this is one REG
+  // request; otherwise it is the paper's shared-file protocol — append
+  // mode under an exclusive lock, because other processes register
   // concurrently.
+  rendezvous::Endpoint rdv;
+  if (rendezvous::parse_registry(registry_path_, &rdv)) {
+    rdv_client_ = std::make_unique<rendezvous::Client>(rdv.host, rdv.port);
+    rdv_round_ = rdv.round;
+    if (!rdv_client_->publish(rdv_round_, rank_, "127.0.0.1", port_))
+      throw std::runtime_error("rendezvous registration failed for rank " +
+                               std::to_string(rank_) + " at " +
+                               registry_path_);
+    return;
+  }
   const int fd =
       ::open(registry_path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd < 0) throw_errno("registry open");
@@ -201,14 +213,20 @@ TcpEndpoint::~TcpEndpoint() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
-int TcpEndpoint::lookup_port(int rank) const {
-  // Peers may not have registered yet; poll the shared file until the
-  // connect deadline.
+int TcpEndpoint::lookup_port(int rank, std::string* host) const {
+  // Peers may not have registered yet; poll the registry — rendezvous
+  // GET probes or shared-file reads — until the connect deadline.
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(options_.connect_deadline_ms);
   for (;;) {
     pump_wait_hooks();
-    {
+    if (rdv_client_) {
+      rendezvous::PeerAddr addr;
+      if (rdv_client_->lookup(rdv_round_, rank, &addr)) {
+        if (host) *host = addr.host;
+        return addr.port;
+      }
+    } else {
       std::ifstream in(registry_path_);
       int r = 0, port = 0;
       while (in >> r >> port)
@@ -224,7 +242,13 @@ int TcpEndpoint::lookup_port(int rank) const {
 int TcpEndpoint::connect_to(int rank) {
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(options_.connect_deadline_ms);
-  const int port = lookup_port(rank);
+  std::string host;
+  const int port = lookup_port(rank, &host);
+  in_addr peer_addr{};
+  peer_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (!host.empty() && ::inet_aton(host.c_str(), &peer_addr) == 0)
+    throw std::runtime_error("rendezvous returned unparseable host \"" +
+                             host + "\" for rank " + std::to_string(rank));
   // The peer has published its port, but its accept queue may fill or the
   // listener may briefly not exist yet (or anymore): retry refused
   // connections with exponential backoff until the deadline or the attempt
@@ -241,7 +265,7 @@ int TcpEndpoint::connect_to(int rank) {
     if (fd < 0) throw_errno("socket");
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_addr = peer_addr;
     addr.sin_port = htons(static_cast<std::uint16_t>(port));
     ++attempts;
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==

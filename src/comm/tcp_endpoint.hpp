@@ -20,6 +20,7 @@
 #include <exception>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -28,6 +29,10 @@
 #include "src/comm/transport.hpp"
 
 namespace subsonic {
+
+namespace rendezvous {
+class Client;
+}
 
 namespace telemetry {
 class Counter;
@@ -76,9 +81,13 @@ struct TcpEndpointOptions {
 
 class TcpEndpoint {
  public:
-  /// Binds a listener for `rank` and publishes its port in
-  /// `registry_path` (append mode + lock, so concurrent processes can
-  /// register simultaneously).
+  /// Binds a listener for `rank` and publishes its port.  A plain
+  /// `registry_path` is a shared file (append mode + lock, so concurrent
+  /// processes can register simultaneously); an
+  /// "rdv:<host>:<port>[.g<round>]" path instead registers with — and
+  /// resolves peers from — the supervisor's rendezvous service
+  /// (src/comm/rendezvous.hpp), keeping run-critical coordination off the
+  /// shared filesystem.
   TcpEndpoint(int rank, int ranks, std::string registry_path,
               TcpEndpointOptions options = {});
   ~TcpEndpoint();
@@ -120,7 +129,7 @@ class TcpEndpoint {
   void read_bytes(int fd, void* data, std::size_t len, bool has_deadline,
                   std::chrono::steady_clock::time_point deadline,
                   telemetry::Counter* expired);
-  int lookup_port(int rank) const;
+  int lookup_port(int rank, std::string* host) const;
   int connect_to(int rank);
   void sender_loop();
 
@@ -128,6 +137,10 @@ class TcpEndpoint {
   int ranks_;
   std::string registry_path_;
   TcpEndpointOptions options_;
+  // Set when registry_path_ is an "rdv:" endpoint; mutable because the
+  // sender thread resolves peers through it from const lookup_port.
+  mutable std::unique_ptr<rendezvous::Client> rdv_client_;
+  int rdv_round_ = 0;
   int listen_fd_ = -1;
   int port_ = 0;
   std::map<int, int> in_fds_;

@@ -29,7 +29,9 @@
 #include "src/comm/http_status.hpp"
 #include "src/io/checkpoint.hpp"
 #include "src/runtime/cohort.hpp"
+#include "src/runtime/cohort_lifecycle.hpp"
 #include "src/runtime/epoch_store.hpp"
+#include "src/runtime/launcher.hpp"
 #include "src/runtime/rebalancer.hpp"
 #include "src/runtime/status_board.hpp"
 #include "src/runtime/supervisor.hpp"
@@ -117,14 +119,15 @@ ProcessRunResult run_supervised_blocked(
                                ? FaultPlan::from_env()
                                : FaultPlan::parse(options.faults);
 
-  const std::string registry = workdir + "/ports";
-  liveness::remove_port_registries(workdir);
+  // Fresh run-control state per run (see supervisor.cpp): stale registry
+  // files and status.port from a crashed prior run are removed; live port
+  // registration goes through the rendezvous service, not the filesystem.
+  cohort::Lifecycle::clean_run_control_files(workdir);
   epoch::clear_run_state(workdir);
   clean_stale_blocked_artifacts<Dim>(workdir, bd, method, ghost);
   std::remove((workdir + "/trace.json").c_str());
   std::remove((workdir + "/run_summary.json").c_str());
   std::remove((workdir + "/supervisor.metrics.jsonl").c_str());
-  std::remove((workdir + "/status.port").c_str());
 
   const bool trace_on =
       options.trace > 0 ||
@@ -162,6 +165,19 @@ ProcessRunResult run_supervised_blocked(
   const int flush_interval = supervisor_detail::resolve_metrics_flush_interval(
       options.metrics_flush_interval);
 
+  // Cohort lifecycle (see supervisor.cpp): launcher, rendezvous service,
+  // stderr tagging, harvests, failure reports — shared across segments.
+  cohort::Lifecycle::Setup lcs;
+  lcs.workdir = workdir;
+  lcs.trace_on = trace_on;
+  lcs.dim = Dim;
+  lcs.blocked = true;
+  lcs.launcher = options.launcher;
+  lcs.faults_spec = options.faults;
+  lcs.faults = &faults;
+  lcs.liveness = &options.liveness;
+  cohort::Lifecycle lc(std::move(lcs));
+
   // Live introspection plane (see supervisor.cpp): board + endpoint, off
   // unless a status port was requested.
   std::unique_ptr<liveness::StatusBoard> board;
@@ -185,7 +201,10 @@ ProcessRunResult run_supervised_blocked(
     bc.dims = Dim;
     bc.blocks = bd.block_count();
     bc.supervisor = &supervisor;
+    bc.hosts.assign(bc.ranks.size(), lc.host_tag());
+    bc.launcher = lc.launcher_name();
     board->configure(std::move(bc));
+    lc.set_board(board.get());
     board->set_owner_map(bd.owner_map());
     http = std::make_unique<HttpStatusServer>(
         want_port, [b = board.get()](const std::string& path,
@@ -231,49 +250,9 @@ ProcessRunResult run_supervised_blocked(
     }
   };
 
-  // Whole-run telemetry, accumulated across segments (children rewrite
-  // their per-rank streams every cohort) and across mid-segment rank
-  // deaths (harvested from the SIGTERM-flushed stream before a respawn).
-  std::map<int, telemetry::RankMetrics> accumulated;
-  std::vector<std::string> harvested_traces;
-  auto harvest_rank = [&](int rank, bool flushed) {
-    const std::string mp = cohort::metrics_path(workdir, rank);
-    bool got = false;
-    try {
-      for (telemetry::RankMetrics& rm : telemetry::read_metrics_jsonl(mp)) {
-        if (rm.rank != rank) continue;
-        accumulated[rank].rank = rank;
-        telemetry::merge_metrics(accumulated[rank], rm);
-        got = true;
-      }
-    } catch (const std::exception&) {
-      // SIGKILL before the first periodic flush: nothing was flushed.
-    }
-    // Only the periodic flushes survive a signal death: a truthful
-    // prefix of the rank's work, tagged so downstream readers know.
-    if (got && !flushed) accumulated[rank].partial = true;
-    if (got && board) board->on_harvest(rank, accumulated[rank]);
-    std::remove(mp.c_str());
-    if (trace_on) {
-      const std::string tp = cohort::rank_trace_path(workdir, rank);
-      std::ifstream probe(tp);
-      if (probe.good()) {
-        const std::string moved = workdir + "/rank_" + std::to_string(rank) +
-                                  ".g" +
-                                  std::to_string(harvested_traces.size()) +
-                                  ".trace.json";
-        std::rename(tp.c_str(), moved.c_str());
-        harvested_traces.push_back(moved);
-      }
-    }
-  };
-
-  // Stderr-tagger threads accumulate across spawns; joined at the end.
-  std::vector<std::thread> taggers;
-  auto join_taggers = [&taggers]() {
-    for (std::thread& t : taggers)
-      if (t.joinable()) t.join();
-  };
+  // Whole-run telemetry lives in lc.harvested(): mid-segment rank deaths
+  // are harvested there by the lifecycle, and each segment's clean totals
+  // are folded in below (children rewrite their streams every cohort).
 
   // The ranks of the *last* segment, for the final aggregation below.
   std::vector<int> active_list = bd.active_ranks();
@@ -287,6 +266,21 @@ ProcessRunResult run_supervised_blocked(
             : target_step;
     active_list = bd.active_ranks();
     result.processes = static_cast<int>(active_list.size());
+
+    // Exec children rebuild the segment's world from the spec file, so it
+    // must carry the owner map in force *this* segment (rebalances rewrite
+    // it between segments).
+    if (lc.wants_spec()) {
+      cohort::CohortSpec cs;
+      cs.set_mask(mask);
+      cs.method = method;
+      cs.blocked = true;
+      cs.block_side = side;
+      cs.grid = grid;
+      cs.params = params;
+      cs.owner = bd.owner_map();
+      lc.write_spec(cs);
+    }
 
     auto spawn_child = [&](int rank, int gen, long restore_epoch, int hb_fd,
                            int ctl_fd,
@@ -312,23 +306,12 @@ ProcessRunResult run_supervised_blocked(
       cfg.control_fd = ctl_fd;
       cfg.beacon_interval_ms = options.liveness.beacon_interval_ms;
       cfg.metrics_flush_interval = flush_interval;
-      int err_pipe[2];
-      SUBSONIC_REQUIRE_MSG(::pipe(err_pipe) == 0, "pipe failed");
-      std::fflush(nullptr);
-      const pid_t pid = ::fork();
-      SUBSONIC_REQUIRE_MSG(pid >= 0, "fork failed");
-      if (pid == 0) {
-        ::dup2(err_pipe[1], 2);
-        ::close(err_pipe[0]);
-        ::close(err_pipe[1]);
-        for (int fd : close_in_child) ::close(fd);
-        cohort::child_main_blocked<Dim>(mask, params, method, bd, cfg,
-                                        workdir, registry,
-                                        faults);  // never returns
-      }
-      ::close(err_pipe[1]);
-      taggers.emplace_back(cohort::tag_child_stderr, err_pipe[0], rank);
-      return pid;
+      return lc.spawn(rank, std::move(cfg), close_in_child,
+                      [&](const cohort::ChildConfig& final_cfg) {
+                        cohort::child_main_blocked<Dim>(
+                            mask, params, method, bd, final_cfg, workdir,
+                            lc.registry(), faults);  // never returns
+                      });
     };
 
     // A segment's first cohort resumes from the legacy block dumps the
@@ -341,9 +324,7 @@ ProcessRunResult run_supervised_blocked(
     hooks.poll_epochs = poll_epochs;
     hooks.committed_epoch = [&]() { return committed_epoch; };
     hooks.begin_generation = [&, seg_start_gen](int gen, long epoch) {
-      std::remove(liveness::registry_for(registry, gen).c_str());
-      if (gen > 0)
-        std::remove(liveness::registry_for(registry, gen - 1).c_str());
+      lc.begin_generation(gen);
       if (epoch < 0 && gen > seg_start_gen && cur_step == 0) {
         // Epoch-less recovery of a fresh run replays from scratch: a
         // block whose owner already finished the segment carries a
@@ -358,7 +339,12 @@ ProcessRunResult run_supervised_blocked(
         }
       }
     };
-    hooks.on_rank_down = harvest_rank;
+    hooks.on_rank_down = [&](int rank, bool flushed) {
+      lc.harvest_rank(rank, flushed);
+    };
+    hooks.host_of = [&](int) { return lc.host_tag(); };
+    if (lc.socket_channels())
+      hooks.adopt_channels = [&](int rank) { return lc.adopt_channels(rank); };
     if (board) {
       hooks.on_metrics_frame = [b = board.get()](
                                    const liveness::MetricsFrame& mf) {
@@ -370,23 +356,7 @@ ProcessRunResult run_supervised_blocked(
       };
     }
     hooks.fail = [&](const std::vector<liveness::EngineFailure>& fails) {
-      liveness::remove_port_registries(workdir);
-      std::remove((workdir + "/status.port").c_str());
-      std::vector<RankFailure> failures;
-      std::ostringstream msg;
-      msg << "parallel run failed after " << result.restarts
-          << " restart(s);";
-      for (const liveness::EngineFailure& ef : fails) {
-        RankFailure f;
-        f.rank = ef.rank;
-        f.wait_status = ef.status;
-        f.detail = ef.hung ? "hung (heartbeat silence); " +
-                                 describe_status(ef.status)
-                           : describe_status(ef.status);
-        msg << " rank " << f.rank << ": " << f.detail << ';';
-        failures.push_back(std::move(f));
-      }
-      throw ProcessRunError(msg.str(), std::move(failures));
+      lc.fail(fails, result.restarts);
     };
 
     {
@@ -396,8 +366,11 @@ ProcessRunResult run_supervised_blocked(
                                     &result.restarts, &result.forks);
       try {
         engine.run(&generation, -1);
+      } catch (const launcher::SpawnError& e) {
+        lc.join_taggers();
+        lc.fail_spawn(e, result.restarts);
       } catch (...) {
-        join_taggers();
+        lc.join_taggers();
         throw;
       }
     }
@@ -420,7 +393,8 @@ ProcessRunResult run_supervised_blocked(
       // in the NEXT segment — before its first flush truncates the file —
       // would otherwise harvest this segment's totals a second time.
       std::remove(cohort::metrics_path(workdir, rank).c_str());
-      telemetry::merge_metrics(accumulated[rank], seg);
+      lc.harvested()[rank].rank = rank;
+      telemetry::merge_metrics(lc.harvested()[rank], seg);
       segment_metrics.push_back(std::move(seg));
     }
 
@@ -468,8 +442,8 @@ ProcessRunResult run_supervised_blocked(
       }
     }
   }
-  join_taggers();
-  liveness::remove_port_registries(workdir);
+  lc.join_taggers();
+  std::remove((workdir + "/cohort.spec").c_str());
   if (board) board->set_done(true);
   result.committed_epoch = committed_epoch;
   result.block_owner = bd.owner_map();
@@ -486,8 +460,8 @@ ProcessRunResult run_supervised_blocked(
   std::vector<telemetry::RankMetrics> rank_metrics;
   rank_metrics.reserve(active_list.size());
   for (int rank : active_list) {
-    auto it = accumulated.find(rank);
-    if (it != accumulated.end()) {
+    auto it = lc.harvested().find(rank);
+    if (it != lc.harvested().end()) {
       rank_metrics.push_back(it->second);
     } else {
       telemetry::RankMetrics empty;
@@ -534,7 +508,7 @@ ProcessRunResult run_supervised_blocked(
   telemetry::write_run_summary(summary, result.summary_path);
   supervisor.write_metrics_jsonl(workdir + "/supervisor.metrics.jsonl");
   if (trace_on) {
-    std::vector<std::string> traces = harvested_traces;
+    std::vector<std::string> traces = lc.harvested_traces();
     traces.reserve(traces.size() + active_list.size());
     for (int rank : active_list)
       traces.push_back(cohort::rank_trace_path(workdir, rank));

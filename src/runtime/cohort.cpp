@@ -1,5 +1,6 @@
 #include "src/runtime/cohort.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <unistd.h>
@@ -10,8 +11,10 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <thread>
 
+#include "src/comm/rendezvous.hpp"
 #include "src/comm/tcp_endpoint.hpp"
 #include "src/io/atomic_file.hpp"
 #include "src/io/checkpoint.hpp"
@@ -234,6 +237,35 @@ void publish_metrics(telemetry::Session* tel, liveness::Emitter& hb, int rank,
   hb.emit_metrics(mf);
 }
 
+/// An exec-launched child cannot inherit pipe fds across hosts; instead
+/// the supervisor hands it a rendezvous endpoint and the child dials its
+/// heartbeat and control channels back.  The dialed sockets drop into the
+/// same ChildConfig slots the pipe fds would occupy, so everything
+/// downstream (Emitter, rollback polling) is transport-blind.  A no-op
+/// when the endpoint is empty or the fds were inherited (fork launcher).
+ChildConfig connect_socket_channels(const ChildConfig& in) {
+  ChildConfig cfg = in;
+  if (cfg.channel_endpoint.empty() ||
+      (cfg.heartbeat_fd >= 0 && cfg.control_fd >= 0))
+    return cfg;
+  rendezvous::Endpoint ep;
+  if (!rendezvous::parse_registry(cfg.channel_endpoint, &ep))
+    throw std::runtime_error("bad channel endpoint: " + cfg.channel_endpoint);
+  if (cfg.heartbeat_fd < 0) {
+    const int fd =
+        rendezvous::Client::connect_channel(ep.host, ep.port, "HB", cfg.rank);
+    // Beacons must never block the physics loop: the supervisor-side
+    // reader can stall without stalling the step (pipes got O_NONBLOCK
+    // from the supervisor; a dialed socket sets it here).
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+    cfg.heartbeat_fd = fd;
+  }
+  if (cfg.control_fd < 0)
+    cfg.control_fd =
+        rendezvous::Client::connect_channel(ep.host, ep.port, "CTL", cfg.rank);
+  return cfg;
+}
+
 }  // namespace
 
 template <int Dim>
@@ -241,12 +273,13 @@ template <int Dim>
                              const FluidParams& params, Method method,
                              const typename DomainTraits<Dim>::Decomp& decomp,
                              const std::vector<bool>& active,
-                             const ChildConfig& cfg,
+                             const ChildConfig& cfg_in,
                              const std::string& workdir,
                              const std::string& registry,
                              const FaultPlan& faults) {
   using Traits = DomainTraits<Dim>;
   using LinkPlan = typename Traits::LinkPlan;
+  const ChildConfig cfg = connect_socket_channels(cfg_in);
   try {
     telemetry::SessionConfig tel_cfg;
     tel_cfg.trace = cfg.trace;
@@ -530,8 +563,9 @@ template <int Dim>
 [[noreturn]] void child_main_blocked(
     const typename DomainTraits<Dim>::Mask& mask, const FluidParams& params,
     Method method, const typename DomainTraits<Dim>::BlockDecomp& bd,
-    const ChildConfig& cfg, const std::string& workdir,
+    const ChildConfig& cfg_in, const std::string& workdir,
     const std::string& registry, const FaultPlan& faults) {
+  const ChildConfig cfg = connect_socket_channels(cfg_in);
   try {
     telemetry::SessionConfig tel_cfg;
     tel_cfg.trace = cfg.trace;

@@ -70,6 +70,12 @@ struct ChildConfig {
   /// (no beacons, no in-process rollback).
   int heartbeat_fd = -1;
   int control_fd = -1;
+  /// Socket-channel mode: the supervisor's rendezvous endpoint
+  /// ("rdv:<host>:<port>").  When set and the fds above are -1, the child
+  /// dials its heartbeat and control channels back through the rendezvous
+  /// service instead of inheriting pipes — the transport for launchers
+  /// whose children share no file descriptors with the supervisor.
+  std::string channel_endpoint;
   int beacon_interval_ms = 50;  ///< min spacing of kWait beacons
   /// Steps between periodic telemetry publications: a delta append to the
   /// rank's metrics stream plus a metrics frame up the heartbeat pipe.

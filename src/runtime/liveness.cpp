@@ -50,6 +50,13 @@ int resolve_floor_ms(const LivenessOptions& options) {
   return 5000;
 }
 
+bool resolve_socket_channels(const LivenessOptions& options) {
+  if (options.socket_channels > 0) return true;
+  if (options.socket_channels < 0) return false;
+  const char* env = std::getenv("SUBSONIC_LIVENESS_CHANNEL");
+  return env && std::string(env) == "socket";
+}
+
 std::string registry_for(const std::string& base, int round) {
   return base + ".g" + std::to_string(round);
 }
@@ -471,6 +478,7 @@ void CohortEngine::record(const char* event, int rank, int generation,
   lr.silence_s = silence_s;
   lr.deadline_s = deadline_s;
   lr.epoch = epoch;
+  if (hooks_.host_of && rank >= 0) lr.host = hooks_.host_of(rank);
   if (hooks_.on_liveness) hooks_.on_liveness(lr);
   if (records_) records_->push_back(std::move(lr));
   if (supervisor_)
@@ -487,38 +495,62 @@ void CohortEngine::close_child_fds(Child& c) {
 }
 
 void CohortEngine::spawn_one(Child& c, int generation, long restore_epoch) {
-  int hb[2];
-  int ctl[2];
-  if (::pipe(hb) != 0) throw std::runtime_error("heartbeat pipe() failed");
-  if (::pipe(ctl) != 0) {
-    ::close(hb[0]);
-    ::close(hb[1]);
-    throw std::runtime_error("control pipe() failed");
-  }
-  // Child's write end never blocks (full pipe drops beacons); parent's
-  // read end never blocks (the monitor drains opportunistically).
-  ::fcntl(hb[1], F_SETFL, O_NONBLOCK);
-  ::fcntl(hb[0], F_SETFL, O_NONBLOCK);
+  const bool sockets = static_cast<bool>(hooks_.adopt_channels);
+  int hb[2] = {-1, -1};
+  int ctl[2] = {-1, -1};
   // Survivors outlive many spawns: every parent-side fd of every other
   // child must be closed in this one, or a dead rank's pipes would stay
   // half-open (no EOF, stray readers) for as long as any sibling lives.
+  // (Socket channels are per-connection, but tidying them out of a forked
+  // sibling is still correct — and free.)
   std::vector<int> close_in_child;
   for (const Child& other : children_) {
     if (other.hb_read >= 0) close_in_child.push_back(other.hb_read);
     if (other.ctl_write >= 0) close_in_child.push_back(other.ctl_write);
   }
-  close_in_child.push_back(hb[0]);
-  close_in_child.push_back(ctl[1]);
+  if (!sockets) {
+    if (::pipe(hb) != 0) throw std::runtime_error("heartbeat pipe() failed");
+    if (::pipe(ctl) != 0) {
+      ::close(hb[0]);
+      ::close(hb[1]);
+      throw std::runtime_error("control pipe() failed");
+    }
+    // Child's write end never blocks (full pipe drops beacons); parent's
+    // read end never blocks (the monitor drains opportunistically).
+    ::fcntl(hb[1], F_SETFL, O_NONBLOCK);
+    ::fcntl(hb[0], F_SETFL, O_NONBLOCK);
+    close_in_child.push_back(hb[0]);
+    close_in_child.push_back(ctl[1]);
+  }
 
-  const pid_t pid =
-      hooks_.spawn(c.rank, generation, restore_epoch, hb[1], ctl[0],
-                   close_in_child);
-  ::close(hb[1]);
-  ::close(ctl[0]);
+  pid_t pid = -1;
+  try {
+    pid = hooks_.spawn(c.rank, generation, restore_epoch, hb[1], ctl[0],
+                       close_in_child);
+  } catch (...) {
+    // No child came to exist: both pipe ends are still ours to clean up.
+    for (int fd : {hb[0], hb[1], ctl[0], ctl[1]})
+      if (fd >= 0) ::close(fd);
+    throw;
+  }
+  if (!sockets) {
+    ::close(hb[1]);
+    ::close(ctl[0]);
+  }
 
   c.pid = pid;
-  c.hb_read = hb[0];
-  c.ctl_write = ctl[1];
+  if (sockets) {
+    // The child dials its channels back through the rendezvous service;
+    // a timeout leaves -1 fds — the rank simply looks silent and the
+    // watchdog escalates it like any other hang.
+    const std::pair<int, int> chans = hooks_.adopt_channels(c.rank);
+    c.hb_read = chans.first;
+    c.ctl_write = chans.second;
+    if (c.hb_read >= 0) ::fcntl(c.hb_read, F_SETFL, O_NONBLOCK);
+  } else {
+    c.hb_read = hb[0];
+    c.ctl_write = ctl[1];
+  }
   c.reaped = false;
   c.done = false;
   c.casualty = false;
@@ -529,6 +561,27 @@ void CohortEngine::spawn_one(Child& c, int generation, long restore_epoch) {
   c.esc = Escalation{};
   monitor_.attach(c.rank, c.hb_read, generation, now_s());
   if (forks_) ++*forks_;
+}
+
+void CohortEngine::emergency_stop() {
+  // A spawn failed mid-round: the cohort is unrecoverable (the missing
+  // rank would starve every peer), so tear it down hard and let the
+  // SpawnError propagate.  SIGKILL, not SIGTERM — there is nothing to
+  // flush gracefully that is worth keeping orphans alive for.
+  for (Child& c : children_) {
+    if (c.reaped || c.pid <= 0) continue;
+    ::kill(c.pid, SIGKILL);
+  }
+  for (Child& c : children_) {
+    if (c.reaped || c.pid <= 0) continue;
+    int status = 0;
+    while (::waitpid(c.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    c.reaped = true;
+    c.status = status;
+    monitor_.detach(c.rank);
+    close_child_fds(c);
+  }
 }
 
 void CohortEngine::fail_all(int generation) {
@@ -592,7 +645,12 @@ void CohortEngine::run(int* generation, long initial_restore_epoch) {
   int g = *generation;
   long epoch = initial_restore_epoch;
   if (hooks_.begin_generation) hooks_.begin_generation(g, epoch);
-  for (Child& c : children_) spawn_one(c, g, epoch);
+  try {
+    for (Child& c : children_) spawn_one(c, g, epoch);
+  } catch (...) {
+    emergency_stop();
+    throw;
+  }
   bool recovering = false;
   // Proof-of-life anchor: the time of the newest down/hang event.  A
   // recovery commits only once every surviving rank has beaconed at or
@@ -734,10 +792,15 @@ void CohortEngine::run(int* generation, long initial_restore_epoch) {
         record("rollback", c.rank, g, monitor_.last_step(c.rank), 0, 0,
                epoch);
       }
-      for (Child& c : children_) {
-        if (!c.reaped) continue;
-        record("restart", c.rank, g, -1, 0, 0, epoch);
-        spawn_one(c, g, epoch);
+      try {
+        for (Child& c : children_) {
+          if (!c.reaped) continue;
+          record("restart", c.rank, g, -1, 0, 0, epoch);
+          spawn_one(c, g, epoch);
+        }
+      } catch (...) {
+        emergency_stop();
+        throw;
       }
       recovering = false;
       progressed = true;

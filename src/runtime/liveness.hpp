@@ -44,6 +44,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/telemetry/summary.hpp"
@@ -70,6 +71,13 @@ struct LivenessOptions {
   int beacon_interval_ms = 50;
   /// SIGTERM -> SIGKILL grace window in ms.
   int grace_ms = 2000;
+  /// Heartbeat/control transport: 0 resolves SUBSONIC_LIVENESS_CHANNEL
+  /// ("socket" switches, anything else keeps pipes), 1 forces sockets,
+  /// -1 forces pipes.  Pipes are the single-host fast path; sockets are
+  /// dialed back through the supervisor's rendezvous service, so they
+  /// work for children that inherit no fds (and later, other hosts).
+  /// Bitwise neutral to the physics either way.
+  int socket_channels = 0;
 };
 
 namespace liveness {
@@ -82,6 +90,9 @@ constexpr int kTermAckExit = 4;
 /// Resolves the silence floor: explicit option > SUBSONIC_HEARTBEAT_MS
 /// env > 5000 ms default.
 int resolve_floor_ms(const LivenessOptions& options);
+
+/// Resolves LivenessOptions::socket_channels (see there).
+bool resolve_socket_channels(const LivenessOptions& options);
 
 /// "<base>.g<round>" — the per-round port registry.  Every recovery round
 /// gets a fresh registry so a respawned rank can never connect to a dead
@@ -303,6 +314,15 @@ struct EngineHooks {
                       int heartbeat_fd, int control_fd,
                       const std::vector<int>& close_in_child)>
       spawn;
+  /// Socket-channel mode: set when the heartbeat/control channels are
+  /// dialed back by the child instead of inherited.  The engine then
+  /// passes -1 fds to `spawn` and calls this right after, blocking until
+  /// the child's channels arrive; returns {hb_read, ctl_write}, or
+  /// {-1, -1} on timeout — the watchdog then treats the rank as silent
+  /// and escalates normally.  Unset = pipe mode, bitwise the old path.
+  std::function<std::pair<int, int>(int rank)> adopt_channels;
+  /// Placement tag for liveness records and /status ("" when unset).
+  std::function<std::string(int rank)> host_of;
   std::function<void()> poll_epochs;
   std::function<long()> committed_epoch;
   /// Called before each round's spawns/rollbacks with the round number
@@ -367,6 +387,10 @@ class CohortEngine {
               double silence_s, double deadline_s, long epoch);
   void spawn_one(Child& c, int generation, long restore_epoch);
   void close_child_fds(Child& c);
+  /// Tears the cohort down after a spawn failure mid-round: SIGKILL +
+  /// blocking reap of every live child, so the SpawnError can propagate
+  /// with no orphans left behind.
+  void emergency_stop();
   [[noreturn]] void fail_all(int generation);
 
   std::vector<Child> children_;

@@ -125,7 +125,8 @@ std::string StatusBoard::status_json() const {
      << ", \"start_step\": " << cfg_.start_step
      << ", \"target_step\": " << cfg_.target_step
      << ", \"blocks\": " << cfg_.blocks
-     << ", \"done\": " << (done_ ? "true" : "false") << "},\n";
+     << ", \"launcher\": \"" << json_escape(cfg_.launcher)
+     << "\", \"done\": " << (done_ ? "true" : "false") << "},\n";
   os << "  \"ranks\": [";
   bool first = true;
   for (std::size_t i = 0; i < cfg_.ranks.size(); ++i) {
@@ -136,6 +137,8 @@ std::string StatusBoard::status_json() const {
     if (!first) os << ',';
     first = false;
     os << "\n    {\"rank\": " << rank << ", \"state\": \"" << rl.state
+       << "\", \"host\": \""
+       << json_escape(i < cfg_.hosts.size() ? cfg_.hosts[i] : "")
        << "\", \"generation\": " << rl.generation;
     os << ", \"fluid_cells\": ";
     append_number(os, i < cfg_.fluid_cells.size() ? cfg_.fluid_cells[i] : 0);
@@ -188,7 +191,8 @@ std::string StatusBoard::status_json() const {
     append_number(os, lr.silence_s);
     os << ", \"deadline_s\": ";
     append_number(os, lr.deadline_s);
-    os << ", \"epoch\": " << lr.epoch << "}";
+    os << ", \"epoch\": " << lr.epoch << ", \"host\": \""
+       << json_escape(lr.host) << "\"}";
   }
   os << (liveness_tail_.empty() ? "],\n" : "\n  ],\n");
   os << "  \"rebalances\": [";

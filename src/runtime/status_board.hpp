@@ -41,6 +41,8 @@ class StatusBoard {
     std::string workdir;
     std::vector<int> ranks;          ///< active ranks, ascending
     std::vector<double> fluid_cells; ///< parallel to ranks (0 = unknown)
+    std::vector<std::string> hosts;  ///< placement tags, parallel to ranks
+    std::string launcher;            ///< "fork" | "exec" ("" = unknown)
     long start_step = 0;
     long target_step = 0;
     int dims = 2;

@@ -18,7 +18,9 @@
 #include "src/comm/http_status.hpp"
 #include "src/io/checkpoint.hpp"
 #include "src/runtime/cohort.hpp"
+#include "src/runtime/cohort_lifecycle.hpp"
 #include "src/runtime/epoch_store.hpp"
+#include "src/runtime/launcher.hpp"
 #include "src/runtime/status_board.hpp"
 #include "src/runtime/supervisor_util.hpp"
 #include "src/telemetry/summary.hpp"
@@ -121,18 +123,17 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
                                ? FaultPlan::from_env()
                                : FaultPlan::parse(options.faults);
 
-  // Fresh registries and fresh epoch state per run: ports are ephemeral
-  // and stale entries would point at dead listeners; stale epoch dumps or
-  // a stale MANIFEST belong to some previous run's step numbering.  The
-  // registry path is a *base*: each recovery round uses ports.g<round>.
-  const std::string registry = workdir + "/ports";
-  liveness::remove_port_registries(workdir);
+  // Fresh run-control state per run: stale ports.g<N> registries or a
+  // stale status.port from a crashed prior run point at dead listeners;
+  // stale epoch dumps or a stale MANIFEST belong to some previous run's
+  // step numbering.  Port registration itself now goes through the
+  // in-memory rendezvous service, never the filesystem.
+  cohort::Lifecycle::clean_run_control_files(workdir);
   epoch::clear_run_state(workdir);
   clean_stale_artifacts<Dim>(workdir, decomp, method, ghost);
   std::remove((workdir + "/trace.json").c_str());
   std::remove((workdir + "/run_summary.json").c_str());
   std::remove((workdir + "/supervisor.metrics.jsonl").c_str());
-  std::remove((workdir + "/status.port").c_str());
 
   // The supervisor's own session: every child inherits its trace origin,
   // so the merged trace.json has one consistent timeline across ranks.
@@ -165,6 +166,27 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
   const int flush_interval = supervisor_detail::resolve_metrics_flush_interval(
       options.metrics_flush_interval);
 
+  // Cohort lifecycle: launcher selection, the rendezvous service the
+  // ranks coordinate through, stderr tagging, harvests, failure reports.
+  cohort::Lifecycle::Setup lcs;
+  lcs.workdir = workdir;
+  lcs.trace_on = trace_on;
+  lcs.dim = Dim;
+  lcs.blocked = false;
+  lcs.launcher = options.launcher;
+  lcs.faults_spec = options.faults;
+  lcs.faults = &faults;
+  lcs.liveness = &options.liveness;
+  cohort::Lifecycle lc(std::move(lcs));
+  if (lc.wants_spec()) {
+    cohort::CohortSpec cs;
+    cs.set_mask(mask);
+    cs.method = method;
+    cs.grid = grid;
+    cs.params = params;
+    lc.write_spec(cs);
+  }
+
   // Live introspection plane: the board collects what the supervision
   // loop learns (frames, liveness events, harvests) and the endpoint
   // serves it.  Both are absent unless a status port was requested, and
@@ -185,7 +207,10 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
     bc.target_step = target_step;
     bc.dims = Dim;
     bc.supervisor = &supervisor;
+    bc.hosts.assign(active_list.size(), lc.host_tag());
+    bc.launcher = lc.launcher_name();
     board->configure(std::move(bc));
+    lc.set_board(board.get());
     http = std::make_unique<HttpStatusServer>(
         want_port, [b = board.get()](const std::string& path,
                                      std::string* body, std::string* ct) {
@@ -237,54 +262,6 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
     }
   };
 
-  // Stderr-tagger threads accumulate across respawns (each drains one
-  // child's pipe until EOF); joined once everything is reaped.
-  std::vector<std::thread> taggers;
-  auto join_taggers = [&taggers]() {
-    for (std::thread& t : taggers)
-      if (t.joinable()) t.join();
-  };
-
-  // Telemetry of ranks that died mid-run (SIGTERM-flushed or partial):
-  // harvested into this map before a respawn rewrites the file, then
-  // folded into the final aggregation.
-  std::map<int, telemetry::RankMetrics> harvested;
-  std::vector<std::string> harvested_traces;
-  auto harvest_rank = [&](int rank, bool flushed) {
-    const std::string mp = cohort::metrics_path(workdir, rank);
-    bool got = false;
-    try {
-      for (telemetry::RankMetrics& rm : telemetry::read_metrics_jsonl(mp)) {
-        if (rm.rank != rank) continue;
-        harvested[rank].rank = rank;
-        telemetry::merge_metrics(harvested[rank], rm);
-        got = true;
-      }
-    } catch (const std::exception&) {
-      // No flush ever happened (SIGKILL before the first periodic flush):
-      // nothing to harvest, the respawn re-counts its replayed work.
-    }
-    // A signal death never ran the exit-path dump, so whatever the
-    // periodic flushes left is a truthful prefix, not the whole story.
-    if (got && !flushed) harvested[rank].partial = true;
-    if (got && board) board->on_harvest(rank, harvested[rank]);
-    // Whatever was (or wasn't) flushed must not be double-read when the
-    // respawned rank writes its own final stream.
-    std::remove(mp.c_str());
-    if (trace_on) {
-      const std::string tp = cohort::rank_trace_path(workdir, rank);
-      std::ifstream probe(tp);
-      if (probe.good()) {
-        const std::string moved = workdir + "/rank_" + std::to_string(rank) +
-                                  ".g" +
-                                  std::to_string(harvested_traces.size()) +
-                                  ".trace.json";
-        std::rename(tp.c_str(), moved.c_str());
-        harvested_traces.push_back(moved);
-      }
-    }
-  };
-
   auto spawn_child = [&](int rank, int gen, long restore_epoch, int hb_fd,
                          int ctl_fd,
                          const std::vector<int>& close_in_child) -> pid_t {
@@ -308,25 +285,13 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
     cfg.control_fd = ctl_fd;
     cfg.beacon_interval_ms = options.liveness.beacon_interval_ms;
     cfg.metrics_flush_interval = flush_interval;
-    int err_pipe[2];
-    SUBSONIC_REQUIRE_MSG(::pipe(err_pipe) == 0, "pipe failed");
-    std::fflush(nullptr);  // do not duplicate buffered output into children
-    const pid_t pid = ::fork();
-    SUBSONIC_REQUIRE_MSG(pid >= 0, "fork failed");
-    if (pid == 0) {
-      // Route the child's stderr through the tagging pipe so the parent
-      // can prefix every line with the rank; drop every parent-side
-      // liveness fd of the cohort so a dead sibling's pipes reach EOF.
-      ::dup2(err_pipe[1], 2);
-      ::close(err_pipe[0]);
-      ::close(err_pipe[1]);
-      for (int fd : close_in_child) ::close(fd);
-      cohort::child_main<Dim>(mask, params, method, decomp, active, cfg,
-                              workdir, registry, faults);  // never returns
-    }
-    ::close(err_pipe[1]);
-    taggers.emplace_back(cohort::tag_child_stderr, err_pipe[0], rank);
-    return pid;
+    return lc.spawn(rank, std::move(cfg), close_in_child,
+                    [&](const cohort::ChildConfig& final_cfg) {
+                      cohort::child_main<Dim>(mask, params, method, decomp,
+                                              active, final_cfg, workdir,
+                                              lc.registry(),
+                                              faults);  // never returns
+                    });
   };
 
   liveness::EngineHooks hooks;
@@ -334,11 +299,9 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
   hooks.poll_epochs = poll_epochs;
   hooks.committed_epoch = [&]() { return committed_epoch; };
   hooks.begin_generation = [&](int gen, long epoch) {
-    // Fresh per-round port registry; the previous round's file now points
+    // Fresh per-round registrations; the previous round's entries point
     // at listeners that are dead or about to be torn down.
-    std::remove(liveness::registry_for(registry, gen).c_str());
-    if (gen > 0)
-      std::remove(liveness::registry_for(registry, gen - 1).c_str());
+    lc.begin_generation(gen);
     if (epoch < 0 && gen > 0 && start_step == 0) {
       // Epoch-less recovery replays the run from scratch: a rank that
       // already finished rewrote its legacy dump at the target step, and
@@ -354,7 +317,12 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
       }
     }
   };
-  hooks.on_rank_down = harvest_rank;
+  hooks.on_rank_down = [&](int rank, bool flushed) {
+    lc.harvest_rank(rank, flushed);
+  };
+  hooks.host_of = [&](int) { return lc.host_tag(); };
+  if (lc.socket_channels())
+    hooks.adopt_channels = [&](int rank) { return lc.adopt_channels(rank); };
   if (board) {
     hooks.on_metrics_frame = [b = board.get()](
                                  const liveness::MetricsFrame& mf) {
@@ -366,22 +334,7 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
     };
   }
   hooks.fail = [&](const std::vector<liveness::EngineFailure>& fails) {
-    liveness::remove_port_registries(workdir);
-    std::remove((workdir + "/status.port").c_str());
-    std::vector<RankFailure> failures;
-    std::ostringstream msg;
-    msg << "parallel run failed after " << result.restarts << " restart(s);";
-    for (const liveness::EngineFailure& ef : fails) {
-      RankFailure f;
-      f.rank = ef.rank;
-      f.wait_status = ef.status;
-      f.detail = ef.hung ? "hung (heartbeat silence); " +
-                               describe_status(ef.status)
-                         : describe_status(ef.status);
-      msg << " rank " << f.rank << ": " << f.detail << ';';
-      failures.push_back(std::move(f));
-    }
-    throw ProcessRunError(msg.str(), std::move(failures));
+    lc.fail(fails, result.restarts);
   };
 
   {
@@ -391,14 +344,17 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
                                   &result.restarts, &result.forks);
     try {
       engine.run(&generation, -1);
+    } catch (const launcher::SpawnError& e) {
+      lc.join_taggers();
+      lc.fail_spawn(e, result.restarts);
     } catch (...) {
-      join_taggers();
+      lc.join_taggers();
       throw;
     }
   }
-  join_taggers();
+  lc.join_taggers();
   poll_epochs();
-  liveness::remove_port_registries(workdir);
+  std::remove((workdir + "/cohort.spec").c_str());
   if (board) board->set_done(true);
   result.committed_epoch = committed_epoch;
 
@@ -420,8 +376,9 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
     // predecessors, plus the final process's stream.
     telemetry::RankMetrics total;
     total.rank = rank;
-    const auto hit = harvested.find(rank);
-    if (hit != harvested.end()) telemetry::merge_metrics(total, hit->second);
+    const auto hit = lc.harvested().find(rank);
+    if (hit != lc.harvested().end())
+      telemetry::merge_metrics(total, hit->second);
     try {
       for (telemetry::RankMetrics& rm : telemetry::read_metrics_jsonl(
                cohort::metrics_path(workdir, rank))) {
@@ -471,7 +428,7 @@ ProcessRunResult run_supervised(const typename DomainTraits<Dim>::Mask& mask,
   telemetry::write_run_summary(summary, result.summary_path);
   supervisor.write_metrics_jsonl(workdir + "/supervisor.metrics.jsonl");
   if (trace_on) {
-    std::vector<std::string> traces = harvested_traces;
+    std::vector<std::string> traces = lc.harvested_traces();
     traces.reserve(traces.size() + active_list.size());
     for (int rank : active_list)
       traces.push_back(cohort::rank_trace_path(workdir, rank));

@@ -124,6 +124,13 @@ struct ProcessRunOptions {
   /// after a grace window, and restarted *surgically* — survivors roll
   /// back in-process instead of being killed and re-forked.
   LivenessOptions liveness;
+
+  /// How rank processes come to exist (launcher.hpp): "fork" runs the
+  /// child body in-process after fork(), "exec" posix_spawns the
+  /// subsonic_child binary, which rebuilds its world from the cohort spec
+  /// file.  "" resolves SUBSONIC_LAUNCHER, defaulting to fork.  Results
+  /// are bitwise identical either way.
+  std::string launcher;
 };
 
 /// How one rank's process ended, for the supervisor's failure report.

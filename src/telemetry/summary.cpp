@@ -364,9 +364,9 @@ std::string run_summary_json(const RunSummary& summary) {
       std::snprintf(buf, sizeof buf,
                     "\n    {\"event\":\"%s\",\"rank\":%d,\"generation\":%d,"
                     "\"step\":%ld,\"silence_s\":%.6f,\"deadline_s\":%.6f,"
-                    "\"epoch\":%ld}",
+                    "\"epoch\":%ld,\"host\":\"%s\"}",
                     lr.event.c_str(), lr.rank, lr.generation, lr.step,
-                    lr.silence_s, lr.deadline_s, lr.epoch);
+                    lr.silence_s, lr.deadline_s, lr.epoch, lr.host.c_str());
       os << buf;
     }
     os << "\n  ],\n";

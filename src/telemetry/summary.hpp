@@ -142,6 +142,7 @@ struct LivenessRecord {
   double silence_s = 0;   ///< heartbeat silence when detected (detections)
   double deadline_s = 0;  ///< adaptive deadline in force (detections)
   long epoch = -1;        ///< epoch restored from (rollback/restart)
+  std::string host;       ///< placement tag of the rank ("" when unknown)
 };
 
 /// The whole run: measured means plus the model's predictions.

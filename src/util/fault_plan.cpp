@@ -121,6 +121,11 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       m.step = take(args, clause, "step");
       m.gen = static_cast<int>(take_or(args, "gen", 0));
       plan.mutes_.push_back(m);
+    } else if (kind == "spawn_fail") {
+      SpawnFail s;
+      s.rank = static_cast<int>(take(args, clause, "rank"));
+      s.gen = static_cast<int>(take_or(args, "gen", 0));
+      plan.spawn_fails_.push_back(s);
     } else {
       bad_spec(clause, "unknown fault kind");
     }
@@ -168,6 +173,12 @@ std::optional<long> FaultPlan::mute_step(int rank, int gen) const {
   for (const Mute& m : mutes_)
     if (m.rank == rank && m.gen == gen) return m.step;
   return std::nullopt;
+}
+
+bool FaultPlan::spawn_fail(int rank, int gen) const {
+  for (const SpawnFail& s : spawn_fails_)
+    if (s.rank == rank && s.gen == gen) return true;
+  return false;
 }
 
 void spin_slow_penalty(double elapsed_s, int permille) {

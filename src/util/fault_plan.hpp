@@ -35,6 +35,14 @@
 //                                       a watchdog false positive the
 //                                       runtime must still recover from
 //                                       bitwise
+//   spawn_fail:rank=R[,gen=G]           launching rank R in generation G
+//                                       fails before a child process exists
+//                                       — a dead workstation the launcher
+//                                       reports immediately, which the
+//                                       supervisor must surface as a clean
+//                                       ProcessRunError (naming the rank
+//                                       and host) instead of leaving a
+//                                       partial cohort hanging
 //
 // Each fault applies to exactly one supervisor generation (the cohort
 // spawn count, 0 for the first launch; default gen=0), so an injected
@@ -82,6 +90,10 @@ class FaultPlan {
     long step = 0;
     int gen = 0;
   };
+  struct SpawnFail {
+    int rank = -1;
+    int gen = 0;
+  };
 
   FaultPlan() = default;
 
@@ -94,7 +106,8 @@ class FaultPlan {
 
   bool empty() const {
     return kills_.empty() && torn_dumps_.empty() && delays_.empty() &&
-           slows_.empty() && hangs_.empty() && mutes_.empty();
+           slows_.empty() && hangs_.empty() && mutes_.empty() &&
+           spawn_fails_.empty();
   }
 
   /// The step at which `rank` must kill itself in generation `gen`, if any.
@@ -119,12 +132,17 @@ class FaultPlan {
   /// computing) in generation `gen`, if any.
   std::optional<long> mute_step(int rank, int gen) const;
 
+  /// True when launching `rank` in generation `gen` must fail outright
+  /// (before any child process exists).
+  bool spawn_fail(int rank, int gen) const;
+
   const std::vector<Kill>& kills() const { return kills_; }
   const std::vector<TornDump>& torn_dumps() const { return torn_dumps_; }
   const std::vector<DelayConnect>& delays() const { return delays_; }
   const std::vector<Slow>& slows() const { return slows_; }
   const std::vector<Hang>& hangs() const { return hangs_; }
   const std::vector<Mute>& mutes() const { return mutes_; }
+  const std::vector<SpawnFail>& spawn_fails() const { return spawn_fails_; }
 
  private:
   std::vector<Kill> kills_;
@@ -133,6 +151,7 @@ class FaultPlan {
   std::vector<Slow> slows_;
   std::vector<Hang> hangs_;
   std::vector<Mute> mutes_;
+  std::vector<SpawnFail> spawn_fails_;
 };
 
 /// Busy-spins (never sleeps — a slow CPU stays busy, it does not yield)

@@ -146,6 +146,21 @@ TEST(FaultPlan, MuteFaultParsesAndScopesByGeneration) {
                std::invalid_argument);
 }
 
+TEST(FaultPlan, SpawnFailParsesAndScopesByGeneration) {
+  const FaultPlan plan =
+      FaultPlan::parse("spawn_fail:rank=2;spawn_fail:rank=0,gen=1");
+  ASSERT_EQ(plan.spawn_fails().size(), 2u);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(plan.spawn_fail(2, 0));
+  EXPECT_FALSE(plan.spawn_fail(2, 1));  // defaults to gen 0 only
+  EXPECT_FALSE(plan.spawn_fail(1, 0));  // wrong rank
+  EXPECT_FALSE(plan.spawn_fail(0, 0));
+  EXPECT_TRUE(plan.spawn_fail(0, 1));   // pinned to the restart generation
+  EXPECT_THROW(FaultPlan::parse("spawn_fail:gen=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("spawn_fail:rank=0,step=3"),
+               std::invalid_argument);
+}
+
 TEST(FaultPlan, FromEnvReadsSubsonicFaults) {
   ::setenv("SUBSONIC_FAULTS", "kill:rank=4,step=11", 1);
   const FaultPlan plan = FaultPlan::from_env();
