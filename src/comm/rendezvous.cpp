@@ -100,6 +100,9 @@ bool parse_registry(const std::string& registry, Endpoint* out) {
     const std::string digits = rest.substr(g + 2);
     if (!digits.empty() &&
         digits.find_first_not_of("0123456789") == std::string::npos) {
+      // 9 digits always fit an int; anything longer is malformed, and
+      // letting stoi throw out_of_range would break the bool contract.
+      if (digits.size() > 9) return false;
       round = std::stoi(digits);
       rest = rest.substr(0, g);
     }
@@ -108,12 +111,13 @@ bool parse_registry(const std::string& registry, Endpoint* out) {
   if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size())
     return false;
   const std::string port_str = rest.substr(colon + 1);
-  if (port_str.find_first_not_of("0123456789") != std::string::npos)
+  if (port_str.size() > 5 ||
+      port_str.find_first_not_of("0123456789") != std::string::npos)
     return false;
   out->host = rest.substr(0, colon);
   out->port = std::stoi(port_str);
   out->round = round;
-  return out->port > 0;
+  return out->port > 0 && out->port <= 65535;
 }
 
 Server::Server() {
@@ -210,6 +214,9 @@ void Server::serve() {
       break;
     }
     if (fds[1].revents & POLLIN) break;
+    // Only the connections that existed when `fds` was built have a
+    // pollfd; a connection accepted below waits for the next round.
+    const std::size_t polled = fds.size() - 2;
     if (fds[0].revents & POLLIN) {
       const int fd = ::accept(listen_fd_, nullptr, nullptr);
       if (fd >= 0) {
@@ -219,7 +226,7 @@ void Server::serve() {
     }
     // Walk connections back-to-front so removal does not shift the
     // pollfd indices still to be visited.
-    for (std::size_t i = conns.size(); i-- > 0;) {
+    for (std::size_t i = polled; i-- > 0;) {
       const short ev = fds[2 + i].revents;
       if (!(ev & (POLLIN | POLLHUP | POLLERR))) continue;
       Conn& conn = conns[i];

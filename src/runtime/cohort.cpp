@@ -254,15 +254,28 @@ ChildConfig connect_socket_channels(const ChildConfig& in) {
   if (cfg.heartbeat_fd < 0) {
     const int fd =
         rendezvous::Client::connect_channel(ep.host, ep.port, "HB", cfg.rank);
-    // Beacons must never block the physics loop: the supervisor-side
-    // reader can stall without stalling the step (pipes got O_NONBLOCK
-    // from the supervisor; a dialed socket sets it here).
-    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
-    cfg.heartbeat_fd = fd;
+    if (fd >= 0) {
+      // Beacons must never block the physics loop: the supervisor-side
+      // reader can stall without stalling the step (pipes got O_NONBLOCK
+      // from the supervisor; a dialed socket sets it here).
+      ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+      cfg.heartbeat_fd = fd;
+    } else {
+      // The Emitter no-ops on fd -1 and the watchdog escalates the
+      // silence; log so the silent rank is diagnosable from stderr.
+      std::fprintf(stderr, "subprocess rank %d: HB channel dial to %s:%d failed\n",
+                   cfg.rank, ep.host.c_str(), ep.port);
+    }
   }
-  if (cfg.control_fd < 0)
-    cfg.control_fd =
+  if (cfg.control_fd < 0) {
+    const int fd =
         rendezvous::Client::connect_channel(ep.host, ep.port, "CTL", cfg.rank);
+    if (fd >= 0)
+      cfg.control_fd = fd;
+    else
+      std::fprintf(stderr, "subprocess rank %d: CTL channel dial to %s:%d failed\n",
+                   cfg.rank, ep.host.c_str(), ep.port);
+  }
   return cfg;
 }
 

@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -79,10 +81,20 @@ void Lifecycle::begin_generation(int generation) {
 std::pair<int, int> Lifecycle::adopt_channels(int rank) {
   // Bound the wait by the watchdog floor: a child that cannot even dial
   // its channels within the silence budget is already what the watchdog
-  // calls hung, and {-1, -1} routes it into the same escalation.
+  // calls hung, and {-1, -1} routes it into the same escalation.  Both
+  // channels share ONE floor-sized budget — spawn_one() adopts ranks
+  // synchronously, so per-channel budgets would let a dead cohort stall
+  // the engine for 2 x floor x N ranks before escalation.
   const int floor_ms = liveness::resolve_floor_ms(*setup_.liveness);
+  const auto start = std::chrono::steady_clock::now();
   const int hb = server_->take_channel("HB", rank, floor_ms);
-  const int ctl = server_->take_channel("CTL", rank, floor_ms);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  const int ctl_budget_ms =
+      static_cast<int>(std::max<long long>(0, floor_ms - elapsed_ms));
+  const int ctl = server_->take_channel("CTL", rank, ctl_budget_ms);
   return {hb, ctl};
 }
 

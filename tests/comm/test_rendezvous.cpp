@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -72,6 +73,19 @@ TEST(Rendezvous, ParsesRegistryStringsAndRejectsFilePaths) {
   EXPECT_FALSE(parse_registry("rdv::9", &ep));             // no host
   EXPECT_FALSE(parse_registry("rdv:h:abc", &ep));          // bad port
   EXPECT_FALSE(parse_registry("rdv:h:9.gx", &ep));         // bad round
+}
+
+TEST(Rendezvous, ParserRejectsOverlongNumbersInsteadOfThrowing) {
+  // parse_registry's contract is bool, not exceptions: digit strings past
+  // INT_MAX (a corrupt or hostile registry value) must return false, not
+  // escape as std::out_of_range from stoi.
+  Endpoint ep;
+  EXPECT_FALSE(parse_registry("rdv:h:99999999999999999999", &ep));
+  EXPECT_FALSE(parse_registry("rdv:h:9.g99999999999999999999", &ep));
+  EXPECT_FALSE(parse_registry("rdv:h:70000", &ep));  // above 65535
+  ASSERT_TRUE(parse_registry("rdv:h:65535.g999999999", &ep));
+  EXPECT_EQ(ep.port, 65535);
+  EXPECT_EQ(ep.round, 999999999);
 }
 
 TEST(Rendezvous, DuplicateRegistrationNewestWins) {
@@ -156,6 +170,37 @@ TEST(Rendezvous, TornAndMalformedLinesLeaveTheServerServing) {
   ASSERT_TRUE(client.lookup(0, 0, &addr));
   EXPECT_EQ(addr.port, 4400);
   EXPECT_FALSE(client.lookup(0, 1, &addr));  // the torn REG never landed
+}
+
+TEST(Rendezvous, SurvivesConnectionChurnWhileServingEstablishedClients) {
+  // Accepting a connection mid-round must not disturb the walk over the
+  // connections that were actually polled (the new conn has no pollfd
+  // yet).  Hammer the server with fresh connections while established
+  // clients keep transacting: every request must still get its reply and
+  // no register may be lost to a wedged serve loop.
+  Server server;
+  constexpr int kClients = 8;
+  constexpr int kRequests = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < kRequests; ++r) {
+        // A fresh connection per request maximises accept/walk overlap.
+        Client client("127.0.0.1", server.port());
+        if (!client.publish(0, c * kRequests + r, "127.0.0.1", 4000 + c))
+          failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.entry_count(),
+            static_cast<std::size_t>(kClients * kRequests));
+  PeerAddr addr;
+  Client client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.lookup(0, 0, &addr));
+  EXPECT_EQ(addr.port, 4000);
 }
 
 TEST(Rendezvous, ChannelAdoptionHandsTheConnectionToTheSupervisor) {
